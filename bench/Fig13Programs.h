@@ -1,0 +1,257 @@
+//===- bench/Fig13Programs.h - TranC models for Figure 13 ------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TranC programs modeling the sharing structure of the paper's Figure 13
+/// benchmarks. The absolute counts differ from the paper (different
+/// programs, different compiler), but each program is built to exercise the
+/// same analysis phenomena the paper reports for its namesake:
+///
+///   jvm98  an entirely non-transactional program — NAIT removes every
+///          barrier; TL is blocked by static/escaping data.
+///   tsp    thread-local data hung off a spawned worker object: reachable
+///          from two threads (TL fails) but never accessed in a
+///          transaction (NAIT wins) — the paper's §5.4 observation.
+///   oo7    a shared tree accessed almost exclusively inside transactions,
+///          with modest non-transactional scratch.
+///   jbb    transactional warehouse + data handoff through a transactional
+///          mailbox (NAIT-only) + thread-local stat blocks that are
+///          accessed both inside and outside transactions (TL-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_BENCH_FIG13PROGRAMS_H
+#define SATM_BENCH_FIG13PROGRAMS_H
+
+namespace fig13 {
+
+inline const char *Jvm98Program = R"(
+  class Dict { int[] keys; int[] codes; int next; }
+  static int[] table;
+
+  fn fill(Dict d, int n) {
+    var i = 0;
+    while (i < n) {
+      d.keys[i] = i * 7;
+      d.codes[i] = i;
+      i = i + 1;
+    }
+    d.next = n;
+  }
+
+  fn probe(Dict d, int key): int {
+    var i = 0;
+    var n = d.next;
+    while (i < n) {
+      if (d.keys[i] == key) { return d.codes[i]; }
+      i = i + 1;
+    }
+    return 0 - 1;
+  }
+
+  fn main() {
+    table = new int[64];
+    var d = new Dict();
+    d.keys = new int[64];
+    d.codes = new int[64];
+    fill(d, 64);
+    var i = 0;
+    var hits = 0;
+    while (i < 64) {
+      table[i] = probe(d, i * 7);
+      if (table[i] >= 0) { hits = hits + 1; }
+      i = i + 1;
+    }
+    print(hits);
+  }
+)";
+
+inline const char *TspProgram = R"(
+  class Worker { int[] path; int[] visited; int id; }
+  class Bound { int best; }
+  static Bound globalBest;
+
+  fn search(Worker w, int depth) {
+    // Worker fields: reachable from two threads (spawner + spawned), so
+    // thread-local analysis keeps the barriers; never accessed inside a
+    // transaction, so NAIT removes them.
+    if (depth >= len(w.path)) {
+      var tourLen = 0;
+      var i = 0;
+      while (i < len(w.path)) { tourLen = tourLen + w.path[i]; i = i + 1; }
+      atomic {
+        if (tourLen < globalBest.best) { globalBest.best = tourLen; }
+      }
+      return;
+    }
+    var c = 0;
+    while (c < len(w.path)) {
+      if (w.visited[c] == 0) {
+        w.visited[c] = 1;
+        w.path[depth] = c;
+        search(w, depth + 1);
+        w.visited[c] = 0;
+      }
+      c = c + 1;
+    }
+  }
+
+  fn runWorker(Worker w) {
+    w.visited[0] = 1;
+    w.path[0] = 0;
+    search(w, 1);
+  }
+
+  fn main() {
+    globalBest = new Bound();
+    globalBest.best = 1000000;
+    var w1 = new Worker();
+    w1.path = new int[5];
+    w1.visited = new int[5];
+    w1.id = 1;
+    var w2 = new Worker();
+    w2.path = new int[5];
+    w2.visited = new int[5];
+    w2.id = 2;
+    var t1 = spawn runWorker(w1);
+    var t2 = spawn runWorker(w2);
+    join(t1);
+    join(t2);
+    atomic { print(globalBest.best); }
+  }
+)";
+
+inline const char *Oo7Program = R"(
+  class Part { int x; int y; }
+  class Composite { Part[] parts; int date; }
+  class Assembly { Assembly[] children; Composite comp; int kind; }
+  static Assembly root;
+
+  fn buildComposite(int n): Composite {
+    var c = new Composite();
+    c.parts = new Part[n];
+    var i = 0;
+    while (i < n) {
+      var p = new Part();
+      p.x = i;
+      p.y = i * 2;
+      c.parts[i] = p;
+      i = i + 1;
+    }
+    return c;
+  }
+
+  fn build(int depth): Assembly {
+    var a = new Assembly();
+    if (depth == 0) {
+      a.kind = 1;
+      a.comp = buildComposite(4);
+      return a;
+    }
+    a.kind = 0;
+    a.children = new Assembly[2];
+    a.children[0] = build(depth - 1);
+    a.children[1] = build(depth - 1);
+    return a;
+  }
+
+  fn traverse(Assembly a, bool update): int {
+    var sum = 0;
+    if (a.kind == 1) {
+      var i = 0;
+      while (i < len(a.comp.parts)) {
+        if (update) { a.comp.parts[i].y = a.comp.parts[i].y + 1; }
+        else { sum = sum + a.comp.parts[i].x + a.comp.parts[i].y; }
+        i = i + 1;
+      }
+      return sum;
+    }
+    sum = traverse(a.children[0], update) + traverse(a.children[1], update);
+    return sum;
+  }
+
+  fn workerLoop(int n) {
+    var i = 0;
+    var localTally = new int[4];   // non-txn scratch, truly local
+    while (i < n) {
+      var s = 0;
+      atomic { s = traverse(root, i % 5 == 0); }
+      localTally[i % 4] = localTally[i % 4] + s;
+      i = i + 1;
+    }
+    print(localTally[0]);
+  }
+
+  fn main() {
+    root = build(3);
+    var t = spawn workerLoop(10);
+    workerLoop(10);
+    join(t);
+  }
+)";
+
+inline const char *JbbProgram = R"(
+  class Order { int items; int total; }
+  class Warehouse { int[] stock; Order lastOrder; int count; }
+  class Stats { int newOrders; int payments; }
+  static Warehouse mailboxWh;
+
+  fn newOrder(Warehouse w, Stats s, int item) {
+    // Order built outside the transaction, handed off inside it: the
+    // order fields are NAIT-removable but not thread-local.
+    var o = new Order();
+    o.items = 3;
+    o.total = 0;
+    atomic {
+      w.stock[item] = w.stock[item] - 1;
+      w.lastOrder = o;
+      w.count = w.count + 1;
+    }
+    o.total = item * 10;
+    // Stats block: thread-local (TL removes) but also updated inside a
+    // transaction below (NAIT keeps).
+    s.newOrders = s.newOrders + 1;
+  }
+
+  fn payment(Warehouse w, Stats s) {
+    atomic {
+      w.count = w.count + 1;
+      s.payments = s.payments + 1;
+    }
+    s.payments = s.payments + 0;
+  }
+
+  fn runEngine(Warehouse w, int ops) {
+    var s = new Stats();
+    var i = 0;
+    while (i < ops) {
+      if (i % 3 == 0) { payment(w, s); }
+      else { newOrder(w, s, i % len(w.stock)); }
+      i = i + 1;
+    }
+    print(s.newOrders + s.payments);
+  }
+
+  fn makeWarehouse(int items): Warehouse {
+    var w = new Warehouse();
+    w.stock = new int[items];
+    var i = 0;
+    while (i < items) { w.stock[i] = 100; i = i + 1; }
+    return w;
+  }
+
+  fn main() {
+    mailboxWh = makeWarehouse(16);
+    var w2 = makeWarehouse(16);
+    var t = spawn runEngine(w2, 30);
+    runEngine(mailboxWh, 30);
+    join(t);
+  }
+)";
+
+} // namespace fig13
+
+#endif // SATM_BENCH_FIG13PROGRAMS_H

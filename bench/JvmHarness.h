@@ -1,0 +1,96 @@
+//===- bench/JvmHarness.h - Shared harness for Figures 15-17 ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing harness shared by the three non-transactional overhead figures.
+/// For each JVM98-style workload it measures steady-state execution time
+/// under the cumulative optimization levels and prints overhead relative
+/// to the barrier-free run, the quantity the paper's bars show.
+///
+/// Methodology: one warm-up pass per plan, then ROUND-ROBIN interleaved
+/// timed passes (plan0, plan1, ..., plan0, plan1, ...) taking the minimum
+/// per plan. Interleaving spreads machine noise (this is a shared vCPU)
+/// evenly across plans instead of biasing whichever plan ran during a
+/// noisy window; the minimum approximates the paper's steady-state
+/// third-run methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_BENCH_JVMHARNESS_H
+#define SATM_BENCH_JVMHARNESS_H
+
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+#include "workloads/Jvm98.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <vector>
+
+namespace jvmharness {
+
+using namespace satm;
+using namespace satm::workloads;
+
+inline double timeOnce(const Jvm98Workload &W, const BarrierPlan &P,
+                       uint32_t Scale) {
+  PlanScope Scope(P);
+  stm::config().CollectStats = false; // Time the paper's sequences, bare.
+  Mem M(P);
+  Stopwatch Timer;
+  W.Run(M, Scale);
+  return Timer.seconds();
+}
+
+/// Runs the sweep with barriers on reads and/or writes and prints the
+/// overhead table for \p Title.
+inline int runFigure(const char *Title, bool Reads, bool Writes,
+                     uint32_t Scale = 1, int Reps = 5) {
+  std::printf("%s\n", Title);
+  std::printf("(overhead %% over the barrier-free run; NAIT removes all "
+              "barriers in these non-transactional programs, giving ~0%% "
+              "by construction — measured anyway in the last column)\n");
+  Table T({"benchmark", "No Opts", "Barrier Elim", "+Barrier Aggr", "+DEA",
+           "NAIT (whole-prog)"});
+
+  BarrierPlan NoOpts = BarrierPlan::noOpts(Reads, Writes);
+  BarrierPlan Elim = NoOpts;
+  Elim.ElideLocal = true;
+  BarrierPlan Aggr = Elim;
+  Aggr.Aggregate = true;
+  BarrierPlan Dea = Aggr;
+  Dea.Dea = true;
+  BarrierPlan Nait = Dea;
+  Nait.NaitAll = true;
+  const std::vector<BarrierPlan> Plans = {BarrierPlan::none(), NoOpts,
+                                          Elim, Aggr, Dea, Nait};
+
+  for (const Jvm98Workload &W : jvm98Suite()) {
+    std::vector<double> Best(Plans.size(), 1e100);
+    for (const BarrierPlan &P : Plans)
+      timeOnce(W, P, Scale); // Warm-up.
+    for (int R = 0; R < Reps; ++R)
+      for (size_t P = 0; P < Plans.size(); ++P)
+        Best[P] = std::min(Best[P], timeOnce(W, Plans[P], Scale));
+    std::vector<std::string> Row{W.Name};
+    for (size_t P = 1; P < Plans.size(); ++P)
+      Row.push_back(Table::num((Best[P] / Best[0] - 1.0) * 100.0, 1) + "%");
+    T.addRow(std::move(Row));
+    if (std::getenv("SATM_BENCH_DEBUG")) {
+      std::printf("  [debug] %s seconds:", W.Name);
+      for (double B : Best)
+        std::printf(" %.4f", B);
+      std::printf("\n");
+    }
+  }
+  T.print();
+  return 0;
+}
+
+} // namespace jvmharness
+
+#endif // SATM_BENCH_JVMHARNESS_H

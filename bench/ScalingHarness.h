@@ -1,0 +1,90 @@
+//===- bench/ScalingHarness.h - Shared harness for Figures 18-20 *- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-scaling harness for the transactional workloads: runs every
+/// execution mode at 1..16 threads and prints execution time per cell plus
+/// the strong-vs-weak ratio, the paper's headline quantity ("with 16
+/// threads the strongly atomic versions ... are only 2%, 12% and 1%
+/// slower than their weakly atomic counterparts").
+///
+/// Note on this machine: with fewer hardware cores than worker threads the
+/// absolute times cannot show parallel speedup; the comparison *between
+/// modes at equal thread counts* — who wins and by what factor — is the
+/// reproducible shape (EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_BENCH_SCALINGHARNESS_H
+#define SATM_BENCH_SCALINGHARNESS_H
+
+#include "support/Table.h"
+#include "workloads/Modes.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scaling {
+
+using namespace satm;
+using namespace satm::workloads;
+
+inline const std::vector<unsigned> &threadCounts() {
+  static const std::vector<unsigned> Counts = {1, 2, 4, 8, 16};
+  return Counts;
+}
+
+/// Runs \p Workload(Mode, Threads) -> seconds over the full grid and
+/// prints the table.
+inline void
+runGrid(const char *Title,
+        const std::function<double(ExecMode, unsigned)> &Workload) {
+  std::printf("%s\n", Title);
+  std::printf("(seconds per cell, best of 3; bottom row = Strong(+Whole-"
+              "Prog) time / Weak time)\n");
+
+  std::vector<std::string> Header{"mode \\ threads"};
+  for (unsigned T : threadCounts())
+    Header.push_back(std::to_string(T));
+  Table Tab(std::move(Header));
+
+  std::vector<double> WeakTimes(threadCounts().size(), 0);
+  std::vector<double> WholeTimes(threadCounts().size(), 0);
+  for (ExecMode Mode : AllExecModes) {
+    std::vector<std::string> Row{execModeName(Mode)};
+    for (size_t TI = 0; TI < threadCounts().size(); ++TI) {
+      unsigned Threads = threadCounts()[TI];
+      double Best = 1e100;
+      for (int Rep = 0; Rep < 3; ++Rep) {
+        bool SavedStats = stm::config().CollectStats;
+        stm::config().CollectStats = false; // Time bare sequences.
+        double S = Workload(Mode, Threads);
+        stm::config().CollectStats = SavedStats;
+        if (S < Best)
+          Best = S;
+      }
+      if (Mode == ExecMode::Weak)
+        WeakTimes[TI] = Best;
+      if (Mode == ExecMode::StrongWhole)
+        WholeTimes[TI] = Best;
+      Row.push_back(Table::num(Best, 3));
+    }
+    Tab.addRow(std::move(Row));
+  }
+  std::vector<std::string> Ratio{"StrongWhole/Weak"};
+  for (size_t TI = 0; TI < threadCounts().size(); ++TI)
+    Ratio.push_back(WeakTimes[TI] > 0
+                        ? Table::num(WholeTimes[TI] / WeakTimes[TI], 2)
+                        : "-");
+  Tab.addRow(std::move(Ratio));
+  Tab.print();
+}
+
+} // namespace scaling
+
+#endif // SATM_BENCH_SCALINGHARNESS_H

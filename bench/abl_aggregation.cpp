@@ -1,0 +1,81 @@
+//===- bench/abl_aggregation.cpp - Barrier aggregation window (§6) -------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation C (DESIGN.md): how much barrier aggregation saves as the number
+// of accesses sharing one acquire grows. A group of K accesses pays one
+// acquire/release instead of K — Figure 14's effect, isolated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor WideType("Wide", 8, {});
+
+void BM_PerAccessBarriers(benchmark::State &State) {
+  Heap H;
+  Object *O = H.allocate(&WideType, BirthState::Shared);
+  int K = static_cast<int>(State.range(0));
+  Word V = 0;
+  for (auto _ : State) {
+    for (int I = 0; I < K; ++I)
+      ntWrite(O, static_cast<uint32_t>(I & 7), ++V);
+    benchmark::DoNotOptimize(O);
+  }
+  State.SetItemsProcessed(State.iterations() * K);
+}
+BENCHMARK(BM_PerAccessBarriers)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AggregatedBarrier(benchmark::State &State) {
+  Heap H;
+  Object *O = H.allocate(&WideType, BirthState::Shared);
+  int K = static_cast<int>(State.range(0));
+  Word V = 0;
+  for (auto _ : State) {
+    AggregatedWriter W(O);
+    for (int I = 0; I < K; ++I)
+      W.store(static_cast<uint32_t>(I & 7), ++V);
+    benchmark::DoNotOptimize(O);
+  }
+  State.SetItemsProcessed(State.iterations() * K);
+}
+BENCHMARK(BM_AggregatedBarrier)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MixedAggregated(benchmark::State &State) {
+  // The Figure 14 shape: loads and stores under one acquire.
+  Heap H;
+  Object *O = H.allocate(&WideType, BirthState::Shared);
+  for (auto _ : State) {
+    AggregatedWriter W(O);
+    W.store(0, 0);
+    W.store(1, W.load(1) + 1);
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_MixedAggregated);
+
+void BM_MixedPerAccess(benchmark::State &State) {
+  Heap H;
+  Object *O = H.allocate(&WideType, BirthState::Shared);
+  for (auto _ : State) {
+    ntWrite(O, 0, 0);
+    ntWrite(O, 1, ntRead(O, 1) + 1);
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_MixedPerAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+//===- bench/abl_contention.cpp - Contention policy ablation -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation E: the transaction-side conflict manager. The paper fixes one
+// policy (back off, retry); this sweeps the alternatives on a hot counter
+// and on a low-conflict mixed workload, reporting time and abort counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Txn.h"
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor ArrayType("int[]", TypeKind::IntArray);
+
+const char *policyName(ContentionPolicy P) {
+  switch (P) {
+  case ContentionPolicy::BackoffThenAbort:
+    return "backoff-then-abort";
+  case ContentionPolicy::Polite:
+    return "polite";
+  case ContentionPolicy::Timid:
+    return "timid";
+  case ContentionPolicy::Timestamp:
+    return "timestamp (older wins)";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double Seconds;
+  uint64_t Commits;
+  uint64_t Aborts;
+};
+
+/// Hot spot: every transaction updates the same counter.
+RunResult runHotCounter(ContentionPolicy P, unsigned Threads,
+                        unsigned PerThread) {
+  Config C;
+  C.Contention = P;
+  ScopedConfig SC(C);
+  statsReset();
+  Heap H;
+  Object *Counter = H.allocate(&CellType, BirthState::Shared);
+  Stopwatch Timer;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Tx.write(Counter, 0, Tx.read(Counter, 0) + 1);
+          if (I % 32 == 0)
+            std::this_thread::yield(); // Force overlap on one core.
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  StatsCounters S = statsSnapshot();
+  return {Timer.seconds(), S.TxnCommits, S.TxnAborts};
+}
+
+/// Mixed: mostly disjoint slots, occasional collisions.
+RunResult runMixed(ContentionPolicy P, unsigned Threads,
+                   unsigned PerThread) {
+  Config C;
+  C.Contention = P;
+  ScopedConfig SC(C);
+  statsReset();
+  Heap H;
+  Object *Slots = H.allocateArray(&ArrayType, 64, BirthState::Shared);
+  Stopwatch Timer;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      unsigned Seed = 7 + T;
+      for (unsigned I = 0; I < PerThread; ++I) {
+        Seed = Seed * 1664525 + 1013904223;
+        uint32_t Slot = (Seed >> 10) % 64;
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Tx.write(Slots, Slot, Tx.read(Slots, Slot) + 1);
+          Tx.write(Slots, 0, Tx.read(Slots, 0) + 1); // The hot slot.
+        });
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  StatsCounters S = statsSnapshot();
+  return {Timer.seconds(), S.TxnCommits, S.TxnAborts};
+}
+
+void report(const char *Title, RunResult (*Run)(ContentionPolicy, unsigned,
+                                                unsigned)) {
+  std::printf("\n%s (4 threads)\n", Title);
+  Table T({"policy", "seconds", "commits", "aborts", "aborts/commit"});
+  for (ContentionPolicy P :
+       {ContentionPolicy::BackoffThenAbort, ContentionPolicy::Polite,
+        ContentionPolicy::Timid, ContentionPolicy::Timestamp}) {
+    RunResult R = Run(P, 4, 8000);
+    T.addRow({policyName(P), Table::num(R.Seconds, 3),
+              Table::num(R.Commits), Table::num(R.Aborts),
+              Table::num(R.Commits ? double(R.Aborts) / R.Commits : 0.0,
+                         3)});
+  }
+  T.print();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: transaction contention-management policies\n");
+  report("hot shared counter", runHotCounter);
+  report("mixed 64-slot workload with one hot slot", runMixed);
+  std::printf("\nAll policies are safe (tests assert exact counts); they "
+              "trade waiting for aborting differently under contention.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/abl_publish.cpp - publishObject cost (Figure 11) ------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation D (DESIGN.md): the cost of the Figure 11 mark-stack publication
+// walk as a function of the private subgraph's size and shape. Publication
+// is DEA's one non-constant cost; this quantifies when eager publication
+// is worth the private fast paths it buys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Dea.h"
+
+#include "benchmark/benchmark.h"
+
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor NodeType("Node", 3, {0, 1});
+
+/// Builds a fresh private list of N nodes, returns the head.
+Object *buildList(Heap &H, int N) {
+  Object *Head = nullptr;
+  for (int I = 0; I < N; ++I) {
+    Object *Node = H.allocate(&NodeType, BirthState::Private);
+    Node->rawStoreRef(0, Head);
+    Head = Node;
+  }
+  return Head;
+}
+
+/// Builds a fresh private near-complete binary tree of N nodes.
+Object *buildTree(Heap &H, int N) {
+  std::vector<Object *> Nodes;
+  Nodes.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Nodes.push_back(H.allocate(&NodeType, BirthState::Private));
+  for (int I = 0; I < N; ++I) {
+    if (2 * I + 1 < N)
+      Nodes[I]->rawStoreRef(0, Nodes[2 * I + 1]);
+    if (2 * I + 2 < N)
+      Nodes[I]->rawStoreRef(1, Nodes[2 * I + 2]);
+  }
+  return Nodes[0];
+}
+
+void BM_PublishList(benchmark::State &State) {
+  Heap H;
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Object *Head = buildList(H, N);
+    State.ResumeTiming();
+    publishObject(Head);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PublishList)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PublishTree(benchmark::State &State) {
+  Heap H;
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Object *Root = buildTree(H, N);
+    State.ResumeTiming();
+    publishObject(Root);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PublishTree)->Arg(1)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_PublishAlreadyPublic(benchmark::State &State) {
+  // The no-op path: one record load.
+  Heap H;
+  Object *O = H.allocate(&NodeType, BirthState::Shared);
+  for (auto _ : State)
+    publishObject(O);
+}
+BENCHMARK(BM_PublishAlreadyPublic);
+
+} // namespace
+
+BENCHMARK_MAIN();

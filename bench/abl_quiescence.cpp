@@ -1,0 +1,159 @@
+//===- bench/abl_quiescence.cpp - Quiescence vs barriers (§3.4) ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation B (DESIGN.md): the privatization idiom of Figure 1 run three
+// ways — weak atomicity (unsafe: the §2 litmus suite shows the violation
+// deterministically), weak atomicity with commit-time quiescence (§3.4:
+// privatization-safe without barriers), and full strong atomicity. The
+// interesting outputs are the invariant-violation count (must be zero for
+// the latter two) and the relative cost of quiescence vs barriers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Txn.h"
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+// Item: val1, val2, next. Invariant: val1 == val2 outside transactions.
+const TypeDescriptor ItemType("Item", 3, {2});
+const TypeDescriptor HeadType("Head", 1, {0});
+
+enum class Regime { Weak, WeakQuiesce, Strong };
+
+const char *regimeName(Regime R) {
+  switch (R) {
+  case Regime::Weak:
+    return "weak (unsafe)";
+  case Regime::WeakQuiesce:
+    return "weak + quiescence";
+  case Regime::Strong:
+    return "strong barriers";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double Seconds;
+  uint64_t Violations;
+};
+
+RunResult runRegime(Regime R, unsigned Privatizers, unsigned Mutators,
+                    unsigned OpsPerThread) {
+  Config Cfg;
+  Cfg.QuiesceOnCommit = R == Regime::WeakQuiesce;
+  ScopedConfig SC(Cfg);
+  bool Barriers = R == Regime::Strong;
+
+  Heap H;
+  Object *Head = H.allocate(&HeadType, BirthState::Shared);
+  for (int I = 0; I < 8; ++I) {
+    Object *Item = H.allocate(&ItemType, BirthState::Shared);
+    Item->rawStoreRef(2, Head->rawLoadRef(0));
+    Head->rawStoreRef(0, Item);
+  }
+
+  auto NtLoad = [Barriers](Object *O, uint32_t S) {
+    return Barriers ? ntRead(O, S) : O->rawLoad(S, std::memory_order_acquire);
+  };
+  auto NtStore = [Barriers](Object *O, uint32_t S, Word V) {
+    if (Barriers)
+      ntWrite(O, S, V);
+    else
+      O->rawStore(S, V, std::memory_order_release);
+  };
+
+  std::atomic<uint64_t> Violations{0};
+  Stopwatch Timer;
+  std::vector<std::thread> Threads;
+
+  for (unsigned T = 0; T < Privatizers; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned Op = 0; Op < OpsPerThread; ++Op) {
+        Object *Mine = nullptr;
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Mine = Tx.readRef(Head, 0);
+          if (Mine)
+            Tx.writeRef(Head, 0, Tx.readRef(Mine, 2));
+        });
+        if (!Mine)
+          continue;
+        // Privatized: access without synchronization (Figure 1).
+        Word V1 = NtLoad(Mine, 0);
+        Word V2 = NtLoad(Mine, 1);
+        if (V1 != V2)
+          Violations.fetch_add(1);
+        NtStore(Mine, 0, V1 + 1);
+        NtStore(Mine, 1, V1 + 1);
+        // Re-publish the item for the next round.
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Tx.writeRef(Mine, 2, Tx.readRef(Head, 0));
+          Tx.writeRef(Head, 0, Mine);
+        });
+      }
+    });
+
+  for (unsigned T = 0; T < Mutators; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned Op = 0; Op < OpsPerThread; ++Op) {
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Object *Item = Tx.readRef(Head, 0);
+          if (!Item)
+            return;
+          Tx.write(Item, 0, Tx.read(Item, 0) + 1);
+          Tx.write(Item, 1, Tx.read(Item, 1) + 1);
+        });
+      }
+    });
+
+  for (auto &T : Threads)
+    T.join();
+  return {Timer.seconds(), Violations.load()};
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: quiescence (§3.4) vs strong-atomicity barriers on "
+              "the Figure 1 privatization idiom\n");
+  std::printf("(weak atomicity may show isolation violations — see the "
+              "Figure 6 litmus suite for the deterministic exhibit; "
+              "quiescence and strong atomicity must show zero)\n");
+  Table T({"regime", "seconds", "invariant violations", "quiesce waits"});
+  bool SafeRegimesClean = true;
+  for (Regime R :
+       {Regime::Weak, Regime::WeakQuiesce, Regime::Strong}) {
+    statsReset();
+    RunResult Res = runRegime(R, /*Privatizers=*/2, /*Mutators=*/2,
+                              /*OpsPerThread=*/20000);
+    StatsCounters S = statsSnapshot();
+    T.addRow({regimeName(R), Table::num(Res.Seconds, 3),
+              Table::num(Res.Violations), Table::num(S.QuiesceWaits)});
+    if (R != Regime::Weak && Res.Violations != 0)
+      SafeRegimesClean = false;
+  }
+  T.print();
+  std::printf("\n%s\n", SafeRegimesClean
+                            ? "OK: quiescence and strong atomicity preserve "
+                              "the privatization invariant"
+                            : "FAILURE: a safe regime showed a violation");
+  return SafeRegimesClean ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+//===- bench/fig13_static_counts.cpp - Figure 13 barrier removal ---------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 13: static counts of non-transactional barriers
+// removed by NAIT but not TL (NAIT-TL), by TL but not NAIT (TL-NAIT), and
+// by both applied together (TL+NAIT), over TranC model programs whose
+// sharing structure mirrors the paper's benchmarks (see Fig13Programs.h).
+//
+// The programs also *execute* under the interpreter first, as a soundness
+// check: optimized and unoptimized runs must print identical output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig13Programs.h"
+
+#include "support/Table.h"
+#include "tc/Interp.h"
+#include "tc/Pipeline.h"
+
+#include <cstdio>
+
+using namespace satm;
+using namespace satm::tc;
+
+namespace {
+
+struct NamedProgram {
+  const char *Name;
+  const char *Source;
+};
+
+bool verifyExecution(const NamedProgram &P) {
+  Diag D;
+  PassOptions NoOpts;
+  ir::Module Plain = compile(P.Source, NoOpts, D);
+  if (D.hasErrors()) {
+    std::printf("compile error in %s:\n%s", P.Name, D.str().c_str());
+    return false;
+  }
+  PassOptions Full;
+  Full.IntraprocEscape = Full.Aggregate = Full.Nait = Full.ThreadLocal = true;
+  Diag D2;
+  ir::Module Optimized = compile(P.Source, Full, D2);
+
+  Interp::Options Strong;
+  Interp IPlain(Plain, Strong), IOpt(Optimized, Strong);
+  bool Ok1 = IPlain.run();
+  bool Ok2 = IOpt.run();
+  if (!Ok1 || !Ok2 || IPlain.output() != IOpt.output()) {
+    std::printf("EXECUTION DIVERGENCE in %s\n", P.Name);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  const NamedProgram Programs[] = {
+      {"jvm98", fig13::Jvm98Program},
+      {"tsp", fig13::TspProgram},
+      {"oo7", fig13::Oo7Program},
+      {"jbb", fig13::JbbProgram},
+  };
+
+  std::printf("Figure 13: static counts of non-transactional barriers "
+              "removed\n");
+  std::printf("(TranC model programs; counts are absolute for this "
+              "compiler, the paper's shape is NAIT >> TL with NAIT "
+              "subsuming almost all of TL)\n");
+
+  Table T({"program", "type", "total", "NAIT-TL", "TL-NAIT", "TL+NAIT",
+           "NAIT", "TL"});
+  bool AllOk = true;
+  for (const NamedProgram &P : Programs) {
+    AllOk &= verifyExecution(P);
+    Diag D;
+    PassOptions O;
+    O.Nait = true;
+    O.ThreadLocal = true;
+    PipelineStats S;
+    compile(P.Source, O, D, &S);
+    if (D.hasErrors()) {
+      std::printf("compile error in %s:\n%s", P.Name, D.str().c_str());
+      return 1;
+    }
+    const auto &C = S.WholeProg;
+    T.addRow({P.Name, "read", Table::num(C.ReadTotal),
+              Table::num(C.ReadNaitNotTl), Table::num(C.ReadTlNotNait),
+              Table::num(C.ReadEither), Table::num(C.ReadNait),
+              Table::num(C.ReadTl)});
+    T.addRow({"", "write", Table::num(C.WriteTotal),
+              Table::num(C.WriteNaitNotTl), Table::num(C.WriteTlNotNait),
+              Table::num(C.WriteEither), Table::num(C.WriteNait),
+              Table::num(C.WriteTl)});
+  }
+  T.print();
+  std::printf("\nexecution check: %s\n",
+              AllOk ? "all programs produce identical output with and "
+                      "without optimization"
+                    : "DIVERGENCE DETECTED");
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+//===- bench/fig15_nontxn_overhead.cpp - Figure 15 ------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 15: overhead of strong atomicity (read + write isolation
+// barriers) on non-transactional workloads, with cumulative optimizations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JvmHarness.h"
+
+int main() {
+  return jvmharness::runFigure(
+      "Figure 15: read+write isolation barrier overhead (non-transactional "
+      "workloads)",
+      /*Reads=*/true, /*Writes=*/true);
+}

@@ -1,0 +1,18 @@
+//===- bench/fig16_read_overhead.cpp - Figure 16 --------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 16: overhead of read isolation barriers only — the cost of
+// enforcing dirty-read freedom for non-transactional readers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JvmHarness.h"
+
+int main() {
+  return jvmharness::runFigure(
+      "Figure 16: read-only isolation barrier overhead",
+      /*Reads=*/true, /*Writes=*/false);
+}

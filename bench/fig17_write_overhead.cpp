@@ -1,0 +1,18 @@
+//===- bench/fig17_write_overhead.cpp - Figure 17 -------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 17: overhead of write isolation barriers only — the dominant cost
+// (each write barrier contains an atomic acquire, §7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "JvmHarness.h"
+
+int main() {
+  return jvmharness::runFigure(
+      "Figure 17: write-only isolation barrier overhead",
+      /*Reads=*/false, /*Writes=*/true);
+}

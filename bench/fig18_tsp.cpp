@@ -1,0 +1,25 @@
+//===- bench/fig18_tsp.cpp - Figure 18: Tsp scaling -----------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 18: Tsp execution time over 1..16 threads under Synch, weak
+// atomicity and strong atomicity at each optimization level. Tsp performs
+// many non-transactional accesses (tour scratch, the distance table, the
+// shared bound), so unoptimized strong atomicity costs the most here
+// (about 3x in the paper) and the optimizations recover nearly all of it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ScalingHarness.h"
+#include "workloads/Tsp.h"
+
+int main() {
+  using namespace satm::workloads;
+  scaling::runGrid("Figure 18: Tsp execution time", [](ExecMode M,
+                                                       unsigned T) {
+    return runTsp(M, T, /*NumCities=*/13).Seconds;
+  });
+  return 0;
+}

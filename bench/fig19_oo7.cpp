@@ -1,0 +1,27 @@
+//===- bench/fig19_oo7.cpp - Figure 19: OO7 scaling -----------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 19: OO7 execution time over 1..16 threads. Root-granularity
+// traversals spend nearly all their time inside transactions, so strong
+// atomicity costs little even unoptimized (<11% in the paper); the
+// lock-based version cannot scale because the root lock serializes it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ScalingHarness.h"
+#include "workloads/Oo7.h"
+
+int main() {
+  using namespace satm::workloads;
+  scaling::runGrid("Figure 19: OO7 execution time (80% lookup / 20% "
+                   "update, root transactions)",
+                   [](ExecMode M, unsigned T) {
+                     Oo7Config C;
+                     C.TraversalsPerThread = 160;
+                     return runOo7(M, T, C).Seconds;
+                   });
+  return 0;
+}

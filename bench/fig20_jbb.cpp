@@ -1,0 +1,26 @@
+//===- bench/fig20_jbb.cpp - Figure 20: SpecJBB-style scaling -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 20: JBB-style order-processing time over 1..16 threads (one
+// warehouse per thread). Transactions dominate; strong atomicity tracks
+// weak closely (1% at 16 threads in the paper), with DEA recovering the
+// non-transactional order-construction work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ScalingHarness.h"
+#include "workloads/Jbb.h"
+
+int main() {
+  using namespace satm::workloads;
+  scaling::runGrid("Figure 20: JBB-style order engine execution time",
+                   [](ExecMode M, unsigned T) {
+                     JbbConfig C;
+                     C.OpsPerThread = 60000;
+                     return runJbb(M, T, C).Seconds;
+                   });
+  return 0;
+}

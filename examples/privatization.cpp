@@ -1,0 +1,119 @@
+//===- examples/privatization.cpp - The paper's Figure 1, live -----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The motivating example: Thread 1 removes an item from a shared list and
+// then — because the item is now logically private — dereferences it
+// *outside* any synchronization. Thread 2 properly accesses the item only
+// inside its atomic block. With locks this is correct (the Java memory
+// model supports the idiom); under weakly-atomic STMs it breaks in
+// implementation-defined ways (§2); under this strongly-atomic STM it is
+// correct again.
+//
+// This example runs the idiom many times under weak and strong execution
+// and reports how often the privatized item was observed torn
+// (item.val1 != item.val2).
+//
+// Build & run:  ./build/examples/privatization
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Txn.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+// Item: val1, val2. List head: one ref slot.
+const TypeDescriptor ItemType("Item", 2, {});
+const TypeDescriptor HeadType("Head", 1, {0});
+
+/// One round of Figure 1. \returns true if the privatized dereference saw
+/// torn state.
+bool oneRound(bool Strong, Heap &H) {
+  Object *Head = H.allocate(&HeadType, BirthState::Shared);
+  Object *Item = H.allocate(&ItemType, BirthState::Shared);
+  Head->rawStoreRef(0, Item);
+
+  std::atomic<bool> T2Started{false};
+  bool Torn = false;
+
+  // Thread 2: if the item is still in the list, increment both fields —
+  // entirely inside a transaction, like its synchronized block in Fig. 1.
+  std::thread T2([&] {
+    T2Started.store(true);
+    atomically([&] {
+      Txn &T = Txn::forThisThread();
+      Object *It = T.readRef(Head, 0);
+      if (It) {
+        T.write(It, 0, T.read(It, 0) + 1);
+        T.write(It, 1, T.read(It, 1) + 1);
+      }
+    });
+  });
+
+  while (!T2Started.load())
+    std::this_thread::yield();
+
+  // Thread 1 (this thread): privatize, then dereference without
+  // synchronization.
+  Object *Mine = nullptr;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Mine = T.readRef(Head, 0);
+    if (Mine)
+      T.writeRef(Head, 0, nullptr); // list.removeFirst()
+  });
+  if (Mine) {
+    Word R1, R2;
+    if (Strong) {
+      R1 = ntRead(Mine, 0); // Figure 9/10 read isolation barrier.
+      R2 = ntRead(Mine, 1);
+    } else {
+      R1 = Mine->rawLoad(0, std::memory_order_acquire); // Weak: direct.
+      R2 = Mine->rawLoad(1, std::memory_order_acquire);
+    }
+    Torn = R1 != R2;
+  }
+  T2.join();
+  return Torn;
+}
+
+} // namespace
+
+int main() {
+  constexpr int Rounds = 4000;
+  Heap H;
+
+  std::printf("Figure 1 privatization idiom, %d rounds each:\n\n", Rounds);
+  for (bool Strong : {false, true}) {
+    int Torn = 0;
+    for (int I = 0; I < Rounds; ++I)
+      Torn += oneRound(Strong, H);
+    std::printf("  %-18s r1 != r2 observed in %d/%d rounds\n",
+                Strong ? "strong atomicity:" : "weak atomicity:", Torn,
+                Rounds);
+    if (Strong && Torn != 0) {
+      std::printf("  STRONG ATOMICITY VIOLATED — bug!\n");
+      return 1;
+    }
+  }
+  std::printf("\nUnder weak atomicity the torn observations (if the "
+              "scheduler cooperated;\nthe deterministic exhibit is the "
+              "litmus suite / fig06 bench) are the paper's\nSDR anomaly: "
+              "thread 1 reads the doomed transaction's speculative state.\n"
+              "Under strong atomicity the read barrier waits out the "
+              "conflicting\ntransaction, so r1 == r2 always — the lock-based "
+              "guarantee, recovered.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- examples/quickstart.cpp - SATM in five minutes --------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: a bank with transactional transfers and — the point of the
+// paper — *non-transactional* auditing code that is still isolated from
+// in-flight transactions, because it reads through strong-atomicity
+// barriers.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Txn.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+// A managed type: declare the slot layout once. Slot 0 is the balance.
+const TypeDescriptor AccountType("Account", 1, {});
+
+constexpr int NumAccounts = 8;
+constexpr int TransfersPerThread = 25000;
+constexpr int NumThreads = 4;
+constexpr Word InitialBalance = 1000;
+
+} // namespace
+
+int main() {
+  Heap H;
+
+  // 1. Allocate shared accounts. BirthState::Shared publishes them
+  //    immediately (with dynamic escape analysis you would allocate
+  //    Private and let publication happen on first escape).
+  std::vector<Object *> Accounts;
+  for (int I = 0; I < NumAccounts; ++I) {
+    Object *A = H.allocate(&AccountType, BirthState::Shared);
+    A->rawStore(0, InitialBalance);
+    Accounts.push_back(A);
+  }
+
+  // 2. Transactional transfers: atomically([&]{...}) runs the body as an
+  //    eager-versioning transaction, re-executing on conflicts.
+  auto Transfer = [&](int From, int To, Word Amount) {
+    atomically([&] {
+      Txn &T = Txn::forThisThread();
+      Word B = T.read(Accounts[From], 0);
+      if (B < Amount)
+        return; // Insufficient funds: commit with no effect.
+      T.write(Accounts[From], 0, B - Amount);
+      T.write(Accounts[To], 0, T.read(Accounts[To], 0) + Amount);
+    });
+  };
+
+  // 3. A non-transactional auditor. ntRead is the paper's Figure 9 read
+  //    isolation barrier: it never observes a transaction's intermediate
+  //    state, so each single-account read is consistent — no locks, no
+  //    transaction, no segregation of the data.
+  std::atomic<bool> Stop{false};
+  std::atomic<long> Audits{0};
+  std::thread Auditor([&] {
+    while (!Stop.load()) {
+      Word Total = 0;
+      for (Object *A : Accounts)
+        Total += ntRead(A, 0);
+      // Individual reads are isolated; the *sum* may still interleave
+      // with transfers, so it can legitimately differ from the invariant
+      // total only transiently... but money is conserved, so any excess
+      // must be matched by a deficit elsewhere within the snapshot drift.
+      Audits.fetch_add(1);
+      (void)Total;
+    }
+  });
+
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < NumThreads; ++T)
+    Workers.emplace_back([&, T] {
+      unsigned Seed = 1234 + T;
+      for (int I = 0; I < TransfersPerThread; ++I) {
+        Seed = Seed * 1664525 + 1013904223;
+        int From = (Seed >> 8) % NumAccounts;
+        int To = (Seed >> 16) % NumAccounts;
+        Transfer(From, To, 1 + (Seed >> 24) % 10);
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  Stop.store(true);
+  Auditor.join();
+
+  // 4. Verify conservation.
+  Word Total = 0;
+  for (Object *A : Accounts)
+    Total += A->rawLoad(0);
+
+  StatsCounters S = statsSnapshot();
+  std::printf("quickstart: %d threads x %d transfers\n", NumThreads,
+              TransfersPerThread);
+  std::printf("  final total        : %llu (expected %llu)\n",
+              (unsigned long long)Total,
+              (unsigned long long)(NumAccounts * InitialBalance));
+  std::printf("  txn commits/aborts : %llu / %llu\n",
+              (unsigned long long)S.TxnCommits,
+              (unsigned long long)S.TxnAborts);
+  std::printf("  audit passes       : %ld (non-transactional, barriered)\n",
+              Audits.load());
+  if (Total != NumAccounts * InitialBalance) {
+    std::printf("  MONEY NOT CONSERVED — bug!\n");
+    return 1;
+  }
+  std::printf("  money conserved.\n");
+  return 0;
+}

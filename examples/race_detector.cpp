@@ -1,0 +1,117 @@
+//===- examples/race_detector.cpp - Barriers as a race detector ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// §3.2: "Alternatively, conflicts could signal a race by throwing an
+// exception or breaking to the debugger. Isolation barriers can thus aid
+// in debugging concurrent programs."
+//
+// This example runs a buggy mixed-mode program (one thread updates a
+// shared structure transactionally, another "forgot" the atomic block)
+// with the barrier race reporter installed, and prints the diagnosed
+// races. The same program with the bug fixed runs silently.
+//
+// Build & run:  ./build/examples/race_detector
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Txn.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+// A two-field invariant object: lo <= hi must always hold.
+const TypeDescriptor RangeType("Range", 2, {});
+
+struct RaceLog {
+  std::mutex Mutex;
+  uint64_t ReadRaces = 0;
+  uint64_t WriteRaces = 0;
+  uint64_t VsTxn = 0;
+};
+
+uint64_t runScenario(bool Buggy, RaceLog &Log) {
+  Config C;
+  C.RaceReport = [&Log](const RaceInfo &R) {
+    std::lock_guard<std::mutex> Lock(Log.Mutex);
+    (R.IsWrite ? Log.WriteRaces : Log.ReadRaces)++;
+    Log.VsTxn += R.PartnerIsTxn;
+  };
+  ScopedConfig SC(C);
+
+  Heap H;
+  Object *Range = H.allocate(&RangeType, BirthState::Shared);
+  constexpr int Iters = 30000;
+
+  std::thread Good([&] {
+    for (int I = 0; I < Iters; ++I)
+      atomically([&] {
+        Txn &T = Txn::forThisThread();
+        T.write(Range, 0, I);
+        // Hold the record across a reschedule point so mixed-mode bugs
+        // actually overlap on a single-core machine.
+        std::this_thread::yield();
+        T.write(Range, 1, I + 10);
+      });
+  });
+  std::thread Sloppy([&] {
+    for (int I = 0; I < Iters; ++I) {
+      if (Buggy) {
+        // BUG: direct accesses... but under strong atomicity they still
+        // go through barriers, which both isolate them AND flag the race.
+        Word Lo = ntRead(Range, 0);
+        ntWrite(Range, 0, Lo); // Refresh, racing with the transaction.
+      } else {
+        atomically([&] {
+          Txn &T = Txn::forThisThread();
+          T.write(Range, 0, T.read(Range, 0));
+        });
+      }
+    }
+  });
+  Good.join();
+  Sloppy.join();
+  // The invariant survives either way — that is strong atomicity's other
+  // half of the story.
+  Word Lo = Range->rawLoad(0), Hi = Range->rawLoad(1);
+  return Hi - Lo;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Isolation barriers as a race detector (§3.2)\n\n");
+  for (bool Buggy : {true, false}) {
+    RaceLog Log;
+    uint64_t Gap = runScenario(Buggy, Log);
+    std::printf("%s version:\n", Buggy ? "buggy (mixed-mode)" : "fixed");
+    std::printf("  diagnosed races : %llu reads, %llu writes (%llu against "
+                "a transaction)\n",
+                (unsigned long long)Log.ReadRaces,
+                (unsigned long long)Log.WriteRaces,
+                (unsigned long long)Log.VsTxn);
+    std::printf("  invariant hi-lo : %llu (10 = intact)\n\n",
+                (unsigned long long)Gap);
+    if (!Buggy && (Log.ReadRaces || Log.WriteRaces)) {
+      std::printf("FALSE POSITIVE in the fixed version — bug!\n");
+      return 1;
+    }
+  }
+  std::printf("The buggy version is flagged; the fixed version is silent.\n"
+              "Either way no dirty read was ever returned: the barrier\n"
+              "waited out the transaction before handing back a value.\n");
+  return 0;
+}

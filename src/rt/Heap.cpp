@@ -1,0 +1,93 @@
+//===- rt/Heap.cpp - Arena allocator for managed objects -----------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+using namespace satm;
+using namespace satm::rt;
+
+namespace {
+std::atomic<uint64_t> NextHeapId{1};
+} // namespace
+
+/// Per-thread bump region carved out of the owning heap.
+struct Heap::ThreadCache {
+  uint64_t HeapId = 0;
+  char *Cur = nullptr;
+  char *End = nullptr;
+};
+
+Heap::Heap(size_t ChunkBytes)
+    : ChunkBytes(ChunkBytes), HeapId(NextHeapId.fetch_add(1)) {}
+
+Heap::~Heap() {
+  for (char *C : Chunks)
+    ::operator delete[](C, std::align_val_t(alignof(Object)));
+}
+
+Heap &Heap::global() {
+  static Heap G;
+  return G;
+}
+
+Heap::ThreadCache &Heap::cacheForThisThread() {
+  thread_local ThreadCache Cache;
+  if (Cache.HeapId != HeapId) {
+    Cache.HeapId = HeapId;
+    Cache.Cur = Cache.End = nullptr;
+  }
+  return Cache;
+}
+
+void *Heap::bump(size_t Bytes) {
+  Bytes = (Bytes + alignof(Object) - 1) & ~(alignof(Object) - 1);
+  ThreadCache &Cache = cacheForThisThread();
+  if (static_cast<size_t>(Cache.End - Cache.Cur) < Bytes) {
+    // Refill: oversized requests get their own chunk.
+    size_t Need = Bytes > ChunkBytes ? Bytes : ChunkBytes;
+    char *Chunk = static_cast<char *>(
+        ::operator new[](Need, std::align_val_t(alignof(Object))));
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Chunks.push_back(Chunk);
+    }
+    if (Need > ChunkBytes) {
+      // Dedicated chunk; do not disturb the thread's current region.
+      BytesAllocated.fetch_add(Bytes, std::memory_order_relaxed);
+      return Chunk;
+    }
+    Cache.Cur = Chunk;
+    Cache.End = Chunk + Need;
+  }
+  char *Result = Cache.Cur;
+  Cache.Cur += Bytes;
+  BytesAllocated.fetch_add(Bytes, std::memory_order_relaxed);
+  return Result;
+}
+
+Object *Heap::allocateRaw(const TypeDescriptor *Type, uint32_t NumSlots,
+                          BirthState Birth) {
+  void *Mem = bump(Object::allocationSize(NumSlots));
+  Word Init = Birth == BirthState::Private
+                  ? stm::TxRecord::PrivateWord
+                  : stm::TxRecord::makeShared(0);
+  return new (Mem) Object(Type, NumSlots, Init);
+}
+
+Object *Heap::allocate(const TypeDescriptor *Type, BirthState Birth) {
+  assert(Type->kind() == TypeKind::Class && "use allocateArray for arrays");
+  return allocateRaw(Type, Type->fieldCount(), Birth);
+}
+
+Object *Heap::allocateArray(const TypeDescriptor *Type, uint32_t Length,
+                            BirthState Birth) {
+  assert(Type->isArray() && "use allocate for class instances");
+  return allocateRaw(Type, Length, Birth);
+}

@@ -1,0 +1,90 @@
+//===- rt/TypeDescriptor.h - Managed type metadata -------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-type metadata for the managed object model. A TypeDescriptor plays
+/// the role of the paper's vtable: it records the layout of an object's
+/// word-sized slots and, crucially, "a map of the object's fields holding
+/// references (slots)" (§4) that the publishObject graph walk iterates over.
+/// It also carries the immutability flag the JIT uses to elide barriers for
+/// immutable classes (§6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_RT_TYPEDESCRIPTOR_H
+#define SATM_RT_TYPEDESCRIPTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace rt {
+
+/// Discriminates object layouts.
+enum class TypeKind : uint8_t {
+  Class,    ///< Fixed number of named slots; RefSlots lists reference fields.
+  IntArray, ///< Variable-length array of scalar words; no reference slots.
+  RefArray, ///< Variable-length array where every slot holds a reference.
+};
+
+/// Layout and barrier-relevant metadata for one managed type.
+class TypeDescriptor {
+public:
+  /// Creates a class type with \p FieldCount slots, of which the indices in
+  /// \p RefSlots hold references.
+  TypeDescriptor(std::string Name, uint32_t FieldCount,
+                 std::vector<uint32_t> RefSlots, bool Immutable = false)
+      : Name(std::move(Name)), Kind(TypeKind::Class), FieldCount(FieldCount),
+        RefSlots(std::move(RefSlots)), Immutable(Immutable) {
+#ifndef NDEBUG
+    for (uint32_t S : this->RefSlots)
+      assert(S < FieldCount && "reference slot out of range");
+#endif
+  }
+
+  /// Creates an array type. Array instances carry their own length.
+  TypeDescriptor(std::string Name, TypeKind ArrayKind)
+      : Name(std::move(Name)), Kind(ArrayKind), FieldCount(0) {
+    assert(ArrayKind != TypeKind::Class && "use the class constructor");
+  }
+
+  const std::string &name() const { return Name; }
+  TypeKind kind() const { return Kind; }
+  bool isArray() const { return Kind != TypeKind::Class; }
+
+  /// Number of slots a class instance has. Arrays size per instance.
+  uint32_t fieldCount() const {
+    assert(Kind == TypeKind::Class && "arrays size per instance");
+    return FieldCount;
+  }
+
+  /// Indices of the reference-holding slots of a class instance.
+  const std::vector<uint32_t> &refSlots() const {
+    assert(Kind == TypeKind::Class && "arrays have uniform slots");
+    return RefSlots;
+  }
+
+  /// True if every slot of an instance holds a reference (ref arrays).
+  bool allSlotsAreRefs() const { return Kind == TypeKind::RefArray; }
+
+  /// True if instances are immutable after construction; the JIT never
+  /// emits isolation barriers for accesses to immutable objects (§6).
+  bool isImmutable() const { return Immutable; }
+
+private:
+  std::string Name;
+  TypeKind Kind;
+  uint32_t FieldCount;
+  std::vector<uint32_t> RefSlots;
+  bool Immutable = false;
+};
+
+} // namespace rt
+} // namespace satm
+
+#endif // SATM_RT_TYPEDESCRIPTOR_H

@@ -1,0 +1,254 @@
+//===- stm/Barriers.h - Non-transactional isolation barriers ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read and write isolation barriers that non-transactional code
+/// executes under strong atomicity, transcribed from the paper's IA32
+/// sequences:
+///
+///  - ntRead / ntWrite: Figure 9 barriers, with the Figure 10 dynamic
+///    escape analysis fast paths enabled by Config::DeaEnabled.
+///  - ntReadOrdering: the §3.3 read barrier sufficient for *ordering* in a
+///    lazy-versioning STM (waits out pending write-backs; no revalidation).
+///  - AggregatedWriter / aggregatedRead: the §6 barrier aggregation —
+///    multiple accesses to one object under a single acquire/release
+///    (Figure 14).
+///
+/// Everything is inline: these are the instruction sequences whose cost
+/// Figures 15-17 measure, so they must not hide behind a call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_BARRIERS_H
+#define SATM_STM_BARRIERS_H
+
+#include "rt/Object.h"
+#include "stm/Config.h"
+#include "stm/Dea.h"
+#include "stm/Stats.h"
+#include "stm/TxRecord.h"
+#include "support/Backoff.h"
+
+namespace satm {
+namespace stm {
+
+/// Figure 9/10 read isolation barrier:
+///   readBarrier: mov ecx,[TxRec]; mov eax,[addr]
+///                [cmp ecx,-1; jeq readDone]          ; Fig 10 privacy check
+///                test ecx,2;  jz  readConflict       ; Exclusive => conflict
+///                cmp ecx,[TxRec]; jne readConflict   ; revalidate
+/// On conflict, the handler backs off and the barrier retries (§3.2).
+inline Word ntRead(const rt::Object *O, uint32_t Slot) {
+  const Config &Cfg = config();
+  if (Cfg.CollectStats)
+    statsForThisThread().NtReadBarriers++;
+  const std::atomic<Word> &Rec = O->txRecord();
+  Backoff B;
+  bool Reported = false;
+  for (;;) {
+    Word W = Rec.load(std::memory_order_acquire);
+    Word V = O->rawLoad(Slot, std::memory_order_acquire);
+    if (Cfg.DeaEnabled && TxRecord::isPrivate(W)) {
+      if (Cfg.CollectStats)
+        statsForThisThread().PrivateFastPaths++;
+      return V;
+    }
+    // §3.2 race-detection mode: a conflicting owner — transactional
+    // (Exclusive) or, checking just the lowest bit, another
+    // non-transactional writer (Exclusive-anonymous) — is a data race.
+    if (Cfg.RaceReport && !Reported && !TxRecord::isPrivate(W) &&
+        TxRecord::isOwned(W)) {
+      Cfg.RaceReport({O, Slot, false, TxRecord::isExclusive(W)});
+      Reported = true;
+    }
+    if (!TxRecord::isExclusive(W) &&
+        Rec.load(std::memory_order_acquire) == W)
+      return V;
+    if (Cfg.CollectStats)
+      statsForThisThread().NtReadConflicts++;
+    B.pause();
+  }
+}
+
+/// §3.3 ordering-only read barrier for lazy-versioning STMs:
+///   test [TxRec],2; jz readConflict; mov eax,[addr]
+/// Waits until no committed transaction has a pending buffered update to
+/// this object; needs no revalidation after the data load.
+inline Word ntReadOrdering(const rt::Object *O, uint32_t Slot) {
+  const Config &Cfg = config();
+  if (Cfg.CollectStats)
+    statsForThisThread().NtReadBarriers++;
+  const std::atomic<Word> &Rec = O->txRecord();
+  Backoff B;
+  for (;;) {
+    Word W = Rec.load(std::memory_order_acquire);
+    if (!TxRecord::isExclusive(W))
+      return O->rawLoad(Slot, std::memory_order_acquire);
+    if (Cfg.CollectStats)
+      statsForThisThread().NtReadConflicts++;
+    B.pause();
+  }
+}
+
+/// Figure 9/10 write isolation barrier:
+///   writeBarrier: [cmp [TxRec],-1; jeq privateWrite] ; Fig 10 privacy check
+///                 lock btr [TxRec],0; jnc writeConflict
+///                 [publishObject(val) if val is a private reference]
+///                 mov [addr],val
+///                 add [TxRec],9                      ; release + version++
+/// \p IsRef selects the asterisked Figure 10 publication code, emitted for
+/// reference-typed stores only.
+inline void ntWriteImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef) {
+  const Config &Cfg = config();
+  if (Cfg.CollectStats)
+    statsForThisThread().NtWriteBarriers++;
+  std::atomic<Word> &Rec = O->txRecord();
+  if (Cfg.DeaEnabled &&
+      TxRecord::isPrivate(Rec.load(std::memory_order_acquire))) {
+    if (Cfg.CollectStats)
+      statsForThisThread().PrivateFastPaths++;
+    O->rawStore(Slot, V);
+    return;
+  }
+  Backoff B;
+  bool Reported = false;
+  while (!TxRecord::acquireAnon(Rec)) {
+    if (Cfg.RaceReport && !Reported) {
+      Word W = Rec.load(std::memory_order_acquire);
+      if (TxRecord::isOwned(W)) {
+        Cfg.RaceReport({O, Slot, true, TxRecord::isExclusive(W)});
+        Reported = true;
+      }
+    }
+    if (Cfg.CollectStats)
+      statsForThisThread().NtWriteConflicts++;
+    B.pause();
+  }
+  if (IsRef && V != 0 && Cfg.DeaEnabled)
+    publishObject(rt::Object::fromWord(V));
+  O->rawStore(Slot, V, std::memory_order_release);
+  TxRecord::releaseAnon(Rec);
+}
+
+/// Non-transactional scalar store with the write isolation barrier.
+inline void ntWrite(rt::Object *O, uint32_t Slot, Word V) {
+  ntWriteImpl(O, Slot, V, /*IsRef=*/false);
+}
+
+/// Non-transactional reference store; publishes a private referee (§4).
+inline void ntWriteRef(rt::Object *O, uint32_t Slot, rt::Object *Referee) {
+  ntWriteImpl(O, Slot, rt::Object::toWord(Referee), /*IsRef=*/true);
+}
+
+/// Non-transactional reference load with the read isolation barrier.
+inline rt::Object *ntReadRef(const rt::Object *O, uint32_t Slot) {
+  return rt::Object::fromWord(ntRead(O, Slot));
+}
+
+//===----------------------------------------------------------------------===
+// Barrier aggregation (§6, Figure 14).
+//===----------------------------------------------------------------------===
+
+/// An aggregated barrier over one object: the record is acquired once,
+/// arbitrary loads/stores of that object's slots follow, and the record is
+/// released (with one version bump) on scope exit.
+///
+/// Mirrors the JIT's constraints (§6): a scope covers a single object, must
+/// not span function calls that touch shared memory, and must not nest with
+/// another scope (deadlock) — the JIT enforced this by never aggregating
+/// across basic blocks or calls; here it is an API contract.
+class AggregatedWriter {
+public:
+  explicit AggregatedWriter(rt::Object *O) : Obj(O) {
+    const Config &Cfg = config();
+    if (Cfg.CollectStats)
+      statsForThisThread().AggregatedBarriers++;
+    std::atomic<Word> &Rec = O->txRecord();
+    if (Cfg.DeaEnabled &&
+        TxRecord::isPrivate(Rec.load(std::memory_order_acquire))) {
+      if (Cfg.CollectStats)
+        statsForThisThread().PrivateFastPaths++;
+      IsPrivate = true;
+      return;
+    }
+    Backoff B;
+    bool Reported = false;
+    while (!TxRecord::acquireAnon(Rec)) {
+      if (Cfg.RaceReport && !Reported) {
+        Word W = Rec.load(std::memory_order_acquire);
+        if (TxRecord::isOwned(W)) {
+          Cfg.RaceReport({O, 0, true, TxRecord::isExclusive(W)});
+          Reported = true;
+        }
+      }
+      if (Cfg.CollectStats)
+        statsForThisThread().NtWriteConflicts++;
+      B.pause();
+    }
+  }
+
+  ~AggregatedWriter() {
+    if (!IsPrivate)
+      TxRecord::releaseAnon(Obj->txRecord());
+  }
+
+  AggregatedWriter(const AggregatedWriter &) = delete;
+  AggregatedWriter &operator=(const AggregatedWriter &) = delete;
+
+  Word load(uint32_t Slot) const {
+    return Obj->rawLoad(Slot, std::memory_order_acquire);
+  }
+  void store(uint32_t Slot, Word V) {
+    Obj->rawStore(Slot, V, std::memory_order_release);
+  }
+  rt::Object *loadRef(uint32_t Slot) const {
+    return rt::Object::fromWord(load(Slot));
+  }
+  void storeRef(uint32_t Slot, rt::Object *Referee) {
+    if (!IsPrivate && Referee && config().DeaEnabled)
+      publishObject(Referee);
+    store(Slot, rt::Object::toWord(Referee));
+  }
+
+private:
+  rt::Object *Obj;
+  bool IsPrivate = false;
+};
+
+/// Aggregated read-only barrier: runs \p Body (which may perform multiple
+/// rawLoad-style reads of \p O via the passed object pointer) and retries
+/// until the record is stable across the whole body — one validation for
+/// many loads. \p Body must be idempotent and must read only \p O.
+template <typename F>
+auto aggregatedRead(const rt::Object *O, F &&Body)
+    -> decltype(Body(O)) {
+  const Config &Cfg = config();
+  if (Cfg.CollectStats)
+    statsForThisThread().AggregatedBarriers++;
+  const std::atomic<Word> &Rec = O->txRecord();
+  Backoff B;
+  for (;;) {
+    Word W = Rec.load(std::memory_order_acquire);
+    if (Cfg.DeaEnabled && TxRecord::isPrivate(W)) {
+      if (Cfg.CollectStats)
+        statsForThisThread().PrivateFastPaths++;
+      return Body(O);
+    }
+    if (!TxRecord::isExclusive(W)) {
+      auto Result = Body(O);
+      if (Rec.load(std::memory_order_acquire) == W)
+        return Result;
+    }
+    if (Cfg.CollectStats)
+      statsForThisThread().NtReadConflicts++;
+    B.pause();
+  }
+}
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_BARRIERS_H

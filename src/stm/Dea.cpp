@@ -1,0 +1,63 @@
+//===- stm/Dea.cpp - Dynamic escape analysis (§4, Figure 11) -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Dea.h"
+#include "stm/Stats.h"
+
+#include <vector>
+
+using namespace satm;
+using namespace satm::stm;
+using rt::Object;
+
+/// Figure 11:
+///   void publishObject(object) {
+///     mark object public
+///     markStackPush(object);
+///     while (obj = markStackPop()) {
+///       forall (slots in obj)
+///         if (*slot is private) { mark *slot public; markStackPush(*slot); }
+///     }
+///   }
+/// Marking before pushing cuts cycles; the private subgraph is fixed during
+/// the walk because only the calling thread can reach it.
+void satm::stm::publishObject(Object *Root) {
+  if (!Root || !isPrivate(Root))
+    return;
+
+  // The mark stack is reused across publications, like a GC's (§4).
+  thread_local std::vector<Object *> MarkStack;
+  StatsCounters &Stats = statsForThisThread();
+
+  TxRecord::publish(Root->txRecord());
+  Stats.ObjectsPublished++;
+  MarkStack.push_back(Root);
+
+  auto Consider = [&Stats](Object *Referee) -> Object * {
+    if (!Referee || !isPrivate(Referee))
+      return nullptr;
+    TxRecord::publish(Referee->txRecord());
+    Stats.ObjectsPublished++;
+    return Referee;
+  };
+
+  while (!MarkStack.empty()) {
+    Object *Obj = MarkStack.back();
+    MarkStack.pop_back();
+    const rt::TypeDescriptor *Type = Obj->type();
+    if (Type->kind() == rt::TypeKind::IntArray)
+      continue;
+    if (Type->kind() == rt::TypeKind::RefArray) {
+      for (uint32_t I = 0, E = Obj->slotCount(); I != E; ++I)
+        if (Object *Next = Consider(Obj->rawLoadRef(I)))
+          MarkStack.push_back(Next);
+      continue;
+    }
+    for (uint32_t SlotIndex : Type->refSlots())
+      if (Object *Next = Consider(Obj->rawLoadRef(SlotIndex)))
+        MarkStack.push_back(Next);
+  }
+}

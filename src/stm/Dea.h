@@ -1,0 +1,41 @@
+//===- stm/Dea.h - Dynamic escape analysis (§4) ----------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic escape analysis: the runtime private/public distinction of §4.
+/// "A freshly minted object is private and becomes public (is published)
+/// only when a reference leading to the object is written into either
+/// another public object or a static field." publishObject implements the
+/// Figure 11 mark-stack traversal over the object's reference slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_DEA_H
+#define SATM_STM_DEA_H
+
+#include "rt/Object.h"
+
+namespace satm {
+namespace stm {
+
+/// Publishes \p Root and every private object reachable from it (Figure
+/// 11). Only the thread that owns the private \p Root may call this; since
+/// the graph of private objects reachable from the root is fixed and
+/// unreachable by other threads, no synchronization is needed during the
+/// traversal. Objects are marked public when first encountered, which cuts
+/// cycles (§4's termination argument). No-op when \p Root is null or
+/// already public.
+void publishObject(rt::Object *Root);
+
+/// True iff \p O is currently private (visible to one thread only).
+inline bool isPrivate(const rt::Object *O) {
+  return TxRecord::isPrivate(O->txRecord().load(std::memory_order_acquire));
+}
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_DEA_H

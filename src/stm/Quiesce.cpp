@@ -1,0 +1,97 @@
+//===- stm/Quiesce.cpp - Commit-time quiescence (§3.4) -------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Quiesce.h"
+#include "stm/Stats.h"
+#include "support/Backoff.h"
+
+#include <cassert>
+
+using namespace satm;
+using namespace satm::stm;
+
+namespace {
+
+struct Registry {
+  Quiescence::Slot Slots[Quiescence::MaxThreads];
+  std::atomic<unsigned> NumSlots{0};
+  std::atomic<uint64_t> Epoch{1};
+  std::atomic<uint64_t> CommitSeq{0};
+
+  static Registry &get() {
+    static Registry R;
+    return R;
+  }
+};
+
+} // namespace
+
+Quiescence::Slot &Quiescence::slotForThisThread() {
+  thread_local Slot *MySlot = [] {
+    Registry &R = Registry::get();
+    unsigned Index = R.NumSlots.fetch_add(1, std::memory_order_relaxed);
+    assert(Index < MaxThreads && "too many threads for quiescence registry");
+    return &R.Slots[Index];
+  }();
+  return *MySlot;
+}
+
+uint64_t Quiescence::currentEpoch() {
+  return Registry::get().Epoch.load(std::memory_order_acquire);
+}
+
+uint64_t Quiescence::advanceEpoch() {
+  return Registry::get().Epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
+  Registry &R = Registry::get();
+  unsigned N = R.NumSlots.load(std::memory_order_acquire);
+  bool Waited = false;
+  for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
+    const Slot &S = R.Slots[I];
+    if (&S == Self)
+      continue;
+    Backoff B;
+    for (;;) {
+      uint64_t Since = S.ActiveSince.load(std::memory_order_acquire);
+      if (Since == 0 || Since > Epoch)
+        break; // No transaction, or one serialized after us.
+      if (S.ValidatedAt.load(std::memory_order_acquire) >= Epoch)
+        break; // It has observed (or will reflect) our committed state.
+      Waited = true;
+      B.pause();
+    }
+  }
+  if (Waited)
+    statsForThisThread().QuiesceWaits++;
+}
+
+uint64_t Quiescence::nextCommitSeq() {
+  return Registry::get().CommitSeq.fetch_add(1, std::memory_order_acq_rel) +
+         1;
+}
+
+void Quiescence::waitForPriorWritebacks(uint64_t Seq, const Slot *Self) {
+  Registry &R = Registry::get();
+  unsigned N = R.NumSlots.load(std::memory_order_acquire);
+  bool Waited = false;
+  for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
+    const Slot &S = R.Slots[I];
+    if (&S == Self)
+      continue;
+    Backoff B;
+    for (;;) {
+      uint64_t WB = S.WritebackSeq.load(std::memory_order_acquire);
+      if (WB == 0 || WB >= Seq)
+        break;
+      Waited = true;
+      B.pause();
+    }
+  }
+  if (Waited)
+    statsForThisThread().QuiesceWaits++;
+}

@@ -1,0 +1,77 @@
+//===- stm/Quiesce.h - Commit-time quiescence (§3.4) -----------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quiescence mechanism of §3.4: an alternative to strong-atomicity
+/// barriers that provides *partial* isolation/ordering guarantees and
+/// handles the privatization idiom of Figures 1 and 4(b).
+///
+///  - Eager STM: "a transaction can complete only when all other
+///    transactions reach a consistent state" — a committing transaction
+///    waits until every concurrently-active transaction has validated its
+///    read set at or after the committer's epoch (doomed transactions
+///    abort when they do so).
+///  - Lazy STM: "a transaction must wait until previously serialized
+///    transactions finish applying their updates to memory before
+///    completing itself".
+///
+/// The registry is a fixed array of per-thread slots published with
+/// release/acquire; waiting is bounded-spin with yield escalation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_QUIESCE_H
+#define SATM_STM_QUIESCE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace satm {
+namespace stm {
+
+/// Global transaction registry and the two quiescence protocols.
+class Quiescence {
+public:
+  static constexpr unsigned MaxThreads = 512;
+
+  /// One registered thread's published transaction state.
+  struct Slot {
+    /// Epoch at which the thread's current transaction began; 0 when no
+    /// transaction is active.
+    std::atomic<uint64_t> ActiveSince{0};
+    /// Epoch at which the transaction last validated successfully.
+    std::atomic<uint64_t> ValidatedAt{0};
+    /// Commit sequence number of a lazy write-back in progress; 0 if none.
+    std::atomic<uint64_t> WritebackSeq{0};
+  };
+
+  /// Returns (registering on first use) the calling thread's slot.
+  static Slot &slotForThisThread();
+
+  /// Current global epoch.
+  static uint64_t currentEpoch();
+
+  /// Advances and returns the new global epoch.
+  static uint64_t advanceEpoch();
+
+  /// Eager commit quiescence: blocks until every *other* registered thread
+  /// either has no active transaction, started after \p Epoch, or has
+  /// validated at or after \p Epoch. The caller must have marked its own
+  /// slot inactive first (its transaction is already committed).
+  static void waitForValidationSince(uint64_t Epoch, const Slot *Self);
+
+  /// Allocates the next lazy commit sequence number (starting at 1).
+  static uint64_t nextCommitSeq();
+
+  /// Lazy write-back ordering: blocks until no registered thread has an
+  /// incomplete write-back with a sequence number below \p Seq.
+  static void waitForPriorWritebacks(uint64_t Seq, const Slot *Self);
+};
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_QUIESCE_H

@@ -1,0 +1,63 @@
+//===- stm/Stats.cpp - Runtime event counters ----------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stats.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+using namespace satm;
+using namespace satm::stm;
+
+namespace {
+
+struct Registry {
+  std::mutex Mutex;
+  std::vector<detail::TlsStatsBlock *> Live;
+  StatsCounters Retired; ///< Folded-in counters of exited threads.
+
+  static Registry &get() {
+    static Registry R;
+    return R;
+  }
+};
+
+} // namespace
+
+void satm::stm::detail::registerStatsBlock(TlsStatsBlock &Block) {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Live.push_back(&Block);
+  Block.Registered = true;
+}
+
+satm::stm::detail::TlsStatsBlock::~TlsStatsBlock() {
+  if (!Registered)
+    return;
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Retired += Counters;
+  R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), this),
+               R.Live.end());
+}
+
+StatsCounters satm::stm::statsSnapshot() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  StatsCounters Sum = R.Retired;
+  for (detail::TlsStatsBlock *B : R.Live)
+    Sum += B->Counters;
+  return Sum;
+}
+
+void satm::stm::statsReset() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Retired = StatsCounters();
+  for (detail::TlsStatsBlock *B : R.Live)
+    B->Counters = StatsCounters();
+}

@@ -1,0 +1,96 @@
+//===- stm/Stats.h - Runtime event counters --------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead event counters for the STM runtime and the isolation
+/// barriers. The hot path is a plain increment of an inline thread_local
+/// block (no function call — the barriers are the instruction sequences
+/// Figures 15-17 time, so the accounting must be nearly free). Blocks of
+/// exited threads are folded into a global accumulator by a thread_local
+/// destructor; statsSnapshot() sums the accumulator and the live blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_STATS_H
+#define SATM_STM_STATS_H
+
+#include <cstdint>
+
+namespace satm {
+namespace stm {
+
+/// One thread's counter block. All fields are cumulative event counts.
+struct StatsCounters {
+  uint64_t TxnCommits = 0;
+  uint64_t TxnAborts = 0;
+  uint64_t TxnUserRetries = 0;
+  uint64_t TxnReads = 0;
+  uint64_t TxnWrites = 0;
+  uint64_t NtReadBarriers = 0;
+  uint64_t NtWriteBarriers = 0;
+  uint64_t NtReadConflicts = 0;
+  uint64_t NtWriteConflicts = 0;
+  uint64_t PrivateFastPaths = 0;
+  uint64_t ObjectsPublished = 0;
+  uint64_t AggregatedBarriers = 0;
+  uint64_t QuiesceWaits = 0;
+
+  StatsCounters &operator+=(const StatsCounters &O) {
+    TxnCommits += O.TxnCommits;
+    TxnAborts += O.TxnAborts;
+    TxnUserRetries += O.TxnUserRetries;
+    TxnReads += O.TxnReads;
+    TxnWrites += O.TxnWrites;
+    NtReadBarriers += O.NtReadBarriers;
+    NtWriteBarriers += O.NtWriteBarriers;
+    NtReadConflicts += O.NtReadConflicts;
+    NtWriteConflicts += O.NtWriteConflicts;
+    PrivateFastPaths += O.PrivateFastPaths;
+    ObjectsPublished += O.ObjectsPublished;
+    AggregatedBarriers += O.AggregatedBarriers;
+    QuiesceWaits += O.QuiesceWaits;
+    return *this;
+  }
+};
+
+namespace detail {
+
+/// Thread-local counter block with registration lifecycle. Registration
+/// (cold) happens on first use; the destructor folds the block into the
+/// global accumulator and unregisters.
+struct TlsStatsBlock {
+  StatsCounters Counters;
+  bool Registered = false;
+  ~TlsStatsBlock();
+};
+
+inline thread_local TlsStatsBlock TlsStats;
+
+/// Out-of-line cold path: registers this thread's block.
+void registerStatsBlock(TlsStatsBlock &Block);
+
+} // namespace detail
+
+/// The calling thread's counter block (hot path: one branch + TLS access).
+inline StatsCounters &statsForThisThread() {
+  detail::TlsStatsBlock &Block = detail::TlsStats;
+  if (!Block.Registered)
+    detail::registerStatsBlock(Block);
+  return Block.Counters;
+}
+
+/// Sums exited threads' accumulated counters and all live threads' blocks
+/// (racy-by-design snapshot, suitable after worker threads join).
+StatsCounters statsSnapshot();
+
+/// Zeroes the accumulator and all live blocks. Call between experiment
+/// phases while no worker threads are mutating counters.
+void statsReset();
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_STATS_H

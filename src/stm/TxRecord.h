@@ -1,0 +1,179 @@
+//===- stm/TxRecord.h - 4-state transaction record encoding ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointer-sized per-object transaction record of Shpeisman et al.,
+/// PLDI 2007, Figure 7. The record word encodes four states in its three
+/// least-significant bits:
+///
+///   Encoding    State                Value in upper bits
+///   x..x011     Shared               Version number
+///   x..xx00     Exclusive            Owner (transaction descriptor) address
+///   x..x010     Exclusive anonymous  Version number
+///   1..1111     Private              All ones
+///
+/// This encoding is what makes the paper's non-transactional isolation
+/// barriers cheap (Figure 9/10):
+///  - a non-transactional *read* detects a conflicting transactional owner
+///    by inspecting only the second-lowest bit (bit 1 == 0 iff Exclusive);
+///  - a non-transactional *write* acquires Exclusive-anonymous ownership by
+///    atomically clearing the lowest bit (the IA32 `lock btr` of the paper;
+///    here an atomic fetch_and), and releases ownership *and* increments the
+///    version in one plain add of 9:  (v<<3|010) + 9 == ((v+1)<<3|011).
+///
+/// All transitions of the paper's Figure 8 state machine are provided as
+/// static helpers over a std::atomic<Word> so that the eager STM, the lazy
+/// STM and the isolation barriers share one implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_TXRECORD_H
+#define SATM_STM_TXRECORD_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace satm {
+namespace stm {
+
+/// Machine word holding a transaction record or a data slot.
+using Word = uint64_t;
+
+class Txn;
+
+/// Static helpers implementing the Figure 7 encoding and the Figure 8
+/// transitions over a record word.
+struct TxRecord {
+  /// Number of low bits used by the state encoding.
+  static constexpr unsigned StateBits = 3;
+  /// Low-bit pattern of the Shared state.
+  static constexpr Word SharedTag = 0b011;
+  /// Low-bit pattern of the Exclusive-anonymous state.
+  static constexpr Word ExclusiveAnonTag = 0b010;
+  /// The Private state: all ones.
+  static constexpr Word PrivateWord = ~Word(0);
+
+  /// Builds a Shared record holding \p Version.
+  static constexpr Word makeShared(Word Version) {
+    return (Version << StateBits) | SharedTag;
+  }
+
+  /// Builds an Exclusive-anonymous record holding \p Version.
+  static constexpr Word makeExclusiveAnon(Word Version) {
+    return (Version << StateBits) | ExclusiveAnonTag;
+  }
+
+  /// Builds an Exclusive record owned by \p Owner. The descriptor address
+  /// must be at least 4-byte aligned so its two low bits are zero.
+  static Word makeExclusive(const Txn *Owner) {
+    Word W = reinterpret_cast<Word>(Owner);
+    assert((W & 0b11) == 0 && "transaction descriptor must be 4-aligned");
+    assert(W != 0 && "null owner is not a valid Exclusive record");
+    return W;
+  }
+
+  /// True iff \p W is in the Exclusive state (owned by a transaction).
+  /// This is the paper's single-bit read-barrier conflict test:
+  /// `test ecx, 2; jz readConflict`.
+  static constexpr bool isExclusive(Word W) { return (W & 0b10) == 0; }
+
+  /// True iff \p W is in the Shared state.
+  static constexpr bool isShared(Word W) {
+    return (W & 0b111) == SharedTag && W != PrivateWord;
+  }
+
+  /// True iff \p W is in the Exclusive-anonymous state (owned by a
+  /// non-transactional writer).
+  static constexpr bool isExclusiveAnon(Word W) {
+    return (W & 0b111) == ExclusiveAnonTag;
+  }
+
+  /// True iff \p W is the Private state.
+  static constexpr bool isPrivate(Word W) { return W == PrivateWord; }
+
+  /// True iff \p W is owned by *some* writer, transactional or not.
+  /// The paper (§3.1 fn.2) notes this needs only the lowest bit.
+  static constexpr bool isOwned(Word W) {
+    return (W & 0b1) == 0;
+  }
+
+  /// Version number stored in a Shared or Exclusive-anonymous record.
+  static constexpr Word version(Word W) {
+    return W >> StateBits;
+  }
+
+  /// Owner of an Exclusive record.
+  static Txn *owner(Word W) {
+    assert(isExclusive(W) && "record has no owner");
+    return reinterpret_cast<Txn *>(W);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Figure 8 transitions.
+  //===--------------------------------------------------------------------===
+
+  /// Non-transactional write acquire: Shared -> Exclusive-anonymous by
+  /// atomically clearing bit 0 (the paper's `lock btr [TxRec],0`).
+  /// \returns true on success; false if the record was already owned
+  /// (Exclusive or Exclusive-anonymous), in which case the record value is
+  /// unchanged. Must not be called on a Private record (the Figure 10
+  /// barrier checks privacy first).
+  static bool acquireAnon(std::atomic<Word> &Rec) {
+    Word Prev = Rec.fetch_and(~Word(1), std::memory_order_acquire);
+    assert(!isPrivate(Prev) &&
+           "BTR on a Private record would corrupt it; check privacy first");
+    // Carry flag of BTR == previous bit 0. Clearing bit 0 of an
+    // already-owned record (bit 0 == 0) is value-preserving, so a failed
+    // acquire leaves the record intact.
+    return (Prev & 0b1) != 0;
+  }
+
+  /// Non-transactional write release: Exclusive-anonymous(v) -> Shared(v+1)
+  /// by adding 9 (the paper's `add [TxRec], 9`).
+  static void releaseAnon(std::atomic<Word> &Rec) {
+    assert(isExclusiveAnon(Rec.load(std::memory_order_relaxed)) &&
+           "releaseAnon on a record we do not own");
+    Rec.fetch_add(9, std::memory_order_release);
+  }
+
+  /// Transactional open-for-write acquire: Shared(\p Expected version) ->
+  /// Exclusive(\p Self) via CAS. \returns true on success; on failure
+  /// \p Observed holds the conflicting record value.
+  static bool acquireExclusive(std::atomic<Word> &Rec, const Txn *Self,
+                               Word Expected, Word &Observed) {
+    Word Want = makeExclusive(Self);
+    Word Exp = Expected;
+    if (Rec.compare_exchange_strong(Exp, Want, std::memory_order_acquire,
+                                    std::memory_order_acquire))
+      return true;
+    Observed = Exp;
+    return false;
+  }
+
+  /// Transaction end: Exclusive -> Shared with the version bumped past
+  /// \p PriorVersion (the version the record held when acquired).
+  static void releaseExclusive(std::atomic<Word> &Rec, Word PriorVersion) {
+    assert(isExclusive(Rec.load(std::memory_order_relaxed)) &&
+           "releaseExclusive on a record we do not own");
+    Rec.store(makeShared(PriorVersion + 1), std::memory_order_release);
+  }
+
+  /// Publication: Private -> Shared(0). Only the thread that owns the
+  /// private object may call this (see Dea.h), so a plain store suffices;
+  /// release ordering makes the object's initialized slots visible before
+  /// the published state.
+  static void publish(std::atomic<Word> &Rec) {
+    assert(isPrivate(Rec.load(std::memory_order_relaxed)) &&
+           "publishing a record that is not Private");
+    Rec.store(makeShared(0), std::memory_order_release);
+  }
+};
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_TXRECORD_H

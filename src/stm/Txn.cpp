@@ -1,0 +1,408 @@
+//===- stm/Txn.cpp - Eager-versioning transaction ------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Txn.h"
+#include "stm/Dea.h"
+
+#include <algorithm>
+
+using namespace satm;
+using namespace satm::stm;
+using rt::Object;
+
+namespace {
+/// Monotone source for transaction start stamps.
+std::atomic<uint64_t> NextStartStamp{1};
+} // namespace
+
+Txn &Txn::forThisThread() {
+  thread_local Txn T;
+  return T;
+}
+
+void Txn::begin() {
+  assert(Depth == 0 && "begin() inside an active transaction");
+  assert(ReadSet.empty() && WriteLocks.empty() && UndoLog.empty() &&
+         "stale transaction state");
+  Depth = 1;
+  NextValidateAt = config().ValidateEvery;
+  StartStamp.store(NextStartStamp.fetch_add(1, std::memory_order_relaxed),
+                   std::memory_order_release);
+  if (!QSlot)
+    QSlot = &Quiescence::slotForThisThread();
+  uint64_t Now = Quiescence::currentEpoch();
+  // An empty read set is trivially consistent as of Now.
+  QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
+  QSlot->ActiveSince.store(Now, std::memory_order_release);
+}
+
+Word Txn::read(Object *O, uint32_t Slot) {
+  assert(isActive() && "transactional read outside a transaction");
+  if (config().CollectStats)
+    statsForThisThread().TxnReads++;
+  std::atomic<Word> &Rec = O->txRecord();
+  Word W = Rec.load(std::memory_order_acquire);
+  // Private objects belong to this thread: no logging, no validation (§4).
+  if (TxRecord::isPrivate(W))
+    return O->rawLoad(Slot);
+  if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this)
+    return O->rawLoad(Slot);
+
+  Backoff B;
+  uint32_t Pauses = 0;
+  for (;;) {
+    if (TxRecord::isShared(W)) {
+      Word V = O->rawLoad(Slot, std::memory_order_acquire);
+      if (Rec.load(std::memory_order_acquire) == W) {
+        // Optimistic read: log the observed record word for validation.
+        // Consecutive reads of the same object share one entry.
+        if (ReadSet.empty() || ReadSet.back().Rec != &Rec ||
+            ReadSet.back().Observed != W)
+          ReadSet.push_back({&Rec, W});
+        maybePeriodicValidate();
+        return V;
+      }
+    } else if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this) {
+      return O->rawLoad(Slot); // Acquired by us while we were waiting.
+    }
+    // Owned by another transaction or by a non-transactional writer
+    // (Exclusive-anonymous): back off; abort self past the limit.
+    contentionPause(B, Pauses, W);
+    W = Rec.load(std::memory_order_acquire);
+  }
+}
+
+void Txn::writeImpl(Object *O, uint32_t Slot, Word V, bool IsRef) {
+  assert(isActive() && "transactional write outside a transaction");
+  if (config().CollectStats)
+    statsForThisThread().TxnWrites++;
+  std::atomic<Word> &Rec = O->txRecord();
+  Word W = Rec.load(std::memory_order_acquire);
+  if (TxRecord::isPrivate(W)) {
+    // Writes to private objects skip synchronization but still need undo
+    // logging: the object may predate this transaction.
+    logUndo(O, Slot);
+    O->rawStore(Slot, V);
+    return;
+  }
+  if (!(TxRecord::isExclusive(W) && TxRecord::owner(W) == this))
+    acquireForWrite(O, Rec);
+  if (TxnHooks *H = config().Hooks)
+    if (H->AfterEagerAcquire)
+      H->AfterEagerAcquire(*this, O, Slot);
+  // Storing a reference into a public object publishes the referee's graph
+  // immediately — not at commit — because doomed transactions of other
+  // threads may reach it before we commit (§4).
+  if (IsRef && V != 0 && config().DeaEnabled)
+    publishObject(Object::fromWord(V));
+  logUndo(O, Slot);
+  O->rawStore(Slot, V, std::memory_order_release);
+}
+
+void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
+  (void)O;
+  Backoff B;
+  uint32_t Pauses = 0;
+  for (;;) {
+    Word W = Rec.load(std::memory_order_acquire);
+    assert(!TxRecord::isPrivate(W) && "public objects never become private");
+    if (TxRecord::isExclusive(W)) {
+      if (TxRecord::owner(W) == this)
+        return;
+      contentionPause(B, Pauses, W);
+      continue;
+    }
+    if (TxRecord::isShared(W)) {
+      Word Observed;
+      if (TxRecord::acquireExclusive(Rec, this, W, Observed)) {
+        Word Prior = TxRecord::version(W);
+        WriteLocks.push_back({&Rec, Prior});
+        WriteLockIndex[&Rec] = Prior;
+        return;
+      }
+      continue; // Lost the race; re-examine the record.
+    }
+    // Exclusive-anonymous: a non-transactional writer is mid-update.
+    contentionPause(B, Pauses, W);
+  }
+}
+
+void Txn::logUndo(Object *O, uint32_t Slot) {
+  uint32_t G = config().LogGranularitySlots;
+  if (G <= 1) {
+    UndoLog.push_back({O, Slot, O->rawLoad(Slot)});
+    return;
+  }
+  // Coarse-grained versioning (§2.4): the undo entry spans an aligned group
+  // of G slots, manufacturing writes to adjacent data on rollback.
+  uint32_t Base = (Slot / G) * G;
+  for (uint32_t I = Base; I < Base + G && I < O->slotCount(); ++I)
+    UndoLog.push_back({O, I, O->rawLoad(I)});
+}
+
+bool Txn::validateReadSet() {
+  for (const ReadEntry &E : ReadSet) {
+    Word W = E.Rec->load(std::memory_order_acquire);
+    if (W == E.Observed)
+      continue;
+    if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this) {
+      // We acquired this record after reading it; the read is still valid
+      // iff nothing committed in between, i.e. the version we captured at
+      // acquire time matches the version we observed at read time.
+      auto It = WriteLockIndex.find(E.Rec);
+      assert(It != WriteLockIndex.end() && "owned record missing from index");
+      if (TxRecord::makeShared(It->second) == E.Observed)
+        continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void Txn::maybePeriodicValidate() {
+  // Validate when the read set doubles: bounds how long a doomed
+  // transaction computes on inconsistent state while keeping total
+  // validation work linear (each entry is revalidated O(1) times).
+  if (ReadSet.size() < NextValidateAt)
+    return;
+  NextValidateAt *= 2;
+  uint64_t Now = Quiescence::currentEpoch();
+  if (!validateReadSet())
+    conflictAbort();
+  QSlot->ValidatedAt.store(Now, std::memory_order_release);
+}
+
+bool Txn::tryCommit() {
+  assert(Depth == 1 && "commit with unfinished nested regions");
+  uint64_t Now = Quiescence::currentEpoch();
+  if (!validateReadSet()) {
+    rollbackAll();
+    return false;
+  }
+  QSlot->ValidatedAt.store(Now, std::memory_order_release);
+  if (TxnHooks *H = config().Hooks)
+    if (H->AfterValidate)
+      H->AfterValidate(this);
+  // Commit point: releasing each record bumps its version, atomically
+  // publishing our in-place updates to other transactions' validators.
+  releaseLockRange(0, WriteLocks.size());
+  statsForThisThread().TxnCommits++;
+  // We are no longer a hazard to anyone: mark inactive *before* quiescing
+  // so that two concurrently quiescing committers do not wait on each
+  // other (both are already committed).
+  QSlot->ActiveSince.store(0, std::memory_order_release);
+  if (config().QuiesceOnCommit)
+    Quiescence::waitForValidationSince(Quiescence::advanceEpoch(), QSlot);
+  std::vector<std::function<void()>> Commits = std::move(CommitActions);
+  resetState();
+  for (auto &Action : Commits)
+    Action();
+  return true;
+}
+
+void Txn::rollbackAll() {
+  if (TxnHooks *H = config().Hooks)
+    if (H->BeforeRollback)
+      H->BeforeRollback(*this);
+  rollbackUndoRange(0, UndoLog.size());
+  releaseLockRange(0, WriteLocks.size());
+  QSlot->ActiveSince.store(0, std::memory_order_release);
+  std::vector<std::function<void()>> Aborts = std::move(AbortActions);
+  resetState();
+  // Compensations run in reverse registration order.
+  for (auto It = Aborts.rbegin(), E = Aborts.rend(); It != E; ++It)
+    (*It)();
+}
+
+void Txn::rollbackUndoRange(size_t Begin, size_t End) {
+  for (size_t I = End; I > Begin; --I) {
+    UndoEntry &U = UndoLog[I - 1];
+    std::atomic<Word> &Rec = U.Obj->txRecord();
+    Word W = Rec.load(std::memory_order_acquire);
+    if (TxRecord::isPrivate(W) ||
+        (TxRecord::isExclusive(W) && TxRecord::owner(W) == this)) {
+      U.Obj->rawStore(U.Slot, U.OldValue, std::memory_order_release);
+      continue;
+    }
+    // The object was written while private and published afterwards, so we
+    // hold no lock on it: restore under anonymous ownership.
+    Backoff B;
+    while (!TxRecord::acquireAnon(Rec))
+      B.pause();
+    U.Obj->rawStore(U.Slot, U.OldValue, std::memory_order_release);
+    TxRecord::releaseAnon(Rec);
+  }
+}
+
+void Txn::releaseLockRange(size_t Begin, size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    TxRecord::releaseExclusive(*WriteLocks[I].Rec, WriteLocks[I].PriorVersion);
+    WriteLockIndex.erase(WriteLocks[I].Rec);
+  }
+  WriteLocks.resize(Begin);
+}
+
+void Txn::pushSavepoint() {
+  Savepoints.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
+                        CommitActions.size(), AbortActions.size()});
+  ++Depth;
+}
+
+void Txn::popSavepointKeep() {
+  assert(!Savepoints.empty() && "unbalanced nesting");
+  Savepoints.pop_back();
+  --Depth;
+}
+
+void Txn::rollbackToSavepoint() {
+  assert(!Savepoints.empty() && "unbalanced nesting");
+  Savepoint S = Savepoints.back();
+  Savepoints.pop_back();
+  rollbackUndoRange(S.Undos, UndoLog.size());
+  UndoLog.resize(S.Undos);
+  releaseLockRange(S.Locks, WriteLocks.size());
+  ReadSet.resize(S.Reads);
+  CommitActions.resize(S.Commits);
+  // Compensations registered inside the aborted region (by committed
+  // open-nested children) must run now, in reverse.
+  for (size_t I = AbortActions.size(); I > S.Aborts; --I)
+    AbortActions[I - 1]();
+  AbortActions.resize(S.Aborts);
+  --Depth;
+}
+
+void Txn::beginOpenNested() {
+  assert(isActive() && "open nesting requires an enclosing transaction");
+  OpenFrames.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
+                        CommitActions.size(), AbortActions.size()});
+  ++Depth;
+}
+
+void Txn::commitOpenNested(std::function<void()> OnParentAbort) {
+  assert(!OpenFrames.empty() && "unbalanced open nesting");
+  Savepoint F = OpenFrames.back();
+  // Validate only the reads performed inside the open region.
+  bool Valid = true;
+  for (size_t I = F.Reads, E = ReadSet.size(); I != E && Valid; ++I) {
+    Word W = ReadSet[I].Rec->load(std::memory_order_acquire);
+    if (W == ReadSet[I].Observed)
+      continue;
+    if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this) {
+      auto It = WriteLockIndex.find(ReadSet[I].Rec);
+      if (It != WriteLockIndex.end() &&
+          TxRecord::makeShared(It->second) == ReadSet[I].Observed)
+        continue;
+    }
+    Valid = false;
+  }
+  if (!Valid) {
+    abortOpenNested();
+    conflictAbort(); // Conservative: restart the whole transaction.
+  }
+  OpenFrames.pop_back();
+  // Independent commit: the open region's writes survive a parent abort.
+  UndoLog.resize(F.Undos);
+  releaseLockRange(F.Locks, WriteLocks.size());
+  ReadSet.resize(F.Reads); // Parent is not constrained by child reads.
+  --Depth;
+  if (OnParentAbort)
+    AbortActions.push_back(std::move(OnParentAbort));
+}
+
+void Txn::abortOpenNested() {
+  assert(!OpenFrames.empty() && "unbalanced open nesting");
+  Savepoint F = OpenFrames.back();
+  OpenFrames.pop_back();
+  rollbackUndoRange(F.Undos, UndoLog.size());
+  UndoLog.resize(F.Undos);
+  releaseLockRange(F.Locks, WriteLocks.size());
+  ReadSet.resize(F.Reads);
+  CommitActions.resize(F.Commits);
+  AbortActions.resize(F.Aborts);
+  --Depth;
+}
+
+void Txn::userRetry() {
+  assert(isActive() && "retry outside a transaction");
+  assert(OpenFrames.empty() && "retry inside an open-nested region");
+  throw RollbackSignal{RollbackSignal::UserRetry, 0};
+}
+
+void Txn::userAbort() {
+  assert(isActive() && "abort outside a transaction");
+  assert(OpenFrames.empty() && "abort inside an open-nested region");
+  throw RollbackSignal{RollbackSignal::UserAbort, Depth};
+}
+
+void Txn::abortRestart() {
+  assert(isActive() && "abortRestart outside a transaction");
+  throw RollbackSignal{RollbackSignal::Conflict, 0};
+}
+
+void Txn::conflictAbort() {
+  throw RollbackSignal{RollbackSignal::Conflict, 0};
+}
+
+void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
+                          Word ObservedRecord) {
+  const Config &Cfg = config();
+  uint64_t Limit = Cfg.ConflictPauseLimit;
+  switch (Cfg.Contention) {
+  case ContentionPolicy::BackoffThenAbort:
+    break;
+  case ContentionPolicy::Polite:
+    Limit *= 16;
+    break;
+  case ContentionPolicy::Timid:
+    conflictAbort();
+  case ContentionPolicy::Timestamp:
+    // Age decides: the younger transaction yields immediately; the older
+    // waits patiently. Conflicts with non-transactional writers
+    // (Exclusive-anonymous) are always short: plain bounded waiting.
+    if (TxRecord::isExclusive(ObservedRecord)) {
+      const Txn *Owner = TxRecord::owner(ObservedRecord);
+      // Racy-by-design stamp read: the owner may commit concurrently and
+      // reuse the descriptor; a stale comparison only costs an extra
+      // abort or wait, never a deadlock (waiting is still bounded).
+      if (startStamp() > Owner->startStamp())
+        conflictAbort();
+      Limit *= 16;
+    }
+    break;
+  }
+  if (++Pauses > Limit)
+    conflictAbort(); // 2PL deadlock avoidance: give up our locks.
+  B.pause();
+}
+
+void Txn::waitForChange(const std::vector<ReadEntry> &Snapshot) {
+  Backoff B;
+  if (Snapshot.empty()) {
+    B.pause();
+    return;
+  }
+  // Spurious wakeups after the scan limit are harmless: the region simply
+  // re-executes and retries again.
+  for (unsigned Scan = 0; Scan < 100000; ++Scan) {
+    for (const ReadEntry &E : Snapshot)
+      if (E.Rec->load(std::memory_order_acquire) != E.Observed)
+        return;
+    B.pause();
+  }
+}
+
+void Txn::resetState() {
+  ReadSet.clear();
+  WriteLocks.clear();
+  WriteLockIndex.clear();
+  UndoLog.clear();
+  Savepoints.clear();
+  OpenFrames.clear();
+  CommitActions.clear();
+  AbortActions.clear();
+  Depth = 0;
+  NextValidateAt = 0;
+}

@@ -1,0 +1,296 @@
+//===- stm/Txn.h - Eager-versioning transaction (McRT style) ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eager-versioning transaction at the core of the paper's system:
+/// "optimistic concurrency control using versioning for reads and strict
+/// two-phase locking and eager versioning for writes" (§3, McRT-STM [49]).
+///
+///  - Reads log the observed Shared record word and are validated (against
+///    the current record) periodically and at commit.
+///  - Writes acquire the object's record Shared -> Exclusive via CAS, log
+///    the old value in an undo log, and update memory in place.
+///  - Abort rolls the undo log back in reverse and releases the records
+///    with a version bump.
+///  - Closed nesting uses savepoints (partial rollback on user abort);
+///    open nesting commits an inner region's writes independently and
+///    registers compensation actions with the parent (§3, [45]).
+///  - User-initiated retry aborts and blocks until the read set changes.
+///
+/// Abort unwinding uses a dedicated RollbackSignal object thrown across the
+/// transaction body. This is the project's one deliberate deviation from
+/// the no-exceptions rule: a longjmp would skip destructors in user bodies,
+/// and the signal never escapes Txn::run / LazyTxn::run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_TXN_H
+#define SATM_STM_TXN_H
+
+#include "rt/Object.h"
+#include "stm/Config.h"
+#include "stm/Quiesce.h"
+#include "stm/Stats.h"
+#include "stm/TxRecord.h"
+#include "support/Backoff.h"
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace satm {
+namespace stm {
+
+/// Thrown to unwind a transaction body back to its region driver. Never
+/// escapes Txn::run / LazyTxn::run.
+struct RollbackSignal {
+  enum KindTy : uint8_t {
+    Conflict,  ///< Contention manager gave up; re-execute from the top.
+    UserRetry, ///< txn_retry(): wait for the read set to change, re-execute.
+    UserAbort, ///< txn_abort(): roll back to the given nesting depth.
+  };
+  KindTy Kind;
+  size_t Depth; ///< Nesting depth targeted by UserAbort; unused otherwise.
+};
+
+/// Per-thread eager transaction descriptor. Access via forThisThread() and
+/// drive regions with the static run* entry points; the instance methods
+/// read/write are valid only inside a running region.
+class alignas(8) Txn {
+public:
+  /// The calling thread's descriptor (created on first use).
+  static Txn &forThisThread();
+
+  /// True while a region body on this thread is executing.
+  bool isActive() const { return Depth > 0; }
+
+  /// Nesting depth (1 = outermost region).
+  size_t depth() const { return Depth; }
+
+  //===--------------------------------------------------------------------===
+  // Region drivers.
+  //===--------------------------------------------------------------------===
+
+  /// Executes \p Body atomically. Re-executes on conflict or retry. Called
+  /// inside an active region, it opens a closed-nested region.
+  /// \returns true, unless the region (or an enclosing one via a thrown
+  /// signal) was explicitly aborted with userAbort(), in which case the
+  /// body's effects are rolled back and false is returned.
+  template <typename F> static bool run(F &&Body) {
+    Txn &T = forThisThread();
+    if (T.isActive())
+      return T.runNested(Body);
+    return T.runOutermost(Body);
+  }
+
+  /// Executes \p Body as an open-nested transaction: its writes commit when
+  /// the body completes, independently of the enclosing transaction.
+  /// \p OnParentAbort, if non-null, is registered as a compensation action
+  /// run if the enclosing transaction later aborts. Must be called inside
+  /// an active region. Intended for parent-disjoint data (see DESIGN.md).
+  template <typename F>
+  static void runOpenNested(F &&Body,
+                            std::function<void()> OnParentAbort = nullptr) {
+    Txn &T = forThisThread();
+    T.beginOpenNested();
+    bool Ok = false;
+    try {
+      Body();
+      Ok = true;
+    } catch (...) {
+      T.abortOpenNested();
+      throw;
+    }
+    (void)Ok;
+    T.commitOpenNested(std::move(OnParentAbort));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Transactional data access (only valid while active).
+  //===--------------------------------------------------------------------===
+
+  /// Transactional load of scalar slot \p Slot of \p O.
+  Word read(rt::Object *O, uint32_t Slot);
+
+  /// Transactional store to scalar slot \p Slot of \p O.
+  void write(rt::Object *O, uint32_t Slot, Word V) {
+    writeImpl(O, Slot, V, /*IsRef=*/false);
+  }
+
+  /// Transactional load of a reference slot.
+  rt::Object *readRef(rt::Object *O, uint32_t Slot) {
+    return rt::Object::fromWord(read(O, Slot));
+  }
+
+  /// Transactional store of a reference. If this object is public and the
+  /// referee is private, the referee's object graph is published first
+  /// (§4: even inside transactions, because doomed transactions of other
+  /// threads may reach it before commit).
+  void writeRef(rt::Object *O, uint32_t Slot, rt::Object *Referee) {
+    writeImpl(O, Slot, rt::Object::toWord(Referee), /*IsRef=*/true);
+  }
+
+  /// User-initiated retry: aborts, waits for the read set to change, then
+  /// re-executes the outermost region.
+  [[noreturn]] void userRetry();
+
+  /// User-initiated abort of the innermost region: rolls its effects back
+  /// and makes its run() return false.
+  [[noreturn]] void userAbort();
+
+  /// Aborts the whole transaction and immediately re-executes it (no
+  /// wait-for-change). Exposed for external contention policies and for
+  /// the anomaly litmus tests, which use it to force the "/*abort*/" arms
+  /// of the paper's Figure 3 examples deterministically.
+  [[noreturn]] void abortRestart();
+
+  /// Registers an action to run after the outermost commit (used by open
+  /// nesting and by tests).
+  void onCommit(std::function<void()> Action) {
+    CommitActions.push_back(std::move(Action));
+  }
+
+  /// Registers a compensation action to run after an abort of the
+  /// outermost region.
+  void onAbort(std::function<void()> Action) {
+    AbortActions.push_back(std::move(Action));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Introspection for tests and stats.
+  //===--------------------------------------------------------------------===
+
+  size_t readSetSize() const { return ReadSet.size(); }
+  size_t writeSetSize() const { return WriteLocks.size(); }
+  size_t undoLogSize() const { return UndoLog.size(); }
+
+  /// Start stamp of the currently running transaction (Timestamp
+  /// contention policy); monotone across the process. Readable by other
+  /// threads while this transaction is active.
+  uint64_t startStamp() const {
+    return StartStamp.load(std::memory_order_acquire);
+  }
+
+private:
+  Txn() = default;
+
+  struct ReadEntry {
+    std::atomic<Word> *Rec;
+    Word Observed; ///< The Shared record word observed at read time.
+  };
+  struct WriteEntry {
+    std::atomic<Word> *Rec;
+    Word PriorVersion; ///< Version the record held when acquired.
+  };
+  struct UndoEntry {
+    rt::Object *Obj;
+    uint32_t Slot;
+    Word OldValue;
+  };
+  struct Savepoint {
+    size_t Reads, Locks, Undos, Commits, Aborts;
+  };
+
+  template <typename F> bool runOutermost(F &Body) {
+    Backoff RetryBackoff;
+    for (;;) {
+      begin();
+      try {
+        Body();
+        if (tryCommit())
+          return true;
+        statsForThisThread().TxnAborts++;
+      } catch (RollbackSignal &S) {
+        if (S.Kind == RollbackSignal::UserRetry) {
+          statsForThisThread().TxnUserRetries++;
+          std::vector<ReadEntry> Snapshot = ReadSet;
+          rollbackAll();
+          waitForChange(Snapshot);
+          continue;
+        }
+        rollbackAll();
+        statsForThisThread().TxnAborts++;
+        if (S.Kind == RollbackSignal::UserAbort)
+          return false;
+      } catch (...) {
+        // A foreign exception (e.g. a runtime error in an interpreter
+        // body) unwinds through the region: abort cleanly, then let it
+        // propagate.
+        rollbackAll();
+        statsForThisThread().TxnAborts++;
+        throw;
+      }
+      RetryBackoff.pause();
+    }
+  }
+
+  template <typename F> bool runNested(F &Body) {
+    pushSavepoint();
+    try {
+      Body();
+    } catch (RollbackSignal &S) {
+      if (S.Kind == RollbackSignal::UserAbort && S.Depth == Depth) {
+        rollbackToSavepoint();
+        return false;
+      }
+      popSavepointKeep();
+      throw; // Conflict / retry / outer abort: unwind further.
+    }
+    popSavepointKeep();
+    return true;
+  }
+
+  void begin();
+  bool tryCommit();
+  void rollbackAll();
+  void pushSavepoint();
+  void popSavepointKeep();
+  void rollbackToSavepoint();
+  void beginOpenNested();
+  void commitOpenNested(std::function<void()> OnParentAbort);
+  void abortOpenNested();
+
+  void writeImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef);
+  void acquireForWrite(rt::Object *O, std::atomic<Word> &Rec);
+  void logUndo(rt::Object *O, uint32_t Slot);
+  bool validateReadSet();
+  void maybePeriodicValidate();
+  [[noreturn]] void conflictAbort();
+  void contentionPause(Backoff &B, uint32_t &Pauses, Word ObservedRecord);
+  void rollbackUndoRange(size_t Begin, size_t End);
+  void releaseLockRange(size_t Begin, size_t End);
+  static void waitForChange(const std::vector<ReadEntry> &Snapshot);
+  void resetState();
+
+  std::vector<ReadEntry> ReadSet;
+  std::vector<WriteEntry> WriteLocks;
+  std::unordered_map<std::atomic<Word> *, Word> WriteLockIndex;
+  std::vector<UndoEntry> UndoLog;
+  std::vector<Savepoint> Savepoints;
+  std::vector<std::function<void()>> CommitActions;
+  std::vector<std::function<void()>> AbortActions;
+  size_t Depth = 0;
+  /// Next read-set size at which to revalidate; doubles after each
+  /// periodic validation so total validation work stays linear in the
+  /// read-set size.
+  size_t NextValidateAt = 0;
+  /// Begin-time stamp for the Timestamp contention policy.
+  std::atomic<uint64_t> StartStamp{0};
+  /// Open-nesting frames: (savepoint, locks-at-begin) pairs.
+  std::vector<Savepoint> OpenFrames;
+  Quiescence::Slot *QSlot = nullptr;
+};
+
+/// Convenience free function mirroring the paper's `atomic { B }`.
+template <typename F> bool atomically(F &&Body) {
+  return Txn::run(std::forward<F>(Body));
+}
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_TXN_H

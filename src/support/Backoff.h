@@ -1,0 +1,61 @@
+//===- support/Backoff.h - Bounded exponential spin backoff ----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded exponential backoff used by the contention manager and by the
+/// non-transactional isolation barriers when they hit a conflict
+/// (paper §3.2: "The conflict manager backs off and returns so that the
+/// barriers retry").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_BACKOFF_H
+#define SATM_SUPPORT_BACKOFF_H
+
+#include <cstdint>
+#include <thread>
+
+namespace satm {
+
+/// Exponential backoff: spin for short waits, yield once the wait grows.
+class Backoff {
+public:
+  /// Performs one backoff step and doubles the next wait, up to a cap.
+  void pause() {
+    if (Spins <= SpinCap) {
+      for (uint32_t I = 0; I < Spins; ++I)
+        cpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+    if (Spins < YieldCap)
+      Spins <<= 1;
+  }
+
+  /// Resets the backoff to its initial (shortest) wait.
+  void reset() { Spins = 4; }
+
+  /// Number of pause() calls so far in this escalation, as a rough
+  /// contention signal for callers that want to abort instead of waiting.
+  uint32_t escalation() const { return Spins; }
+
+private:
+  static void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  static constexpr uint32_t SpinCap = 1u << 10;
+  static constexpr uint32_t YieldCap = 1u << 16;
+  uint32_t Spins = 4;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_BACKOFF_H

@@ -1,0 +1,78 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic xorshift128+ generator. Benchmarks and
+/// workload generators use this instead of <random> so that every run of an
+/// experiment sees the same input stream regardless of platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_RNG_H
+#define SATM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace satm {
+
+/// Deterministic xorshift128+ pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    auto Mix = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    State0 = Mix();
+    State1 = Mix();
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    const uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return State1 + S0;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Returns a uniformly distributed value in [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Percent/100.
+  bool nextPercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_RNG_H

@@ -1,0 +1,42 @@
+//===- support/Stopwatch.h - Wall-clock timing helper ----------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch used by the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_STOPWATCH_H
+#define SATM_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace satm {
+
+/// A monotonic stopwatch measuring elapsed wall-clock time.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_STOPWATCH_H

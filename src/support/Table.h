@@ -1,0 +1,84 @@
+//===- support/Table.h - Aligned text table printer ------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer. Every benchmark harness prints its
+/// paper table/figure through this so that bench_output.txt is uniform and
+/// diffable against EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_TABLE_H
+#define SATM_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace satm {
+
+/// Collects rows of cells and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header) {
+    addRow(std::move(Header));
+    HasHeader = true;
+  }
+  Table() = default;
+
+  /// Appends one row. Rows may have differing cell counts.
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double Value, int Precision = 2) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+    return Buf;
+  }
+
+  /// Convenience: formats an integer.
+  static std::string num(uint64_t Value) { return std::to_string(Value); }
+
+  /// Prints the table to stdout, optionally preceded by a title line.
+  void print(const std::string &Title = "") const {
+    if (!Title.empty())
+      std::printf("\n== %s ==\n", Title.c_str());
+    std::vector<size_t> Widths;
+    for (const auto &Row : Rows)
+      for (size_t I = 0; I < Row.size(); ++I) {
+        if (Widths.size() <= I)
+          Widths.resize(I + 1, 0);
+        if (Row[I].size() > Widths[I])
+          Widths[I] = Row[I].size();
+      }
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      const auto &Row = Rows[R];
+      for (size_t I = 0; I < Row.size(); ++I)
+        std::printf("%-*s%s", static_cast<int>(Widths[I]), Row[I].c_str(),
+                    I + 1 == Row.size() ? "" : "  ");
+      std::printf("\n");
+      if (R == 0 && HasHeader) {
+        size_t Total = 0;
+        for (size_t W : Widths)
+          Total += W + 2;
+        for (size_t I = 0; I + 2 < Total; ++I)
+          std::printf("-");
+        std::printf("\n");
+      }
+    }
+    std::fflush(stdout);
+  }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  bool HasHeader = false;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_TABLE_H

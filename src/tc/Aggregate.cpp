@@ -1,0 +1,94 @@
+//===- tc/Aggregate.cpp - Barrier aggregation pass ------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Aggregate.h"
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+/// True for instructions that may sit between two accesses of a group:
+/// pure register computation with no shared-memory or control effects.
+bool isGroupTransparent(const Inst &I, RegId Base) {
+  switch (I.K) {
+  case Op::ConstInt:
+  case Op::Move:
+  case Op::Bin:
+  case Op::Neg:
+  case Op::Not:
+  case Op::ArrayLen:
+    return I.Dst != Base;
+  default:
+    return false;
+  }
+}
+
+/// True if \p I is an object (field/element) access that still carries a
+/// barrier and is eligible for aggregation. Static accesses are excluded:
+/// each static is its own cell with its own record.
+bool isAggregableAccess(const Inst &I) {
+  if (!I.NeedsBarrier)
+    return false;
+  switch (I.K) {
+  case Op::LoadField:
+  case Op::StoreField:
+  case Op::LoadElem:
+  case Op::StoreElem:
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint64_t runOnBlock(Block &B) {
+  uint64_t Groups = 0;
+  size_t N = B.Insts.size();
+  size_t I = 0;
+  while (I < N) {
+    if (!isAggregableAccess(B.Insts[I])) {
+      ++I;
+      continue;
+    }
+    RegId Base = B.Insts[I].A;
+    // Grow the group: accesses to Base, across transparent instructions.
+    std::vector<size_t> Members{I};
+    size_t J = I + 1;
+    while (J < N) {
+      const Inst &Next = B.Insts[J];
+      if (isAggregableAccess(Next) && Next.A == Base) {
+        Members.push_back(J);
+        ++J;
+        continue;
+      }
+      if (isGroupTransparent(Next, Base)) {
+        ++J;
+        continue;
+      }
+      break;
+    }
+    if (Members.size() >= 2) {
+      B.Insts[Members.front()].Agg = AggRole::Open;
+      for (size_t K = 1; K + 1 < Members.size(); ++K)
+        B.Insts[Members[K]].Agg = AggRole::Member;
+      B.Insts[Members.back()].Agg = AggRole::Close;
+      ++Groups;
+    }
+    I = J;
+  }
+  return Groups;
+}
+
+} // namespace
+
+uint64_t satm::tc::runBarrierAggregation(Module &M) {
+  uint64_t Groups = 0;
+  for (Function &F : M.Funcs)
+    for (Block &B : F.Blocks)
+      Groups += runOnBlock(B);
+  return Groups;
+}

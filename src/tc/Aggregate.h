@@ -1,0 +1,35 @@
+//===- tc/Aggregate.h - Barrier aggregation pass ---------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §6 barrier-aggregation optimization: "Barrier aggregation then
+/// detects multiple barriers to the same object in the same basic block and
+/// combines them into a single aggregated barrier" (Figure 14). Per the
+/// paper's constraints the pass never aggregates across basic blocks, calls
+/// or accesses to multiple objects: a group is a maximal run of accesses to
+/// one base register within a block, interrupted only by pure register
+/// instructions that do not redefine the base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_AGGREGATE_H
+#define SATM_TC_AGGREGATE_H
+
+#include "tc/Ir.h"
+
+namespace satm {
+namespace tc {
+
+/// Annotates aggregation roles on barrier-carrying field/element accesses
+/// of \p M. Run after the barrier-removal analyses (groups only form over
+/// accesses that still need barriers).
+/// \returns the number of groups formed (each saves groupSize-1 acquires).
+uint64_t runBarrierAggregation(ir::Module &M);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_AGGREGATE_H

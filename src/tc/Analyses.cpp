@@ -1,0 +1,170 @@
+//===- tc/Analyses.cpp - NAIT and thread-local analyses ------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Analyses.h"
+
+#include <deque>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+/// The abstract objects an access instruction may touch, including the
+/// pseudo-objects standing for static cells.
+void accessedObjects(const Module &M, const PointsTo &P, uint32_t Func,
+                     const Inst &I, Ctx C, std::vector<uint32_t> &Out) {
+  (void)M;
+  Out.clear();
+  switch (I.K) {
+  case Op::LoadField:
+  case Op::StoreField:
+  case Op::LoadElem:
+  case Op::StoreElem:
+    for (uint32_t O : P.pts(Func, I.A, C))
+      Out.push_back(O);
+    return;
+  case Op::LoadStatic:
+  case Op::StoreStatic:
+    Out.push_back(P.staticObjId(I.Index));
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+BarrierVerdicts satm::tc::analyzeBarriers(const Module &M, const PointsTo &P) {
+  uint32_t NumObjs = P.numObjects();
+  std::vector<bool> ReadInTxn(NumObjs, false);
+  std::vector<bool> WrittenInTxn(NumObjs, false);
+
+  //===------------------------------------------------------------------===
+  // Pass 1 (§5.2): how is each abstract object accessed inside
+  // transactions? An instruction is "in a transaction" when its effective
+  // context is In — either its enclosing function instance is analyzed
+  // under In, or it is lexically inside an atomic block.
+  //===------------------------------------------------------------------===
+  std::vector<uint32_t> Objs;
+  for (uint32_t Func = 0; Func < M.Funcs.size(); ++Func) {
+    for (Ctx C : {Ctx::Out, Ctx::In}) {
+      if (!P.isReachable(Func, C))
+        continue;
+      for (const Block &B : M.Funcs[Func].Blocks) {
+        for (const Inst &I : B.Insts) {
+          if (!isHeapAccess(I.K) || effectiveCtx(C, I) != Ctx::In)
+            continue;
+          accessedObjects(M, P, Func, I, C, Objs);
+          for (uint32_t O : Objs) {
+            if (isHeapStore(I.K))
+              WrittenInTxn[O] = true;
+            else
+              ReadInTxn[O] = true;
+          }
+        }
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===
+  // Thread-escape closure for TL (§5.4): an object escapes if it flows
+  // into a static cell or a spawned thread's parameters, or is reachable
+  // through the fields of an escaping object.
+  //===------------------------------------------------------------------===
+  std::vector<bool> Escaped(NumObjs, false);
+  std::deque<uint32_t> Work;
+  auto MarkEscaped = [&](uint32_t O) {
+    if (O < NumObjs && !Escaped[O]) {
+      Escaped[O] = true;
+      Work.push_back(O);
+    }
+  };
+  for (uint32_t S = 0; S < M.Statics.size(); ++S) {
+    MarkEscaped(P.staticObjId(S));
+    for (uint32_t O : P.staticPts(S))
+      MarkEscaped(O);
+  }
+  for (uint32_t O : P.spawnedObjects())
+    MarkEscaped(O);
+  uint32_t MaxSlots = 0;
+  for (const ClassInfo &CI : M.Classes)
+    MaxSlots = std::max(MaxSlots, CI.NumSlots);
+  while (!Work.empty()) {
+    uint32_t O = Work.front();
+    Work.pop_front();
+    // Everything reachable through any field of an escaping object escapes.
+    for (uint32_t Slot = 0; Slot < MaxSlots; ++Slot)
+      for (uint32_t Next : P.fieldPts(O, Slot))
+        MarkEscaped(Next);
+    for (uint32_t Next : P.fieldPts(O, PointsTo::ElemField))
+      MarkEscaped(Next);
+  }
+
+  //===------------------------------------------------------------------===
+  // Pass 2 (§5.2): verdicts for each reachable non-transactional access.
+  //===------------------------------------------------------------------===
+  BarrierVerdicts V;
+  for (uint32_t Func = 0; Func < M.Funcs.size(); ++Func) {
+    if (!P.isReachable(Func, Ctx::Out))
+      continue;
+    const Function &F = M.Funcs[Func];
+    for (uint32_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      const Block &B = F.Blocks[BI];
+      for (uint32_t II = 0; II < B.Insts.size(); ++II) {
+        const Inst &I = B.Insts[II];
+        if (!isHeapAccess(I.K) || I.InAtomic)
+          continue; // Only non-transactional executions carry barriers.
+        bool Store = isHeapStore(I.K);
+        accessedObjects(M, P, Func, I, Ctx::Out, Objs);
+        bool NaitOk = true, TlOk = true;
+        for (uint32_t O : Objs) {
+          if (WrittenInTxn[O] || (Store && ReadInTxn[O]))
+            NaitOk = false;
+          if (Escaped[O])
+            TlOk = false;
+        }
+        V.Accesses.push_back({Func, BI, II});
+        V.IsStore.push_back(Store);
+        V.NaitRemovable.push_back(NaitOk);
+        V.TlRemovable.push_back(TlOk);
+      }
+    }
+  }
+  return V;
+}
+
+BarrierVerdicts::Counts BarrierVerdicts::counts() const {
+  Counts C;
+  for (size_t I = 0; I < Accesses.size(); ++I) {
+    bool Store = IsStore[I];
+    bool N = NaitRemovable[I], T = TlRemovable[I];
+    (Store ? C.WriteTotal : C.ReadTotal)++;
+    if (N)
+      (Store ? C.WriteNait : C.ReadNait)++;
+    if (T)
+      (Store ? C.WriteTl : C.ReadTl)++;
+    if (N && !T)
+      (Store ? C.WriteNaitNotTl : C.ReadNaitNotTl)++;
+    if (T && !N)
+      (Store ? C.WriteTlNotNait : C.ReadTlNotNait)++;
+    if (N || T)
+      (Store ? C.WriteEither : C.ReadEither)++;
+  }
+  return C;
+}
+
+void satm::tc::applyVerdicts(Module &M, const BarrierVerdicts &V,
+                             bool UseNait, bool UseTl) {
+  for (size_t I = 0; I < V.Accesses.size(); ++I) {
+    bool Remove = (UseNait && V.NaitRemovable[I]) || (UseTl && V.TlRemovable[I]);
+    if (!Remove)
+      continue;
+    const InstRef &R = V.Accesses[I];
+    M.Funcs[R.Func].Blocks[R.Block].Insts[R.Index].NeedsBarrier = false;
+  }
+}

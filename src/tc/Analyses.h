@@ -1,0 +1,73 @@
+//===- tc/Analyses.h - NAIT and thread-local analyses ----------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two whole-program barrier-removal analyses the paper compares
+/// (§5, Figure 13):
+///
+///  - NAIT (not-accessed-in-transaction, §5.2): per Figure 12, a non-
+///    transactional *load* needs no barrier if no object it may access is
+///    written in a transaction; a *store* needs none if no such object is
+///    read or written in a transaction.
+///  - TL (thread-local, §5.4): a straightforward thread-escape analysis
+///    over the same points-to information; accesses that can only reach
+///    objects never visible to another thread need no barrier.
+///
+/// Both return per-instruction verdicts; the pipeline (Pipeline.h) applies
+/// them to the IR annotations and Figure 13's bench counts their difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_ANALYSES_H
+#define SATM_TC_ANALYSES_H
+
+#include "tc/Ir.h"
+#include "tc/PointsTo.h"
+
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+/// Identifies one instruction in a module.
+struct InstRef {
+  uint32_t Func;
+  uint32_t Block;
+  uint32_t Index;
+};
+
+/// Per-instruction barrier-removal verdicts for the reachable
+/// non-transactional heap accesses of a module.
+struct BarrierVerdicts {
+  std::vector<InstRef> Accesses;    ///< Reachable-in-Out heap accesses.
+  std::vector<bool> IsStore;        ///< Parallel to Accesses.
+  std::vector<bool> NaitRemovable;  ///< NAIT says the barrier can go.
+  std::vector<bool> TlRemovable;    ///< TL says the barrier can go.
+
+  /// Figure 13 aggregates.
+  struct Counts {
+    uint64_t ReadTotal = 0, WriteTotal = 0;
+    uint64_t ReadNait = 0, WriteNait = 0;        ///< Removed by NAIT.
+    uint64_t ReadTl = 0, WriteTl = 0;            ///< Removed by TL.
+    uint64_t ReadNaitNotTl = 0, WriteNaitNotTl = 0;
+    uint64_t ReadTlNotNait = 0, WriteTlNotNait = 0;
+    uint64_t ReadEither = 0, WriteEither = 0;    ///< TL + NAIT combined.
+  };
+  Counts counts() const;
+};
+
+/// Runs NAIT and TL over \p M using \p P.
+BarrierVerdicts analyzeBarriers(const ir::Module &M, const PointsTo &P);
+
+/// Clears Inst::NeedsBarrier for every access \p V marks removable by the
+/// selected analyses.
+void applyVerdicts(ir::Module &M, const BarrierVerdicts &V, bool UseNait,
+                   bool UseTl);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_ANALYSES_H

@@ -1,0 +1,446 @@
+//===- tc/Ast.h - TranC abstract syntax tree -------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST and type representation for TranC. The language is deliberately
+/// Java-shaped where the paper needs it to be: heap classes with typed
+/// fields, static fields, arrays, first-class `atomic` blocks with `retry`,
+/// and `spawn`/`join` threading — the surface area §§4-6's analyses reason
+/// about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_AST_H
+#define SATM_TC_AST_H
+
+#include "tc/Diag.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+//===----------------------------------------------------------------------===
+// Types.
+//===----------------------------------------------------------------------===
+
+/// A TranC type, as a value. Class types refer to classes by name;
+/// resolution to declarations happens in Sema.
+struct Type {
+  enum KindTy : uint8_t {
+    Void,     ///< Function with no return value.
+    Int,      ///< 64-bit signed integer.
+    Bool,     ///< Boolean (stored as a word).
+    Class,    ///< Reference to an instance of ClassName.
+    IntArray, ///< int[].
+    RefArray, ///< ClassName[].
+    Null,     ///< Type of the `null` literal; compatible with any ref.
+  };
+
+  KindTy Kind = Void;
+  std::string ClassName; ///< For Class and RefArray.
+
+  static Type voidTy() { return {Void, {}}; }
+  static Type intTy() { return {Int, {}}; }
+  static Type boolTy() { return {Bool, {}}; }
+  static Type classTy(std::string Name) { return {Class, std::move(Name)}; }
+  static Type intArrayTy() { return {IntArray, {}}; }
+  static Type refArrayTy(std::string Elem) {
+    return {RefArray, std::move(Elem)};
+  }
+  static Type nullTy() { return {Null, {}}; }
+
+  bool isRef() const {
+    return Kind == Class || Kind == IntArray || Kind == RefArray ||
+           Kind == Null;
+  }
+  bool isArray() const { return Kind == IntArray || Kind == RefArray; }
+
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && ClassName == O.ClassName;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  /// True if a value of type \p From may be assigned to this type.
+  bool accepts(const Type &From) const {
+    if (*this == From)
+      return true;
+    return isRef() && From.Kind == Null;
+  }
+
+  std::string str() const {
+    switch (Kind) {
+    case Void:
+      return "void";
+    case Int:
+      return "int";
+    case Bool:
+      return "bool";
+    case Class:
+      return ClassName;
+    case IntArray:
+      return "int[]";
+    case RefArray:
+      return ClassName + "[]";
+    case Null:
+      return "null";
+    }
+    return "?";
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Expressions.
+//===----------------------------------------------------------------------===
+
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And, ///< Short-circuit &&.
+  Or,  ///< Short-circuit ||.
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,
+    BoolLit,
+    NullLit,
+    VarRef,
+    StaticRef, ///< Resolved by Sema from VarRef when it names a static.
+    Binary,
+    Unary,
+    Call,
+    NewObject,
+    NewArray,
+    FieldAccess,
+    IndexAccess,
+    Len,
+    Spawn,
+  };
+
+  Expr(Kind K, Loc Where) : K(K), Where(Where) {}
+  virtual ~Expr() = default;
+
+  Kind K;
+  Loc Where;
+  Type Ty; ///< Filled in by Sema.
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(Loc W, int64_t Value) : Expr(Kind::IntLit, W), Value(Value) {}
+  int64_t Value;
+};
+
+struct BoolLitExpr : Expr {
+  BoolLitExpr(Loc W, bool Value) : Expr(Kind::BoolLit, W), Value(Value) {}
+  bool Value;
+};
+
+struct NullLitExpr : Expr {
+  explicit NullLitExpr(Loc W) : Expr(Kind::NullLit, W) {}
+};
+
+/// Sema encodes "this VarRef actually names a static" by setting this bit
+/// in VarRefExpr::LocalIndex, with the static's index in the low bits.
+inline constexpr uint32_t StaticRefBit = 0x80000000u;
+
+/// A name use: a local variable, a parameter, or (resolved by Sema via
+/// StaticRefBit) a static field.
+struct VarRefExpr : Expr {
+  VarRefExpr(Loc W, std::string Name)
+      : Expr(Kind::VarRef, W), Name(std::move(Name)) {}
+  std::string Name;
+  uint32_t LocalIndex = 0; ///< Filled in by Sema; see StaticRefBit.
+
+  bool isStatic() const { return (LocalIndex & StaticRefBit) != 0; }
+  uint32_t staticIndex() const { return LocalIndex & ~StaticRefBit; }
+};
+
+struct StaticRefExpr : Expr {
+  StaticRefExpr(Loc W, std::string Name)
+      : Expr(Kind::StaticRef, W), Name(std::move(Name)) {}
+  std::string Name;
+  uint32_t StaticIndex = 0; ///< Filled in by Sema.
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(Loc W, BinOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Binary, W), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(Loc W, UnOp Op, ExprPtr Sub)
+      : Expr(Kind::Unary, W), Op(Op), Sub(std::move(Sub)) {}
+  UnOp Op;
+  ExprPtr Sub;
+};
+
+struct CallExpr : Expr {
+  CallExpr(Loc W, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call, W), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct NewObjectExpr : Expr {
+  NewObjectExpr(Loc W, std::string ClassName)
+      : Expr(Kind::NewObject, W), ClassName(std::move(ClassName)) {}
+  std::string ClassName;
+};
+
+struct NewArrayExpr : Expr {
+  NewArrayExpr(Loc W, Type ElemTy, ExprPtr Length)
+      : Expr(Kind::NewArray, W), ElemTy(std::move(ElemTy)),
+        Length(std::move(Length)) {}
+  Type ElemTy;
+  ExprPtr Length;
+};
+
+struct FieldAccessExpr : Expr {
+  FieldAccessExpr(Loc W, ExprPtr Base, std::string FieldName)
+      : Expr(Kind::FieldAccess, W), Base(std::move(Base)),
+        FieldName(std::move(FieldName)) {}
+  ExprPtr Base;
+  std::string FieldName;
+  uint32_t SlotIndex = 0; ///< Filled in by Sema.
+};
+
+struct IndexAccessExpr : Expr {
+  IndexAccessExpr(Loc W, ExprPtr Base, ExprPtr Index)
+      : Expr(Kind::IndexAccess, W), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base, Index;
+};
+
+struct LenExpr : Expr {
+  LenExpr(Loc W, ExprPtr Base) : Expr(Kind::Len, W), Base(std::move(Base)) {}
+  ExprPtr Base;
+};
+
+/// spawn f(args): starts f on a new thread; evaluates to an int handle.
+struct SpawnExpr : Expr {
+  SpawnExpr(Loc W, std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Spawn, W), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===
+// Statements.
+//===----------------------------------------------------------------------===
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,
+    VarDecl,
+    Assign,
+    If,
+    While,
+    Return,
+    ExprStmt,
+    Atomic,
+    Open,
+    Retry,
+    Join,
+    Print,
+    Prints,
+  };
+
+  Stmt(Kind K, Loc Where) : K(K), Where(Where) {}
+  virtual ~Stmt() = default;
+
+  Kind K;
+  Loc Where;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  explicit BlockStmt(Loc W) : Stmt(Kind::Block, W) {}
+  std::vector<StmtPtr> Stmts;
+};
+
+struct VarDeclStmt : Stmt {
+  VarDeclStmt(Loc W, std::string Name, Type DeclaredTy, ExprPtr Init)
+      : Stmt(Kind::VarDecl, W), Name(std::move(Name)),
+        DeclaredTy(std::move(DeclaredTy)), Init(std::move(Init)) {}
+  std::string Name;
+  Type DeclaredTy; ///< Void if the type is inferred from Init.
+  ExprPtr Init;
+  uint32_t LocalIndex = 0; ///< Filled in by Sema.
+};
+
+struct AssignStmt : Stmt {
+  AssignStmt(Loc W, ExprPtr Target, ExprPtr Value)
+      : Stmt(Kind::Assign, W), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  ExprPtr Target; ///< VarRef, StaticRef, FieldAccess or IndexAccess.
+  ExprPtr Value;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(Loc W, ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If, W), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(Loc W, ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While, W), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(Loc W, ExprPtr Value)
+      : Stmt(Kind::Return, W), Value(std::move(Value)) {}
+  ExprPtr Value; ///< Null for `return;`.
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(Loc W, ExprPtr E) : Stmt(Kind::ExprStmt, W), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+/// atomic { ... } — the paper's first-class transaction construct.
+struct AtomicStmt : Stmt {
+  AtomicStmt(Loc W, StmtPtr Body)
+      : Stmt(Kind::Atomic, W), Body(std::move(Body)) {}
+  StmtPtr Body;
+};
+
+/// open { ... } — an open-nested transaction (§3, [45]): commits its
+/// writes when the block completes, independently of the enclosing
+/// transaction. Valid only inside atomic.
+struct OpenStmt : Stmt {
+  OpenStmt(Loc W, StmtPtr Body) : Stmt(Kind::Open, W), Body(std::move(Body)) {}
+  StmtPtr Body;
+};
+
+/// retry; — user-initiated retry (§3, [1]); valid only inside atomic.
+struct RetryStmt : Stmt {
+  explicit RetryStmt(Loc W) : Stmt(Kind::Retry, W) {}
+};
+
+struct JoinStmt : Stmt {
+  JoinStmt(Loc W, ExprPtr Handle)
+      : Stmt(Kind::Join, W), Handle(std::move(Handle)) {}
+  ExprPtr Handle;
+};
+
+struct PrintStmt : Stmt {
+  PrintStmt(Loc W, ExprPtr Value)
+      : Stmt(Kind::Print, W), Value(std::move(Value)) {}
+  ExprPtr Value;
+};
+
+struct PrintsStmt : Stmt {
+  PrintsStmt(Loc W, std::string Text)
+      : Stmt(Kind::Prints, W), Text(std::move(Text)) {}
+  std::string Text;
+};
+
+//===----------------------------------------------------------------------===
+// Declarations.
+//===----------------------------------------------------------------------===
+
+struct FieldDecl {
+  std::string Name;
+  Type Ty;
+  Loc Where;
+  uint32_t SlotIndex = 0;
+};
+
+struct ClassDecl {
+  std::string Name;
+  Loc Where;
+  std::vector<FieldDecl> Fields;
+
+  const FieldDecl *findField(const std::string &N) const {
+    for (const FieldDecl &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+struct StaticDecl {
+  std::string Name;
+  Type Ty;
+  Loc Where;
+  uint32_t Index = 0;
+};
+
+struct ParamDecl {
+  std::string Name;
+  Type Ty;
+  Loc Where;
+};
+
+struct FuncDecl {
+  std::string Name;
+  Loc Where;
+  std::vector<ParamDecl> Params;
+  Type RetTy;
+  std::unique_ptr<BlockStmt> Body;
+  uint32_t NumLocals = 0; ///< Params + declared vars; filled in by Sema.
+};
+
+/// A parsed (and, after Sema, resolved) TranC compilation unit.
+struct Program {
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::vector<std::unique_ptr<StaticDecl>> Statics;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  const ClassDecl *findClass(const std::string &N) const {
+    for (const auto &C : Classes)
+      if (C->Name == N)
+        return C.get();
+    return nullptr;
+  }
+  const StaticDecl *findStatic(const std::string &N) const {
+    for (const auto &S : Statics)
+      if (S->Name == N)
+        return S.get();
+    return nullptr;
+  }
+  const FuncDecl *findFunc(const std::string &N) const {
+    for (const auto &F : Funcs)
+      if (F->Name == N)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_AST_H

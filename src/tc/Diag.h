@@ -1,0 +1,65 @@
+//===- tc/Diag.h - TranC diagnostics ---------------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and the diagnostic sink shared by the TranC lexer,
+/// parser and semantic analysis. Errors are collected (not thrown); a
+/// pipeline stage checks hasErrors() before proceeding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_DIAG_H
+#define SATM_TC_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+/// 1-based line/column source position.
+struct Loc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// One reported problem.
+struct Diagnostic {
+  Loc Where;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation.
+class Diag {
+public:
+  /// Reports an error at \p Where. Messages follow the LLVM style: start
+  /// lowercase, no trailing period.
+  void error(Loc Where, std::string Message) {
+    Errors.push_back({Where, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<Diagnostic> &errors() const { return Errors; }
+
+  /// All diagnostics rendered as "line:col: error: message" lines.
+  std::string str() const {
+    std::string Out;
+    for (const Diagnostic &D : Errors) {
+      Out += std::to_string(D.Where.Line) + ":" + std::to_string(D.Where.Col) +
+             ": error: " + D.Message + "\n";
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Errors;
+};
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_DIAG_H

@@ -1,0 +1,177 @@
+//===- tc/Escape.cpp - Intraprocedural static escape analysis ------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Escape.h"
+
+#include <deque>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+constexpr uint32_t NonLocal = ~0u;
+
+/// Per-program-point state: for each register, the allocation site whose
+/// provably-unescaped fresh object it holds, or NonLocal. An escape event
+/// demotes every register holding the escaping value, so no separate
+/// escaped-set is needed: a site id can only reappear via a fresh
+/// allocation (which demotes stale aliases first).
+using State = std::vector<uint32_t>;
+
+bool mergeInto(State &Dst, const State &Src) {
+  bool Changed = false;
+  for (size_t I = 0; I < Dst.size(); ++I) {
+    if (Dst[I] != Src[I] && Dst[I] != NonLocal) {
+      Dst[I] = NonLocal;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void retire(State &S, uint32_t Value) {
+  if (Value == NonLocal)
+    return;
+  for (uint32_t &R : S)
+    if (R == Value)
+      R = NonLocal;
+}
+
+/// Applies \p I to \p S. When \p Annotate is set, also clears NeedsBarrier
+/// on accesses with provably-local bases, counting removals in \p Removed.
+void transfer(const Inst &I, State &S, bool Annotate, Inst *Mutable,
+              uint64_t &Removed) {
+  auto DefNonLocal = [&S](RegId R) { S[R] = NonLocal; };
+  switch (I.K) {
+  case Op::NewObject:
+  case Op::NewArray:
+    // Stale aliases of a previous loop iteration's object first.
+    retire(S, I.Index2);
+    S[I.Dst] = I.Index2;
+    return;
+  case Op::Move:
+    S[I.Dst] = S[I.A];
+    return;
+  case Op::LoadField:
+  case Op::LoadElem:
+    if (Annotate && S[I.A] != NonLocal && Mutable->NeedsBarrier) {
+      Mutable->NeedsBarrier = false;
+      ++Removed;
+    }
+    DefNonLocal(I.Dst);
+    return;
+  case Op::StoreField:
+    if (Annotate && S[I.A] != NonLocal && Mutable->NeedsBarrier) {
+      Mutable->NeedsBarrier = false;
+      ++Removed;
+    }
+    if (I.IsRefValue)
+      retire(S, S[I.B]); // The stored reference escapes (conservative).
+    return;
+  case Op::StoreElem:
+    if (Annotate && S[I.A] != NonLocal && Mutable->NeedsBarrier) {
+      Mutable->NeedsBarrier = false;
+      ++Removed;
+    }
+    if (I.IsRefValue)
+      retire(S, S[I.C]);
+    return;
+  case Op::LoadStatic:
+    DefNonLocal(I.Dst);
+    return;
+  case Op::StoreStatic:
+    if (I.IsRefValue)
+      retire(S, S[I.A]);
+    return;
+  case Op::Call:
+  case Op::Spawn:
+    for (RegId A : I.Args)
+      retire(S, S[A]); // Reachable from call arguments (§6).
+    DefNonLocal(I.Dst);
+    return;
+  case Op::Ret:
+    if (I.Imm)
+      retire(S, S[I.A]);
+    return;
+  case Op::ConstInt:
+  case Op::Bin:
+  case Op::Neg:
+  case Op::Not:
+  case Op::ArrayLen:
+    DefNonLocal(I.Dst);
+    return;
+  case Op::Join:
+  case Op::Print:
+  case Op::Prints:
+  case Op::Retry:
+  case Op::AtomicBegin:
+  case Op::AtomicEnd:
+  case Op::OpenBegin:
+  case Op::OpenEnd:
+  case Op::Jump:
+  case Op::Branch:
+    return;
+  }
+}
+
+uint64_t runOnFunction(Function &F) {
+  if (F.Blocks.empty())
+    return 0;
+  std::vector<State> EntryStates(F.Blocks.size(),
+                                 State(F.NumRegs, NonLocal));
+  std::vector<bool> Seen(F.Blocks.size(), false);
+  Seen[0] = true;
+
+  std::deque<BlockId> Work{0};
+  uint64_t Dummy = 0;
+  while (!Work.empty()) {
+    BlockId B = Work.front();
+    Work.pop_front();
+    State S = EntryStates[B];
+    for (const Inst &I : F.Blocks[B].Insts)
+      transfer(I, S, /*Annotate=*/false, nullptr, Dummy);
+    auto Propagate = [&](BlockId Succ) {
+      if (!Seen[Succ]) {
+        Seen[Succ] = true;
+        EntryStates[Succ] = S;
+        Work.push_back(Succ);
+      } else if (mergeInto(EntryStates[Succ], S)) {
+        Work.push_back(Succ);
+      }
+    };
+    if (!F.Blocks[B].Insts.empty()) {
+      const Inst &Last = F.Blocks[B].Insts.back();
+      if (Last.K == Op::Jump)
+        Propagate(Last.Index);
+      else if (Last.K == Op::Branch) {
+        Propagate(Last.Index);
+        Propagate(Last.Index2);
+      }
+    }
+  }
+
+  // Annotation pass over the converged states.
+  uint64_t Removed = 0;
+  for (BlockId B = 0; B < F.Blocks.size(); ++B) {
+    if (!Seen[B])
+      continue;
+    State S = EntryStates[B];
+    for (Inst &I : F.Blocks[B].Insts)
+      transfer(I, S, /*Annotate=*/true, &I, Removed);
+  }
+  return Removed;
+}
+
+} // namespace
+
+uint64_t satm::tc::runIntraprocEscape(Module &M) {
+  uint64_t Removed = 0;
+  for (Function &F : M.Funcs)
+    Removed += runOnFunction(F);
+  return Removed;
+}

@@ -1,0 +1,37 @@
+//===- tc/Escape.h - Intraprocedural static escape analysis ----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT's intraprocedural static escape analysis (§6): "Allocated
+/// objects begin thread-local and an iterative, forward dataflow analysis
+/// finds that objects escape when they are assigned to escaped locations
+/// ... or are reachable from method-call arguments." Accesses whose base is
+/// provably a still-local fresh allocation need no isolation barrier.
+///
+/// The lattice maps each register to the allocation-site id it provably
+/// holds a never-escaped fresh object of (or NonLocal). Any escape event —
+/// a store of the reference into the heap or a static, passing it to a
+/// call/spawn, or returning it — retires that allocation id everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_ESCAPE_H
+#define SATM_TC_ESCAPE_H
+
+#include "tc/Ir.h"
+
+namespace satm {
+namespace tc {
+
+/// Runs the intraprocedural escape analysis on every function of \p M and
+/// clears Inst::NeedsBarrier on accesses with provably-local bases.
+/// \returns the number of barriers removed.
+uint64_t runIntraprocEscape(ir::Module &M);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_ESCAPE_H

@@ -1,0 +1,102 @@
+//===- tc/Interp.h - Threaded TranC interpreter ----------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a lowered (and pass-annotated) TranC module on top of the SATM
+/// runtime: atomic regions run as eager transactions with register-snapshot
+/// re-execution, `spawn` creates real threads, and non-transactional heap
+/// accesses honor the barrier annotations — Figure 9/10 isolation barriers
+/// under strong mode, direct accesses under weak mode or where a pass
+/// removed the barrier, and §6 aggregated barriers where the aggregation
+/// pass formed groups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_INTERP_H
+#define SATM_TC_INTERP_H
+
+#include "rt/Heap.h"
+#include "tc/Ir.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+/// Interprets one module. Not reusable: construct, run once, inspect.
+class Interp {
+public:
+  struct Options {
+    /// Strong atomicity: annotated non-transactional accesses execute the
+    /// isolation barriers. When false, every non-transactional access is a
+    /// direct memory access (weak atomicity).
+    bool StrongBarriers = true;
+    /// Dynamic escape analysis (§4): objects are born private and the
+    /// barriers use the Figure 10 fast paths. Installs itself into the
+    /// global stm configuration for the duration of run().
+    bool Dea = false;
+    /// Per-thread executed-instruction budget (guards runaway programs in
+    /// tests; 0 = unlimited).
+    uint64_t MaxSteps = 200u * 1000 * 1000;
+  };
+
+  /// Thrown (internally) for runtime faults: null dereference, bounds,
+  /// division by zero, step-budget exhaustion.
+  struct RuntimeError {
+    std::string Message;
+  };
+
+  Interp(const ir::Module &M, Options O);
+  ~Interp();
+  Interp(const Interp &) = delete;
+  Interp &operator=(const Interp &) = delete;
+
+  /// Executes main(). \returns true on success; on a runtime error returns
+  /// false with the message in error().
+  bool run();
+
+  /// Everything the program printed (print/prints), in completion order.
+  std::string output() const;
+
+  /// First runtime error message, if any.
+  std::string error() const;
+
+private:
+  stm::Word execFunction(uint32_t FuncId, std::vector<stm::Word> Args);
+  void execFromEntry(uint32_t FuncId, std::vector<stm::Word> &Regs,
+                     stm::Word &Ret);
+  void threadMain(uint32_t FuncId, std::vector<stm::Word> Args);
+  void emitOutput(const std::string &Text);
+
+  const ir::Module &M;
+  Options Opts;
+  rt::Heap Heap;
+  std::vector<std::unique_ptr<rt::TypeDescriptor>> ClassTypes;
+  std::unique_ptr<rt::TypeDescriptor> IntArrayType;
+  std::unique_ptr<rt::TypeDescriptor> RefArrayType;
+  std::vector<rt::Object *> StaticCells;
+
+  mutable std::mutex OutMutex;
+  std::string Out;
+  std::mutex ErrMutex;
+  std::string Err;
+  std::atomic<bool> HasError{false};
+
+  std::mutex ThreadsMutex;
+  std::unordered_map<int64_t, std::thread> Threads;
+  std::atomic<int64_t> NextHandle{1};
+};
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_INTERP_H

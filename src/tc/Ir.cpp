@@ -1,0 +1,210 @@
+//===- tc/Ir.cpp - IR text dump -------------------------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Ir.h"
+
+#include <sstream>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+const char *opName(Op K) {
+  switch (K) {
+  case Op::ConstInt:
+    return "const";
+  case Op::Move:
+    return "move";
+  case Op::Bin:
+    return "bin";
+  case Op::Neg:
+    return "neg";
+  case Op::Not:
+    return "not";
+  case Op::NewObject:
+    return "newobj";
+  case Op::NewArray:
+    return "newarr";
+  case Op::LoadField:
+    return "ldfld";
+  case Op::StoreField:
+    return "stfld";
+  case Op::LoadStatic:
+    return "ldsta";
+  case Op::StoreStatic:
+    return "ststa";
+  case Op::LoadElem:
+    return "ldelem";
+  case Op::StoreElem:
+    return "stelem";
+  case Op::ArrayLen:
+    return "len";
+  case Op::Call:
+    return "call";
+  case Op::Spawn:
+    return "spawn";
+  case Op::Join:
+    return "join";
+  case Op::Print:
+    return "print";
+  case Op::Prints:
+    return "prints";
+  case Op::Retry:
+    return "retry";
+  case Op::AtomicBegin:
+    return "atomic.begin";
+  case Op::AtomicEnd:
+    return "atomic.end";
+  case Op::OpenBegin:
+    return "open.begin";
+  case Op::OpenEnd:
+    return "open.end";
+  case Op::Jump:
+    return "jump";
+  case Op::Branch:
+    return "branch";
+  case Op::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Rem:
+    return "%";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string satm::tc::ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const Function &F : M.Funcs) {
+    OS << "fn " << F.Name << " (params=" << F.NumParams
+       << ", regs=" << F.NumRegs << ")\n";
+    for (size_t B = 0; B < F.Blocks.size(); ++B) {
+      OS << "  b" << B << ":\n";
+      for (const Inst &I : F.Blocks[B].Insts) {
+        OS << "    " << opName(I.K);
+        switch (I.K) {
+        case Op::ConstInt:
+          OS << " r" << I.Dst << " = " << I.Imm;
+          break;
+        case Op::Move:
+          OS << " r" << I.Dst << " = r" << I.A;
+          break;
+        case Op::Bin:
+          OS << " r" << I.Dst << " = r" << I.A << " " << binOpName(I.BOp)
+             << " r" << I.B;
+          break;
+        case Op::Neg:
+        case Op::Not:
+          OS << " r" << I.Dst << " = r" << I.A;
+          break;
+        case Op::NewObject:
+          OS << " r" << I.Dst << " = " << M.Classes[I.Index].Name << " @site"
+             << I.Index2;
+          break;
+        case Op::NewArray:
+          OS << " r" << I.Dst << " = [r" << I.A << "]"
+             << (I.Index ? " ref" : " int") << " @site" << I.Index2;
+          break;
+        case Op::LoadField:
+          OS << " r" << I.Dst << " = r" << I.A << ".f" << I.Index;
+          break;
+        case Op::StoreField:
+          OS << " r" << I.A << ".f" << I.Index << " = r" << I.B;
+          break;
+        case Op::LoadStatic:
+          OS << " r" << I.Dst << " = " << M.Statics[I.Index].Name;
+          break;
+        case Op::StoreStatic:
+          OS << " " << M.Statics[I.Index].Name << " = r" << I.A;
+          break;
+        case Op::LoadElem:
+          OS << " r" << I.Dst << " = r" << I.A << "[r" << I.B << "]";
+          break;
+        case Op::StoreElem:
+          OS << " r" << I.A << "[r" << I.B << "] = r" << I.C;
+          break;
+        case Op::ArrayLen:
+          OS << " r" << I.Dst << " = len r" << I.A;
+          break;
+        case Op::Call:
+        case Op::Spawn:
+          OS << " r" << I.Dst << " = " << M.Funcs[I.Index].Name << "(";
+          for (size_t A = 0; A < I.Args.size(); ++A)
+            OS << (A ? ", r" : "r") << I.Args[A];
+          OS << ")";
+          break;
+        case Op::Join:
+        case Op::Print:
+          OS << " r" << I.A;
+          break;
+        case Op::Prints:
+          OS << " \"" << M.Strings[I.Index] << "\"";
+          break;
+        case Op::Retry:
+        case Op::AtomicEnd:
+        case Op::OpenEnd:
+          break;
+        case Op::AtomicBegin:
+        case Op::OpenBegin:
+          OS << " end=b" << I.Index;
+          break;
+        case Op::Jump:
+          OS << " b" << I.Index;
+          break;
+        case Op::Branch:
+          OS << " r" << I.A << " ? b" << I.Index << " : b" << I.Index2;
+          break;
+        case Op::Ret:
+          if (I.Imm)
+            OS << " r" << I.A;
+          break;
+        }
+        if (isHeapAccess(I.K)) {
+          if (I.InAtomic)
+            OS << " [txn]";
+          if (!I.NeedsBarrier)
+            OS << " [nobarrier]";
+          if (I.Agg != AggRole::None)
+            OS << " [agg" << static_cast<int>(I.Agg) << "]";
+        }
+        OS << "\n";
+      }
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,162 @@
+//===- tc/Ir.h - TranC register IR -----------------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A register-based, CFG-structured IR for TranC, the unit the paper's
+/// analyses operate on. Memory-access instructions carry the annotations
+/// the optimization pipeline computes: lexically-in-atomic (the "context"
+/// seed of §5.1), NeedsBarrier (the §5.2 barrier-removal verdict combined
+/// with the §6 JIT analyses), and the §6 aggregation role.
+///
+/// Atomic blocks are single-entry/single-exit regions delimited by
+/// AtomicBegin (whose Index names the block that starts with the matching
+/// AtomicEnd); Sema guarantees no return leaves a region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_IR_H
+#define SATM_TC_IR_H
+
+#include "tc/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace tc {
+namespace ir {
+
+using RegId = uint32_t;
+using BlockId = uint32_t;
+
+enum class Op : uint8_t {
+  ConstInt,    ///< Dst = Imm.
+  Move,        ///< Dst = A.
+  Bin,         ///< Dst = A <BOp> B (no &&/||; those lower to control flow).
+  Neg,         ///< Dst = -A.
+  Not,         ///< Dst = !A.
+  NewObject,   ///< Dst = new Classes[Index]; Index2 = allocation site.
+  NewArray,    ///< Dst = new elem[A]; Index = ref-elem flag; Index2 = site.
+  LoadField,   ///< Dst = A.field[Index]           (heap access).
+  StoreField,  ///< A.field[Index] = B             (heap access).
+  LoadStatic,  ///< Dst = statics[Index]           (heap access).
+  StoreStatic, ///< statics[Index] = A             (heap access).
+  LoadElem,    ///< Dst = A[B]                     (heap access).
+  StoreElem,   ///< A[B] = C                       (heap access).
+  ArrayLen,    ///< Dst = len(A); immutable, never needs a barrier (§6).
+  Call,        ///< Dst = Funcs[Index](Args); Imm=1 if a result is produced.
+  Spawn,       ///< Dst = handle of new thread running Funcs[Index](Args).
+  Join,        ///< join thread A.
+  Print,       ///< print integer A.
+  Prints,      ///< print Strings[Index].
+  Retry,       ///< user-initiated transaction retry.
+  AtomicBegin, ///< begin atomic region; Index = block of matching AtomicEnd.
+  AtomicEnd,   ///< end atomic region.
+  OpenBegin,   ///< begin open-nested region; Index = block of its OpenEnd.
+  OpenEnd,     ///< end open-nested region (independent commit).
+  Jump,        ///< goto block Index.
+  Branch,      ///< if A goto block Index else goto block Index2.
+  Ret,         ///< return (A if Imm == 1).
+};
+
+/// True if \p K reads or writes the heap (field, static or element) — the
+/// instructions that carry isolation barriers outside transactions.
+inline bool isHeapAccess(Op K) {
+  return K == Op::LoadField || K == Op::StoreField || K == Op::LoadStatic ||
+         K == Op::StoreStatic || K == Op::LoadElem || K == Op::StoreElem;
+}
+
+/// True if \p K is a heap store.
+inline bool isHeapStore(Op K) {
+  return K == Op::StoreField || K == Op::StoreStatic || K == Op::StoreElem;
+}
+
+/// Aggregation roles assigned by the §6 barrier-aggregation pass.
+enum class AggRole : uint8_t {
+  None,   ///< Standalone barrier.
+  Open,   ///< First access of a group: acquire the record.
+  Member, ///< Interior access: record already held.
+  Close,  ///< Last access: release the record afterwards.
+};
+
+struct Inst {
+  Op K;
+  Loc Where;
+  RegId Dst = 0;
+  RegId A = 0;
+  RegId B = 0;
+  RegId C = 0;
+  int64_t Imm = 0;
+  uint32_t Index = 0;
+  uint32_t Index2 = 0;
+  BinOp BOp = BinOp::Add;
+  std::vector<RegId> Args; ///< Call/Spawn arguments.
+
+  /// For stores: the stored value is a reference (drives publication and
+  /// points-to edges). For loads: the result is a reference.
+  bool IsRefValue = false;
+
+  //===-- Analysis annotations (heap accesses only) -----------------------===
+  /// Lexically inside an atomic block (§5.1's in-transaction seed).
+  bool InAtomic = false;
+  /// Isolation barrier required when executed outside a transaction.
+  /// Starts true for every heap access; passes clear it.
+  bool NeedsBarrier = true;
+  /// Barrier-aggregation role (§6).
+  AggRole Agg = AggRole::None;
+};
+
+struct Block {
+  std::vector<Inst> Insts;
+};
+
+struct Function {
+  std::string Name;
+  uint32_t FuncId = 0;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0; ///< Locals first, then temporaries.
+  std::vector<Block> Blocks; ///< Blocks[0] is the entry.
+  std::vector<bool> ParamIsRef; ///< Which parameters are references.
+  bool RetIsRef = false;
+};
+
+struct ClassInfo {
+  std::string Name;
+  uint32_t NumSlots = 0;
+  std::vector<uint32_t> RefSlots;
+};
+
+struct StaticInfo {
+  std::string Name;
+  bool IsRef = false;
+};
+
+/// A lowered TranC program.
+struct Module {
+  std::vector<Function> Funcs;
+  std::vector<ClassInfo> Classes;
+  std::vector<StaticInfo> Statics;
+  std::vector<std::string> Strings;
+  uint32_t MainFunc = ~0u; ///< ~0u when the program has no main().
+  uint32_t NumAllocSites = 0;
+
+  const Function *findFunc(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Renders \p M as readable text (tests and debugging).
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_IR_H

@@ -1,0 +1,372 @@
+//===- tc/Lexer.cpp - TranC lexical analysis -----------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace satm;
+using namespace satm::tc;
+
+const char *satm::tc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::StrLit:
+    return "string literal";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwAtomic:
+    return "'atomic'";
+  case TokKind::KwOpen:
+    return "'open'";
+  case TokKind::KwRetry:
+    return "'retry'";
+  case TokKind::KwSpawn:
+    return "'spawn'";
+  case TokKind::KwJoin:
+    return "'join'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwPrint:
+    return "'print'";
+  case TokKind::KwPrints:
+    return "'prints'";
+  case TokKind::KwLen:
+    return "'len'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Not:
+    return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind> &keywords() {
+  static const std::unordered_map<std::string, TokKind> Map = {
+      {"class", TokKind::KwClass},   {"static", TokKind::KwStatic},
+      {"fn", TokKind::KwFn},         {"var", TokKind::KwVar},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},   {"return", TokKind::KwReturn},
+      {"atomic", TokKind::KwAtomic}, {"open", TokKind::KwOpen},
+      {"retry", TokKind::KwRetry},
+      {"spawn", TokKind::KwSpawn},   {"join", TokKind::KwJoin},
+      {"new", TokKind::KwNew},       {"null", TokKind::KwNull},
+      {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+      {"int", TokKind::KwInt},       {"bool", TokKind::KwBool},
+      {"print", TokKind::KwPrint},   {"prints", TokKind::KwPrints},
+      {"len", TokKind::KwLen},
+  };
+  return Map;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, Diag &D) : Src(Source), D(D) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  Loc here() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return;
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        Loc Start = here();
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (atEnd()) {
+          D.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K, Loc Where) {
+    Token T;
+    T.Kind = K;
+    T.Where = Where;
+    return T;
+  }
+
+  Token next() {
+    if (atEnd())
+      return make(TokKind::Eof, here());
+    Loc Start = here();
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        Text += advance();
+      auto It = keywords().find(Text);
+      if (It != keywords().end())
+        return make(It->second, Start);
+      Token T = make(TokKind::Ident, Start);
+      T.Text = std::move(Text);
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = C - '0';
+      bool Overflow = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        int Digit = advance() - '0';
+        if (Value > (INT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + Digit;
+      }
+      if (Overflow)
+        D.error(Start, "integer literal does not fit in 64 bits");
+      Token T = make(TokKind::IntLit, Start);
+      T.IntValue = Value;
+      return T;
+    }
+
+    if (C == '"') {
+      std::string Text;
+      for (;;) {
+        if (atEnd() || peek() == '\n') {
+          D.error(Start, "unterminated string literal");
+          break;
+        }
+        char N = advance();
+        if (N == '"')
+          break;
+        if (N == '\\') {
+          char E = atEnd() ? '\0' : advance();
+          switch (E) {
+          case 'n':
+            Text += '\n';
+            break;
+          case 't':
+            Text += '\t';
+            break;
+          case '\\':
+            Text += '\\';
+            break;
+          case '"':
+            Text += '"';
+            break;
+          default:
+            D.error(here(), "unknown escape sequence");
+          }
+          continue;
+        }
+        Text += N;
+      }
+      Token T = make(TokKind::StrLit, Start);
+      T.Text = std::move(Text);
+      return T;
+    }
+
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Start);
+    case ')':
+      return make(TokKind::RParen, Start);
+    case '{':
+      return make(TokKind::LBrace, Start);
+    case '}':
+      return make(TokKind::RBrace, Start);
+    case '[':
+      return make(TokKind::LBracket, Start);
+    case ']':
+      return make(TokKind::RBracket, Start);
+    case ';':
+      return make(TokKind::Semi, Start);
+    case ':':
+      return make(TokKind::Colon, Start);
+    case ',':
+      return make(TokKind::Comma, Start);
+    case '.':
+      return make(TokKind::Dot, Start);
+    case '+':
+      return make(TokKind::Plus, Start);
+    case '-':
+      return make(TokKind::Minus, Start);
+    case '*':
+      return make(TokKind::Star, Start);
+    case '/':
+      return make(TokKind::Slash, Start);
+    case '%':
+      return make(TokKind::Percent, Start);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Start);
+      }
+      return make(TokKind::Not, Start);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Start);
+      }
+      return make(TokKind::Assign, Start);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Start);
+      }
+      return make(TokKind::Lt, Start);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Start);
+      }
+      return make(TokKind::Gt, Start);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Start);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Start);
+      }
+      break;
+    default:
+      break;
+    }
+    D.error(Start, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+
+  const std::string &Src;
+  Diag &D;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> satm::tc::lex(const std::string &Source, Diag &D) {
+  return LexerImpl(Source, D).run();
+}

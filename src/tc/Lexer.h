@@ -1,0 +1,98 @@
+//===- tc/Lexer.h - TranC lexical analysis ---------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens and the hand-written lexer for TranC, the managed transactional
+/// language that stands in for the paper's Java substrate (DESIGN.md §1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_LEXER_H
+#define SATM_TC_LEXER_H
+
+#include "tc/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwClass,
+  KwStatic,
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwAtomic,
+  KwOpen,
+  KwRetry,
+  KwSpawn,
+  KwJoin,
+  KwNew,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBool,
+  KwPrint,
+  KwPrints,
+  KwLen,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Colon,
+  Comma,
+  Dot,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+};
+
+/// Printable name of a token kind, for diagnostics.
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  Loc Where;
+  std::string Text;  ///< Identifier spelling or string-literal contents.
+  int64_t IntValue = 0;
+};
+
+/// Lexes \p Source into a token vector ending in Eof. Lexical errors are
+/// reported to \p D; offending characters are skipped.
+std::vector<Token> lex(const std::string &Source, Diag &D);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_LEXER_H

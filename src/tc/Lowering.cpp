@@ -1,0 +1,470 @@
+//===- tc/Lowering.cpp - AST to IR lowering ------------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Lowering.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+class LoweringImpl {
+public:
+  explicit LoweringImpl(const Program &P) : P(P) {}
+
+  Module run() {
+    // Classes.
+    for (const auto &C : P.Classes) {
+      ClassInfo Info;
+      Info.Name = C->Name;
+      Info.NumSlots = static_cast<uint32_t>(C->Fields.size());
+      for (const FieldDecl &F : C->Fields)
+        if (F.Ty.isRef())
+          Info.RefSlots.push_back(F.SlotIndex);
+      ClassIds[C->Name] = static_cast<uint32_t>(M.Classes.size());
+      M.Classes.push_back(std::move(Info));
+    }
+    // Statics (indexed by StaticDecl::Index, which Sema assigned densely).
+    M.Statics.resize(P.Statics.size());
+    for (const auto &S : P.Statics)
+      M.Statics[S->Index] = {S->Name, S->Ty.isRef()};
+    // Function ids first (forward calls), then bodies.
+    for (const auto &F : P.Funcs) {
+      FuncIds[F->Name] = static_cast<uint32_t>(M.Funcs.size());
+      Function Fn;
+      Fn.Name = F->Name;
+      Fn.FuncId = static_cast<uint32_t>(M.Funcs.size());
+      Fn.NumParams = static_cast<uint32_t>(F->Params.size());
+      for (const ParamDecl &Param : F->Params)
+        Fn.ParamIsRef.push_back(Param.Ty.isRef());
+      Fn.RetIsRef = F->RetTy.isRef();
+      M.Funcs.push_back(std::move(Fn));
+    }
+    for (const auto &F : P.Funcs)
+      lowerFunc(*F, M.Funcs[FuncIds[F->Name]]);
+    if (const FuncDecl *Main = P.findFunc("main"))
+      M.MainFunc = FuncIds[Main->Name];
+    M.NumAllocSites = NextAllocSite;
+    return M;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Per-function emission state.
+  //===--------------------------------------------------------------------===
+
+  RegId newReg() { return CurFunc->NumRegs++; }
+
+  BlockId newBlock() {
+    CurFunc->Blocks.emplace_back();
+    return static_cast<BlockId>(CurFunc->Blocks.size() - 1);
+  }
+
+  Inst &emit(Op K, Loc Where) {
+    Block &B = CurFunc->Blocks[CurBlock];
+    B.Insts.push_back({});
+    Inst &I = B.Insts.back();
+    I.K = K;
+    I.Where = Where;
+    I.InAtomic = AtomicDepth > 0;
+    if (!isHeapAccess(K))
+      I.NeedsBarrier = false;
+    return I;
+  }
+
+  void setBlock(BlockId B) { CurBlock = B; }
+
+  /// Ends the current block with a jump to \p Target if it has no
+  /// terminator yet.
+  void jumpTo(BlockId Target, Loc Where) {
+    Inst &I = emit(Op::Jump, Where);
+    I.Index = Target;
+  }
+
+  void lowerFunc(const FuncDecl &F, Function &Fn) {
+    CurFunc = &Fn;
+    Fn.NumRegs = F.NumLocals;
+    Fn.Blocks.clear();
+    newBlock(); // Entry.
+    CurBlock = 0;
+    AtomicDepth = 0;
+    lowerStmt(*F.Body);
+    Inst &I = emit(Op::Ret, F.Where);
+    I.Imm = 0;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements.
+  //===--------------------------------------------------------------------===
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Stmts)
+        lowerStmt(*Child);
+      return;
+    case Stmt::Kind::VarDecl: {
+      const auto &V = static_cast<const VarDeclStmt &>(S);
+      RegId Src = lowerExpr(*V.Init);
+      Inst &I = emit(Op::Move, V.Where);
+      I.Dst = V.LocalIndex;
+      I.A = Src;
+      return;
+    }
+    case Stmt::Kind::Assign:
+      lowerAssign(static_cast<const AssignStmt &>(S));
+      return;
+    case Stmt::Kind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      RegId Cond = lowerExpr(*I.Cond);
+      BlockId ThenB = newBlock();
+      BlockId ElseB = I.Else ? newBlock() : 0;
+      BlockId EndB = newBlock();
+      Inst &Br = emit(Op::Branch, I.Where);
+      Br.A = Cond;
+      Br.Index = ThenB;
+      Br.Index2 = I.Else ? ElseB : EndB;
+      setBlock(ThenB);
+      lowerStmt(*I.Then);
+      jumpTo(EndB, I.Where);
+      if (I.Else) {
+        setBlock(ElseB);
+        lowerStmt(*I.Else);
+        jumpTo(EndB, I.Where);
+      }
+      setBlock(EndB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      BlockId HeadB = newBlock();
+      jumpTo(HeadB, W.Where);
+      setBlock(HeadB);
+      RegId Cond = lowerExpr(*W.Cond);
+      BlockId BodyB = newBlock();
+      BlockId EndB = newBlock();
+      Inst &Br = emit(Op::Branch, W.Where);
+      Br.A = Cond;
+      Br.Index = BodyB;
+      Br.Index2 = EndB;
+      setBlock(BodyB);
+      lowerStmt(*W.Body);
+      jumpTo(HeadB, W.Where);
+      setBlock(EndB);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      RegId Src = 0;
+      bool HasValue = R.Value != nullptr;
+      if (HasValue)
+        Src = lowerExpr(*R.Value);
+      Inst &I = emit(Op::Ret, R.Where);
+      I.A = Src;
+      I.Imm = HasValue ? 1 : 0;
+      // Subsequent emission in this block would be dead; give it a block.
+      setBlock(newBlock());
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      lowerExpr(*static_cast<const ExprStmt &>(S).E);
+      return;
+    case Stmt::Kind::Atomic: {
+      const auto &A = static_cast<const AtomicStmt &>(S);
+      BlockId EndB = newBlock();
+      Inst &Begin = emit(Op::AtomicBegin, A.Where);
+      Begin.Index = EndB;
+      ++AtomicDepth;
+      lowerStmt(*A.Body);
+      --AtomicDepth;
+      jumpTo(EndB, A.Where);
+      setBlock(EndB);
+      Inst &End = emit(Op::AtomicEnd, A.Where);
+      // AtomicEnd itself executes as the last action of the region.
+      End.InAtomic = true;
+      return;
+    }
+    case Stmt::Kind::Open: {
+      const auto &O = static_cast<const OpenStmt &>(S);
+      BlockId EndB = newBlock();
+      Inst &Begin = emit(Op::OpenBegin, O.Where);
+      Begin.Index = EndB;
+      lowerStmt(*O.Body); // Still lexically transactional (AtomicDepth>0).
+      jumpTo(EndB, O.Where);
+      setBlock(EndB);
+      Inst &End = emit(Op::OpenEnd, O.Where);
+      End.InAtomic = true;
+      return;
+    }
+    case Stmt::Kind::Retry:
+      emit(Op::Retry, S.Where);
+      return;
+    case Stmt::Kind::Join: {
+      const auto &J = static_cast<const JoinStmt &>(S);
+      RegId H = lowerExpr(*J.Handle);
+      emit(Op::Join, J.Where).A = H;
+      return;
+    }
+    case Stmt::Kind::Print: {
+      const auto &Pr = static_cast<const PrintStmt &>(S);
+      RegId V = lowerExpr(*Pr.Value);
+      emit(Op::Print, Pr.Where).A = V;
+      return;
+    }
+    case Stmt::Kind::Prints: {
+      const auto &Pr = static_cast<const PrintsStmt &>(S);
+      Inst &I = emit(Op::Prints, Pr.Where);
+      I.Index = static_cast<uint32_t>(M.Strings.size());
+      M.Strings.push_back(Pr.Text);
+      return;
+    }
+    }
+  }
+
+  void lowerAssign(const AssignStmt &S) {
+    const Expr &T = *S.Target;
+    if (T.K == Expr::Kind::VarRef) {
+      const auto &V = static_cast<const VarRefExpr &>(T);
+      RegId Src = lowerExpr(*S.Value);
+      if (V.isStatic()) {
+        Inst &I = emit(Op::StoreStatic, S.Where);
+        I.Index = V.staticIndex();
+        I.A = Src;
+        I.IsRefValue = M.Statics[I.Index].IsRef;
+        return;
+      }
+      Inst &I = emit(Op::Move, S.Where);
+      I.Dst = V.LocalIndex;
+      I.A = Src;
+      return;
+    }
+    if (T.K == Expr::Kind::FieldAccess) {
+      const auto &FA = static_cast<const FieldAccessExpr &>(T);
+      RegId Base = lowerExpr(*FA.Base);
+      RegId Src = lowerExpr(*S.Value);
+      Inst &I = emit(Op::StoreField, S.Where);
+      I.A = Base;
+      I.B = Src;
+      I.Index = FA.SlotIndex;
+      I.IsRefValue = S.Value->Ty.isRef() || FA.Ty.isRef();
+      return;
+    }
+    if (T.K == Expr::Kind::IndexAccess) {
+      const auto &IA = static_cast<const IndexAccessExpr &>(T);
+      RegId Base = lowerExpr(*IA.Base);
+      RegId Index = lowerExpr(*IA.Index);
+      RegId Src = lowerExpr(*S.Value);
+      Inst &I = emit(Op::StoreElem, S.Where);
+      I.A = Base;
+      I.B = Index;
+      I.C = Src;
+      I.IsRefValue = IA.Base->Ty.Kind == Type::RefArray;
+      return;
+    }
+    assert(false && "Sema admitted a non-assignable target");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions.
+  //===--------------------------------------------------------------------===
+
+  RegId lowerExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit: {
+      RegId Dst = newReg();
+      Inst &I = emit(Op::ConstInt, E.Where);
+      I.Dst = Dst;
+      I.Imm = static_cast<const IntLitExpr &>(E).Value;
+      return Dst;
+    }
+    case Expr::Kind::BoolLit: {
+      RegId Dst = newReg();
+      Inst &I = emit(Op::ConstInt, E.Where);
+      I.Dst = Dst;
+      I.Imm = static_cast<const BoolLitExpr &>(E).Value ? 1 : 0;
+      return Dst;
+    }
+    case Expr::Kind::NullLit: {
+      RegId Dst = newReg();
+      Inst &I = emit(Op::ConstInt, E.Where);
+      I.Dst = Dst;
+      I.Imm = 0;
+      return Dst;
+    }
+    case Expr::Kind::VarRef: {
+      const auto &V = static_cast<const VarRefExpr &>(E);
+      if (V.isStatic()) {
+        RegId Dst = newReg();
+        Inst &I = emit(Op::LoadStatic, E.Where);
+        I.Dst = Dst;
+        I.Index = V.staticIndex();
+        I.IsRefValue = M.Statics[I.Index].IsRef;
+        return Dst;
+      }
+      return V.LocalIndex;
+    }
+    case Expr::Kind::StaticRef: {
+      const auto &R = static_cast<const StaticRefExpr &>(E);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::LoadStatic, E.Where);
+      I.Dst = Dst;
+      I.Index = R.StaticIndex;
+      I.IsRefValue = M.Statics[I.Index].IsRef;
+      return Dst;
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      if (B.Op == BinOp::And || B.Op == BinOp::Or)
+        return lowerShortCircuit(B);
+      RegId L = lowerExpr(*B.Lhs);
+      RegId R = lowerExpr(*B.Rhs);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::Bin, E.Where);
+      I.Dst = Dst;
+      I.A = L;
+      I.B = R;
+      I.BOp = B.Op;
+      return Dst;
+    }
+    case Expr::Kind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      RegId Sub = lowerExpr(*U.Sub);
+      RegId Dst = newReg();
+      Inst &I = emit(U.Op == UnOp::Neg ? Op::Neg : Op::Not, E.Where);
+      I.Dst = Dst;
+      I.A = Sub;
+      return Dst;
+    }
+    case Expr::Kind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      std::vector<RegId> Args;
+      for (const ExprPtr &A : C.Args)
+        Args.push_back(lowerExpr(*A));
+      RegId Dst = newReg();
+      Inst &I = emit(Op::Call, E.Where);
+      I.Dst = Dst;
+      I.Index = FuncIds.at(C.Callee);
+      I.Args = std::move(Args);
+      I.Imm = C.Ty.Kind != Type::Void ? 1 : 0;
+      return Dst;
+    }
+    case Expr::Kind::Spawn: {
+      const auto &Sp = static_cast<const SpawnExpr &>(E);
+      std::vector<RegId> Args;
+      for (const ExprPtr &A : Sp.Args)
+        Args.push_back(lowerExpr(*A));
+      RegId Dst = newReg();
+      Inst &I = emit(Op::Spawn, E.Where);
+      I.Dst = Dst;
+      I.Index = FuncIds.at(Sp.Callee);
+      I.Args = std::move(Args);
+      return Dst;
+    }
+    case Expr::Kind::NewObject: {
+      const auto &N = static_cast<const NewObjectExpr &>(E);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::NewObject, E.Where);
+      I.Dst = Dst;
+      I.Index = ClassIds.at(N.ClassName);
+      I.Index2 = NextAllocSite++;
+      return Dst;
+    }
+    case Expr::Kind::NewArray: {
+      const auto &N = static_cast<const NewArrayExpr &>(E);
+      RegId Len = lowerExpr(*N.Length);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::NewArray, E.Where);
+      I.Dst = Dst;
+      I.A = Len;
+      I.Index = N.ElemTy.Kind == Type::Class ? 1 : 0;
+      I.Index2 = NextAllocSite++;
+      return Dst;
+    }
+    case Expr::Kind::FieldAccess: {
+      const auto &FA = static_cast<const FieldAccessExpr &>(E);
+      RegId Base = lowerExpr(*FA.Base);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::LoadField, E.Where);
+      I.Dst = Dst;
+      I.A = Base;
+      I.Index = FA.SlotIndex;
+      I.IsRefValue = FA.Ty.isRef();
+      return Dst;
+    }
+    case Expr::Kind::IndexAccess: {
+      const auto &IA = static_cast<const IndexAccessExpr &>(E);
+      RegId Base = lowerExpr(*IA.Base);
+      RegId Index = lowerExpr(*IA.Index);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::LoadElem, E.Where);
+      I.Dst = Dst;
+      I.A = Base;
+      I.B = Index;
+      I.IsRefValue = IA.Ty.isRef();
+      return Dst;
+    }
+    case Expr::Kind::Len: {
+      const auto &L = static_cast<const LenExpr &>(E);
+      RegId Base = lowerExpr(*L.Base);
+      RegId Dst = newReg();
+      Inst &I = emit(Op::ArrayLen, E.Where);
+      I.Dst = Dst;
+      I.A = Base;
+      return Dst;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return 0;
+  }
+
+  RegId lowerShortCircuit(const BinaryExpr &B) {
+    RegId Dst = newReg();
+    RegId L = lowerExpr(*B.Lhs);
+    {
+      Inst &I = emit(Op::Move, B.Where);
+      I.Dst = Dst;
+      I.A = L;
+    }
+    BlockId RhsB = newBlock();
+    BlockId EndB = newBlock();
+    Inst &Br = emit(Op::Branch, B.Where);
+    Br.A = Dst;
+    if (B.Op == BinOp::And) {
+      Br.Index = RhsB; // true: result depends on RHS.
+      Br.Index2 = EndB;
+    } else {
+      Br.Index = EndB; // true: short-circuit.
+      Br.Index2 = RhsB;
+    }
+    setBlock(RhsB);
+    RegId R = lowerExpr(*B.Rhs);
+    {
+      Inst &I = emit(Op::Move, B.Where);
+      I.Dst = Dst;
+      I.A = R;
+    }
+    jumpTo(EndB, B.Where);
+    setBlock(EndB);
+    return Dst;
+  }
+
+  const Program &P;
+  Module M;
+  std::unordered_map<std::string, uint32_t> ClassIds;
+  std::unordered_map<std::string, uint32_t> FuncIds;
+  Function *CurFunc = nullptr;
+  BlockId CurBlock = 0;
+  unsigned AtomicDepth = 0;
+  uint32_t NextAllocSite = 0;
+};
+
+} // namespace
+
+Module satm::tc::lower(const Program &P) { return LoweringImpl(P).run(); }

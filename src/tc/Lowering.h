@@ -1,0 +1,31 @@
+//===- tc/Lowering.h - AST to IR lowering ----------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked TranC AST into the register IR: expressions to
+/// three-address instructions, short-circuit operators and structured
+/// control flow to CFG blocks, and atomic blocks to single-entry/
+/// single-exit AtomicBegin/AtomicEnd regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_LOWERING_H
+#define SATM_TC_LOWERING_H
+
+#include "tc/Ast.h"
+#include "tc/Ir.h"
+
+namespace satm {
+namespace tc {
+
+/// Lowers the Sema-checked \p P. Must only be called when Sema reported no
+/// errors.
+ir::Module lower(const Program &P);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_LOWERING_H

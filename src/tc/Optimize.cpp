@@ -1,0 +1,330 @@
+//===- tc/Optimize.cpp - Scalar IR optimizations --------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Optimize.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+/// Lattice value a register holds at a program point within one block.
+struct RegValue {
+  enum KindTy : uint8_t { Unknown, Const, CopyOf } Kind = Unknown;
+  int64_t ConstVal = 0;
+  RegId Source = 0;
+};
+
+class BlockState {
+public:
+  RegValue get(RegId R) const {
+    auto It = Values.find(R);
+    return It == Values.end() ? RegValue() : It->second;
+  }
+
+  /// Resolves \p R through copy chains to its representative register.
+  RegId resolveCopy(RegId R) const {
+    RegValue V = get(R);
+    // Chains are short (each Move resolves its source when recorded).
+    return V.Kind == RegValue::CopyOf ? V.Source : R;
+  }
+
+  void setConst(RegId R, int64_t C) {
+    kill(R);
+    Values[R] = {RegValue::Const, C, 0};
+  }
+
+  void setCopy(RegId Dst, RegId Src) {
+    kill(Dst);
+    if (Dst == Src)
+      return;
+    RegValue SrcVal = get(Src);
+    if (SrcVal.Kind == RegValue::Const) {
+      Values[Dst] = SrcVal;
+      return;
+    }
+    Values[Dst] = {RegValue::CopyOf, 0, resolveCopy(Src)};
+  }
+
+  void setUnknown(RegId R) {
+    kill(R);
+    Values.erase(R);
+  }
+
+private:
+  /// A write to \p R invalidates every copy-of-R fact.
+  void kill(RegId R) {
+    for (auto It = Values.begin(); It != Values.end();) {
+      if (It->second.Kind == RegValue::CopyOf && It->second.Source == R)
+        It = Values.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  std::unordered_map<RegId, RegValue> Values;
+};
+
+/// Invokes \p Fn on every register the instruction reads.
+template <typename FnT> void forEachUse(Inst &I, FnT Fn) {
+  switch (I.K) {
+  case Op::Move:
+  case Op::Neg:
+  case Op::Not:
+  case Op::ArrayLen:
+  case Op::NewArray:
+  case Op::LoadField:
+  case Op::Join:
+  case Op::Print:
+    Fn(I.A);
+    break;
+  case Op::Bin:
+  case Op::StoreField:
+  case Op::LoadElem:
+    Fn(I.A);
+    Fn(I.B);
+    break;
+  case Op::StoreElem:
+    Fn(I.A);
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  case Op::StoreStatic:
+    Fn(I.A);
+    break;
+  case Op::Branch:
+    Fn(I.A);
+    break;
+  case Op::Ret:
+    if (I.Imm)
+      Fn(I.A);
+    break;
+  case Op::Call:
+  case Op::Spawn:
+    for (RegId &R : I.Args)
+      Fn(R);
+    break;
+  case Op::ConstInt:
+  case Op::NewObject:
+  case Op::LoadStatic:
+  case Op::Prints:
+  case Op::Retry:
+  case Op::AtomicBegin:
+  case Op::AtomicEnd:
+  case Op::OpenBegin:
+  case Op::OpenEnd:
+  case Op::Jump:
+    break;
+  }
+}
+
+/// True if \p K writes I.Dst.
+bool definesDst(Op K) {
+  switch (K) {
+  case Op::ConstInt:
+  case Op::Move:
+  case Op::Bin:
+  case Op::Neg:
+  case Op::Not:
+  case Op::NewObject:
+  case Op::NewArray:
+  case Op::LoadField:
+  case Op::LoadStatic:
+  case Op::LoadElem:
+  case Op::ArrayLen:
+  case Op::Call:
+  case Op::Spawn:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True if removing the instruction (when its result is unused) cannot
+/// change program behavior: no heap effect, no control effect, no
+/// potential runtime fault.
+bool isPure(const Inst &I) {
+  switch (I.K) {
+  case Op::ConstInt:
+  case Op::Move:
+  case Op::Neg:
+  case Op::Not:
+    return true;
+  case Op::Bin:
+    // Division and remainder can fault; keep them.
+    return I.BOp != BinOp::Div && I.BOp != BinOp::Rem;
+  default:
+    return false;
+  }
+}
+
+/// Folds the binary operator over constants. \returns false when folding
+/// must not happen (faulting or overflowing cases are left to runtime).
+bool foldBin(BinOp Op, int64_t A, int64_t B, int64_t &Out) {
+  switch (Op) {
+  case BinOp::Add:
+    Out = static_cast<int64_t>(static_cast<uint64_t>(A) +
+                               static_cast<uint64_t>(B));
+    return true;
+  case BinOp::Sub:
+    Out = static_cast<int64_t>(static_cast<uint64_t>(A) -
+                               static_cast<uint64_t>(B));
+    return true;
+  case BinOp::Mul:
+    Out = static_cast<int64_t>(static_cast<uint64_t>(A) *
+                               static_cast<uint64_t>(B));
+    return true;
+  case BinOp::Div:
+  case BinOp::Rem:
+    if (B == 0 || (A == INT64_MIN && B == -1))
+      return false; // Preserve the runtime fault.
+    Out = Op == BinOp::Div ? A / B : A % B;
+    return true;
+  case BinOp::Lt:
+    Out = A < B;
+    return true;
+  case BinOp::Le:
+    Out = A <= B;
+    return true;
+  case BinOp::Gt:
+    Out = A > B;
+    return true;
+  case BinOp::Ge:
+    Out = A >= B;
+    return true;
+  case BinOp::Eq:
+    Out = A == B;
+    return true;
+  case BinOp::Ne:
+    Out = A != B;
+    return true;
+  case BinOp::And:
+  case BinOp::Or:
+    return false; // Lowered away; never reaches here.
+  }
+  return false;
+}
+
+bool foldBlock(Block &B, OptimizeStats &Stats) {
+  bool Changed = false;
+  BlockState State;
+  for (Inst &I : B.Insts) {
+    // Forward copies through operands first (cheap, aids folding).
+    forEachUse(I, [&](RegId &R) {
+      RegId Rep = State.resolveCopy(R);
+      if (Rep != R) {
+        R = Rep;
+        ++Stats.CopiesFwd;
+        Changed = true;
+      }
+    });
+
+    switch (I.K) {
+    case Op::ConstInt:
+      State.setConst(I.Dst, I.Imm);
+      break;
+    case Op::Move:
+      State.setCopy(I.Dst, I.A);
+      break;
+    case Op::Bin: {
+      RegValue A = State.get(I.A), Bv = State.get(I.B);
+      int64_t Out;
+      if (A.Kind == RegValue::Const && Bv.Kind == RegValue::Const &&
+          foldBin(I.BOp, A.ConstVal, Bv.ConstVal, Out)) {
+        I.K = Op::ConstInt;
+        I.Imm = Out;
+        State.setConst(I.Dst, Out);
+        ++Stats.Folded;
+        Changed = true;
+      } else {
+        State.setUnknown(I.Dst);
+      }
+      break;
+    }
+    case Op::Neg:
+    case Op::Not: {
+      RegValue A = State.get(I.A);
+      if (A.Kind == RegValue::Const) {
+        int64_t Out = I.K == Op::Neg
+                          ? static_cast<int64_t>(
+                                -static_cast<uint64_t>(A.ConstVal))
+                          : (A.ConstVal == 0);
+        I.K = Op::ConstInt;
+        I.Imm = Out;
+        State.setConst(I.Dst, Out);
+        ++Stats.Folded;
+        Changed = true;
+      } else {
+        State.setUnknown(I.Dst);
+      }
+      break;
+    }
+    case Op::Branch: {
+      RegValue Cond = State.get(I.A);
+      if (Cond.Kind == RegValue::Const) {
+        I.K = Op::Jump;
+        I.Index = Cond.ConstVal != 0 ? I.Index : I.Index2;
+        I.Index2 = 0;
+        ++Stats.BranchesFixed;
+        Changed = true;
+      }
+      break;
+    }
+    default:
+      if (definesDst(I.K))
+        State.setUnknown(I.Dst);
+      break;
+    }
+  }
+  return Changed;
+}
+
+bool removeDead(Function &F, OptimizeStats &Stats) {
+  // Global (per-function) use counts; locals flow across blocks, so a
+  // definition is dead only if its register is read nowhere at all and is
+  // redefined before any... conservatively: read nowhere in the function.
+  std::vector<bool> Used(F.NumRegs, false);
+  for (Block &B : F.Blocks)
+    for (Inst &I : B.Insts)
+      forEachUse(I, [&](RegId &R) { Used[R] = true; });
+  bool Changed = false;
+  for (Block &B : F.Blocks) {
+    std::vector<Inst> Kept;
+    Kept.reserve(B.Insts.size());
+    for (Inst &I : B.Insts) {
+      if (isPure(I) && definesDst(I.K) && !Used[I.Dst]) {
+        ++Stats.DeadRemoved;
+        Changed = true;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    B.Insts = std::move(Kept);
+  }
+  return Changed;
+}
+
+} // namespace
+
+OptimizeStats satm::tc::runScalarOpts(Module &M) {
+  OptimizeStats Stats;
+  for (Function &F : M.Funcs) {
+    bool Changed = true;
+    int Rounds = 0;
+    while (Changed && ++Rounds < 8) {
+      Changed = false;
+      for (Block &B : F.Blocks)
+        Changed |= foldBlock(B, Stats);
+      Changed |= removeDead(F, Stats);
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,38 @@
+//===- tc/Optimize.h - Scalar IR optimizations -----------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar cleanups a JIT performs before the barrier-specific work
+/// (§6 opens with the JIT's "own optimizations"): block-local constant
+/// folding and copy propagation, branch simplification over folded
+/// conditions, and global dead-code elimination of pure instructions.
+/// Heap accesses are never touched — their barriers are the subject of the
+/// dedicated passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_OPTIMIZE_H
+#define SATM_TC_OPTIMIZE_H
+
+#include "tc/Ir.h"
+
+namespace satm {
+namespace tc {
+
+struct OptimizeStats {
+  uint64_t Folded = 0;      ///< Bin/Neg/Not turned into ConstInt.
+  uint64_t CopiesFwd = 0;   ///< Operands rewritten through Moves.
+  uint64_t BranchesFixed = 0; ///< Branch with constant condition -> Jump.
+  uint64_t DeadRemoved = 0; ///< Pure instructions with unused results.
+};
+
+/// Runs folding + copy propagation + DCE on \p M to a fixpoint.
+OptimizeStats runScalarOpts(ir::Module &M);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_OPTIMIZE_H

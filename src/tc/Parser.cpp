@@ -1,0 +1,486 @@
+//===- tc/Parser.cpp - TranC recursive-descent parser --------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Parser.h"
+
+using namespace satm;
+using namespace satm::tc;
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Toks, Diag &D)
+      : Toks(std::move(Toks)), D(D) {}
+
+  Program run() {
+    Program P;
+    while (!at(TokKind::Eof)) {
+      if (at(TokKind::KwClass)) {
+        if (auto C = parseClass())
+          P.Classes.push_back(std::move(C));
+      } else if (at(TokKind::KwStatic)) {
+        if (auto S = parseStatic())
+          P.Statics.push_back(std::move(S));
+      } else if (at(TokKind::KwFn)) {
+        if (auto F = parseFunc())
+          P.Funcs.push_back(std::move(F));
+      } else {
+        D.error(cur().Where, "expected 'class', 'static' or 'fn'");
+        sync();
+      }
+    }
+    return P;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  Token advance() { return Toks[Pos + 1 < Toks.size() ? Pos++ : Pos]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  Token expect(TokKind K, const char *What) {
+    if (at(K))
+      return advance();
+    D.error(cur().Where, std::string("expected ") + tokKindName(K) +
+                             " in " + What + ", found " +
+                             tokKindName(cur().Kind));
+    return cur();
+  }
+
+  /// Error recovery: skip past the next ';' or '}', or up to (but not
+  /// past) a top-level keyword. Consuming the stray ';'/'}' guarantees
+  /// progress — the caller's loop would otherwise spin on it forever.
+  void sync() {
+    while (!at(TokKind::Eof)) {
+      if (accept(TokKind::Semi) || accept(TokKind::RBrace))
+        return;
+      if (at(TokKind::KwClass) || at(TokKind::KwStatic) || at(TokKind::KwFn))
+        return;
+      advance();
+    }
+  }
+
+  bool atType() const {
+    return at(TokKind::KwInt) || at(TokKind::KwBool) || at(TokKind::Ident);
+  }
+
+  Type parseType() {
+    Type Base;
+    if (accept(TokKind::KwInt)) {
+      Base = Type::intTy();
+    } else if (accept(TokKind::KwBool)) {
+      Base = Type::boolTy();
+    } else if (at(TokKind::Ident)) {
+      Base = Type::classTy(advance().Text);
+    } else {
+      D.error(cur().Where, "expected a type");
+      advance();
+      return Type::intTy();
+    }
+    if (accept(TokKind::LBracket)) {
+      expect(TokKind::RBracket, "array type");
+      if (Base.Kind == Type::Int)
+        return Type::intArrayTy();
+      if (Base.Kind == Type::Class)
+        return Type::refArrayTy(Base.ClassName);
+      D.error(cur().Where, "only int[] and class arrays are supported");
+      return Type::intArrayTy();
+    }
+    return Base;
+  }
+
+  std::unique_ptr<ClassDecl> parseClass() {
+    Loc W = cur().Where;
+    expect(TokKind::KwClass, "class declaration");
+    auto C = std::make_unique<ClassDecl>();
+    C->Where = W;
+    C->Name = expect(TokKind::Ident, "class declaration").Text;
+    expect(TokKind::LBrace, "class declaration");
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      FieldDecl F;
+      F.Where = cur().Where;
+      F.Ty = parseType();
+      F.Name = expect(TokKind::Ident, "field declaration").Text;
+      expect(TokKind::Semi, "field declaration");
+      F.SlotIndex = static_cast<uint32_t>(C->Fields.size());
+      C->Fields.push_back(std::move(F));
+    }
+    expect(TokKind::RBrace, "class declaration");
+    return C;
+  }
+
+  std::unique_ptr<StaticDecl> parseStatic() {
+    Loc W = cur().Where;
+    expect(TokKind::KwStatic, "static declaration");
+    auto S = std::make_unique<StaticDecl>();
+    S->Where = W;
+    S->Ty = parseType();
+    S->Name = expect(TokKind::Ident, "static declaration").Text;
+    expect(TokKind::Semi, "static declaration");
+    return S;
+  }
+
+  std::unique_ptr<FuncDecl> parseFunc() {
+    Loc W = cur().Where;
+    expect(TokKind::KwFn, "function declaration");
+    auto F = std::make_unique<FuncDecl>();
+    F->Where = W;
+    F->Name = expect(TokKind::Ident, "function declaration").Text;
+    expect(TokKind::LParen, "parameter list");
+    if (!at(TokKind::RParen)) {
+      do {
+        ParamDecl P;
+        P.Where = cur().Where;
+        P.Ty = parseType();
+        P.Name = expect(TokKind::Ident, "parameter").Text;
+        F->Params.push_back(std::move(P));
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "parameter list");
+    F->RetTy = accept(TokKind::Colon) ? parseType() : Type::voidTy();
+    F->Body = parseBlock();
+    return F;
+  }
+
+  std::unique_ptr<BlockStmt> parseBlock() {
+    Loc W = cur().Where;
+    expect(TokKind::LBrace, "block");
+    auto B = std::make_unique<BlockStmt>(W);
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      if (StmtPtr S = parseStmt())
+        B->Stmts.push_back(std::move(S));
+    }
+    expect(TokKind::RBrace, "block");
+    return B;
+  }
+
+  StmtPtr parseStmt() {
+    Loc W = cur().Where;
+    switch (cur().Kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::KwVar: {
+      advance();
+      std::string Name = expect(TokKind::Ident, "variable declaration").Text;
+      Type DeclTy = Type::voidTy();
+      if (accept(TokKind::Colon))
+        DeclTy = parseType();
+      expect(TokKind::Assign, "variable declaration");
+      ExprPtr Init = parseExpr();
+      expect(TokKind::Semi, "variable declaration");
+      return std::make_unique<VarDeclStmt>(W, std::move(Name), DeclTy,
+                                           std::move(Init));
+    }
+    case TokKind::KwIf: {
+      advance();
+      expect(TokKind::LParen, "if condition");
+      ExprPtr Cond = parseExpr();
+      expect(TokKind::RParen, "if condition");
+      StmtPtr Then = parseStmt();
+      StmtPtr Else;
+      if (accept(TokKind::KwElse))
+        Else = parseStmt();
+      return std::make_unique<IfStmt>(W, std::move(Cond), std::move(Then),
+                                      std::move(Else));
+    }
+    case TokKind::KwWhile: {
+      advance();
+      expect(TokKind::LParen, "while condition");
+      ExprPtr Cond = parseExpr();
+      expect(TokKind::RParen, "while condition");
+      StmtPtr Body = parseStmt();
+      return std::make_unique<WhileStmt>(W, std::move(Cond), std::move(Body));
+    }
+    case TokKind::KwReturn: {
+      advance();
+      ExprPtr Value;
+      if (!at(TokKind::Semi))
+        Value = parseExpr();
+      expect(TokKind::Semi, "return statement");
+      return std::make_unique<ReturnStmt>(W, std::move(Value));
+    }
+    case TokKind::KwAtomic: {
+      advance();
+      StmtPtr Body = parseBlock();
+      return std::make_unique<AtomicStmt>(W, std::move(Body));
+    }
+    case TokKind::KwOpen: {
+      advance();
+      StmtPtr Body = parseBlock();
+      return std::make_unique<OpenStmt>(W, std::move(Body));
+    }
+    case TokKind::KwRetry: {
+      advance();
+      expect(TokKind::Semi, "retry statement");
+      return std::make_unique<RetryStmt>(W);
+    }
+    case TokKind::KwJoin: {
+      advance();
+      expect(TokKind::LParen, "join");
+      ExprPtr Handle = parseExpr();
+      expect(TokKind::RParen, "join");
+      expect(TokKind::Semi, "join");
+      return std::make_unique<JoinStmt>(W, std::move(Handle));
+    }
+    case TokKind::KwPrint: {
+      advance();
+      expect(TokKind::LParen, "print");
+      ExprPtr Value = parseExpr();
+      expect(TokKind::RParen, "print");
+      expect(TokKind::Semi, "print");
+      return std::make_unique<PrintStmt>(W, std::move(Value));
+    }
+    case TokKind::KwPrints: {
+      advance();
+      expect(TokKind::LParen, "prints");
+      std::string Text = expect(TokKind::StrLit, "prints").Text;
+      expect(TokKind::RParen, "prints");
+      expect(TokKind::Semi, "prints");
+      return std::make_unique<PrintsStmt>(W, std::move(Text));
+    }
+    default: {
+      // Assignment or expression statement.
+      ExprPtr E = parseExpr();
+      if (accept(TokKind::Assign)) {
+        ExprPtr Value = parseExpr();
+        expect(TokKind::Semi, "assignment");
+        return std::make_unique<AssignStmt>(W, std::move(E),
+                                            std::move(Value));
+      }
+      expect(TokKind::Semi, "expression statement");
+      return std::make_unique<ExprStmt>(W, std::move(E));
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions (precedence climbing).
+  //===--------------------------------------------------------------------===
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (at(TokKind::OrOr)) {
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, BinOp::Or, std::move(L),
+                                       parseAnd());
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseEquality();
+    while (at(TokKind::AndAnd)) {
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, BinOp::And, std::move(L),
+                                       parseEquality());
+    }
+    return L;
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr L = parseRelational();
+    for (;;) {
+      BinOp Op;
+      if (at(TokKind::EqEq))
+        Op = BinOp::Eq;
+      else if (at(TokKind::NotEq))
+        Op = BinOp::Ne;
+      else
+        return L;
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, Op, std::move(L),
+                                       parseRelational());
+    }
+  }
+
+  ExprPtr parseRelational() {
+    ExprPtr L = parseAdditive();
+    for (;;) {
+      BinOp Op;
+      if (at(TokKind::Lt))
+        Op = BinOp::Lt;
+      else if (at(TokKind::Le))
+        Op = BinOp::Le;
+      else if (at(TokKind::Gt))
+        Op = BinOp::Gt;
+      else if (at(TokKind::Ge))
+        Op = BinOp::Ge;
+      else
+        return L;
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, Op, std::move(L), parseAdditive());
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr L = parseMultiplicative();
+    for (;;) {
+      BinOp Op;
+      if (at(TokKind::Plus))
+        Op = BinOp::Add;
+      else if (at(TokKind::Minus))
+        Op = BinOp::Sub;
+      else
+        return L;
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, Op, std::move(L),
+                                       parseMultiplicative());
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr L = parseUnary();
+    for (;;) {
+      BinOp Op;
+      if (at(TokKind::Star))
+        Op = BinOp::Mul;
+      else if (at(TokKind::Slash))
+        Op = BinOp::Div;
+      else if (at(TokKind::Percent))
+        Op = BinOp::Rem;
+      else
+        return L;
+      Loc W = advance().Where;
+      L = std::make_unique<BinaryExpr>(W, Op, std::move(L), parseUnary());
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokKind::Minus)) {
+      Loc W = advance().Where;
+      return std::make_unique<UnaryExpr>(W, UnOp::Neg, parseUnary());
+    }
+    if (at(TokKind::Not)) {
+      Loc W = advance().Where;
+      return std::make_unique<UnaryExpr>(W, UnOp::Not, parseUnary());
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    for (;;) {
+      if (at(TokKind::Dot)) {
+        Loc W = advance().Where;
+        std::string Field = expect(TokKind::Ident, "field access").Text;
+        E = std::make_unique<FieldAccessExpr>(W, std::move(E),
+                                              std::move(Field));
+        continue;
+      }
+      if (at(TokKind::LBracket)) {
+        Loc W = advance().Where;
+        ExprPtr Index = parseExpr();
+        expect(TokKind::RBracket, "array index");
+        E = std::make_unique<IndexAccessExpr>(W, std::move(E),
+                                              std::move(Index));
+        continue;
+      }
+      return E;
+    }
+  }
+
+  std::vector<ExprPtr> parseArgs() {
+    std::vector<ExprPtr> Args;
+    expect(TokKind::LParen, "argument list");
+    if (!at(TokKind::RParen)) {
+      do {
+        Args.push_back(parseExpr());
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "argument list");
+    return Args;
+  }
+
+  ExprPtr parsePrimary() {
+    Loc W = cur().Where;
+    switch (cur().Kind) {
+    case TokKind::IntLit: {
+      int64_t V = advance().IntValue;
+      return std::make_unique<IntLitExpr>(W, V);
+    }
+    case TokKind::KwTrue:
+      advance();
+      return std::make_unique<BoolLitExpr>(W, true);
+    case TokKind::KwFalse:
+      advance();
+      return std::make_unique<BoolLitExpr>(W, false);
+    case TokKind::KwNull:
+      advance();
+      return std::make_unique<NullLitExpr>(W);
+    case TokKind::KwLen: {
+      advance();
+      expect(TokKind::LParen, "len");
+      ExprPtr Base = parseExpr();
+      expect(TokKind::RParen, "len");
+      return std::make_unique<LenExpr>(W, std::move(Base));
+    }
+    case TokKind::KwSpawn: {
+      advance();
+      std::string Callee = expect(TokKind::Ident, "spawn").Text;
+      return std::make_unique<SpawnExpr>(W, std::move(Callee), parseArgs());
+    }
+    case TokKind::KwNew: {
+      advance();
+      if (accept(TokKind::KwInt)) {
+        expect(TokKind::LBracket, "array allocation");
+        ExprPtr Len = parseExpr();
+        expect(TokKind::RBracket, "array allocation");
+        return std::make_unique<NewArrayExpr>(W, Type::intTy(),
+                                              std::move(Len));
+      }
+      std::string Name = expect(TokKind::Ident, "allocation").Text;
+      if (accept(TokKind::LBracket)) {
+        ExprPtr Len = parseExpr();
+        expect(TokKind::RBracket, "array allocation");
+        return std::make_unique<NewArrayExpr>(W, Type::classTy(Name),
+                                              std::move(Len));
+      }
+      expect(TokKind::LParen, "object allocation");
+      expect(TokKind::RParen, "object allocation");
+      return std::make_unique<NewObjectExpr>(W, std::move(Name));
+    }
+    case TokKind::Ident: {
+      std::string Name = advance().Text;
+      if (at(TokKind::LParen))
+        return std::make_unique<CallExpr>(W, std::move(Name), parseArgs());
+      return std::make_unique<VarRefExpr>(W, std::move(Name));
+    }
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TokKind::RParen, "parenthesized expression");
+      return E;
+    }
+    default:
+      D.error(W, std::string("expected an expression, found ") +
+                     tokKindName(cur().Kind));
+      advance();
+      return std::make_unique<IntLitExpr>(W, 0);
+    }
+  }
+
+  std::vector<Token> Toks;
+  Diag &D;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Program satm::tc::parse(const std::string &Source, Diag &D) {
+  std::vector<Token> Toks = lex(Source, D);
+  return ParserImpl(std::move(Toks), D).run();
+}

@@ -1,0 +1,41 @@
+//===- tc/Parser.h - TranC recursive-descent parser ------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser from tokens to the AST. Grammar sketch:
+///
+///   program   := (classDecl | staticDecl | funcDecl)*
+///   classDecl := 'class' ID '{' (type ID ';')* '}'
+///   staticDecl:= 'static' type ID ';'
+///   funcDecl  := 'fn' ID '(' params? ')' (':' type)? block
+///   type      := ('int' | 'bool' | ID) ('[' ']')?
+///   stmt      := block | varDecl | if | while | return | atomic | retry ';'
+///              | join '(' expr ')' ';' | print '(' expr ')' ';'
+///              | prints '(' STR ')' ';' | assign | exprStmt
+///   expr      := orExpr; standard precedence; unary - and !
+///   primary   := INT | 'true' | 'false' | 'null' | ID | call | 'new' ...
+///              | 'spawn' ID '(' args ')' | len '(' expr ')' | '(' expr ')'
+///   postfix   := primary ('.' ID | '[' expr ']')*
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_PARSER_H
+#define SATM_TC_PARSER_H
+
+#include "tc/Ast.h"
+#include "tc/Lexer.h"
+
+namespace satm {
+namespace tc {
+
+/// Parses \p Source into a Program. Errors go to \p D; the returned
+/// program is meaningful only when !D.hasErrors().
+Program parse(const std::string &Source, Diag &D);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_PARSER_H

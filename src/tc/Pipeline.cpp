@@ -1,0 +1,85 @@
+//===- tc/Pipeline.cpp - Compilation and optimization driver -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Pipeline.h"
+
+#include "tc/Aggregate.h"
+#include "tc/Escape.h"
+#include "tc/Lowering.h"
+#include "tc/Optimize.h"
+#include "tc/Parser.h"
+#include "tc/PointsTo.h"
+#include "tc/Sema.h"
+#include "tc/Verifier.h"
+
+#include <cassert>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+PipelineStats satm::tc::runPasses(Module &M, const PassOptions &O) {
+  PipelineStats Stats;
+  if (O.ScalarOpts) {
+    OptimizeStats OS = runScalarOpts(M);
+    Stats.ScalarFolded =
+        OS.Folded + OS.DeadRemoved + OS.BranchesFixed;
+  }
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks)
+      for (const Inst &I : B.Insts)
+        if (isHeapAccess(I.K)) {
+          ++Stats.HeapAccesses;
+          Stats.BarriersBefore += I.NeedsBarrier;
+        }
+
+  if (O.Nait || O.ThreadLocal) {
+    PointsTo P(M);
+    BarrierVerdicts V = analyzeBarriers(M, P);
+    Stats.WholeProg = V.counts();
+    uint64_t Before = 0, After = 0;
+    for (const Function &F : M.Funcs)
+      for (const Block &B : F.Blocks)
+        for (const Inst &I : B.Insts)
+          Before += isHeapAccess(I.K) && I.NeedsBarrier;
+    applyVerdicts(M, V, O.Nait, O.ThreadLocal);
+    for (const Function &F : M.Funcs)
+      for (const Block &B : F.Blocks)
+        for (const Inst &I : B.Insts)
+          After += isHeapAccess(I.K) && I.NeedsBarrier;
+    Stats.RemovedByWholeProg = Before - After;
+  }
+
+  if (O.IntraprocEscape)
+    Stats.RemovedByEscape = runIntraprocEscape(M);
+
+  if (O.Aggregate)
+    Stats.AggregationGroups = runBarrierAggregation(M);
+
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks)
+      for (const Inst &I : B.Insts)
+        if (isHeapAccess(I.K))
+          Stats.BarriersAfter += I.NeedsBarrier;
+  return Stats;
+}
+
+Module satm::tc::compile(const std::string &Source, const PassOptions &O,
+                         Diag &D, PipelineStats *Stats) {
+  Program P = parse(Source, D);
+  if (D.hasErrors())
+    return {};
+  analyze(P, D);
+  if (D.hasErrors())
+    return {};
+  Module M = lower(P);
+  assert(verifyModule(M).empty() && "lowering produced invalid IR");
+  PipelineStats S = runPasses(M, O);
+  assert(verifyModule(M).empty() && "a pass produced invalid IR");
+  if (Stats)
+    *Stats = S;
+  return M;
+}

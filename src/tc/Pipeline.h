@@ -1,0 +1,62 @@
+//===- tc/Pipeline.h - Compilation and optimization driver -----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end driver: source -> AST -> IR -> analyses -> annotated module.
+/// The pass set mirrors the paper's cumulative optimization levels
+/// (Figures 15-20): intraprocedural escape (part of "Barrier Elim"),
+/// barrier aggregation ("+ Barrier Aggr"), dynamic escape analysis (a
+/// runtime mode, selected at execution), and the whole-program analyses
+/// NAIT and TL ("+ Whole-Prog Opts").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_PIPELINE_H
+#define SATM_TC_PIPELINE_H
+
+#include "tc/Analyses.h"
+#include "tc/Diag.h"
+#include "tc/Ir.h"
+
+#include <string>
+
+namespace satm {
+namespace tc {
+
+/// Which optimizations to apply to the module.
+struct PassOptions {
+  bool ScalarOpts = false;      ///< Constant folding / copy prop / DCE.
+  bool IntraprocEscape = false; ///< §6 JIT static escape analysis.
+  bool Aggregate = false;       ///< §6 barrier aggregation.
+  bool Nait = false;            ///< §5 not-accessed-in-transaction.
+  bool ThreadLocal = false;     ///< §5.4 TL comparison analysis.
+};
+
+/// Summary of what the pipeline did, for reports and tests.
+struct PipelineStats {
+  uint64_t HeapAccesses = 0;     ///< Heap accesses in the module.
+  uint64_t BarriersBefore = 0;   ///< Non-txn barriers before passes.
+  uint64_t BarriersAfter = 0;    ///< Still-needed barriers after passes.
+  uint64_t RemovedByWholeProg = 0;
+  uint64_t RemovedByEscape = 0;
+  uint64_t AggregationGroups = 0;
+  uint64_t ScalarFolded = 0;   ///< Instructions folded/removed by ScalarOpts.
+  BarrierVerdicts::Counts WholeProg; ///< Fig. 13 style NAIT/TL counts.
+};
+
+/// Compiles \p Source and runs the selected passes. On compile errors,
+/// returns an empty module and leaves the messages in \p D.
+ir::Module compile(const std::string &Source, const PassOptions &O, Diag &D,
+                   PipelineStats *Stats = nullptr);
+
+/// Runs the selected passes over an already-lowered module (used when one
+/// program is compiled once and analyzed under several pass sets).
+PipelineStats runPasses(ir::Module &M, const PassOptions &O);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_PIPELINE_H

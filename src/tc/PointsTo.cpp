@@ -1,0 +1,153 @@
+//===- tc/PointsTo.cpp - Context-aware Andersen points-to -----------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/PointsTo.h"
+
+#include <deque>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+PointsTo::PointsTo(const Module &M) {
+  NumHeapObjs = M.NumAllocSites * 2;
+  NumStatics = static_cast<uint32_t>(M.Statics.size());
+  solve(M);
+}
+
+void PointsTo::solve(const Module &M) {
+  //===------------------------------------------------------------------===
+  // Phase 1: reachability over (function, context) instances.
+  //===------------------------------------------------------------------===
+  std::deque<uint64_t> Work;
+  auto Reach = [&](uint32_t Func, Ctx C) {
+    uint64_t Key = instKey(Func, C);
+    if (Reachable.insert(Key).second)
+      Work.push_back(Key);
+  };
+  if (M.MainFunc != ~0u)
+    Reach(M.MainFunc, Ctx::Out);
+  while (!Work.empty()) {
+    uint64_t Key = Work.front();
+    Work.pop_front();
+    uint32_t Func = static_cast<uint32_t>(Key >> 1);
+    Ctx C = static_cast<Ctx>(Key & 1);
+    for (const Block &B : M.Funcs[Func].Blocks)
+      for (const Inst &I : B.Insts) {
+        if (I.K == Op::Call)
+          Reach(I.Index, effectiveCtx(C, I));
+        else if (I.K == Op::Spawn)
+          Reach(I.Index, Ctx::Out); // Threads start outside transactions.
+      }
+  }
+
+  //===------------------------------------------------------------------===
+  // Phase 2: fixpoint over inclusion constraints. The constraint set is
+  // small (TranC modules are benchmark-sized), so we simply re-walk every
+  // reachable instruction until nothing changes; each walk applies base
+  // (allocation), copy, field-load/store, call and return constraints.
+  //===------------------------------------------------------------------===
+  auto Union = [](ObjSet &Dst, const ObjSet &Src) {
+    bool Changed = false;
+    for (uint32_t O : Src)
+      Changed |= Dst.insert(O).second;
+    return Changed;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint64_t Key : Reachable) {
+      uint32_t Func = static_cast<uint32_t>(Key >> 1);
+      Ctx C = static_cast<Ctx>(Key & 1);
+      const Function &F = M.Funcs[Func];
+      for (const Block &B : F.Blocks) {
+        for (const Inst &I : B.Insts) {
+          Ctx E = effectiveCtx(C, I);
+          switch (I.K) {
+          case Op::NewObject:
+          case Op::NewArray:
+            Changed |= VarSets[varKey(Func, I.Dst, C)]
+                           .insert(objId(I.Index2, E))
+                           .second;
+            break;
+          case Op::Move:
+            Changed |= Union(VarSets[varKey(Func, I.Dst, C)],
+                             VarSets[varKey(Func, I.A, C)]);
+            break;
+          case Op::LoadField:
+            if (I.IsRefValue) {
+              // Snapshot the base set: Dst may alias the base register
+              // (x = x.f), and inserting into a set being iterated is UB.
+              ObjSet Base = VarSets[varKey(Func, I.A, C)];
+              for (uint32_t O : Base)
+                Changed |= Union(VarSets[varKey(Func, I.Dst, C)],
+                                 FieldSets[fieldKey(O, I.Index)]);
+            }
+            break;
+          case Op::StoreField:
+            if (I.IsRefValue)
+              for (uint32_t O : VarSets[varKey(Func, I.A, C)])
+                Changed |= Union(FieldSets[fieldKey(O, I.Index)],
+                                 VarSets[varKey(Func, I.B, C)]);
+            break;
+          case Op::LoadElem:
+            if (I.IsRefValue) {
+              ObjSet Base = VarSets[varKey(Func, I.A, C)]; // See LoadField.
+              for (uint32_t O : Base)
+                Changed |= Union(VarSets[varKey(Func, I.Dst, C)],
+                                 FieldSets[fieldKey(O, ElemField)]);
+            }
+            break;
+          case Op::StoreElem:
+            if (I.IsRefValue)
+              for (uint32_t O : VarSets[varKey(Func, I.A, C)])
+                Changed |= Union(FieldSets[fieldKey(O, ElemField)],
+                                 VarSets[varKey(Func, I.C, C)]);
+            break;
+          case Op::LoadStatic:
+            if (I.IsRefValue)
+              Changed |= Union(VarSets[varKey(Func, I.Dst, C)],
+                               StaticSets[I.Index]);
+            break;
+          case Op::StoreStatic:
+            if (I.IsRefValue)
+              Changed |= Union(StaticSets[I.Index],
+                               VarSets[varKey(Func, I.A, C)]);
+            break;
+          case Op::Call: {
+            Ctx Target = E;
+            for (size_t A = 0; A < I.Args.size(); ++A)
+              Changed |= Union(
+                  VarSets[varKey(I.Index, static_cast<RegId>(A), Target)],
+                  VarSets[varKey(Func, I.Args[A], C)]);
+            if (I.Imm && M.Funcs[I.Index].RetIsRef)
+              Changed |= Union(VarSets[varKey(Func, I.Dst, C)],
+                               retSetFor(I.Index, Target));
+            break;
+          }
+          case Op::Spawn:
+            for (size_t A = 0; A < I.Args.size(); ++A) {
+              Changed |= Union(
+                  VarSets[varKey(I.Index, static_cast<RegId>(A), Ctx::Out)],
+                  VarSets[varKey(Func, I.Args[A], C)]);
+              Changed |=
+                  Union(SpawnSeeds, VarSets[varKey(Func, I.Args[A], C)]);
+            }
+            break;
+          case Op::Ret:
+            if (I.Imm && F.RetIsRef)
+              Changed |= Union(retSetFor(Func, C),
+                               VarSets[varKey(Func, I.A, C)]);
+            break;
+          default:
+            break;
+          }
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,128 @@
+//===- tc/PointsTo.h - Context-aware Andersen points-to --------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program pointer analysis of §5.1: a sound, field-sensitive,
+/// flow-insensitive Andersen-style inclusion analysis with the paper's
+/// novel form of context-sensitivity — the context is just "in transaction"
+/// or "not in transaction", so each function is analyzed in at most two
+/// contexts ("efficiency is within a factor of two of 0CFA"). Abstract heap
+/// objects are (allocation site, context) pairs: the paper's heap
+/// specialization. All calls inherit the caller's effective context except
+/// that instructions lexically inside `atomic` always run In; spawned
+/// thread entry points start Out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_POINTSTO_H
+#define SATM_TC_POINTSTO_H
+
+#include "tc/Ir.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace satm {
+namespace tc {
+
+/// The two analysis contexts of §5.1.
+enum class Ctx : uint8_t { Out = 0, In = 1 };
+
+/// Effective context of instruction \p I inside a function instance
+/// analyzed under \p C: lexical atomic always means In.
+inline Ctx effectiveCtx(Ctx C, const ir::Inst &I) {
+  return (C == Ctx::In || I.InAtomic) ? Ctx::In : Ctx::Out;
+}
+
+/// Whole-program points-to analysis result.
+class PointsTo {
+public:
+  using ObjSet = std::unordered_set<uint32_t>;
+
+  /// Runs the analysis over \p M (call graph construction + constraint
+  /// generation + fixpoint solve).
+  explicit PointsTo(const ir::Module &M);
+
+  /// Abstract object id for (allocation site, context): the paper's heap
+  /// specialization.
+  uint32_t objId(uint32_t Site, Ctx C) const {
+    return Site * 2 + static_cast<uint32_t>(C);
+  }
+
+  /// Pseudo-object id representing the cell of static \p StaticIndex.
+  /// Statics are memory too: their accesses carry barriers.
+  uint32_t staticObjId(uint32_t StaticIndex) const {
+    return NumHeapObjs + StaticIndex;
+  }
+
+  /// Total abstract objects (heap objects then static cells).
+  uint32_t numObjects() const { return NumHeapObjs + NumStatics; }
+
+  /// True if the function was found reachable under context \p C (main and
+  /// spawn entries seed Out; atomic bodies and their callees are In).
+  bool isReachable(uint32_t Func, Ctx C) const {
+    return Reachable.count(instKey(Func, C)) != 0;
+  }
+
+  /// Points-to set of register \p R of function \p Func under \p C.
+  const ObjSet &pts(uint32_t Func, ir::RegId R, Ctx C) const {
+    auto It = VarSets.find(varKey(Func, R, C));
+    return It == VarSets.end() ? Empty : It->second;
+  }
+
+  /// Points-to set of the cell of static \p StaticIndex.
+  const ObjSet &staticPts(uint32_t StaticIndex) const {
+    auto It = StaticSets.find(StaticIndex);
+    return It == StaticSets.end() ? Empty : It->second;
+  }
+
+  /// Points-to set of field \p Slot of abstract object \p Obj (array
+  /// elements use the single summary slot ElemField).
+  static constexpr uint32_t ElemField = ~0u;
+  const ObjSet &fieldPts(uint32_t Obj, uint32_t Slot) const {
+    auto It = FieldSets.find(fieldKey(Obj, Slot));
+    return It == FieldSets.end() ? Empty : It->second;
+  }
+
+  /// Objects flowing into spawned-thread parameters (thread escape seeds
+  /// for the thread-local analysis).
+  const ObjSet &spawnedObjects() const { return SpawnSeeds; }
+
+private:
+  static uint64_t instKey(uint32_t Func, Ctx C) {
+    return (static_cast<uint64_t>(Func) << 1) | static_cast<uint64_t>(C);
+  }
+  static uint64_t varKey(uint32_t Func, ir::RegId R, Ctx C) {
+    return (static_cast<uint64_t>(Func) << 33) |
+           (static_cast<uint64_t>(R) << 1) | static_cast<uint64_t>(C);
+  }
+  static uint64_t fieldKey(uint32_t Obj, uint32_t Slot) {
+    return (static_cast<uint64_t>(Obj) << 32) | Slot;
+  }
+
+  /// Return-value points-to sets live in VarSets under a reserved
+  /// pseudo-register shared by all functions.
+  static constexpr ir::RegId RetPseudoReg = 0x7FFFFFFFu;
+  ObjSet &retSetFor(uint32_t Func, Ctx C) {
+    return VarSets[varKey(Func, RetPseudoReg, C)];
+  }
+
+  void solve(const ir::Module &M);
+
+  uint32_t NumHeapObjs = 0;
+  uint32_t NumStatics = 0;
+  std::unordered_set<uint64_t> Reachable;
+  std::unordered_map<uint64_t, ObjSet> VarSets;
+  std::unordered_map<uint32_t, ObjSet> StaticSets;
+  std::unordered_map<uint64_t, ObjSet> FieldSets;
+  ObjSet SpawnSeeds;
+  ObjSet Empty;
+};
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_POINTSTO_H

@@ -1,0 +1,437 @@
+//===- tc/Sema.cpp - TranC semantic analysis -----------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Sema.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace satm;
+using namespace satm::tc;
+
+namespace {
+
+class SemaImpl {
+public:
+  SemaImpl(Program &P, Diag &D) : P(P), D(D) {}
+
+  void run() {
+    declareGlobals();
+    if (D.hasErrors())
+      return;
+    for (auto &F : P.Funcs)
+      checkFunc(*F);
+  }
+
+private:
+  void declareGlobals() {
+    std::unordered_set<std::string> Names;
+    for (auto &C : P.Classes) {
+      if (!Names.insert(C->Name).second)
+        D.error(C->Where, "duplicate type name '" + C->Name + "'");
+      std::unordered_set<std::string> FieldNames;
+      for (FieldDecl &F : C->Fields) {
+        if (!FieldNames.insert(F.Name).second)
+          D.error(F.Where, "duplicate field '" + F.Name + "' in class '" +
+                               C->Name + "'");
+        checkTypeExists(F.Ty, F.Where);
+      }
+    }
+    uint32_t StaticIndex = 0;
+    for (auto &S : P.Statics) {
+      if (!Names.insert(S->Name).second)
+        D.error(S->Where, "duplicate global name '" + S->Name + "'");
+      checkTypeExists(S->Ty, S->Where);
+      S->Index = StaticIndex++;
+    }
+    for (auto &F : P.Funcs) {
+      if (!Names.insert(F->Name).second)
+        D.error(F->Where, "duplicate function name '" + F->Name + "'");
+      for (ParamDecl &Param : F->Params)
+        checkTypeExists(Param.Ty, Param.Where);
+      if (F->RetTy.Kind != Type::Void)
+        checkTypeExists(F->RetTy, F->Where);
+    }
+  }
+
+  void checkTypeExists(const Type &T, Loc Where) {
+    const std::string *Name = nullptr;
+    if (T.Kind == Type::Class || T.Kind == Type::RefArray)
+      Name = &T.ClassName;
+    if (Name && !P.findClass(*Name))
+      D.error(Where, "unknown class '" + *Name + "'");
+  }
+
+  //===--------------------------------------------------------------------===
+  // Per-function state.
+  //===--------------------------------------------------------------------===
+
+  struct LocalVar {
+    std::string Name;
+    Type Ty;
+    uint32_t Index;
+    size_t ScopeDepth;
+  };
+
+  void checkFunc(FuncDecl &F) {
+    CurFunc = &F;
+    Locals.clear();
+    ScopeDepth = 0;
+    NextLocal = 0;
+    AtomicDepth = 0;
+    OpenDepth = 0;
+    for (ParamDecl &Param : F.Params)
+      declareLocal(Param.Name, Param.Ty, Param.Where);
+    checkStmt(*F.Body);
+    F.NumLocals = NextLocal;
+  }
+
+  uint32_t declareLocal(const std::string &Name, const Type &Ty, Loc Where) {
+    for (auto It = Locals.rbegin(); It != Locals.rend(); ++It) {
+      if (It->ScopeDepth != ScopeDepth)
+        break;
+      if (It->Name == Name) {
+        D.error(Where, "redeclaration of '" + Name + "' in the same scope");
+        return It->Index;
+      }
+    }
+    uint32_t Index = NextLocal++;
+    Locals.push_back({Name, Ty, Index, ScopeDepth});
+    return Index;
+  }
+
+  const LocalVar *findLocal(const std::string &Name) const {
+    for (auto It = Locals.rbegin(); It != Locals.rend(); ++It)
+      if (It->Name == Name)
+        return &*It;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statements.
+  //===--------------------------------------------------------------------===
+
+  void checkStmt(Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      auto &B = static_cast<BlockStmt &>(S);
+      ++ScopeDepth;
+      for (StmtPtr &Child : B.Stmts)
+        checkStmt(*Child);
+      while (!Locals.empty() && Locals.back().ScopeDepth == ScopeDepth)
+        Locals.pop_back();
+      --ScopeDepth;
+      return;
+    }
+    case Stmt::Kind::VarDecl: {
+      auto &V = static_cast<VarDeclStmt &>(S);
+      Type InitTy = checkExpr(*V.Init);
+      Type VarTy = V.DeclaredTy;
+      if (VarTy.Kind == Type::Void) {
+        if (InitTy.Kind == Type::Null) {
+          D.error(V.Where, "cannot infer the type of '" + V.Name +
+                               "' from a null initializer");
+          VarTy = Type::intTy();
+        } else {
+          VarTy = InitTy;
+        }
+      } else if (!VarTy.accepts(InitTy)) {
+        D.error(V.Where, "cannot initialize '" + V.Name + "' of type " +
+                             VarTy.str() + " with a value of type " +
+                             InitTy.str());
+      }
+      V.DeclaredTy = VarTy;
+      V.LocalIndex = declareLocal(V.Name, VarTy, V.Where);
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto &A = static_cast<AssignStmt &>(S);
+      Type TargetTy = checkExpr(*A.Target);
+      if (!isAssignable(*A.Target))
+        D.error(A.Where, "expression is not assignable");
+      Type ValueTy = checkExpr(*A.Value);
+      if (!TargetTy.accepts(ValueTy))
+        D.error(A.Where, "cannot assign a value of type " + ValueTy.str() +
+                             " to a target of type " + TargetTy.str());
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      expectBool(checkExpr(*I.Cond), I.Cond->Where);
+      checkStmt(*I.Then);
+      if (I.Else)
+        checkStmt(*I.Else);
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      expectBool(checkExpr(*W.Cond), W.Cond->Where);
+      checkStmt(*W.Body);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      if (AtomicDepth > 0 || OpenDepth > 0) {
+        D.error(R.Where, "'return' may not leave an atomic or open block");
+        return;
+      }
+      if (R.Value) {
+        Type T = checkExpr(*R.Value);
+        if (!CurFunc->RetTy.accepts(T))
+          D.error(R.Where, "returning " + T.str() + " from a function of "
+                           "type " + CurFunc->RetTy.str());
+      } else if (CurFunc->RetTy.Kind != Type::Void) {
+        D.error(R.Where, "non-void function must return a value");
+      }
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      checkExpr(*static_cast<ExprStmt &>(S).E);
+      return;
+    case Stmt::Kind::Atomic: {
+      ++AtomicDepth;
+      checkStmt(*static_cast<AtomicStmt &>(S).Body);
+      --AtomicDepth;
+      return;
+    }
+    case Stmt::Kind::Open: {
+      if (AtomicDepth == 0)
+        D.error(S.Where, "'open' requires an enclosing atomic block");
+      ++OpenDepth;
+      checkStmt(*static_cast<OpenStmt &>(S).Body);
+      --OpenDepth;
+      return;
+    }
+    case Stmt::Kind::Retry:
+      if (AtomicDepth == 0)
+        D.error(S.Where, "'retry' is only valid inside an atomic block");
+      else if (OpenDepth > 0)
+        D.error(S.Where, "'retry' may not appear inside an open block");
+      return;
+    case Stmt::Kind::Join: {
+      auto &J = static_cast<JoinStmt &>(S);
+      Type T = checkExpr(*J.Handle);
+      if (T.Kind != Type::Int)
+        D.error(J.Where, "join expects a thread handle of type int");
+      return;
+    }
+    case Stmt::Kind::Print: {
+      auto &Pr = static_cast<PrintStmt &>(S);
+      Type T = checkExpr(*Pr.Value);
+      if (T.Kind != Type::Int && T.Kind != Type::Bool)
+        D.error(Pr.Where, "print expects an int or bool value");
+      return;
+    }
+    case Stmt::Kind::Prints:
+      return;
+    }
+  }
+
+  bool isAssignable(const Expr &E) const {
+    return E.K == Expr::Kind::VarRef || E.K == Expr::Kind::StaticRef ||
+           E.K == Expr::Kind::FieldAccess || E.K == Expr::Kind::IndexAccess;
+  }
+
+  void expectBool(const Type &T, Loc Where) {
+    if (T.Kind != Type::Bool)
+      D.error(Where, "expected a bool condition, found " + T.str());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions.
+  //===--------------------------------------------------------------------===
+
+  Type checkExpr(Expr &E) {
+    Type T = checkExprImpl(E);
+    E.Ty = T;
+    return T;
+  }
+
+  Type checkCallArgs(const std::string &Callee, std::vector<ExprPtr> &Args,
+                     Loc Where) {
+    const FuncDecl *F = P.findFunc(Callee);
+    if (!F) {
+      D.error(Where, "call to unknown function '" + Callee + "'");
+      for (ExprPtr &A : Args)
+        checkExpr(*A);
+      return Type::intTy();
+    }
+    if (Args.size() != F->Params.size()) {
+      D.error(Where, "'" + Callee + "' expects " +
+                         std::to_string(F->Params.size()) + " arguments, " +
+                         std::to_string(Args.size()) + " given");
+    }
+    for (size_t I = 0; I < Args.size(); ++I) {
+      Type ArgTy = checkExpr(*Args[I]);
+      if (I < F->Params.size() && !F->Params[I].Ty.accepts(ArgTy))
+        D.error(Args[I]->Where, "argument " + std::to_string(I + 1) +
+                                    " of '" + Callee + "' expects " +
+                                    F->Params[I].Ty.str() + ", found " +
+                                    ArgTy.str());
+    }
+    return F->RetTy;
+  }
+
+  Type checkExprImpl(Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return Type::intTy();
+    case Expr::Kind::BoolLit:
+      return Type::boolTy();
+    case Expr::Kind::NullLit:
+      return Type::nullTy();
+    case Expr::Kind::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      if (const LocalVar *L = findLocal(V.Name)) {
+        V.LocalIndex = L->Index;
+        return L->Ty;
+      }
+      if (const StaticDecl *SD = P.findStatic(V.Name)) {
+        V.LocalIndex = StaticRefBit | SD->Index;
+        return SD->Ty;
+      }
+      D.error(V.Where, "use of undeclared identifier '" + V.Name + "'");
+      return Type::intTy();
+    }
+    case Expr::Kind::StaticRef: {
+      auto &R = static_cast<StaticRefExpr &>(E);
+      const StaticDecl *SD = P.findStatic(R.Name);
+      if (!SD) {
+        D.error(R.Where, "unknown static '" + R.Name + "'");
+        return Type::intTy();
+      }
+      R.StaticIndex = SD->Index;
+      return SD->Ty;
+    }
+    case Expr::Kind::Binary: {
+      auto &B = static_cast<BinaryExpr &>(E);
+      Type L = checkExpr(*B.Lhs);
+      Type R = checkExpr(*B.Rhs);
+      switch (B.Op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Rem:
+        if (L.Kind != Type::Int || R.Kind != Type::Int)
+          D.error(B.Where, "arithmetic requires int operands");
+        return Type::intTy();
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (L.Kind != Type::Int || R.Kind != Type::Int)
+          D.error(B.Where, "comparison requires int operands");
+        return Type::boolTy();
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (!L.accepts(R) && !R.accepts(L))
+          D.error(B.Where, "cannot compare " + L.str() + " with " + R.str());
+        return Type::boolTy();
+      case BinOp::And:
+      case BinOp::Or:
+        if (L.Kind != Type::Bool || R.Kind != Type::Bool)
+          D.error(B.Where, "logical operator requires bool operands");
+        return Type::boolTy();
+      }
+      return Type::intTy();
+    }
+    case Expr::Kind::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      Type T = checkExpr(*U.Sub);
+      if (U.Op == UnOp::Neg) {
+        if (T.Kind != Type::Int)
+          D.error(U.Where, "unary '-' requires an int operand");
+        return Type::intTy();
+      }
+      if (T.Kind != Type::Bool)
+        D.error(U.Where, "'!' requires a bool operand");
+      return Type::boolTy();
+    }
+    case Expr::Kind::Call: {
+      auto &C = static_cast<CallExpr &>(E);
+      return checkCallArgs(C.Callee, C.Args, C.Where);
+    }
+    case Expr::Kind::Spawn: {
+      auto &Sp = static_cast<SpawnExpr &>(E);
+      checkCallArgs(Sp.Callee, Sp.Args, Sp.Where);
+      return Type::intTy(); // Thread handle.
+    }
+    case Expr::Kind::NewObject: {
+      auto &N = static_cast<NewObjectExpr &>(E);
+      if (!P.findClass(N.ClassName)) {
+        D.error(N.Where, "unknown class '" + N.ClassName + "'");
+        return Type::intTy();
+      }
+      return Type::classTy(N.ClassName);
+    }
+    case Expr::Kind::NewArray: {
+      auto &N = static_cast<NewArrayExpr &>(E);
+      Type LenTy = checkExpr(*N.Length);
+      if (LenTy.Kind != Type::Int)
+        D.error(N.Length->Where, "array length must be an int");
+      if (N.ElemTy.Kind == Type::Int)
+        return Type::intArrayTy();
+      if (!P.findClass(N.ElemTy.ClassName)) {
+        D.error(N.Where, "unknown class '" + N.ElemTy.ClassName + "'");
+        return Type::intArrayTy();
+      }
+      return Type::refArrayTy(N.ElemTy.ClassName);
+    }
+    case Expr::Kind::FieldAccess: {
+      auto &FA = static_cast<FieldAccessExpr &>(E);
+      Type BaseTy = checkExpr(*FA.Base);
+      if (BaseTy.Kind != Type::Class) {
+        D.error(FA.Where, "field access on non-class type " + BaseTy.str());
+        return Type::intTy();
+      }
+      const ClassDecl *C = P.findClass(BaseTy.ClassName);
+      const FieldDecl *F = C ? C->findField(FA.FieldName) : nullptr;
+      if (!F) {
+        D.error(FA.Where, "class '" + BaseTy.ClassName + "' has no field '" +
+                              FA.FieldName + "'");
+        return Type::intTy();
+      }
+      FA.SlotIndex = F->SlotIndex;
+      return F->Ty;
+    }
+    case Expr::Kind::IndexAccess: {
+      auto &IA = static_cast<IndexAccessExpr &>(E);
+      Type BaseTy = checkExpr(*IA.Base);
+      Type IndexTy = checkExpr(*IA.Index);
+      if (IndexTy.Kind != Type::Int)
+        D.error(IA.Index->Where, "array index must be an int");
+      if (BaseTy.Kind == Type::IntArray)
+        return Type::intTy();
+      if (BaseTy.Kind == Type::RefArray)
+        return Type::classTy(BaseTy.ClassName);
+      D.error(IA.Where, "indexing non-array type " + BaseTy.str());
+      return Type::intTy();
+    }
+    case Expr::Kind::Len: {
+      auto &L = static_cast<LenExpr &>(E);
+      Type BaseTy = checkExpr(*L.Base);
+      if (!BaseTy.isArray())
+        D.error(L.Where, "len() requires an array");
+      return Type::intTy();
+    }
+    }
+    return Type::intTy();
+  }
+
+  Program &P;
+  Diag &D;
+  FuncDecl *CurFunc = nullptr;
+  std::vector<LocalVar> Locals;
+  size_t ScopeDepth = 0;
+  uint32_t NextLocal = 0;
+  unsigned AtomicDepth = 0;
+  unsigned OpenDepth = 0;
+};
+
+} // namespace
+
+void satm::tc::analyze(Program &P, Diag &D) { SemaImpl(P, D).run(); }

@@ -1,0 +1,32 @@
+//===- tc/Sema.h - TranC semantic analysis ---------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking over the AST. Sema annotates the tree
+/// in place: expression types, local slot indices, static indices and field
+/// slot indices. It also enforces the transactional structure rules the IR
+/// relies on: `retry` only inside `atomic`, and no `return` out of an
+/// `atomic` block (regions are single-entry/single-exit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_SEMA_H
+#define SATM_TC_SEMA_H
+
+#include "tc/Ast.h"
+#include "tc/Diag.h"
+
+namespace satm {
+namespace tc {
+
+/// Resolves and type-checks \p P, reporting problems to \p D. The program
+/// is only meaningful for downstream stages when !D.hasErrors().
+void analyze(Program &P, Diag &D);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_SEMA_H

@@ -1,0 +1,275 @@
+//===- tc/Verifier.cpp - IR structural verifier ---------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Verifier.h"
+
+#include <sstream>
+
+using namespace satm;
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (const Function &F : M.Funcs)
+      verifyFunction(F);
+    if (M.MainFunc != ~0u && M.MainFunc >= M.Funcs.size())
+      fail(nullptr, nullptr, "MainFunc index out of range");
+    return std::move(Problems);
+  }
+
+private:
+  void fail(const Function *F, const Inst *I, const std::string &Msg) {
+    std::ostringstream OS;
+    if (F)
+      OS << "in " << F->Name << ": ";
+    if (I)
+      OS << "at " << I->Where.Line << ":" << I->Where.Col << ": ";
+    OS << Msg;
+    Problems.push_back(OS.str());
+  }
+
+  bool isTerminator(Op K) const {
+    return K == Op::Jump || K == Op::Branch || K == Op::Ret;
+  }
+
+  bool isRegionEnd(Op K) const {
+    return K == Op::AtomicEnd || K == Op::OpenEnd;
+  }
+
+  void checkReg(const Function &F, const Inst &I, RegId R,
+                const char *What) {
+    if (R >= F.NumRegs)
+      fail(&F, &I, std::string(What) + " register r" + std::to_string(R) +
+                       " out of range (NumRegs=" +
+                       std::to_string(F.NumRegs) + ")");
+  }
+
+  void checkBlock(const Function &F, const Inst &I, BlockId B) {
+    if (B >= F.Blocks.size())
+      fail(&F, &I, "block target b" + std::to_string(B) + " out of range");
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.ParamIsRef.size() != F.NumParams)
+      fail(&F, nullptr, "ParamIsRef size disagrees with NumParams");
+    if (F.NumParams > F.NumRegs)
+      fail(&F, nullptr, "more parameters than registers");
+    if (F.Blocks.empty()) {
+      fail(&F, nullptr, "function has no blocks");
+      return;
+    }
+    for (const Block &B : F.Blocks)
+      verifyBlock(F, B);
+  }
+
+  void verifyBlock(const Function &F, const Block &B) {
+    for (size_t Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      const Inst &I = B.Insts[Idx];
+      bool Last = Idx + 1 == B.Insts.size();
+      if (isTerminator(I.K) && !Last)
+        fail(&F, &I, "terminator in the middle of a block");
+      verifyInst(F, I);
+    }
+    if (!B.Insts.empty()) {
+      const Inst &Last = B.Insts.back();
+      if (!isTerminator(Last.K) && !isRegionEnd(Last.K))
+        fail(&F, &Last, "block does not end with a terminator");
+    }
+    verifyAggregationGroups(F, B);
+  }
+
+  void verifyInst(const Function &F, const Inst &I) {
+    if (!isHeapAccess(I.K) && I.NeedsBarrier)
+      fail(&F, &I, "barrier annotation on a non-heap-access instruction");
+    if (!isHeapAccess(I.K) && I.Agg != AggRole::None)
+      fail(&F, &I, "aggregation role on a non-heap-access instruction");
+    switch (I.K) {
+    case Op::ConstInt:
+      checkReg(F, I, I.Dst, "destination");
+      break;
+    case Op::Move:
+    case Op::Neg:
+    case Op::Not:
+    case Op::ArrayLen:
+      checkReg(F, I, I.Dst, "destination");
+      checkReg(F, I, I.A, "source");
+      break;
+    case Op::Bin:
+      checkReg(F, I, I.Dst, "destination");
+      checkReg(F, I, I.A, "lhs");
+      checkReg(F, I, I.B, "rhs");
+      if (I.BOp == BinOp::And || I.BOp == BinOp::Or)
+        fail(&F, &I, "short-circuit operator survived lowering");
+      break;
+    case Op::NewObject:
+      checkReg(F, I, I.Dst, "destination");
+      if (I.Index >= M.Classes.size())
+        fail(&F, &I, "class index out of range");
+      if (I.Index2 >= M.NumAllocSites)
+        fail(&F, &I, "allocation site out of range");
+      break;
+    case Op::NewArray:
+      checkReg(F, I, I.Dst, "destination");
+      checkReg(F, I, I.A, "length");
+      if (I.Index2 >= M.NumAllocSites)
+        fail(&F, &I, "allocation site out of range");
+      break;
+    case Op::LoadField:
+      checkReg(F, I, I.Dst, "destination");
+      checkReg(F, I, I.A, "base");
+      break;
+    case Op::StoreField:
+      checkReg(F, I, I.A, "base");
+      checkReg(F, I, I.B, "value");
+      break;
+    case Op::LoadStatic:
+      checkReg(F, I, I.Dst, "destination");
+      if (I.Index >= M.Statics.size())
+        fail(&F, &I, "static index out of range");
+      break;
+    case Op::StoreStatic:
+      checkReg(F, I, I.A, "value");
+      if (I.Index >= M.Statics.size())
+        fail(&F, &I, "static index out of range");
+      break;
+    case Op::LoadElem:
+      checkReg(F, I, I.Dst, "destination");
+      checkReg(F, I, I.A, "base");
+      checkReg(F, I, I.B, "index");
+      break;
+    case Op::StoreElem:
+      checkReg(F, I, I.A, "base");
+      checkReg(F, I, I.B, "index");
+      checkReg(F, I, I.C, "value");
+      break;
+    case Op::Call:
+    case Op::Spawn: {
+      checkReg(F, I, I.Dst, "destination");
+      for (RegId A : I.Args)
+        checkReg(F, I, A, "argument");
+      if (I.Index >= M.Funcs.size()) {
+        fail(&F, &I, "callee index out of range");
+        break;
+      }
+      const Function &Callee = M.Funcs[I.Index];
+      if (I.Args.size() != Callee.NumParams)
+        fail(&F, &I, "call to " + Callee.Name + " passes " +
+                         std::to_string(I.Args.size()) + " arguments, " +
+                         "expects " + std::to_string(Callee.NumParams));
+      break;
+    }
+    case Op::Join:
+    case Op::Print:
+      checkReg(F, I, I.A, "operand");
+      break;
+    case Op::Prints:
+      if (I.Index >= M.Strings.size())
+        fail(&F, &I, "string index out of range");
+      break;
+    case Op::Retry:
+      if (!I.InAtomic)
+        fail(&F, &I, "retry outside an atomic region");
+      break;
+    case Op::AtomicBegin: {
+      checkBlock(F, I, I.Index);
+      if (I.Index < F.Blocks.size()) {
+        const Block &End = F.Blocks[I.Index];
+        if (End.Insts.empty() || End.Insts[0].K != Op::AtomicEnd)
+          fail(&F, &I, "AtomicBegin does not name an AtomicEnd block");
+      }
+      break;
+    }
+    case Op::AtomicEnd:
+      break;
+    case Op::OpenBegin: {
+      checkBlock(F, I, I.Index);
+      if (!I.InAtomic)
+        fail(&F, &I, "open region outside an atomic region");
+      if (I.Index < F.Blocks.size()) {
+        const Block &End = F.Blocks[I.Index];
+        if (End.Insts.empty() || End.Insts[0].K != Op::OpenEnd)
+          fail(&F, &I, "OpenBegin does not name an OpenEnd block");
+      }
+      break;
+    }
+    case Op::OpenEnd:
+      break;
+    case Op::Jump:
+      checkBlock(F, I, I.Index);
+      break;
+    case Op::Branch:
+      checkReg(F, I, I.A, "condition");
+      checkBlock(F, I, I.Index);
+      checkBlock(F, I, I.Index2);
+      break;
+    case Op::Ret:
+      if (I.Imm)
+        checkReg(F, I, I.A, "return value");
+      break;
+    }
+  }
+
+  /// Aggregation groups must be Open (Members)* Close over one base
+  /// register, within one block, with only transparent instructions in
+  /// between and no redefinition of the base.
+  void verifyAggregationGroups(const Function &F, const Block &B) {
+    bool InGroup = false;
+    RegId Base = 0;
+    for (const Inst &I : B.Insts) {
+      if (I.Agg == AggRole::Open) {
+        if (InGroup)
+          fail(&F, &I, "nested aggregation group");
+        InGroup = true;
+        Base = I.A;
+        continue;
+      }
+      if (I.Agg == AggRole::Member || I.Agg == AggRole::Close) {
+        if (!InGroup)
+          fail(&F, &I, "aggregation member outside a group");
+        else if (I.A != Base)
+          fail(&F, &I, "aggregation group spans multiple objects");
+        if (I.Agg == AggRole::Close)
+          InGroup = false;
+        continue;
+      }
+      if (!InGroup)
+        continue;
+      // Inside a group: only pure register computation that does not
+      // redefine the base may appear.
+      switch (I.K) {
+      case Op::ConstInt:
+      case Op::Move:
+      case Op::Bin:
+      case Op::Neg:
+      case Op::Not:
+      case Op::ArrayLen:
+        if (I.Dst == Base)
+          fail(&F, &I, "aggregation base redefined inside the group");
+        break;
+      default:
+        fail(&F, &I, "non-transparent instruction inside an aggregation "
+                     "group");
+      }
+    }
+    if (InGroup)
+      fail(&F, nullptr, "aggregation group not closed within its block");
+  }
+
+  const Module &M;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> satm::tc::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}

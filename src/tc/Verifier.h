@@ -1,0 +1,42 @@
+//===- tc/Verifier.h - IR structural verifier ------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verifier for TranC IR modules. Lowering and every
+/// optimization pass must leave the module verifiable; the pipeline runs
+/// the verifier after each stage in debug builds and the test suite runs
+/// it explicitly. Checked invariants:
+///
+///  - every register/block/function/class/static/string index in range;
+///  - every nonempty reachable block ends with a terminator, and no
+///    terminator appears mid-block;
+///  - AtomicBegin names a block whose first instruction is AtomicEnd, and
+///    begins/ends are balanced along every path (single-entry/exit);
+///  - barrier annotations only on heap accesses; aggregation groups are
+///    well-formed (Open..Members..Close, same base register, no redefinition
+///    of the base, no intervening calls or terminators, within one block);
+///  - call/spawn argument counts match the callee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_TC_VERIFIER_H
+#define SATM_TC_VERIFIER_H
+
+#include "tc/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace tc {
+
+/// Verifies \p M. Returns the list of violations (empty = valid).
+std::vector<std::string> verifyModule(const ir::Module &M);
+
+} // namespace tc
+} // namespace satm
+
+#endif // SATM_TC_VERIFIER_H

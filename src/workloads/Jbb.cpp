@@ -1,0 +1,188 @@
+//===- workloads/Jbb.cpp - JBB-style order processing (Figure 20) --------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Jbb.h"
+
+#include "support/Rng.h"
+#include "support/Stopwatch.h"
+
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::workloads;
+
+namespace {
+
+// Warehouse slots: 0 = stock ref-array, 1 = districts int-array,
+// 2 = lastOrder ref, 3 = orderCount, 4 = ytd.
+const TypeDescriptor WarehouseType("Warehouse", 5, {0, 1, 2});
+// Stock entry: quantity, ytd, orderCount.
+const TypeDescriptor StockType("Stock", 3, {});
+// Order: itemCount, total, firstItem, district.
+const TypeDescriptor OrderType("Order", 4, {});
+// Per-thread report block: newOrders, payments, statuses, revenue.
+const TypeDescriptor ReportType("Report", 4, {});
+const TypeDescriptor RefArrayType("ref[]", TypeKind::RefArray);
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+
+struct JbbDb {
+  Heap H;
+  std::vector<Object *> Warehouses;
+  std::mutex GlobalLock; ///< Synch-mode critical sections.
+  JbbConfig Cfg;
+};
+
+Object *buildWarehouse(JbbDb &Db, unsigned Wid) {
+  const JbbConfig &C = Db.Cfg;
+  Object *W = Db.H.allocate(&WarehouseType, BirthState::Shared);
+  Object *Stock =
+      Db.H.allocateArray(&RefArrayType, C.ItemsPerWarehouse,
+                         BirthState::Shared);
+  Rng R(500 + Wid);
+  for (unsigned I = 0; I < C.ItemsPerWarehouse; ++I) {
+    Object *S = Db.H.allocate(&StockType, BirthState::Shared);
+    S->rawStore(0, 50 + R.nextBelow(50)); // quantity
+    Stock->rawStoreRef(I, S);
+  }
+  W->rawStoreRef(0, Stock);
+  Object *Districts =
+      Db.H.allocateArray(&IntArrayType, C.Districts, BirthState::Shared);
+  W->rawStoreRef(1, Districts);
+  return W;
+}
+
+class JbbWorker {
+public:
+  JbbWorker(JbbDb &Db, ExecMode Mode, const Mem &M, unsigned Tid)
+      : Db(Db), Mode(Mode), M(M), R(9000 + Tid) {
+    Warehouse = Db.Warehouses[Tid];
+    Report = Db.H.allocate(&ReportType, M.birth());
+  }
+
+  uint64_t run() {
+    for (unsigned Op = 0; Op < Db.Cfg.OpsPerThread; ++Op) {
+      unsigned Kind = static_cast<unsigned>(R.nextBelow(100));
+      if (Kind < 45)
+        newOrder();
+      else if (Kind < 88)
+        payment();
+      else
+        orderStatus();
+    }
+    // The report block is never accessed transactionally: a NAIT site.
+    return M.loadNait(Report, 0) + M.loadNait(Report, 1) * 3 +
+           M.loadNait(Report, 2) * 7 + M.loadNait(Report, 3);
+  }
+
+private:
+  void bumpReport(uint32_t Slot, uint64_t Amount) {
+    M.storeNait(Report, Slot, M.loadNait(Report, Slot) + Amount);
+  }
+
+  void newOrder() {
+    // Build the order outside the transaction: a fresh private object
+    // (§4's DEA case) initialized with aggregated stores (§6).
+    const unsigned NumItems = 3 + static_cast<unsigned>(R.nextBelow(5));
+    unsigned District = static_cast<unsigned>(R.nextBelow(Db.Cfg.Districts));
+    unsigned FirstItem = static_cast<unsigned>(
+        R.nextBelow(Db.Cfg.ItemsPerWarehouse - NumItems));
+    Object *Order = Db.H.allocate(&OrderType, M.birth());
+    M.withObject(Order, [&](const Mem::ObjAccess &A) {
+      A.set(0, NumItems);
+      A.set(1, 0);
+      A.set(2, FirstItem);
+      A.set(3, District);
+    });
+
+    uint64_t Total = 0;
+    atomicRegion(Mode, Db.GlobalLock, [&](const RegionAccess &A) {
+      Total = 0;
+      Object *Stock = A.getRef(Warehouse, 0);
+      for (unsigned I = 0; I < NumItems; ++I) {
+        Object *Item = A.getRef(Stock, FirstItem + I);
+        uint64_t Qty = A.get(Item, 0);
+        if (Qty < NumItems)
+          Qty += 91; // Restock.
+        A.set(Item, 0, Qty - 1);
+        A.set(Item, 2, A.get(Item, 2) + 1);
+        Total += 10 + (Qty & 7);
+      }
+      // File the order: it becomes publicly reachable here (under DEA
+      // the transactional ref store publishes it, §4).
+      A.setRef(Warehouse, 2, Order);
+      A.set(Warehouse, 3, A.get(Warehouse, 3) + 1);
+    });
+    // Post-transaction, the order total is recorded on the (now public)
+    // order — a non-transactional access that needs its barrier under
+    // strong atomicity (the order escaped into the warehouse).
+    M.store(Order, 1, Total);
+    bumpReport(0, 1);
+    bumpReport(3, Total);
+  }
+
+  void payment() {
+    unsigned District = static_cast<unsigned>(R.nextBelow(Db.Cfg.Districts));
+    uint64_t Amount = 1 + R.nextBelow(500);
+    atomicRegion(Mode, Db.GlobalLock, [&](const RegionAccess &A) {
+      Object *Districts = A.getRef(Warehouse, 1);
+      A.set(Districts, District, A.get(Districts, District) + Amount);
+      A.set(Warehouse, 4, A.get(Warehouse, 4) + Amount);
+    });
+    bumpReport(1, 1);
+  }
+
+  void orderStatus() {
+    uint64_t Seen = 0;
+    atomicRegion(Mode, Db.GlobalLock, [&](const RegionAccess &A) {
+      Seen = 0;
+      Object *LastOrder = A.getRef(Warehouse, 2);
+      if (LastOrder) {
+        // Read the filed order's summary inside the transaction.
+        Seen = A.get(LastOrder, 0) + A.get(Warehouse, 3);
+      }
+    });
+    bumpReport(2, Seen != 0);
+  }
+
+  JbbDb &Db;
+  ExecMode Mode;
+  const Mem &M;
+  Rng R;
+  Object *Warehouse;
+  Object *Report;
+};
+
+} // namespace
+
+JbbResult satm::workloads::runJbb(ExecMode Mode, unsigned Threads,
+                                  const JbbConfig &C) {
+  BarrierPlan Plan = planFor(Mode);
+  PlanScope Scope(Plan);
+  Mem M(Plan);
+
+  JbbDb Db;
+  Db.Cfg = C;
+  for (unsigned T = 0; T < Threads; ++T)
+    Db.Warehouses.push_back(buildWarehouse(Db, T));
+
+  std::atomic<uint64_t> Digest{0};
+  Stopwatch Timer;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Db, Mode, &M, T, &Digest] {
+      Digest.fetch_add(JbbWorker(Db, Mode, M, T).run());
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  JbbResult Result;
+  Result.Seconds = Timer.seconds();
+  Result.Throughput = uint64_t(Threads) * C.OpsPerThread;
+  Result.Checksum = Digest.load();
+  return Result;
+}

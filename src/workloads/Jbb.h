@@ -1,0 +1,44 @@
+//===- workloads/Jbb.h - JBB-style order processing (Figure 20) *- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SpecJBB-style 3-tier order-processing emulation (Figure 20): one
+/// warehouse per worker thread, a TPC-C-like transaction mix (new-order /
+/// payment / order-status) executed as atomic regions against the
+/// warehouse's stock, district and order tables. Order objects are
+/// constructed non-transactionally (thread-private until the atomic region
+/// files them — the DEA path) and per-thread report counters exercise the
+/// NAIT-removable class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_JBB_H
+#define SATM_WORKLOADS_JBB_H
+
+#include "workloads/Modes.h"
+
+namespace satm {
+namespace workloads {
+
+struct JbbResult {
+  double Seconds = 0;
+  uint64_t Throughput = 0; ///< Operations completed (all threads).
+  uint64_t Checksum = 0;   ///< Mode-independent digest.
+};
+
+struct JbbConfig {
+  unsigned ItemsPerWarehouse = 512;
+  unsigned Districts = 10;
+  unsigned OpsPerThread = 4000;
+};
+
+/// Runs the workload with one warehouse per thread under \p Mode.
+JbbResult runJbb(ExecMode Mode, unsigned Threads, const JbbConfig &C = {});
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_JBB_H

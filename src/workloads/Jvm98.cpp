@@ -1,0 +1,491 @@
+//===- workloads/Jvm98.cpp - Non-transactional workload suite ------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Jvm98.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <mutex>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::workloads;
+
+namespace {
+
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+const TypeDescriptor RefArrayType("ref[]", TypeKind::RefArray);
+
+Object *newIntArray(Heap &H, const Mem &M, uint32_t N) {
+  return H.allocateArray(&IntArrayType, N, M.birth());
+}
+
+//===----------------------------------------------------------------------===
+// compress: LZW with open-addressed dictionary over int arrays.
+//===----------------------------------------------------------------------===
+
+uint64_t runCompress(const Mem &M, uint32_t Scale) {
+  Heap H;
+  const uint32_t InputLen = 64 * 1024 * Scale;
+  Object *Input = newIntArray(H, M, InputLen);
+  // Deterministic skewed "text".
+  Rng R(42);
+  for (uint32_t I = 0; I < InputLen; ++I)
+    M.storeLocal(Input, I, (R.next() % 16 < 12) ? R.nextBelow(8)
+                                                : R.nextBelow(64));
+
+  const uint32_t DictCap = 1 << 15;
+  Object *DictKey = newIntArray(H, M, DictCap);  // (prefix<<8)|sym + 1.
+  Object *DictCode = newIntArray(H, M, DictCap);
+  Object *Output = newIntArray(H, M, InputLen + 1);
+  for (uint32_t I = 0; I < DictCap; ++I)
+    M.store(DictKey, I, 0);
+
+  uint32_t NextCode = 256;
+  uint32_t OutPos = 0;
+  uint64_t Prefix = M.load(Input, 0);
+  // The input is consumed in blocks of 8: the aggregation site the paper
+  // highlights for compress ("aggregating multiple accesses to an array").
+  Word Block[8];
+  for (uint32_t Base = 1; Base < InputLen; Base += 8) {
+    uint32_t Count = std::min<uint32_t>(8, InputLen - Base);
+    M.withObjectReadOnly(Input, [&](const Mem::ObjAccess &A) {
+      for (uint32_t K = 0; K < Count; ++K)
+        Block[K] = A.get(Base + K);
+    });
+    for (uint32_t K = 0; K < Count; ++K) {
+    uint64_t Sym = Block[K];
+    uint64_t Key = (Prefix << 8 | Sym) + 1;
+    uint32_t Slot = static_cast<uint32_t>(Key * 2654435761u) & (DictCap - 1);
+    uint64_t Found = 0;
+    // Probe the dictionary: two reads per probe to the same pair of
+    // arrays — a natural aggregation site for the key array.
+    for (;;) {
+      uint64_t Probe = M.load(DictKey, Slot);
+      if (Probe == Key) {
+        Found = M.load(DictCode, Slot) + 1;
+        break;
+      }
+      if (Probe == 0)
+        break;
+      Slot = (Slot + 1) & (DictCap - 1);
+    }
+    if (Found) {
+      Prefix = Found - 1;
+      continue;
+    }
+    M.store(Output, OutPos, Prefix);
+    ++OutPos;
+    if (NextCode < (1u << 20)) {
+      M.store(DictKey, Slot, Key);
+      M.store(DictCode, Slot, NextCode++);
+    }
+    Prefix = Sym;
+    }
+  }
+  M.store(Output, OutPos++, Prefix);
+
+  uint64_t Sum = 0;
+  for (uint32_t I = 0; I < OutPos; ++I)
+    Sum = Sum * 31 + M.load(Output, I);
+  return Sum + OutPos;
+}
+
+//===----------------------------------------------------------------------===
+// jess: forward-chaining rule matcher over fact objects.
+//===----------------------------------------------------------------------===
+
+// Fact layout: kind, a, b, derivedFlag.
+const TypeDescriptor FactType("Fact", 4, {});
+
+uint64_t runJess(const Mem &M, uint32_t Scale) {
+  Heap H;
+  const uint32_t NumFacts = 1200 * Scale;
+  Object *Facts = H.allocateArray(&RefArrayType, NumFacts * 2, M.birth());
+  Rng R(7);
+  uint32_t Count = 0;
+  for (uint32_t I = 0; I < NumFacts; ++I) {
+    Object *F = H.allocate(&FactType, M.birth());
+    M.withObject(F, [&](const Mem::ObjAccess &A) {
+      A.set(0, R.nextBelow(4));       // kind
+      A.set(1, R.nextBelow(50));      // a
+      A.set(2, R.nextBelow(50));      // b
+      A.set(3, 0);
+    });
+    M.storeRef(Facts, Count++, F);
+  }
+  // Rule: for kinds k, (k, a, b) and (k, b, c) derive (k+1 mod 4, a, c),
+  // bounded passes; join implemented with a bucket index on b.
+  uint64_t Derived = 0;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    const uint32_t Buckets = 64;
+    std::vector<std::vector<Object *>> Index(Buckets);
+    for (uint32_t I = 0; I < Count; ++I) {
+      Object *F = M.loadRef(Facts, I);
+      Index[M.load(F, 1) % Buckets].push_back(F);
+    }
+    uint32_t Limit = Count;
+    for (uint32_t I = 0; I < Limit && Count + 1 < NumFacts * 2; ++I) {
+      Object *F1 = M.loadRef(Facts, I);
+      uint64_t Kind = M.load(F1, 0);
+      uint64_t B = M.load(F1, 2);
+      for (Object *F2 : Index[B % Buckets]) {
+        if (M.load(F2, 0) != Kind || M.load(F2, 1) != B)
+          continue;
+        if (Count + 1 >= NumFacts * 2)
+          break;
+        Object *NF = H.allocate(&FactType, M.birth());
+        M.withObject(NF, [&](const Mem::ObjAccess &A) {
+          A.set(0, (Kind + 1) % 4);
+          A.set(1, M.load(F1, 1));
+          A.set(2, M.load(F2, 2));
+          A.set(3, 1);
+        });
+        M.storeRef(Facts, Count++, NF);
+        ++Derived;
+      }
+    }
+  }
+  uint64_t Sum = Derived;
+  for (uint32_t I = 0; I < Count; ++I) {
+    Object *F = M.loadRef(Facts, I);
+    Sum = Sum * 33 + M.load(F, 0) + M.load(F, 1) * 3 + M.load(F, 2) * 7;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// db: record table with sorted index, lookups and updates.
+//===----------------------------------------------------------------------===
+
+// Record layout: key, balance, touches.
+const TypeDescriptor RecordType("Record", 3, {});
+
+uint64_t runDb(const Mem &M, uint32_t Scale) {
+  Heap H;
+  const uint32_t NumRecords = 4000;
+  const uint32_t NumOps = 30000 * Scale;
+  Object *Table = H.allocateArray(&RefArrayType, NumRecords, M.birth());
+  Object *KeyIndex = newIntArray(H, M, NumRecords); // sorted record keys
+  for (uint32_t I = 0; I < NumRecords; ++I) {
+    Object *Rec = H.allocate(&RecordType, M.birth());
+    uint64_t Key = I * 7 + 13; // Already sorted by construction.
+    M.withObject(Rec, [&](const Mem::ObjAccess &A) {
+      A.set(0, Key);
+      A.set(1, 100);
+      A.set(2, 0);
+    });
+    M.storeRef(Table, I, Rec);
+    M.store(KeyIndex, I, Key);
+  }
+  Rng R(99);
+  uint64_t Hits = 0;
+  for (uint32_t OpI = 0; OpI < NumOps; ++OpI) {
+    uint64_t Key = R.nextBelow(NumRecords * 7 + 13);
+    // Binary search in the index.
+    uint32_t Lo = 0, Hi = NumRecords;
+    while (Lo < Hi) {
+      uint32_t Mid = (Lo + Hi) / 2;
+      if (M.load(KeyIndex, Mid) < Key)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    if (Lo < NumRecords && M.load(KeyIndex, Lo) == Key) {
+      Object *Rec = M.loadRef(Table, Lo);
+      M.withObject(Rec, [&](const Mem::ObjAccess &A) {
+        A.set(1, A.get(1) + (OpI % 3 == 0 ? 5 : static_cast<Word>(-1)));
+        A.set(2, A.get(2) + 1);
+      });
+      ++Hits;
+    }
+  }
+  uint64_t Sum = Hits;
+  for (uint32_t I = 0; I < NumRecords; ++I) {
+    Object *Rec = M.loadRef(Table, I);
+    Sum = Sum * 31 + M.load(Rec, 1) + M.load(Rec, 2);
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// javac: tokenizer + expression tree builder (allocation heavy).
+//===----------------------------------------------------------------------===
+
+// Node layout: kind, value, left(ref), right(ref).
+const TypeDescriptor NodeType("Node", 4, {2, 3});
+
+uint64_t runJavac(const Mem &M, uint32_t Scale) {
+  Heap H;
+  Rng R(5);
+  const uint32_t NumUnits = 600 * Scale;
+  uint64_t Sum = 0;
+  for (uint32_t Unit = 0; Unit < NumUnits; ++Unit) {
+    // Synthesize a token stream: a random fully-parenthesized expression.
+    const uint32_t NumLeaves = 64;
+    std::vector<Object *> Stack;
+    for (uint32_t L = 0; L < NumLeaves; ++L) {
+      Object *Leaf = H.allocate(&NodeType, M.birth());
+      M.storeLocal(Leaf, 0, 0);
+      M.storeLocal(Leaf, 1, R.nextBelow(1000));
+      Stack.push_back(Leaf);
+      // Reduce randomly: combine top two into an operator node.
+      while (Stack.size() >= 2 && R.nextPercent(60)) {
+        Object *Rhs = Stack.back();
+        Stack.pop_back();
+        Object *Lhs = Stack.back();
+        Stack.pop_back();
+        Object *Op = H.allocate(&NodeType, M.birth());
+        M.withObject(Op, [&](const Mem::ObjAccess &A) {
+          A.set(0, 1 + R.nextBelow(3));
+          A.setRef(2, Lhs);
+          A.setRef(3, Rhs);
+        });
+        Stack.push_back(Op);
+      }
+    }
+    while (Stack.size() >= 2) {
+      Object *Rhs = Stack.back();
+      Stack.pop_back();
+      Object *Lhs = Stack.back();
+      Stack.pop_back();
+      Object *Op = H.allocate(&NodeType, M.birth());
+      M.withObject(Op, [&](const Mem::ObjAccess &A) {
+        A.set(0, 1);
+        A.setRef(2, Lhs);
+        A.setRef(3, Rhs);
+      });
+      Stack.push_back(Op);
+    }
+    // "Constant fold" — evaluate the tree iteratively.
+    std::vector<Object *> Walk{Stack[0]};
+    uint64_t Folded = 0;
+    while (!Walk.empty()) {
+      Object *N = Walk.back();
+      Walk.pop_back();
+      uint64_t Kind = M.load(N, 0);
+      if (Kind == 0) {
+        Folded += M.load(N, 1);
+        continue;
+      }
+      Folded += Kind;
+      if (Object *L = M.loadRef(N, 2))
+        Walk.push_back(L);
+      if (Object *Rt = M.loadRef(N, 3))
+        Walk.push_back(Rt);
+    }
+    Sum = Sum * 17 + Folded;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// mpegaudio: filter bank over static (published, shared) arrays. This is
+// the benchmark where DEA cannot remove barrier costs (§7): the data is
+// static, hence public, so every access pays the full barrier.
+//===----------------------------------------------------------------------===
+
+struct MpegStatics {
+  Object *Coeffs;
+  Object *Window;
+  Object *Buffer;
+};
+
+/// Static arrays live in the global heap, always Shared (public),
+/// mirroring Java statics initialized by a class initializer.
+MpegStatics &mpegStatics() {
+  static MpegStatics S = [] {
+    MpegStatics St;
+    Heap &H = Heap::global();
+    St.Coeffs = H.allocateArray(&IntArrayType, 512, BirthState::Shared);
+    St.Window = H.allocateArray(&IntArrayType, 512, BirthState::Shared);
+    St.Buffer = H.allocateArray(&IntArrayType, 2048, BirthState::Shared);
+    Rng R(3);
+    for (uint32_t I = 0; I < 512; ++I) {
+      St.Coeffs->rawStore(I, R.nextBelow(255) + 1);
+      St.Window->rawStore(I, R.nextBelow(127) + 1);
+    }
+    return St;
+  }();
+  return S;
+}
+
+/// One subband synthesis step: blocked coefficient/window fetches (the
+/// per-object aggregation sites — one acquire per 16 reads instead of 16
+/// barriers) followed by the multiply-accumulate. Kept out of line so the
+/// frame loop stays small and the optimizer keeps the fetch loops tight.
+__attribute__((noinline)) uint64_t mpegSubband(const Mem &M,
+                                               const MpegStatics &St,
+                                               uint32_t Sb) {
+  Word CBuf[16], WBuf[16];
+  if (M.plan().Aggregate && M.plan().ReadBarriers && !M.plan().NaitAll) {
+    // Aggregated fetch: one acquire per 16 reads instead of 16 barriers.
+    {
+      stm::AggregatedWriter W(St.Coeffs);
+      for (uint32_t K = 0; K < 16; ++K)
+        CBuf[K] = W.load((Sb * 16 + K) & 511);
+    }
+    {
+      stm::AggregatedWriter W(St.Window);
+      for (uint32_t K = 0; K < 16; ++K)
+        WBuf[K] = W.load((Sb + K * 32) & 511);
+    }
+  } else {
+    // Copy the accessor: a by-value Mem is provably unmodified, so the
+    // compiler may hoist the plan-flag loads out of the loop (through a
+    // reference it must re-load them after every acquire load).
+    const Mem LocalM = M;
+    for (uint32_t K = 0; K < 16; ++K)
+      CBuf[K] = LocalM.load(St.Coeffs, (Sb * 16 + K) & 511);
+    for (uint32_t K = 0; K < 16; ++K)
+      WBuf[K] = LocalM.load(St.Window, (Sb + K * 32) & 511);
+  }
+  uint64_t Acc = 0;
+  for (uint32_t K = 0; K < 16; ++K)
+    Acc += CBuf[K] * WBuf[K];
+  return Acc;
+}
+
+uint64_t runMpegaudio(const Mem &M, uint32_t Scale) {
+  MpegStatics &St = mpegStatics();
+  const uint32_t Frames = 1500 * Scale;
+  uint64_t Sum = 0;
+  // Reset the static output buffer so the checksum is run-independent.
+  for (uint32_t I = 0; I < 2048; ++I)
+    M.store(St.Buffer, I, 0);
+  for (uint32_t Frame = 0; Frame < Frames; ++Frame) {
+    // Subband synthesis-like loop: multiply-accumulate over statics and
+    // shift the static buffer.
+    for (uint32_t Sb = 0; Sb < 32; ++Sb) {
+      uint64_t Acc = mpegSubband(M, St, Sb);
+      M.store(St.Buffer, (Frame * 32 + Sb) & 2047, Acc & 0xffff);
+    }
+    Sum += M.load(St.Buffer, (Frame * 7) & 2047);
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// mtrt: small sphere-scene ray tracer with per-ray temporaries.
+//===----------------------------------------------------------------------===
+
+// Sphere layout: cx, cy, cz, r2, color.
+const TypeDescriptor SphereType("Sphere", 5, {});
+// Ray layout: ox, oy, oz, dx, dy, dz (fixed-point *1024).
+const TypeDescriptor RayType("Ray", 6, {});
+
+uint64_t runMtrt(const Mem &M, uint32_t Scale) {
+  Heap H;
+  const int NumSpheres = 16;
+  Object *Scene = H.allocateArray(&RefArrayType, NumSpheres, M.birth());
+  Rng R(11);
+  for (int I = 0; I < NumSpheres; ++I) {
+    Object *S = H.allocate(&SphereType, M.birth());
+    M.withObject(S, [&](const Mem::ObjAccess &A) {
+      A.set(0, R.nextBelow(2048));
+      A.set(1, R.nextBelow(2048));
+      A.set(2, 1024 + R.nextBelow(4096));
+      A.set(3, (64 + R.nextBelow(256)) * (64 + R.nextBelow(256)));
+      A.set(4, R.nextBelow(256));
+    });
+    M.storeRef(Scene, I, S);
+  }
+  const uint32_t W = 64, Ht = 48;
+  const uint32_t Passes = 2 * Scale;
+  Object *Image = newIntArray(H, M, W * Ht);
+  for (uint32_t Pass = 0; Pass < Passes; ++Pass) {
+    for (uint32_t Y = 0; Y < Ht; ++Y) {
+      for (uint32_t X = 0; X < W; ++X) {
+        // Fresh private ray per pixel — the DEA fast-path driver.
+        Object *Ray = H.allocate(&RayType, M.birth());
+        M.storeLocal(Ray, 0, X * 32);
+        M.storeLocal(Ray, 1, Y * 32);
+        M.storeLocal(Ray, 2, 0);
+        M.storeLocal(Ray, 3, 3);
+        M.storeLocal(Ray, 4, 5);
+        M.storeLocal(Ray, 5, 1024);
+        uint64_t Best = ~0ull;
+        uint64_t Color = 0;
+        for (int S = 0; S < NumSpheres; ++S) {
+          Object *Sp = M.loadRef(Scene, S);
+          // March the ray in fixed steps against the sphere bound.
+          int64_t Ox = static_cast<int64_t>(M.loadLocal(Ray, 0));
+          int64_t Oy = static_cast<int64_t>(M.loadLocal(Ray, 1));
+          int64_t Oz = static_cast<int64_t>(M.loadLocal(Ray, 2));
+          int64_t Cx = static_cast<int64_t>(M.load(Sp, 0));
+          int64_t Cy = static_cast<int64_t>(M.load(Sp, 1));
+          int64_t Cz = static_cast<int64_t>(M.load(Sp, 2));
+          int64_t R2 = static_cast<int64_t>(M.load(Sp, 3));
+          for (int T = 0; T < 8; ++T) {
+            int64_t Px = Ox + T * 96, Py = Oy + T * 160, Pz = Oz + T * 512;
+            int64_t D2 = (Px - Cx) * (Px - Cx) + (Py - Cy) * (Py - Cy) +
+                         (Pz - Cz) * (Pz - Cz);
+            if (D2 < R2 * 64 && static_cast<uint64_t>(D2) < Best) {
+              Best = D2;
+              Color = M.load(Sp, 4) + T;
+            }
+          }
+        }
+        M.store(Image, Y * W + X, Color);
+      }
+    }
+  }
+  uint64_t Sum = 0;
+  for (uint32_t I = 0; I < W * Ht; ++I)
+    Sum = Sum * 31 + M.load(Image, I);
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===
+// jack: table-driven scanner generated over a small DFA.
+//===----------------------------------------------------------------------===
+
+uint64_t runJack(const Mem &M, uint32_t Scale) {
+  Heap H;
+  const uint32_t NumStates = 32, NumSyms = 16;
+  Object *Delta = newIntArray(H, M, NumStates * NumSyms);
+  Object *Accept = newIntArray(H, M, NumStates);
+  Rng R(17);
+  for (uint32_t S = 0; S < NumStates; ++S) {
+    for (uint32_t C = 0; C < NumSyms; ++C)
+      M.store(Delta, S * NumSyms + C, R.nextBelow(NumStates));
+    M.store(Accept, S, R.nextPercent(25));
+  }
+  const uint32_t InputLen = 48 * 1024 * Scale;
+  Object *Input = newIntArray(H, M, InputLen);
+  for (uint32_t I = 0; I < InputLen; ++I)
+    M.storeLocal(Input, I, R.nextBelow(NumSyms));
+  Object *TokenOut = newIntArray(H, M, InputLen);
+
+  uint32_t State = 0;
+  uint32_t Tokens = 0;
+  for (uint32_t I = 0; I < InputLen; ++I) {
+    uint64_t Sym = M.load(Input, I);
+    State = static_cast<uint32_t>(
+        M.load(Delta, State * NumSyms + static_cast<uint32_t>(Sym)));
+    if (M.load(Accept, State)) {
+      M.store(TokenOut, Tokens, (static_cast<uint64_t>(State) << 8) | Sym);
+      ++Tokens;
+      State = 0;
+    }
+  }
+  uint64_t Sum = Tokens;
+  for (uint32_t I = 0; I < Tokens; ++I)
+    Sum = Sum * 131 + M.load(TokenOut, I);
+  return Sum;
+}
+
+} // namespace
+
+const std::vector<Jvm98Workload> &satm::workloads::jvm98Suite() {
+  static const std::vector<Jvm98Workload> Suite = {
+      {"compress", runCompress}, {"jess", runJess}, {"db", runDb},
+      {"javac", runJavac},       {"mpegaudio", runMpegaudio},
+      {"mtrt", runMtrt},         {"jack", runJack},
+  };
+  return Suite;
+}

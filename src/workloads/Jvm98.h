@@ -1,0 +1,56 @@
+//===- workloads/Jvm98.h - Non-transactional workload suite ----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-threaded managed workloads standing in for SPEC JVM98 (§7,
+/// Figures 15-17). Each mirrors the access character of its namesake:
+///
+///   compress   LZW-style compressor: tight array loops, private buffers;
+///              the paper's biggest aggregation + DEA winner.
+///   jess       forward-chaining rule matcher: field-read heavy object
+///              scans with occasional fact allocation.
+///   db         in-memory database: key lookups, field updates, index
+///              maintenance over a record table.
+///   javac      tokenizer + tree builder: allocation-heavy, short-lived
+///              private node graphs.
+///   mpegaudio  filter-bank DSP over *static* (published) arrays — the
+///              workload where DEA cannot help because static data is
+///              visible to multiple threads (§7).
+///   mtrt       small ray tracer: vector-object math, per-pixel temps.
+///   jack       lexer-generator style table-driven scanner: table reads,
+///              output buffer writes.
+///
+/// Every workload returns a checksum that is independent of the barrier
+/// plan: tests verify plan-independence; the benches time the plans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_JVM98_H
+#define SATM_WORKLOADS_JVM98_H
+
+#include "workloads/Mem.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace satm {
+namespace workloads {
+
+/// One benchmark in the suite.
+struct Jvm98Workload {
+  const char *Name;
+  /// Runs the workload under \p M at problem size \p Scale (1 = default
+  /// test size; benches use larger). Returns a plan-independent checksum.
+  uint64_t (*Run)(const Mem &M, uint32_t Scale);
+};
+
+/// The seven workloads, in the paper's order.
+const std::vector<Jvm98Workload> &jvm98Suite();
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_JVM98_H

@@ -1,0 +1,242 @@
+//===- workloads/Mem.h - Barrier-plan access layer -------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access layer the native benchmark workloads use. A BarrierPlan
+/// stands for what the paper's JIT + analyses decide for a compilation of
+/// the workload:
+///
+///   - ReadBarriers / WriteBarriers: which non-transactional accesses get
+///     Figure 9/10 isolation barriers (Figures 15/16/17 sweep these).
+///   - ElideLocal: §6 "Barrier Elim" — sites the intraprocedural escape
+///     analysis or immutability rules prove barrier-free. Workload code
+///     marks those sites by calling the *Local variants.
+///   - Aggregate: §6 barrier aggregation — workloads wrap the hot
+///     multi-access regions the JIT would aggregate in withObject().
+///   - Dea: §4 dynamic escape analysis — combined with objects born
+///     Private, the barriers take the Figure 10 fast paths. The caller
+///     must install stm::Config::DeaEnabled for the run (see planScope).
+///   - NaitAll: §5 NAIT verdict for an entirely non-transactional program:
+///     every barrier is removed ("for non-transactional programs NAIT
+///     removes all the barriers").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_MEM_H
+#define SATM_WORKLOADS_MEM_H
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Config.h"
+
+namespace satm {
+namespace workloads {
+
+using rt::BirthState;
+using rt::Object;
+using stm::Word;
+
+/// What the compiler decided about this workload's barriers.
+struct BarrierPlan {
+  bool ReadBarriers = false;
+  bool WriteBarriers = false;
+  bool ElideLocal = false;
+  bool Aggregate = false;
+  bool Dea = false;
+  bool NaitAll = false;
+  /// §5 whole-program NAIT for *transactional* workloads: only the sites
+  /// the analysis proves never-accessed-in-transaction (workloads mark
+  /// them with the *Nait accessor variants) lose their barriers.
+  bool NaitSites = false;
+
+  /// No barriers at all: the timing denominator.
+  static BarrierPlan none() { return {}; }
+  /// Unoptimized strong atomicity: barrier on every access.
+  static BarrierPlan noOpts(bool Reads = true, bool Writes = true) {
+    BarrierPlan P;
+    P.ReadBarriers = Reads;
+    P.WriteBarriers = Writes;
+    return P;
+  }
+
+  bool anyBarriers() const {
+    return (ReadBarriers || WriteBarriers) && !NaitAll;
+  }
+};
+
+/// Installs the runtime half of a plan (DEA flag) for a scope.
+class PlanScope {
+public:
+  explicit PlanScope(const BarrierPlan &P) : Saved(stm::config()) {
+    stm::config().DeaEnabled = P.Dea;
+  }
+  ~PlanScope() { stm::config() = Saved; }
+  PlanScope(const PlanScope &) = delete;
+  PlanScope &operator=(const PlanScope &) = delete;
+
+private:
+  stm::Config Saved;
+};
+
+/// Plan-dispatched non-transactional memory accessor.
+class Mem {
+public:
+  explicit Mem(const BarrierPlan &P) : Plan(P) {}
+
+  const BarrierPlan &plan() const { return Plan; }
+
+  /// Birth state for workload allocations under this plan.
+  BirthState birth() const {
+    return Plan.Dea ? BirthState::Private : BirthState::Shared;
+  }
+
+  Word load(const Object *O, uint32_t S) const {
+    if (Plan.ReadBarriers && !Plan.NaitAll)
+      return stm::ntRead(O, S);
+    return O->rawLoad(S, std::memory_order_acquire);
+  }
+
+  void store(Object *O, uint32_t S, Word V) const {
+    if (Plan.WriteBarriers && !Plan.NaitAll) {
+      stm::ntWrite(O, S, V);
+      return;
+    }
+    O->rawStore(S, V, std::memory_order_release);
+  }
+
+  Object *loadRef(const Object *O, uint32_t S) const {
+    return Object::fromWord(load(O, S));
+  }
+
+  void storeRef(Object *O, uint32_t S, Object *Referee) const {
+    if (Plan.WriteBarriers && !Plan.NaitAll) {
+      stm::ntWriteRef(O, S, Referee);
+      return;
+    }
+    // Barrier removed: keep the §4 publication step under DEA (see
+    // DESIGN.md) so the private-bit invariant holds.
+    if (Plan.Dea && Referee &&
+        !stm::TxRecord::isPrivate(
+            O->txRecord().load(std::memory_order_acquire)))
+      stm::publishObject(Referee);
+    O->rawStoreRef(S, Referee, std::memory_order_release);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Sites the §6 JIT analyses (intraprocedural escape, immutability)
+  // prove barrier-free. Real barriers unless the plan enables ElideLocal.
+  //===--------------------------------------------------------------------===
+
+  Word loadLocal(const Object *O, uint32_t S) const {
+    if (Plan.ElideLocal)
+      return O->rawLoad(S, std::memory_order_acquire);
+    return load(O, S);
+  }
+
+  void storeLocal(Object *O, uint32_t S, Word V) const {
+    if (Plan.ElideLocal) {
+      O->rawStore(S, V, std::memory_order_release);
+      return;
+    }
+    store(O, S, V);
+  }
+
+  Object *loadRefLocal(const Object *O, uint32_t S) const {
+    return Object::fromWord(loadLocal(O, S));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Sites the §5 whole-program NAIT analysis proves are never accessed in
+  // any transaction (e.g. read-only tables, handed-off objects). Real
+  // barriers unless the plan enables NaitSites.
+  //===--------------------------------------------------------------------===
+
+  Word loadNait(const Object *O, uint32_t S) const {
+    if (Plan.NaitSites)
+      return O->rawLoad(S, std::memory_order_acquire);
+    return load(O, S);
+  }
+
+  void storeNait(Object *O, uint32_t S, Word V) const {
+    if (Plan.NaitSites) {
+      O->rawStore(S, V, std::memory_order_release);
+      return;
+    }
+    store(O, S, V);
+  }
+
+  Object *loadRefNait(const Object *O, uint32_t S) const {
+    return Object::fromWord(loadNait(O, S));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Aggregation (§6): hot regions accessing one object repeatedly.
+  //===--------------------------------------------------------------------===
+
+  /// Accessor handed to withObject bodies: routes through the aggregated
+  /// barrier when one is active, else through the plain plan accessors.
+  class ObjAccess {
+  public:
+    ObjAccess(const Mem &M, Object *O, stm::AggregatedWriter *W)
+        : M(M), O(O), W(W) {}
+    Word get(uint32_t S) const { return W ? W->load(S) : M.load(O, S); }
+    void set(uint32_t S, Word V) const {
+      if (W)
+        W->store(S, V);
+      else
+        M.store(O, S, V);
+    }
+    Object *getRef(uint32_t S) const {
+      return Object::fromWord(get(S));
+    }
+    void setRef(uint32_t S, Object *R) const {
+      if (W)
+        W->storeRef(S, R);
+      else
+        M.storeRef(O, S, R);
+    }
+
+  private:
+    const Mem &M;
+    Object *O;
+    stm::AggregatedWriter *W;
+  };
+
+  /// Runs \p Body with accesses to \p O aggregated under one barrier when
+  /// the plan says so (the Figure 14 codegen), else with per-access
+  /// barriers. \p Body must touch only \p O through the accessor and obey
+  /// the §6 constraints (no calls into shared memory, no other objects).
+  /// For groups containing stores: aggregation replaces the write
+  /// barriers' acquires, so it only applies when write barriers are on.
+  template <typename F> void withObject(Object *O, F &&Body) const {
+    if (Plan.Aggregate && Plan.WriteBarriers && !Plan.NaitAll) {
+      stm::AggregatedWriter W(O);
+      Body(ObjAccess(*this, O, &W));
+      return;
+    }
+    Body(ObjAccess(*this, O, nullptr));
+  }
+
+  /// withObject for load-only groups: one exclusive acquire replaces K
+  /// read barriers (profitable for K >= 2) — but only when read barriers
+  /// exist to replace; a JIT never aggregates unbarriered accesses.
+  template <typename F> void withObjectReadOnly(Object *O, F &&Body) const {
+    if (Plan.Aggregate && Plan.ReadBarriers && !Plan.NaitAll) {
+      stm::AggregatedWriter W(O);
+      Body(ObjAccess(*this, O, &W));
+      return;
+    }
+    Body(ObjAccess(*this, O, nullptr));
+  }
+
+private:
+  BarrierPlan Plan;
+};
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_MEM_H

@@ -1,0 +1,138 @@
+//===- workloads/Modes.h - Figure 18-20 execution modes --------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six execution modes of the paper's scalability figures (18-20):
+/// lock-based Synch, weakly-atomic STM, and strongly-atomic STM at four
+/// cumulative optimization levels. Optimizations accumulate exactly as in
+/// the figures: +JitOpts adds barrier elimination and aggregation, +DEA
+/// adds dynamic escape analysis, +Whole-Prog adds NAIT and TL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_MODES_H
+#define SATM_WORKLOADS_MODES_H
+
+#include "stm/Txn.h"
+#include "workloads/Mem.h"
+
+#include <mutex>
+
+namespace satm {
+namespace workloads {
+
+enum class ExecMode : uint8_t {
+  Synch,        ///< Lock-based critical sections; no barriers.
+  Weak,         ///< STM atomic blocks; direct non-transactional accesses.
+  StrongNoOpts, ///< STM + unoptimized isolation barriers.
+  StrongJit,    ///< + barrier elimination + barrier aggregation (§6).
+  StrongDea,    ///< + dynamic escape analysis (§4).
+  StrongWhole,  ///< + whole-program NAIT/TL (§5).
+};
+
+inline constexpr ExecMode AllExecModes[] = {
+    ExecMode::Synch,     ExecMode::Weak,      ExecMode::StrongNoOpts,
+    ExecMode::StrongJit, ExecMode::StrongDea, ExecMode::StrongWhole,
+};
+
+inline const char *execModeName(ExecMode M) {
+  switch (M) {
+  case ExecMode::Synch:
+    return "Synch";
+  case ExecMode::Weak:
+    return "Weak Atom";
+  case ExecMode::StrongNoOpts:
+    return "Strong NoOpts";
+  case ExecMode::StrongJit:
+    return "+JitOpts";
+  case ExecMode::StrongDea:
+    return "+DEA";
+  case ExecMode::StrongWhole:
+    return "+Whole-Prog";
+  }
+  return "?";
+}
+
+/// True for the mode that uses mutual exclusion instead of transactions.
+inline bool usesLocks(ExecMode M) { return M == ExecMode::Synch; }
+
+/// The non-transactional barrier plan each mode compiles to.
+inline BarrierPlan planFor(ExecMode M) {
+  BarrierPlan P;
+  switch (M) {
+  case ExecMode::Synch:
+  case ExecMode::Weak:
+    return P;
+  case ExecMode::StrongWhole:
+    P.NaitSites = true;
+    [[fallthrough]];
+  case ExecMode::StrongDea:
+    P.Dea = true;
+    [[fallthrough]];
+  case ExecMode::StrongJit:
+    P.ElideLocal = true;
+    P.Aggregate = true;
+    [[fallthrough]];
+  case ExecMode::StrongNoOpts:
+    P.ReadBarriers = true;
+    P.WriteBarriers = true;
+    return P;
+  }
+  return P;
+}
+
+/// Accessor for data touched inside an atomic region: transactional
+/// reads/writes under the STM modes, plain accesses under Synch (whose
+/// mutual exclusion makes them safe).
+class RegionAccess {
+public:
+  explicit RegionAccess(bool UseTxn) : UseTxn(UseTxn) {}
+
+  Word get(Object *O, uint32_t S) const {
+    if (UseTxn)
+      return stm::Txn::forThisThread().read(O, S);
+    return O->rawLoad(S, std::memory_order_acquire);
+  }
+  void set(Object *O, uint32_t S, Word V) const {
+    if (UseTxn)
+      stm::Txn::forThisThread().write(O, S, V);
+    else
+      O->rawStore(S, V, std::memory_order_release);
+  }
+  Object *getRef(Object *O, uint32_t S) const {
+    return Object::fromWord(get(O, S));
+  }
+  void setRef(Object *O, uint32_t S, Object *R) const {
+    if (UseTxn)
+      stm::Txn::forThisThread().writeRef(O, S, R);
+    else
+      O->rawStoreRef(S, R, std::memory_order_release);
+  }
+
+private:
+  bool UseTxn;
+};
+
+/// Runs \p Body as this mode's atomic region: a global-lock critical
+/// section under Synch, an eager transaction otherwise.
+template <typename F>
+void atomicRegion(ExecMode Mode, std::mutex &Lock, F &&Body) {
+  if (usesLocks(Mode)) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    RegionAccess A(false);
+    Body(A);
+    return;
+  }
+  stm::atomically([&] {
+    RegionAccess A(true);
+    Body(A);
+  });
+}
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_MODES_H

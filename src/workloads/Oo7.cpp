@@ -1,0 +1,159 @@
+//===- workloads/Oo7.cpp - OO7 design database (Figure 19) ---------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Oo7.h"
+
+#include "support/Rng.h"
+#include "support/Stopwatch.h"
+
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::workloads;
+
+namespace {
+
+// Assembly: kind (0 = complex, 1 = base), children ref-array, composites
+// ref-array.
+const TypeDescriptor AssemblyType("Assembly", 3, {1, 2});
+// CompositePart: parts ref-array, buildDate.
+const TypeDescriptor CompositeType("CompositePart", 2, {0});
+// AtomicPart: x, y, docId.
+const TypeDescriptor PartType("AtomicPart", 3, {});
+// Per-traversal private scratch: visited count, sum, updates done.
+const TypeDescriptor ScratchType("Scratch", 3, {});
+const TypeDescriptor RefArrayType("ref[]", TypeKind::RefArray);
+
+struct Oo7Db {
+  Heap H;
+  Object *Root = nullptr;
+  std::mutex RootLock;
+  Oo7Config Cfg;
+};
+
+Object *buildAssembly(Oo7Db &Db, Rng &R, unsigned Level) {
+  const Oo7Config &C = Db.Cfg;
+  // The database is built up-front and globally visible: public birth.
+  Object *A = Db.H.allocate(&AssemblyType, BirthState::Shared);
+  if (Level + 1 >= C.Depth) {
+    A->rawStore(0, 1); // Base assembly.
+    Object *Comps =
+        Db.H.allocateArray(&RefArrayType, C.CompositesPerBase,
+                           BirthState::Shared);
+    for (unsigned I = 0; I < C.CompositesPerBase; ++I) {
+      Object *Comp = Db.H.allocate(&CompositeType, BirthState::Shared);
+      Object *Parts = Db.H.allocateArray(&RefArrayType, C.PartsPerComposite,
+                                         BirthState::Shared);
+      for (unsigned P = 0; P < C.PartsPerComposite; ++P) {
+        Object *Part = Db.H.allocate(&PartType, BirthState::Shared);
+        Part->rawStore(0, R.nextBelow(1000));
+        Part->rawStore(1, R.nextBelow(1000));
+        Part->rawStore(2, P);
+        Parts->rawStoreRef(P, Part);
+      }
+      Comp->rawStoreRef(0, Parts);
+      Comp->rawStore(1, R.nextBelow(365));
+      Comps->rawStoreRef(I, Comp);
+    }
+    A->rawStoreRef(2, Comps);
+    return A;
+  }
+  A->rawStore(0, 0);
+  Object *Children =
+      Db.H.allocateArray(&RefArrayType, C.Fanout, BirthState::Shared);
+  for (unsigned I = 0; I < C.Fanout; ++I)
+    Children->rawStoreRef(I, buildAssembly(Db, R, Level + 1));
+  A->rawStoreRef(1, Children);
+  return A;
+}
+
+/// One root-granularity traversal: the whole walk is a single atomic
+/// region (or one critical section under the root lock).
+uint64_t traverse(Oo7Db &Db, ExecMode Mode, bool Update, uint64_t Stamp) {
+  uint64_t Sum = 0;
+  atomicRegion(Mode, Db.RootLock, [&](const RegionAccess &A) {
+    Sum = 0; // Re-executed transactions restart the accumulation.
+    std::vector<Object *> Stack{Db.Root};
+    while (!Stack.empty()) {
+      Object *Node = Stack.back();
+      Stack.pop_back();
+      if (A.get(Node, 0) == 0) { // Complex assembly.
+        Object *Children = A.getRef(Node, 1);
+        for (uint32_t I = 0; I < Children->slotCount(); ++I)
+          Stack.push_back(A.getRef(Children, I));
+        continue;
+      }
+      Object *Comps = A.getRef(Node, 2);
+      for (uint32_t CI = 0; CI < Comps->slotCount(); ++CI) {
+        Object *Comp = A.getRef(Comps, CI);
+        Object *Parts = A.getRef(Comp, 0);
+        for (uint32_t P = 0; P < Parts->slotCount(); ++P) {
+          Object *Part = A.getRef(Parts, P);
+          if (Update) {
+            A.set(Part, 1, A.get(Part, 1) + 1);
+            A.set(Part, 2, Stamp);
+          } else {
+            Sum += A.get(Part, 0) + A.get(Part, 1);
+          }
+        }
+      }
+    }
+  });
+  return Sum;
+}
+
+void worker(Oo7Db &Db, ExecMode Mode, const Mem &M, unsigned Tid,
+            std::atomic<uint64_t> &Digest) {
+  Rng R(1000 + Tid);
+  // Thread-private running log of traversal results: non-transactional
+  // work that strong atomicity must barrier (DEA/JIT recover it).
+  Object *Scratch = Db.H.allocate(&ScratchType, M.birth());
+  M.storeLocal(Scratch, 0, 0);
+  M.storeLocal(Scratch, 1, 0);
+  M.storeLocal(Scratch, 2, 0);
+  for (unsigned T = 0; T < Db.Cfg.TraversalsPerThread; ++T) {
+    bool Update = R.nextPercent(Db.Cfg.UpdatePercent);
+    uint64_t Sum = traverse(Db, Mode, Update, T);
+    M.withObject(Scratch, [&](const Mem::ObjAccess &A) {
+      A.set(0, A.get(0) + 1);
+      A.set(1, A.get(1) + Sum);
+      A.set(2, A.get(2) + (Update ? 1 : 0));
+    });
+  }
+  Digest.fetch_add(M.load(Scratch, 0) + M.load(Scratch, 2));
+}
+
+} // namespace
+
+Oo7Result satm::workloads::runOo7(ExecMode Mode, unsigned Threads,
+                                  const Oo7Config &C) {
+  BarrierPlan Plan = planFor(Mode);
+  PlanScope Scope(Plan);
+  Mem M(Plan);
+
+  Oo7Db Db;
+  Db.Cfg = C;
+  Rng R(77);
+  Db.Root = buildAssembly(Db, R, 0);
+
+  std::atomic<uint64_t> Digest{0};
+  Stopwatch Timer;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back(
+        [&Db, Mode, &M, T, &Digest] { worker(Db, Mode, M, T, Digest); });
+  for (auto &W : Workers)
+    W.join();
+
+  Oo7Result Result;
+  Result.Seconds = Timer.seconds();
+  // Database digest: total traversals performed (mode-independent) plus
+  // a parity bit of part state.
+  Result.Checksum = Digest.load();
+  return Result;
+}

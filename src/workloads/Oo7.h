@@ -1,0 +1,45 @@
+//===- workloads/Oo7.h - OO7 design database (Figure 19) -------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OO7 benchmark [59] as the paper uses it (Figure 19): "a number of
+/// traversals over a synthetic database organized as a tree. Traversals
+/// either lookup (read-only) or update the database ... we used root
+/// locking and a mixture of 80% lookups and 20% updates." Each traversal is
+/// one atomic region (or, under Synch, one critical section under the
+/// single root lock — which is why the lock version does not scale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_OO7_H
+#define SATM_WORKLOADS_OO7_H
+
+#include "workloads/Modes.h"
+
+namespace satm {
+namespace workloads {
+
+struct Oo7Result {
+  double Seconds = 0;
+  uint64_t Checksum = 0; ///< Mode-independent database digest.
+};
+
+struct Oo7Config {
+  unsigned Fanout = 3;             ///< Assembly tree fanout.
+  unsigned Depth = 4;              ///< Assembly tree depth.
+  unsigned CompositesPerBase = 3;  ///< Composite parts per base assembly.
+  unsigned PartsPerComposite = 12; ///< Atomic parts per composite.
+  unsigned TraversalsPerThread = 120;
+  unsigned UpdatePercent = 20;
+};
+
+/// Runs OO7 with \p Threads workers under \p Mode.
+Oo7Result runOo7(ExecMode Mode, unsigned Threads, const Oo7Config &C = {});
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_OO7_H

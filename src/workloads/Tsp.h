@@ -1,0 +1,46 @@
+//===- workloads/Tsp.h - Branch-and-bound TSP (Figure 18) ------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel branch-and-bound traveling-salesman solver after [57], the
+/// paper's Figure 18 workload: "threads perform their searches
+/// independently, but share partially completed work and the
+/// best-answer-so-far via shared memory."
+///
+/// Sharing structure (and its barrier classes under strong atomicity):
+///  - distance matrix: shared, read-only, never accessed transactionally —
+///    a NAIT-removable site, hot in the inner loop;
+///  - best-so-far bound: read non-transactionally on every prune check
+///    (barrier never removable: it is written inside transactions) and
+///    updated inside an atomic block;
+///  - work-unit counter: claimed inside atomic blocks;
+///  - per-thread path/visited arrays: thread-private — the DEA fast path,
+///    with aggregated barriers on the multi-access extend step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_WORKLOADS_TSP_H
+#define SATM_WORKLOADS_TSP_H
+
+#include "workloads/Modes.h"
+
+namespace satm {
+namespace workloads {
+
+struct TspResult {
+  double Seconds = 0;
+  uint64_t BestTour = 0; ///< Optimal tour length — mode-independent.
+};
+
+/// Solves a deterministic random instance with \p NumCities cities using
+/// \p Threads worker threads under \p Mode.
+TspResult runTsp(ExecMode Mode, unsigned Threads, unsigned NumCities = 11,
+                 uint64_t Seed = 2026);
+
+} // namespace workloads
+} // namespace satm
+
+#endif // SATM_WORKLOADS_TSP_H

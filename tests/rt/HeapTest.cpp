@@ -1,0 +1,168 @@
+//===- tests/rt/HeapTest.cpp - Object model and allocator tests ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using satm::stm::TxRecord;
+
+namespace {
+
+const TypeDescriptor PairType("Pair", 2, {});
+const TypeDescriptor NodeType("Node", 3, {0, 1}); // two refs + one scalar
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+const TypeDescriptor RefArrayType("ref[]", TypeKind::RefArray);
+
+TEST(Heap, AllocatesZeroInitializedSlots) {
+  Heap H;
+  Object *O = H.allocate(&PairType, BirthState::Shared);
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->slotCount(), 2u);
+  EXPECT_EQ(O->rawLoad(0), 0u);
+  EXPECT_EQ(O->rawLoad(1), 0u);
+  EXPECT_EQ(O->type(), &PairType);
+}
+
+TEST(Heap, BirthStateShared) {
+  Heap H;
+  Object *O = H.allocate(&PairType, BirthState::Shared);
+  EXPECT_EQ(O->txRecord().load(), TxRecord::makeShared(0));
+}
+
+TEST(Heap, BirthStatePrivate) {
+  Heap H;
+  Object *O = H.allocate(&PairType, BirthState::Private);
+  EXPECT_TRUE(TxRecord::isPrivate(O->txRecord().load()));
+}
+
+TEST(Heap, ArrayAllocation) {
+  Heap H;
+  Object *A = H.allocateArray(&IntArrayType, 100, BirthState::Shared);
+  EXPECT_EQ(A->slotCount(), 100u);
+  for (uint32_t I = 0; I < 100; ++I)
+    EXPECT_EQ(A->rawLoad(I), 0u);
+  A->rawStore(50, 12345);
+  EXPECT_EQ(A->rawLoad(50), 12345u);
+}
+
+TEST(Heap, RefSlotClassification) {
+  Heap H;
+  Object *N = H.allocate(&NodeType, BirthState::Shared);
+  EXPECT_TRUE(N->isRefSlot(0));
+  EXPECT_TRUE(N->isRefSlot(1));
+  EXPECT_FALSE(N->isRefSlot(2));
+
+  Object *IA = H.allocateArray(&IntArrayType, 4, BirthState::Shared);
+  EXPECT_FALSE(IA->isRefSlot(0));
+  Object *RA = H.allocateArray(&RefArrayType, 4, BirthState::Shared);
+  EXPECT_TRUE(RA->isRefSlot(3));
+}
+
+TEST(Heap, RefSlotRoundTrip) {
+  Heap H;
+  Object *N = H.allocate(&NodeType, BirthState::Shared);
+  Object *M = H.allocate(&PairType, BirthState::Shared);
+  N->rawStoreRef(0, M);
+  EXPECT_EQ(N->rawLoadRef(0), M);
+  N->rawStoreRef(0, nullptr);
+  EXPECT_EQ(N->rawLoadRef(0), nullptr);
+}
+
+TEST(Heap, ObjectsAreDistinctAndAligned) {
+  Heap H;
+  std::set<Object *> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    Object *O = H.allocate(&PairType, BirthState::Shared);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(O) % alignof(Object), 0u);
+    EXPECT_TRUE(Seen.insert(O).second) << "duplicate allocation";
+  }
+}
+
+TEST(Heap, LargeArrayGetsDedicatedChunk) {
+  Heap H(/*ChunkBytes=*/4096);
+  Object *Big = H.allocateArray(&IntArrayType, 100000, BirthState::Shared);
+  EXPECT_EQ(Big->slotCount(), 100000u);
+  Big->rawStore(99999, 7);
+  // A small allocation after the big one must still work.
+  Object *Small = H.allocate(&PairType, BirthState::Shared);
+  Small->rawStore(0, 9);
+  EXPECT_EQ(Big->rawLoad(99999), 7u);
+  EXPECT_EQ(Small->rawLoad(0), 9u);
+}
+
+TEST(Heap, ThreadCachesSwitchBetweenHeaps) {
+  Heap A(4096), B(4096);
+  Object *OA = A.allocate(&PairType, BirthState::Shared);
+  Object *OB = B.allocate(&PairType, BirthState::Shared);
+  Object *OA2 = A.allocate(&PairType, BirthState::Shared);
+  OA->rawStore(0, 1);
+  OB->rawStore(0, 2);
+  OA2->rawStore(0, 3);
+  EXPECT_EQ(OA->rawLoad(0), 1u);
+  EXPECT_EQ(OB->rawLoad(0), 2u);
+  EXPECT_EQ(OA2->rawLoad(0), 3u);
+}
+
+TEST(Heap, ConcurrentAllocationYieldsDistinctObjects) {
+  Heap H;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 5000;
+  std::vector<std::vector<Object *>> All(Threads);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&H, &All, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        Object *O = H.allocate(&PairType, BirthState::Private);
+        O->rawStore(0, static_cast<stm::Word>(T));
+        All[T].push_back(O);
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  std::set<Object *> Seen;
+  for (int T = 0; T < Threads; ++T)
+    for (Object *O : All[T]) {
+      EXPECT_TRUE(Seen.insert(O).second);
+      EXPECT_EQ(O->rawLoad(0), static_cast<stm::Word>(T));
+    }
+  EXPECT_EQ(Seen.size(), size_t(Threads) * PerThread);
+}
+
+TEST(Heap, BytesAllocatedGrows) {
+  Heap H;
+  size_t Before = H.bytesAllocated();
+  H.allocate(&PairType, BirthState::Shared);
+  EXPECT_GE(H.bytesAllocated(), Before + Object::allocationSize(2));
+}
+
+/// Property sweep: allocation size covers header plus slots for any count.
+class HeapSizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HeapSizeSweep, ArrayOfAnySizeIsUsable) {
+  Heap H;
+  uint32_t N = GetParam();
+  Object *A = H.allocateArray(&IntArrayType, N, BirthState::Shared);
+  ASSERT_EQ(A->slotCount(), N);
+  if (N == 0)
+    return;
+  A->rawStore(0, 1);
+  A->rawStore(N - 1, 2);
+  EXPECT_EQ(A->rawLoad(0), N == 1 ? 2u : 1u);
+  EXPECT_EQ(A->rawLoad(N - 1), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeapSizeSweep,
+                         ::testing::Values(0, 1, 2, 3, 15, 16, 17, 255, 1024,
+                                           65536));
+
+} // namespace

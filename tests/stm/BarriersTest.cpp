@@ -1,0 +1,281 @@
+//===- tests/stm/BarriersTest.cpp - Isolation barrier tests --------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Barriers.h"
+#include "rt/Heap.h"
+#include "stm/LazyTxn.h"
+#include "stm/Txn.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor PairType("Pair", 2, {});
+const TypeDescriptor NodeType("Node", 2, {0});
+
+class BarriersTest : public ::testing::Test {
+protected:
+  Heap H;
+};
+
+TEST_F(BarriersTest, ReadWriteRoundTrip) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  ntWrite(X, 0, 17);
+  EXPECT_EQ(ntRead(X, 0), 17u);
+}
+
+TEST_F(BarriersTest, WriteBumpsVersion) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Word V0 = TxRecord::version(X->txRecord().load());
+  ntWrite(X, 0, 1);
+  ntWrite(X, 0, 2);
+  EXPECT_EQ(TxRecord::version(X->txRecord().load()), V0 + 2);
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()));
+}
+
+TEST_F(BarriersTest, DeaPrivateFastPathSkipsVersionBump) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  statsReset();
+  Object *P = H.allocate(&CellType, BirthState::Private);
+  ntWrite(P, 0, 5);
+  EXPECT_EQ(ntRead(P, 0), 5u);
+  EXPECT_TRUE(stm::isPrivate(P)) << "record untouched on the fast path";
+  StatsCounters S = statsSnapshot();
+  EXPECT_EQ(S.PrivateFastPaths, 2u);
+}
+
+TEST_F(BarriersTest, RefWritePublishesPrivateGraph) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *PublicObj = H.allocate(&NodeType, BirthState::Shared);
+  Object *A = H.allocate(&NodeType, BirthState::Private);
+  Object *B = H.allocate(&NodeType, BirthState::Private);
+  A->rawStoreRef(0, B);
+  ntWriteRef(PublicObj, 0, A);
+  EXPECT_FALSE(stm::isPrivate(A));
+  EXPECT_FALSE(stm::isPrivate(B)) << "transitively published";
+  EXPECT_EQ(PublicObj->rawLoadRef(0), A);
+}
+
+TEST_F(BarriersTest, RefWriteIntoPrivateObjectDoesNotPublish) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *PrivateObj = H.allocate(&NodeType, BirthState::Private);
+  Object *A = H.allocate(&NodeType, BirthState::Private);
+  ntWriteRef(PrivateObj, 0, A);
+  EXPECT_TRUE(stm::isPrivate(A)) << "stays private inside a private graph";
+}
+
+TEST_F(BarriersTest, ReadBarrierWaitsOutTransactionalOwner) {
+  // A transaction holds X exclusively with a dirty value; the barrier must
+  // not return until the transaction ends, and must then see the final
+  // (committed) value — no intermediate dirty read.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 1);
+  std::atomic<bool> Locked{false};
+  std::atomic<bool> Release{false};
+  std::thread TxnThread([&] {
+    atomically([&] {
+      Txn &T = Txn::forThisThread();
+      T.write(X, 0, 999); // Dirty value in place (eager versioning).
+      Locked.store(true);
+      while (!Release.load())
+        std::this_thread::yield();
+      T.write(X, 0, 2); // Final value.
+    });
+  });
+  while (!Locked.load())
+    std::this_thread::yield();
+  std::thread Reader([&] {
+    Word V = ntRead(X, 0);
+    EXPECT_EQ(V, 2u) << "dirty read through the barrier";
+  });
+  // Give the reader a moment to hit the conflict path, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Release.store(true);
+  TxnThread.join();
+  Reader.join();
+}
+
+TEST_F(BarriersTest, WriteBarrierExcludesTransactionalOwner) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<bool> Locked{false};
+  std::atomic<bool> Release{false};
+  std::atomic<bool> WriterDone{false};
+  std::thread TxnThread([&] {
+    atomically([&] {
+      Txn &T = Txn::forThisThread();
+      T.write(X, 0, 999);
+      Locked.store(true);
+      while (!Release.load())
+        std::this_thread::yield();
+      T.write(X, 0, 1);
+    });
+  });
+  while (!Locked.load())
+    std::this_thread::yield();
+  std::thread Writer([&] {
+    ntWrite(X, 0, 42); // Must block until the transaction ends.
+    WriterDone.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(WriterDone.load()) << "barrier wrote into a live transaction";
+  Release.store(true);
+  TxnThread.join();
+  Writer.join();
+  // The non-transactional write serialized after the commit.
+  EXPECT_EQ(X->rawLoad(0), 42u);
+}
+
+TEST_F(BarriersTest, OrderingBarrierWaitsOutLazyWriteback) {
+  // §3.3: the lazy ordering barrier stalls while a committed transaction
+  // still has pending buffered updates.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<bool> InWindow{false};
+  std::atomic<bool> Proceed{false};
+  TxnHooks Hooks;
+  Hooks.BeforeWriteback = [&](LazyTxn &) {
+    InWindow.store(true);
+    while (!Proceed.load())
+      std::this_thread::yield();
+  };
+  Config C;
+  C.Hooks = &Hooks;
+  ScopedConfig SC(C);
+  std::thread Committer([&] {
+    atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, 5); });
+  });
+  while (!InWindow.load())
+    std::this_thread::yield();
+  std::thread Reader([&] {
+    Word V = ntReadOrdering(X, 0);
+    EXPECT_EQ(V, 5u) << "ordering barrier returned a pre-commit value";
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Proceed.store(true);
+  Committer.join();
+  Reader.join();
+}
+
+TEST_F(BarriersTest, AggregatedWriterSingleAcquire) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  Word V0 = TxRecord::version(X->txRecord().load());
+  {
+    AggregatedWriter W(X);
+    W.store(0, 1);
+    W.store(1, W.load(0) + 1);
+  }
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_EQ(X->rawLoad(1), 2u);
+  EXPECT_EQ(TxRecord::version(X->txRecord().load()), V0 + 1)
+      << "one version bump for the whole aggregate";
+}
+
+TEST_F(BarriersTest, AggregatedWriterPrivateFastPath) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *P = H.allocate(&PairType, BirthState::Private);
+  {
+    AggregatedWriter W(P);
+    W.store(0, 10);
+    W.store(1, 20);
+  }
+  EXPECT_TRUE(stm::isPrivate(P));
+  EXPECT_EQ(P->rawLoad(0), 10u);
+}
+
+TEST_F(BarriersTest, AggregatedWriterPublishesRefs) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *PublicObj = H.allocate(&NodeType, BirthState::Shared);
+  Object *Referee = H.allocate(&NodeType, BirthState::Private);
+  {
+    AggregatedWriter W(PublicObj);
+    W.storeRef(0, Referee);
+  }
+  EXPECT_FALSE(stm::isPrivate(Referee));
+}
+
+TEST_F(BarriersTest, AggregatedReadValidatesOnce) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  X->rawStore(0, 3);
+  X->rawStore(1, 4);
+  Word Sum = aggregatedRead(X, [](const Object *O) {
+    return O->rawLoad(0, std::memory_order_acquire) +
+           O->rawLoad(1, std::memory_order_acquire);
+  });
+  EXPECT_EQ(Sum, 7u);
+}
+
+TEST_F(BarriersTest, ConcurrentMixedBarriersStayCoherent) {
+  // Writers through barriers + a transactional reader: every observed pair
+  // must satisfy the invariant slot1 == slot0 + 1 (each writer maintains
+  // it under one aggregated acquire).
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  {
+    AggregatedWriter W(X);
+    W.store(0, 0);
+    W.store(1, 1);
+  }
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Violations{0};
+  std::thread Checker([&] {
+    while (!Stop.load()) {
+      Word A = 0, B = 0;
+      atomically([&] {
+        Txn &T = Txn::forThisThread();
+        A = T.read(X, 0);
+        B = T.read(X, 1);
+      });
+      if (B != A + 1)
+        Violations.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> Writers;
+  for (int T = 0; T < 4; ++T)
+    Writers.emplace_back([&] {
+      for (int I = 0; I < 20000; ++I) {
+        AggregatedWriter W(X);
+        Word A = W.load(0);
+        W.store(0, A + 1);
+        W.store(1, A + 2);
+      }
+    });
+  for (auto &W : Writers)
+    W.join();
+  Stop.store(true);
+  Checker.join();
+  EXPECT_EQ(Violations.load(), 0);
+  EXPECT_EQ(X->rawLoad(0), 80000u);
+  EXPECT_EQ(X->rawLoad(1), 80001u);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/stm/DeaTest.cpp - Dynamic escape analysis tests -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// publishObject (Figure 11) over lists, trees, DAGs and cycles, plus the
+// "public objects stop the traversal" rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Dea.h"
+#include "rt/Heap.h"
+#include "stm/Stats.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor NodeType("Node", 3, {0, 1}); // left, right, value
+const TypeDescriptor LeafType("Leaf", 1, {});
+const TypeDescriptor RefArrayType("ref[]", TypeKind::RefArray);
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+
+Object *newNode(Heap &H) { return H.allocate(&NodeType, BirthState::Private); }
+
+TEST(Dea, NullAndPublicAreNoOps) {
+  Heap H;
+  publishObject(nullptr); // Must not crash.
+  Object *Pub = H.allocate(&LeafType, BirthState::Shared);
+  Word Before = Pub->txRecord().load();
+  publishObject(Pub);
+  EXPECT_EQ(Pub->txRecord().load(), Before) << "already-public unchanged";
+}
+
+TEST(Dea, PublishSingleObject) {
+  Heap H;
+  Object *O = newNode(H);
+  EXPECT_TRUE(isPrivate(O));
+  publishObject(O);
+  EXPECT_FALSE(isPrivate(O));
+  EXPECT_EQ(O->txRecord().load(), TxRecord::makeShared(0));
+}
+
+TEST(Dea, PublishLinkedList) {
+  Heap H;
+  Object *Head = newNode(H);
+  Object *Cur = Head;
+  std::vector<Object *> Nodes{Head};
+  for (int I = 0; I < 100; ++I) {
+    Object *Next = newNode(H);
+    Cur->rawStoreRef(0, Next);
+    Cur = Next;
+    Nodes.push_back(Next);
+  }
+  publishObject(Head);
+  for (Object *N : Nodes)
+    EXPECT_FALSE(isPrivate(N));
+}
+
+TEST(Dea, PublishTreeAndDag) {
+  Heap H;
+  // A diamond: Root -> {A, B} -> Shared leaf.
+  Object *Root = newNode(H);
+  Object *A = newNode(H);
+  Object *B = newNode(H);
+  Object *Leaf = newNode(H);
+  Root->rawStoreRef(0, A);
+  Root->rawStoreRef(1, B);
+  A->rawStoreRef(0, Leaf);
+  B->rawStoreRef(0, Leaf);
+  publishObject(Root);
+  for (Object *O : {Root, A, B, Leaf})
+    EXPECT_FALSE(isPrivate(O));
+}
+
+TEST(Dea, PublishCycleTerminates) {
+  Heap H;
+  Object *A = newNode(H);
+  Object *B = newNode(H);
+  A->rawStoreRef(0, B);
+  B->rawStoreRef(0, A); // Cycle.
+  A->rawStoreRef(1, A); // Self loop.
+  publishObject(A);
+  EXPECT_FALSE(isPrivate(A));
+  EXPECT_FALSE(isPrivate(B));
+}
+
+TEST(Dea, PublicObjectsStopTraversal) {
+  // "No private objects are reachable through public objects" (§4): a
+  // public object in the graph is a boundary the walk does not cross.
+  Heap H;
+  Object *Root = newNode(H);
+  Object *AlreadyPublic = H.allocate(&NodeType, BirthState::Shared);
+  Root->rawStoreRef(0, AlreadyPublic);
+  publishObject(Root);
+  EXPECT_FALSE(isPrivate(Root));
+  EXPECT_FALSE(isPrivate(AlreadyPublic));
+}
+
+TEST(Dea, RefArraySlotsAreTraversed) {
+  Heap H;
+  Object *Arr = H.allocateArray(&RefArrayType, 10, BirthState::Private);
+  std::vector<Object *> Elems;
+  for (uint32_t I = 0; I < 10; I += 2) {
+    Object *E = newNode(H);
+    Arr->rawStoreRef(I, E);
+    Elems.push_back(E);
+  }
+  publishObject(Arr);
+  EXPECT_FALSE(isPrivate(Arr));
+  for (Object *E : Elems)
+    EXPECT_FALSE(isPrivate(E));
+}
+
+TEST(Dea, IntArrayHasNoReferees) {
+  Heap H;
+  Object *Arr = H.allocateArray(&IntArrayType, 4, BirthState::Private);
+  // Store something that *looks* like a pointer; int arrays must not be
+  // traversed (type-accurate slot maps, unlike conservative scanning).
+  Object *Decoy = newNode(H);
+  Arr->rawStore(0, Object::toWord(Decoy));
+  publishObject(Arr);
+  EXPECT_FALSE(isPrivate(Arr));
+  EXPECT_TRUE(isPrivate(Decoy)) << "int array slots must not be traversed";
+}
+
+TEST(Dea, NonRefSlotsOfClassesAreNotTraversed) {
+  Heap H;
+  Object *N = newNode(H);
+  Object *Decoy = newNode(H);
+  N->rawStore(2, Object::toWord(Decoy)); // Slot 2 is a scalar.
+  publishObject(N);
+  EXPECT_TRUE(isPrivate(Decoy));
+}
+
+TEST(Dea, PublishCountsStats) {
+  Heap H;
+  statsReset();
+  Object *A = newNode(H);
+  Object *B = newNode(H);
+  A->rawStoreRef(0, B);
+  publishObject(A);
+  EXPECT_EQ(statsSnapshot().ObjectsPublished, 2u);
+}
+
+/// Property: publishing a random graph of N private nodes publishes all of
+/// them, exactly once each (ObjectsPublished == N).
+class DeaGraphSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeaGraphSweep, AllReachableNodesPublishedOnce) {
+  Heap H;
+  int N = GetParam();
+  std::vector<Object *> Nodes;
+  Nodes.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Nodes.push_back(newNode(H));
+  // Deterministic "random" wiring; every node reachable from node 0 via
+  // slot 0 chain, plus arbitrary cross edges in slot 1.
+  for (int I = 0; I + 1 < N; ++I)
+    Nodes[I]->rawStoreRef(0, Nodes[I + 1]);
+  for (int I = 0; I < N; ++I)
+    Nodes[I]->rawStoreRef(1, Nodes[(I * 7 + 3) % N]);
+  statsReset();
+  publishObject(Nodes[0]);
+  for (Object *O : Nodes)
+    EXPECT_FALSE(isPrivate(O));
+  EXPECT_EQ(statsSnapshot().ObjectsPublished, static_cast<uint64_t>(N));
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphSizes, DeaGraphSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 10000));
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- tests/stm/LazyTxnTest.cpp - Lazy transaction tests ----------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/LazyTxn.h"
+#include "rt/Heap.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor PairType("Pair", 2, {});
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+
+class LazyTxnTest : public ::testing::Test {
+protected:
+  Heap H;
+};
+
+TEST_F(LazyTxnTest, CommitPublishesWrite) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  EXPECT_TRUE(atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, 42); }));
+  EXPECT_EQ(X->rawLoad(0), 42u);
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()));
+}
+
+TEST_F(LazyTxnTest, WritesAreInvisibleUntilCommit) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  atomicallyLazy([&] {
+    LazyTxn::forThisThread().write(X, 0, 99);
+    // Lazy versioning: memory untouched before commit.
+    EXPECT_EQ(X->rawLoad(0), 0u);
+  });
+  EXPECT_EQ(X->rawLoad(0), 99u);
+}
+
+TEST_F(LazyTxnTest, ReadOwnWriteFromBuffer) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Word Seen = 0;
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 7);
+    Seen = T.read(X, 0);
+  });
+  EXPECT_EQ(Seen, 7u);
+}
+
+TEST_F(LazyTxnTest, UserAbortDropsBuffer) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 1);
+  bool Done = atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 99);
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  // No undo writes happened: the record version never moved.
+  EXPECT_EQ(X->txRecord().load(), TxRecord::makeShared(0));
+}
+
+TEST_F(LazyTxnTest, ValidationFailureForcesReexecution) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<int> Phase{0};
+  int Attempts = 0;
+  std::thread B([&] {
+    while (Phase.load() != 1)
+      std::this_thread::yield();
+    atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, 100); });
+    Phase.store(2);
+  });
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    ++Attempts;
+    Word V = T.read(X, 0);
+    if (Attempts == 1) {
+      Phase.store(1);
+      while (Phase.load() != 2)
+        std::this_thread::yield();
+    }
+    T.write(Y, 0, V + 1);
+  });
+  B.join();
+  EXPECT_GE(Attempts, 2);
+  EXPECT_EQ(Y->rawLoad(0), 101u);
+}
+
+TEST_F(LazyTxnTest, ConcurrentCountersAreAtomic) {
+  Object *Counter = H.allocate(&CellType, BirthState::Shared);
+  constexpr int Threads = 8;
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        atomicallyLazy([&] {
+          LazyTxn &Tx = LazyTxn::forThisThread();
+          Tx.write(Counter, 0, Tx.read(Counter, 0) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter->rawLoad(0), uint64_t(Threads) * PerThread);
+}
+
+TEST_F(LazyTxnTest, GranularSnapshotCoversPair) {
+  // With a 2-slot granule, writing slot 0 snapshots slot 1 too; a direct
+  // (weak, unbarriered) concurrent-style update to slot 1 is then
+  // overwritten at write-back — the §2.4 granular lost update, observed
+  // here deterministically from a single thread.
+  ScopedConfig SC([] {
+    Config C;
+    C.LogGranularitySlots = 2;
+    return C;
+  }());
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 5);
+    X->rawStore(1, 77); // Simulated non-transactional unbarriered write.
+  });
+  EXPECT_EQ(X->rawLoad(0), 5u);
+  EXPECT_EQ(X->rawLoad(1), 0u) << "granular lost update must occur";
+}
+
+TEST_F(LazyTxnTest, GranularStaleReadFromOwnBuffer) {
+  // §2.4 granular inconsistent read: after buffering the pair, the
+  // transaction reads its own stale copy of the sibling slot.
+  ScopedConfig SC([] {
+    Config C;
+    C.LogGranularitySlots = 2;
+    return C;
+  }());
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  Word Seen = 1234;
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 5);
+    X->rawStore(1, 77); // Unbarriered external write.
+    Seen = T.read(X, 1);
+  });
+  EXPECT_EQ(Seen, 0u) << "must read the stale buffered sibling";
+}
+
+TEST_F(LazyTxnTest, FineGranularityPreservesNeighbors) {
+  // With 1-slot granules the write-back touches only written slots.
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 5);
+    X->rawStore(1, 77);
+  });
+  EXPECT_EQ(X->rawLoad(0), 5u);
+  EXPECT_EQ(X->rawLoad(1), 77u) << "no manufactured adjacent write";
+}
+
+TEST_F(LazyTxnTest, FlattenedNesting) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  atomicallyLazy([&] {
+    LazyTxn &T = LazyTxn::forThisThread();
+    T.write(X, 0, 1);
+    atomicallyLazy([&] { T.write(X, 1, 2); });
+    EXPECT_EQ(X->rawLoad(1), 0u) << "flattened: still buffered";
+  });
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_EQ(X->rawLoad(1), 2u);
+}
+
+TEST_F(LazyTxnTest, BeforeWritebackHookObservesCommittedButUnwritten) {
+  // The §2.3 window is real: at the commit point the transaction is
+  // logically done but memory still has the old value.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Word SeenInWindow = 1234;
+  TxnHooks Hooks;
+  Hooks.BeforeWriteback = [&](LazyTxn &) { SeenInWindow = X->rawLoad(0); };
+  Config C;
+  C.Hooks = &Hooks;
+  {
+    ScopedConfig SC(C);
+    atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, 9); });
+  }
+  EXPECT_EQ(SeenInWindow, 0u) << "window between commit and write-back";
+  EXPECT_EQ(X->rawLoad(0), 9u);
+}
+
+TEST_F(LazyTxnTest, MoneyConservationProperty) {
+  constexpr int Accounts = 8;
+  constexpr int Threads = 4;
+  constexpr int Transfers = 1500;
+  constexpr Word Initial = 1000;
+  Object *Bank = H.allocateArray(&IntArrayType, Accounts, BirthState::Shared);
+  for (int I = 0; I < Accounts; ++I)
+    Bank->rawStore(I, Initial);
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      unsigned Seed = 999 + T;
+      for (int I = 0; I < Transfers; ++I) {
+        Seed = Seed * 1664525 + 1013904223;
+        int From = (Seed >> 8) % Accounts;
+        int To = (Seed >> 16) % Accounts;
+        atomicallyLazy([&] {
+          LazyTxn &Tx = LazyTxn::forThisThread();
+          Word F = Tx.read(Bank, From);
+          if (F == 0)
+            return;
+          Tx.write(Bank, From, F - 1);
+          Tx.write(Bank, To, Tx.read(Bank, To) + 1);
+        });
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  Word Sum = 0;
+  for (int I = 0; I < Accounts; ++I)
+    Sum += Bank->rawLoad(I);
+  EXPECT_EQ(Sum, Word(Accounts) * Initial);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/stm/QuiesceTest.cpp - Commit quiescence tests (§3.4) --------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Quiesce.h"
+#include "rt/Heap.h"
+#include "stm/LazyTxn.h"
+#include "stm/Txn.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor ItemType("Item", 3, {2}); // val1, val2, next ref
+const TypeDescriptor HeadType("Head", 1, {0});
+
+TEST(Quiesce, EpochMonotone) {
+  uint64_t E1 = Quiescence::currentEpoch();
+  uint64_t E2 = Quiescence::advanceEpoch();
+  EXPECT_GT(E2, E1);
+  EXPECT_GE(Quiescence::currentEpoch(), E2);
+}
+
+TEST(Quiesce, WaitReturnsWithNoActiveTransactions) {
+  // Must not block when nothing is running.
+  Quiescence::waitForValidationSince(Quiescence::advanceEpoch(),
+                                     &Quiescence::slotForThisThread());
+  Quiescence::waitForPriorWritebacks(Quiescence::nextCommitSeq(),
+                                     &Quiescence::slotForThisThread());
+  SUCCEED();
+}
+
+TEST(Quiesce, CommittersDoNotDeadlockOnEachOther) {
+  Config C;
+  C.QuiesceOnCommit = true;
+  ScopedConfig SC(C);
+  Heap H;
+  Object *A = H.allocate(&CellType, BirthState::Shared);
+  Object *B = H.allocate(&CellType, BirthState::Shared);
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      Object *Mine = T % 2 ? A : B;
+      for (int I = 0; I < PerThread; ++I)
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Tx.write(Mine, 0, Tx.read(Mine, 0) + 1);
+        });
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(A->rawLoad(0) + B->rawLoad(0), 4u * PerThread);
+}
+
+TEST(Quiesce, EagerPrivatizationIsSafe) {
+  // The Figure 1 idiom under weak atomicity *plus quiescence*: the
+  // privatizer's post-transaction unsynchronized reads must never see a
+  // doomed transaction's speculative state.
+  Config C;
+  C.QuiesceOnCommit = true;
+  C.ValidateEvery = 4; // Doomed transactions notice their fate quickly.
+  ScopedConfig SC(C);
+
+  Heap H;
+  Object *Head = H.allocate(&HeadType, BirthState::Shared);
+  Object *Item = H.allocate(&ItemType, BirthState::Shared);
+  Head->rawStoreRef(0, Item);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Violations{0};
+
+  std::thread Mutator([&] {
+    while (!Stop.load())
+      atomically([&] {
+        Txn &T = Txn::forThisThread();
+        Object *It = T.readRef(Head, 0);
+        if (It) {
+          T.write(It, 0, T.read(It, 0) + 1);
+          T.write(It, 1, T.read(It, 1) + 1);
+        }
+      });
+  });
+
+  for (int Round = 0; Round < 3000; ++Round) {
+    Object *Mine = nullptr;
+    atomically([&] {
+      Txn &T = Txn::forThisThread();
+      Mine = T.readRef(Head, 0);
+      if (Mine)
+        T.writeRef(Head, 0, nullptr);
+    });
+    if (!Mine)
+      continue;
+    // Privatized: plain unbarriered reads (weak atomicity!).
+    Word V1 = Mine->rawLoad(0, std::memory_order_acquire);
+    Word V2 = Mine->rawLoad(1, std::memory_order_acquire);
+    if (V1 != V2)
+      Violations.fetch_add(1);
+    atomically([&] { Txn::forThisThread().writeRef(Head, 0, Mine); });
+  }
+  Stop.store(true);
+  Mutator.join();
+  EXPECT_EQ(Violations.load(), 0)
+      << "quiescence failed to make privatization safe";
+}
+
+TEST(Quiesce, LazyWritebackCompletesBeforeReturn) {
+  // atomicallyLazy must not return before its own write-back landed, so a
+  // thread's later transactions are ordered after its earlier ones in
+  // memory (the cross-thread §3.4 window is exercised by the MIR litmus).
+  Config C;
+  C.QuiesceOnCommit = true;
+  ScopedConfig SC(C);
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  constexpr int Rounds = 2000;
+  std::atomic<int> Inconsistent{0};
+  // T1 repeatedly writes X then Y in separate transactions; T2 reads Y
+  // then X non-transactionally. With write-back-completion ordering and
+  // eager-free memory, observing Y == k implies X >= k.
+  std::thread T1([&] {
+    for (int I = 1; I <= Rounds; ++I) {
+      atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, I); });
+      atomicallyLazy([&] { LazyTxn::forThisThread().write(Y, 0, I); });
+    }
+  });
+  std::thread T2([&] {
+    for (int I = 0; I < Rounds; ++I) {
+      Word SeenY = Y->rawLoad(0, std::memory_order_acquire);
+      Word SeenX = X->rawLoad(0, std::memory_order_acquire);
+      if (SeenX < SeenY)
+        Inconsistent.fetch_add(1);
+    }
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(Inconsistent.load(), 0);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/stm/TxRecordTest.cpp - Record encoding unit tests -----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the Figure 7 encoding and the Figure 8 state transitions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/TxRecord.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace satm::stm;
+
+namespace {
+
+TEST(TxRecord, SharedEncoding) {
+  Word W = TxRecord::makeShared(42);
+  EXPECT_TRUE(TxRecord::isShared(W));
+  EXPECT_FALSE(TxRecord::isExclusive(W));
+  EXPECT_FALSE(TxRecord::isExclusiveAnon(W));
+  EXPECT_FALSE(TxRecord::isPrivate(W));
+  EXPECT_FALSE(TxRecord::isOwned(W));
+  EXPECT_EQ(TxRecord::version(W), 42u);
+}
+
+TEST(TxRecord, ExclusiveAnonEncoding) {
+  Word W = TxRecord::makeExclusiveAnon(7);
+  EXPECT_FALSE(TxRecord::isShared(W));
+  EXPECT_FALSE(TxRecord::isExclusive(W));
+  EXPECT_TRUE(TxRecord::isExclusiveAnon(W));
+  EXPECT_FALSE(TxRecord::isPrivate(W));
+  EXPECT_TRUE(TxRecord::isOwned(W));
+  EXPECT_EQ(TxRecord::version(W), 7u);
+}
+
+TEST(TxRecord, ExclusiveEncoding) {
+  alignas(8) char Dummy[8];
+  auto *Owner = reinterpret_cast<Txn *>(&Dummy);
+  Word W = TxRecord::makeExclusive(Owner);
+  EXPECT_TRUE(TxRecord::isExclusive(W));
+  EXPECT_FALSE(TxRecord::isShared(W));
+  EXPECT_FALSE(TxRecord::isExclusiveAnon(W));
+  EXPECT_FALSE(TxRecord::isPrivate(W));
+  EXPECT_TRUE(TxRecord::isOwned(W));
+  EXPECT_EQ(TxRecord::owner(W), Owner);
+}
+
+TEST(TxRecord, PrivateEncoding) {
+  Word W = TxRecord::PrivateWord;
+  EXPECT_TRUE(TxRecord::isPrivate(W));
+  EXPECT_FALSE(TxRecord::isShared(W));
+  EXPECT_FALSE(TxRecord::isExclusive(W));
+  EXPECT_FALSE(TxRecord::isExclusiveAnon(W));
+  // The private pattern shares the "not exclusive" bit with Shared, which
+  // is what makes the Figure 10 read-barrier privacy check *optional*.
+  EXPECT_FALSE(TxRecord::isExclusive(W));
+}
+
+TEST(TxRecord, AnonAcquireSucceedsOnShared) {
+  std::atomic<Word> Rec{TxRecord::makeShared(5)};
+  EXPECT_TRUE(TxRecord::acquireAnon(Rec));
+  Word W = Rec.load();
+  EXPECT_TRUE(TxRecord::isExclusiveAnon(W));
+  EXPECT_EQ(TxRecord::version(W), 5u);
+}
+
+TEST(TxRecord, AnonAcquireFailsOnOwnedAndPreservesValue) {
+  alignas(8) char Dummy[8];
+  auto *Owner = reinterpret_cast<Txn *>(&Dummy);
+  std::atomic<Word> Rec{TxRecord::makeExclusive(Owner)};
+  EXPECT_FALSE(TxRecord::acquireAnon(Rec));
+  EXPECT_EQ(Rec.load(), TxRecord::makeExclusive(Owner));
+
+  Rec.store(TxRecord::makeExclusiveAnon(9));
+  EXPECT_FALSE(TxRecord::acquireAnon(Rec));
+  EXPECT_EQ(Rec.load(), TxRecord::makeExclusiveAnon(9));
+}
+
+TEST(TxRecord, AnonReleaseBumpsVersionBackToShared) {
+  std::atomic<Word> Rec{TxRecord::makeShared(5)};
+  ASSERT_TRUE(TxRecord::acquireAnon(Rec));
+  TxRecord::releaseAnon(Rec);
+  Word W = Rec.load();
+  EXPECT_TRUE(TxRecord::isShared(W));
+  EXPECT_EQ(TxRecord::version(W), 6u);
+}
+
+TEST(TxRecord, ExclusiveAcquireAndRelease) {
+  alignas(8) char Dummy[8];
+  auto *Owner = reinterpret_cast<Txn *>(&Dummy);
+  std::atomic<Word> Rec{TxRecord::makeShared(11)};
+  Word Observed = 0;
+  EXPECT_TRUE(TxRecord::acquireExclusive(Rec, Owner,
+                                         TxRecord::makeShared(11), Observed));
+  EXPECT_EQ(TxRecord::owner(Rec.load()), Owner);
+  TxRecord::releaseExclusive(Rec, 11);
+  EXPECT_EQ(Rec.load(), TxRecord::makeShared(12));
+}
+
+TEST(TxRecord, ExclusiveAcquireFailsOnStaleVersion) {
+  alignas(8) char Dummy[8];
+  auto *Owner = reinterpret_cast<Txn *>(&Dummy);
+  std::atomic<Word> Rec{TxRecord::makeShared(12)};
+  Word Observed = 0;
+  EXPECT_FALSE(TxRecord::acquireExclusive(Rec, Owner,
+                                          TxRecord::makeShared(11), Observed));
+  EXPECT_EQ(Observed, TxRecord::makeShared(12));
+  EXPECT_EQ(Rec.load(), TxRecord::makeShared(12));
+}
+
+TEST(TxRecord, PublishMakesSharedVersionZero) {
+  std::atomic<Word> Rec{TxRecord::PrivateWord};
+  TxRecord::publish(Rec);
+  EXPECT_EQ(Rec.load(), TxRecord::makeShared(0));
+}
+
+/// Property sweep: the "+9" release identity holds for any version, i.e.
+/// acquire-then-release is exactly a version increment within Shared.
+class TxRecordVersionSweep : public ::testing::TestWithParam<Word> {};
+
+TEST_P(TxRecordVersionSweep, AcquireReleaseIsVersionIncrement) {
+  Word V = GetParam();
+  std::atomic<Word> Rec{TxRecord::makeShared(V)};
+  ASSERT_TRUE(TxRecord::acquireAnon(Rec));
+  EXPECT_EQ(Rec.load(), TxRecord::makeExclusiveAnon(V));
+  TxRecord::releaseAnon(Rec);
+  EXPECT_EQ(Rec.load(), TxRecord::makeShared(V + 1));
+}
+
+TEST_P(TxRecordVersionSweep, StatesAreMutuallyExclusive) {
+  Word V = GetParam();
+  for (Word W : {TxRecord::makeShared(V), TxRecord::makeExclusiveAnon(V),
+                 TxRecord::PrivateWord}) {
+    int States = TxRecord::isShared(W) + TxRecord::isExclusive(W) +
+                 TxRecord::isExclusiveAnon(W) + TxRecord::isPrivate(W);
+    EXPECT_EQ(States, 1) << "word " << W;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, TxRecordVersionSweep,
+                         ::testing::Values(0, 1, 2, 7, 8, 100, 12345,
+                                           (Word(1) << 32),
+                                           (Word(1) << 60) - 1));
+
+TEST(TxRecord, ConcurrentAnonAcquireIsExclusive) {
+  // Only one of many racing acquirers may win each round.
+  std::atomic<Word> Rec{TxRecord::makeShared(0)};
+  constexpr int Threads = 8;
+  constexpr int Rounds = 2000;
+  std::atomic<int> Wins{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int R = 0; R < Rounds; ++R) {
+        if (TxRecord::acquireAnon(Rec)) {
+          Wins.fetch_add(1);
+          TxRecord::releaseAnon(Rec);
+        }
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  Word Final = Rec.load();
+  EXPECT_TRUE(TxRecord::isShared(Final));
+  // Every win bumped the version exactly once.
+  EXPECT_EQ(TxRecord::version(Final), static_cast<Word>(Wins.load()));
+}
+
+} // namespace

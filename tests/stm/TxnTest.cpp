@@ -1,0 +1,366 @@
+//===- tests/stm/TxnTest.cpp - Eager transaction tests -------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Txn.h"
+#include "rt/Heap.h"
+#include "stm/Dea.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor PairType("Pair", 2, {});
+const TypeDescriptor NodeType("Node", 2, {0}); // next ref, value
+const TypeDescriptor IntArrayType("int[]", TypeKind::IntArray);
+
+class TxnTest : public ::testing::Test {
+protected:
+  Heap H;
+};
+
+TEST_F(TxnTest, CommitPublishesWrite) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  bool Done = atomically([&] { Txn::forThisThread().write(X, 0, 42); });
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(X->rawLoad(0), 42u);
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()));
+}
+
+TEST_F(TxnTest, ReadOwnWrite) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Word Seen = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 7);
+    Seen = T.read(X, 0);
+  });
+  EXPECT_EQ(Seen, 7u);
+}
+
+TEST_F(TxnTest, UserAbortRollsBack) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 1);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 99);
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()));
+}
+
+TEST_F(TxnTest, AbortRestartReexecutes) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  int Attempts = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 5);
+    if (++Attempts == 1)
+      T.abortRestart();
+  });
+  EXPECT_EQ(Attempts, 2);
+  EXPECT_EQ(X->rawLoad(0), 5u);
+}
+
+TEST_F(TxnTest, AbortReleasesLocksWithVersionBump) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Word Before = X->txRecord().load();
+  int Attempts = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 5);
+    if (++Attempts == 1)
+      T.abortRestart();
+  });
+  // One abort release + one commit release: version moved by 2.
+  EXPECT_EQ(TxRecord::version(X->txRecord().load()),
+            TxRecord::version(Before) + 2);
+}
+
+TEST_F(TxnTest, PrivateObjectsSkipLockingButStillRollBack) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *P = H.allocate(&CellType, BirthState::Private);
+  P->rawStore(0, 10);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(P, 0, 20);
+    EXPECT_TRUE(stm::isPrivate(P)) << "no lock taken on private objects";
+    EXPECT_EQ(T.writeSetSize(), 0u);
+    T.userAbort();
+  });
+  EXPECT_EQ(P->rawLoad(0), 10u) << "private writes must roll back";
+  EXPECT_TRUE(stm::isPrivate(P));
+}
+
+TEST_F(TxnTest, TransactionalRefStorePublishesReferee) {
+  ScopedConfig SC([] {
+    Config C;
+    C.DeaEnabled = true;
+    return C;
+  }());
+  Object *PublicObj = H.allocate(&NodeType, BirthState::Shared);
+  Object *Referee = H.allocate(&NodeType, BirthState::Private);
+  atomically([&] {
+    Txn::forThisThread().writeRef(PublicObj, 0, Referee);
+    // Published immediately, not at commit (§4: doomed transactions of
+    // other threads may already reach it).
+    EXPECT_FALSE(stm::isPrivate(Referee));
+  });
+  EXPECT_EQ(PublicObj->rawLoadRef(0), Referee);
+}
+
+TEST_F(TxnTest, ClosedNestingCommitsWithParent) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    bool Inner = atomically([&] { T.write(X, 1, 2); });
+    EXPECT_TRUE(Inner);
+    EXPECT_EQ(T.depth(), 1u);
+  });
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_EQ(X->rawLoad(1), 2u);
+}
+
+TEST_F(TxnTest, ClosedNestedUserAbortIsPartial) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    bool Inner = atomically([&] {
+      T.write(X, 1, 2);
+      T.userAbort();
+    });
+    EXPECT_FALSE(Inner);
+    // Inner effects rolled back, outer intact, transaction still running.
+    EXPECT_EQ(T.read(X, 0), 1u);
+    EXPECT_EQ(T.read(X, 1), 0u);
+  });
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_EQ(X->rawLoad(1), 0u);
+}
+
+TEST_F(TxnTest, OuterUserAbortUnwindsThroughNested) {
+  Object *X = H.allocate(&PairType, BirthState::Shared);
+  bool Outer = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    atomically([&] {
+      T.write(X, 1, 2);
+    });
+    T.userAbort();
+  });
+  EXPECT_FALSE(Outer);
+  EXPECT_EQ(X->rawLoad(0), 0u);
+  EXPECT_EQ(X->rawLoad(1), 0u);
+}
+
+TEST_F(TxnTest, OpenNestedCommitSurvivesParentAbort) {
+  Object *Log = H.allocate(&CellType, BirthState::Shared);
+  Object *Data = H.allocate(&CellType, BirthState::Shared);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(Data, 0, 5);
+    Txn::runOpenNested([&] { T.write(Log, 0, 111); });
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(Data->rawLoad(0), 0u) << "parent write rolled back";
+  EXPECT_EQ(Log->rawLoad(0), 111u) << "open-nested write survives";
+}
+
+TEST_F(TxnTest, OpenNestedCompensationRunsOnParentAbort) {
+  Object *Log = H.allocate(&CellType, BirthState::Shared);
+  int Compensations = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Txn::runOpenNested([&] { T.write(Log, 0, 1); },
+                       [&] { Compensations++; });
+    T.userAbort();
+  });
+  EXPECT_EQ(Compensations, 1);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Txn::runOpenNested([&] { T.write(Log, 0, 2); },
+                       [&] { Compensations++; });
+  });
+  EXPECT_EQ(Compensations, 1) << "no compensation on parent commit";
+}
+
+TEST_F(TxnTest, CommitAndAbortActions) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  int Commits = 0, Aborts = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.onCommit([&] { Commits++; });
+    T.onAbort([&] { Aborts++; });
+    T.write(X, 0, 1);
+  });
+  EXPECT_EQ(Commits, 1);
+  EXPECT_EQ(Aborts, 0);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.onCommit([&] { Commits++; });
+    T.onAbort([&] { Aborts++; });
+    T.userAbort();
+  });
+  EXPECT_EQ(Commits, 1);
+  EXPECT_EQ(Aborts, 1);
+}
+
+TEST_F(TxnTest, ValidationFailureForcesReexecution) {
+  // Thread B changes X between A's read and A's commit attempt; A must
+  // re-execute and commit a consistent result.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<int> Phase{0};
+  int Attempts = 0;
+  std::thread B([&] {
+    while (Phase.load() != 1)
+      std::this_thread::yield();
+    atomically([&] { Txn::forThisThread().write(X, 0, 100); });
+    Phase.store(2);
+  });
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    ++Attempts;
+    Word V = T.read(X, 0);
+    if (Attempts == 1) {
+      Phase.store(1);
+      while (Phase.load() != 2)
+        std::this_thread::yield();
+    }
+    T.write(Y, 0, V + 1);
+  });
+  B.join();
+  EXPECT_GE(Attempts, 2) << "first attempt must fail validation";
+  EXPECT_EQ(Y->rawLoad(0), 101u);
+}
+
+TEST_F(TxnTest, UserRetryWaitsForChange) {
+  Object *Flag = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<bool> Started{false};
+  std::thread Setter([&] {
+    while (!Started.load())
+      std::this_thread::yield();
+    atomically([&] { Txn::forThisThread().write(Flag, 0, 1); });
+  });
+  Word Final = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Word V = T.read(Flag, 0);
+    Started.store(true);
+    if (V == 0)
+      T.userRetry();
+    Final = V;
+  });
+  Setter.join();
+  EXPECT_EQ(Final, 1u);
+  EXPECT_GE(statsSnapshot().TxnUserRetries, 1u);
+}
+
+TEST_F(TxnTest, ConcurrentCountersAreAtomic) {
+  Object *Counter = H.allocate(&CellType, BirthState::Shared);
+  constexpr int Threads = 8;
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Tx.write(Counter, 0, Tx.read(Counter, 0) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter->rawLoad(0), uint64_t(Threads) * PerThread);
+}
+
+TEST_F(TxnTest, MoneyConservationProperty) {
+  // Transfers between accounts never create or destroy money, and a
+  // transactional sum over all accounts always sees the invariant.
+  constexpr int Accounts = 16;
+  constexpr int Threads = 4;
+  constexpr int Transfers = 3000;
+  constexpr Word Initial = 1000;
+  Object *Bank = H.allocateArray(&IntArrayType, Accounts, BirthState::Shared);
+  for (int I = 0; I < Accounts; ++I)
+    Bank->rawStore(I, Initial);
+  std::atomic<bool> Stop{false};
+  std::atomic<int> BadSums{0};
+  std::thread Auditor([&] {
+    while (!Stop.load()) {
+      Word Sum = 0;
+      atomically([&] {
+        Txn &T = Txn::forThisThread();
+        Word S = 0;
+        for (int I = 0; I < Accounts; ++I)
+          S += T.read(Bank, I);
+        Sum = S;
+      });
+      if (Sum != Word(Accounts) * Initial)
+        BadSums.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      unsigned Seed = 12345 + T;
+      for (int I = 0; I < Transfers; ++I) {
+        Seed = Seed * 1664525 + 1013904223;
+        int From = (Seed >> 8) % Accounts;
+        int To = (Seed >> 16) % Accounts;
+        atomically([&] {
+          Txn &Tx = Txn::forThisThread();
+          Word F = Tx.read(Bank, From);
+          if (F == 0)
+            return;
+          Tx.write(Bank, From, F - 1);
+          Tx.write(Bank, To, Tx.read(Bank, To) + 1);
+        });
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  Stop.store(true);
+  Auditor.join();
+  EXPECT_EQ(BadSums.load(), 0) << "isolation violated";
+  Word Sum = 0;
+  for (int I = 0; I < Accounts; ++I)
+    Sum += Bank->rawLoad(I);
+  EXPECT_EQ(Sum, Word(Accounts) * Initial);
+}
+
+TEST_F(TxnTest, StatsCountCommitsAndAborts) {
+  statsReset();
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  atomically([&] { Txn::forThisThread().write(X, 0, 1); });
+  int Tries = 0;
+  atomically([&] {
+    if (++Tries == 1)
+      Txn::forThisThread().abortRestart();
+  });
+  StatsCounters S = statsSnapshot();
+  EXPECT_EQ(S.TxnCommits, 2u);
+  EXPECT_EQ(S.TxnAborts, 1u);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/support/SupportTest.cpp - Utility layer tests ---------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backoff.h"
+#include "support/Rng.h"
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace satm;
+
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextInRangeIsInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all seven values must occur";
+}
+
+TEST(Rng, PercentIsRoughlyCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextPercent(25);
+  EXPECT_NEAR(Hits / double(N), 0.25, 0.02);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch S;
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 2000000; ++I)
+    Sink = Sink + I;
+  double T1 = S.seconds();
+  EXPECT_GT(T1, 0.0);
+  S.reset();
+  EXPECT_LE(S.seconds(), T1 + 1.0);
+  EXPECT_EQ(S.millis() >= 0.0, true);
+}
+
+TEST(Backoff, EscalatesAndResets) {
+  Backoff B;
+  uint32_t First = B.escalation();
+  for (int I = 0; I < 5; ++I)
+    B.pause();
+  EXPECT_GT(B.escalation(), First);
+  B.reset();
+  EXPECT_EQ(B.escalation(), First);
+}
+
+TEST(Backoff, EscalationSaturates) {
+  Backoff B;
+  for (int I = 0; I < 64; ++I)
+    B.pause(); // Must terminate quickly even at the yield plateau.
+  uint32_t Cap = B.escalation();
+  B.pause();
+  EXPECT_EQ(B.escalation(), Cap);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(uint64_t(42)), "42");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, PrintsWithoutCrashing) {
+  Table T({"a", "bb", "ccc"});
+  T.addRow({"1", "2"});
+  T.addRow({"long-cell", "x", "y", "extra"});
+  T.print("title");
+  SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,471 @@
+//===- tests/tc/AnalysesTest.cpp - Points-to, NAIT, TL, escape, aggr -----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Aggregate.h"
+#include "tc/Analyses.h"
+#include "tc/Escape.h"
+#include "tc/Lowering.h"
+#include "tc/Parser.h"
+#include "tc/Pipeline.h"
+#include "tc/PointsTo.h"
+#include "tc/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+Module compileNoOpts(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  analyze(P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return lower(P);
+}
+
+/// Counts non-transactional heap accesses still needing barriers.
+uint64_t remainingBarriers(const Module &M) {
+  uint64_t N = 0;
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks)
+      for (const Inst &I : B.Insts)
+        if (isHeapAccess(I.K) && !I.InAtomic && I.NeedsBarrier)
+          ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// Points-to.
+//===----------------------------------------------------------------------===
+
+TEST(PointsTo, TwoContextsPerFunction) {
+  // `touch` is called both inside and outside atomic: both contexts are
+  // reachable; `onlyOut` only outside.
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    fn touch(C c) { c.x = 1; }
+    fn onlyOut(C c) { c.x = 2; }
+    fn main() {
+      var a = new C();
+      touch(a);
+      onlyOut(a);
+      atomic { touch(a); }
+    }
+  )");
+  PointsTo P(M);
+  uint32_t Touch = M.findFunc("touch")->FuncId;
+  uint32_t OnlyOut = M.findFunc("onlyOut")->FuncId;
+  EXPECT_TRUE(P.isReachable(Touch, Ctx::Out));
+  EXPECT_TRUE(P.isReachable(Touch, Ctx::In));
+  EXPECT_TRUE(P.isReachable(OnlyOut, Ctx::Out));
+  EXPECT_FALSE(P.isReachable(OnlyOut, Ctx::In));
+}
+
+TEST(PointsTo, HeapSpecializationSplitsSitesByContext) {
+  // The same allocation site reached In and Out yields distinct abstract
+  // objects (site, ctx) — the paper's heap specialization.
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    fn make(): C { return new C(); }
+    fn main() {
+      var a = make();
+      a.x = 1;
+      atomic { var b = make(); b.x = 2; }
+    }
+  )");
+  PointsTo P(M);
+  const Function *Main = M.findFunc("main");
+  // Find the registers: local 0 = a (param count 0). The atomic temp `b`
+  // is local 1.
+  const auto &PtsA = P.pts(Main->FuncId, 0, Ctx::Out);
+  const auto &PtsB = P.pts(Main->FuncId, 1, Ctx::Out);
+  ASSERT_EQ(PtsA.size(), 1u);
+  ASSERT_EQ(PtsB.size(), 1u);
+  EXPECT_NE(*PtsA.begin(), *PtsB.begin())
+      << "heap specialization must split the contexts";
+}
+
+TEST(PointsTo, FieldSensitivity) {
+  Module M = compileNoOpts(R"(
+    class Pair { Box a; Box b; }
+    class Box { int v; }
+    fn main() {
+      var p = new Pair();
+      p.a = new Box();
+      p.b = new Box();
+      var x = p.a;
+      x.v = 1;
+    }
+  )");
+  PointsTo P(M);
+  const Function *Main = M.findFunc("main");
+  // Local regs: p=0, x=1.
+  const auto &PtsX = P.pts(Main->FuncId, 1, Ctx::Out);
+  ASSERT_EQ(PtsX.size(), 1u) << "x must see only the .a box";
+}
+
+TEST(PointsTo, FlowsThroughStatics) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      g = new C();
+      var a = g;
+      a.x = 1;
+    }
+  )");
+  PointsTo P(M);
+  EXPECT_EQ(P.staticPts(0).size(), 1u);
+  const Function *Main = M.findFunc("main");
+  EXPECT_EQ(P.pts(Main->FuncId, 0, Ctx::Out).size(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// NAIT vs TL (§5, Figure 12/13).
+//===----------------------------------------------------------------------===
+
+TEST(Nait, RemovesBarriersForDataNeverInTxn) {
+  // `local` data is never touched transactionally: all its barriers go.
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static int shared;
+    fn main() {
+      var c = new C();
+      c.x = 1;           // never accessed in a transaction
+      print(c.x);
+      atomic { shared = shared + 1; }
+      shared = 5;        // accessed in a transaction: keeps barrier
+    }
+  )");
+  PointsTo P(M);
+  BarrierVerdicts V = analyzeBarriers(M, P);
+  auto C = V.counts();
+  // c.x write + shared write are the stores; c.x load is the read.
+  EXPECT_EQ(C.WriteTotal, 2u);
+  EXPECT_EQ(C.ReadTotal, 1u);
+  EXPECT_EQ(C.WriteNait, 1u) << "only the c.x store is removable";
+  EXPECT_EQ(C.ReadNait, 1u);
+  applyVerdicts(M, V, /*UseNait=*/true, /*UseTl=*/false);
+  EXPECT_EQ(remainingBarriers(M), 1u) << "the static store keeps a barrier";
+}
+
+TEST(Nait, HandoffBeatsThreadLocal) {
+  // The paper's motivating NAIT case (§5): objects handed between threads
+  // through a transactional queue are *not* thread-local, but the objects
+  // themselves are never accessed inside transactions — NAIT removes
+  // their barriers, TL cannot.
+  Module M = compileNoOpts(R"(
+    class Item { int payload; }
+    static Item mailbox;
+    fn consumer() {
+      var it: Item = null;
+      atomic {
+        if (mailbox == null) { retry; }
+        it = mailbox;
+        mailbox = null;
+      }
+      it.payload = it.payload + 1;   // non-txn access to handed-off data
+      print(it.payload);
+    }
+    fn main() {
+      var t = spawn consumer();
+      var item = new Item();
+      item.payload = 10;             // non-txn initialization
+      atomic { mailbox = item; }
+      join(t);
+    }
+  )");
+  PointsTo P(M);
+  BarrierVerdicts V = analyzeBarriers(M, P);
+  // Find verdicts for the Item field accesses: every access whose base is
+  // the Item object. They must be NAIT-removable but TL-unremovable.
+  bool SawNaitOnlyAccess = false;
+  for (size_t I = 0; I < V.Accesses.size(); ++I) {
+    const Inst &Acc = M.Funcs[V.Accesses[I].Func]
+                          .Blocks[V.Accesses[I].Block]
+                          .Insts[V.Accesses[I].Index];
+    if (Acc.K == Op::LoadField || Acc.K == Op::StoreField) {
+      EXPECT_TRUE(V.NaitRemovable[I]) << "Item is never accessed in a txn";
+      EXPECT_FALSE(V.TlRemovable[I]) << "Item escapes to another thread";
+      SawNaitOnlyAccess = true;
+    }
+  }
+  EXPECT_TRUE(SawNaitOnlyAccess);
+  auto C = V.counts();
+  EXPECT_GT(C.ReadNaitNotTl + C.WriteNaitNotTl, 0u);
+  EXPECT_EQ(C.ReadTlNotNait + C.WriteTlNotNait, 0u)
+      << "on this program NAIT subsumes TL";
+}
+
+TEST(Nait, KeepsBarriersForTxnSharedData) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      g = new C();
+      atomic { g.x = 1; }
+      g.x = 2;            // races with the transactional write
+      print(g.x);
+    }
+  )");
+  PointsTo P(M);
+  BarrierVerdicts V = analyzeBarriers(M, P);
+  for (size_t I = 0; I < V.Accesses.size(); ++I) {
+    const Inst &Acc = M.Funcs[V.Accesses[I].Func]
+                          .Blocks[V.Accesses[I].Block]
+                          .Insts[V.Accesses[I].Index];
+    if (Acc.K == Op::StoreField || Acc.K == Op::LoadField) {
+      EXPECT_FALSE(V.NaitRemovable[I]);
+    }
+  }
+}
+
+TEST(Nait, ReadBarrierRemovableWhenOnlyReadInTxn) {
+  // Figure 12 row "only read": non-txn *reads* lose the barrier, non-txn
+  // *writes* keep it.
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      g = new C();
+      var r = 0;
+      atomic { r = g.x; }   // only reads x transactionally
+      print(g.x);           // read: removable
+      g.x = 3;              // write: must keep (txn read could miss it)
+    }
+  )");
+  PointsTo P(M);
+  BarrierVerdicts V = analyzeBarriers(M, P);
+  for (size_t I = 0; I < V.Accesses.size(); ++I) {
+    const Inst &Acc = M.Funcs[V.Accesses[I].Func]
+                          .Blocks[V.Accesses[I].Block]
+                          .Insts[V.Accesses[I].Index];
+    if (Acc.K == Op::LoadField) {
+      EXPECT_TRUE(V.NaitRemovable[I]);
+    }
+    if (Acc.K == Op::StoreField) {
+      EXPECT_FALSE(V.NaitRemovable[I]);
+    }
+  }
+}
+
+TEST(Tl, RemovesForConfinedObjects) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static int unrelated;
+    fn main() {
+      var c = new C();
+      c.x = 7;
+      print(c.x);
+      atomic { unrelated = 1; }
+    }
+  )");
+  PointsTo P(M);
+  BarrierVerdicts V = analyzeBarriers(M, P);
+  auto C = V.counts();
+  EXPECT_EQ(C.ReadTl, C.ReadTotal - 0u) << "confined reads removable by TL";
+  EXPECT_GE(C.WriteTl, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Intraprocedural escape analysis (§6).
+//===----------------------------------------------------------------------===
+
+TEST(Escape, FreshLocalObjectsLoseBarriers) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      var c = new C();
+      c.x = 1;        // c is provably local here
+      g = c;          // escapes
+      c.x = 2;        // must keep its barrier
+    }
+  )");
+  uint64_t Removed = runIntraprocEscape(M);
+  EXPECT_EQ(Removed, 1u);
+}
+
+TEST(Escape, CallArgumentsEscape) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    fn use(C c) { c.x = 9; }
+    fn main() {
+      var c = new C();
+      c.x = 1;        // local
+      use(c);         // escapes via the call
+      c.x = 2;        // kept
+    }
+  )");
+  uint64_t Removed = runIntraprocEscape(M);
+  EXPECT_EQ(Removed, 1u);
+}
+
+TEST(Escape, LoopAllocationsStayLocalPerIteration) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    fn main() {
+      var i = 0;
+      var sum = 0;
+      while (i < 10) {
+        var c = new C();
+        c.x = i;            // local every iteration
+        sum = sum + c.x;    // local load
+        i = i + 1;
+      }
+      print(sum);
+    }
+  )");
+  uint64_t Removed = runIntraprocEscape(M);
+  EXPECT_EQ(Removed, 2u);
+}
+
+TEST(Escape, MergePointsDemoteConditionally) {
+  Module M = compileNoOpts(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      var c = new C();
+      if (g == null) { g = c; }   // escapes on one path only
+      c.x = 1;                    // conservative: keeps barrier
+    }
+  )");
+  uint64_t Removed = runIntraprocEscape(M);
+  EXPECT_EQ(Removed, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Barrier aggregation (§6, Figure 14).
+//===----------------------------------------------------------------------===
+
+TEST(Aggregate, GroupsConsecutiveAccessesToOneObject) {
+  // The paper's Figure 14 example: a.x = 0; a.y += 1;
+  Module M = compileNoOpts(R"(
+    class A { int x; int y; }
+    static A g;
+    fn main() {
+      g = new A();
+      var a = g;
+      a.x = 0;
+      a.y = a.y + 1;
+    }
+  )");
+  uint64_t Groups = runBarrierAggregation(M);
+  EXPECT_EQ(Groups, 1u);
+  // Verify role shape: Open ... Close on the same base.
+  int Opens = 0, Closes = 0, Members = 0;
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks)
+      for (const Inst &I : B.Insts) {
+        Opens += I.Agg == AggRole::Open;
+        Members += I.Agg == AggRole::Member;
+        Closes += I.Agg == AggRole::Close;
+      }
+  EXPECT_EQ(Opens, 1);
+  EXPECT_EQ(Closes, 1);
+  EXPECT_EQ(Members, 1); // store x, load y, store y.
+}
+
+TEST(Aggregate, CallsBreakGroups) {
+  Module M = compileNoOpts(R"(
+    class A { int x; int y; }
+    static A g;
+    fn f() {}
+    fn main() {
+      g = new A();
+      var a = g;
+      a.x = 0;
+      f();
+      a.y = 1;
+    }
+  )");
+  EXPECT_EQ(runBarrierAggregation(M), 0u);
+}
+
+TEST(Aggregate, DifferentObjectsBreakGroups) {
+  Module M = compileNoOpts(R"(
+    class A { int x; }
+    static A g;
+    static A h;
+    fn main() {
+      g = new A();
+      h = new A();
+      var a = g;
+      var b = h;
+      a.x = 0;
+      b.x = 1;
+      a.x = 2;
+    }
+  )");
+  EXPECT_EQ(runBarrierAggregation(M), 0u);
+}
+
+TEST(Aggregate, ArrayElementRunsAggregate) {
+  Module M = compileNoOpts(R"(
+    fn main() {
+      var a = new int[4];
+      a[0] = 1;
+      a[1] = 2;
+      a[2] = a[0] + a[1];
+    }
+  )");
+  EXPECT_EQ(runBarrierAggregation(M), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Pipeline composition.
+//===----------------------------------------------------------------------===
+
+TEST(Pipeline, AllPassesCompose) {
+  Diag D;
+  PassOptions O;
+  O.IntraprocEscape = true;
+  O.Aggregate = true;
+  O.Nait = true;
+  O.ThreadLocal = true;
+  PipelineStats S;
+  ir::Module M = compile(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      var c = new C();
+      c.x = 1;
+      g = c;
+      atomic { g.x = 2; }
+      print(g.x);
+    }
+  )",
+                         O, D, &S);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  EXPECT_GT(S.HeapAccesses, 0u);
+  EXPECT_LE(S.BarriersAfter, S.BarriersBefore);
+}
+
+TEST(Pipeline, ProgramWithoutTransactionsLosesAllBarriers) {
+  // "Note that in a program not using transactions the analysis would
+  // remove all barriers" (§5).
+  Diag D;
+  PassOptions O;
+  O.Nait = true;
+  PipelineStats S;
+  ir::Module M = compile(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      g = new C();
+      g.x = 1;
+      print(g.x);
+    }
+  )",
+                         O, D, &S);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(remainingBarriers(M), 0u);
+}
+
+} // namespace

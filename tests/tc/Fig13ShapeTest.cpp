@@ -1,0 +1,95 @@
+//===- tests/tc/Fig13ShapeTest.cpp - Figure 13 shape regression test -----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks down the Figure 13 *shape* over the TranC model programs so the
+// reproduction cannot silently drift: NAIT dominates TL, TL-only wins
+// exist exactly where the paper reports them (jbb), the tsp thread-data
+// case is fully NAIT/zero TL, and the transaction-free program loses every
+// barrier. The bench prints the numbers; this test asserts the claims.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Fig13Programs.h"
+
+#include "tc/Interp.h"
+#include "tc/Pipeline.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+
+namespace {
+
+BarrierVerdicts::Counts analyzeProgram(const char *Src) {
+  Diag D;
+  PassOptions O;
+  O.Nait = true;
+  O.ThreadLocal = true;
+  PipelineStats S;
+  compile(Src, O, D, &S);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return S.WholeProg;
+}
+
+TEST(Fig13Shape, Jvm98AllBarriersRemovedByNait) {
+  auto C = analyzeProgram(fig13::Jvm98Program);
+  EXPECT_EQ(C.ReadNait, C.ReadTotal);
+  EXPECT_EQ(C.WriteNait, C.WriteTotal);
+  EXPECT_EQ(C.ReadTlNotNait, 0u);
+  EXPECT_EQ(C.WriteTlNotNait, 0u);
+  EXPECT_GT(C.ReadNaitNotTl + C.WriteNaitNotTl, 0u)
+      << "statics must block TL but not NAIT";
+}
+
+TEST(Fig13Shape, TspThreadDataIsNaitOnlyTerritory) {
+  // The paper's §5.4 observation: tsp keeps thread data in fields
+  // reachable from two threads — TL removes nothing, NAIT nearly all.
+  auto C = analyzeProgram(fig13::TspProgram);
+  EXPECT_EQ(C.ReadTl, 0u);
+  EXPECT_EQ(C.WriteTl, 0u);
+  EXPECT_EQ(C.ReadNait, C.ReadTotal);
+  EXPECT_GT(C.WriteNait, 0u);
+  EXPECT_LT(C.WriteNait, C.WriteTotal)
+      << "the shared-bound store must keep its barrier";
+}
+
+TEST(Fig13Shape, Oo7TransactionalTreeKeepsItsWriteBarriers) {
+  auto C = analyzeProgram(fig13::Oo7Program);
+  // Tree data is touched in transactions: most non-txn writes (the build
+  // phase) must keep their barriers.
+  EXPECT_LT(C.WriteEither, C.WriteTotal);
+  EXPECT_EQ(C.ReadTlNotNait + C.WriteTlNotNait, 0u)
+      << "no TL-only wins in oo7";
+}
+
+TEST(Fig13Shape, JbbHasTlOnlyWins) {
+  // The paper's jbb rows are unique: thread-local stat blocks that are
+  // also accessed transactionally give TL wins NAIT cannot have.
+  auto C = analyzeProgram(fig13::JbbProgram);
+  EXPECT_GT(C.ReadTlNotNait + C.WriteTlNotNait, 0u);
+  EXPECT_GT(C.ReadNaitNotTl + C.WriteNaitNotTl, 0u)
+      << "handed-off orders are NAIT-only wins";
+}
+
+TEST(Fig13Shape, ModelProgramsExecuteIdenticallyOptimized) {
+  for (const char *Src :
+       {fig13::Jvm98Program, fig13::TspProgram, fig13::Oo7Program,
+        fig13::JbbProgram}) {
+    Diag D1, D2;
+    ir::Module Plain = compile(Src, {}, D1);
+    PassOptions Full;
+    Full.ScalarOpts = Full.IntraprocEscape = Full.Aggregate = Full.Nait =
+        Full.ThreadLocal = true;
+    ir::Module Optimized = compile(Src, Full, D2);
+    ASSERT_FALSE(D1.hasErrors() || D2.hasErrors());
+    Interp A(Plain, {}), B(Optimized, {});
+    ASSERT_TRUE(A.run()) << A.error();
+    ASSERT_TRUE(B.run()) << B.error();
+    EXPECT_EQ(A.output(), B.output());
+  }
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+//===- tests/tc/FrontendTest.cpp - Lexer, parser and Sema tests ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Lexer.h"
+#include "tc/Parser.h"
+#include "tc/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+
+namespace {
+
+std::vector<TokKind> kinds(const std::string &Src) {
+  Diag D;
+  std::vector<TokKind> Out;
+  for (const Token &T : lex(Src, D))
+    Out.push_back(T.Kind);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return Out;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto K = kinds("class atomic retry spawn foo _bar x9");
+  EXPECT_EQ(K, (std::vector<TokKind>{TokKind::KwClass, TokKind::KwAtomic,
+                                     TokKind::KwRetry, TokKind::KwSpawn,
+                                     TokKind::Ident, TokKind::Ident,
+                                     TokKind::Ident, TokKind::Eof}));
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto K = kinds("<= >= == != && || ! < > = + - * / % ( ) { } [ ] ; : , .");
+  EXPECT_EQ(K.size(), 26u);
+  EXPECT_EQ(K[0], TokKind::Le);
+  EXPECT_EQ(K[2], TokKind::EqEq);
+  EXPECT_EQ(K[3], TokKind::NotEq);
+  EXPECT_EQ(K[4], TokKind::AndAnd);
+  EXPECT_EQ(K[5], TokKind::OrOr);
+  EXPECT_EQ(K[6], TokKind::Not);
+  EXPECT_EQ(K[9], TokKind::Assign);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  Diag D;
+  auto Toks = lex("0 42 9223372036854775807", D);
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, INT64_MAX);
+}
+
+TEST(Lexer, IntegerOverflowDiagnosed) {
+  Diag D;
+  lex("99999999999999999999", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto K = kinds("a // line comment\n b /* block \n comment */ c");
+  EXPECT_EQ(K, (std::vector<TokKind>{TokKind::Ident, TokKind::Ident,
+                                     TokKind::Ident, TokKind::Eof}));
+}
+
+TEST(Lexer, StringEscapes) {
+  Diag D;
+  auto Toks = lex(R"("a\nb\t\"q\"")", D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  EXPECT_EQ(Toks[0].Text, "a\nb\t\"q\"");
+}
+
+TEST(Lexer, ErrorsReportLocation) {
+  Diag D;
+  lex("a\n  @", D);
+  ASSERT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errors()[0].Where.Line, 2u);
+  EXPECT_EQ(D.errors()[0].Where.Col, 3u);
+}
+
+//===----------------------------------------------------------------------===
+
+Program parseOk(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+TEST(Parser, ClassAndFields) {
+  Program P = parseOk("class Node { int val; Node next; int[] data; }");
+  const ClassDecl *C = P.findClass("Node");
+  ASSERT_NE(C, nullptr);
+  ASSERT_EQ(C->Fields.size(), 3u);
+  EXPECT_EQ(C->Fields[0].Ty.Kind, Type::Int);
+  EXPECT_EQ(C->Fields[1].Ty.Kind, Type::Class);
+  EXPECT_EQ(C->Fields[1].Ty.ClassName, "Node");
+  EXPECT_EQ(C->Fields[2].Ty.Kind, Type::IntArray);
+}
+
+TEST(Parser, FunctionsAndStatements) {
+  Program P = parseOk(R"(
+    static int counter;
+    fn bump(int by): int {
+      atomic { counter = counter + by; }
+      return counter;
+    }
+    fn main() {
+      var t = spawn bump(2);
+      join(t);
+      print(bump(1));
+    }
+  )");
+  ASSERT_NE(P.findFunc("bump"), nullptr);
+  ASSERT_NE(P.findFunc("main"), nullptr);
+  EXPECT_EQ(P.findFunc("bump")->RetTy.Kind, Type::Int);
+  EXPECT_EQ(P.findFunc("main")->RetTy.Kind, Type::Void);
+}
+
+TEST(Parser, PrecedenceShape) {
+  Program P = parseOk("fn f(): int { return 1 + 2 * 3; }");
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*P.findFunc("f")->Body->Stmts[0]);
+  const auto &Add = static_cast<const BinaryExpr &>(*Ret.Value);
+  EXPECT_EQ(Add.Op, BinOp::Add);
+  EXPECT_EQ(static_cast<const BinaryExpr &>(*Add.Rhs).Op, BinOp::Mul);
+}
+
+TEST(Parser, ReportsErrors) {
+  Diag D;
+  parse("fn f( { }", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+//===----------------------------------------------------------------------===
+
+std::string semaErrors(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << "parse failed: " << D.str();
+  analyze(P, D);
+  return D.str();
+}
+
+TEST(Sema, AcceptsWellTypedProgram) {
+  EXPECT_EQ(semaErrors(R"(
+    class Acct { int bal; }
+    static Acct theAcct;
+    fn deposit(Acct a, int n) {
+      atomic {
+        a.bal = a.bal + n;
+        if (a.bal > 100) { retry; }
+      }
+    }
+    fn main() {
+      theAcct = new Acct();
+      deposit(theAcct, 10);
+    }
+  )"),
+            "");
+}
+
+TEST(Sema, RejectsUnknownIdentifier) {
+  EXPECT_NE(semaErrors("fn main() { print(x); }"), "");
+}
+
+TEST(Sema, RejectsTypeMismatch) {
+  EXPECT_NE(semaErrors("fn main() { var x = 1; x = true; }"), "");
+  EXPECT_NE(semaErrors("class C {} fn main() { var c = new C(); c = 1; }"),
+            "");
+}
+
+TEST(Sema, RejectsRetryOutsideAtomic) {
+  EXPECT_NE(semaErrors("fn main() { retry; }"), "");
+}
+
+TEST(Sema, RejectsReturnInsideAtomic) {
+  EXPECT_NE(semaErrors("fn f(): int { atomic { return 1; } }"), "");
+}
+
+TEST(Sema, RejectsBadCall) {
+  EXPECT_NE(semaErrors("fn f(int x) {} fn main() { f(); }"), "");
+  EXPECT_NE(semaErrors("fn f(int x) {} fn main() { f(true); }"), "");
+  EXPECT_NE(semaErrors("fn main() { g(); }"), "");
+}
+
+TEST(Sema, RejectsNullInference) {
+  EXPECT_NE(semaErrors("fn main() { var x = null; }"), "");
+}
+
+TEST(Sema, AllowsNullAssignmentToRefs) {
+  EXPECT_EQ(semaErrors(R"(
+    class C {}
+    fn main() { var c: C = null; c = new C(); c = null; }
+  )"),
+            "");
+}
+
+TEST(Sema, ScopedShadowing) {
+  EXPECT_EQ(semaErrors("fn main() { var x = 1; { var x = 2; print(x); } }"),
+            "");
+  EXPECT_NE(semaErrors("fn main() { var x = 1; var x = 2; }"), "");
+}
+
+TEST(Sema, StaticsResolveAndTypeCheck) {
+  EXPECT_EQ(semaErrors("static int g; fn main() { g = 3; print(g); }"), "");
+  EXPECT_NE(semaErrors("static int g; fn main() { g = true; }"), "");
+}
+
+TEST(Sema, ArrayTyping) {
+  EXPECT_EQ(semaErrors(R"(
+    fn main() {
+      var a = new int[10];
+      a[0] = 5;
+      print(a[0] + len(a));
+    }
+  )"),
+            "");
+  EXPECT_NE(semaErrors("fn main() { var a = new int[10]; a[true] = 1; }"),
+            "");
+  EXPECT_NE(semaErrors("fn main() { var x = 1; print(len(x)); }"), "");
+}
+
+TEST(Sema, FieldResolution) {
+  EXPECT_NE(semaErrors("class C { int x; } fn main() { var c = new C(); "
+                       "print(c.y); }"),
+            "");
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/tc/LoweringTest.cpp - AST-to-IR lowering tests --------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Lowering.h"
+#include "tc/Parser.h"
+#include "tc/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+Module compileToIr(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  analyze(P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return lower(P);
+}
+
+/// Runs \p Fn over every instruction of \p F.
+template <typename FnT> void forEachInst(const Function &F, FnT Fn) {
+  for (const Block &B : F.Blocks)
+    for (const Inst &I : B.Insts)
+      Fn(I);
+}
+
+TEST(Lowering, EveryReachableBlockTerminates) {
+  Module M = compileToIr(R"(
+    fn f(int x): int {
+      if (x > 0) { return 1; }
+      while (x < 0) { x = x + 1; }
+      return x;
+    }
+    fn main() { print(f(3)); }
+  )");
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks) {
+      if (B.Insts.empty())
+        continue; // Unreachable filler blocks may stay empty.
+      Op Last = B.Insts.back().K;
+      bool Terminated =
+          Last == Op::Jump || Last == Op::Branch || Last == Op::Ret;
+      // Blocks that only hold an AtomicEnd are continued explicitly by
+      // the interpreter; all other nonempty blocks must terminate.
+      if (!Terminated)
+        ADD_FAILURE() << "unterminated block in " << F.Name;
+    }
+}
+
+TEST(Lowering, AtomicRegionShape) {
+  Module M = compileToIr(R"(
+    static int x;
+    fn main() {
+      atomic { x = 1; if (x > 0) { x = 2; } }
+      print(x);
+    }
+  )");
+  const Function *Main = M.findFunc("main");
+  ASSERT_NE(Main, nullptr);
+  int Begins = 0, Ends = 0;
+  BlockId EndBlock = 0;
+  forEachInst(*Main, [&](const Inst &I) {
+    if (I.K == Op::AtomicBegin) {
+      ++Begins;
+      EndBlock = I.Index;
+    }
+    if (I.K == Op::AtomicEnd)
+      ++Ends;
+  });
+  EXPECT_EQ(Begins, 1);
+  EXPECT_EQ(Ends, 1);
+  // The matching AtomicEnd heads the block AtomicBegin names.
+  ASSERT_LT(EndBlock, Main->Blocks.size());
+  ASSERT_FALSE(Main->Blocks[EndBlock].Insts.empty());
+  EXPECT_EQ(Main->Blocks[EndBlock].Insts[0].K, Op::AtomicEnd);
+}
+
+TEST(Lowering, InAtomicMarksLexicalRegionOnly) {
+  Module M = compileToIr(R"(
+    static int x;
+    static int y;
+    fn main() {
+      y = 1;
+      atomic { x = 2; }
+      y = 3;
+    }
+  )");
+  const Function *Main = M.findFunc("main");
+  forEachInst(*Main, [&](const Inst &I) {
+    if (I.K == Op::StoreStatic) {
+      bool IsX = M.Statics[I.Index].Name == "x";
+      EXPECT_EQ(I.InAtomic, IsX) << "wrong InAtomic on a static store";
+    }
+  });
+}
+
+TEST(Lowering, HeapAccessesStartWithBarriers) {
+  Module M = compileToIr(R"(
+    class C { int f; }
+    fn main() {
+      var c = new C();
+      c.f = 1;
+      print(c.f);
+    }
+  )");
+  int Accesses = 0;
+  forEachInst(*M.findFunc("main"), [&](const Inst &I) {
+    if (isHeapAccess(I.K)) {
+      ++Accesses;
+      EXPECT_TRUE(I.NeedsBarrier);
+      EXPECT_EQ(I.Agg, AggRole::None);
+    }
+  });
+  EXPECT_EQ(Accesses, 2);
+}
+
+TEST(Lowering, ShortCircuitBecomesControlFlow) {
+  Module M = compileToIr(R"(
+    fn main() {
+      var a = true;
+      var b = false;
+      if (a && b) { print(1); }
+      if (a || b) { print(2); }
+    }
+  )");
+  // No Bin instruction may carry And/Or.
+  forEachInst(*M.findFunc("main"), [&](const Inst &I) {
+    if (I.K == Op::Bin) {
+      EXPECT_TRUE(I.BOp != BinOp::And && I.BOp != BinOp::Or);
+    }
+  });
+  // And the function must have branching structure.
+  EXPECT_GT(M.findFunc("main")->Blocks.size(), 4u);
+}
+
+TEST(Lowering, RefnessPropagatedToStores) {
+  Module M = compileToIr(R"(
+    class Node { Node next; int v; }
+    static Node head;
+    fn main() {
+      var n = new Node();
+      n.next = null;
+      n.v = 1;
+      head = n;
+    }
+  )");
+  forEachInst(*M.findFunc("main"), [&](const Inst &I) {
+    if (I.K == Op::StoreField) {
+      EXPECT_EQ(I.IsRefValue, I.Index == 0) << "slot 0 is the ref field";
+    }
+    if (I.K == Op::StoreStatic) {
+      EXPECT_TRUE(I.IsRefValue);
+    }
+  });
+}
+
+TEST(Lowering, SpawnRecordsParamRefness) {
+  Module M = compileToIr(R"(
+    class C { int x; }
+    fn worker(C c, int n) { c.x = n; }
+    fn main() {
+      var c = new C();
+      var t = spawn worker(c, 5);
+      join(t);
+    }
+  )");
+  const Function *Worker = M.findFunc("worker");
+  ASSERT_EQ(Worker->ParamIsRef.size(), 2u);
+  EXPECT_TRUE(Worker->ParamIsRef[0]);
+  EXPECT_FALSE(Worker->ParamIsRef[1]);
+}
+
+TEST(Lowering, PrintModuleIsStable) {
+  Module M = compileToIr(R"(
+    static int g;
+    fn main() { atomic { g = g + 1; } print(g); }
+  )");
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("fn main"), std::string::npos);
+  EXPECT_NE(Text.find("atomic.begin"), std::string::npos);
+  EXPECT_NE(Text.find("atomic.end"), std::string::npos);
+  EXPECT_NE(Text.find("[txn]"), std::string::npos);
+  EXPECT_NE(Text.find("ststa"), std::string::npos);
+}
+
+TEST(Lowering, AllocationSitesAreUnique) {
+  Module M = compileToIr(R"(
+    class C { int x; }
+    fn make(): C { return new C(); }
+    fn main() {
+      var a = new C();
+      var b = new C();
+      var c = make();
+      var arr = new int[3];
+      c.x = len(arr) + a.x + b.x;
+    }
+  )");
+  std::vector<uint32_t> Sites;
+  for (const Function &F : M.Funcs)
+    forEachInst(F, [&](const Inst &I) {
+      if (I.K == Op::NewObject || I.K == Op::NewArray)
+        Sites.push_back(I.Index2);
+    });
+  std::sort(Sites.begin(), Sites.end());
+  EXPECT_TRUE(std::adjacent_find(Sites.begin(), Sites.end()) == Sites.end())
+      << "duplicate allocation site ids";
+  EXPECT_EQ(Sites.size(), 4u);
+  EXPECT_EQ(M.NumAllocSites, 4u);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+//===- tests/tc/OptimizeTest.cpp - Scalar optimization tests -------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Optimize.h"
+#include "tc/Interp.h"
+#include "tc/Lowering.h"
+#include "tc/Parser.h"
+#include "tc/Pipeline.h"
+#include "tc/Sema.h"
+#include "tc/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+Module compileToIr(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  analyze(P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return lower(P);
+}
+
+size_t instCount(const Module &M) {
+  size_t N = 0;
+  for (const Function &F : M.Funcs)
+    for (const Block &B : F.Blocks)
+      N += B.Insts.size();
+  return N;
+}
+
+std::string runModule(const Module &M) {
+  Interp I(M, {});
+  EXPECT_TRUE(I.run()) << I.error();
+  return I.output();
+}
+
+TEST(ScalarOpts, FoldsConstantArithmetic) {
+  Module M = compileToIr("fn main() { print(2 + 3 * 4); }");
+  OptimizeStats S = runScalarOpts(M);
+  EXPECT_GE(S.Folded, 2u);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(runModule(M), "14\n");
+  // The Print operand is a single folded constant.
+  bool FoundBin = false;
+  for (const Block &B : M.Funcs[0].Blocks)
+    for (const Inst &I : B.Insts)
+      FoundBin |= I.K == Op::Bin;
+  EXPECT_FALSE(FoundBin);
+}
+
+TEST(ScalarOpts, PreservesFaultingDivision) {
+  Module M = compileToIr("fn main() { var z = 0; print(1 / z); }");
+  runScalarOpts(M);
+  EXPECT_TRUE(verifyModule(M).empty());
+  Interp I(M, {});
+  EXPECT_FALSE(I.run()) << "division fault must survive optimization";
+  EXPECT_NE(I.error().find("division by zero"), std::string::npos);
+}
+
+TEST(ScalarOpts, FoldsBranchesOnConstants) {
+  Module M = compileToIr(R"(
+    fn main() {
+      if (1 < 2) { print(7); } else { print(8); }
+    }
+  )");
+  OptimizeStats S = runScalarOpts(M);
+  EXPECT_GE(S.BranchesFixed, 1u);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(runModule(M), "7\n");
+}
+
+TEST(ScalarOpts, RemovesDeadCode) {
+  Module M = compileToIr(R"(
+    fn main() {
+      var unused = 3 + 4;
+      var alsoUnused = unused * 2;
+      print(1);
+    }
+  )");
+  size_t Before = instCount(M);
+  OptimizeStats S = runScalarOpts(M);
+  EXPECT_GE(S.DeadRemoved, 2u);
+  EXPECT_LT(instCount(M), Before);
+  EXPECT_EQ(runModule(M), "1\n");
+}
+
+TEST(ScalarOpts, NeverTouchesHeapAccesses) {
+  Module M = compileToIr(R"(
+    class C { int x; }
+    static C g;
+    fn main() {
+      g = new C();
+      g.x = 1 + 2;     // The value folds; the store must stay.
+      var dead = g.x;  // Result unused, but the load has barrier effects.
+    }
+  )");
+  runScalarOpts(M);
+  int Stores = 0, Loads = 0;
+  for (const Block &B : M.Funcs[0].Blocks)
+    for (const Inst &I : B.Insts) {
+      Stores += I.K == Op::StoreField;
+      Loads += I.K == Op::LoadField;
+    }
+  EXPECT_EQ(Stores, 1);
+  EXPECT_EQ(Loads, 1);
+}
+
+TEST(ScalarOpts, CopyPropagationFeedsDce) {
+  // The chain must start from a non-constant (the parameter) so that the
+  // Moves carry CopyOf facts rather than constants.
+  Module M = compileToIr(R"(
+    fn chain(int a): int {
+      var b = a;
+      var c = b;
+      return c;
+    }
+    fn main() { print(chain(5)); }
+  )");
+  OptimizeStats S = runScalarOpts(M);
+  EXPECT_GT(S.CopiesFwd, 0u);
+  EXPECT_GT(S.DeadRemoved, 0u);
+  EXPECT_EQ(runModule(M), "5\n");
+}
+
+TEST(ScalarOpts, SemanticsPreservedOnRichProgram) {
+  const char *Src = R"(
+    class Acc { int total; }
+    static Acc acc;
+    fn addRange(int lo, int hi) {
+      var i = lo;
+      while (i < hi) {
+        atomic { acc.total = acc.total + i; }
+        i = i + 1;
+      }
+    }
+    fn main() {
+      acc = new Acc();
+      var t = spawn addRange(0, 50);
+      addRange(50, 100);
+      join(t);
+      print(acc.total);
+    }
+  )";
+  Module Plain = compileToIr(Src);
+  Module Optimized = compileToIr(Src);
+  runScalarOpts(Optimized);
+  EXPECT_TRUE(verifyModule(Optimized).empty());
+  EXPECT_EQ(runModule(Plain), runModule(Optimized));
+  EXPECT_EQ(runModule(Optimized), "4950\n");
+}
+
+TEST(ScalarOpts, ComposesWithFullPipeline) {
+  Diag D;
+  PassOptions O;
+  O.ScalarOpts = true;
+  O.IntraprocEscape = O.Aggregate = O.Nait = O.ThreadLocal = true;
+  PipelineStats S;
+  Module M = compile(R"(
+    class C { int x; }
+    fn main() {
+      var c = new C();
+      c.x = 10 * 10;
+      print(c.x + 0 * 5);
+    }
+  )",
+                     O, D, &S);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_GT(S.ScalarFolded, 0u);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_EQ(runModule(M), "100\n");
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/tc/RobustnessTest.cpp - Frontend robustness fuzzing ---------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fuzz-lite: the compiler front end must never crash and must produce
+// diagnostics (not garbage modules) on malformed input. We mutate a valid
+// program deterministically in hundreds of ways (truncation, deletion,
+// duplication, character substitution) and require: no crash; either
+// errors are reported or the compiled module passes the IR verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Lowering.h"
+#include "tc/Parser.h"
+#include "tc/Sema.h"
+#include "tc/Verifier.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm;
+using namespace satm::tc;
+
+namespace {
+
+const char *SeedProgram = R"(
+  class Node { Node next; int val; }
+  static Node head;
+  static int total;
+  fn push(int v) {
+    var n = new Node();
+    n.val = v;
+    atomic { n.next = head; head = n; total = total + v; }
+  }
+  fn drain(): int {
+    var s = 0;
+    atomic {
+      var cur = head;
+      while (cur != null) { s = s + cur.val; cur = cur.next; }
+      head = null;
+    }
+    return s;
+  }
+  fn worker(int n) {
+    var i = 0;
+    while (i < n) { push(i); i = i + 1; }
+  }
+  fn main() {
+    var t = spawn worker(10);
+    join(t);
+    if (drain() >= 0 && true || !false) { print(1); } else { retry; }
+  }
+)";
+
+/// Compiles \p Src end to end; returns true if it crashed an invariant
+/// (never expected). Malformed inputs must yield diagnostics.
+void compileOneMutant(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  if (D.hasErrors())
+    return; // Graceful rejection.
+  analyze(P, D);
+  if (D.hasErrors())
+    return;
+  ir::Module M = lower(P);
+  auto Problems = verifyModule(M);
+  EXPECT_TRUE(Problems.empty())
+      << "accepted program lowered to invalid IR:\n"
+      << Src.substr(0, 400) << "\nfirst problem: "
+      << (Problems.empty() ? "" : Problems[0]);
+}
+
+TEST(Robustness, TruncationsNeverCrash) {
+  std::string Src = SeedProgram;
+  for (size_t Len = 0; Len < Src.size(); Len += 7)
+    compileOneMutant(Src.substr(0, Len));
+}
+
+TEST(Robustness, DeletionsNeverCrash) {
+  std::string Src = SeedProgram;
+  Rng R(404);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Mutant = Src;
+    size_t Pos = R.nextBelow(Mutant.size());
+    size_t Len = 1 + R.nextBelow(20);
+    Mutant.erase(Pos, Len);
+    compileOneMutant(Mutant);
+  }
+}
+
+TEST(Robustness, SubstitutionsNeverCrash) {
+  const char Chaff[] = "(){};=+-*/%<>!&|.,:[]\"xyz01 ";
+  std::string Src = SeedProgram;
+  Rng R(808);
+  for (int Round = 0; Round < 300; ++Round) {
+    std::string Mutant = Src;
+    for (int Hit = 0; Hit < 3; ++Hit)
+      Mutant[R.nextBelow(Mutant.size())] =
+          Chaff[R.nextBelow(sizeof(Chaff) - 1)];
+    compileOneMutant(Mutant);
+  }
+}
+
+TEST(Robustness, DuplicationsNeverCrash) {
+  std::string Src = SeedProgram;
+  Rng R(1212);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::string Mutant = Src;
+    size_t Pos = R.nextBelow(Mutant.size());
+    size_t Len = 1 + R.nextBelow(30);
+    Len = std::min(Len, Mutant.size() - Pos);
+    Mutant.insert(Pos, Mutant.substr(Pos, Len));
+    compileOneMutant(Mutant);
+  }
+}
+
+TEST(Robustness, TokenSoupNeverCrashes) {
+  const char *Tokens[] = {"class",  "fn",    "atomic", "retry", "spawn",
+                          "join",   "var",   "if",     "while", "return",
+                          "{",      "}",     "(",      ")",     ";",
+                          "x",      "1",     "+",      "=",     "int",
+                          "null",   "new",   "[",      "]",     ".",
+                          "print",  "true",  "&&",     "||",    "=="};
+  Rng R(77);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Soup;
+    int N = 1 + static_cast<int>(R.nextBelow(60));
+    for (int I = 0; I < N; ++I) {
+      Soup += Tokens[R.nextBelow(std::size(Tokens))];
+      Soup += ' ';
+    }
+    compileOneMutant(Soup);
+  }
+}
+
+} // namespace

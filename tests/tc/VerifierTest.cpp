@@ -1,0 +1,177 @@
+//===- tests/tc/VerifierTest.cpp - IR verifier tests ---------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tc/Verifier.h"
+#include "tc/Aggregate.h"
+#include "tc/Lowering.h"
+#include "tc/Parser.h"
+#include "tc/Pipeline.h"
+#include "tc/Sema.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::tc;
+using namespace satm::tc::ir;
+
+namespace {
+
+Module compileToIr(const std::string &Src) {
+  Diag D;
+  Program P = parse(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  analyze(P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return lower(P);
+}
+
+const char *RichProgram = R"(
+  class Node { Node next; int val; }
+  static Node head;
+  static int total;
+
+  fn push(int v) {
+    var n = new Node();
+    n.val = v;
+    atomic {
+      n.next = head;
+      head = n;
+      total = total + v;
+    }
+  }
+
+  fn sum(): int {
+    var s = 0;
+    atomic {
+      var cur = head;
+      while (cur != null) {
+        s = s + cur.val;
+        cur = cur.next;
+      }
+    }
+    return s;
+  }
+
+  fn worker(int n) {
+    var i = 0;
+    while (i < n) { push(i); i = i + 1; }
+  }
+
+  fn main() {
+    var t = spawn worker(10);
+    worker(5);
+    join(t);
+    print(sum());
+  }
+)";
+
+TEST(Verifier, AcceptsLoweredModules) {
+  Module M = compileToIr(RichProgram);
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(Verifier, AcceptsFullyOptimizedModules) {
+  Diag D;
+  PassOptions O;
+  O.IntraprocEscape = O.Aggregate = O.Nait = O.ThreadLocal = true;
+  Module M = compile(RichProgram, O, D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_TRUE(verifyModule(M).empty());
+}
+
+TEST(Verifier, CatchesOutOfRangeRegister) {
+  Module M = compileToIr("fn main() { print(1 + 2); }");
+  M.Funcs[0].Blocks[0].Insts[0].Dst = 9999;
+  auto Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadBlockTarget) {
+  Module M = compileToIr("fn main() { var i = 0; while (i < 3) { i = i + 1; } }");
+  for (Block &B : M.Funcs[0].Blocks)
+    for (Inst &I : B.Insts)
+      if (I.K == Op::Jump)
+        I.Index = 1000;
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, CatchesUnterminatedBlock) {
+  Module M = compileToIr("fn main() { print(1); }");
+  M.Funcs[0].Blocks[0].Insts.pop_back(); // Drop the final Ret.
+  auto Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBrokenAtomicRegion) {
+  Module M = compileToIr("static int x; fn main() { atomic { x = 1; } }");
+  for (Block &B : M.Funcs[0].Blocks)
+    for (Inst &I : B.Insts)
+      if (I.K == Op::AtomicEnd)
+        I.K = Op::Retry; // Vandalize the region end.
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, CatchesBarrierOnNonAccess) {
+  Module M = compileToIr("fn main() { print(1); }");
+  M.Funcs[0].Blocks[0].Insts[0].NeedsBarrier = true;
+  auto Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("barrier annotation"), std::string::npos);
+}
+
+TEST(Verifier, CatchesArityMismatch) {
+  Module M = compileToIr("fn f(int a, int b) {} fn main() { f(1, 2); }");
+  for (Block &B : M.Funcs[1].Blocks)
+    for (Inst &I : B.Insts)
+      if (I.K == Op::Call)
+        I.Args.pop_back();
+  auto Problems = verifyModule(M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("arguments"), std::string::npos);
+}
+
+TEST(Verifier, CatchesCorruptedAggregationGroup) {
+  Module M = compileToIr(R"(
+    class A { int x; int y; }
+    static A g;
+    fn main() {
+      g = new A();
+      var a = g;
+      a.x = 1;
+      a.y = 2;
+    }
+  )");
+  ASSERT_GT(runBarrierAggregation(M), 0u);
+  ASSERT_TRUE(verifyModule(M).empty()) << "pass output must verify";
+  // Break the group: orphan the Close by removing the Open.
+  for (Block &B : M.Funcs[0].Blocks)
+    for (Inst &I : B.Insts)
+      if (I.Agg == AggRole::Open)
+        I.Agg = AggRole::None;
+  EXPECT_FALSE(verifyModule(M).empty());
+}
+
+TEST(Verifier, AggregationPassOutputAlwaysVerifies) {
+  // Property-style check over several shapes of programs.
+  const char *Programs[] = {
+      "class A { int x; } static A g;"
+      "fn main() { g = new A(); var a = g; a.x = 1; a.x = a.x + 1; }",
+      "fn main() { var a = new int[4]; a[0] = 1; a[1] = a[0]; a[2] = 2; }",
+      "class A { int x; } static A g; static A h;"
+      "fn main() { g = new A(); h = new A(); var a = g; var b = h;"
+      "  a.x = 1; b.x = 2; a.x = 3; b.x = 4; }",
+      "class A { int x; } fn f(): int { return 1; } static A g;"
+      "fn main() { g = new A(); var a = g; a.x = 1; a.x = f(); a.x = 2; }",
+  };
+  for (const char *Src : Programs) {
+    Module M = compileToIr(Src);
+    runBarrierAggregation(M);
+    EXPECT_TRUE(verifyModule(M).empty()) << Src;
+  }
+}
+
+} // namespace

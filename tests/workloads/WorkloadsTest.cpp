@@ -1,0 +1,140 @@
+//===- tests/workloads/WorkloadsTest.cpp - Workload invariance tests -----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The experiment harnesses are only meaningful if every barrier plan and
+// execution mode computes the same answer: barriers must never change
+// semantics, only cost. These tests pin that invariance down for all the
+// Figure 15-20 workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Jbb.h"
+#include "workloads/Jvm98.h"
+#include "workloads/Oo7.h"
+#include "workloads/Tsp.h"
+
+#include "gtest/gtest.h"
+
+using namespace satm::workloads;
+
+namespace {
+
+std::vector<BarrierPlan> allPlans() {
+  std::vector<BarrierPlan> Plans;
+  Plans.push_back(BarrierPlan::none());
+  Plans.push_back(BarrierPlan::noOpts());
+  BarrierPlan Elim = BarrierPlan::noOpts();
+  Elim.ElideLocal = true;
+  Plans.push_back(Elim);
+  BarrierPlan Aggr = Elim;
+  Aggr.Aggregate = true;
+  Plans.push_back(Aggr);
+  BarrierPlan Dea = Aggr;
+  Dea.Dea = true;
+  Plans.push_back(Dea);
+  BarrierPlan Nait = Dea;
+  Nait.NaitAll = true;
+  Plans.push_back(Nait);
+  Plans.push_back(BarrierPlan::noOpts(/*Reads=*/true, /*Writes=*/false));
+  Plans.push_back(BarrierPlan::noOpts(/*Reads=*/false, /*Writes=*/true));
+  return Plans;
+}
+
+class Jvm98PlanInvariance
+    : public ::testing::TestWithParam<Jvm98Workload> {};
+
+TEST_P(Jvm98PlanInvariance, ChecksumIndependentOfPlan) {
+  const Jvm98Workload &W = GetParam();
+  uint64_t Reference = 0;
+  bool First = true;
+  for (const BarrierPlan &P : allPlans()) {
+    PlanScope Scope(P);
+    Mem M(P);
+    uint64_t Sum = W.Run(M, /*Scale=*/1);
+    if (First) {
+      Reference = Sum;
+      First = false;
+    } else {
+      EXPECT_EQ(Sum, Reference) << W.Name << " diverged under a plan";
+    }
+  }
+  EXPECT_NE(Reference, 0u) << W.Name << " computed nothing";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, Jvm98PlanInvariance, ::testing::ValuesIn(jvm98Suite()),
+    [](const ::testing::TestParamInfo<Jvm98Workload> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(Tsp, SameOptimalTourInEveryMode) {
+  uint64_t Reference = 0;
+  bool First = true;
+  for (ExecMode Mode : AllExecModes) {
+    TspResult R = runTsp(Mode, /*Threads=*/2, /*NumCities=*/9);
+    if (First) {
+      Reference = R.BestTour;
+      First = false;
+    } else {
+      EXPECT_EQ(R.BestTour, Reference) << execModeName(Mode);
+    }
+  }
+  EXPECT_GT(Reference, 0u);
+  EXPECT_LT(Reference, ~0ull >> 1) << "search never found a tour";
+}
+
+TEST(Tsp, ThreadCountDoesNotChangeAnswer) {
+  TspResult One = runTsp(ExecMode::StrongDea, 1, 9);
+  TspResult Four = runTsp(ExecMode::StrongDea, 4, 9);
+  EXPECT_EQ(One.BestTour, Four.BestTour);
+}
+
+TEST(Oo7, SameDigestInEveryMode) {
+  Oo7Config C;
+  C.TraversalsPerThread = 30;
+  uint64_t Reference = 0;
+  bool First = true;
+  for (ExecMode Mode : AllExecModes) {
+    Oo7Result R = runOo7(Mode, /*Threads=*/3, C);
+    if (First) {
+      Reference = R.Checksum;
+      First = false;
+    } else {
+      EXPECT_EQ(R.Checksum, Reference) << execModeName(Mode);
+    }
+  }
+  EXPECT_GT(Reference, 0u);
+}
+
+TEST(Jbb, SameDigestInEveryMode) {
+  JbbConfig C;
+  C.OpsPerThread = 500;
+  uint64_t Reference = 0;
+  bool First = true;
+  for (ExecMode Mode : AllExecModes) {
+    JbbResult R = runJbb(Mode, /*Threads=*/3, C);
+    if (First) {
+      Reference = R.Checksum;
+      First = false;
+    } else {
+      EXPECT_EQ(R.Checksum, Reference) << execModeName(Mode);
+    }
+    EXPECT_EQ(R.Throughput, 3u * C.OpsPerThread);
+  }
+  EXPECT_GT(Reference, 0u);
+}
+
+TEST(Jbb, ScalesWithoutDigestDrift) {
+  // Per-warehouse digests are per-thread deterministic, so more threads =
+  // strictly more digest (each thread contributes its own warehouse).
+  JbbConfig C;
+  C.OpsPerThread = 300;
+  JbbResult Two = runJbb(ExecMode::StrongDea, 2, C);
+  JbbResult TwoAgain = runJbb(ExecMode::Weak, 2, C);
+  EXPECT_EQ(Two.Checksum, TwoAgain.Checksum);
+}
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_publish.dir/abl_publish.cpp.o"
+  "CMakeFiles/abl_publish.dir/abl_publish.cpp.o.d"
+  "abl_publish"
+  "abl_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

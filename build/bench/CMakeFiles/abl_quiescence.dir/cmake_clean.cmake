@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quiescence.dir/abl_quiescence.cpp.o"
+  "CMakeFiles/abl_quiescence.dir/abl_quiescence.cpp.o.d"
+  "abl_quiescence"
+  "abl_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

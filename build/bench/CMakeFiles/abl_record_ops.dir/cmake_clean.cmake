@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_record_ops.dir/abl_record_ops.cpp.o"
+  "CMakeFiles/abl_record_ops.dir/abl_record_ops.cpp.o.d"
+  "abl_record_ops"
+  "abl_record_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_record_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

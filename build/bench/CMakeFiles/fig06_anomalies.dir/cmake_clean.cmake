@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_anomalies.dir/fig06_anomalies.cpp.o"
+  "CMakeFiles/fig06_anomalies.dir/fig06_anomalies.cpp.o.d"
+  "fig06_anomalies"
+  "fig06_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

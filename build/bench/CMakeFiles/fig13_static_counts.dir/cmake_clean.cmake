@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_static_counts.dir/fig13_static_counts.cpp.o"
+  "CMakeFiles/fig13_static_counts.dir/fig13_static_counts.cpp.o.d"
+  "fig13_static_counts"
+  "fig13_static_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_static_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_write_overhead.dir/fig17_write_overhead.cpp.o"
+  "CMakeFiles/fig17_write_overhead.dir/fig17_write_overhead.cpp.o.d"
+  "fig17_write_overhead"
+  "fig17_write_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_write_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tsp.dir/fig18_tsp.cpp.o"
+  "CMakeFiles/fig18_tsp.dir/fig18_tsp.cpp.o.d"
+  "fig18_tsp"
+  "fig18_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_oo7.dir/fig19_oo7.cpp.o"
+  "CMakeFiles/fig19_oo7.dir/fig19_oo7.cpp.o.d"
+  "fig19_oo7"
+  "fig19_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

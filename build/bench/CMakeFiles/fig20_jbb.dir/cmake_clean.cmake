@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_jbb.dir/fig20_jbb.cpp.o"
+  "CMakeFiles/fig20_jbb.dir/fig20_jbb.cpp.o.d"
+  "fig20_jbb"
+  "fig20_jbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_jbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_tour.dir/anomaly_tour.cpp.o"
+  "CMakeFiles/anomaly_tour.dir/anomaly_tour.cpp.o.d"
+  "anomaly_tour"
+  "anomaly_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

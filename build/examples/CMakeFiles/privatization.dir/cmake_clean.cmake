@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privatization.dir/privatization.cpp.o"
+  "CMakeFiles/privatization.dir/privatization.cpp.o.d"
+  "privatization"
+  "privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

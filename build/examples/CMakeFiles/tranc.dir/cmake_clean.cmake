@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tranc.dir/tranc.cpp.o"
+  "CMakeFiles/tranc.dir/tranc.cpp.o.d"
+  "tranc"
+  "tranc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tranc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/Heap.cpp" "src/CMakeFiles/satm_core.dir/rt/Heap.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/rt/Heap.cpp.o.d"
+  "/root/repo/src/stm/Dea.cpp" "src/CMakeFiles/satm_core.dir/stm/Dea.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/Dea.cpp.o.d"
+  "/root/repo/src/stm/LazyTxn.cpp" "src/CMakeFiles/satm_core.dir/stm/LazyTxn.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/LazyTxn.cpp.o.d"
+  "/root/repo/src/stm/Litmus.cpp" "src/CMakeFiles/satm_core.dir/stm/Litmus.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/Litmus.cpp.o.d"
+  "/root/repo/src/stm/Quiesce.cpp" "src/CMakeFiles/satm_core.dir/stm/Quiesce.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/Quiesce.cpp.o.d"
+  "/root/repo/src/stm/Stats.cpp" "src/CMakeFiles/satm_core.dir/stm/Stats.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/Stats.cpp.o.d"
+  "/root/repo/src/stm/Txn.cpp" "src/CMakeFiles/satm_core.dir/stm/Txn.cpp.o" "gcc" "src/CMakeFiles/satm_core.dir/stm/Txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satm_core.dir/rt/Heap.cpp.o"
+  "CMakeFiles/satm_core.dir/rt/Heap.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/Dea.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/Dea.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/LazyTxn.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/LazyTxn.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/Litmus.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/Litmus.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/Quiesce.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/Quiesce.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/Stats.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/Stats.cpp.o.d"
+  "CMakeFiles/satm_core.dir/stm/Txn.cpp.o"
+  "CMakeFiles/satm_core.dir/stm/Txn.cpp.o.d"
+  "libsatm_core.a"
+  "libsatm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/Aggregate.cpp" "src/tc/CMakeFiles/satm_tc.dir/Aggregate.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Aggregate.cpp.o.d"
+  "/root/repo/src/tc/Analyses.cpp" "src/tc/CMakeFiles/satm_tc.dir/Analyses.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Analyses.cpp.o.d"
+  "/root/repo/src/tc/Escape.cpp" "src/tc/CMakeFiles/satm_tc.dir/Escape.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Escape.cpp.o.d"
+  "/root/repo/src/tc/Interp.cpp" "src/tc/CMakeFiles/satm_tc.dir/Interp.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Interp.cpp.o.d"
+  "/root/repo/src/tc/Ir.cpp" "src/tc/CMakeFiles/satm_tc.dir/Ir.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Ir.cpp.o.d"
+  "/root/repo/src/tc/Lexer.cpp" "src/tc/CMakeFiles/satm_tc.dir/Lexer.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Lexer.cpp.o.d"
+  "/root/repo/src/tc/Lowering.cpp" "src/tc/CMakeFiles/satm_tc.dir/Lowering.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Lowering.cpp.o.d"
+  "/root/repo/src/tc/Optimize.cpp" "src/tc/CMakeFiles/satm_tc.dir/Optimize.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Optimize.cpp.o.d"
+  "/root/repo/src/tc/Parser.cpp" "src/tc/CMakeFiles/satm_tc.dir/Parser.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Parser.cpp.o.d"
+  "/root/repo/src/tc/Pipeline.cpp" "src/tc/CMakeFiles/satm_tc.dir/Pipeline.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/tc/PointsTo.cpp" "src/tc/CMakeFiles/satm_tc.dir/PointsTo.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/PointsTo.cpp.o.d"
+  "/root/repo/src/tc/Sema.cpp" "src/tc/CMakeFiles/satm_tc.dir/Sema.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Sema.cpp.o.d"
+  "/root/repo/src/tc/Verifier.cpp" "src/tc/CMakeFiles/satm_tc.dir/Verifier.cpp.o" "gcc" "src/tc/CMakeFiles/satm_tc.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satm_tc.dir/Aggregate.cpp.o"
+  "CMakeFiles/satm_tc.dir/Aggregate.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Analyses.cpp.o"
+  "CMakeFiles/satm_tc.dir/Analyses.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Escape.cpp.o"
+  "CMakeFiles/satm_tc.dir/Escape.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Interp.cpp.o"
+  "CMakeFiles/satm_tc.dir/Interp.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Ir.cpp.o"
+  "CMakeFiles/satm_tc.dir/Ir.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Lexer.cpp.o"
+  "CMakeFiles/satm_tc.dir/Lexer.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Lowering.cpp.o"
+  "CMakeFiles/satm_tc.dir/Lowering.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Optimize.cpp.o"
+  "CMakeFiles/satm_tc.dir/Optimize.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Parser.cpp.o"
+  "CMakeFiles/satm_tc.dir/Parser.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Pipeline.cpp.o"
+  "CMakeFiles/satm_tc.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/PointsTo.cpp.o"
+  "CMakeFiles/satm_tc.dir/PointsTo.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Sema.cpp.o"
+  "CMakeFiles/satm_tc.dir/Sema.cpp.o.d"
+  "CMakeFiles/satm_tc.dir/Verifier.cpp.o"
+  "CMakeFiles/satm_tc.dir/Verifier.cpp.o.d"
+  "libsatm_tc.a"
+  "libsatm_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satm_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

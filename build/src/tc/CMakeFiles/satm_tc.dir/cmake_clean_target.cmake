@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatm_tc.a"
+)

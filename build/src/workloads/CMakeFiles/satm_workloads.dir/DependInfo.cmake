@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Jbb.cpp" "src/workloads/CMakeFiles/satm_workloads.dir/Jbb.cpp.o" "gcc" "src/workloads/CMakeFiles/satm_workloads.dir/Jbb.cpp.o.d"
+  "/root/repo/src/workloads/Jvm98.cpp" "src/workloads/CMakeFiles/satm_workloads.dir/Jvm98.cpp.o" "gcc" "src/workloads/CMakeFiles/satm_workloads.dir/Jvm98.cpp.o.d"
+  "/root/repo/src/workloads/Oo7.cpp" "src/workloads/CMakeFiles/satm_workloads.dir/Oo7.cpp.o" "gcc" "src/workloads/CMakeFiles/satm_workloads.dir/Oo7.cpp.o.d"
+  "/root/repo/src/workloads/Tsp.cpp" "src/workloads/CMakeFiles/satm_workloads.dir/Tsp.cpp.o" "gcc" "src/workloads/CMakeFiles/satm_workloads.dir/Tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/satm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

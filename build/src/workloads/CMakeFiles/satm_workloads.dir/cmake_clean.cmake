@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satm_workloads.dir/Jbb.cpp.o"
+  "CMakeFiles/satm_workloads.dir/Jbb.cpp.o.d"
+  "CMakeFiles/satm_workloads.dir/Jvm98.cpp.o"
+  "CMakeFiles/satm_workloads.dir/Jvm98.cpp.o.d"
+  "CMakeFiles/satm_workloads.dir/Oo7.cpp.o"
+  "CMakeFiles/satm_workloads.dir/Oo7.cpp.o.d"
+  "CMakeFiles/satm_workloads.dir/Tsp.cpp.o"
+  "CMakeFiles/satm_workloads.dir/Tsp.cpp.o.d"
+  "libsatm_workloads.a"
+  "libsatm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dea_test.dir/stm/DeaTest.cpp.o"
+  "CMakeFiles/dea_test.dir/stm/DeaTest.cpp.o.d"
+  "dea_test"
+  "dea_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_txn_test.dir/stm/LazyTxnTest.cpp.o"
+  "CMakeFiles/lazy_txn_test.dir/stm/LazyTxnTest.cpp.o.d"
+  "lazy_txn_test"
+  "lazy_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

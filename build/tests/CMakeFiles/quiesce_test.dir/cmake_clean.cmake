@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiesce_test.dir/stm/QuiesceTest.cpp.o"
+  "CMakeFiles/quiesce_test.dir/stm/QuiesceTest.cpp.o.d"
+  "quiesce_test"
+  "quiesce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiesce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_report_test.dir/stm/RaceReportTest.cpp.o"
+  "CMakeFiles/race_report_test.dir/stm/RaceReportTest.cpp.o.d"
+  "race_report_test"
+  "race_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

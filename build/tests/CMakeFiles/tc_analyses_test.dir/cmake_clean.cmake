@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_analyses_test.dir/tc/AnalysesTest.cpp.o"
+  "CMakeFiles/tc_analyses_test.dir/tc/AnalysesTest.cpp.o.d"
+  "tc_analyses_test"
+  "tc_analyses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_analyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_fig13_shape_test.dir/tc/Fig13ShapeTest.cpp.o"
+  "CMakeFiles/tc_fig13_shape_test.dir/tc/Fig13ShapeTest.cpp.o.d"
+  "tc_fig13_shape_test"
+  "tc_fig13_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_fig13_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

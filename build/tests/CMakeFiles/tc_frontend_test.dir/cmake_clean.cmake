@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_frontend_test.dir/tc/FrontendTest.cpp.o"
+  "CMakeFiles/tc_frontend_test.dir/tc/FrontendTest.cpp.o.d"
+  "tc_frontend_test"
+  "tc_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_interp_stress_test.dir/tc/InterpStressTest.cpp.o"
+  "CMakeFiles/tc_interp_stress_test.dir/tc/InterpStressTest.cpp.o.d"
+  "tc_interp_stress_test"
+  "tc_interp_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_interp_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_interp_test.dir/tc/InterpTest.cpp.o"
+  "CMakeFiles/tc_interp_test.dir/tc/InterpTest.cpp.o.d"
+  "tc_interp_test"
+  "tc_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

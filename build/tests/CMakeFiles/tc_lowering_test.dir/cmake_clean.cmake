@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_lowering_test.dir/tc/LoweringTest.cpp.o"
+  "CMakeFiles/tc_lowering_test.dir/tc/LoweringTest.cpp.o.d"
+  "tc_lowering_test"
+  "tc_lowering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_lowering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

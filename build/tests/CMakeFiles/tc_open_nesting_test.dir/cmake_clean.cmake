@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_open_nesting_test.dir/tc/OpenNestingTest.cpp.o"
+  "CMakeFiles/tc_open_nesting_test.dir/tc/OpenNestingTest.cpp.o.d"
+  "tc_open_nesting_test"
+  "tc_open_nesting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_open_nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

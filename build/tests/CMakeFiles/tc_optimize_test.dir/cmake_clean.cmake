@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_optimize_test.dir/tc/OptimizeTest.cpp.o"
+  "CMakeFiles/tc_optimize_test.dir/tc/OptimizeTest.cpp.o.d"
+  "tc_optimize_test"
+  "tc_optimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_robustness_test.dir/tc/RobustnessTest.cpp.o"
+  "CMakeFiles/tc_robustness_test.dir/tc/RobustnessTest.cpp.o.d"
+  "tc_robustness_test"
+  "tc_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

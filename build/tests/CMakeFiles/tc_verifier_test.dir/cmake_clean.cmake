@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_verifier_test.dir/tc/VerifierTest.cpp.o"
+  "CMakeFiles/tc_verifier_test.dir/tc/VerifierTest.cpp.o.d"
+  "tc_verifier_test"
+  "tc_verifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

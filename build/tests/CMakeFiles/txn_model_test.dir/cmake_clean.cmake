@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_model_test.dir/stm/TxnModelTest.cpp.o"
+  "CMakeFiles/txn_model_test.dir/stm/TxnModelTest.cpp.o.d"
+  "txn_model_test"
+  "txn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

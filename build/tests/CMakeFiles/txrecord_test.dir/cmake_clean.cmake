@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txrecord_test.dir/stm/TxRecordTest.cpp.o"
+  "CMakeFiles/txrecord_test.dir/stm/TxRecordTest.cpp.o.d"
+  "txrecord_test"
+  "txrecord_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txrecord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

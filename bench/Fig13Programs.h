@@ -179,10 +179,11 @@ inline const char *Oo7Program = R"(
     while (i < n) {
       var s = 0;
       atomic { s = traverse(root, i % 5 == 0); }
+      // The tally mixes in the other worker's committed updates, so its
+      // value is schedule-dependent; it stays local and unprinted.
       localTally[i % 4] = localTally[i % 4] + s;
       i = i + 1;
     }
-    print(localTally[0]);
   }
 
   fn main() {
@@ -190,6 +191,11 @@ inline const char *Oo7Program = R"(
     var t = spawn workerLoop(10);
     workerLoop(10);
     join(t);
+    // Both workers have quiesced: the tree state (and hence this sum) is
+    // deterministic — each worker ran exactly two update traversals.
+    var total = 0;
+    atomic { total = traverse(root, false); }
+    print(total);
   }
 )";
 

@@ -1,0 +1,70 @@
+//===- examples/explore_anomaly.cpp - Discover an anomaly by search ------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Rediscovers the speculative-lost-update anomaly (Figure 3(a)) under the
+// eager-versioning STM by systematic schedule exploration: no staged
+// schedule, no hand-placed gates — the explorer enumerates interleavings of
+// the two-thread program until the serializability oracle rejects one, then
+// prints the vector-clock-stamped trace and a replay token.
+//
+//   $ explore_anomaly                      # search, print trace + token
+//   $ explore_anomaly --schedule=<token>   # deterministically replay it
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Explorer.h"
+#include "check/Fig6Programs.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace satm::check;
+using namespace satm::stm::litmus;
+
+int main(int argc, char **argv) {
+  Program P = fig6Program(Anomaly::SLU);
+
+  const char *Token = nullptr;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--schedule=", 11) == 0)
+      Token = argv[I] + 11;
+
+  if (Token) {
+    std::string Error;
+    Trace T = replay(P, Regime::Eager, Token, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "replay failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("replaying %s\n\n%s", Token, formatTrace(P, T).c_str());
+    return 0;
+  }
+
+  std::printf("Searching for the speculative-lost-update anomaly "
+              "(Figure 3a) under eager versioning...\n\n"
+              "  T0: atomic { r0 = y; if (r0 == 0) x = 1; /*abort*/ }\n"
+              "  T1: x = 2; y = 1;\n\n");
+
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  if (!Res.found()) {
+    std::printf("no violation found in %llu schedules -- unexpected; the "
+                "eager STM should lose T1's x=2 to rollback.\n",
+                static_cast<unsigned long long>(Res.Schedules));
+    return 1;
+  }
+
+  const Violation &V = Res.Violations[0];
+  std::printf("Found after %llu schedules: a non-serializable execution.\n\n",
+              static_cast<unsigned long long>(Res.Schedules));
+  std::printf("%s\n", V.Detail.c_str());
+  std::printf("trace:\n%s\n", formatTrace(P, V.Events).c_str());
+  std::printf("replay with:\n  explore_anomaly '--schedule=%s'\n",
+              V.Token.c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#===- scripts/ci.sh - Tier-1 CI: plain + ThreadSanitizer ----------------===#
+#
+# Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+#
+# Builds and runs the full test suite twice: a regular RelWithDebInfo build,
+# then a ThreadSanitizer build (-DSATM_SANITIZE=thread). SATM_FAST_TESTS=1
+# trims the iteration-heavy stress tests so the whole script stays under a
+# couple of minutes.
+#
+# Usage: scripts/ci.sh [jobs]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+export SATM_FAST_TESTS="${SATM_FAST_TESTS:-1}"
+
+echo "== tier-1 build (RelWithDebInfo)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== ThreadSanitizer build"
+cmake -B build-tsan -S . -DSATM_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && ctest --output-on-failure -j "$JOBS")
+
+echo "== CI green (plain + tsan, SATM_FAST_TESTS=$SATM_FAST_TESTS)"

@@ -1,0 +1,146 @@
+//===- check/Explorer.h - Systematic interleaving explorer -----*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SchedExplorer: runs a check::Program against the real STM runtime
+/// under a cooperative scheduler that owns every scheduling decision, and
+/// enumerates schedules systematically — depth-first with a preemption
+/// bound (CHESS-style), optionally followed by seeded random walks beyond
+/// the bound. Each execution's outcome (final heap state plus every value
+/// the program observed, normalized) is checked against the Oracle's
+/// serializability set; a mismatch is a strong-atomicity violation and is
+/// reported with a vector-clock-stamped trace and a replay token that
+/// deterministically reproduces the identical execution.
+///
+/// The scheduler reaches inside the runtime through Config::Yield (the
+/// schedYield points in Txn/LazyTxn/Barriers), so commit-time write-back
+/// windows, undo rollback windows, and barrier spins are all genuine
+/// scheduling points — the anomalies of Figure 6 are found by search, not
+/// staged by hand-placed gates as in stm/Litmus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_CHECK_EXPLORER_H
+#define SATM_CHECK_EXPLORER_H
+
+#include "check/Oracle.h"
+#include "check/Program.h"
+#include "stm/Config.h"
+#include "stm/Litmus.h"
+
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace check {
+
+struct ExploreOptions {
+  /// Maximum number of *preemptions* per schedule in the exhaustive phase:
+  /// scheduling decisions that switch away from a thread that could have
+  /// continued. Forced switches (the running thread blocked or finished)
+  /// are free. Bound 2 suffices for every reachable Figure 6 cell; see
+  /// DESIGN.md ("Schedule exploration") for why it is the default.
+  uint32_t PreemptionBound = 2;
+
+  /// Cap on exhaustively enumerated schedules (safety valve; Exhausted is
+  /// false if the cap is hit).
+  uint64_t MaxSchedules = 200000;
+
+  /// Seeded random walks with unbounded preemptions, run after (or instead
+  /// of) the exhaustive phase.
+  uint64_t RandomWalks = 0;
+  uint64_t Seed = 1;
+
+  /// Stop at the first violation instead of collecting all of them.
+  bool StopAtFirstViolation = true;
+
+  /// Scheduling grants per execution before the run is declared livelocked
+  /// and the scheduler switches to the strict-priority rescue policy that
+  /// provably drains mutual abort-and-retry cycles (see Explorer.cpp). Far
+  /// above anything the Figure 6 programs need; lower it when exploring
+  /// programs with several mutually conflicting transactions.
+  uint32_t MaxGrantsPerRun = 10000;
+};
+
+/// One event of an execution trace. Events are totally ordered (the
+/// cooperative scheduler runs one thread at a time); VC additionally stamps
+/// each event with the per-thread event counts at the time it happened, so
+/// cross-thread ordering is explicit in violation reports.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    TxnBegin,  ///< A region body (re)starts executing.
+    TxnCommit, ///< A region completed.
+    Read,      ///< Value = the (normalized) value read.
+    Write,     ///< Value = the (normalized) value written.
+    AbortOnce, ///< The forced-abort step fired.
+    Yield,     ///< A runtime-internal yield point; Point says which.
+  };
+  Kind K = Kind::Read;
+  uint8_t Thread = 0;
+  stm::YieldPoint Point = stm::YieldPoint::TxnContention; ///< Yield only.
+  int16_t Obj = -1; ///< Object index, -1 when not applicable.
+  uint16_t Slot = 0;
+  Word Value = 0;
+  std::vector<uint32_t> VC; ///< Per-thread event counts, this event included.
+
+  bool operator==(const TraceEvent &E) const = default;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+std::string formatEvent(const Program &P, const TraceEvent &E);
+std::string formatTrace(const Program &P, const Trace &T);
+
+/// A discovered strong-atomicity violation.
+struct Violation {
+  std::string Token; ///< Replay token reproducing this exact execution.
+  Trace Events;
+  Outcome Observed;
+  std::string Detail; ///< Oracle explanation (observed vs legal outcomes).
+};
+
+struct ExploreResult {
+  uint64_t Schedules = 0;       ///< Executions run in the exhaustive phase.
+  uint64_t RandomSchedules = 0; ///< Executions run as random walks.
+  uint64_t Serializations = 0;  ///< Oracle reference interleavings.
+  uint64_t LegalOutcomes = 0;   ///< Distinct serializable outcomes.
+  /// True iff the bounded schedule space was fully enumerated for every
+  /// config variant (never true if a violation stopped the search early or
+  /// MaxSchedules was hit).
+  bool Exhausted = false;
+  std::vector<Violation> Violations;
+
+  bool found() const { return !Violations.empty(); }
+};
+
+/// Explores \p P under regime \p R. Spawns |threads| worker threads per
+/// config variant; single-threaded otherwise (the scheduler and at most one
+/// worker run at any instant).
+ExploreResult explore(const Program &P, stm::litmus::Regime R,
+                      const ExploreOptions &Opts = {});
+
+/// Re-runs the execution \p Token describes (as produced in
+/// Violation::Token) and returns its trace. The token pins the config
+/// variant and the full schedule, so the trace is deterministic. On a
+/// malformed or mismatched token returns an empty trace and, if \p Error is
+/// non-null, stores a description.
+Trace replay(const Program &P, stm::litmus::Regime R, const std::string &Token,
+             std::string *Error = nullptr);
+
+/// Token introspection, exposed for tests.
+struct ScheduleToken {
+  stm::litmus::Regime R = stm::litmus::Regime::Eager;
+  size_t Variant = 0;
+  std::vector<uint8_t> Choices; ///< Thread granted at each decision point.
+};
+
+std::string formatToken(const ScheduleToken &T);
+bool parseToken(const std::string &S, ScheduleToken &Out, std::string *Error);
+
+} // namespace check
+} // namespace satm
+
+#endif // SATM_CHECK_EXPLORER_H

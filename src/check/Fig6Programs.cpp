@@ -1,0 +1,211 @@
+//===- check/Fig6Programs.cpp - Figure 6 anomalies as programs ------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each program mirrors the corresponding stm/Litmus shape. Where a litmus
+// body branches on a transactional read (the Figure 3 retry arms), the
+// program reads into a register and guards the dependent steps on it, so a
+// re-executed region re-reads shared state exactly like the litmus lambda
+// does. The serializability oracle then makes the anomaly check generic:
+// no per-program "anomalous outcome" predicate is needed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Fig6Programs.h"
+
+#include <stdexcept>
+
+using namespace satm;
+using namespace satm::check;
+using stm::litmus::Anomaly;
+
+namespace {
+
+ObjectSpec cell(const char *Name, Word Init = 0) {
+  ObjectSpec S;
+  S.Name = Name;
+  S.Slots = 1;
+  if (Init)
+    S.Init = {Init};
+  return S;
+}
+
+ObjectSpec pair(const char *Name) {
+  ObjectSpec S;
+  S.Name = Name;
+  S.Slots = 2;
+  return S;
+}
+
+ObjectSpec refCell(const char *Name, int RefereeObj) {
+  ObjectSpec S;
+  S.Name = Name;
+  S.Slots = 1;
+  S.RefSlots = {0};
+  if (RefereeObj >= 0)
+    S.Init = {refWord(RefereeObj)};
+  return S;
+}
+
+/// Figure 2(a): T0 atomic { r0=x; r1=x }   T1: x=1.   Anomaly: r0 != r1.
+Program progNR() {
+  Program P;
+  P.Name = "NR";
+  P.Objects = {cell("x")};
+  P.Threads = {
+      {txn({readStep(0, 0, 0), readStep(0, 0, 1)})},
+      {nt(writeStep(0, 0, constant(1)))},
+  };
+  return P;
+}
+
+/// Figure 5(b): T0 atomic { x.f=1; r0=y; if (r0==1) r1=x.g }
+///              T1: x.g=1; y=1.   Anomaly: r0==1 && r1==0 (stale granule).
+Program progGIR() {
+  Program P;
+  P.Name = "GIR";
+  P.Objects = {pair("x"), cell("y")};
+  P.RegInit = {0, 7}; // r1 sentinel: distinguishes "not read" from 0.
+  P.Threads = {
+      {txn({writeStep(0, 0, constant(1)), readStep(1, 0, 0),
+            guarded(readStep(0, 1, 1), 0, true, constant(1))})},
+      {nt(writeStep(0, 1, constant(1))), nt(writeStep(1, 0, constant(1)))},
+  };
+  P.Variants = {ConfigVariant{2, false}}; // §2.4 coarse granularity.
+  return P;
+}
+
+/// Figure 2(b): T0 atomic { r0=x; x=r0+1 }   T1: x=10.   Anomaly: x==1.
+Program progILU() {
+  Program P;
+  P.Name = "ILU";
+  P.Objects = {cell("x")};
+  P.Threads = {
+      {txn({readStep(0, 0, 0), writeStep(0, 0, reg(0, 1))})},
+      {nt(writeStep(0, 0, constant(10)))},
+  };
+  return P;
+}
+
+/// Figure 3(a): T0 atomic { r0=y; if (r0==0) x=1; /*abort*/ }
+///              T1: x=2; y=1.   Anomaly: rollback clobbers x=2.
+Program progSLU() {
+  Program P;
+  P.Name = "SLU";
+  P.Objects = {cell("x"), cell("y")};
+  P.Threads = {
+      {txn({readStep(1, 0, 0),
+            guarded(writeStep(0, 0, constant(1)), 0, true, constant(0)),
+            abortOnceStep()})},
+      {nt(writeStep(0, 0, constant(2))), nt(writeStep(1, 0, constant(1)))},
+  };
+  return P;
+}
+
+/// Figure 5(a): T0 atomic { x.f=1; /*abort*/ }   T1: x.g=1.
+/// Anomaly: granule rollback / write-back clobbers x.g.
+Program progGLU() {
+  Program P;
+  P.Name = "GLU";
+  P.Objects = {pair("x")};
+  P.Threads = {
+      {txn({writeStep(0, 0, constant(1)), abortOnceStep()})},
+      {nt(writeStep(0, 1, constant(1)))},
+  };
+  P.Variants = {ConfigVariant{2, false}};
+  return P;
+}
+
+/// Figure 4(a): T0 atomic { el.val=1; x=el }   T1: r0=x; if (r0) r1=r0.val.
+/// Anomaly: r0==&el && r1==0 (write-back order exposes x before el.val).
+Program progMIW() {
+  Program P;
+  P.Name = "MIW";
+  P.Objects = {cell("el"), refCell("x", -1)};
+  P.RegInit = {0, 7};
+  P.Threads = {
+      {txn({writeStep(0, 0, constant(1)), writeStep(1, 0, objRef(0))})},
+      {nt(readStep(1, 0, 0)), nt(readIndStep(0, 0, 1))},
+  };
+  // §2.3 allows write-back "in no particular order": both orders are legal
+  // implementations, so both are explored.
+  P.Variants = {ConfigVariant{1, false}, ConfigVariant{1, true}};
+  return P;
+}
+
+/// Figure 2(c): T0 atomic { r0=x; x=r0+1; r1=x; x=r1+1 }   T1: r2=x.
+/// Anomaly: r2 == 1 (odd intermediate value).
+Program progIDR() {
+  Program P;
+  P.Name = "IDR";
+  P.Objects = {cell("x")};
+  P.Threads = {
+      {txn({readStep(0, 0, 0), writeStep(0, 0, reg(0, 1)),
+            readStep(0, 0, 1), writeStep(0, 0, reg(1, 1))})},
+      {nt(readStep(0, 0, 2))},
+  };
+  return P;
+}
+
+/// Figure 3(b): T0 atomic { r0=y; if (r0==0) x=1; /*abort*/ }
+///              T1: r1=x; if (r1==1) y=1.   Anomaly: x==0 && y==1.
+Program progSDR() {
+  Program P;
+  P.Name = "SDR";
+  P.Objects = {cell("x"), cell("y")};
+  P.Threads = {
+      {txn({readStep(1, 0, 0),
+            guarded(writeStep(0, 0, constant(1)), 0, true, constant(0)),
+            abortOnceStep()})},
+      {nt(readStep(0, 0, 1)),
+       nt(guarded(writeStep(1, 0, constant(1)), 1, true, constant(1)))},
+  };
+  return P;
+}
+
+/// Figure 4(b) / Figure 1 privatization:
+///   T0 atomic { r0=x; if (r0) { r1=r0.val; r0.val=r1+1 } }
+///   T1 atomic { r2=x; x=null }; r3=r2.val; r4=r2.val.
+/// Anomaly: r3 != r4 (a delayed write-back or zombie write mutates the
+/// privatized object between the two post-transactional reads).
+Program progMIR() {
+  Program P;
+  P.Name = "MIR";
+  P.Objects = {cell("item", 1), refCell("x", 0)};
+  P.RegInit = {0, 0, 0, 7, 7};
+  P.Threads = {
+      {txn({readStep(1, 0, 0), readIndStep(0, 0, 1),
+            writeIndStep(0, 0, reg(1, 1))})},
+      {txn({readStep(1, 0, 2), writeStep(1, 0, constant(0))}),
+       nt(readIndStep(2, 0, 3)), nt(readIndStep(2, 0, 4))},
+  };
+  return P;
+}
+
+} // namespace
+
+Program satm::check::fig6Program(Anomaly A) {
+  switch (A) {
+  case Anomaly::NR:
+    return progNR();
+  case Anomaly::GIR:
+    return progGIR();
+  case Anomaly::ILU:
+    return progILU();
+  case Anomaly::SLU:
+    return progSLU();
+  case Anomaly::GLU:
+    return progGLU();
+  case Anomaly::MIW:
+    return progMIW();
+  case Anomaly::IDR:
+    return progIDR();
+  case Anomaly::SDR:
+    return progSDR();
+  case Anomaly::MIR:
+    return progMIR();
+  }
+  throw std::invalid_argument("unknown anomaly");
+}

@@ -1,0 +1,35 @@
+//===- check/Fig6Programs.h - Figure 6 anomalies as programs ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nine anomaly programs of the paper's Figure 6 matrix, expressed as
+/// check::Programs for the SchedExplorer. Unlike the stm/Litmus versions,
+/// these carry no rendezvous gates and no schedule hooks: the anomalous
+/// interleaving — when the regime admits one — is *found* by schedule
+/// enumeration, and its absence is established by exhausting the bounded
+/// schedule space. tests/check/ExplorerTest.cpp re-derives the full matrix
+/// this way and asserts it equal to litmus::paperExpects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_CHECK_FIG6PROGRAMS_H
+#define SATM_CHECK_FIG6PROGRAMS_H
+
+#include "check/Program.h"
+#include "stm/Litmus.h"
+
+namespace satm {
+namespace check {
+
+/// The explorer program for anomaly \p A, including the config variants it
+/// must be explored under (granularity 2 for the granular anomalies, the
+/// reverse write-back order as an extra variant for overlapped writes).
+Program fig6Program(stm::litmus::Anomaly A);
+
+} // namespace check
+} // namespace satm
+
+#endif // SATM_CHECK_FIG6PROGRAMS_H

@@ -1,0 +1,163 @@
+//===- check/Oracle.cpp - Serializability reference oracle ----------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace satm;
+using namespace satm::check;
+
+namespace {
+
+/// The sequential executor's mutable state.
+struct RefState {
+  std::vector<std::vector<Word>> Mem;  ///< Per object, per slot.
+  std::vector<std::vector<Word>> Regs; ///< Per thread, per register.
+  std::vector<size_t> NextUnit;        ///< Per thread, next segment index.
+};
+
+Word refOf(int Obj) { return refWord(Obj); }
+
+/// Resolves a step's target object index, or -1 if the step targets a
+/// register that does not hold a valid reference (the step is a no-op).
+int targetObject(const Step &S, const std::vector<Word> &Regs,
+                 size_t ObjectCount) {
+  if (S.Obj >= 0)
+    return S.Obj;
+  Word W = Regs[S.ObjReg];
+  if (!isRefWord(W, ObjectCount))
+    return -1;
+  return static_cast<int>(W - RefBase);
+}
+
+void execStep(const Program &P, RefState &St, int Thread, const Step &S) {
+  std::vector<Word> &Regs = St.Regs[Thread];
+  if (!guardPasses(S.G, Regs, refOf))
+    return;
+  if (S.Kind == Step::Op::AbortOnce)
+    return; // Aborted attempts are unobservable in the reference semantics.
+  int Obj = targetObject(S, Regs, P.Objects.size());
+  if (Obj < 0 || S.Slot >= P.Objects[Obj].Slots)
+    return;
+  if (S.Kind == Step::Op::Read)
+    Regs[S.Dst] = St.Mem[Obj][S.Slot];
+  else
+    St.Mem[Obj][S.Slot] = evalOperand(S.Src, Regs, refOf);
+}
+
+void execSegment(const Program &P, RefState &St, int Thread,
+                 const Segment &Seg) {
+  for (const Step &S : Seg.Steps)
+    execStep(P, St, Thread, S);
+}
+
+Outcome toOutcome(const RefState &St) {
+  Outcome O;
+  for (const auto &Slots : St.Mem)
+    O.Mem.insert(O.Mem.end(), Slots.begin(), Slots.end());
+  for (const auto &Regs : St.Regs)
+    O.Regs.insert(O.Regs.end(), Regs.begin(), Regs.end());
+  return O;
+}
+
+/// DFS over every interleaving of the threads' remaining units.
+void enumerate(const Program &P, RefState &St, std::set<Outcome> &Out,
+               uint64_t &Serializations) {
+  bool AnyLeft = false;
+  for (size_t T = 0; T < P.Threads.size(); ++T) {
+    if (St.NextUnit[T] >= P.Threads[T].size())
+      continue;
+    AnyLeft = true;
+    RefState Next = St;
+    execSegment(P, Next, static_cast<int>(T),
+                P.Threads[T][Next.NextUnit[T]]);
+    Next.NextUnit[T]++;
+    enumerate(P, Next, Out, Serializations);
+  }
+  if (!AnyLeft) {
+    Serializations++;
+    Out.insert(toOutcome(St));
+  }
+}
+
+} // namespace
+
+Oracle::Oracle(const Program &P) : Prog(P) {
+  RefState St;
+  St.Mem.resize(P.Objects.size());
+  for (size_t I = 0; I < P.Objects.size(); ++I) {
+    St.Mem[I].assign(P.Objects[I].Slots, 0);
+    for (size_t S = 0; S < P.Objects[I].Init.size(); ++S)
+      St.Mem[I][S] = P.Objects[I].Init[S];
+  }
+  St.Regs.resize(P.Threads.size());
+  for (auto &Regs : St.Regs) {
+    Regs.assign(P.RegCount, 0);
+    for (size_t R = 0; R < P.RegInit.size() && R < Regs.size(); ++R)
+      Regs[R] = P.RegInit[R];
+  }
+  St.NextUnit.assign(P.Threads.size(), 0);
+
+  std::set<Outcome> Out;
+  enumerate(P, St, Out, Serializations);
+  Legal.assign(Out.begin(), Out.end());
+}
+
+bool Oracle::isLegal(const Outcome &O) const {
+  return std::binary_search(Legal.begin(), Legal.end(), O);
+}
+
+std::string Oracle::format(const Outcome &O) const {
+  std::ostringstream OS;
+  size_t MemIdx = 0;
+  for (const ObjectSpec &Spec : Prog.Objects) {
+    for (uint32_t S = 0; S < Spec.Slots; ++S, ++MemIdx) {
+      if (MemIdx)
+        OS << ' ';
+      Word V = O.Mem[MemIdx];
+      OS << Spec.Name << '.' << S << '=';
+      if (isRefWord(V, Prog.Objects.size()))
+        OS << '&' << Prog.Objects[V - RefBase].Name;
+      else
+        OS << V;
+    }
+  }
+  size_t RegIdx = 0;
+  for (size_t T = 0; T < Prog.Threads.size(); ++T) {
+    for (uint32_t R = 0; R < Prog.RegCount; ++R, ++RegIdx) {
+      Word V = O.Regs[RegIdx];
+      Word Init = R < Prog.RegInit.size() ? Prog.RegInit[R] : 0;
+      if (V == Init)
+        continue; // Only print registers that moved; keeps lines readable.
+      OS << " t" << T << ".r" << R << '=';
+      if (isRefWord(V, Prog.Objects.size()))
+        OS << '&' << Prog.Objects[V - RefBase].Name;
+      else
+        OS << V;
+    }
+  }
+  return OS.str();
+}
+
+std::string Oracle::explain(const Outcome &Observed) const {
+  std::ostringstream OS;
+  OS << "observed outcome is not serializable:\n  observed: "
+     << format(Observed) << "\n  " << Legal.size() << " legal outcome(s) ("
+     << Serializations << " serializations):\n";
+  size_t Shown = 0;
+  for (const Outcome &O : Legal) {
+    if (Shown++ == 8) {
+      OS << "    ... (" << (Legal.size() - 8) << " more)\n";
+      break;
+    }
+    OS << "    " << format(O) << '\n';
+  }
+  return OS.str();
+}

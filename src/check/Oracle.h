@@ -1,0 +1,82 @@
+//===- check/Oracle.h - Serializability reference oracle -------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strong-atomicity reference semantics for explorer programs: a
+/// brute-force sequential executor that enumerates every interleaving of
+/// the program's scheduling units (whole atomic regions and individual
+/// non-transactional steps, each executed indivisibly and in program
+/// order), collecting the set of legal *outcomes* — final heap state plus
+/// final per-thread registers. Because every read deposits its value in a
+/// register that the outcome retains, a legal outcome certifies both the
+/// final state and every intermediate observation.
+///
+/// An execution of the real runtime is serializable (strongly atomic) iff
+/// its normalized outcome is a member of this set. AbortOnce steps are
+/// no-ops here: in the reference semantics a region that aborts simply
+/// re-executes and commits, contributing nothing observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_CHECK_ORACLE_H
+#define SATM_CHECK_ORACLE_H
+
+#include "check/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace check {
+
+/// One observable result of a program: every object slot (in object/slot
+/// order) followed by every thread's registers (in thread/register order).
+/// References appear as refWord() values.
+struct Outcome {
+  std::vector<Word> Mem;
+  std::vector<Word> Regs;
+
+  bool operator==(const Outcome &O) const = default;
+  bool operator<(const Outcome &O) const {
+    if (Mem != O.Mem)
+      return Mem < O.Mem;
+    return Regs < O.Regs;
+  }
+};
+
+/// Enumerates the legal outcomes of a program once; answers membership
+/// queries for observed executions.
+class Oracle {
+public:
+  explicit Oracle(const Program &P);
+
+  bool isLegal(const Outcome &O) const;
+
+  /// All legal outcomes, sorted and deduplicated.
+  const std::vector<Outcome> &outcomes() const { return Legal; }
+
+  /// Number of distinct unit interleavings enumerated (the reference
+  /// state-space size, before outcome deduplication).
+  uint64_t serializationCount() const { return Serializations; }
+
+  /// Renders \p Observed with the program's object/slot and register
+  /// labels, followed by the legal-outcome set (capped), for violation
+  /// reports.
+  std::string explain(const Outcome &Observed) const;
+
+  /// Renders one outcome on a single line.
+  std::string format(const Outcome &O) const;
+
+private:
+  const Program &Prog;
+  std::vector<Outcome> Legal;
+  uint64_t Serializations = 0;
+};
+
+} // namespace check
+} // namespace satm
+
+#endif // SATM_CHECK_ORACLE_H

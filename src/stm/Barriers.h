@@ -69,6 +69,7 @@ inline Word ntRead(const rt::Object *O, uint32_t Slot) {
       return V;
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    schedYield(YieldPoint::NtReadBarrier, &Rec, W);
     B.pause();
   }
 }
@@ -89,6 +90,7 @@ inline Word ntReadOrdering(const rt::Object *O, uint32_t Slot) {
       return O->rawLoad(Slot, std::memory_order_acquire);
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    schedYield(YieldPoint::NtReadBarrier, &Rec, W);
     B.pause();
   }
 }
@@ -116,8 +118,8 @@ inline void ntWriteImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef) {
   Backoff B;
   bool Reported = false;
   while (!TxRecord::acquireAnon(Rec)) {
+    Word W = Rec.load(std::memory_order_acquire);
     if (Cfg.RaceReport && !Reported) {
-      Word W = Rec.load(std::memory_order_acquire);
       if (TxRecord::isOwned(W)) {
         Cfg.RaceReport({O, Slot, true, TxRecord::isExclusive(W)});
         Reported = true;
@@ -125,6 +127,7 @@ inline void ntWriteImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef) {
     }
     if (Cfg.CollectStats)
       statsForThisThread().NtWriteConflicts++;
+    schedYield(YieldPoint::NtWriteBarrier, &Rec, W);
     B.pause();
   }
   if (IsRef && V != 0 && Cfg.DeaEnabled)

@@ -32,6 +32,40 @@ namespace stm {
 class Txn;
 class LazyTxn;
 
+/// Identifies a cooperative-scheduling yield point inside the STM runtime.
+/// The src/check SchedExplorer interposes on these to own every scheduling
+/// decision of a multi-threaded test program; see DESIGN.md ("Schedule
+/// exploration").
+enum class YieldPoint : uint8_t {
+  /// Eager txn (or lazy read): spinning on a record owned by someone else.
+  /// The record pointer and the observed word are passed so a scheduler can
+  /// park the thread until the record changes.
+  TxnContention,
+  /// Eager txn: abort decided, undo log not yet rolled back. This is the
+  /// eager analog of the lazy write-back window: memory still holds
+  /// speculative values that are about to be overwritten.
+  TxnRollback,
+  /// Non-transactional read barrier spinning on a conflict.
+  NtReadBarrier,
+  /// Non-transactional write barrier spinning on a conflict.
+  NtWriteBarrier,
+  /// Lazy txn: commit point passed (validation done), no buffered update
+  /// written back yet — the §2.3 memory-inconsistency window.
+  LazyCommitPoint,
+  /// Lazy txn: before each individual buffered granule is written back.
+  LazyWritebackEntry,
+  /// Lazy txn: commit-time lock acquisition spinning on a conflict.
+  LazyCommitAcquire,
+};
+
+/// Cooperative-scheduler yield callback. \p Rec (nullable) is the record
+/// the yielding thread is blocked on, with \p Observed the record word it
+/// saw; a null \p Rec means the thread is merely offering a preemption
+/// opportunity and stays runnable. Null in production: each yield point
+/// costs one pointer test when disabled, the same cost model as TxnHooks.
+using SchedYieldFn = void (*)(YieldPoint, const std::atomic<Word> *Rec,
+                              Word Observed);
+
 /// Schedule-control callbacks used by the Figure 6 anomaly litmus tests to
 /// make inherently racy interleavings deterministic. All hooks default to
 /// null and cost one pointer test when disabled.
@@ -121,6 +155,10 @@ struct Config {
   /// Schedule hooks for litmus tests; null in production.
   TxnHooks *Hooks = nullptr;
 
+  /// Cooperative-scheduler yield hook (src/check SchedExplorer); null in
+  /// production.
+  SchedYieldFn Yield = nullptr;
+
   /// Event-counter collection in the isolation barriers. On by default;
   /// the Figure 15-17 harnesses switch it off while timing so the DEA
   /// fast path costs what the paper's two-instruction sequence costs.
@@ -146,6 +184,14 @@ inline Config GlobalConfig;
 /// The process-global configuration block. Inline so barrier fast paths
 /// read the flags without a function call.
 inline Config &config() { return detail::GlobalConfig; }
+
+/// Yields to the cooperative scheduler, if one is installed. One pointer
+/// test when disabled.
+inline void schedYield(YieldPoint P, const std::atomic<Word> *Rec = nullptr,
+                       Word Observed = 0) {
+  if (SchedYieldFn F = config().Yield)
+    F(P, Rec, Observed);
+}
 
 /// RAII helper for tests: applies a configuration and restores the previous
 /// one on scope exit.

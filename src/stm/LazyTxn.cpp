@@ -71,6 +71,7 @@ LazyTxn::BufferEntry &LazyTxn::findOrCreateEntry(Object *O, uint32_t Slot) {
         }
         continue;
       }
+      schedYield(YieldPoint::TxnContention, &Rec, W);
       B.pause();
     }
   } else {
@@ -110,6 +111,7 @@ Word LazyTxn::read(Object *O, uint32_t Slot) {
     }
     // Exclusive (a committer writing back) or Exclusive-anonymous (a
     // non-transactional writer): wait, then abort self past the limit.
+    schedYield(YieldPoint::TxnContention, &Rec, W);
     if (++Pauses > config().ConflictPauseLimit)
       abortRestart();
     B.pause();
@@ -154,6 +156,7 @@ bool LazyTxn::tryCommit() {
         W = Observed;
         continue;
       }
+      schedYield(YieldPoint::LazyCommitAcquire, &Rec, W);
       if (++Pauses > config().ConflictPauseLimit) {
         ReleaseAll(); // Deadlock avoidance among committers.
         rollback();
@@ -183,6 +186,7 @@ bool LazyTxn::tryCommit() {
   if (TxnHooks *H = config().Hooks)
     if (H->BeforeWriteback)
       H->BeforeWriteback(*this);
+  schedYield(YieldPoint::LazyCommitPoint);
 
   // Phase 3: write back "one at a time in no particular order" (§2.3) —
   // buffer insertion order, or reverse when configured (Figure 4(a)).
@@ -195,6 +199,7 @@ bool LazyTxn::tryCommit() {
     std::reverse(Order.begin(), Order.end());
   for (const BufferEntry *EP : Order) {
     const BufferEntry &E = *EP;
+    schedYield(YieldPoint::LazyWritebackEntry);
     if (TxnHooks *H = config().Hooks)
       if (H->BeforeWritebackEntry)
         H->BeforeWritebackEntry(*this, E.Obj, E.Base);

@@ -70,7 +70,7 @@ Word Txn::read(Object *O, uint32_t Slot) {
     }
     // Owned by another transaction or by a non-transactional writer
     // (Exclusive-anonymous): back off; abort self past the limit.
-    contentionPause(B, Pauses, W);
+    contentionPause(B, Pauses, &Rec, W);
     W = Rec.load(std::memory_order_acquire);
   }
 }
@@ -112,7 +112,7 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
     if (TxRecord::isExclusive(W)) {
       if (TxRecord::owner(W) == this)
         return;
-      contentionPause(B, Pauses, W);
+      contentionPause(B, Pauses, &Rec, W);
       continue;
     }
     if (TxRecord::isShared(W)) {
@@ -126,7 +126,7 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
       continue; // Lost the race; re-examine the record.
     }
     // Exclusive-anonymous: a non-transactional writer is mid-update.
-    contentionPause(B, Pauses, W);
+    contentionPause(B, Pauses, &Rec, W);
   }
 }
 
@@ -204,6 +204,10 @@ bool Txn::tryCommit() {
 }
 
 void Txn::rollbackAll() {
+  // The eager write-rollback window: an abort is decided but memory still
+  // holds this transaction's speculative stores. Explorable like the lazy
+  // write-back window.
+  schedYield(YieldPoint::TxnRollback);
   if (TxnHooks *H = config().Hooks)
     if (H->BeforeRollback)
       H->BeforeRollback(*this);
@@ -347,7 +351,8 @@ void Txn::conflictAbort() {
 }
 
 void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
-                          Word ObservedRecord) {
+                          const std::atomic<Word> *Rec, Word ObservedRecord) {
+  schedYield(YieldPoint::TxnContention, Rec, ObservedRecord);
   const Config &Cfg = config();
   uint64_t Limit = Cfg.ConflictPauseLimit;
   switch (Cfg.Contention) {

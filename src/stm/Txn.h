@@ -260,7 +260,8 @@ private:
   bool validateReadSet();
   void maybePeriodicValidate();
   [[noreturn]] void conflictAbort();
-  void contentionPause(Backoff &B, uint32_t &Pauses, Word ObservedRecord);
+  void contentionPause(Backoff &B, uint32_t &Pauses,
+                       const std::atomic<Word> *Rec, Word ObservedRecord);
   void rollbackUndoRange(size_t Begin, size_t End);
   void releaseLockRange(size_t Begin, size_t End);
   static void waitForChange(const std::vector<ReadEntry> &Snapshot);

@@ -1,0 +1,118 @@
+//===- tests/check/ExplorerStressTest.cpp - Randomized exploration -------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential stress test: a seeded generator produces small random
+// multi-threaded programs (transactional and plain threads mixed over two
+// shared cells), and each is explored under Strong, Eager, and Lazy.
+//
+//   - Strong must never produce a non-serializable execution on any of
+//     them; every violation here is a real strong-atomicity bug.
+//   - Eager and Lazy are *weak* regimes: across the whole batch each must
+//     flag at least one program, or the explorer has lost its teeth (a
+//     regression in the oracle, the yield instrumentation, or the search
+//     would typically show up exactly as "no violations anywhere").
+//
+// SATM_FAST_TESTS=1 shrinks the batch for CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Explorer.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace satm;
+using namespace satm::check;
+using stm::litmus::Regime;
+
+namespace {
+
+bool fastMode() {
+  const char *Env = std::getenv("SATM_FAST_TESTS");
+  return Env && *Env && *Env != '0';
+}
+
+/// A random program over two scalar cells: 2-3 threads, each either one
+/// atomic region or a run of plain steps, 1-4 steps per thread. Reads land
+/// in distinct registers so the outcome retains every observation.
+Program randomProgram(uint64_t Seed) {
+  Rng R(Seed);
+  Program P;
+  P.Name = "rand" + std::to_string(Seed);
+  P.Objects.resize(2);
+  P.Objects[0].Name = "x";
+  P.Objects[1].Name = "y";
+
+  unsigned Threads = 2 + R.nextBelow(2);
+  for (unsigned T = 0; T < Threads; ++T) {
+    bool IsTxn = R.nextBelow(2) == 0;
+    unsigned NumSteps = 1 + R.nextBelow(4);
+    int NextReg = 0;
+    std::vector<Step> Steps;
+    for (unsigned I = 0; I < NumSteps; ++I) {
+      int Obj = static_cast<int>(R.nextBelow(2));
+      if (R.nextBelow(2) == 0 && NextReg < 6) {
+        Steps.push_back(readStep(Obj, 0, NextReg++));
+      } else {
+        Operand Src = NextReg > 0 && R.nextBelow(2) == 0
+                          ? reg(static_cast<int>(R.nextBelow(NextReg)),
+                                R.nextBelow(2))
+                          : constant(1 + R.nextBelow(3));
+        Steps.push_back(writeStep(Obj, 0, Src));
+      }
+    }
+    if (IsTxn) {
+      // Occasionally force one abort-and-reexecute of the region.
+      if (R.nextBelow(4) == 0)
+        Steps.insert(Steps.begin() + R.nextBelow(Steps.size() + 1),
+                     abortOnceStep());
+      P.Threads.push_back({txn(std::move(Steps))});
+    } else {
+      std::vector<Segment> Segs;
+      for (Step &S : Steps)
+        Segs.push_back(nt(S));
+      P.Threads.push_back(std::move(Segs));
+    }
+  }
+  return P;
+}
+
+TEST(ExplorerStress, RandomProgramBatch) {
+  const unsigned Count = fastMode() ? 40 : 200;
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  Opts.MaxSchedules = 300;
+  // Random transaction pairs can conflict mutually; declare livelock early
+  // so the rescue policy kicks in cheaply (a terminating batch program
+  // needs well under 400 grants).
+  Opts.MaxGrantsPerRun = 400;
+
+  unsigned EagerFlagged = 0, LazyFlagged = 0;
+  for (unsigned I = 0; I < Count; ++I) {
+    Program P = randomProgram(1000 + I);
+
+    ExploreResult Strong = explore(P, Regime::Strong, Opts);
+    EXPECT_FALSE(Strong.found())
+        << P.Name << " violates strong atomicity:\n"
+        << Strong.Violations[0].Detail
+        << formatTrace(P, Strong.Violations[0].Events)
+        << "replay: " << Strong.Violations[0].Token;
+
+    if (explore(P, Regime::Eager, Opts).found())
+      ++EagerFlagged;
+    if (explore(P, Regime::Lazy, Opts).found())
+      ++LazyFlagged;
+  }
+
+  // The weak regimes must be caught red-handed somewhere in the batch.
+  EXPECT_GT(EagerFlagged, 0u) << "eager STM flagged on no random program";
+  EXPECT_GT(LazyFlagged, 0u) << "lazy STM flagged on no random program";
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- tests/check/ExplorerTest.cpp - Figure 6 by exploration ------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Re-derives the paper's Figure 6 matrix by schedule exploration instead of
+// staged litmus schedules: for every anomaly/regime cell, the SchedExplorer
+// either *finds* a non-serializable execution (cells the paper marks "yes")
+// or exhausts the preemption-bounded schedule space without one (cells
+// marked "no"). The two derivations — hand-staged (stm/Litmus) and searched
+// (this file) — must agree with the paper and hence with each other.
+//
+// Also covers the replay machinery: a violation's schedule token must
+// round-trip through parse/format and must reproduce the identical trace,
+// event for event, when fed back through replay().
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Explorer.h"
+#include "check/Fig6Programs.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace satm::check;
+using namespace satm::stm::litmus;
+
+namespace {
+
+struct Cell {
+  Anomaly A;
+  Regime R;
+};
+
+class ExplorerMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ExplorerMatrix, MatchesPaperFigure6) {
+  Cell C = GetParam();
+  Program P = fig6Program(C.A);
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  ExploreResult Res = explore(P, C.R, Opts);
+  bool Expected = paperExpects(C.A, C.R);
+  EXPECT_EQ(Res.found(), Expected)
+      << anomalyDescription(C.A) << " under " << regimeName(C.R)
+      << ": paper says " << (Expected ? "yes" : "no")
+      << (Res.found() ? "\n" + Res.Violations[0].Detail +
+                            formatTrace(P, Res.Violations[0].Events)
+                      : std::string());
+  if (!Expected) {
+    // A clean cell is only evidence if the bounded space was fully searched.
+    EXPECT_TRUE(Res.Exhausted) << "bounded search did not complete";
+  }
+  if (Res.found()) {
+    // Every violation must carry a trace and an oracle explanation.
+    EXPECT_FALSE(Res.Violations[0].Events.empty());
+    EXPECT_FALSE(Res.Violations[0].Token.empty());
+    EXPECT_FALSE(Res.Violations[0].Detail.empty());
+  }
+}
+
+std::vector<Cell> allCells() {
+  std::vector<Cell> Cells;
+  for (Anomaly A : AllAnomalies)
+    for (Regime R : AllRegimesExtended)
+      Cells.push_back({A, R});
+  return Cells;
+}
+
+std::string cellName(const ::testing::TestParamInfo<Cell> &Info) {
+  std::string Name = anomalyName(Info.param.A);
+  if (Info.param.A == Anomaly::MIW)
+    Name = "MIoverlapped";
+  if (Info.param.A == Anomaly::MIR)
+    Name = "MIbuffered";
+  std::string R = regimeName(Info.param.R);
+  for (char &Ch : R)
+    if (Ch == '+')
+      Ch = '_';
+  return Name + "_" + R;
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure6, ExplorerMatrix, ::testing::ValuesIn(allCells()),
+                         cellName);
+
+TEST(Explorer, StrongColumnExhaustsClean) {
+  // The paper's thesis, searched: under strong atomicity the *entire*
+  // bounded schedule space of every anomaly program is serializable.
+  for (Anomaly A : AllAnomalies) {
+    Program P = fig6Program(A);
+    ExploreResult Res = explore(P, Regime::Strong);
+    EXPECT_FALSE(Res.found()) << anomalyDescription(A);
+    EXPECT_TRUE(Res.Exhausted) << anomalyDescription(A);
+    EXPECT_GT(Res.Schedules, 0u);
+  }
+}
+
+TEST(Explorer, ReplayReproducesViolationTrace) {
+  // A violation's token, fed back through the replay API, must reproduce
+  // the identical execution: same events, same values, same vector clocks.
+  Program P = fig6Program(Anomaly::SLU);
+  ExploreResult Res = explore(P, Regime::Eager);
+  ASSERT_TRUE(Res.found());
+  const Violation &V = Res.Violations[0];
+
+  std::string Error;
+  Trace Replayed = replay(P, Regime::Eager, V.Token, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_FALSE(Replayed.empty());
+  EXPECT_EQ(Replayed, V.Events) << "replayed:\n"
+                                << formatTrace(P, Replayed) << "original:\n"
+                                << formatTrace(P, V.Events);
+
+  // Replay is deterministic: a second run yields the same trace again.
+  Trace Again = replay(P, Regime::Eager, V.Token, &Error);
+  EXPECT_EQ(Again, Replayed);
+}
+
+TEST(Explorer, ReplayRoundTripsForEveryReachableCell) {
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  for (Anomaly A : AllAnomalies) {
+    Program P = fig6Program(A);
+    for (Regime R : AllRegimesExtended) {
+      if (!paperExpects(A, R))
+        continue;
+      ExploreResult Res = explore(P, R, Opts);
+      ASSERT_TRUE(Res.found()) << anomalyName(A) << "/" << regimeName(R);
+      std::string Error;
+      Trace T = replay(P, R, Res.Violations[0].Token, &Error);
+      EXPECT_TRUE(Error.empty()) << Error;
+      EXPECT_EQ(T, Res.Violations[0].Events)
+          << anomalyName(A) << "/" << regimeName(R);
+    }
+  }
+}
+
+TEST(Explorer, TokenRoundTrip) {
+  ScheduleToken T;
+  T.R = Regime::LazyOrd;
+  T.Variant = 1;
+  T.Choices = {0, 1, 1, 0, 2};
+  std::string S = formatToken(T);
+  ScheduleToken Back;
+  std::string Error;
+  ASSERT_TRUE(parseToken(S, Back, &Error)) << Error;
+  EXPECT_EQ(Back.R, T.R);
+  EXPECT_EQ(Back.Variant, T.Variant);
+  EXPECT_EQ(Back.Choices, T.Choices);
+  EXPECT_EQ(formatToken(Back), S);
+}
+
+TEST(Explorer, TokenParseErrors) {
+  ScheduleToken T;
+  std::string Error;
+  EXPECT_FALSE(parseToken("", T, &Error));
+  EXPECT_FALSE(parseToken("bogus", T, &Error));
+  EXPECT_FALSE(parseToken("sx1;NoSuchRegime;v0;0,1", T, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseToken("sx1;Eager;vX;0,1", T, &Error));
+  EXPECT_FALSE(parseToken("sx1;Eager;v0;0,x", T, &Error));
+  EXPECT_TRUE(parseToken("sx1;Eager;v0;", T, &Error)) << Error;
+  EXPECT_TRUE(T.Choices.empty());
+}
+
+TEST(Explorer, ReplayRejectsMismatchedToken) {
+  Program P = fig6Program(Anomaly::NR);
+  std::string Error;
+  // Wrong regime for the token.
+  Trace T = replay(P, Regime::Strong, "sx1;Eager;v0;0,1", &Error);
+  EXPECT_TRUE(T.empty());
+  EXPECT_FALSE(Error.empty());
+  // Variant index out of range for this program.
+  Error.clear();
+  T = replay(P, Regime::Eager, "sx1;Eager;v7;0,1", &Error);
+  EXPECT_TRUE(T.empty());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Explorer, RandomWalksFindAnomalyBeyondBound) {
+  // With the exhaustive phase disabled (bound 0 admits no preemptions, and
+  // ILU needs one), seeded random walks alone must still find the lost
+  // update.
+  Program P = fig6Program(Anomaly::ILU);
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 0;
+  Opts.MaxSchedules = 0;
+  Opts.RandomWalks = 200;
+  Opts.Seed = 7;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  EXPECT_TRUE(Res.found());
+  EXPECT_GT(Res.RandomSchedules, 0u);
+}
+
+TEST(Oracle, EnumeratesLegalOutcomesOnly) {
+  Program P = fig6Program(Anomaly::NR);
+  Oracle O(P);
+  // T0 atomic { r0=x; r1=x }  ||  T1 x=1: the region runs entirely before
+  // or entirely after the store, so r0==r1 always, and x==1 finally.
+  ASSERT_EQ(O.outcomes().size(), 2u);
+  EXPECT_EQ(O.serializationCount(), 2u);
+  for (const Outcome &Legal : O.outcomes()) {
+    EXPECT_TRUE(O.isLegal(Legal));
+    EXPECT_EQ(Legal.Mem.size(), 1u);
+    EXPECT_EQ(Legal.Mem[0], 1u);
+    EXPECT_EQ(Legal.Regs[0], Legal.Regs[1]) << "non-repeatable read is legal?";
+  }
+  // The anomalous outcome — r0 != r1 — must not be in the set.
+  Outcome Bad = O.outcomes()[0];
+  Bad.Regs[0] = 0;
+  Bad.Regs[1] = 1;
+  EXPECT_FALSE(O.isLegal(Bad));
+  EXPECT_FALSE(O.explain(Bad).empty());
+}
+
+TEST(Explorer, TraceEventsCarryVectorClocks) {
+  Program P = fig6Program(Anomaly::ILU);
+  ExploreResult Res = explore(P, Regime::Eager);
+  ASSERT_TRUE(Res.found());
+  const Trace &T = Res.Violations[0].Events;
+  ASSERT_FALSE(T.empty());
+  for (const TraceEvent &E : T) {
+    ASSERT_EQ(E.VC.size(), P.Threads.size());
+    // The event itself is counted in its own thread's component.
+    EXPECT_GT(E.VC[E.Thread], 0u);
+  }
+  // Per-thread components are monotone along the (totally ordered) trace.
+  std::vector<uint32_t> Prev(P.Threads.size(), 0);
+  for (const TraceEvent &E : T) {
+    for (size_t I = 0; I < Prev.size(); ++I)
+      EXPECT_GE(E.VC[I], Prev[I]);
+    Prev = E.VC;
+  }
+  EXPECT_FALSE(formatTrace(P, T).empty());
+}
+
+} // namespace

@@ -16,9 +16,19 @@
 
 #include "gtest/gtest.h"
 
+#include <cstdlib>
+#include <string>
+
 using namespace satm::tc;
 
 namespace {
+
+/// SATM_FAST_TESTS=1 scales the iteration-heavy scenarios down for CI; the
+/// full counts remain the default for local soak runs.
+int scaled(int Full, int Fast) {
+  const char *Env = std::getenv("SATM_FAST_TESTS");
+  return Env && *Env && *Env != '0' ? Fast : Full;
+}
 
 std::string runProgram(const std::string &Src, Interp::Options O = {},
                        PassOptions PO = {}) {
@@ -75,20 +85,27 @@ TEST(InterpStress, ContendedTransactionalStack) {
       }
     }
 
-    fn main() {
-      var p1 = spawn pusher(0, 300);
-      var p2 = spawn pusher(1000, 300);
-      var d = spawn drainer(600);
-      join(p1); join(p2); join(d);
-      atomic {
-        if (pushed == drained) { prints("balanced\n"); }
-        else { prints("IMBALANCE\n"); }
-      }
-    }
   )";
+  int N = scaled(300, 60);
+  std::string Main = "fn main() {"
+                     "  var p1 = spawn pusher(0, " +
+                     std::to_string(N) +
+                     ");"
+                     "  var p2 = spawn pusher(1000, " +
+                     std::to_string(N) +
+                     ");"
+                     "  var d = spawn drainer(" +
+                     std::to_string(2 * N) +
+                     ");"
+                     "  join(p1); join(p2); join(d);"
+                     "  atomic {"
+                     "    if (pushed == drained) { prints(\"balanced\\n\"); }"
+                     "    else { prints(\"IMBALANCE\\n\"); }"
+                     "  }"
+                     "}";
   Interp::Options Strong;
   Strong.Dea = true;
-  EXPECT_EQ(runProgram(Src, Strong, fullOpts()), "balanced\n");
+  EXPECT_EQ(runProgram(Src + Main, Strong, fullOpts()), "balanced\n");
 }
 
 TEST(InterpStress, AggregationGroupsExecuteUnderStrong) {
@@ -124,14 +141,15 @@ TEST(InterpStress, AggregationGroupsExecuteUnderStrong) {
 }
 
 TEST(InterpStress, DeepRecursion) {
+  int N = scaled(5000, 1000);
   EXPECT_EQ(runProgram(R"(
     fn depth(int n): int {
       if (n == 0) { return 0; }
       return 1 + depth(n - 1);
     }
-    fn main() { print(depth(5000)); }
-  )"),
-            "5000\n");
+    fn main() { print(depth()" +
+                       std::to_string(N) + ")); }"),
+            std::to_string(N) + "\n");
 }
 
 TEST(InterpStress, RetryBasedBoundedBuffer) {
@@ -236,20 +254,25 @@ TEST(InterpStress, FullPipelineOnConcurrentGraphProgram) {
       }
     }
 
-    fn main() {
-      buildRing(16);
-      var r = spawn rotator(500);
-      var s = spawn summer(500);
-      join(r); join(s);
-      atomic {
-        if (checksum >= 0 && ring != null) { prints("ok\n"); }
-      }
-    }
   )";
+  int N = scaled(500, 100);
+  std::string Main = "fn main() {"
+                     "  buildRing(16);"
+                     "  var r = spawn rotator(" +
+                     std::to_string(N) +
+                     ");"
+                     "  var s = spawn summer(" +
+                     std::to_string(N) +
+                     ");"
+                     "  join(r); join(s);"
+                     "  atomic {"
+                     "    if (checksum >= 0 && ring != null) { prints(\"ok\\n\"); }"
+                     "  }"
+                     "}";
   for (bool Dea : {false, true}) {
     Interp::Options O;
     O.Dea = Dea;
-    EXPECT_EQ(runProgram(Src, O, fullOpts()), "ok\n");
+    EXPECT_EQ(runProgram(Src + Main, O, fullOpts()), "ok\n");
   }
 }
 

@@ -1,0 +1,280 @@
+//===- bench/perf_suite.cpp - Machine-readable performance suite ---------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fixed-seed, fixed-size benchmark suite emitting BENCH_satm.json so the
+// repo's performance trajectory is machine-readable PR over PR:
+//
+//  - readset/*: the descriptor read path. reread_16x64 and unique_1024x1
+//    perform the *same number of reads* per transaction (1024); with the
+//    read-set filter, validation cost tracks unique objects, so the reread
+//    variant must be markedly cheaper per read.
+//  - writeset/*: first-write acquisition (flat index) vs re-writes (undo
+//    dedup) of one slot.
+//  - barrier/*: the Figure 15-17 non-transactional sequences, timed bare
+//    (CollectStats off), plus an aggregated writer scope.
+//  - heap/bump: thread-cache allocation including chunk-refill accounting.
+//  - tsp/oo7/jbb: small fixed configurations of the Figure 18-20 harnesses
+//    under the +DEA strong mode.
+//
+// `--smoke` shrinks every size so the suite (and the JSON emitter) can run
+// under CTest/TSan in seconds; smoke numbers are not comparable baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+#include "stm/Stats.h"
+#include "stm/Txn.h"
+#include "support/Stopwatch.h"
+#include "support/Table.h"
+#include "workloads/Jbb.h"
+#include "workloads/Oo7.h"
+#include "workloads/Tsp.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+using namespace satm::workloads;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor OctoType("Octo", 8, {});
+
+/// One timed execution: how many operations it performed and how long the
+/// operation region (excluding setup) took.
+struct Sample {
+  uint64_t Ops = 0;
+  double Seconds = 0;
+};
+
+struct BenchResult {
+  std::string Name;
+  double NsPerOp = 0;
+  uint64_t Ops = 0; ///< Per timed execution.
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  unsigned MedianOf = 0;
+};
+
+struct Sizes {
+  unsigned Reps;       ///< Timed executions per benchmark (median taken).
+  unsigned Txns;       ///< Transactions per readset/writeset execution.
+  unsigned BarrierOps; ///< Barrier invocations per execution.
+  unsigned Allocs;     ///< heap/bump allocations per execution.
+  unsigned TspCities;
+  unsigned Oo7Traversals;
+  unsigned JbbOps;
+
+  static Sizes full() { return {5, 200, 1u << 18, 1u << 16, 10, 120, 2000}; }
+  static Sizes smoke() { return {3, 4, 1u << 10, 1u << 10, 6, 4, 40}; }
+};
+
+/// Runs \p Body Reps+1 times (first is warm-up), records commit/abort
+/// deltas across the timed runs, and reports the median ns/op.
+template <typename F>
+BenchResult bench(std::string Name, unsigned Reps, F &&Body) {
+  (void)Body(); // Warm-up: faults pages, fills thread caches, JITs nothing.
+  statsReset();
+  std::vector<double> PerOp;
+  uint64_t Ops = 0;
+  for (unsigned R = 0; R < Reps; ++R) {
+    Sample S = Body();
+    Ops = S.Ops;
+    PerOp.push_back(S.Seconds * 1e9 / double(S.Ops));
+  }
+  StatsCounters C = statsSnapshot();
+  std::sort(PerOp.begin(), PerOp.end());
+  BenchResult Res;
+  Res.Name = std::move(Name);
+  Res.NsPerOp = PerOp[PerOp.size() / 2];
+  Res.Ops = Ops;
+  Res.Commits = C.TxnCommits;
+  Res.Aborts = C.TxnAborts;
+  Res.MedianOf = Reps;
+  return Res;
+}
+
+/// Reads 1024 slots per transaction as \p Unique distinct objects re-read
+/// 1024/Unique times round-robin.
+Sample readSetSample(const std::vector<Object *> &Objs, unsigned Txns,
+                     unsigned Unique) {
+  const unsigned Reread = 1024 / Unique;
+  Stopwatch T;
+  for (unsigned I = 0; I < Txns; ++I)
+    atomically([&] {
+      Txn &Tx = Txn::forThisThread();
+      for (unsigned R = 0; R < Reread; ++R)
+        for (unsigned O = 0; O < Unique; ++O)
+          (void)Tx.read(Objs[O], 0);
+    });
+  return {uint64_t(Txns) * 1024, T.seconds()};
+}
+
+void emitJson(const char *Path, const char *Mode,
+              const std::vector<BenchResult> &Results) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "perf_suite: cannot write %s\n", Path);
+    std::exit(1);
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v1\",\n");
+  std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
+  std::fprintf(F, "  \"benchmarks\": [\n");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const BenchResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": "
+                 "%" PRIu64 ", \"commits\": %" PRIu64 ", \"aborts\": %" PRIu64
+                 ", \"median_of\": %u}%s\n",
+                 R.Name.c_str(), R.NsPerOp, R.Ops, R.Commits, R.Aborts,
+                 R.MedianOf, I + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath = "BENCH_satm.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strncmp(argv[I], "--json=", 7))
+      JsonPath = argv[I] + 7;
+    else {
+      std::fprintf(stderr, "usage: perf_suite [--smoke] [--json=PATH]\n");
+      return 2;
+    }
+  }
+  const Sizes Z = Smoke ? Sizes::smoke() : Sizes::full();
+  std::vector<BenchResult> Results;
+
+  Heap H;
+  std::vector<Object *> Cells;
+  for (unsigned I = 0; I < 1024; ++I)
+    Cells.push_back(H.allocate(&CellType, BirthState::Shared));
+  Object *Octo = H.allocate(&OctoType, BirthState::Shared);
+
+  Results.push_back(bench("readset/reread_16x64", Z.Reps, [&] {
+    return readSetSample(Cells, Z.Txns, 16);
+  }));
+  Results.push_back(bench("readset/unique_1024x1", Z.Reps, [&] {
+    return readSetSample(Cells, Z.Txns, 1024);
+  }));
+
+  Results.push_back(bench("writeset/rewrite_1x1024", Z.Reps, [&] {
+    Stopwatch T;
+    for (unsigned I = 0; I < Z.Txns; ++I)
+      atomically([&] {
+        Txn &Tx = Txn::forThisThread();
+        for (unsigned W = 0; W < 1024; ++W)
+          Tx.write(Cells[0], 0, W);
+      });
+    return Sample{uint64_t(Z.Txns) * 1024, T.seconds()};
+  }));
+  Results.push_back(bench("writeset/unique_256", Z.Reps, [&] {
+    Stopwatch T;
+    for (unsigned I = 0; I < Z.Txns; ++I)
+      atomically([&] {
+        Txn &Tx = Txn::forThisThread();
+        for (unsigned O = 0; O < 256; ++O)
+          Tx.write(Cells[O], 0, I);
+      });
+    return Sample{uint64_t(Z.Txns) * 256, T.seconds()};
+  }));
+
+  // Barrier sequences timed bare, like the Figure 15-17 harnesses.
+  Results.push_back(bench("barrier/nt_read", Z.Reps, [&] {
+    ScopedConfig SC([] {
+      Config C;
+      C.CollectStats = false;
+      return C;
+    }());
+    Stopwatch T;
+    uint64_t Sink = 0;
+    for (unsigned I = 0; I < Z.BarrierOps; ++I)
+      Sink += ntRead(Cells[I & 1023], 0);
+    double Sec = T.seconds();
+    if (Sink == ~uint64_t(0))
+      std::fprintf(stderr, "?"); // Defeat dead-code elimination.
+    return Sample{Z.BarrierOps, Sec};
+  }));
+  Results.push_back(bench("barrier/nt_write", Z.Reps, [&] {
+    ScopedConfig SC([] {
+      Config C;
+      C.CollectStats = false;
+      return C;
+    }());
+    Stopwatch T;
+    for (unsigned I = 0; I < Z.BarrierOps; ++I)
+      ntWrite(Cells[I & 1023], 0, I);
+    return Sample{Z.BarrierOps, T.seconds()};
+  }));
+  Results.push_back(bench("barrier/agg_write8", Z.Reps, [&] {
+    ScopedConfig SC([] {
+      Config C;
+      C.CollectStats = false;
+      return C;
+    }());
+    Stopwatch T;
+    for (unsigned I = 0; I < Z.BarrierOps / 8; ++I) {
+      AggregatedWriter W(Octo);
+      for (uint32_t S = 0; S < 8; ++S)
+        W.store(S, I + S);
+    }
+    return Sample{Z.BarrierOps / 8 * 8, T.seconds()};
+  }));
+
+  Results.push_back(bench("heap/bump", Z.Reps, [&] {
+    Heap Local;
+    Stopwatch T;
+    for (unsigned I = 0; I < Z.Allocs; ++I)
+      (void)Local.allocate(&CellType, BirthState::Shared);
+    return Sample{Z.Allocs, T.seconds()};
+  }));
+
+  // Figure 18-20 harnesses, small fixed-seed configurations. Two threads:
+  // enough to exercise the shared-record paths without turning the run
+  // into a contention benchmark on small hardware.
+  Results.push_back(bench("tsp/strongdea_t2", Z.Reps, [&] {
+    TspResult R = runTsp(ExecMode::StrongDea, 2, Z.TspCities, 2026);
+    return Sample{1, R.Seconds};
+  }));
+  Results.push_back(bench("oo7/strongdea_t2", Z.Reps, [&] {
+    Oo7Config C;
+    C.TraversalsPerThread = Z.Oo7Traversals;
+    Oo7Result R = runOo7(ExecMode::StrongDea, 2, C);
+    return Sample{uint64_t(Z.Oo7Traversals) * 2, R.Seconds};
+  }));
+  Results.push_back(bench("jbb/strongdea_t2", Z.Reps, [&] {
+    JbbConfig C;
+    C.OpsPerThread = Z.JbbOps;
+    JbbResult R = runJbb(ExecMode::StrongDea, 2, C);
+    return Sample{uint64_t(Z.JbbOps) * 2, R.Seconds};
+  }));
+
+  emitJson(JsonPath.c_str(), Smoke ? "smoke" : "full", Results);
+
+  Table T({"benchmark", "ns/op", "ops/run", "commits", "aborts"});
+  for (const BenchResult &R : Results)
+    T.addRow({R.Name, Table::num(R.NsPerOp, 2), Table::num(R.Ops),
+              Table::num(R.Commits), Table::num(R.Aborts)});
+  T.print(Smoke ? "perf_suite (smoke — not a baseline)" : "perf_suite");
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

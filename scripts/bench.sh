@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+#===- scripts/bench.sh - Run the perf suite, emit BENCH_satm.json -------===#
+#
+# Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+#
+# Full mode (default) runs bench/perf_suite at its fixed full sizes and
+# rewrites BENCH_satm.json at the repo root — the checked-in, machine-
+# readable perf trajectory. The human-readable table is mirrored into
+# BENCH_satm.raw.txt, a scratch file that stays untracked.
+#
+# --smoke runs the tiny configuration CI uses (also exercised under the
+# bench-smoke CTest label in both the plain and TSan builds); its JSON goes
+# to build scratch so a smoke run can never clobber the checked-in baseline.
+#
+# Usage: scripts/bench.sh [--smoke] [jobs]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE=full
+JOBS="$(nproc)"
+for ARG in "$@"; do
+  case "$ARG" in
+    --smoke) MODE=smoke ;;
+    '' | *[!0-9]*)
+      echo "usage: scripts/bench.sh [--smoke] [jobs]" >&2
+      exit 2
+      ;;
+    *) JOBS="$ARG" ;;
+  esac
+done
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS" --target perf_suite
+
+if [ "$MODE" = smoke ]; then
+  ./build/bench/perf_suite --smoke --json=build/BENCH_smoke.json
+  echo "== bench smoke OK (build/BENCH_smoke.json)"
+else
+  ./build/bench/perf_suite --json=BENCH_satm.json | tee BENCH_satm.raw.txt
+  echo "== wrote BENCH_satm.json"
+fi

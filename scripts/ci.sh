@@ -23,6 +23,9 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== bench smoke (perf_suite JSON emitter)"
+scripts/bench.sh --smoke "$JOBS"
+
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"

@@ -432,8 +432,11 @@ private:
   void runThreadProgram(int T) {
     for (const Segment &Seg : Prog.Threads[T]) {
       if (!Seg.IsTxn) {
-        for (const Step &S : Seg.Steps)
-          execNtStep(T, S);
+        if (Seg.IsAggregated)
+          execAggregatedSegment(T, Seg);
+        else
+          for (const Step &S : Seg.Steps)
+            execNtStep(T, S);
         continue;
       }
       RegSnap[T] = Regs[T];
@@ -534,6 +537,75 @@ private:
     recordEvent(T, TraceEvent::Kind::TxnCommit, YieldPoint::TxnContention,
                 -1, 0, 0);
     TxRecord::releaseAnon(Rec);
+  }
+
+  /// §6 barrier aggregation: one acquire (write) or one validation (read)
+  /// covers every step of the segment, which must address a single object
+  /// directly. Only the Strong regime has aggregated barriers; the other
+  /// regimes run the usual per-step path — the oracle executes every
+  /// segment atomically either way, so aggregation only narrows which
+  /// interleavings the *implementation* can produce.
+  void execAggregatedSegment(int T, const Segment &Seg) {
+    if (R != Regime::Strong) {
+      for (const Step &S : Seg.Steps)
+        execNtStep(T, S);
+      return;
+    }
+    auto Ref = [this](int O) { return refOf(O); };
+    int ObjIdx = Seg.Steps.front().Obj;
+    assert(ObjIdx >= 0 && "aggregated steps must address an object directly");
+    Object *O = Objects[ObjIdx];
+    bool HasWrite = false;
+    for (const Step &S : Seg.Steps) {
+      assert(S.Obj == ObjIdx && "aggregated scope spans a single object");
+      assert(S.Kind != Step::Op::AbortOnce && "no aborts outside regions");
+      HasWrite |= S.Kind == Step::Op::Write;
+    }
+    pause(T); // Preemption opportunity before the acquire/first load.
+    if (HasWrite) {
+      AggregatedWriter W(O);
+      // pause() inside the scope exposes the whole hold window to the
+      // scheduler: other threads run against the Exclusive-anon record.
+      for (const Step &S : Seg.Steps) {
+        if (!guardPasses(S.G, Regs[T], Ref) ||
+            S.Slot >= Prog.Objects[ObjIdx].Slots)
+          continue;
+        pause(T);
+        if (S.Kind == Step::Op::Read) {
+          Word V = normalize(W.load(S.Slot));
+          Regs[T][S.Dst] = V;
+          recordAccess(T, TraceEvent::Kind::Read, ObjIdx, S.Slot, V);
+        } else {
+          Word NV = evalOperand(S.Src, Regs[T], Ref);
+          W.store(S.Slot, denormalize(NV));
+          recordAccess(T, TraceEvent::Kind::Write, ObjIdx, S.Slot, NV);
+        }
+      }
+      return;
+    }
+    // Read-only scope. The body may re-execute until the record is stable
+    // across it, so it mutates only local copies (idempotent as required);
+    // registers and the trace are committed once, after the validated run.
+    std::vector<Word> LocalRegs;
+    std::vector<std::pair<const Step *, Word>> Reads;
+    aggregatedRead(O, [&](const Object *AO) {
+      LocalRegs = Regs[T];
+      Reads.clear();
+      for (const Step &S : Seg.Steps) {
+        if (!guardPasses(S.G, LocalRegs, Ref) ||
+            S.Slot >= Prog.Objects[ObjIdx].Slots)
+          continue;
+        pause(T); // Expose the multi-load window between the two fences.
+        Word V = normalize(AO->rawLoad(S.Slot, std::memory_order_acquire));
+        LocalRegs[S.Dst] = V;
+        Reads.push_back({&S, V});
+      }
+      return 0;
+    });
+    Regs[T] = LocalRegs;
+    for (const auto &RV : Reads)
+      recordAccess(T, TraceEvent::Kind::Read, ObjIdx, RV.first->Slot,
+                   RV.second);
   }
 
   void execNtStep(int T, const Step &S) {

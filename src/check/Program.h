@@ -166,6 +166,13 @@ inline Step guarded(Step S, int Reg, bool Equal, Operand Rhs) {
 /// region of several steps.
 struct Segment {
   bool IsTxn = false;
+  /// Non-transactional multi-step segment executed under one aggregated
+  /// barrier (§6, Figure 14): all steps must target the same object. The
+  /// runner uses AggregatedWriter (any write present) or aggregatedRead
+  /// (read-only) under the Strong regime and falls back to per-step
+  /// barriers elsewhere; the oracle needs no special case, since it
+  /// already executes every segment atomically.
+  bool IsAggregated = false;
   std::vector<Step> Steps;
 };
 
@@ -178,6 +185,15 @@ inline Segment nt(Step S) {
 inline Segment txn(std::vector<Step> Steps) {
   Segment Seg;
   Seg.IsTxn = true;
+  Seg.Steps = std::move(Steps);
+  return Seg;
+}
+
+/// An aggregated non-transactional segment (§6): every step must address
+/// one object, directly (no register-held references, no AbortOnce).
+inline Segment agg(std::vector<Step> Steps) {
+  Segment Seg;
+  Seg.IsAggregated = true;
   Seg.Steps = std::move(Steps);
   return Seg;
 }

@@ -58,17 +58,18 @@ void *Heap::bump(size_t Bytes) {
       std::lock_guard<std::mutex> Lock(Mutex);
       Chunks.push_back(Chunk);
     }
-    if (Need > ChunkBytes) {
-      // Dedicated chunk; do not disturb the thread's current region.
-      BytesAllocated.fetch_add(Bytes, std::memory_order_relaxed);
-      return Chunk;
-    }
+    // Account the whole chunk at refill time instead of per allocation:
+    // one contended fetch_add per ChunkBytes of allocation rather than one
+    // per object, at the cost of bytesAllocated() reporting reserved
+    // bytes (an upper bound that includes each cache's unused tail).
+    BytesAllocated.fetch_add(Need, std::memory_order_relaxed);
+    if (Need > ChunkBytes)
+      return Chunk; // Dedicated oversized chunk; keep the current region.
     Cache.Cur = Chunk;
     Cache.End = Chunk + Need;
   }
   char *Result = Cache.Cur;
   Cache.Cur += Bytes;
-  BytesAllocated.fetch_add(Bytes, std::memory_order_relaxed);
   return Result;
 }
 

@@ -49,7 +49,9 @@ public:
   Object *allocateArray(const TypeDescriptor *Type, uint32_t Length,
                         BirthState Birth);
 
-  /// Total bytes handed out so far (for stats/tests).
+  /// Total bytes reserved so far (for stats/tests). Accounted per chunk
+  /// refill, not per allocation, so this is an upper bound on bytes handed
+  /// out that includes each thread cache's unused tail.
   size_t bytesAllocated() const { return BytesAllocated; }
 
   /// Process-wide default heap.

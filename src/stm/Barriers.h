@@ -180,8 +180,8 @@ public:
     Backoff B;
     bool Reported = false;
     while (!TxRecord::acquireAnon(Rec)) {
+      Word W = Rec.load(std::memory_order_acquire);
       if (Cfg.RaceReport && !Reported) {
-        Word W = Rec.load(std::memory_order_acquire);
         if (TxRecord::isOwned(W)) {
           Cfg.RaceReport({O, 0, true, TxRecord::isExclusive(W)});
           Reported = true;
@@ -189,6 +189,9 @@ public:
       }
       if (Cfg.CollectStats)
         statsForThisThread().NtWriteConflicts++;
+      // Parkable like ntWrite's spin: without this the schedule explorer
+      // cannot interpose on a thread blocked entering an aggregated scope.
+      schedYield(YieldPoint::NtWriteBarrier, &Rec, W);
       B.pause();
     }
   }
@@ -240,13 +243,22 @@ auto aggregatedRead(const rt::Object *O, F &&Body)
         statsForThisThread().PrivateFastPaths++;
       return Body(O);
     }
-    if (!TxRecord::isExclusive(W)) {
+    // Unlike ntRead, an Exclusive-anonymous owner is a conflict here: a
+    // single-word read during an anon hold linearizes before the writer's
+    // scope, but a multi-load body could straddle the writer's stores and
+    // return a torn snapshot that the unchanged-record validation cannot
+    // catch (the record only changes at acquire and release). Found by
+    // tests/check/AggregatedExploreTest exploration.
+    if (TxRecord::isShared(W) || TxRecord::isPrivate(W)) {
       auto Result = Body(O);
       if (Rec.load(std::memory_order_acquire) == W)
         return Result;
     }
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    // Parkable like ntRead's spin, so the schedule explorer can run the
+    // conflicting owner while this thread waits for a stable record.
+    schedYield(YieldPoint::NtReadBarrier, &Rec, W);
     B.pause();
   }
 }

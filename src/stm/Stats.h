@@ -61,7 +61,11 @@ namespace detail {
 /// Thread-local counter block with registration lifecycle. Registration
 /// (cold) happens on first use; the destructor folds the block into the
 /// global accumulator and unregisters.
-struct TlsStatsBlock {
+///
+/// Cache-line aligned: the barriers bump these counters on every access,
+/// so a block straddling a line with another thread's TLS data would put
+/// false sharing directly on the Figure 15-17 instruction sequences.
+struct alignas(64) TlsStatsBlock {
   StatsCounters Counters;
   bool Registered = false;
   ~TlsStatsBlock();

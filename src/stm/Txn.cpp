@@ -58,9 +58,11 @@ Word Txn::read(Object *O, uint32_t Slot) {
       Word V = O->rawLoad(Slot, std::memory_order_acquire);
       if (Rec.load(std::memory_order_acquire) == W) {
         // Optimistic read: log the observed record word for validation.
-        // Consecutive reads of the same object share one entry.
-        if (ReadSet.empty() || ReadSet.back().Rec != &Rec ||
-            ReadSet.back().Observed != W)
+        // The filter dedups re-reads of an already-logged (record, word)
+        // pair, keeping the read set — and so validation — O(unique
+        // objects). If the record changed since, W differs and the read is
+        // logged again; a filter eviction costs a duplicate entry only.
+        if (!ReadFilter.hitOrInstall(reinterpret_cast<uintptr_t>(&Rec), W))
           ReadSet.push_back({&Rec, W});
         maybePeriodicValidate();
         return V;
@@ -120,7 +122,7 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
       if (TxRecord::acquireExclusive(Rec, this, W, Observed)) {
         Word Prior = TxRecord::version(W);
         WriteLocks.push_back({&Rec, Prior});
-        WriteLockIndex[&Rec] = Prior;
+        WriteLockIndex.insert(&Rec, uint32_t(WriteLocks.size() - 1));
         return;
       }
       continue; // Lost the race; re-examine the record.
@@ -132,13 +134,20 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
 
 void Txn::logUndo(Object *O, uint32_t Slot) {
   uint32_t G = config().LogGranularitySlots;
+  uint32_t Base = G <= 1 ? Slot : (Slot / G) * G;
+  // The slot group's address is globally unique, so it keys the dedup
+  // filter: a repeated write to an already-logged group since the last
+  // filter flush logs nothing. A spurious miss (eviction) only duplicates
+  // an entry, which reverse-order rollback makes harmless — the oldest
+  // value is restored last.
+  if (UndoFilter.hitOrInstall(reinterpret_cast<uintptr_t>(&O->slot(Base))))
+    return;
   if (G <= 1) {
     UndoLog.push_back({O, Slot, O->rawLoad(Slot)});
     return;
   }
   // Coarse-grained versioning (§2.4): the undo entry spans an aligned group
   // of G slots, manufacturing writes to adjacent data on rollback.
-  uint32_t Base = (Slot / G) * G;
   for (uint32_t I = Base; I < Base + G && I < O->slotCount(); ++I)
     UndoLog.push_back({O, I, O->rawLoad(I)});
 }
@@ -152,9 +161,9 @@ bool Txn::validateReadSet() {
       // We acquired this record after reading it; the read is still valid
       // iff nothing committed in between, i.e. the version we captured at
       // acquire time matches the version we observed at read time.
-      auto It = WriteLockIndex.find(E.Rec);
-      assert(It != WriteLockIndex.end() && "owned record missing from index");
-      if (TxRecord::makeShared(It->second) == E.Observed)
+      const WriteEntry *L = findWriteLock(E.Rec);
+      assert(L && "owned record missing from index");
+      if (L && TxRecord::makeShared(L->PriorVersion) == E.Observed)
         continue;
     }
     return false;
@@ -242,16 +251,22 @@ void Txn::rollbackUndoRange(size_t Begin, size_t End) {
 }
 
 void Txn::releaseLockRange(size_t Begin, size_t End) {
-  for (size_t I = Begin; I < End; ++I) {
+  for (size_t I = Begin; I < End; ++I)
     TxRecord::releaseExclusive(*WriteLocks[I].Rec, WriteLocks[I].PriorVersion);
-    WriteLockIndex.erase(WriteLocks[I].Rec);
-  }
+  // Truncating WriteLocks is all the index maintenance needed: a stale
+  // WriteLockIndex entry fails findWriteLock's Rec recheck and reads as
+  // absent, so releasing N locks is N stores — no hashing, no erase.
   WriteLocks.resize(Begin);
 }
 
 void Txn::pushSavepoint() {
   Savepoints.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
                         CommitActions.size(), AbortActions.size()});
+  // The undo filter must not dedup across this boundary: a write inside
+  // the nested region to a slot logged before it needs a fresh entry
+  // holding the at-savepoint value, or rollbackToSavepoint (which only
+  // rolls back entries above the boundary) would miss it.
+  UndoFilter.clear();
   ++Depth;
 }
 
@@ -269,6 +284,10 @@ void Txn::rollbackToSavepoint() {
   UndoLog.resize(S.Undos);
   releaseLockRange(S.Locks, WriteLocks.size());
   ReadSet.resize(S.Reads);
+  // Both logs were truncated: the filters may claim entries that no
+  // longer exist, so flush them (a later re-log is merely a duplicate).
+  UndoFilter.clear();
+  ReadFilter.clear();
   CommitActions.resize(S.Commits);
   // Compensations registered inside the aborted region (by committed
   // open-nested children) must run now, in reverse.
@@ -282,6 +301,9 @@ void Txn::beginOpenNested() {
   assert(isActive() && "open nesting requires an enclosing transaction");
   OpenFrames.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
                         CommitActions.size(), AbortActions.size()});
+  // Same boundary rule as pushSavepoint: the open region's undo entries
+  // are rolled back or dropped independently of the parent's.
+  UndoFilter.clear();
   ++Depth;
 }
 
@@ -295,9 +317,8 @@ void Txn::commitOpenNested(std::function<void()> OnParentAbort) {
     if (W == ReadSet[I].Observed)
       continue;
     if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this) {
-      auto It = WriteLockIndex.find(ReadSet[I].Rec);
-      if (It != WriteLockIndex.end() &&
-          TxRecord::makeShared(It->second) == ReadSet[I].Observed)
+      const WriteEntry *L = findWriteLock(ReadSet[I].Rec);
+      if (L && TxRecord::makeShared(L->PriorVersion) == ReadSet[I].Observed)
         continue;
     }
     Valid = false;
@@ -311,6 +332,11 @@ void Txn::commitOpenNested(std::function<void()> OnParentAbort) {
   UndoLog.resize(F.Undos);
   releaseLockRange(F.Locks, WriteLocks.size());
   ReadSet.resize(F.Reads); // Parent is not constrained by child reads.
+  // Truncation invalidated the open region's log entries; without the
+  // flush a later parent write could dedup against a dropped undo entry
+  // and lose its rollback record.
+  UndoFilter.clear();
+  ReadFilter.clear();
   --Depth;
   if (OnParentAbort)
     AbortActions.push_back(std::move(OnParentAbort));
@@ -324,6 +350,8 @@ void Txn::abortOpenNested() {
   UndoLog.resize(F.Undos);
   releaseLockRange(F.Locks, WriteLocks.size());
   ReadSet.resize(F.Reads);
+  UndoFilter.clear();
+  ReadFilter.clear();
   CommitActions.resize(F.Commits);
   AbortActions.resize(F.Aborts);
   --Depth;
@@ -389,9 +417,11 @@ void Txn::waitForChange(const std::vector<ReadEntry> &Snapshot) {
     B.pause();
     return;
   }
-  // Spurious wakeups after the scan limit are harmless: the region simply
-  // re-executes and retries again.
-  for (unsigned Scan = 0; Scan < 100000; ++Scan) {
+  // Capped exponential wait: each pause() doubles the spin window up to a
+  // yield plateau, so a long wait costs scheduler yields rather than a hot
+  // scan loop. Spurious wakeups after the scan limit are harmless: the
+  // region simply re-executes and retries again.
+  for (unsigned Scan = 0; Scan < 512; ++Scan) {
     for (const ReadEntry &E : Snapshot)
       if (E.Rec->load(std::memory_order_acquire) != E.Observed)
         return;
@@ -403,6 +433,8 @@ void Txn::resetState() {
   ReadSet.clear();
   WriteLocks.clear();
   WriteLockIndex.clear();
+  ReadFilter.clear();
+  UndoFilter.clear();
   UndoLog.clear();
   Savepoints.clear();
   OpenFrames.clear();

@@ -36,10 +36,10 @@
 #include "stm/Stats.h"
 #include "stm/TxRecord.h"
 #include "support/Backoff.h"
+#include "support/FlatPtrMap.h"
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 namespace satm {
@@ -60,7 +60,12 @@ struct RollbackSignal {
 /// Per-thread eager transaction descriptor. Access via forThisThread() and
 /// drive regions with the static run* entry points; the instance methods
 /// read/write are valid only inside a running region.
-class alignas(8) Txn {
+///
+/// Cache-line aligned: the descriptor address is published in every record
+/// this transaction owns and StartStamp is read by other threads'
+/// contention managers, so the descriptor must not share a line with
+/// neighboring thread_local data (false sharing at 8-16 threads).
+class alignas(64) Txn {
 public:
   /// The calling thread's descriptor (created on first use).
   static Txn &forThisThread();
@@ -207,7 +212,9 @@ private:
       } catch (RollbackSignal &S) {
         if (S.Kind == RollbackSignal::UserRetry) {
           statsForThisThread().TxnUserRetries++;
-          std::vector<ReadEntry> Snapshot = ReadSet;
+          // Steal the read set rather than copy it: rollbackAll() only
+          // clear()s the vector, which leaves a moved-from one empty too.
+          std::vector<ReadEntry> Snapshot = std::move(ReadSet);
           rollbackAll();
           waitForChange(Snapshot);
           continue;
@@ -257,6 +264,18 @@ private:
   void writeImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef);
   void acquireForWrite(rt::Object *O, std::atomic<Word> &Rec);
   void logUndo(rt::Object *O, uint32_t Slot);
+
+  /// The WriteLocks entry for a record this transaction owns, found through
+  /// WriteLockIndex, or null. Stale index entries (their lock released by a
+  /// savepoint/open-nesting truncation) fail the Rec recheck and read as
+  /// absent, which is why releaseLockRange needs no index maintenance.
+  const WriteEntry *findWriteLock(const std::atomic<Word> *Rec) const {
+    const uint32_t *Idx = WriteLockIndex.find(Rec);
+    if (!Idx || *Idx >= WriteLocks.size() || WriteLocks[*Idx].Rec != Rec)
+      return nullptr;
+    return &WriteLocks[*Idx];
+  }
+
   bool validateReadSet();
   void maybePeriodicValidate();
   [[noreturn]] void conflictAbort();
@@ -269,7 +288,21 @@ private:
 
   std::vector<ReadEntry> ReadSet;
   std::vector<WriteEntry> WriteLocks;
-  std::unordered_map<std::atomic<Word> *, Word> WriteLockIndex;
+  /// Record -> index into WriteLocks. Open-addressing and generation-
+  /// cleared, so first-write acquisition and lock release never allocate
+  /// in steady state (the std::unordered_map it replaces allocated a node
+  /// on every first write to an object).
+  FlatPtrMap<uint32_t> WriteLockIndex;
+  /// Read-set filter: (record, observed word) pairs already appended to
+  /// ReadSet. A hit skips the append, making the read set — and hence
+  /// validation — O(unique objects) instead of O(reads). Lossy: an
+  /// evicted entry only costs a duplicate ReadSet entry.
+  DirectMapFilter<8> ReadFilter;
+  /// Undo-log filter keyed on the logged slot group's address: repeated
+  /// writes to one slot log one undo entry. Flushed at savepoint and
+  /// open-nesting boundaries — the undo log is truncated *by index* there,
+  /// so entries below a boundary must not satisfy writes above it.
+  DirectMapFilter<8> UndoFilter;
   std::vector<UndoEntry> UndoLog;
   std::vector<Savepoint> Savepoints;
   std::vector<std::function<void()>> CommitActions;

@@ -1,0 +1,182 @@
+//===- support/FlatPtrMap.h - Allocation-free pointer tables ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two flat, pointer-keyed lookup structures for transaction-descriptor hot
+/// paths, where a std::unordered_map's node allocation per first-touch is
+/// the dominant cost (ISSUE 2; compare KVell's flat per-thread indexes):
+///
+///  - FlatPtrMap<V>: an exact open-addressing hash table (linear probing,
+///    power-of-two capacity). clear() bumps a generation stamp instead of
+///    touching the slot array, so between-transaction reset is O(1) and the
+///    table's storage is reused for the descriptor's whole lifetime —
+///    steady-state insert/find never allocate.
+///
+///  - DirectMapFilter: a fixed-size direct-mapped *lossy* cache of
+///    (key, tag) pairs, also generation-cleared. A hit may be missed after
+///    an index collision (the newer key evicts), but a reported hit is
+///    exact: both key and tag compare equal. Used as the read-set and
+///    undo-log dedup filters, where a false miss only costs a duplicate
+///    log entry, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_FLATPTRMAP_H
+#define SATM_SUPPORT_FLATPTRMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace satm {
+
+/// Multiplicative pointer hash (Fibonacci constant); the low alignment bits
+/// of pointer keys carry no entropy, so they are shifted out first.
+inline uint64_t hashPtrKey(uintptr_t Key) {
+  return (static_cast<uint64_t>(Key) >> 3) * 0x9e3779b97f4a7c15ull;
+}
+
+/// Open-addressing pointer-keyed map with O(1) generation-stamp clearing.
+///
+/// Slots whose generation differs from the map's are logically empty: a
+/// find probe may stop at them and an insert probe may claim them, which is
+/// what makes clear() free. Values must be trivially copyable. There is no
+/// erase — the intended use truncates an external dense array (the write
+/// lock vector) and lets stale entries fail their caller-side validity
+/// check; the next insert of the same key overwrites in place.
+template <typename V> class FlatPtrMap {
+public:
+  FlatPtrMap() = default;
+  FlatPtrMap(const FlatPtrMap &) = delete;
+  FlatPtrMap &operator=(const FlatPtrMap &) = delete;
+
+  /// Number of live (current-generation) entries.
+  size_t size() const { return Count; }
+
+  /// Logical capacity before the next grow.
+  size_t capacity() const { return Cap; }
+
+  /// O(1): invalidates every entry by bumping the generation stamp.
+  void clear() {
+    ++Gen;
+    Count = 0;
+  }
+
+  /// Inserts \p Key -> \p Value, overwriting any current-generation entry
+  /// for the same key. Amortized allocation-free: the slot array grows
+  /// (rarely) but is never freed or rehash-cleared between clear() calls.
+  void insert(const void *Key, V Value) {
+    assert(Key && "null key is the empty-slot sentinel");
+    if ((Count + 1) * 4 > Cap * 3) // Load factor 3/4.
+      grow();
+    Entry &E = probe(Key);
+    if (E.Gen != Gen || E.Key != Key) {
+      E.Key = Key;
+      E.Gen = Gen;
+      ++Count;
+    }
+    E.Value = Value;
+  }
+
+  /// Returns the value stored for \p Key in the current generation, or
+  /// nullptr. The pointer is invalidated by the next insert or clear.
+  const V *find(const void *Key) const {
+    if (!Cap)
+      return nullptr;
+    const Entry &E = const_cast<FlatPtrMap *>(this)->probe(Key);
+    return (E.Gen == Gen && E.Key == Key) ? &E.Value : nullptr;
+  }
+
+private:
+  struct Entry {
+    const void *Key = nullptr;
+    V Value{};
+    uint64_t Gen = 0; ///< Entry is live iff this matches the map's Gen.
+  };
+
+  /// First slot that either holds \p Key (current generation) or is
+  /// logically empty. Linear probing; the load factor bound guarantees an
+  /// empty slot exists.
+  Entry &probe(const void *Key) {
+    size_t Mask = Cap - 1;
+    size_t I = hashPtrKey(reinterpret_cast<uintptr_t>(Key)) & Mask;
+    for (;;) {
+      Entry &E = Slots[I];
+      if (E.Gen != Gen || E.Key == nullptr || E.Key == Key)
+        return E;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  void grow() {
+    size_t NewCap = Cap ? Cap * 2 : 64;
+    std::unique_ptr<Entry[]> Old = std::move(Slots);
+    size_t OldCap = Cap;
+    Slots = std::make_unique<Entry[]>(NewCap);
+    Cap = NewCap;
+    // Fresh slots default to Gen 0; restart our stamp above it so the new
+    // array is logically empty even if the map's stamp was ever 0.
+    uint64_t LiveGen = Gen;
+    Gen = LiveGen + 1;
+    Count = 0;
+    for (size_t I = 0; I < OldCap; ++I)
+      if (Old[I].Gen == LiveGen && Old[I].Key)
+        insert(Old[I].Key, Old[I].Value);
+  }
+
+  std::unique_ptr<Entry[]> Slots;
+  size_t Cap = 0;
+  size_t Count = 0;
+  uint64_t Gen = 1;
+};
+
+/// Fixed-size direct-mapped (key, tag) cache with generation clearing.
+///
+/// hitOrInstall() answers "was (Key, Tag) seen since the last clear?" — and
+/// if not, remembers it, evicting whatever shared its cache line. Misses
+/// can be spurious (after eviction); hits never are. \p SizeLog2 fixes the
+/// table at 2^SizeLog2 entries, embedded in the owner (no heap storage).
+template <unsigned SizeLog2 = 8> class DirectMapFilter {
+public:
+  static constexpr size_t Size = size_t(1) << SizeLog2;
+
+  /// O(1): invalidates every entry.
+  void clear() { ++Gen; }
+
+  /// True iff (Key, Tag) is present; installs it (possibly evicting a
+  /// colliding entry) when absent. \p Key must be nonzero.
+  bool hitOrInstall(uintptr_t Key, uint64_t Tag = 0) {
+    assert(Key && "null key is indistinguishable from an empty slot");
+    Entry &E = Slots[hashPtrKey(Key) & (Size - 1)];
+    if (E.Gen == Gen && E.Key == Key && E.Tag == Tag)
+      return true;
+    E.Key = Key;
+    E.Tag = Tag;
+    E.Gen = Gen;
+    return false;
+  }
+
+  /// True iff (Key, Tag) is present, without installing on a miss.
+  bool contains(uintptr_t Key, uint64_t Tag = 0) const {
+    const Entry &E = Slots[hashPtrKey(Key) & (Size - 1)];
+    return E.Gen == Gen && E.Key == Key && E.Tag == Tag;
+  }
+
+private:
+  struct Entry {
+    uintptr_t Key = 0;
+    uint64_t Tag = 0;
+    uint64_t Gen = 0;
+  };
+
+  Entry Slots[Size] = {};
+  uint64_t Gen = 1;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_FLATPTRMAP_H

@@ -1,0 +1,229 @@
+//===- tests/stm/TxnFastPathTest.cpp - Descriptor fast-path properties ---===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the hot-path overhaul: the read-set filter keeps
+// readSetSize() proportional to *unique* objects (not total reads), undo
+// dedup logs one entry per slot group yet preserves rollback correctness
+// across savepoints, open nesting, and coarse-grained (granularity-2)
+// logging, and the flat write-lock index survives lock-range truncation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Txn.h"
+#include "rt/Heap.h"
+#include "support/FlatPtrMap.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+const TypeDescriptor QuadType("Quad", 4, {});
+
+class TxnFastPathTest : public ::testing::Test {
+protected:
+  Heap H;
+
+  /// Allocates \p Want single-slot objects whose read-filter indexes are
+  /// pairwise distinct, so the direct-mapped filter cannot evict between
+  /// them. The property under test is dedup; SupportTest covers eviction.
+  std::vector<Object *> distinctFilterSlotObjects(size_t Want) {
+    std::vector<Object *> Picked;
+    std::vector<uint64_t> UsedIdx;
+    while (Picked.size() < Want) {
+      Object *O = H.allocate(&CellType, BirthState::Shared);
+      uint64_t Idx =
+          hashPtrKey(reinterpret_cast<uintptr_t>(&O->txRecord())) & 255;
+      bool Clash = false;
+      for (uint64_t U : UsedIdx)
+        Clash |= U == Idx;
+      if (Clash)
+        continue; // Unpicked objects just stay allocated.
+      UsedIdx.push_back(Idx);
+      Picked.push_back(O);
+    }
+    return Picked;
+  }
+};
+
+TEST_F(TxnFastPathTest, ReadSetSizeIsBoundedByUniqueObjects) {
+  // 4 objects read 100 times each, round-robin: the pre-filter descriptor
+  // (consecutive-dedup only) logged 400 entries for this pattern.
+  std::vector<Object *> Objs = distinctFilterSlotObjects(4);
+  size_t SeenSize = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    for (int Rep = 0; Rep < 100; ++Rep)
+      for (Object *O : Objs)
+        (void)T.read(O, 0);
+    SeenSize = T.readSetSize();
+  });
+  EXPECT_EQ(SeenSize, Objs.size());
+}
+
+TEST_F(TxnFastPathTest, RepeatedWritesLogOneUndoEntry) {
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 10);
+  size_t Undos = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    for (Word V = 0; V < 50; ++V)
+      T.write(X, 0, V);
+    Undos = T.undoLogSize();
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(Undos, 1u);
+  EXPECT_EQ(X->rawLoad(0), 10u) << "rollback must restore the pre-txn value";
+}
+
+TEST_F(TxnFastPathTest, UndoDedupDoesNotCrossSavepoints) {
+  // A write inside a nested region to a slot already written outside it
+  // must log a fresh entry holding the at-savepoint value: partial
+  // rollback only undoes entries above the savepoint.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 10);
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    bool Inner = atomically([&] {
+      T.write(X, 0, 2);
+      T.userAbort();
+    });
+    EXPECT_FALSE(Inner);
+    EXPECT_EQ(T.read(X, 0), 1u)
+        << "inner rollback must restore the at-savepoint value";
+  });
+  EXPECT_EQ(X->rawLoad(0), 1u);
+}
+
+TEST_F(TxnFastPathTest, NestedCommitKeepsDedupAcrossPop) {
+  // popSavepointKeep does not truncate, so entries logged inside a
+  // committed nested region stay valid; the parent's rollback restores
+  // the original value even when its later write was deduped against the
+  // pre-savepoint entry (or re-logged after the boundary flush — either
+  // way the oldest value wins in reverse rollback).
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 10);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    atomically([&] { T.write(X, 0, 2); });
+    T.write(X, 0, 3);
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(X->rawLoad(0), 10u);
+}
+
+TEST_F(TxnFastPathTest, UndoDedupDoesNotCrossOpenNestedCommit) {
+  // An open-nested region's committed write survives a parent abort: the
+  // parent's later write to the same slot must roll back to the open
+  // region's value, which requires the dedup filter to forget the open
+  // region's (truncated) undo entries at commitOpenNested.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 10);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Txn::runOpenNested([&] { T.write(X, 0, 20); });
+    T.write(X, 0, 30);
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(X->rawLoad(0), 20u)
+      << "open-nested commit must survive; only the parent write rolls back";
+}
+
+TEST_F(TxnFastPathTest, Granularity2LogsOneGroupAndRollsBack) {
+  ScopedConfig SC([] {
+    Config C;
+    C.LogGranularitySlots = 2;
+    return C;
+  }());
+  Object *X = H.allocate(&QuadType, BirthState::Shared);
+  for (uint32_t S = 0; S < 4; ++S)
+    X->rawStore(S, 10 + S);
+  size_t Undos = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    // Slots 0 and 1 share a group: one group log despite three writes.
+    T.write(X, 0, 1);
+    T.write(X, 1, 2);
+    T.write(X, 0, 3);
+    EXPECT_EQ(T.undoLogSize(), 2u) << "one entry per slot of group {0,1}";
+    T.write(X, 2, 4); // Second group {2,3}.
+    Undos = T.undoLogSize();
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(Undos, 4u);
+  for (uint32_t S = 0; S < 4; ++S)
+    EXPECT_EQ(X->rawLoad(S), 10 + S) << "slot " << S;
+}
+
+TEST_F(TxnFastPathTest, WriteLockIndexSurvivesLockTruncation) {
+  // rollbackToSavepoint releases the nested region's locks by truncating
+  // WriteLocks; the index keeps a stale entry for y, which must read as
+  // absent so the parent's re-write re-acquires and re-logs correctly.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    bool Inner = atomically([&] {
+      T.write(Y, 0, 2);
+      T.userAbort();
+    });
+    EXPECT_FALSE(Inner);
+    T.write(Y, 0, 3);
+    EXPECT_EQ(T.writeSetSize(), 2u) << "y re-acquired after release";
+  });
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(X->rawLoad(0), 1u);
+  EXPECT_EQ(Y->rawLoad(0), 3u);
+  EXPECT_TRUE(TxRecord::isShared(Y->txRecord().load()));
+}
+
+TEST_F(TxnFastPathTest, ReadThenWriteValidatesThroughTheIndex) {
+  // validateReadSet's owned-record path resolves the prior version through
+  // the flat index: a read followed by our own acquire must still commit.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 5);
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Word V = T.read(X, 0);
+    T.write(X, 0, V + 1);
+  });
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(X->rawLoad(0), 6u);
+}
+
+TEST_F(TxnFastPathTest, RereadAfterOwnWriteStaysDeduped) {
+  // Reads of a record we already own take the Exclusive fast path and log
+  // nothing, so interleaving reads and writes of one object keeps both
+  // logs at one entry each.
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  size_t Reads = 0, Undos = 0;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    for (int I = 0; I < 20; ++I) {
+      (void)T.read(X, 0);
+      T.write(X, 0, Word(I));
+    }
+    Reads = T.readSetSize();
+    Undos = T.undoLogSize();
+  });
+  EXPECT_LE(Reads, 1u);
+  EXPECT_EQ(Undos, 1u);
+}
+
+} // namespace

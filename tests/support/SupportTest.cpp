@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Backoff.h"
+#include "support/FlatPtrMap.h"
 #include "support/Rng.h"
 #include "support/Stopwatch.h"
 #include "support/Table.h"
 
 #include "gtest/gtest.h"
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 using namespace satm;
 
@@ -96,6 +99,108 @@ TEST(Backoff, EscalationSaturates) {
   uint32_t Cap = B.escalation();
   B.pause();
   EXPECT_EQ(B.escalation(), Cap);
+}
+
+TEST(FlatPtrMap, InsertFindOverwrite) {
+  FlatPtrMap<uint32_t> M;
+  int A = 0, B = 0;
+  EXPECT_EQ(M.find(&A), nullptr);
+  M.insert(&A, 1);
+  M.insert(&B, 2);
+  ASSERT_NE(M.find(&A), nullptr);
+  EXPECT_EQ(*M.find(&A), 1u);
+  EXPECT_EQ(*M.find(&B), 2u);
+  EXPECT_EQ(M.size(), 2u);
+  M.insert(&A, 9); // Overwrite, not a new entry.
+  EXPECT_EQ(*M.find(&A), 9u);
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(FlatPtrMap, SurvivesCollisionsAndWrap) {
+  // Dense 8-byte-spaced keys drive every table index, forcing linear-probe
+  // chains that wrap past the end of the power-of-two array.
+  FlatPtrMap<uint32_t> M;
+  std::vector<uint64_t> Keys(1000);
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    M.insert(&Keys[I], I);
+  EXPECT_EQ(M.size(), Keys.size());
+  for (uint32_t I = 0; I < Keys.size(); ++I) {
+    ASSERT_NE(M.find(&Keys[I]), nullptr) << I;
+    EXPECT_EQ(*M.find(&Keys[I]), I);
+  }
+}
+
+TEST(FlatPtrMap, GenerationClearIsLogicalErase) {
+  FlatPtrMap<uint32_t> M;
+  std::vector<uint64_t> Keys(100);
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    M.insert(&Keys[I], I);
+  size_t CapBefore = M.capacity();
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.capacity(), CapBefore) << "clear must not release storage";
+  for (const uint64_t &K : Keys)
+    EXPECT_EQ(M.find(&K), nullptr) << "stale generation must read as absent";
+  // Stale slots are claimable: reinserting reuses them without growth.
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    M.insert(&Keys[I], I + 1000);
+  EXPECT_EQ(M.capacity(), CapBefore);
+  for (uint32_t I = 0; I < Keys.size(); ++I)
+    EXPECT_EQ(*M.find(&Keys[I]), I + 1000);
+}
+
+TEST(FlatPtrMap, GrowPreservesLiveEntriesOnly) {
+  FlatPtrMap<uint32_t> M;
+  std::vector<uint64_t> Keys(300);
+  // First generation: insert, then clear — these must not resurrect.
+  for (uint32_t I = 0; I < 100; ++I)
+    M.insert(&Keys[I], I);
+  M.clear();
+  // Second generation: enough inserts to force several grows.
+  for (uint32_t I = 100; I < Keys.size(); ++I)
+    M.insert(&Keys[I], I);
+  EXPECT_EQ(M.size(), 200u);
+  for (uint32_t I = 0; I < 100; ++I)
+    EXPECT_EQ(M.find(&Keys[I]), nullptr);
+  for (uint32_t I = 100; I < Keys.size(); ++I)
+    EXPECT_EQ(*M.find(&Keys[I]), I);
+}
+
+TEST(DirectMapFilter, HitsAreExactMissesInstall) {
+  DirectMapFilter<4> F; // 16 entries.
+  EXPECT_FALSE(F.hitOrInstall(0x1000, 7));
+  EXPECT_TRUE(F.hitOrInstall(0x1000, 7));
+  EXPECT_TRUE(F.contains(0x1000, 7));
+  // Same key, different tag: not a hit, and the install replaces the tag.
+  EXPECT_FALSE(F.hitOrInstall(0x1000, 8));
+  EXPECT_FALSE(F.contains(0x1000, 7));
+  EXPECT_TRUE(F.contains(0x1000, 8));
+}
+
+TEST(DirectMapFilter, CollidingKeysEvictNeverLie) {
+  DirectMapFilter<2> F; // 4 entries: collisions guaranteed below.
+  // 64 keys into 4 slots: whatever survives, contains() must only report
+  // keys actually installed, and a reported hit must be the last writer
+  // of its slot.
+  bool SawEviction = false;
+  for (uintptr_t K = 8; K <= 8 * 64; K += 8) {
+    EXPECT_FALSE(F.contains(K)) << "never seen, must not be reported";
+    EXPECT_FALSE(F.hitOrInstall(K));
+    EXPECT_TRUE(F.contains(K)) << "just installed";
+    SawEviction |= !F.contains(8); // The first key eventually evicts.
+  }
+  EXPECT_TRUE(SawEviction);
+}
+
+TEST(DirectMapFilter, ClearForgetsEverything) {
+  DirectMapFilter<4> F;
+  for (uintptr_t K = 8; K <= 8 * 8; K += 8)
+    F.hitOrInstall(K);
+  F.clear();
+  for (uintptr_t K = 8; K <= 8 * 8; K += 8)
+    EXPECT_FALSE(F.contains(K));
+  EXPECT_FALSE(F.hitOrInstall(8)) << "post-clear lookups install afresh";
+  EXPECT_TRUE(F.contains(8));
 }
 
 TEST(Table, FormatsNumbers) {

@@ -21,6 +21,7 @@
 #ifndef SATM_BENCH_SCALINGHARNESS_H
 #define SATM_BENCH_SCALINGHARNESS_H
 
+#include "stm/Report.h"
 #include "support/Table.h"
 #include "workloads/Modes.h"
 
@@ -83,6 +84,10 @@ runGrid(const char *Title,
                         : "-");
   Tab.addRow(std::move(Ratio));
   Tab.print();
+  // SATM_STATS=1: per-grid counter + abort-reason report. The timed cells
+  // run with CollectStats off, but commit/abort accounting (and the reason
+  // histogram) is unconditional, so the breakdown is still meaningful.
+  stm::maybeReportStats(Title);
 }
 
 } // namespace scaling

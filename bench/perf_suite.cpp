@@ -26,6 +26,7 @@
 
 #include "rt/Heap.h"
 #include "stm/Barriers.h"
+#include "stm/Report.h"
 #include "stm/Stats.h"
 #include "stm/Txn.h"
 #include "support/Stopwatch.h"
@@ -65,6 +66,9 @@ struct BenchResult {
   uint64_t Commits = 0;
   uint64_t Aborts = 0;
   unsigned MedianOf = 0;
+  /// Full counter snapshot over the timed runs; the abort-reason histogram
+  /// goes into the JSON (schema satm-bench-v2).
+  StatsCounters Counters;
 };
 
 struct Sizes {
@@ -102,6 +106,7 @@ BenchResult bench(std::string Name, unsigned Reps, F &&Body) {
   Res.Commits = C.TxnCommits;
   Res.Aborts = C.TxnAborts;
   Res.MedianOf = Reps;
+  Res.Counters = C;
   return Res;
 }
 
@@ -129,7 +134,7 @@ void emitJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v1\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v2\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Results.size(); ++I) {
@@ -137,9 +142,10 @@ void emitJson(const char *Path, const char *Mode,
     std::fprintf(F,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": "
                  "%" PRIu64 ", \"commits\": %" PRIu64 ", \"aborts\": %" PRIu64
-                 ", \"median_of\": %u}%s\n",
+                 ", \"median_of\": %u,\n     \"abort_reasons\": %s}%s\n",
                  R.Name.c_str(), R.NsPerOp, R.Ops, R.Commits, R.Aborts,
-                 R.MedianOf, I + 1 < Results.size() ? "," : "");
+                 R.MedianOf, renderAbortReasonsJson(R.Counters).c_str(),
+                 I + 1 < Results.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");
   std::fprintf(F, "}\n");
@@ -275,6 +281,14 @@ int main(int argc, char **argv) {
     T.addRow({R.Name, Table::num(R.NsPerOp, 2), Table::num(R.Ops),
               Table::num(R.Commits), Table::num(R.Aborts)});
   T.print(Smoke ? "perf_suite (smoke — not a baseline)" : "perf_suite");
+  // SATM_STATS=1 end-of-run report. Each bench() resets the counters, so
+  // this window covers the last benchmark only; per-benchmark numbers are
+  // in the JSON.
+  maybeReportStats("perf_suite, last benchmark window");
+  if (traceEnabled())
+    std::printf("trace: %zu events retained across %" PRIu64
+                " overwritten (SATM_TRACE)\n",
+                traceDrain().size(), traceDropped());
   std::printf("wrote %s\n", JsonPath.c_str());
   return 0;
 }

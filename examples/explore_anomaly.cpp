@@ -13,17 +13,41 @@
 //   $ explore_anomaly                      # search, print trace + token
 //   $ explore_anomaly --schedule=<token>   # deterministically replay it
 //
+// A replay also records the STM runtime's own SATM_TRACE event rings, so
+// the anomaly is shown twice: once as the explorer's vector-clock trace of
+// scheduler choices, and once as the runtime's begin/commit/abort(reason)/
+// barrier-conflict event log of the same execution.
+//
 //===----------------------------------------------------------------------===//
 
 #include "check/Explorer.h"
 #include "check/Fig6Programs.h"
+#include "stm/Report.h"
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 using namespace satm::check;
+using namespace satm::stm;
 using namespace satm::stm::litmus;
+
+namespace {
+
+/// Replays \p Token with the runtime event tracer armed and returns the
+/// drained event log of exactly that execution.
+Trace replayTraced(const Program &P, const char *Token, std::string *Error,
+                   std::vector<TraceEntry> *Events) {
+  bool WasOn = traceEnabled();
+  setTraceEnabled(true);
+  traceReset();
+  Trace T = replay(P, Regime::Eager, Token, Error);
+  *Events = traceDrain();
+  setTraceEnabled(WasOn);
+  return T;
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   Program P = fig6Program(Anomaly::SLU);
@@ -35,12 +59,15 @@ int main(int argc, char **argv) {
 
   if (Token) {
     std::string Error;
-    Trace T = replay(P, Regime::Eager, Token, &Error);
+    std::vector<TraceEntry> Events;
+    Trace T = replayTraced(P, Token, &Error, &Events);
     if (!Error.empty()) {
       std::fprintf(stderr, "replay failed: %s\n", Error.c_str());
       return 1;
     }
     std::printf("replaying %s\n\n%s", Token, formatTrace(P, T).c_str());
+    std::printf("\nruntime event trace (SATM_TRACE rings):\n%s",
+                renderTraceText(Events).c_str());
     return 0;
   }
 
@@ -64,6 +91,17 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Res.Schedules));
   std::printf("%s\n", V.Detail.c_str());
   std::printf("trace:\n%s\n", formatTrace(P, V.Events).c_str());
+
+  // Re-execute the found schedule with the runtime tracer armed: the
+  // anomaly's event log (begin/abort-with-reason/barrier conflicts) is the
+  // observability layer's view of the same interleaving.
+  std::string Error;
+  std::vector<TraceEntry> Events;
+  (void)replayTraced(P, V.Token.c_str(), &Error, &Events);
+  if (Error.empty())
+    std::printf("runtime event trace of the replayed anomaly:\n%s\n",
+                renderTraceText(Events).c_str());
+
   std::printf("replay with:\n  explore_anomaly '--schedule=%s'\n",
               V.Token.c_str());
   return 0;

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+#===- scripts/check_bench_schema.sh - Validate BENCH json shape ----------===#
+#
+# Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+#
+# Asserts that a perf_suite JSON (the checked-in BENCH_satm.json or a smoke
+# run's output) carries the satm-bench-v2 schema: a non-empty benchmark
+# list where every entry has the numeric core fields plus a complete
+# per-benchmark abort-reason histogram (all eight taxonomy keys, integer
+# counts). CI runs this so a refactor can't silently drop the observability
+# fields from the trajectory file.
+#
+# Usage: scripts/check_bench_schema.sh FILE.json [FILE2.json ...]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: scripts/check_bench_schema.sh FILE.json [...]" >&2
+  exit 2
+fi
+
+for FILE in "$@"; do
+  python3 - "$FILE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+REASONS = [
+    "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
+    "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
+]
+
+with open(path) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"{path}: {msg}")
+
+if doc.get("schema") != "satm-bench-v2":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v2'")
+if doc.get("mode") not in ("full", "smoke"):
+    fail(f"mode is {doc.get('mode')!r}")
+benches = doc.get("benchmarks")
+if not isinstance(benches, list) or not benches:
+    fail("benchmarks must be a non-empty list")
+for b in benches:
+    name = b.get("name", "<unnamed>")
+    for key in ("ns_per_op", "ops", "commits", "aborts", "median_of"):
+        if not isinstance(b.get(key), (int, float)):
+            fail(f"benchmark {name}: missing numeric field {key!r}")
+    reasons = b.get("abort_reasons")
+    if not isinstance(reasons, dict):
+        fail(f"benchmark {name}: missing abort_reasons histogram")
+    for r in REASONS:
+        if not isinstance(reasons.get(r), int):
+            fail(f"benchmark {name}: abort_reasons missing integer {r!r}")
+    if set(reasons) != set(REASONS):
+        fail(f"benchmark {name}: unexpected abort_reasons keys "
+             f"{sorted(set(reasons) - set(REASONS))}")
+print(f"{path}: satm-bench-v2 OK ({len(benches)} benchmarks)")
+EOF
+done

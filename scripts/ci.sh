@@ -25,10 +25,21 @@ cmake --build build -j "$JOBS"
 
 echo "== bench smoke (perf_suite JSON emitter)"
 scripts/bench.sh --smoke "$JOBS"
+scripts/check_bench_schema.sh build/BENCH_smoke.json BENCH_satm.json
+
+echo "== bench smoke with event tracing armed (SATM_TRACE=1)"
+SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
+  --json=build/BENCH_smoke_trace.json
+scripts/check_bench_schema.sh build/BENCH_smoke_trace.json
 
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan bench smoke with event tracing armed"
+SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/perf_suite --smoke \
+  --json=build-tsan/BENCH_smoke_trace.json
+scripts/check_bench_schema.sh build-tsan/BENCH_smoke_trace.json
 
 echo "== CI green (plain + tsan, SATM_FAST_TESTS=$SATM_FAST_TESTS)"

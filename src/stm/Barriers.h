@@ -69,6 +69,7 @@ inline Word ntRead(const rt::Object *O, uint32_t Slot) {
       return V;
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    traceEvent(TraceKind::BarrierConflict, uint8_t(BarrierSite::NtRead));
     schedYield(YieldPoint::NtReadBarrier, &Rec, W);
     B.pause();
   }
@@ -90,6 +91,8 @@ inline Word ntReadOrdering(const rt::Object *O, uint32_t Slot) {
       return O->rawLoad(Slot, std::memory_order_acquire);
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    traceEvent(TraceKind::BarrierConflict,
+               uint8_t(BarrierSite::NtReadOrdering));
     schedYield(YieldPoint::NtReadBarrier, &Rec, W);
     B.pause();
   }
@@ -127,6 +130,7 @@ inline void ntWriteImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef) {
     }
     if (Cfg.CollectStats)
       statsForThisThread().NtWriteConflicts++;
+    traceEvent(TraceKind::BarrierConflict, uint8_t(BarrierSite::NtWrite));
     schedYield(YieldPoint::NtWriteBarrier, &Rec, W);
     B.pause();
   }
@@ -189,6 +193,7 @@ public:
       }
       if (Cfg.CollectStats)
         statsForThisThread().NtWriteConflicts++;
+      traceEvent(TraceKind::BarrierConflict, uint8_t(BarrierSite::AggWrite));
       // Parkable like ntWrite's spin: without this the schedule explorer
       // cannot interpose on a thread blocked entering an aggregated scope.
       schedYield(YieldPoint::NtWriteBarrier, &Rec, W);
@@ -256,6 +261,7 @@ auto aggregatedRead(const rt::Object *O, F &&Body)
     }
     if (Cfg.CollectStats)
       statsForThisThread().NtReadConflicts++;
+    traceEvent(TraceKind::BarrierConflict, uint8_t(BarrierSite::AggRead));
     // Parkable like ntRead's spin, so the schedule explorer can run the
     // conflicting owner while this thread waits for a stable record.
     schedYield(YieldPoint::NtReadBarrier, &Rec, W);

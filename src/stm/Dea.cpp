@@ -30,7 +30,7 @@ void satm::stm::publishObject(Object *Root) {
 
   // The mark stack is reused across publications, like a GC's (§4).
   thread_local std::vector<Object *> MarkStack;
-  StatsCounters &Stats = statsForThisThread();
+  detail::TlsCounters &Stats = statsForThisThread();
 
   TxRecord::publish(Root->txRecord());
   Stats.ObjectsPublished++;

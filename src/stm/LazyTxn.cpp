@@ -27,6 +27,7 @@ void LazyTxn::begin() {
   uint64_t Now = Quiescence::currentEpoch();
   QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
   QSlot->ActiveSince.store(Now, std::memory_order_release);
+  traceEvent(TraceKind::TxnBegin);
 }
 
 void LazyTxn::logRead(std::atomic<Word> &Rec, Word Observed) {
@@ -85,7 +86,7 @@ LazyTxn::BufferEntry &LazyTxn::findOrCreateEntry(Object *O, uint32_t Slot) {
 Word LazyTxn::read(Object *O, uint32_t Slot) {
   assert(Active && "transactional read outside a transaction");
   if (config().CollectStats)
-    statsForThisThread().TxnReads++;
+    ++PendingReads; // Folded into the stats block at transaction end.
   uint32_t G = config().LogGranularitySlots;
   uint32_t Base = (Slot / G) * G;
   auto It = BufferIndex.find(std::make_pair(O, Base));
@@ -113,7 +114,8 @@ Word LazyTxn::read(Object *O, uint32_t Slot) {
     // non-transactional writer): wait, then abort self past the limit.
     schedYield(YieldPoint::TxnContention, &Rec, W);
     if (++Pauses > config().ConflictPauseLimit)
-      abortRestart();
+      conflictAbort(giveUpReason(/*IsRead=*/true, W,
+                                 /*BudgetExhausted=*/true));
     B.pause();
   }
 }
@@ -121,7 +123,7 @@ Word LazyTxn::read(Object *O, uint32_t Slot) {
 void LazyTxn::write(Object *O, uint32_t Slot, Word V) {
   assert(Active && "transactional write outside a transaction");
   if (config().CollectStats)
-    statsForThisThread().TxnWrites++;
+    ++PendingWrites; // Folded into the stats block at transaction end.
   BufferEntry &E = findOrCreateEntry(O, Slot);
   assert(Slot >= E.Base && Slot - E.Base < E.Count && "granule mismatch");
   E.Values[Slot - E.Base] = V;
@@ -160,6 +162,8 @@ bool LazyTxn::tryCommit() {
       if (++Pauses > config().ConflictPauseLimit) {
         ReleaseAll(); // Deadlock avoidance among committers.
         rollback();
+        noteTxnAbort(giveUpReason(/*IsRead=*/false, W,
+                                  /*BudgetExhausted=*/true));
         return false;
       }
       B.pause();
@@ -172,6 +176,7 @@ bool LazyTxn::tryCommit() {
   if (!validateReadSet(Held)) {
     ReleaseAll();
     rollback();
+    noteTxnAbort(AbortReason::ReadValidation);
     return false;
   }
   QSlot->ValidatedAt.store(Now, std::memory_order_release);
@@ -218,6 +223,7 @@ bool LazyTxn::tryCommit() {
   QSlot->WritebackSeq.store(0, std::memory_order_release);
   QSlot->ActiveSince.store(0, std::memory_order_release);
   statsForThisThread().TxnCommits++;
+  traceEvent(TraceKind::TxnCommit);
   if (config().QuiesceOnCommit)
     Quiescence::waitForPriorWritebacks(CommitSeq, QSlot);
   reset();
@@ -247,6 +253,12 @@ void LazyTxn::rollback() {
 }
 
 void LazyTxn::reset() {
+  if (PendingReads | PendingWrites) {
+    detail::TlsCounters &S = statsForThisThread();
+    S.TxnReads += PendingReads;
+    S.TxnWrites += PendingWrites;
+    PendingReads = PendingWrites = 0;
+  }
   ReadSet.clear();
   Buffer.clear();
   BufferIndex.clear();
@@ -255,15 +267,20 @@ void LazyTxn::reset() {
 
 void LazyTxn::userRetry() {
   assert(Active && "retry outside a transaction");
-  throw RollbackSignal{RollbackSignal::UserRetry, 0};
+  throw RollbackSignal{RollbackSignal::UserRetry, 0, AbortReason::UserRetry};
 }
 
 void LazyTxn::userAbort() {
   assert(Active && "abort outside a transaction");
-  throw RollbackSignal{RollbackSignal::UserAbort, 0};
+  throw RollbackSignal{RollbackSignal::UserAbort, 0, AbortReason::UserAbort};
 }
 
 void LazyTxn::abortRestart() {
   assert(Active && "abortRestart outside a transaction");
-  throw RollbackSignal{RollbackSignal::Conflict, 0};
+  throw RollbackSignal{RollbackSignal::Conflict, 0,
+                       AbortReason::ContentionGiveUp};
+}
+
+void LazyTxn::conflictAbort(AbortReason Reason) {
+  throw RollbackSignal{RollbackSignal::Conflict, 0, Reason};
 }

@@ -63,18 +63,23 @@ public:
         Body();
         if (T.tryCommit())
           return true;
-        statsForThisThread().TxnAborts++;
+        // tryCommit accounted the abort itself — it knows which phase
+        // (commit-time acquire vs read validation) failed.
       } catch (RollbackSignal &S) {
         T.rollback();
-        if (S.Kind == RollbackSignal::UserAbort)
+        if (S.Kind == RollbackSignal::UserAbort) {
+          // Histogram only: the lazy driver has never counted an explicit
+          // user abort in TxnAborts.
+          noteAbortReason(AbortReason::UserAbort);
           return false;
-        statsForThisThread().TxnAborts +=
-            (S.Kind != RollbackSignal::UserRetry);
-        statsForThisThread().TxnUserRetries +=
-            (S.Kind == RollbackSignal::UserRetry);
+        }
+        if (S.Kind == RollbackSignal::UserRetry)
+          noteUserRetry();
+        else
+          noteTxnAbort(S.Reason);
       } catch (...) {
         T.rollback(); // Foreign exception: abort cleanly, then propagate.
-        statsForThisThread().TxnAborts++;
+        noteTxnAbort(AbortReason::UserAbort);
         throw;
       }
       RetryBackoff.pause();
@@ -127,6 +132,7 @@ private:
   bool tryCommit();
   void rollback();
   void reset();
+  [[noreturn]] void conflictAbort(AbortReason Reason);
   BufferEntry &findOrCreateEntry(rt::Object *O, uint32_t Slot);
   bool validateReadSet(
       const std::unordered_map<std::atomic<Word> *, Word> &Held) const;
@@ -137,6 +143,11 @@ private:
   std::unordered_map<std::pair<rt::Object *, uint32_t>, size_t, KeyHash>
       BufferIndex;
   bool Active = false;
+  /// In-flight op counts, folded into the stats block once per
+  /// transaction end (reset) — see the eager Txn's fields of the same
+  /// name for why these are plain, not RelaxedCounter cells.
+  uint64_t PendingReads = 0;
+  uint64_t PendingWrites = 0;
   Quiescence::Slot *QSlot = nullptr;
 };
 

@@ -8,7 +8,10 @@
 #include "stm/Stats.h"
 #include "support/Backoff.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
 
 using namespace satm;
 using namespace satm::stm;
@@ -17,9 +20,15 @@ namespace {
 
 struct Registry {
   Quiescence::Slot Slots[Quiescence::MaxThreads];
-  std::atomic<unsigned> NumSlots{0};
+  /// One past the highest slot index ever handed out; the scan bound for
+  /// the waiters. Slots of exited threads below it are zeroed, so scanning
+  /// them is a no-op. Published with release under FreeMutex.
+  std::atomic<unsigned> HighWater{0};
   std::atomic<uint64_t> Epoch{1};
   std::atomic<uint64_t> CommitSeq{0};
+  std::mutex FreeMutex;
+  std::vector<unsigned> FreeList; ///< Indices of exited threads' slots.
+  unsigned LiveCount = 0;         ///< Guarded by FreeMutex.
 
   static Registry &get() {
     static Registry R;
@@ -27,16 +36,72 @@ struct Registry {
   }
 };
 
+unsigned acquireSlotIndex() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.FreeMutex);
+  ++R.LiveCount;
+  if (!R.FreeList.empty()) {
+    unsigned Index = R.FreeList.back();
+    R.FreeList.pop_back();
+    return Index;
+  }
+  unsigned Index = R.HighWater.load(std::memory_order_relaxed);
+  if (Index >= Quiescence::MaxThreads) {
+    // Every slot is held by a live thread. Unlike the old assert (compiled
+    // out in release, leaving an out-of-bounds write into Slots), this is
+    // fatal in every build type.
+    std::fprintf(stderr,
+                 "satm: quiescence registry exhausted: more than %u "
+                 "simultaneously live STM threads\n",
+                 Quiescence::MaxThreads);
+    std::abort();
+  }
+  R.HighWater.store(Index + 1, std::memory_order_release);
+  return Index;
+}
+
+void releaseSlotIndex(unsigned Index) {
+  Registry &R = Registry::get();
+  // Zero the slot before recycling: a committer scanning it mid-release
+  // must read "no transaction", and the next owner starts clean.
+  Quiescence::Slot &S = R.Slots[Index];
+  S.ActiveSince.store(0, std::memory_order_release);
+  S.ValidatedAt.store(0, std::memory_order_release);
+  S.WritebackSeq.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> Lock(R.FreeMutex);
+  R.FreeList.push_back(Index);
+  --R.LiveCount;
+}
+
+/// RAII slot registration mirroring TlsStatsBlock: the destructor returns
+/// the slot to the free-list at thread exit.
+struct SlotHandle {
+  static constexpr unsigned None = ~0u;
+  unsigned Index = None;
+  ~SlotHandle() {
+    if (Index != None)
+      releaseSlotIndex(Index);
+  }
+};
+
+thread_local SlotHandle TlsSlot;
+
 } // namespace
 
 Quiescence::Slot &Quiescence::slotForThisThread() {
-  thread_local Slot *MySlot = [] {
-    Registry &R = Registry::get();
-    unsigned Index = R.NumSlots.fetch_add(1, std::memory_order_relaxed);
-    assert(Index < MaxThreads && "too many threads for quiescence registry");
-    return &R.Slots[Index];
-  }();
-  return *MySlot;
+  if (TlsSlot.Index == SlotHandle::None)
+    TlsSlot.Index = acquireSlotIndex();
+  return Registry::get().Slots[TlsSlot.Index];
+}
+
+unsigned Quiescence::liveSlots() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.FreeMutex);
+  return R.LiveCount;
+}
+
+unsigned Quiescence::peakSlots() {
+  return Registry::get().HighWater.load(std::memory_order_acquire);
 }
 
 uint64_t Quiescence::currentEpoch() {
@@ -49,7 +114,7 @@ uint64_t Quiescence::advanceEpoch() {
 
 void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
   Registry &R = Registry::get();
-  unsigned N = R.NumSlots.load(std::memory_order_acquire);
+  unsigned N = R.HighWater.load(std::memory_order_acquire);
   bool Waited = false;
   for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
     const Slot &S = R.Slots[I];
@@ -66,8 +131,10 @@ void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
       B.pause();
     }
   }
-  if (Waited)
+  if (Waited) {
     statsForThisThread().QuiesceWaits++;
+    traceEvent(TraceKind::QuiesceWait);
+  }
 }
 
 uint64_t Quiescence::nextCommitSeq() {
@@ -77,7 +144,7 @@ uint64_t Quiescence::nextCommitSeq() {
 
 void Quiescence::waitForPriorWritebacks(uint64_t Seq, const Slot *Self) {
   Registry &R = Registry::get();
-  unsigned N = R.NumSlots.load(std::memory_order_acquire);
+  unsigned N = R.HighWater.load(std::memory_order_acquire);
   bool Waited = false;
   for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
     const Slot &S = R.Slots[I];
@@ -92,6 +159,8 @@ void Quiescence::waitForPriorWritebacks(uint64_t Seq, const Slot *Self) {
       B.pause();
     }
   }
-  if (Waited)
+  if (Waited) {
     statsForThisThread().QuiesceWaits++;
+    traceEvent(TraceKind::QuiesceWait);
+  }
 }

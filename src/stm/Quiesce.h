@@ -48,8 +48,19 @@ public:
     std::atomic<uint64_t> WritebackSeq{0};
   };
 
-  /// Returns (registering on first use) the calling thread's slot.
+  /// Returns (registering on first use) the calling thread's slot. Slots
+  /// are recycled through a free-list when their thread exits, so thread
+  /// churn never exhausts the registry; running more than MaxThreads
+  /// *simultaneous* STM threads is a hard error in every build type.
   static Slot &slotForThisThread();
+
+  /// Number of currently registered threads (introspection for tests).
+  static unsigned liveSlots();
+
+  /// High-water mark of slot indices ever in use. Bounded by the number of
+  /// simultaneously live threads — not by how many have come and gone —
+  /// which is what the thread-churn regression test asserts.
+  static unsigned peakSlots();
 
   /// Current global epoch.
   static uint64_t currentEpoch();

@@ -1,0 +1,110 @@
+//===- stm/Report.cpp - Stats and trace report sink ----------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace satm;
+using namespace satm::stm;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string satm::stm::renderStatsText(const StatsCounters &C) {
+  std::string Out;
+#define SATM_STATS_FIELD(Name, Key)                                            \
+  appendf(Out, "  %-20s %12" PRIu64 "\n", #Name, C.Name);
+  SATM_STATS_COUNTERS(SATM_STATS_FIELD)
+#undef SATM_STATS_FIELD
+  uint64_t Total = 0;
+  for (unsigned I = 0; I < NumAbortReasons; ++I)
+    Total += C.AbortReasons[I];
+  if (Total == 0) {
+    Out += "  abort reasons:       (none)\n";
+    return Out;
+  }
+  Out += "  abort reasons:\n";
+  for (unsigned I = 0; I < NumAbortReasons; ++I)
+    if (C.AbortReasons[I] != 0)
+      appendf(Out, "    %-18s %12" PRIu64 "\n",
+              abortReasonName(AbortReason(I)), C.AbortReasons[I]);
+  return Out;
+}
+
+std::string satm::stm::renderAbortReasonsJson(const StatsCounters &C) {
+  std::string Out = "{";
+  for (unsigned I = 0; I < NumAbortReasons; ++I)
+    appendf(Out, "%s\"%s\": %" PRIu64, I ? ", " : "",
+            abortReasonKey(AbortReason(I)), C.AbortReasons[I]);
+  Out += "}";
+  return Out;
+}
+
+std::string satm::stm::renderStatsJson(const StatsCounters &C,
+                                       unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  std::string Out = Pad + "{\n";
+#define SATM_STATS_FIELD(Name, Key)                                            \
+  appendf(Out, "%s  \"%s\": %" PRIu64 ",\n", Pad.c_str(), Key, C.Name);
+  SATM_STATS_COUNTERS(SATM_STATS_FIELD)
+#undef SATM_STATS_FIELD
+  appendf(Out, "%s  \"abort_reasons\": %s\n", Pad.c_str(),
+          renderAbortReasonsJson(C).c_str());
+  Out += Pad + "}";
+  return Out;
+}
+
+std::string satm::stm::renderTraceText(
+    const std::vector<TraceEntry> &Events) {
+  std::string Out;
+  if (Events.empty())
+    return "  (no events)\n";
+  appendf(Out, "  %-14s %-7s %-16s %s\n", "+time", "thread", "event",
+          "detail");
+  uint64_t T0 = Events.front().Time;
+  for (const TraceEntry &E : Events) {
+    const char *Detail = "";
+    if (E.Kind == TraceKind::TxnAbort && E.Arg < NumAbortReasons)
+      Detail = abortReasonName(AbortReason(E.Arg));
+    else if (E.Kind == TraceKind::BarrierConflict)
+      Detail = barrierSiteName(BarrierSite(E.Arg));
+    appendf(Out, "  +%-13" PRIu64 " t%-6" PRIu32 " %-16s %s\n",
+            E.Time - T0, E.ThreadId, traceKindName(E.Kind), Detail);
+  }
+  return Out;
+}
+
+bool satm::stm::statsReportRequested() {
+  const char *E = std::getenv("SATM_STATS");
+  return E && *E && std::strcmp(E, "0") != 0;
+}
+
+void satm::stm::maybeReportStats(const char *Phase) {
+  if (!statsReportRequested())
+    return;
+  std::string Text = renderStatsText(statsSnapshot());
+  std::printf("== SATM stats (%s)\n%s", Phase, Text.c_str());
+  if (traceEnabled())
+    std::printf("  trace: %" PRIu64 " events retained, %" PRIu64
+                " overwritten\n",
+                uint64_t(traceDrain().size()), traceDropped());
+  std::fflush(stdout);
+}

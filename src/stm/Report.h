@@ -1,0 +1,59 @@
+//===- stm/Report.h - Stats and trace report sink --------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering for the observability layer in stm/Stats.h: the counter block
+/// plus abort-reason histogram as a text table or JSON, and drained
+/// SATM_TRACE event rings as a chronological text trace. The benchmarks
+/// embed the JSON fragments in BENCH_satm.json (schema satm-bench-v2) and
+/// print the text forms when SATM_STATS is set; the schedule explorer's
+/// replay driver prints the event trace of a re-executed anomaly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_REPORT_H
+#define SATM_STM_REPORT_H
+
+#include "stm/Stats.h"
+
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace stm {
+
+/// Renders \p C (typically statsSnapshot()) as an aligned two-column text
+/// table; abort reasons with non-zero counts follow as an indented
+/// histogram section.
+std::string renderStatsText(const StatsCounters &C);
+
+/// Renders \p C as a JSON object: every scalar counter under its stable
+/// snake_case key, plus a complete "abort_reasons" sub-object. \p Indent
+/// is the number of spaces prefixed to every line (0 = compact root
+/// object on one line per field).
+std::string renderStatsJson(const StatsCounters &C, unsigned Indent = 0);
+
+/// Renders only the abort-reason histogram as a single-line JSON object
+/// with all NumAbortReasons keys present — the per-benchmark fragment of
+/// the satm-bench-v2 schema.
+std::string renderAbortReasonsJson(const StatsCounters &C);
+
+/// Renders drained trace events (traceDrain()) as a text table with
+/// timestamps relative to the first event.
+std::string renderTraceText(const std::vector<TraceEntry> &Events);
+
+/// True when the SATM_STATS environment variable requests end-of-run
+/// reports.
+bool statsReportRequested();
+
+/// If SATM_STATS is set, prints the statsSnapshot() table (plus a one-line
+/// ring summary when tracing is enabled) to stdout, tagged with \p Phase.
+void maybeReportStats(const char *Phase);
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_REPORT_H

@@ -1,4 +1,4 @@
-//===- stm/Stats.cpp - Runtime event counters ----------------------------===//
+//===- stm/Stats.cpp - Runtime event counters and tracing ----------------===//
 //
 // Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 //
@@ -6,12 +6,96 @@
 
 #include "stm/Stats.h"
 
+#include "support/EventRing.h"
+
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 using namespace satm;
 using namespace satm::stm;
+
+const char *satm::stm::abortReasonName(AbortReason R) {
+  switch (R) {
+  case AbortReason::ReadValidation:
+    return "ReadValidation";
+  case AbortReason::WriteLockConflict:
+    return "WriteLockConflict";
+  case AbortReason::NtReadKill:
+    return "NtReadKill";
+  case AbortReason::NtWriteKill:
+    return "NtWriteKill";
+  case AbortReason::AggregatedScope:
+    return "AggregatedScope";
+  case AbortReason::UserRetry:
+    return "UserRetry";
+  case AbortReason::UserAbort:
+    return "UserAbort";
+  case AbortReason::ContentionGiveUp:
+    return "ContentionGiveUp";
+  }
+  return "?";
+}
+
+const char *satm::stm::abortReasonKey(AbortReason R) {
+  switch (R) {
+  case AbortReason::ReadValidation:
+    return "read_validation";
+  case AbortReason::WriteLockConflict:
+    return "write_lock_conflict";
+  case AbortReason::NtReadKill:
+    return "nt_read_kill";
+  case AbortReason::NtWriteKill:
+    return "nt_write_kill";
+  case AbortReason::AggregatedScope:
+    return "aggregated_scope";
+  case AbortReason::UserRetry:
+    return "user_retry";
+  case AbortReason::UserAbort:
+    return "user_abort";
+  case AbortReason::ContentionGiveUp:
+    return "contention_give_up";
+  }
+  return "?";
+}
+
+const char *satm::stm::traceKindName(TraceKind K) {
+  switch (K) {
+  case TraceKind::TxnBegin:
+    return "TxnBegin";
+  case TraceKind::TxnCommit:
+    return "TxnCommit";
+  case TraceKind::TxnAbort:
+    return "TxnAbort";
+  case TraceKind::BarrierConflict:
+    return "BarrierConflict";
+  case TraceKind::QuiesceWait:
+    return "QuiesceWait";
+  }
+  return "?";
+}
+
+const char *satm::stm::barrierSiteName(BarrierSite S) {
+  switch (S) {
+  case BarrierSite::NtRead:
+    return "ntRead";
+  case BarrierSite::NtReadOrdering:
+    return "ntReadOrdering";
+  case BarrierSite::NtWrite:
+    return "ntWrite";
+  case BarrierSite::AggWrite:
+    return "AggregatedWriter";
+  case BarrierSite::AggRead:
+    return "aggregatedRead";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===
+// Counter registry.
+//===----------------------------------------------------------------------===
 
 namespace {
 
@@ -40,7 +124,9 @@ satm::stm::detail::TlsStatsBlock::~TlsStatsBlock() {
     return;
   Registry &R = Registry::get();
   std::lock_guard<std::mutex> Lock(R.Mutex);
-  R.Retired += Counters;
+  StatsCounters Final = detail::readCounters(Counters);
+  Final -= Baseline;
+  R.Retired += Final;
   R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), this),
                R.Live.end());
 }
@@ -49,8 +135,10 @@ StatsCounters satm::stm::statsSnapshot() {
   Registry &R = Registry::get();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   StatsCounters Sum = R.Retired;
-  for (detail::TlsStatsBlock *B : R.Live)
-    Sum += B->Counters;
+  for (detail::TlsStatsBlock *B : R.Live) {
+    Sum += detail::readCounters(B->Counters);
+    Sum -= B->Baseline;
+  }
   return Sum;
 }
 
@@ -58,6 +146,102 @@ void satm::stm::statsReset() {
   Registry &R = Registry::get();
   std::lock_guard<std::mutex> Lock(R.Mutex);
   R.Retired = StatsCounters();
+  // Rebase rather than zero: the owning thread may be incrementing its
+  // cells right now, and a plain cross-thread store would race with it.
   for (detail::TlsStatsBlock *B : R.Live)
-    B->Counters = StatsCounters();
+    B->Baseline = detail::readCounters(B->Counters);
+}
+
+//===----------------------------------------------------------------------===
+// Trace rings.
+//===----------------------------------------------------------------------===
+
+bool satm::stm::detail::TraceOn = [] {
+  const char *E = std::getenv("SATM_TRACE");
+  return E && *E && !(E[0] == '0' && E[1] == '\0');
+}();
+
+namespace {
+
+/// Packed per-thread ring element; the thread id lives on the ring.
+struct TraceEvt {
+  uint64_t Time;
+  TraceKind Kind;
+  uint8_t Arg;
+};
+
+/// 4096 events per thread (~96 KiB); old events are overwritten and
+/// counted as dropped.
+constexpr unsigned TraceRingPow2 = 12;
+
+struct TraceRing {
+  uint32_t ThreadId;
+  EventRing<TraceEvt, TraceRingPow2> Ring;
+};
+
+/// Rings are heap-allocated and never freed: they outlive their threads so
+/// a report after join still sees every thread's events.
+struct TraceRegistry {
+  std::mutex Mutex;
+  std::vector<std::unique_ptr<TraceRing>> Rings;
+
+  static TraceRegistry &get() {
+    static TraceRegistry R;
+    return R;
+  }
+};
+
+thread_local TraceRing *TlsTraceRing = nullptr;
+
+} // namespace
+
+void satm::stm::detail::traceRecord(TraceKind K, uint8_t Arg) {
+  TraceRing *R = TlsTraceRing;
+  if (!R) {
+    TraceRegistry &Reg = TraceRegistry::get();
+    std::lock_guard<std::mutex> Lock(Reg.Mutex);
+    Reg.Rings.push_back(std::make_unique<TraceRing>());
+    R = Reg.Rings.back().get();
+    R->ThreadId = uint32_t(Reg.Rings.size() - 1);
+    TlsTraceRing = R;
+  }
+  R->Ring.push({traceTimestamp(), K, Arg});
+}
+
+void satm::stm::setTraceEnabled(bool On) { detail::TraceOn = On; }
+
+void satm::stm::traceReset() {
+  TraceRegistry &Reg = TraceRegistry::get();
+  std::lock_guard<std::mutex> Lock(Reg.Mutex);
+  for (auto &R : Reg.Rings)
+    R->Ring.clear();
+}
+
+std::vector<TraceEntry> satm::stm::traceDrain() {
+  TraceRegistry &Reg = TraceRegistry::get();
+  std::vector<TraceEntry> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Reg.Mutex);
+    std::vector<TraceEvt> Scratch;
+    for (auto &R : Reg.Rings) {
+      Scratch.clear();
+      R->Ring.drain(Scratch);
+      for (const TraceEvt &E : Scratch)
+        Out.push_back({E.Time, R->ThreadId, E.Kind, E.Arg});
+    }
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEntry &A, const TraceEntry &B) {
+                     return A.Time < B.Time;
+                   });
+  return Out;
+}
+
+uint64_t satm::stm::traceDropped() {
+  TraceRegistry &Reg = TraceRegistry::get();
+  std::lock_guard<std::mutex> Lock(Reg.Mutex);
+  uint64_t Sum = 0;
+  for (auto &R : Reg.Rings)
+    Sum += R->Ring.dropped();
+  return Sum;
 }

@@ -37,12 +37,13 @@ void Txn::begin() {
   // An empty read set is trivially consistent as of Now.
   QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
   QSlot->ActiveSince.store(Now, std::memory_order_release);
+  traceEvent(TraceKind::TxnBegin);
 }
 
 Word Txn::read(Object *O, uint32_t Slot) {
   assert(isActive() && "transactional read outside a transaction");
   if (config().CollectStats)
-    statsForThisThread().TxnReads++;
+    ++PendingReads; // Folded into the stats block at transaction end.
   std::atomic<Word> &Rec = O->txRecord();
   Word W = Rec.load(std::memory_order_acquire);
   // Private objects belong to this thread: no logging, no validation (§4).
@@ -72,7 +73,7 @@ Word Txn::read(Object *O, uint32_t Slot) {
     }
     // Owned by another transaction or by a non-transactional writer
     // (Exclusive-anonymous): back off; abort self past the limit.
-    contentionPause(B, Pauses, &Rec, W);
+    contentionPause(B, Pauses, &Rec, W, /*IsRead=*/true);
     W = Rec.load(std::memory_order_acquire);
   }
 }
@@ -80,7 +81,7 @@ Word Txn::read(Object *O, uint32_t Slot) {
 void Txn::writeImpl(Object *O, uint32_t Slot, Word V, bool IsRef) {
   assert(isActive() && "transactional write outside a transaction");
   if (config().CollectStats)
-    statsForThisThread().TxnWrites++;
+    ++PendingWrites; // Folded into the stats block at transaction end.
   std::atomic<Word> &Rec = O->txRecord();
   Word W = Rec.load(std::memory_order_acquire);
   if (TxRecord::isPrivate(W)) {
@@ -114,7 +115,7 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
     if (TxRecord::isExclusive(W)) {
       if (TxRecord::owner(W) == this)
         return;
-      contentionPause(B, Pauses, &Rec, W);
+      contentionPause(B, Pauses, &Rec, W, /*IsRead=*/false);
       continue;
     }
     if (TxRecord::isShared(W)) {
@@ -128,7 +129,7 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
       continue; // Lost the race; re-examine the record.
     }
     // Exclusive-anonymous: a non-transactional writer is mid-update.
-    contentionPause(B, Pauses, &Rec, W);
+    contentionPause(B, Pauses, &Rec, W, /*IsRead=*/false);
   }
 }
 
@@ -180,7 +181,7 @@ void Txn::maybePeriodicValidate() {
   NextValidateAt *= 2;
   uint64_t Now = Quiescence::currentEpoch();
   if (!validateReadSet())
-    conflictAbort();
+    conflictAbort(AbortReason::ReadValidation);
   QSlot->ValidatedAt.store(Now, std::memory_order_release);
 }
 
@@ -199,6 +200,7 @@ bool Txn::tryCommit() {
   // publishing our in-place updates to other transactions' validators.
   releaseLockRange(0, WriteLocks.size());
   statsForThisThread().TxnCommits++;
+  traceEvent(TraceKind::TxnCommit);
   // We are no longer a hazard to anyone: mark inactive *before* quiescing
   // so that two concurrently quiescing committers do not wait on each
   // other (both are already committed).
@@ -325,7 +327,10 @@ void Txn::commitOpenNested(std::function<void()> OnParentAbort) {
   }
   if (!Valid) {
     abortOpenNested();
-    conflictAbort(); // Conservative: restart the whole transaction.
+    // Conservative: restart the whole transaction. This is the
+    // aggregated-scope conflict of the taxonomy — the open-nested region's
+    // independently-validated reads were invalidated.
+    conflictAbort(AbortReason::AggregatedScope);
   }
   OpenFrames.pop_back();
   // Independent commit: the open region's writes survive a parent abort.
@@ -360,26 +365,29 @@ void Txn::abortOpenNested() {
 void Txn::userRetry() {
   assert(isActive() && "retry outside a transaction");
   assert(OpenFrames.empty() && "retry inside an open-nested region");
-  throw RollbackSignal{RollbackSignal::UserRetry, 0};
+  throw RollbackSignal{RollbackSignal::UserRetry, 0, AbortReason::UserRetry};
 }
 
 void Txn::userAbort() {
   assert(isActive() && "abort outside a transaction");
   assert(OpenFrames.empty() && "abort inside an open-nested region");
-  throw RollbackSignal{RollbackSignal::UserAbort, Depth};
+  throw RollbackSignal{RollbackSignal::UserAbort, Depth,
+                       AbortReason::UserAbort};
 }
 
 void Txn::abortRestart() {
   assert(isActive() && "abortRestart outside a transaction");
-  throw RollbackSignal{RollbackSignal::Conflict, 0};
+  throw RollbackSignal{RollbackSignal::Conflict, 0,
+                       AbortReason::ContentionGiveUp};
 }
 
-void Txn::conflictAbort() {
-  throw RollbackSignal{RollbackSignal::Conflict, 0};
+void Txn::conflictAbort(AbortReason Reason) {
+  throw RollbackSignal{RollbackSignal::Conflict, 0, Reason};
 }
 
 void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
-                          const std::atomic<Word> *Rec, Word ObservedRecord) {
+                          const std::atomic<Word> *Rec, Word ObservedRecord,
+                          bool IsRead) {
   schedYield(YieldPoint::TxnContention, Rec, ObservedRecord);
   const Config &Cfg = config();
   uint64_t Limit = Cfg.ConflictPauseLimit;
@@ -390,7 +398,8 @@ void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
     Limit *= 16;
     break;
   case ContentionPolicy::Timid:
-    conflictAbort();
+    conflictAbort(giveUpReason(IsRead, ObservedRecord,
+                               /*BudgetExhausted=*/false));
   case ContentionPolicy::Timestamp:
     // Age decides: the younger transaction yields immediately; the older
     // waits patiently. Conflicts with non-transactional writers
@@ -401,13 +410,14 @@ void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
       // reuse the descriptor; a stale comparison only costs an extra
       // abort or wait, never a deadlock (waiting is still bounded).
       if (startStamp() > Owner->startStamp())
-        conflictAbort();
+        conflictAbort(AbortReason::WriteLockConflict);
       Limit *= 16;
     }
     break;
   }
-  if (++Pauses > Limit)
-    conflictAbort(); // 2PL deadlock avoidance: give up our locks.
+  if (++Pauses > Limit) // 2PL deadlock avoidance: give up our locks.
+    conflictAbort(giveUpReason(IsRead, ObservedRecord,
+                               /*BudgetExhausted=*/true));
   B.pause();
 }
 
@@ -430,6 +440,12 @@ void Txn::waitForChange(const std::vector<ReadEntry> &Snapshot) {
 }
 
 void Txn::resetState() {
+  if (PendingReads | PendingWrites) {
+    detail::TlsCounters &S = statsForThisThread();
+    S.TxnReads += PendingReads;
+    S.TxnWrites += PendingWrites;
+    PendingReads = PendingWrites = 0;
+  }
   ReadSet.clear();
   WriteLocks.clear();
   WriteLockIndex.clear();

@@ -55,7 +55,23 @@ struct RollbackSignal {
   };
   KindTy Kind;
   size_t Depth; ///< Nesting depth targeted by UserAbort; unused otherwise.
+  /// What killed the transaction; folded into the AbortReasons histogram
+  /// by the region driver that catches the signal.
+  AbortReason Reason = AbortReason::ContentionGiveUp;
 };
+
+/// Classifies a contention-manager give-up on a record observed as
+/// \p Observed. An Exclusive-anonymous hold means a non-transactional
+/// barrier killed us (by access side); an Exclusive (transaction-owned)
+/// record is a policy decision (\p BudgetExhausted false: Timid/Timestamp
+/// chose to abort) or a 2PL pause-budget give-up.
+inline AbortReason giveUpReason(bool IsRead, Word Observed,
+                                bool BudgetExhausted) {
+  if (TxRecord::isExclusiveAnon(Observed))
+    return IsRead ? AbortReason::NtReadKill : AbortReason::NtWriteKill;
+  return BudgetExhausted ? AbortReason::ContentionGiveUp
+                         : AbortReason::WriteLockConflict;
+}
 
 /// Per-thread eager transaction descriptor. Access via forThisThread() and
 /// drive regions with the static run* entry points; the instance methods
@@ -208,10 +224,10 @@ private:
         Body();
         if (tryCommit())
           return true;
-        statsForThisThread().TxnAborts++;
+        noteTxnAbort(AbortReason::ReadValidation);
       } catch (RollbackSignal &S) {
         if (S.Kind == RollbackSignal::UserRetry) {
-          statsForThisThread().TxnUserRetries++;
+          noteUserRetry();
           // Steal the read set rather than copy it: rollbackAll() only
           // clear()s the vector, which leaves a moved-from one empty too.
           std::vector<ReadEntry> Snapshot = std::move(ReadSet);
@@ -220,7 +236,7 @@ private:
           continue;
         }
         rollbackAll();
-        statsForThisThread().TxnAborts++;
+        noteTxnAbort(S.Reason);
         if (S.Kind == RollbackSignal::UserAbort)
           return false;
       } catch (...) {
@@ -228,7 +244,7 @@ private:
         // body) unwinds through the region: abort cleanly, then let it
         // propagate.
         rollbackAll();
-        statsForThisThread().TxnAborts++;
+        noteTxnAbort(AbortReason::UserAbort);
         throw;
       }
       RetryBackoff.pause();
@@ -278,9 +294,10 @@ private:
 
   bool validateReadSet();
   void maybePeriodicValidate();
-  [[noreturn]] void conflictAbort();
+  [[noreturn]] void conflictAbort(AbortReason Reason);
   void contentionPause(Backoff &B, uint32_t &Pauses,
-                       const std::atomic<Word> *Rec, Word ObservedRecord);
+                       const std::atomic<Word> *Rec, Word ObservedRecord,
+                       bool IsRead);
   void rollbackUndoRange(size_t Begin, size_t End);
   void releaseLockRange(size_t Begin, size_t End);
   static void waitForChange(const std::vector<ReadEntry> &Snapshot);
@@ -308,6 +325,14 @@ private:
   std::vector<std::function<void()>> CommitActions;
   std::vector<std::function<void()>> AbortActions;
   size_t Depth = 0;
+  /// Read/write op counts of the transaction in flight, folded into the
+  /// thread's stats block once per transaction end (resetState). Plain
+  /// fields, not RelaxedCounter cells: the per-access increment is the
+  /// hottest accounting in the system, and a plain increment on
+  /// transaction-private state stays coalescable by the compiler, where a
+  /// relaxed atomic store per access is not.
+  uint64_t PendingReads = 0;
+  uint64_t PendingWrites = 0;
   /// Next read-set size at which to revalidate; doubles after each
   /// periodic validation so total validation work stays linear in the
   /// read-set size.

@@ -33,14 +33,21 @@ public:
     }
     if (Spins < YieldCap)
       Spins <<= 1;
+    ++Calls;
   }
 
   /// Resets the backoff to its initial (shortest) wait.
-  void reset() { Spins = 4; }
+  void reset() {
+    Spins = InitialSpins;
+    Calls = 0;
+  }
 
   /// Number of pause() calls so far in this escalation, as a rough
   /// contention signal for callers that want to abort instead of waiting.
-  uint32_t escalation() const { return Spins; }
+  /// Counts calls, not the current wait length: the internal wait doubles
+  /// and saturates at YieldCap, which would freeze this signal right when
+  /// contention is worst.
+  uint32_t escalation() const { return Calls; }
 
 private:
   static void cpuRelax() {
@@ -51,9 +58,11 @@ private:
 #endif
   }
 
+  static constexpr uint32_t InitialSpins = 4;
   static constexpr uint32_t SpinCap = 1u << 10;
   static constexpr uint32_t YieldCap = 1u << 16;
-  uint32_t Spins = 4;
+  uint32_t Spins = InitialSpins;
+  uint32_t Calls = 0;
 };
 
 } // namespace satm

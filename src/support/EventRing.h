@@ -1,0 +1,112 @@
+//===- support/EventRing.h - Lock-free fixed-capacity event ring *- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, overwrite-oldest event ring used by the SATM_TRACE
+/// runtime tracer (one ring per thread; see stm/Stats.h). All cursors are
+/// relaxed atomics; a push is one fetch_add plus two stores, so recording
+/// an event costs a handful of instructions even on the barrier-conflict
+/// paths.
+///
+/// Protocol: a writer claims a monotonically increasing index with
+/// fetch_add on Head, stamps the slot's sequence word with a busy marker,
+/// stores the payload, then publishes by storing the claim index into the
+/// sequence word (release). A drain walks the retained window oldest-first
+/// and accepts a slot only if its sequence word matches the expected index
+/// before and after copying the payload — a mid-write or since-overwritten
+/// slot is skipped, never returned torn.
+///
+/// Concurrency contract: any number of writers are safe while the ring
+/// does not wrap (fewer than Capacity events between clears), because
+/// distinct claim indices then map to distinct slots. Once wrapped, the
+/// ring must be single-writer (the per-thread trace rings are), since two
+/// writers Capacity apart would race on one slot's payload. Draining while
+/// writers are active only skips in-flight slots; for a loss-free drain,
+/// quiesce the writers first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_EVENTRING_H
+#define SATM_SUPPORT_EVENTRING_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace satm {
+
+template <typename T, unsigned CapacityPow2> class EventRing {
+public:
+  static constexpr uint64_t Capacity = uint64_t(1) << CapacityPow2;
+
+  /// Records \p E, overwriting the oldest retained event when full.
+  void push(const T &E) {
+    uint64_t Idx = Head.fetch_add(1, std::memory_order_relaxed);
+    Slot &S = Slots[Idx & Mask];
+    // Invalidate before touching the payload so a concurrent drain never
+    // accepts a half-written event.
+    S.Seq.store(Idx | BusyBit, std::memory_order_relaxed);
+    S.Value = E;
+    S.Seq.store(Idx, std::memory_order_release);
+  }
+
+  /// Total events pushed since construction / the last clear().
+  uint64_t written() const { return Head.load(std::memory_order_acquire); }
+
+  /// Events pushed but no longer retrievable (overwritten by wrap-around).
+  uint64_t dropped() const {
+    uint64_t W = written();
+    return W > Capacity ? W - Capacity : 0;
+  }
+
+  /// Appends the retained events, oldest first, to \p Out. Slots that are
+  /// mid-write (or overwritten underneath the walk) are skipped. \returns
+  /// the number of events appended.
+  size_t drain(std::vector<T> &Out) const {
+    uint64_t End = written();
+    uint64_t Begin = End > Capacity ? End - Capacity : 0;
+    size_t Appended = 0;
+    for (uint64_t I = Begin; I < End; ++I) {
+      const Slot &S = Slots[I & Mask];
+      if (S.Seq.load(std::memory_order_acquire) != I)
+        continue;
+      T Copy = S.Value;
+      // Seqlock-style recheck: the copy is valid only if no writer claimed
+      // the slot while we read it.
+      if (S.Seq.load(std::memory_order_acquire) != I)
+        continue;
+      Out.push_back(Copy);
+      ++Appended;
+    }
+    return Appended;
+  }
+
+  /// Empties the ring and rewinds the cursors. Callers must ensure no
+  /// writer is concurrently pushing.
+  void clear() {
+    for (Slot &S : Slots)
+      S.Seq.store(EmptySeq, std::memory_order_relaxed);
+    Head.store(0, std::memory_order_release);
+  }
+
+private:
+  static constexpr uint64_t Mask = Capacity - 1;
+  static constexpr uint64_t BusyBit = uint64_t(1) << 63;
+  /// Has BusyBit set, so it never equals a claim index.
+  static constexpr uint64_t EmptySeq = ~uint64_t(0);
+
+  struct Slot {
+    std::atomic<uint64_t> Seq{EmptySeq};
+    T Value{};
+  };
+
+  std::atomic<uint64_t> Head{0};
+  Slot Slots[Capacity];
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_EVENTRING_H

@@ -1,0 +1,145 @@
+//===- tests/stm/ThreadChurnTest.cpp - Registry lifecycle under churn ----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression tests for the two per-thread registries whose lifecycle used
+// to leak: the quiescence slot table (slots were fetch_add'd forever, so
+// thread number MaxThreads+1 scribbled past the array in release builds)
+// and the stats registry (exited threads' counters must fold into the
+// retired total exactly once, and statsReset must not lose live threads'
+// in-flight counts). Deliberately churns far more threads than
+// Quiescence::MaxThreads to prove recycling, so this test must pass in
+// both release and TSan builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+#include "stm/Quiesce.h"
+#include "stm/Stats.h"
+#include "stm/Txn.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+
+TEST(ThreadChurn, SlotRecyclingOutlivesMaxThreads) {
+  Config C;
+  C.QuiesceOnCommit = true; // Commit scans the slot table every time.
+  ScopedConfig SC(C);
+  Heap H;
+  Object *Shared = H.allocate(&CellType, BirthState::Shared);
+
+  constexpr unsigned BatchSize = 8;
+  constexpr unsigned Batches = 90; // 720 threads total, > MaxThreads=512.
+  static_assert(BatchSize * Batches > Quiescence::MaxThreads,
+                "the whole point is to exceed the registry capacity");
+
+  const unsigned LiveBefore = Quiescence::liveSlots();
+  const unsigned PeakBefore = Quiescence::peakSlots();
+
+  for (unsigned B = 0; B < Batches; ++B) {
+    std::vector<std::thread> Ts;
+    for (unsigned I = 0; I < BatchSize; ++I)
+      Ts.emplace_back([&] {
+        for (int R = 0; R < 2; ++R)
+          atomically([&] {
+            Txn &Tx = Txn::forThisThread();
+            Tx.write(Shared, 0, Tx.read(Shared, 0) + 1);
+          });
+      });
+    for (auto &T : Ts)
+      T.join(); // Joins run thread_local destructors: slots come back.
+  }
+
+  EXPECT_EQ(Shared->rawLoad(0), uint64_t(BatchSize) * Batches * 2);
+  EXPECT_EQ(Quiescence::liveSlots(), LiveBefore)
+      << "every churned thread must have returned its slot";
+  EXPECT_LE(Quiescence::peakSlots(), PeakBefore + BatchSize)
+      << "slot indices must be recycled, not fetch_add'd forever";
+}
+
+TEST(ThreadChurn, RetiredCountersFoldExactlyOnce) {
+  Heap H;
+  constexpr unsigned Threads = 16;
+  constexpr unsigned PerThread = 50;
+  std::vector<Object *> Cells;
+  for (unsigned I = 0; I < Threads; ++I)
+    Cells.push_back(H.allocate(&CellType, BirthState::Shared));
+
+  statsReset();
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ts.emplace_back([&, T] {
+        for (unsigned I = 0; I < PerThread; ++I)
+          atomically([&] {
+            Txn &Tx = Txn::forThisThread();
+            Tx.write(Cells[T], 0, Tx.read(Cells[T], 0) + 1);
+          });
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  // Every thread has exited: its counters live only in the retired total
+  // now. Distinct objects mean zero conflicts, so the commit count is
+  // exact, not a lower bound.
+  StatsCounters After = statsSnapshot();
+  EXPECT_EQ(After.TxnCommits, uint64_t(Threads) * PerThread);
+  EXPECT_EQ(After.TxnAborts, 0u);
+
+  // A second reset must discard the folded totals too.
+  statsReset();
+  EXPECT_EQ(statsSnapshot().TxnCommits, 0u);
+}
+
+TEST(ThreadChurn, TraceRingsSurviveThreadExit) {
+  // Event rings must outlive their writer thread: a report drained after
+  // join still sees the full begin/commit history of exited threads.
+  Heap H;
+  constexpr unsigned Threads = 4;
+  constexpr unsigned PerThread = 10;
+  std::vector<Object *> Cells;
+  for (unsigned I = 0; I < Threads; ++I)
+    Cells.push_back(H.allocate(&CellType, BirthState::Shared));
+
+  const bool WasOn = traceEnabled();
+  setTraceEnabled(true);
+  traceReset();
+  {
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ts.emplace_back([&, T] {
+        for (unsigned I = 0; I < PerThread; ++I)
+          atomically([&] {
+            Txn &Tx = Txn::forThisThread();
+            Tx.write(Cells[T], 0, I);
+          });
+      });
+    for (auto &T : Ts)
+      T.join();
+  }
+  std::vector<TraceEntry> Events = traceDrain();
+  setTraceEnabled(WasOn);
+
+  unsigned Begins = 0, Commits = 0;
+  for (const TraceEntry &E : Events) {
+    Begins += E.Kind == TraceKind::TxnBegin;
+    Commits += E.Kind == TraceKind::TxnCommit;
+  }
+  EXPECT_EQ(Begins, Threads * PerThread);
+  EXPECT_EQ(Commits, Threads * PerThread);
+  EXPECT_EQ(traceDropped(), 0u);
+}
+
+} // namespace

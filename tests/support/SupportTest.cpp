@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Backoff.h"
+#include "support/EventRing.h"
 #include "support/FlatPtrMap.h"
 #include "support/Rng.h"
 #include "support/Stopwatch.h"
@@ -14,6 +15,7 @@
 
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 using namespace satm;
@@ -82,23 +84,26 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_EQ(S.millis() >= 0.0, true);
 }
 
-TEST(Backoff, EscalatesAndResets) {
+TEST(Backoff, EscalationCountsPauseCalls) {
   Backoff B;
-  uint32_t First = B.escalation();
+  EXPECT_EQ(B.escalation(), 0u);
   for (int I = 0; I < 5; ++I)
     B.pause();
-  EXPECT_GT(B.escalation(), First);
+  EXPECT_EQ(B.escalation(), 5u);
   B.reset();
-  EXPECT_EQ(B.escalation(), First);
+  EXPECT_EQ(B.escalation(), 0u);
 }
 
-TEST(Backoff, EscalationSaturates) {
+TEST(Backoff, EscalationKeepsCountingPastTheYieldPlateau) {
+  // The internal wait length doubles and saturates, but the contention
+  // signal must not: callers using escalation() as an abort-vs-wait
+  // threshold need it to keep growing exactly when contention is worst.
   Backoff B;
   for (int I = 0; I < 64; ++I)
     B.pause(); // Must terminate quickly even at the yield plateau.
-  uint32_t Cap = B.escalation();
+  EXPECT_EQ(B.escalation(), 64u);
   B.pause();
-  EXPECT_EQ(B.escalation(), Cap);
+  EXPECT_EQ(B.escalation(), 65u);
 }
 
 TEST(FlatPtrMap, InsertFindOverwrite) {
@@ -215,6 +220,81 @@ TEST(Table, PrintsWithoutCrashing) {
   T.addRow({"long-cell", "x", "y", "extra"});
   T.print("title");
   SUCCEED();
+}
+
+TEST(EventRing, OrderedDrainWithinCapacity) {
+  EventRing<uint64_t, 4> R; // Capacity 16.
+  for (uint64_t I = 0; I < 10; ++I)
+    R.push(I);
+  EXPECT_EQ(R.written(), 10u);
+  EXPECT_EQ(R.dropped(), 0u);
+  std::vector<uint64_t> Out;
+  EXPECT_EQ(R.drain(Out), 10u);
+  ASSERT_EQ(Out.size(), 10u);
+  for (uint64_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Out[I], I);
+}
+
+TEST(EventRing, OverwritesOldestAndCountsDropped) {
+  EventRing<uint64_t, 4> R; // Capacity 16.
+  for (uint64_t I = 0; I < 100; ++I)
+    R.push(I);
+  EXPECT_EQ(R.written(), 100u);
+  EXPECT_EQ(R.dropped(), 84u);
+  std::vector<uint64_t> Out;
+  EXPECT_EQ(R.drain(Out), 16u) << "only the newest Capacity survive";
+  ASSERT_EQ(Out.size(), 16u);
+  for (uint64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I], 84 + I);
+}
+
+TEST(EventRing, ClearRewindsCursors) {
+  EventRing<uint64_t, 4> R;
+  for (uint64_t I = 0; I < 40; ++I)
+    R.push(I);
+  R.clear();
+  EXPECT_EQ(R.written(), 0u);
+  EXPECT_EQ(R.dropped(), 0u);
+  std::vector<uint64_t> Out;
+  EXPECT_EQ(R.drain(Out), 0u);
+  R.push(7);
+  EXPECT_EQ(R.drain(Out), 1u);
+  EXPECT_EQ(Out.back(), 7u);
+}
+
+TEST(EventRing, NoLostEventsUnderConcurrentWriters) {
+  // Within capacity, concurrent writers map distinct claim indices to
+  // distinct slots: every event must come back exactly once, and each
+  // writer's events in its push order (claim indices are monotone per
+  // thread).
+  constexpr unsigned Writers = 8;
+  constexpr uint64_t PerWriter = 1000;
+  static EventRing<uint64_t, 13> R; // Capacity 8192 >= 8000; ~192K, static
+                                    // to keep it off the test stack.
+  R.clear();
+  std::vector<std::thread> Ts;
+  for (unsigned W = 0; W < Writers; ++W)
+    Ts.emplace_back([W] {
+      for (uint64_t I = 0; I < PerWriter; ++I)
+        R.push((uint64_t(W) << 32) | I);
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  EXPECT_EQ(R.written(), uint64_t(Writers) * PerWriter);
+  EXPECT_EQ(R.dropped(), 0u);
+  std::vector<uint64_t> Out;
+  ASSERT_EQ(R.drain(Out), size_t(Writers) * PerWriter)
+      << "no event may be lost or left unpublished after the writers join";
+  uint64_t NextPerWriter[Writers] = {};
+  for (uint64_t E : Out) {
+    uint64_t W = E >> 32, Seq = E & 0xffffffff;
+    ASSERT_LT(W, Writers);
+    EXPECT_EQ(Seq, NextPerWriter[W]) << "per-writer order must be preserved";
+    NextPerWriter[W] = Seq + 1;
+  }
+  for (unsigned W = 0; W < Writers; ++W)
+    EXPECT_EQ(NextPerWriter[W], PerWriter);
 }
 
 } // namespace

@@ -1,0 +1,95 @@
+//===- bench/BenchJson.h - Shared satm-bench-v3 JSON emitter ---*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one writer of the repo's machine-readable perf trajectory format,
+/// shared by bench/perf_suite and bench/kv_service so the two halves of
+/// BENCH_satm.json cannot drift apart. Schema satm-bench-v3:
+///
+///   { "schema": "satm-bench-v3", "mode": "full"|"smoke",
+///     "benchmarks": [
+///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
+///         "abort_reasons": { ...all eight taxonomy keys... },
+///         // optional, service benchmarks only:
+///         "throughput_ops_per_sec": N,
+///         "latency_ns": {"p50": N, "p95": N, "p99": N, "p999": N} } ] }
+///
+/// v3 extends v2 with the two optional tail-latency fields; entries without
+/// them (the closed micro-benchmarks) are still valid, and
+/// scripts/check_bench_schema.sh enforces that kv/* entries carry both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_BENCH_BENCHJSON_H
+#define SATM_BENCH_BENCHJSON_H
+
+#include "stm/Report.h"
+#include "stm/Stats.h"
+#include "support/LatencyHistogram.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace satm {
+namespace bench {
+
+/// One benchmark's row in the trajectory file.
+struct BenchEntry {
+  std::string Name;
+  double NsPerOp = 0;
+  uint64_t Ops = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  unsigned MedianOf = 1;
+  stm::StatsCounters Counters; ///< Abort-reason histogram source.
+  /// Service benchmarks: end-to-end latency percentiles and sustained
+  /// throughput. HasLatency gates both optional JSON fields.
+  bool HasLatency = false;
+  LatencyHistogram::Percentiles Latency{};
+  double OpsPerSec = 0;
+};
+
+inline void writeBenchJson(const char *Path, const char *Mode,
+                           const std::vector<BenchEntry> &Entries) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "bench: cannot write %s\n", Path);
+    std::exit(1);
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v3\",\n");
+  std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
+  std::fprintf(F, "  \"benchmarks\": [\n");
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const BenchEntry &E = Entries[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": "
+                 "%" PRIu64 ", \"commits\": %" PRIu64 ", \"aborts\": %" PRIu64
+                 ", \"median_of\": %u,\n     \"abort_reasons\": %s",
+                 E.Name.c_str(), E.NsPerOp, E.Ops, E.Commits, E.Aborts,
+                 E.MedianOf, stm::renderAbortReasonsJson(E.Counters).c_str());
+    if (E.HasLatency)
+      std::fprintf(F,
+                   ",\n     \"throughput_ops_per_sec\": %.0f,\n"
+                   "     \"latency_ns\": {\"p50\": %" PRIu64
+                   ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+                   ", \"p999\": %" PRIu64 "}",
+                   E.OpsPerSec, E.Latency.P50, E.Latency.P95, E.Latency.P99,
+                   E.Latency.P999);
+    std::fprintf(F, "}%s\n", I + 1 < Entries.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+}
+
+} // namespace bench
+} // namespace satm
+
+#endif // SATM_BENCH_BENCHJSON_H

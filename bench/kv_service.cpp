@@ -1,0 +1,465 @@
+//===- bench/kv_service.cpp - SATM-KV tail-latency service harness -------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// TailBench-style driver for the SATM-KV store (src/kv): worker threads
+// issue a configurable mix of single-key GET/PUT (the non-transactional
+// barrier plane) and multi-key MGET/RMW/CAS (the transactional plane)
+// against one shared store, under the +DEA strong-atomicity configuration.
+// Each worker also keeps a DEA-private scratch object it updates through
+// the write barrier on every request, so the private fast path (Figure 10's
+// two-instruction sequence) is on the measured path just as compiled code
+// would place it.
+//
+// Two load modes:
+//  - closed-loop (default): each thread issues its next request the moment
+//    the previous one completes; latency = service time.
+//  - open-loop (--qps=N): requests arrive by a Poisson process at an
+//    aggregate target rate, split evenly across threads; latency is
+//    completion minus *scheduled arrival*, so queueing delay from
+//    scheduling hiccups and abort storms is charged to the tail, which is
+//    what distinguishes a tail-latency harness from a throughput one.
+//
+// Latencies go into per-thread log-bucketed histograms (≤3.2% relative
+// error) merged at the end; p50/p95/p99/p99.9 are reported in the table and
+// in the kv/* entries of the satm-bench-v3 JSON (bench/BenchJson.h).
+// `--suite` runs the canned configurations whose numbers are checked in via
+// scripts/bench.sh; `--smoke` is the tiny CI/TSan variant; bare flags run a
+// single custom configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "kv/Store.h"
+#include "stm/Barriers.h"
+#include "stm/Config.h"
+#include "stm/Report.h"
+#include "stm/Stats.h"
+#include "support/LatencyHistogram.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Zipf.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::bench;
+using namespace satm::stm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const rt::TypeDescriptor ScratchType("kv.Scratch", 2, {});
+
+/// Request mix in percent; must sum to 100. GET/PUT are the
+/// non-transactional plane, the rest are transactions.
+struct Mix {
+  unsigned Get = 60, Put = 20, Mget = 10, Rmw = 8, Cas = 2;
+
+  unsigned txnPct() const { return Mget + Rmw + Cas; }
+  std::string str() const {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "get:%u,put:%u,mget:%u,rmw:%u,cas:%u",
+                  Get, Put, Mget, Rmw, Cas);
+    return Buf;
+  }
+};
+
+struct RunConfig {
+  std::string Name = "kv/custom";
+  unsigned Threads = 4;
+  uint64_t Keys = 1 << 16;
+  uint32_t Shards = 64;
+  uint64_t OpsPerThread = 200000;
+  KeyGenerator::Dist Dist = KeyGenerator::Dist::Zipfian;
+  double Theta = 0.99;
+  Mix M;
+  double Qps = 0; ///< >0: open-loop at this aggregate arrival rate.
+  uint64_t Seed = 2026;
+};
+
+struct RunResult {
+  uint64_t Ops = 0;
+  double Seconds = 0;
+  LatencyHistogram Hist;
+  StatsCounters Counters;
+  uint64_t Hits = 0; ///< GETs that found a live value (sanity sink).
+};
+
+/// Spin-then-sleep until \p Deadline. sleep_for can overshoot by a
+/// scheduler tick (observed ~1ms in containers), which would be charged to
+/// request latency as phantom queueing — so sleeping stops a full tick
+/// early and the rest is yield-spun.
+void waitUntil(Clock::time_point Deadline) {
+  for (;;) {
+    auto Now = Clock::now();
+    if (Now >= Deadline)
+      return;
+    auto Slack = Deadline - Now;
+    if (Slack > std::chrono::milliseconds(3))
+      std::this_thread::sleep_for(Slack - std::chrono::milliseconds(2));
+    else if (Slack > std::chrono::microseconds(20))
+      std::this_thread::yield();
+  }
+}
+
+class Worker {
+public:
+  Worker(kv::Store &S, const RunConfig &C, unsigned Tid)
+      : S(S), C(C),
+        Gen(C.Dist, C.Keys, C.Seed + 0x5bd1e995u * (Tid + 1), C.Theta),
+        Ops(C.Seed * 31 + Tid) {}
+
+  void run(rt::Heap &H, Clock::time_point Start) {
+    // Per-request scratch bookkeeping object. Born per birthState(): under
+    // +DEA it stays Private to this worker forever (nothing publishes it),
+    // so every barrier hit below takes the private fast path.
+    rt::Object *Scratch = H.allocate(&ScratchType, config().birthState());
+
+    const bool Open = C.Qps > 0;
+    const double RatePerNs = Open ? C.Qps / double(C.Threads) * 1e-9 : 0;
+    double ArrivalNs = 0;
+
+    for (uint64_t I = 0; I < C.OpsPerThread; ++I) {
+      Clock::time_point IssuedAt;
+      if (Open) {
+        // Poisson arrivals: exponential inter-arrival times.
+        ArrivalNs += -std::log(1.0 - Ops.nextDouble()) / RatePerNs;
+        IssuedAt =
+            Start + std::chrono::nanoseconds(uint64_t(ArrivalNs));
+        waitUntil(IssuedAt);
+      } else {
+        IssuedAt = Clock::now();
+      }
+
+      doOne(Scratch, I);
+
+      auto Done = Clock::now();
+      R.Hist.record(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Done - IssuedAt)
+              .count()));
+    }
+    R.Ops = C.OpsPerThread;
+    R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  RunResult R;
+
+private:
+  void doOne(rt::Object *Scratch, uint64_t I) {
+    Word K = Gen.next();
+    // Two private-path barrier writes per request, like compiled code
+    // logging into a not-yet-escaped request object.
+    ntWrite(Scratch, 0, I);
+    ntWrite(Scratch, 1, K);
+
+    unsigned P = unsigned(Ops.nextBelow(100));
+    Word V = Ops.next() & 0x7fffffffffffull; // Never Tombstone.
+    if (P < C.M.Get) {
+      Word Out;
+      if (S.get(K, Out))
+        ++R.Hits;
+    } else if (P < C.M.Get + C.M.Put) {
+      S.put(K, V);
+    } else if (P < C.M.Get + C.M.Put + C.M.Mget) {
+      Word Keys[8], Out[8];
+      for (Word &Q : Keys)
+        Q = Gen.next();
+      (void)S.multiGet(Keys, 8, Out);
+    } else if (P < C.M.Get + C.M.Put + C.M.Mget + C.M.Rmw) {
+      Word Keys[2] = {K, Gen.next()};
+      (void)S.rmwAdd(Keys, 2, 1);
+    } else {
+      Word Cur;
+      if (S.get(K, Cur))
+        (void)S.cas(K, Cur, V);
+    }
+  }
+
+  kv::Store &S;
+  const RunConfig &C;
+  KeyGenerator Gen;
+  Rng Ops;
+};
+
+RunResult runService(const RunConfig &C) {
+  // The service runs in the paper's +DEA strong mode: barriers on, objects
+  // born Private until a transactional ref store publishes them.
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  rt::Heap H;
+  kv::StoreConfig KC;
+  KC.Shards = C.Shards;
+  uint32_t PerShard = uint32_t(2 * C.Keys / (C.Shards ? C.Shards : 1));
+  KC.CapacityPerShard = PerShard < 8 ? 8 : PerShard;
+  kv::Store S(H, KC);
+  for (uint64_t K = 0; K < C.Keys; ++K)
+    if (!S.insert(K, 1000)) {
+      std::fprintf(stderr, "kv_service: prepopulate overflow at key %" PRIu64
+                           " (shard full)\n",
+                   K);
+      std::exit(1);
+    }
+
+  statsReset();
+  std::vector<Worker> Workers;
+  Workers.reserve(C.Threads);
+  for (unsigned T = 0; T < C.Threads; ++T)
+    Workers.emplace_back(S, C, T);
+
+  std::atomic<bool> Go{false};
+  Clock::time_point Start{}; // Published by the Go release store below.
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < C.Threads; ++T)
+    Threads.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      Workers[T].run(H, Start);
+    });
+  Start = Clock::now();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+
+  RunResult Total;
+  for (Worker &W : Workers) {
+    Total.Ops += W.R.Ops;
+    Total.Seconds = std::max(Total.Seconds, W.R.Seconds);
+    Total.Hist += W.R.Hist;
+    Total.Hits += W.R.Hits;
+  }
+  Total.Counters = statsSnapshot();
+  return Total;
+}
+
+BenchEntry toEntry(const RunConfig &C, const RunResult &R) {
+  BenchEntry E;
+  E.Name = C.Name;
+  E.NsPerOp = R.Seconds * 1e9 / double(R.Ops);
+  E.Ops = R.Ops;
+  E.Commits = R.Counters.TxnCommits;
+  E.Aborts = R.Counters.TxnAborts;
+  E.MedianOf = 1;
+  E.Counters = R.Counters;
+  E.HasLatency = true;
+  E.Latency = R.Hist.percentiles();
+  E.OpsPerSec = double(R.Ops) / R.Seconds;
+  return E;
+}
+
+std::string us(uint64_t Ns) { return Table::num(double(Ns) / 1000.0, 1); }
+
+void printTable(const std::vector<RunConfig> &Cs,
+                const std::vector<BenchEntry> &Es, const char *Title) {
+  Table T({"benchmark", "thr", "load", "ops/s", "ns/op", "p50 µs", "p95 µs",
+           "p99 µs", "p99.9 µs", "aborts"});
+  for (size_t I = 0; I < Es.size(); ++I) {
+    const BenchEntry &E = Es[I];
+    std::string Load = Cs[I].Qps > 0
+                           ? Table::num(Cs[I].Qps, 0) + " qps"
+                           : std::string("closed");
+    T.addRow({E.Name, Table::num(uint64_t(Cs[I].Threads)), Load,
+              Table::num(E.OpsPerSec, 0),
+              Table::num(E.NsPerOp, 0), us(E.Latency.P50), us(E.Latency.P95),
+              us(E.Latency.P99), us(E.Latency.P999), Table::num(E.Aborts)});
+  }
+  T.print(Title);
+}
+
+bool parseMix(const char *Spec, Mix &M) {
+  Mix Out{0, 0, 0, 0, 0};
+  std::string S(Spec);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Part = S.substr(Pos, Comma - Pos);
+    size_t Colon = Part.find(':');
+    if (Colon == std::string::npos)
+      return false;
+    std::string Key = Part.substr(0, Colon);
+    unsigned Val = unsigned(std::atoi(Part.c_str() + Colon + 1));
+    if (Key == "get")
+      Out.Get = Val;
+    else if (Key == "put")
+      Out.Put = Val;
+    else if (Key == "mget")
+      Out.Mget = Val;
+    else if (Key == "rmw")
+      Out.Rmw = Val;
+    else if (Key == "cas")
+      Out.Cas = Val;
+    else
+      return false;
+    Pos = Comma + 1;
+  }
+  if (Out.Get + Out.Put + Out.Mget + Out.Rmw + Out.Cas != 100)
+    return false;
+  M = Out;
+  return true;
+}
+
+/// Scales the default mix to put \p Pct percent of requests on the
+/// transactional plane (mget:rmw:cas stays 5:4:1, get:put stays 3:1).
+Mix mixForTxnPct(unsigned Pct) {
+  Mix M;
+  M.Mget = Pct / 2;
+  M.Rmw = Pct * 2 / 5;
+  M.Cas = Pct - M.Mget - M.Rmw;
+  unsigned Nt = 100 - Pct;
+  M.Put = Nt / 4;
+  M.Get = Nt - M.Put;
+  return M;
+}
+
+std::vector<RunConfig> suiteConfigs(bool Smoke) {
+  std::vector<RunConfig> Cs;
+  auto Mk = [&](std::string Name, unsigned Threads, double Qps) {
+    RunConfig C;
+    C.Name = std::move(Name);
+    C.Threads = Threads;
+    C.Qps = Qps;
+    if (Smoke) {
+      C.Keys = 2048;
+      C.Shards = 8;
+      C.OpsPerThread = Qps > 0 ? 5000 : 20000;
+    } else {
+      C.OpsPerThread = Qps > 0 ? 100000 : 200000;
+    }
+    return C;
+  };
+  if (Smoke) {
+    Cs.push_back(Mk("kv/closed_t1", 1, 0));
+    Cs.push_back(Mk("kv/closed_t2", 2, 0));
+    Cs.push_back(Mk("kv/open_t2_q20k", 2, 20000)); // TSan-safe arrival rate.
+  } else {
+    Cs.push_back(Mk("kv/closed_t1", 1, 0));
+    Cs.push_back(Mk("kv/closed_t4", 4, 0));
+    Cs.push_back(Mk("kv/closed_t8", 8, 0));
+    Cs.push_back(Mk("kv/open_t4_q400k", 4, 400000));
+  }
+  return Cs;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false, Suite = false;
+  std::string JsonPath;
+  RunConfig Single;
+  bool HaveTxnPct = false;
+  unsigned TxnPct = 0;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    auto Val = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return std::strncmp(A, Prefix, N) ? nullptr : A + N;
+    };
+    const char *V;
+    if (!std::strcmp(A, "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(A, "--suite"))
+      Suite = true;
+    else if ((V = Val("--json=")))
+      JsonPath = V;
+    else if ((V = Val("--threads=")))
+      Single.Threads = unsigned(std::atoi(V));
+    else if ((V = Val("--keys=")))
+      Single.Keys = uint64_t(std::atoll(V));
+    else if ((V = Val("--shards=")))
+      Single.Shards = uint32_t(std::atoi(V));
+    else if ((V = Val("--ops=")))
+      Single.OpsPerThread = uint64_t(std::atoll(V));
+    else if ((V = Val("--dist="))) {
+      if (!std::strcmp(V, "zipf"))
+        Single.Dist = KeyGenerator::Dist::Zipfian;
+      else if (!std::strcmp(V, "uniform"))
+        Single.Dist = KeyGenerator::Dist::Uniform;
+      else {
+        std::fprintf(stderr, "kv_service: --dist must be zipf or uniform\n");
+        return 2;
+      }
+    } else if ((V = Val("--theta=")))
+      Single.Theta = std::atof(V);
+    else if ((V = Val("--qps=")))
+      Single.Qps = std::atof(V);
+    else if ((V = Val("--mix="))) {
+      if (!parseMix(V, Single.M)) {
+        std::fprintf(stderr,
+                     "kv_service: bad --mix (need get:N,put:N,mget:N,rmw:N,"
+                     "cas:N summing to 100)\n");
+        return 2;
+      }
+    } else if ((V = Val("--txn-pct="))) {
+      HaveTxnPct = true;
+      TxnPct = unsigned(std::atoi(V));
+      if (TxnPct > 100) {
+        std::fprintf(stderr, "kv_service: --txn-pct must be in [0,100]\n");
+        return 2;
+      }
+    } else if ((V = Val("--seed=")))
+      Single.Seed = uint64_t(std::atoll(V));
+    else {
+      std::fprintf(
+          stderr,
+          "usage: kv_service [--suite|--smoke] [--json=PATH]\n"
+          "       kv_service [--threads=N] [--keys=N] [--shards=N] [--ops=N]\n"
+          "                  [--dist=zipf|uniform] [--theta=T] [--qps=Q]\n"
+          "                  [--mix=get:N,put:N,mget:N,rmw:N,cas:N]\n"
+          "                  [--txn-pct=P] [--seed=N] [--json=PATH]\n");
+      return 2;
+    }
+  }
+  if (HaveTxnPct)
+    Single.M = mixForTxnPct(TxnPct);
+
+  std::vector<RunConfig> Configs;
+  if (Suite || Smoke) {
+    Configs = suiteConfigs(Smoke);
+    if (JsonPath.empty())
+      JsonPath = Smoke ? "BENCH_kv_smoke.json" : "BENCH_kv.json";
+  } else {
+    Single.Name = Single.Qps > 0 ? "kv/custom_open" : "kv/custom_closed";
+    Configs.push_back(Single);
+  }
+
+  std::vector<BenchEntry> Entries;
+  for (const RunConfig &C : Configs) {
+    RunResult R = runService(C);
+    Entries.push_back(toEntry(C, R));
+    std::fflush(stdout);
+  }
+
+  printTable(Configs, Entries,
+             Smoke ? "kv_service (smoke — not a baseline)" : "kv_service");
+  std::printf("mix %s, %s keys, theta %.2f\n", Configs[0].M.str().c_str(),
+              Configs[0].Dist == KeyGenerator::Dist::Zipfian ? "zipfian"
+                                                             : "uniform",
+              Configs[0].Theta);
+  maybeReportStats("kv_service, last run window");
+  if (traceEnabled())
+    std::printf("trace: %zu events retained across %" PRIu64
+                " overwritten (SATM_TRACE)\n",
+                traceDrain().size(), traceDropped());
+
+  if (!JsonPath.empty()) {
+    writeBenchJson(JsonPath.c_str(), Smoke ? "smoke" : "full", Entries);
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Fixed-seed, fixed-size benchmark suite emitting BENCH_satm.json so the
-// repo's performance trajectory is machine-readable PR over PR:
+// Fixed-seed, fixed-size benchmark suite emitting the micro half of
+// BENCH_satm.json (schema satm-bench-v3, shared with bench/kv_service via
+// bench/BenchJson.h) so the repo's performance trajectory is
+// machine-readable PR over PR:
 //
 //  - readset/*: the descriptor read path. reread_16x64 and unique_1024x1
 //    perform the *same number of reads* per transaction (1024); with the
@@ -21,8 +23,12 @@
 //
 // `--smoke` shrinks every size so the suite (and the JSON emitter) can run
 // under CTest/TSan in seconds; smoke numbers are not comparable baselines.
+// `--list` prints the benchmark names; `--filter=SUB` runs (and emits) only
+// the benchmarks whose name contains SUB.
 //
 //===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
 
 #include "rt/Heap.h"
 #include "stm/Barriers.h"
@@ -39,10 +45,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 using namespace satm;
+using namespace satm::bench;
 using namespace satm::rt;
 using namespace satm::stm;
 using namespace satm::workloads;
@@ -59,18 +67,6 @@ struct Sample {
   double Seconds = 0;
 };
 
-struct BenchResult {
-  std::string Name;
-  double NsPerOp = 0;
-  uint64_t Ops = 0; ///< Per timed execution.
-  uint64_t Commits = 0;
-  uint64_t Aborts = 0;
-  unsigned MedianOf = 0;
-  /// Full counter snapshot over the timed runs; the abort-reason histogram
-  /// goes into the JSON (schema satm-bench-v2).
-  StatsCounters Counters;
-};
-
 struct Sizes {
   unsigned Reps;       ///< Timed executions per benchmark (median taken).
   unsigned Txns;       ///< Transactions per readset/writeset execution.
@@ -84,30 +80,36 @@ struct Sizes {
   static Sizes smoke() { return {3, 4, 1u << 10, 1u << 10, 6, 4, 40}; }
 };
 
-/// Runs \p Body Reps+1 times (first is warm-up), records commit/abort
+/// A named benchmark: Body is one timed execution. The registry makes the
+/// names enumerable for --list / --filter without running anything.
+struct BenchDef {
+  std::string Name;
+  std::function<Sample()> Body;
+};
+
+/// Runs \p B.Body Reps+1 times (first is warm-up), records commit/abort
 /// deltas across the timed runs, and reports the median ns/op.
-template <typename F>
-BenchResult bench(std::string Name, unsigned Reps, F &&Body) {
-  (void)Body(); // Warm-up: faults pages, fills thread caches, JITs nothing.
+BenchEntry runBench(const BenchDef &B, unsigned Reps) {
+  (void)B.Body(); // Warm-up: faults pages, fills thread caches, JITs nothing.
   statsReset();
   std::vector<double> PerOp;
   uint64_t Ops = 0;
   for (unsigned R = 0; R < Reps; ++R) {
-    Sample S = Body();
+    Sample S = B.Body();
     Ops = S.Ops;
     PerOp.push_back(S.Seconds * 1e9 / double(S.Ops));
   }
   StatsCounters C = statsSnapshot();
   std::sort(PerOp.begin(), PerOp.end());
-  BenchResult Res;
-  Res.Name = std::move(Name);
-  Res.NsPerOp = PerOp[PerOp.size() / 2];
-  Res.Ops = Ops;
-  Res.Commits = C.TxnCommits;
-  Res.Aborts = C.TxnAborts;
-  Res.MedianOf = Reps;
-  Res.Counters = C;
-  return Res;
+  BenchEntry E;
+  E.Name = B.Name;
+  E.NsPerOp = PerOp[PerOp.size() / 2];
+  E.Ops = Ops;
+  E.Commits = C.TxnCommits;
+  E.Aborts = C.TxnAborts;
+  E.MedianOf = Reps;
+  E.Counters = C;
+  return E;
 }
 
 /// Reads 1024 slots per transaction as \p Unique distinct objects re-read
@@ -126,49 +128,34 @@ Sample readSetSample(const std::vector<Object *> &Objs, unsigned Txns,
   return {uint64_t(Txns) * 1024, T.seconds()};
 }
 
-void emitJson(const char *Path, const char *Mode,
-              const std::vector<BenchResult> &Results) {
-  FILE *F = std::fopen(Path, "w");
-  if (!F) {
-    std::fprintf(stderr, "perf_suite: cannot write %s\n", Path);
-    std::exit(1);
-  }
-  std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v2\",\n");
-  std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
-  std::fprintf(F, "  \"benchmarks\": [\n");
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const BenchResult &R = Results[I];
-    std::fprintf(F,
-                 "    {\"name\": \"%s\", \"ns_per_op\": %.2f, \"ops\": "
-                 "%" PRIu64 ", \"commits\": %" PRIu64 ", \"aborts\": %" PRIu64
-                 ", \"median_of\": %u,\n     \"abort_reasons\": %s}%s\n",
-                 R.Name.c_str(), R.NsPerOp, R.Ops, R.Commits, R.Aborts,
-                 R.MedianOf, renderAbortReasonsJson(R.Counters).c_str(),
-                 I + 1 < Results.size() ? "," : "");
-  }
-  std::fprintf(F, "  ]\n");
-  std::fprintf(F, "}\n");
-  std::fclose(F);
+Config bareConfig() {
+  Config C;
+  C.CollectStats = false;
+  return C;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Smoke = false;
+  bool Smoke = false, List = false;
   std::string JsonPath = "BENCH_satm.json";
+  std::string Filter;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke"))
       Smoke = true;
+    else if (!std::strcmp(argv[I], "--list"))
+      List = true;
+    else if (!std::strncmp(argv[I], "--filter=", 9))
+      Filter = argv[I] + 9;
     else if (!std::strncmp(argv[I], "--json=", 7))
       JsonPath = argv[I] + 7;
     else {
-      std::fprintf(stderr, "usage: perf_suite [--smoke] [--json=PATH]\n");
+      std::fprintf(stderr, "usage: perf_suite [--smoke] [--list] "
+                           "[--filter=SUBSTRING] [--json=PATH]\n");
       return 2;
     }
   }
   const Sizes Z = Smoke ? Sizes::smoke() : Sizes::full();
-  std::vector<BenchResult> Results;
 
   Heap H;
   std::vector<Object *> Cells;
@@ -176,112 +163,119 @@ int main(int argc, char **argv) {
     Cells.push_back(H.allocate(&CellType, BirthState::Shared));
   Object *Octo = H.allocate(&OctoType, BirthState::Shared);
 
-  Results.push_back(bench("readset/reread_16x64", Z.Reps, [&] {
-    return readSetSample(Cells, Z.Txns, 16);
-  }));
-  Results.push_back(bench("readset/unique_1024x1", Z.Reps, [&] {
-    return readSetSample(Cells, Z.Txns, 1024);
-  }));
+  std::vector<BenchDef> Defs;
+  Defs.push_back({"readset/reread_16x64",
+                  [&] { return readSetSample(Cells, Z.Txns, 16); }});
+  Defs.push_back({"readset/unique_1024x1",
+                  [&] { return readSetSample(Cells, Z.Txns, 1024); }});
 
-  Results.push_back(bench("writeset/rewrite_1x1024", Z.Reps, [&] {
-    Stopwatch T;
-    for (unsigned I = 0; I < Z.Txns; ++I)
-      atomically([&] {
-        Txn &Tx = Txn::forThisThread();
-        for (unsigned W = 0; W < 1024; ++W)
-          Tx.write(Cells[0], 0, W);
-      });
-    return Sample{uint64_t(Z.Txns) * 1024, T.seconds()};
-  }));
-  Results.push_back(bench("writeset/unique_256", Z.Reps, [&] {
-    Stopwatch T;
-    for (unsigned I = 0; I < Z.Txns; ++I)
-      atomically([&] {
-        Txn &Tx = Txn::forThisThread();
-        for (unsigned O = 0; O < 256; ++O)
-          Tx.write(Cells[O], 0, I);
-      });
-    return Sample{uint64_t(Z.Txns) * 256, T.seconds()};
-  }));
+  Defs.push_back({"writeset/rewrite_1x1024", [&] {
+                    Stopwatch T;
+                    for (unsigned I = 0; I < Z.Txns; ++I)
+                      atomically([&] {
+                        Txn &Tx = Txn::forThisThread();
+                        for (unsigned W = 0; W < 1024; ++W)
+                          Tx.write(Cells[0], 0, W);
+                      });
+                    return Sample{uint64_t(Z.Txns) * 1024, T.seconds()};
+                  }});
+  Defs.push_back({"writeset/unique_256", [&] {
+                    Stopwatch T;
+                    for (unsigned I = 0; I < Z.Txns; ++I)
+                      atomically([&] {
+                        Txn &Tx = Txn::forThisThread();
+                        for (unsigned O = 0; O < 256; ++O)
+                          Tx.write(Cells[O], 0, I);
+                      });
+                    return Sample{uint64_t(Z.Txns) * 256, T.seconds()};
+                  }});
 
   // Barrier sequences timed bare, like the Figure 15-17 harnesses.
-  Results.push_back(bench("barrier/nt_read", Z.Reps, [&] {
-    ScopedConfig SC([] {
-      Config C;
-      C.CollectStats = false;
-      return C;
-    }());
-    Stopwatch T;
-    uint64_t Sink = 0;
-    for (unsigned I = 0; I < Z.BarrierOps; ++I)
-      Sink += ntRead(Cells[I & 1023], 0);
-    double Sec = T.seconds();
-    if (Sink == ~uint64_t(0))
-      std::fprintf(stderr, "?"); // Defeat dead-code elimination.
-    return Sample{Z.BarrierOps, Sec};
-  }));
-  Results.push_back(bench("barrier/nt_write", Z.Reps, [&] {
-    ScopedConfig SC([] {
-      Config C;
-      C.CollectStats = false;
-      return C;
-    }());
-    Stopwatch T;
-    for (unsigned I = 0; I < Z.BarrierOps; ++I)
-      ntWrite(Cells[I & 1023], 0, I);
-    return Sample{Z.BarrierOps, T.seconds()};
-  }));
-  Results.push_back(bench("barrier/agg_write8", Z.Reps, [&] {
-    ScopedConfig SC([] {
-      Config C;
-      C.CollectStats = false;
-      return C;
-    }());
-    Stopwatch T;
-    for (unsigned I = 0; I < Z.BarrierOps / 8; ++I) {
-      AggregatedWriter W(Octo);
-      for (uint32_t S = 0; S < 8; ++S)
-        W.store(S, I + S);
-    }
-    return Sample{Z.BarrierOps / 8 * 8, T.seconds()};
-  }));
+  Defs.push_back({"barrier/nt_read", [&] {
+                    ScopedConfig SC(bareConfig());
+                    Stopwatch T;
+                    uint64_t Sink = 0;
+                    for (unsigned I = 0; I < Z.BarrierOps; ++I)
+                      Sink += ntRead(Cells[I & 1023], 0);
+                    double Sec = T.seconds();
+                    if (Sink == ~uint64_t(0))
+                      std::fprintf(stderr, "?"); // Defeat dead-code elim.
+                    return Sample{Z.BarrierOps, Sec};
+                  }});
+  Defs.push_back({"barrier/nt_write", [&] {
+                    ScopedConfig SC(bareConfig());
+                    Stopwatch T;
+                    for (unsigned I = 0; I < Z.BarrierOps; ++I)
+                      ntWrite(Cells[I & 1023], 0, I);
+                    return Sample{Z.BarrierOps, T.seconds()};
+                  }});
+  Defs.push_back({"barrier/agg_write8", [&] {
+                    ScopedConfig SC(bareConfig());
+                    Stopwatch T;
+                    for (unsigned I = 0; I < Z.BarrierOps / 8; ++I) {
+                      AggregatedWriter W(Octo);
+                      for (uint32_t S = 0; S < 8; ++S)
+                        W.store(S, I + S);
+                    }
+                    return Sample{Z.BarrierOps / 8 * 8, T.seconds()};
+                  }});
 
-  Results.push_back(bench("heap/bump", Z.Reps, [&] {
-    Heap Local;
-    Stopwatch T;
-    for (unsigned I = 0; I < Z.Allocs; ++I)
-      (void)Local.allocate(&CellType, BirthState::Shared);
-    return Sample{Z.Allocs, T.seconds()};
-  }));
+  Defs.push_back({"heap/bump", [&] {
+                    Heap Local;
+                    Stopwatch T;
+                    for (unsigned I = 0; I < Z.Allocs; ++I)
+                      (void)Local.allocate(&CellType, BirthState::Shared);
+                    return Sample{Z.Allocs, T.seconds()};
+                  }});
 
   // Figure 18-20 harnesses, small fixed-seed configurations. Two threads:
   // enough to exercise the shared-record paths without turning the run
   // into a contention benchmark on small hardware.
-  Results.push_back(bench("tsp/strongdea_t2", Z.Reps, [&] {
-    TspResult R = runTsp(ExecMode::StrongDea, 2, Z.TspCities, 2026);
-    return Sample{1, R.Seconds};
-  }));
-  Results.push_back(bench("oo7/strongdea_t2", Z.Reps, [&] {
-    Oo7Config C;
-    C.TraversalsPerThread = Z.Oo7Traversals;
-    Oo7Result R = runOo7(ExecMode::StrongDea, 2, C);
-    return Sample{uint64_t(Z.Oo7Traversals) * 2, R.Seconds};
-  }));
-  Results.push_back(bench("jbb/strongdea_t2", Z.Reps, [&] {
-    JbbConfig C;
-    C.OpsPerThread = Z.JbbOps;
-    JbbResult R = runJbb(ExecMode::StrongDea, 2, C);
-    return Sample{uint64_t(Z.JbbOps) * 2, R.Seconds};
-  }));
+  Defs.push_back({"tsp/strongdea_t2", [&] {
+                    TspResult R =
+                        runTsp(ExecMode::StrongDea, 2, Z.TspCities, 2026);
+                    return Sample{1, R.Seconds};
+                  }});
+  Defs.push_back({"oo7/strongdea_t2", [&] {
+                    Oo7Config C;
+                    C.TraversalsPerThread = Z.Oo7Traversals;
+                    Oo7Result R = runOo7(ExecMode::StrongDea, 2, C);
+                    return Sample{uint64_t(Z.Oo7Traversals) * 2, R.Seconds};
+                  }});
+  Defs.push_back({"jbb/strongdea_t2", [&] {
+                    JbbConfig C;
+                    C.OpsPerThread = Z.JbbOps;
+                    JbbResult R = runJbb(ExecMode::StrongDea, 2, C);
+                    return Sample{uint64_t(Z.JbbOps) * 2, R.Seconds};
+                  }});
 
-  emitJson(JsonPath.c_str(), Smoke ? "smoke" : "full", Results);
+  if (List) {
+    for (const BenchDef &D : Defs)
+      std::printf("%s\n", D.Name.c_str());
+    return 0;
+  }
+
+  std::vector<BenchEntry> Results;
+  for (const BenchDef &D : Defs) {
+    if (!Filter.empty() && D.Name.find(Filter) == std::string::npos)
+      continue;
+    Results.push_back(runBench(D, Z.Reps));
+  }
+  if (Results.empty()) {
+    std::fprintf(stderr, "perf_suite: --filter=%s matches no benchmark "
+                         "(see --list)\n",
+                 Filter.c_str());
+    return 2;
+  }
+
+  writeBenchJson(JsonPath.c_str(), Smoke ? "smoke" : "full", Results);
 
   Table T({"benchmark", "ns/op", "ops/run", "commits", "aborts"});
-  for (const BenchResult &R : Results)
+  for (const BenchEntry &R : Results)
     T.addRow({R.Name, Table::num(R.NsPerOp, 2), Table::num(R.Ops),
               Table::num(R.Commits), Table::num(R.Aborts)});
   T.print(Smoke ? "perf_suite (smoke — not a baseline)" : "perf_suite");
-  // SATM_STATS=1 end-of-run report. Each bench() resets the counters, so
+  // SATM_STATS=1 end-of-run report. Each runBench() resets the counters, so
   // this window covers the last benchmark only; per-benchmark numbers are
   // in the JSON.
   maybeReportStats("perf_suite, last benchmark window");

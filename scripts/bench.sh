@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-#===- scripts/bench.sh - Run the perf suite, emit BENCH_satm.json -------===#
+#===- scripts/bench.sh - Run the bench suites, emit BENCH_satm.json ------===#
 #
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
-# Full mode (default) runs bench/perf_suite at its fixed full sizes and
-# rewrites BENCH_satm.json at the repo root — the checked-in, machine-
-# readable perf trajectory. The human-readable table is mirrored into
-# BENCH_satm.raw.txt, a scratch file that stays untracked.
+# Full mode (default) runs bench/perf_suite (micro benchmarks) and
+# bench/kv_service --suite (the SATM-KV service with closed- and open-loop
+# load) at their fixed full sizes, then merges the two JSONs into
+# BENCH_satm.json at the repo root — the checked-in, machine-readable perf
+# trajectory. The human-readable tables are mirrored into BENCH_satm.raw.txt,
+# a scratch file that stays untracked.
 #
-# --smoke runs the tiny configuration CI uses (also exercised under the
-# bench-smoke CTest label in both the plain and TSan builds); its JSON goes
-# to build scratch so a smoke run can never clobber the checked-in baseline.
+# --smoke runs the tiny configurations CI uses (also exercised under the
+# bench-smoke CTest label in both the plain and TSan builds); its merged
+# JSON goes to build scratch so a smoke run can never clobber the checked-in
+# baseline.
 #
 # Usage: scripts/bench.sh [--smoke] [jobs]
 #
@@ -33,12 +36,34 @@ for ARG in "$@"; do
 done
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build -j "$JOBS" --target perf_suite
+cmake --build build -j "$JOBS" --target perf_suite kv_service
+
+# Concatenates the benchmarks arrays of two same-mode bench JSONs.
+merge_json() { # micro.json kv.json out.json
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+micro, kv, out = sys.argv[1:4]
+with open(micro) as f: a = json.load(f)
+with open(kv) as f: b = json.load(f)
+assert a["schema"] == b["schema"], (a["schema"], b["schema"])
+assert a["mode"] == b["mode"], (a["mode"], b["mode"])
+a["benchmarks"] += b["benchmarks"]
+with open(out, "w") as f:
+    json.dump(a, f, indent=2)
+    f.write("\n")
+print(f"merged {micro} + {kv} -> {out} ({len(a['benchmarks'])} benchmarks)")
+EOF
+}
 
 if [ "$MODE" = smoke ]; then
-  ./build/bench/perf_suite --smoke --json=build/BENCH_smoke.json
+  ./build/bench/perf_suite --smoke --json=build/BENCH_micro_smoke.json
+  ./build/bench/kv_service --smoke --json=build/BENCH_kv_smoke.json
+  merge_json build/BENCH_micro_smoke.json build/BENCH_kv_smoke.json \
+    build/BENCH_smoke.json
   echo "== bench smoke OK (build/BENCH_smoke.json)"
 else
-  ./build/bench/perf_suite --json=BENCH_satm.json | tee BENCH_satm.raw.txt
+  ./build/bench/perf_suite --json=build/BENCH_micro.json | tee BENCH_satm.raw.txt
+  ./build/bench/kv_service --suite --json=build/BENCH_kv.json | tee -a BENCH_satm.raw.txt
+  merge_json build/BENCH_micro.json build/BENCH_kv.json BENCH_satm.json
   echo "== wrote BENCH_satm.json"
 fi

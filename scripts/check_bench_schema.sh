@@ -3,33 +3,47 @@
 #
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
-# Asserts that a perf_suite JSON (the checked-in BENCH_satm.json or a smoke
-# run's output) carries the satm-bench-v2 schema: a non-empty benchmark
-# list where every entry has the numeric core fields plus a complete
-# per-benchmark abort-reason histogram (all eight taxonomy keys, integer
-# counts). CI runs this so a refactor can't silently drop the observability
-# fields from the trajectory file.
+# Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
+# run's output from perf_suite / kv_service) carries the satm-bench-v3
+# schema: a non-empty benchmark list where every entry has the numeric core
+# fields plus a complete per-benchmark abort-reason histogram (all eight
+# taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
+# ally carry throughput_ops_per_sec and the latency_ns percentile block;
+# micro benchmarks may omit both. CI runs this so a refactor can't silently
+# drop the observability fields from the trajectory file.
 #
-# Usage: scripts/check_bench_schema.sh FILE.json [FILE2.json ...]
+# --require-kv asserts the file contains at least one kv/* entry — used on
+# merged trajectory files, where losing the kv_service half would otherwise
+# still validate.
+#
+# Usage: scripts/check_bench_schema.sh [--require-kv] FILE.json [FILE2.json ...]
 #
 #===----------------------------------------------------------------------===#
 
 set -euo pipefail
 
+REQUIRE_KV=0
+if [ "${1:-}" = "--require-kv" ]; then
+  REQUIRE_KV=1
+  shift
+fi
+
 if [ "$#" -lt 1 ]; then
-  echo "usage: scripts/check_bench_schema.sh FILE.json [...]" >&2
+  echo "usage: scripts/check_bench_schema.sh [--require-kv] FILE.json [...]" >&2
   exit 2
 fi
 
 for FILE in "$@"; do
-  python3 - "$FILE" <<'EOF'
+  python3 - "$FILE" "$REQUIRE_KV" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
+require_kv = sys.argv[2] == "1"
 REASONS = [
     "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
     "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
 ]
+PERCENTILES = ["p50", "p95", "p99", "p999"]
 
 with open(path) as f:
     doc = json.load(f)
@@ -37,13 +51,14 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v2":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v2'")
+if doc.get("schema") != "satm-bench-v3":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v3'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
 if not isinstance(benches, list) or not benches:
     fail("benchmarks must be a non-empty list")
+kv_entries = 0
 for b in benches:
     name = b.get("name", "<unnamed>")
     for key in ("ns_per_op", "ops", "commits", "aborts", "median_of"):
@@ -58,6 +73,29 @@ for b in benches:
     if set(reasons) != set(REASONS):
         fail(f"benchmark {name}: unexpected abort_reasons keys "
              f"{sorted(set(reasons) - set(REASONS))}")
-print(f"{path}: satm-bench-v2 OK ({len(benches)} benchmarks)")
+    # v3 service fields: optional in general, mandatory for kv/* entries.
+    has_tput = "throughput_ops_per_sec" in b
+    has_lat = "latency_ns" in b
+    if name.startswith("kv/"):
+        kv_entries += 1
+        if not has_tput or not has_lat:
+            fail(f"benchmark {name}: kv/* entries must carry "
+                 "throughput_ops_per_sec and latency_ns")
+    if has_tput and not isinstance(b["throughput_ops_per_sec"], (int, float)):
+        fail(f"benchmark {name}: throughput_ops_per_sec must be numeric")
+    if has_lat:
+        lat = b["latency_ns"]
+        if not isinstance(lat, dict):
+            fail(f"benchmark {name}: latency_ns must be an object")
+        for p in PERCENTILES:
+            if not isinstance(lat.get(p), int):
+                fail(f"benchmark {name}: latency_ns missing integer {p!r}")
+        if set(lat) != set(PERCENTILES):
+            fail(f"benchmark {name}: unexpected latency_ns keys "
+                 f"{sorted(set(lat) - set(PERCENTILES))}")
+if require_kv and kv_entries == 0:
+    fail("--require-kv: no kv/* benchmark entries present")
+kv_note = f", {kv_entries} kv" if kv_entries else ""
+print(f"{path}: satm-bench-v3 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

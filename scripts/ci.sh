@@ -23,14 +23,17 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== bench smoke (perf_suite JSON emitter)"
+echo "== bench smoke (perf_suite + kv_service JSON emitters, merged)"
 scripts/bench.sh --smoke "$JOBS"
-scripts/check_bench_schema.sh build/BENCH_smoke.json BENCH_satm.json
+scripts/check_bench_schema.sh --require-kv build/BENCH_smoke.json BENCH_satm.json
 
 echo "== bench smoke with event tracing armed (SATM_TRACE=1)"
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
   --json=build/BENCH_smoke_trace.json
 scripts/check_bench_schema.sh build/BENCH_smoke_trace.json
+SATM_TRACE=1 SATM_STATS=1 ./build/bench/kv_service --smoke \
+  --json=build/BENCH_kv_smoke_trace.json
+scripts/check_bench_schema.sh --require-kv build/BENCH_kv_smoke_trace.json
 
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
@@ -41,5 +44,8 @@ echo "== TSan bench smoke with event tracing armed"
 SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/perf_suite --smoke \
   --json=build-tsan/BENCH_smoke_trace.json
 scripts/check_bench_schema.sh build-tsan/BENCH_smoke_trace.json
+SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/kv_service --smoke \
+  --json=build-tsan/BENCH_kv_smoke_trace.json
+scripts/check_bench_schema.sh --require-kv build-tsan/BENCH_kv_smoke_trace.json
 
 echo "== CI green (plain + tsan, SATM_FAST_TESTS=$SATM_FAST_TESTS)"

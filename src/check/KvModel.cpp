@@ -1,0 +1,205 @@
+//===- check/KvModel.cpp - 2-shard SATM-KV model for the explorer --------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/KvModel.h"
+
+#include "kv/Store.h"
+
+#include <cassert>
+
+using namespace satm;
+using namespace satm::check;
+
+namespace {
+
+constexpr uint32_t ModelShards = 2;
+constexpr uint32_t ModelCapacity = 2;
+
+uint32_t shardOf(Word Key) {
+  return uint32_t((kv::hashKey(Key) >> 32) & (ModelShards - 1));
+}
+
+uint32_t slotOf(Word Key) { return kv::Store::probeStart(Key, ModelCapacity); }
+
+/// Object specs for the model store with KeyA/KeyB resident (value 1 each).
+/// Vals slots are reference slots whether occupied or not, matching the
+/// store's RefArray shards.
+std::vector<ObjectSpec> storeObjects(const KvModelLayout &L) {
+  std::vector<ObjectSpec> Objs(KvModelLayout::NumObjects);
+  auto Arr = [](std::string Name, bool Refs) {
+    ObjectSpec S;
+    S.Name = std::move(Name);
+    S.Slots = ModelCapacity;
+    if (Refs)
+      S.RefSlots = {0, 1};
+    S.Init.assign(ModelCapacity, 0);
+    return S;
+  };
+  Objs[KvModelLayout::Keys0] = Arr("keys0", false);
+  Objs[KvModelLayout::Keys0].Init[L.SlotA] = L.KeyA + 1;
+  Objs[KvModelLayout::Vals0] = Arr("vals0", true);
+  Objs[KvModelLayout::Vals0].Init[L.SlotA] = refWord(KvModelLayout::ValA);
+  Objs[KvModelLayout::Keys1] = Arr("keys1", false);
+  Objs[KvModelLayout::Keys1].Init[L.SlotB] = L.KeyB + 1;
+  Objs[KvModelLayout::Vals1] = Arr("vals1", true);
+  Objs[KvModelLayout::Vals1].Init[L.SlotB] = refWord(KvModelLayout::ValB);
+  Objs[KvModelLayout::ValA] = {"valA", 1, {}, {1}};
+  Objs[KvModelLayout::ValB] = {"valB", 1, {}, {1}};
+  Objs[KvModelLayout::ValC] = {"valC", 1, {}, {0}};
+  return Objs;
+}
+
+/// The store's non-transactional GET as explorer segments: probe the key
+/// slot, and only if the key matched load the value reference and then the
+/// value through it. Model keys sit at their natural slot and the only
+/// other resident key is elsewhere, so the probe never has to walk — the
+/// guard chain is the whole probe.
+void appendGet(std::vector<Segment> &Thread, int KeysObj, int ValsObj,
+               uint32_t Slot, Word Key, int R0) {
+  Thread.push_back(nt(readStep(KeysObj, Slot, R0)));
+  Thread.push_back(
+      nt(guarded(readStep(ValsObj, Slot, R0 + 1), R0, true, constant(Key + 1))));
+  Thread.push_back(
+      nt(guarded(readIndStep(R0 + 1, 0, R0 + 2), R0, true, constant(Key + 1))));
+}
+
+/// The store's non-transactional putFast: probe, then write through the
+/// value reference.
+void appendPutFast(std::vector<Segment> &Thread, int KeysObj, int ValsObj,
+                   uint32_t Slot, Word Key, Word Val, int R0) {
+  Thread.push_back(nt(readStep(KeysObj, Slot, R0)));
+  Thread.push_back(
+      nt(guarded(readStep(ValsObj, Slot, R0 + 1), R0, true, constant(Key + 1))));
+  Thread.push_back(nt(
+      guarded(writeIndStep(R0 + 1, 0, constant(Val)), R0, true, constant(Key + 1))));
+}
+
+} // namespace
+
+KvModelLayout check::kvModelLayout() {
+  KvModelLayout L{};
+  bool HaveA = false, HaveB = false, HaveC = false;
+  for (Word K = 1; K < 4096 && !(HaveA && HaveB && HaveC); ++K) {
+    if (!HaveA && shardOf(K) == 0) {
+      L.KeyA = K;
+      L.SlotA = slotOf(K);
+      HaveA = true;
+      continue;
+    }
+    // KeyC must land in shard 0's *other* slot so the insert probe starts
+    // on empty and the two resident chains never overlap.
+    if (HaveA && !HaveC && shardOf(K) == 0 && slotOf(K) == (L.SlotA ^ 1)) {
+      L.KeyC = K;
+      L.SlotC = slotOf(K);
+      HaveC = true;
+      continue;
+    }
+    if (!HaveB && shardOf(K) == 1) {
+      L.KeyB = K;
+      L.SlotB = slotOf(K);
+      HaveB = true;
+    }
+  }
+  assert(HaveA && HaveB && HaveC && "hashKey cannot cover a 2x2 store?");
+  return L;
+}
+
+Program check::kvTransferVsGet() {
+  KvModelLayout L = kvModelLayout();
+  Program P;
+  P.Name = "kv/transfer_vs_get";
+  P.Objects = storeObjects(L);
+
+  // T0: rmwAdd({A, B}, -1/+1) — the store's transactional transfer. The
+  // probe reads target index state no concurrent step writes, so the model
+  // keeps only the value-object accesses (through the index references,
+  // like readModifyWrite's readRef + read).
+  std::vector<Segment> T0;
+  T0.push_back(txn({
+      readStep(KvModelLayout::Vals0, L.SlotA, 0),
+      readIndStep(0, 0, 1),
+      readStep(KvModelLayout::Vals1, L.SlotB, 2),
+      readIndStep(2, 0, 3),
+      writeIndStep(0, 0, reg(1, Word(0) - 1)),
+      writeIndStep(2, 0, reg(3, 1)),
+  }));
+
+  // T1: GET(A); GET(B) through the barriers.
+  std::vector<Segment> T1;
+  appendGet(T1, KvModelLayout::Keys0, KvModelLayout::Vals0, L.SlotA, L.KeyA, 0);
+  appendGet(T1, KvModelLayout::Keys1, KvModelLayout::Vals1, L.SlotB, L.KeyB, 3);
+
+  P.Threads = {std::move(T0), std::move(T1)};
+  return P;
+}
+
+Program check::kvInsertVsGet(bool AbortOnce) {
+  KvModelLayout L = kvModelLayout();
+  Program P;
+  P.Name = AbortOnce ? "kv/insert_abort_vs_get" : "kv/insert_vs_get";
+  P.Objects = storeObjects(L);
+
+  // T0: insert(C, 42) in the store's write order — value init, index
+  // entry, value link. (In the real store the init is a pre-publication
+  // rawStore on a DEA-private object; the model's ValC is a reachable
+  // program object, so the write is transactional, which only widens the
+  // write set.) The AbortOnce variant rolls the whole insert back once
+  // after all three writes, exposing the undo window.
+  std::vector<Step> Insert = {
+      writeStep(KvModelLayout::ValC, 0, constant(42)),
+      writeStep(KvModelLayout::Keys0, L.SlotC, constant(L.KeyC + 1)),
+      writeStep(KvModelLayout::Vals0, L.SlotC, objRef(KvModelLayout::ValC)),
+  };
+  if (AbortOnce)
+    Insert.push_back(abortOnceStep());
+  std::vector<Segment> T0;
+  T0.push_back(txn(std::move(Insert)));
+
+  // T1: GET(C). Its probe starts at SlotC, which is empty until the insert
+  // commits: it sees 0 (absent) or KeyC+1, never another key.
+  std::vector<Segment> T1;
+  appendGet(T1, KvModelLayout::Keys0, KvModelLayout::Vals0, L.SlotC, L.KeyC, 0);
+
+  P.Threads = {std::move(T0), std::move(T1)};
+  return P;
+}
+
+Program check::kvPutVsMultiGet() {
+  KvModelLayout L = kvModelLayout();
+  Program P;
+  P.Name = "kv/put_vs_multiget";
+  P.Objects = storeObjects(L);
+
+  // T0: multiGet({A, B}) — one atomic snapshot of both values, read
+  // through the index references like the store's readRef + read.
+  std::vector<Segment> T0;
+  T0.push_back(txn({
+      readStep(KvModelLayout::Vals0, L.SlotA, 0),
+      readIndStep(0, 0, 1),
+      readStep(KvModelLayout::Vals1, L.SlotB, 2),
+      readIndStep(2, 0, 3),
+  }));
+
+  // T1: PUT(A)=7; PUT(B)=9 on the fast path. The snapshot may see neither
+  // PUT, the first, or both — (1,9) would mean B's PUT without A's.
+  std::vector<Segment> T1;
+  appendPutFast(T1, KvModelLayout::Keys0, KvModelLayout::Vals0, L.SlotA, L.KeyA,
+                7, 0);
+  appendPutFast(T1, KvModelLayout::Keys1, KvModelLayout::Vals1, L.SlotB, L.KeyB,
+                9, 3);
+
+  P.Threads = {std::move(T0), std::move(T1)};
+  return P;
+}
+
+std::vector<Program> check::kvModelPrograms() {
+  std::vector<Program> Ps;
+  Ps.push_back(kvTransferVsGet());
+  Ps.push_back(kvInsertVsGet(false));
+  Ps.push_back(kvInsertVsGet(true));
+  Ps.push_back(kvPutVsMultiGet());
+  return Ps;
+}

@@ -1,0 +1,69 @@
+//===- check/KvModel.h - 2-shard SATM-KV model for the explorer -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature model of the SATM-KV store (src/kv/Store.h) as explorer
+/// programs: two shards of capacity two, laid out with the *real* store's
+/// hashKey/probeStart so each model key occupies exactly the index slot its
+/// production counterpart would. The programs pit the store's two access
+/// planes against each other — a non-transactional GET/PUT probing the
+/// index with plain (Strong regime: barrier) reads while a transaction
+/// commits a multi-key transfer, an insert, or a multi-get around it — and
+/// the explorer's serializability oracle decides whether any interleaving
+/// lets the non-transactional plane observe a torn store state.
+///
+/// Under Regime::Strong (isolation barriers on the nt steps) every program
+/// must explore clean; under Regime::Eager (raw nt accesses, the weak
+/// regime) each one has a reachable violation, which is the evidence that
+/// the barriers — not luck — make the data structure strongly atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_CHECK_KVMODEL_H
+#define SATM_CHECK_KVMODEL_H
+
+#include "check/Program.h"
+
+namespace satm {
+namespace check {
+
+/// Where the model's keys land in a 2-shard, capacity-2 store, computed
+/// with kv::hashKey / kv::Store::probeStart. KeyA and KeyB live in shards
+/// 0 and 1 at their natural probe slots; KeyC hashes to shard 0's empty
+/// slot (the insert target).
+struct KvModelLayout {
+  Word KeyA, KeyB, KeyC;
+  uint32_t SlotA, SlotB, SlotC;
+  /// Program object indices.
+  enum : int { Keys0 = 0, Vals0, Keys1, Vals1, ValA, ValB, ValC, NumObjects };
+};
+
+/// Deterministically derives the layout from the store's hash.
+KvModelLayout kvModelLayout();
+
+/// Cross-shard transactional transfer (A -= 1, B += 1) racing a
+/// non-transactional GET(A); GET(B) — the reader must never observe the
+/// transfer half-applied.
+Program kvTransferVsGet();
+
+/// Transactional insert of KeyC (value init, then index entry, then value
+/// link — the store's write order) racing a non-transactional GET(C) probe.
+/// With \p AbortOnce the insert rolls back once first, exercising the undo
+/// window: the probe must never see the key appear and vanish.
+Program kvInsertVsGet(bool AbortOnce);
+
+/// Non-transactional PUT(A)=7 then PUT(B)=9 racing a transactional
+/// multi-get snapshot of {A, B}: the snapshot may see neither, the first,
+/// or both writes — but never B's without A's.
+Program kvPutVsMultiGet();
+
+/// All model programs, for exhaustive sweeps.
+std::vector<Program> kvModelPrograms();
+
+} // namespace check
+} // namespace satm
+
+#endif // SATM_CHECK_KVMODEL_H

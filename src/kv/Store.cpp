@@ -1,0 +1,271 @@
+//===- kv/Store.cpp - SATM-KV store implementation -----------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Store.h"
+
+#include "stm/Barriers.h"
+#include "stm/Txn.h"
+
+#include <cassert>
+
+using namespace satm;
+using namespace satm::kv;
+using namespace satm::rt;
+
+namespace {
+
+const TypeDescriptor IntArrayType("kv.int[]", TypeKind::IntArray);
+const TypeDescriptor RefArrayType("kv.ref[]", TypeKind::RefArray);
+// Value record: slot 0 holds the value word (or Store::Tombstone).
+const TypeDescriptor ValueType("kv.Value", 1, {});
+// Shard metadata: slot 0 counts resident index entries.
+const TypeDescriptor MetaType("kv.ShardMeta", 1, {});
+
+uint32_t roundUpPow2(uint32_t V) {
+  uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+Store::Store(rt::Heap &Heap, const StoreConfig &C) : H(Heap) {
+  Capacity = roundUpPow2(C.CapacityPerShard < 2 ? 2 : C.CapacityPerShard);
+  uint32_t NumShards = roundUpPow2(C.Shards < 1 ? 1 : C.Shards);
+  Reps.reserve(NumShards);
+  for (uint32_t S = 0; S < NumShards; ++S) {
+    ShardRep R;
+    R.Keys = H.allocateArray(&IntArrayType, Capacity, BirthState::Shared);
+    R.Vals = H.allocateArray(&RefArrayType, Capacity, BirthState::Shared);
+    R.Meta = H.allocate(&MetaType, BirthState::Shared);
+    Reps.push_back(R);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Non-transactional plane.
+//===----------------------------------------------------------------------===
+
+bool Store::get(Word Key, Word &Out) const {
+  const ShardRep &S = Reps[shardOf(Key)];
+  const uint32_t Mask = Capacity - 1;
+  uint32_t I = probeStart(Key, Capacity);
+  for (uint32_t N = 0; N < Capacity; ++N, I = (I + 1) & Mask) {
+    Word K = stm::ntRead(S.Keys, I);
+    if (K == 0)
+      return false; // Probe chains never shrink: empty slot ends the search.
+    if (K != Key + 1)
+      continue;
+    const Object *V = Object::fromWord(stm::ntRead(S.Vals, I));
+    // The index entry and its value object are linked inside one
+    // transaction; a probe that saw the key cannot miss the object.
+    assert(V && "index entry without a value object");
+    Out = stm::ntRead(V, 0);
+    return Out != Tombstone;
+  }
+  return false;
+}
+
+bool Store::putFast(Word Key, Word Val) {
+  assert(Val != Tombstone && "Tombstone is reserved");
+  const ShardRep &S = Reps[shardOf(Key)];
+  const uint32_t Mask = Capacity - 1;
+  uint32_t I = probeStart(Key, Capacity);
+  for (uint32_t N = 0; N < Capacity; ++N, I = (I + 1) & Mask) {
+    Word K = stm::ntRead(S.Keys, I);
+    if (K == 0)
+      return false;
+    if (K != Key + 1)
+      continue;
+    Object *V = Object::fromWord(stm::ntRead(S.Vals, I));
+    assert(V && "index entry without a value object");
+    stm::ntWrite(V, 0, Val);
+    return true;
+  }
+  return false;
+}
+
+bool Store::put(Word Key, Word Val) {
+  if (putFast(Key, Val))
+    return true;
+  return insert(Key, Val);
+}
+
+//===----------------------------------------------------------------------===
+// Transactional plane.
+//===----------------------------------------------------------------------===
+
+int Store::findSlotTxn(const ShardRep &S, Word Key, int *FirstFree) const {
+  stm::Txn &Tx = stm::Txn::forThisThread();
+  const uint32_t Mask = Capacity - 1;
+  uint32_t I = probeStart(Key, Capacity);
+  if (FirstFree)
+    *FirstFree = -1;
+  for (uint32_t N = 0; N < Capacity; ++N, I = (I + 1) & Mask) {
+    Word K = Tx.read(S.Keys, I);
+    if (K == Key + 1)
+      return int(I);
+    if (K == 0) {
+      if (FirstFree)
+        *FirstFree = int(I);
+      return -1;
+    }
+  }
+  return -1; // Full shard, no free slot either.
+}
+
+bool Store::insert(Word Key, Word Val) {
+  assert(Val != Tombstone && "Tombstone is reserved");
+  ShardRep &S = Reps[shardOf(Key)];
+  bool Full = false;
+  stm::atomically([&] {
+    Full = false;
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    int FirstFree = -1;
+    int Slot = findSlotTxn(S, Key, &FirstFree);
+    if (Slot >= 0) {
+      // Present (possibly erased): overwrite in place.
+      Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+      Tx.write(V, 0, Val);
+      return;
+    }
+    if (FirstFree < 0) {
+      Full = true;
+      return;
+    }
+    // Claim the slot. The value object is born per config().birthState():
+    // under DEA it stays private — invisible to every other thread — until
+    // the transactional ref store below publishes it (§4), so its
+    // initializing rawStore needs no barrier.
+    Object *V = H.allocate(&ValueType, stm::config().birthState());
+    V->rawStore(0, Val);
+    Tx.write(S.Keys, uint32_t(FirstFree), Key + 1);
+    Tx.writeRef(S.Vals, uint32_t(FirstFree), V);
+    Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
+  });
+  return !Full;
+}
+
+bool Store::erase(Word Key) {
+  ShardRep &S = Reps[shardOf(Key)];
+  bool Erased = false;
+  stm::atomically([&] {
+    Erased = false;
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    int Slot = findSlotTxn(S, Key, nullptr);
+    if (Slot < 0)
+      return;
+    Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+    if (Tx.read(V, 0) == Tombstone)
+      return;
+    Tx.write(V, 0, Tombstone);
+    Erased = true;
+  });
+  return Erased;
+}
+
+bool Store::cas(Word Key, Word Expected, Word Desired) {
+  assert(Desired != Tombstone && "Tombstone is reserved");
+  ShardRep &S = Reps[shardOf(Key)];
+  bool Applied = false;
+  stm::atomically([&] {
+    Applied = false;
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    int Slot = findSlotTxn(S, Key, nullptr);
+    if (Slot < 0)
+      return;
+    Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+    Word Cur = Tx.read(V, 0);
+    if (Cur != Expected || Cur == Tombstone)
+      return;
+    Tx.write(V, 0, Desired);
+    Applied = true;
+  });
+  return Applied;
+}
+
+size_t Store::multiGet(const Word *Keys, size_t N, Word *Out) const {
+  size_t Found = 0;
+  stm::atomically([&] {
+    Found = 0;
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    for (size_t I = 0; I < N; ++I) {
+      const ShardRep &S = Reps[shardOf(Keys[I])];
+      int Slot = findSlotTxn(S, Keys[I], nullptr);
+      if (Slot < 0) {
+        Out[I] = Tombstone;
+        continue;
+      }
+      Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+      Out[I] = Tx.read(V, 0);
+      if (Out[I] != Tombstone)
+        ++Found;
+    }
+  });
+  return Found;
+}
+
+bool Store::readModifyWrite(
+    const Word *Keys, size_t N,
+    const std::function<void(Word *Vals, size_t N)> &Mutate) {
+  bool Ok = false;
+  std::vector<Word> Buf(N);
+  std::vector<rt::Object *> Objs(N);
+  stm::atomically([&] {
+    Ok = false;
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    for (size_t I = 0; I < N; ++I) {
+      const ShardRep &S = Reps[shardOf(Keys[I])];
+      int Slot = findSlotTxn(S, Keys[I], nullptr);
+      if (Slot < 0)
+        return;
+      Objs[I] = Tx.readRef(S.Vals, uint32_t(Slot));
+      Buf[I] = Tx.read(Objs[I], 0);
+      if (Buf[I] == Tombstone)
+        return;
+    }
+    Mutate(Buf.data(), N);
+    for (size_t I = 0; I < N; ++I) {
+      assert(Buf[I] != Tombstone && "Tombstone is reserved");
+      Tx.write(Objs[I], 0, Buf[I]);
+    }
+    Ok = true;
+  });
+  return Ok;
+}
+
+bool Store::rmwAdd(const Word *Keys, size_t N, Word Delta) {
+  return readModifyWrite(Keys, N, [Delta](Word *Vals, size_t Count) {
+    for (size_t I = 0; I < Count; ++I)
+      Vals[I] += Delta;
+  });
+}
+
+//===----------------------------------------------------------------------===
+// Introspection.
+//===----------------------------------------------------------------------===
+
+uint64_t Store::size() const {
+  uint64_t Sum = 0;
+  for (const ShardRep &S : Reps)
+    Sum += stm::ntRead(S.Meta, 0);
+  return Sum;
+}
+
+rt::Object *Store::valueObjectFor(Word Key) const {
+  const ShardRep &S = Reps[shardOf(Key)];
+  const uint32_t Mask = Capacity - 1;
+  uint32_t I = probeStart(Key, Capacity);
+  for (uint32_t N = 0; N < Capacity; ++N, I = (I + 1) & Mask) {
+    Word K = stm::ntRead(S.Keys, I);
+    if (K == 0)
+      return nullptr;
+    if (K == Key + 1)
+      return Object::fromWord(stm::ntRead(S.Vals, I));
+  }
+  return nullptr;
+}

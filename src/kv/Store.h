@@ -1,0 +1,182 @@
+//===- kv/Store.h - SATM-KV: sharded STM-backed key-value store -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SATM-KV: an in-memory sharded key-value store whose every piece of
+/// shared state is an STM-managed object (rt::Heap), accessed through two
+/// planes that the paper proves can coexist on one heap:
+///
+///  - the *transactional* plane: multi-key operations (snapshot multi-get,
+///    read-modify-write batches, CAS, insert/erase) run as eager atomic
+///    transactions (stm::Txn);
+///  - the *non-transactional* plane: single-key GET and PUT-to-existing-key
+///    run bare through the strong-atomicity isolation barriers
+///    (stm::ntRead / stm::ntWrite) — no descriptor, no read set, no commit.
+///
+/// Layout (KVell-style flat per-shard index, but on managed objects):
+/// each shard owns three objects — a Keys int-array (open addressing,
+/// linear probing, slot holds key+1, 0 = empty), a Vals ref-array of
+/// single-slot value objects, and a Meta counter object. Value objects are
+/// allocated per insert (DEA-private until the transactional ref store
+/// publishes them, §4) and are never unlinked: erase writes the Tombstone
+/// sentinel into the value slot instead of removing the index entry, so the
+/// non-transactional GET's probe walks only monotonically-growing state.
+///
+/// Why the two planes compose (the strong-atomicity argument, spelled out
+/// in DESIGN.md §8): index mutations happen only inside transactions, which
+/// hold the shard's Keys/Vals records Exclusive from first write to
+/// commit/rollback; a non-transactional probe therefore either waits out
+/// the mutation or sees none of it. Single-key GET/PUT touch exactly one
+/// data slot of one value object through one barrier, which makes each of
+/// them individually atomic and hence linearizable against committing
+/// transactions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_KV_STORE_H
+#define SATM_KV_STORE_H
+
+#include "rt/Heap.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace satm {
+namespace kv {
+
+using stm::Word;
+
+/// Store shape. Both counts are rounded up to powers of two. Capacity is
+/// fixed for the store's lifetime (no rehash): like KVell's in-memory
+/// indexes, SATM-KV sizes the table for the key population up front, and
+/// insert() reports failure when a shard fills past its probe bound.
+struct StoreConfig {
+  uint32_t Shards = 16;
+  uint32_t CapacityPerShard = 1024;
+};
+
+/// SplitMix64 finalizer: the store's key hash. Shard routing uses the high
+/// bits and slot probing the low bits, so a shard's resident keys do not
+/// cluster inside its table.
+inline uint64_t hashKey(Word Key) {
+  uint64_t Z = Key + 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+class Store {
+public:
+  /// Absent/deleted marker. Values equal to Tombstone cannot be stored;
+  /// multiGet writes it into output slots of missing keys.
+  static constexpr Word Tombstone = ~Word(0);
+
+  /// Builds the shard index objects in \p H. The structural objects are
+  /// born Shared (they are reachable by every worker from the start);
+  /// value objects later follow stm::config().birthState() so the DEA
+  /// regimes exercise publication on insert.
+  Store(rt::Heap &H, const StoreConfig &C);
+
+  uint32_t shards() const { return uint32_t(Reps.size()); }
+  uint32_t capacityPerShard() const { return Capacity; }
+
+  uint32_t shardOf(Word Key) const {
+    return uint32_t((hashKey(Key) >> 32) & (Reps.size() - 1));
+  }
+
+  /// First probe slot for \p Key in a table of \p Capacity slots.
+  static uint32_t probeStart(Word Key, uint32_t Capacity) {
+    return uint32_t(hashKey(Key) & (Capacity - 1));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Non-transactional plane (isolation barriers; single-key fast paths).
+  //===--------------------------------------------------------------------===
+
+  /// Single-key read: probes the shard index and reads the value slot, all
+  /// through ntRead. Returns false if the key was never inserted or is
+  /// erased.
+  bool get(Word Key, Word &Out) const;
+
+  /// Single-key overwrite of an *existing* key: one ntWrite into the value
+  /// object. Returns false (and writes nothing) if the key has no index
+  /// entry yet — the caller must take the transactional insert path.
+  /// Writing over an erased key resurrects it, which is the natural upsert
+  /// reading of PUT. \p Val must not be Tombstone.
+  bool putFast(Word Key, Word Val);
+
+  /// PUT: the fast path when the index entry exists, else a transactional
+  /// insert. Returns false only if the shard is full.
+  bool put(Word Key, Word Val);
+
+  //===--------------------------------------------------------------------===
+  // Transactional plane (atomic multi-key operations).
+  //===--------------------------------------------------------------------===
+
+  /// Inserts or overwrites \p Key atomically. Allocates the value object
+  /// inside the transaction (private until the ref store publishes it).
+  /// Returns false iff the shard's probe sequence is exhausted (full).
+  bool insert(Word Key, Word Val);
+
+  /// Atomically writes Tombstone into the key's value. Returns false if
+  /// the key is absent (no entry, or already erased).
+  bool erase(Word Key);
+
+  /// Atomic compare-and-swap on one key's value. Returns true iff the key
+  /// was present with \p Expected and now holds \p Desired.
+  bool cas(Word Key, Word Expected, Word Desired);
+
+  /// Atomic snapshot read of \p N keys: every value in \p Out is from one
+  /// serialization point. Missing keys read as Tombstone. Returns the
+  /// number of keys found.
+  size_t multiGet(const Word *Keys, size_t N, Word *Out) const;
+
+  /// Atomic read-modify-write batch: loads all \p N values, lets \p Mutate
+  /// rewrite them in place, stores them back — one transaction. Returns
+  /// false (no effects) if any key is missing. \p Mutate may run several
+  /// times (transaction re-execution) and must be side-effect-free.
+  bool readModifyWrite(const Word *Keys, size_t N,
+                       const std::function<void(Word *Vals, size_t N)> &Mutate);
+
+  /// readModifyWrite adding \p Delta to every value (two's-complement, so
+  /// negative deltas work).
+  bool rmwAdd(const Word *Keys, size_t N, Word Delta);
+
+  //===--------------------------------------------------------------------===
+  // Introspection.
+  //===--------------------------------------------------------------------===
+
+  /// Resident index entries (keys ever inserted; erase leaves a tombstoned
+  /// entry behind, so this never decreases), read per shard through ntRead.
+  /// Exact only while no mutating operation is in flight.
+  uint64_t size() const;
+
+  /// The value object currently indexed under \p Key, or null. Test/model
+  /// plumbing — production code reads through get().
+  rt::Object *valueObjectFor(Word Key) const;
+
+private:
+  struct ShardRep {
+    rt::Object *Keys; ///< Int array: key+1 per slot, 0 = empty.
+    rt::Object *Vals; ///< Ref array: value objects, parallel to Keys.
+    rt::Object *Meta; ///< Slot 0: live-key count.
+  };
+
+  /// Probe under the running transaction; returns the slot holding \p Key
+  /// or -1. \p FirstFree receives the first empty slot (insert target) or
+  /// -1 when the probe wrapped without finding one.
+  int findSlotTxn(const ShardRep &S, Word Key, int *FirstFree) const;
+
+  rt::Heap &H;
+  uint32_t Capacity;
+  std::vector<ShardRep> Reps;
+};
+
+} // namespace kv
+} // namespace satm
+
+#endif // SATM_KV_STORE_H

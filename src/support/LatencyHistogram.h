@@ -1,0 +1,127 @@
+//===- support/LatencyHistogram.h - Log-bucketed latency histogram -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-footprint log-linear histogram for nanosecond latencies, the
+/// HdrHistogram/TailBench shape: values below 2^SubBucketBits are counted
+/// exactly; above that, each power-of-two range is split into
+/// 2^(SubBucketBits-1) linear sub-buckets, bounding the relative
+/// quantization error at 2^-(SubBucketBits-1) (3.2% with the default 6
+/// bits) across the full uint64 range. record() is two shifts, a branch and
+/// an increment — cheap enough to run inside a request loop. Histograms are
+/// plain per-thread values merged after the run (no atomics), which is how
+/// the kv_service driver aggregates per-thread tails into p50..p99.9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_LATENCYHISTOGRAM_H
+#define SATM_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace satm {
+
+/// Log-linear histogram over uint64 values (nanoseconds by convention).
+class LatencyHistogram {
+public:
+  static constexpr unsigned SubBucketBits = 6;
+  /// Linear region: values in [0, 2^SubBucketBits) are exact.
+  static constexpr uint64_t LinearMax = uint64_t(1) << SubBucketBits;
+  static constexpr unsigned SubBucketsPerGroup = 1u << (SubBucketBits - 1);
+  static constexpr unsigned NumGroups = 64 - SubBucketBits;
+  static constexpr unsigned NumBuckets =
+      unsigned(LinearMax) + NumGroups * SubBucketsPerGroup;
+
+  /// Adds one observation.
+  void record(uint64_t V) {
+    Counts[bucketIndex(V)]++;
+    Total++;
+    if (V > Maximum)
+      Maximum = V;
+  }
+
+  /// Folds \p O into this histogram (per-thread merge).
+  LatencyHistogram &operator+=(const LatencyHistogram &O) {
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      Counts[I] += O.Counts[I];
+    Total += O.Total;
+    if (O.Maximum > Maximum)
+      Maximum = O.Maximum;
+    return *this;
+  }
+
+  uint64_t count() const { return Total; }
+  uint64_t max() const { return Maximum; }
+
+  /// Smallest recorded value's bucket upper bound at or above which
+  /// \p Percentile percent of observations lie; 0 on an empty histogram.
+  /// The returned value is the inclusive upper bound of the bucket that
+  /// crosses the rank, so it over-reports by at most the bucket width
+  /// (3.2% relative) and never under-reports a tail.
+  uint64_t valueAtPercentile(double Percentile) const {
+    assert(Percentile >= 0 && Percentile <= 100 && "percentile out of range");
+    if (Total == 0)
+      return 0;
+    // Rank of the target observation, 1-based, rounding up (p50 of 2
+    // observations is the 1st; p99.9 of 1000 is the 1000th).
+    uint64_t Rank = uint64_t(Percentile / 100.0 * double(Total) + 0.5);
+    if (Rank < 1)
+      Rank = 1;
+    if (Rank > Total)
+      Rank = Total;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      Seen += Counts[I];
+      if (Seen >= Rank) {
+        uint64_t Upper = bucketUpperBound(I);
+        return Upper < Maximum ? Upper : Maximum;
+      }
+    }
+    return Maximum;
+  }
+
+  /// The four percentiles every kv_service report carries.
+  struct Percentiles {
+    uint64_t P50 = 0, P95 = 0, P99 = 0, P999 = 0;
+  };
+  Percentiles percentiles() const {
+    return {valueAtPercentile(50), valueAtPercentile(95),
+            valueAtPercentile(99), valueAtPercentile(99.9)};
+  }
+
+  /// Bucket index of \p V (exposed for tests).
+  static unsigned bucketIndex(uint64_t V) {
+    if (V < LinearMax)
+      return unsigned(V);
+    // Top bit position H >= SubBucketBits; group G >= 1 spans
+    // [2^(SubBucketBits+G-1), 2^(SubBucketBits+G)) in sub-buckets of
+    // width 2^G.
+    unsigned H = 63 - unsigned(__builtin_clzll(V));
+    unsigned G = H - SubBucketBits + 1;
+    unsigned Sub = unsigned(V >> G) - SubBucketsPerGroup;
+    return unsigned(LinearMax) + (G - 1) * SubBucketsPerGroup + Sub;
+  }
+
+  /// Inclusive upper bound of bucket \p I (exposed for tests).
+  static uint64_t bucketUpperBound(unsigned I) {
+    assert(I < NumBuckets && "bucket index out of range");
+    if (I < LinearMax)
+      return I;
+    unsigned G = (I - unsigned(LinearMax)) / SubBucketsPerGroup + 1;
+    unsigned Sub = (I - unsigned(LinearMax)) % SubBucketsPerGroup;
+    return ((uint64_t(SubBucketsPerGroup) + Sub + 1) << G) - 1;
+  }
+
+private:
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Total = 0;
+  uint64_t Maximum = 0;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_LATENCYHISTOGRAM_H

@@ -20,7 +20,12 @@
 
 namespace satm {
 
-/// Collects rows of cells and prints them with aligned columns.
+/// Collects rows of cells and prints them with aligned columns. Numeric
+/// columns (every body cell parses as a number) are right-aligned so the
+/// digits of a latency/throughput column line up and stay diffable in
+/// bench_output.txt; everything else is left-aligned. Widths are measured
+/// in display columns (UTF-8 code points), not bytes, so a multi-byte cell
+/// like "µs" does not skew its column.
 class Table {
 public:
   explicit Table(std::vector<std::string> Header) {
@@ -44,33 +49,90 @@ public:
   /// Convenience: formats an integer.
   static std::string num(uint64_t Value) { return std::to_string(Value); }
 
-  /// Prints the table to stdout, optionally preceded by a title line.
-  void print(const std::string &Title = "") const {
-    if (!Title.empty())
-      std::printf("\n== %s ==\n", Title.c_str());
+  /// Display width: code points, not bytes (continuation bytes are free).
+  /// Combining marks and wide glyphs are out of scope for ASCII-ish bench
+  /// tables; code-point counting fixes the mundane "µ"/"×" cases.
+  static size_t displayWidth(const std::string &S) {
+    size_t W = 0;
+    for (unsigned char C : S)
+      if ((C & 0xC0) != 0x80)
+        ++W;
+    return W;
+  }
+
+  /// True for cells shaped like numbers: optional sign, digits with
+  /// embedded '.'/',' separators, optional trailing '%' or 'x'.
+  static bool looksNumeric(const std::string &S) {
+    if (S.empty())
+      return false;
+    size_t I = (S[0] == '+' || S[0] == '-') ? 1 : 0;
+    size_t End = S.size();
+    if (End > I && (S[End - 1] == '%' || S[End - 1] == 'x'))
+      --End;
+    bool Digit = false;
+    for (; I < End; ++I) {
+      char C = S[I];
+      if (C >= '0' && C <= '9')
+        Digit = true;
+      else if (C != '.' && C != ',')
+        return false;
+    }
+    return Digit;
+  }
+
+  /// Renders the table (without title) into a string.
+  std::string str() const {
     std::vector<size_t> Widths;
     for (const auto &Row : Rows)
       for (size_t I = 0; I < Row.size(); ++I) {
         if (Widths.size() <= I)
           Widths.resize(I + 1, 0);
-        if (Row[I].size() > Widths[I])
-          Widths[I] = Row[I].size();
+        size_t W = displayWidth(Row[I]);
+        if (W > Widths[I])
+          Widths[I] = W;
       }
+    // A column is numeric iff it has at least one body cell and every body
+    // cell looks numeric (the header label does not vote).
+    std::vector<bool> Numeric(Widths.size(), false);
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      bool Any = false, All = true;
+      for (size_t R = HasHeader ? 1 : 0; R < Rows.size(); ++R) {
+        if (I >= Rows[R].size())
+          continue;
+        Any = true;
+        if (!looksNumeric(Rows[R][I]))
+          All = false;
+      }
+      Numeric[I] = Any && All;
+    }
+    std::string Out;
     for (size_t R = 0; R < Rows.size(); ++R) {
       const auto &Row = Rows[R];
-      for (size_t I = 0; I < Row.size(); ++I)
-        std::printf("%-*s%s", static_cast<int>(Widths[I]), Row[I].c_str(),
-                    I + 1 == Row.size() ? "" : "  ");
-      std::printf("\n");
+      for (size_t I = 0; I < Row.size(); ++I) {
+        std::string Pad(Widths[I] - displayWidth(Row[I]), ' ');
+        if (Numeric[I])
+          Out += Pad + Row[I];
+        else
+          Out += Row[I] + Pad;
+        Out += I + 1 == Row.size() ? "" : "  ";
+      }
+      Out += '\n';
       if (R == 0 && HasHeader) {
         size_t Total = 0;
         for (size_t W : Widths)
           Total += W + 2;
-        for (size_t I = 0; I + 2 < Total; ++I)
-          std::printf("-");
-        std::printf("\n");
+        Out.append(Total >= 2 ? Total - 2 : 0, '-');
+        Out += '\n';
       }
     }
+    return Out;
+  }
+
+  /// Prints the table to stdout, optionally preceded by a title line.
+  void print(const std::string &Title = "") const {
+    if (!Title.empty())
+      std::printf("\n== %s ==\n", Title.c_str());
+    std::fputs(str().c_str(), stdout);
     std::fflush(stdout);
   }
 

@@ -1,0 +1,187 @@
+//===- support/Zipf.h - Deterministic key-distribution generators -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Key-distribution generators for the SATM-KV workload drivers: a YCSB-style
+/// Zipfian generator (Gray et al.'s rejection-free inversion, the same
+/// algorithm KVell's and YCSB's drivers use) and a trivial uniform one, both
+/// driven by the repo's deterministic Rng.
+///
+/// Like Rng, every stream must be bit-identical across platforms so a seeded
+/// benchmark run is reproducible anywhere. The Zipfian inversion needs pow(),
+/// whose libm results are *not* guaranteed correctly rounded and differ
+/// across platforms by ULPs — enough to flip a sample near a bucket
+/// boundary. detPow() below therefore computes x^y = exp2(y*log2(x)) from
+/// fixed-iteration series using only exactly-rounded IEEE operations
+/// (+, -, *, /, frexp, ldexp), which makes the whole generator deterministic
+/// by construction. Accuracy is ~1e-14 relative, far beyond what a key
+/// distribution needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_ZIPF_H
+#define SATM_SUPPORT_ZIPF_H
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+namespace satm {
+
+/// Deterministic log2(X) for finite X > 0: mantissa via the atanh series
+/// (fixed 16 odd terms; |t| <= 1/3 so the truncation error is < 1e-17),
+/// exponent exactly via frexp.
+inline double detLog2(double X) {
+  assert(X > 0 && "detLog2 requires a positive argument");
+  int Exp;
+  double M = std::frexp(X, &Exp); // M in [0.5, 1), exactly.
+  if (M == 0.5) // Exact powers of two (including 1.0) get exact logs,
+    return double(Exp - 1); // so detPow(1, y) == 1 and detPow(2^k, y) is
+                            // free of the series' last-ULP wobble.
+  double T = (M - 1.0) / (M + 1.0);
+  double T2 = T * T;
+  double Sum = 0;
+  double Term = T;
+  for (int K = 0; K < 16; ++K) {
+    Sum += Term / double(2 * K + 1);
+    Term *= T2;
+  }
+  // log(M) = 2*atanh(T); divide by log(2) once (exactly-rounded constant).
+  return double(Exp) + 2.0 * Sum / 0.6931471805599453;
+}
+
+/// Deterministic 2^Y for |Y| < 1024: fractional part via the exp Taylor
+/// series (fixed 24 terms; argument <= log 2 so truncation is < 1e-19),
+/// integer part exactly via ldexp.
+inline double detExp2(double Y) {
+  double Fl = std::floor(Y);
+  double F = Y - Fl; // In [0, 1).
+  double X = F * 0.6931471805599453;
+  double Sum = 1.0;
+  double Term = 1.0;
+  for (int K = 1; K < 24; ++K) {
+    Term *= X / double(K);
+    Sum += Term;
+  }
+  return std::ldexp(Sum, int(Fl));
+}
+
+/// Deterministic Base^Exp for Base > 0 (and the conventional 0^0 = 1,
+/// 0^positive = 0 edge cases the generators rely on).
+inline double detPow(double Base, double Exp) {
+  if (Exp == 0.0)
+    return 1.0;
+  if (Base == 0.0)
+    return 0.0;
+  return detExp2(Exp * detLog2(Base));
+}
+
+/// Uniform key generator over [0, N).
+class UniformKeys {
+public:
+  UniformKeys(uint64_t N, uint64_t Seed) : R(Seed), N(N) {
+    assert(N > 0 && "empty key space");
+  }
+
+  uint64_t next() { return R.nextBelow(N); }
+
+private:
+  Rng R;
+  uint64_t N;
+};
+
+/// Zipfian key generator over [0, N) with parameter \p Theta (YCSB calls it
+/// the "zipfian constant", default 0.99): rank r is drawn with probability
+/// proportional to 1/(r+1)^Theta via the closed-form inversion, so there is
+/// no rejection loop and exactly one Rng draw per key.
+///
+/// With \p Scramble (the default, YCSB's "scrambled zipfian"), ranks are
+/// FNV-hashed over the key space so the hot keys are spread across it
+/// instead of clustering at 0..k — without this, hot keys are adjacent and
+/// would also be hash-adjacent in any index that mixes keys weakly.
+class ZipfKeys {
+public:
+  ZipfKeys(uint64_t N, uint64_t Seed, double Theta = 0.99,
+           bool Scramble = true)
+      : R(Seed), N(N), Theta(Theta), Scramble(Scramble) {
+    assert(N > 0 && "empty key space");
+    assert(Theta > 0 && Theta < 1 && "theta must be in (0, 1)");
+    Zetan = zeta(N, Theta);
+    double Zeta2 = zeta(2, Theta);
+    Alpha = 1.0 / (1.0 - Theta);
+    Eta = (1.0 - detPow(2.0 / double(N), 1.0 - Theta)) /
+          (1.0 - Zeta2 / Zetan);
+    HalfPowTheta = detPow(0.5, Theta);
+  }
+
+  /// Harmonic-like normalizer sum_{i=1..N} 1/i^Theta (exposed for tests).
+  static double zeta(uint64_t N, double Theta) {
+    double Sum = 0;
+    for (uint64_t I = 1; I <= N; ++I)
+      Sum += 1.0 / detPow(double(I), Theta);
+    return Sum;
+  }
+
+  uint64_t next() {
+    double U = R.nextDouble();
+    double Uz = U * Zetan;
+    uint64_t Rank;
+    if (Uz < 1.0)
+      Rank = 0;
+    else if (Uz < 1.0 + HalfPowTheta)
+      Rank = 1;
+    else
+      Rank = uint64_t(double(N) * detPow(Eta * U - Eta + 1.0, Alpha));
+    if (Rank >= N)
+      Rank = N - 1;
+    return Scramble ? fnv64(Rank) % N : Rank;
+  }
+
+  /// FNV-1a over the rank's 8 bytes (the YCSB scramble hash).
+  static uint64_t fnv64(uint64_t V) {
+    uint64_t H = 14695981039346656037ull;
+    for (unsigned I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+    return H;
+  }
+
+private:
+  Rng R;
+  uint64_t N;
+  double Theta;
+  bool Scramble;
+  double Zetan, Alpha, Eta, HalfPowTheta;
+};
+
+/// Tagged either-or of the two generators, so workload drivers can switch
+/// distribution by flag without templating their request loop. The O(N)
+/// Zipfian normalizer is only computed when the Zipfian arm is selected.
+class KeyGenerator {
+public:
+  enum class Dist : uint8_t { Uniform, Zipfian };
+
+  KeyGenerator(Dist D, uint64_t N, uint64_t Seed, double Theta = 0.99,
+               bool Scramble = true)
+      : Uni(N, Seed) {
+    if (D == Dist::Zipfian)
+      Zipf.emplace(N, Seed, Theta, Scramble);
+  }
+
+  uint64_t next() { return Zipf ? Zipf->next() : Uni.next(); }
+
+private:
+  UniformKeys Uni;
+  std::optional<ZipfKeys> Zipf;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_ZIPF_H

@@ -1,0 +1,129 @@
+//===- tests/support/LatencyHistogramTest.cpp - Histogram tests ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LatencyHistogram.h"
+
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using namespace satm;
+
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.valueAtPercentile(50), 0u);
+  EXPECT_EQ(H.percentiles().P999, 0u);
+}
+
+TEST(LatencyHistogram, LinearRegionIsExact) {
+  LatencyHistogram H;
+  for (uint64_t V = 0; V < LatencyHistogram::LinearMax; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), LatencyHistogram::LinearMax);
+  EXPECT_EQ(H.max(), LatencyHistogram::LinearMax - 1);
+  // 64 observations 0..63: p50 rounds to rank 32, value 31 — exact, no
+  // bucket quantization below LinearMax.
+  EXPECT_EQ(H.valueAtPercentile(50), 31u);
+  EXPECT_EQ(H.valueAtPercentile(100), 63u);
+  EXPECT_EQ(H.valueAtPercentile(0), 0u);
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotoneAndDense) {
+  unsigned Prev = 0;
+  for (uint64_t V = 0; V < (1u << 20); V += 7) {
+    unsigned I = LatencyHistogram::bucketIndex(V);
+    EXPECT_GE(I, Prev);
+    EXPECT_LT(I, LatencyHistogram::NumBuckets);
+    EXPECT_GE(LatencyHistogram::bucketUpperBound(I), V);
+    Prev = I;
+  }
+  // Extremes stay in range.
+  EXPECT_LT(LatencyHistogram::bucketIndex(~uint64_t(0)),
+            LatencyHistogram::NumBuckets);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(0), 0u);
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded) {
+  // A single recorded value's reported percentile may over-report by the
+  // bucket width — at most 2^-(SubBucketBits-1) relative — and never
+  // under-report.
+  for (uint64_t V : {100ull, 999ull, 4097ull, 123456ull, 87654321ull,
+                     1ull << 40, (1ull << 60) + 12345}) {
+    LatencyHistogram H;
+    H.record(V);
+    H.record(V * 2); // Keeps Maximum above V's bucket: no clamp hides error.
+    uint64_t P = H.valueAtPercentile(50); // Rank 1 of 2: V's bucket.
+    EXPECT_GE(P, V);
+    EXPECT_LE(P - V, V / LatencyHistogram::SubBucketsPerGroup + 1);
+  }
+}
+
+TEST(LatencyHistogram, PercentileClampsToMaximum) {
+  LatencyHistogram H;
+  H.record(1000); // Bucket upper bound is 1007; the real max is smaller.
+  EXPECT_EQ(H.valueAtPercentile(99.9), 1000u);
+}
+
+TEST(LatencyHistogram, PercentilesAgainstSortedReference) {
+  LatencyHistogram H;
+  Rng R(17);
+  std::vector<uint64_t> Vals;
+  for (int I = 0; I < 20000; ++I) {
+    // Log-uniform over ~6 decades, like a latency distribution with a tail.
+    uint64_t V = uint64_t(1) << R.nextBelow(20);
+    V += R.nextBelow(V);
+    Vals.push_back(V);
+    H.record(V);
+  }
+  std::sort(Vals.begin(), Vals.end());
+  for (double P : {50.0, 95.0, 99.0, 99.9}) {
+    size_t Rank = size_t(P / 100.0 * double(Vals.size()) + 0.5);
+    uint64_t Exact = Vals[std::min(Rank, Vals.size()) - 1];
+    uint64_t Approx = H.valueAtPercentile(P);
+    // Within one bucket width of the exact order statistic, never below.
+    EXPECT_GE(Approx, Exact) << "p" << P;
+    EXPECT_LE(double(Approx - Exact), double(Exact) * 0.033 + 1) << "p" << P;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram A, B, Ref;
+  Rng R(23);
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t V = R.nextBelow(1 << 16);
+    (I % 2 ? A : B).record(V);
+    Ref.record(V);
+  }
+  A += B;
+  EXPECT_EQ(A.count(), Ref.count());
+  EXPECT_EQ(A.max(), Ref.max());
+  for (double P : {50.0, 95.0, 99.0, 99.9})
+    EXPECT_EQ(A.valueAtPercentile(P), Ref.valueAtPercentile(P)) << "p" << P;
+}
+
+TEST(LatencyHistogram, PercentilesStructMatchesQueries) {
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V * 100);
+  LatencyHistogram::Percentiles P = H.percentiles();
+  EXPECT_EQ(P.P50, H.valueAtPercentile(50));
+  EXPECT_EQ(P.P95, H.valueAtPercentile(95));
+  EXPECT_EQ(P.P99, H.valueAtPercentile(99));
+  EXPECT_EQ(P.P999, H.valueAtPercentile(99.9));
+  EXPECT_LE(P.P50, P.P95);
+  EXPECT_LE(P.P95, P.P99);
+  EXPECT_LE(P.P99, P.P999);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- tests/support/ZipfTest.cpp - Key-distribution generator tests -----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The kv_service driver's reproducibility rests on these generators being
+// bit-identical everywhere, so beyond the distribution-shape checks this
+// file pins *golden sequences*: exact keys a seeded generator must emit.
+// detPow is built from exactly-rounded IEEE operations only, so a platform
+// where these tests fail has a broken double implementation, not an
+// "acceptable" libm difference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Zipf.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+using namespace satm;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Deterministic pow.
+//===----------------------------------------------------------------------===
+
+TEST(DetPow, MatchesLibmClosely) {
+  // detPow is not libm's pow, but both approximate the same real function;
+  // agreement within 1e-12 relative over the generator's input range is
+  // far tighter than anything a key distribution can observe.
+  const double Bases[] = {0.5,    2.0 / 65536, 1.0,     2.0,     10.0,
+                          0.99,   123.456,     1e-6,    65536.0, 3.14159};
+  const double Exps[] = {-0.99, -0.5, 0.01, 0.37, 0.99, 1.0, 2.5, -3.0};
+  for (double B : Bases)
+    for (double E : Exps) {
+      double Ours = detPow(B, E);
+      double Libm = std::pow(B, E);
+      EXPECT_NEAR(Ours / Libm, 1.0, 1e-12) << "pow(" << B << ", " << E << ")";
+    }
+}
+
+TEST(DetPow, EdgeCases) {
+  EXPECT_EQ(detPow(0.0, 0.0), 1.0);
+  EXPECT_EQ(detPow(5.0, 0.0), 1.0);
+  EXPECT_EQ(detPow(0.0, 0.7), 0.0);
+  EXPECT_EQ(detPow(1.0, 123.0), 1.0);
+}
+
+TEST(DetPow, Log2Exp2RoundTrip) {
+  for (double X : {0.001, 0.5, 1.0, 1.5, 2.0, 777.0, 1e9})
+    EXPECT_NEAR(detExp2(detLog2(X)) / X, 1.0, 1e-13) << X;
+  // Exact powers of two go through frexp/ldexp and survive exactly.
+  EXPECT_EQ(detLog2(1024.0), 10.0);
+  EXPECT_EQ(detExp2(10.0), 1024.0);
+  EXPECT_EQ(detExp2(-3.0), 0.125);
+}
+
+//===----------------------------------------------------------------------===
+// Rng::nextDouble (the generators' one entropy source).
+//===----------------------------------------------------------------------===
+
+TEST(NextDouble, UnitIntervalAndDeterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 10000; ++I) {
+    double U = A.nextDouble();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+    EXPECT_EQ(U, B.nextDouble());
+  }
+}
+
+TEST(NextDouble, RoughlyUniform) {
+  Rng R(7);
+  constexpr int N = 40000;
+  int Low = 0;
+  double Sum = 0;
+  for (int I = 0; I < N; ++I) {
+    double U = R.nextDouble();
+    Sum += U;
+    Low += U < 0.5;
+  }
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+  EXPECT_NEAR(double(Low) / N, 0.5, 0.02);
+}
+
+//===----------------------------------------------------------------------===
+// Distribution shape.
+//===----------------------------------------------------------------------===
+
+TEST(UniformKeys, BoundsAndCoverage) {
+  constexpr uint64_t N = 97;
+  UniformKeys G(N, 3);
+  std::vector<int> Counts(N, 0);
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t K = G.next();
+    ASSERT_LT(K, N);
+    Counts[K]++;
+  }
+  for (uint64_t K = 0; K < N; ++K)
+    EXPECT_GT(Counts[K], 0) << "key " << K << " never drawn";
+}
+
+TEST(ZipfKeys, ZetaClosedForms) {
+  EXPECT_EQ(ZipfKeys::zeta(1, 0.99), 1.0);
+  EXPECT_NEAR(ZipfKeys::zeta(2, 0.5), 1.0 + 1.0 / std::sqrt(2.0), 1e-12);
+  // Monotone in N.
+  EXPECT_GT(ZipfKeys::zeta(100, 0.99), ZipfKeys::zeta(99, 0.99));
+}
+
+TEST(ZipfKeys, UnscrambledRanksAreFrontLoaded) {
+  constexpr uint64_t N = 1000;
+  ZipfKeys G(N, 11, 0.99, /*Scramble=*/false);
+  constexpr int Draws = 50000;
+  std::vector<int> Counts(N, 0);
+  for (int I = 0; I < Draws; ++I) {
+    uint64_t K = G.next();
+    ASSERT_LT(K, N);
+    Counts[K]++;
+  }
+  // Rank 0 of a theta=0.99 Zipfian over 1000 keys carries ~1/zeta(1000)
+  // ~ 13% of the mass; uniform would give 0.1%.
+  EXPECT_GT(Counts[0], Draws / 20);
+  // The top 10 ranks together dominate any other 10 keys.
+  int Top = 0, Mid = 0;
+  for (int I = 0; I < 10; ++I) {
+    Top += Counts[I];
+    Mid += Counts[500 + I];
+  }
+  EXPECT_GT(Top, 10 * Mid);
+}
+
+TEST(ZipfKeys, ScrambleSpreadsButPreservesSkew) {
+  constexpr uint64_t N = 1000;
+  ZipfKeys G(N, 11, 0.99, /*Scramble=*/true);
+  std::map<uint64_t, int> Counts;
+  constexpr int Draws = 50000;
+  for (int I = 0; I < Draws; ++I) {
+    uint64_t K = G.next();
+    ASSERT_LT(K, N);
+    Counts[K]++;
+  }
+  // The hottest key is the scramble of rank 0 — somewhere fixed in the key
+  // space, not key 0.
+  uint64_t Hot = ZipfKeys::fnv64(0) % N;
+  EXPECT_NE(Hot, 0u);
+  int Best = 0;
+  uint64_t BestKey = 0;
+  for (auto &[K, C] : Counts)
+    if (C > Best) {
+      Best = C;
+      BestKey = K;
+    }
+  EXPECT_EQ(BestKey, Hot);
+  EXPECT_GT(Best, Draws / 20);
+}
+
+TEST(ZipfKeys, ThetaControlsSkew) {
+  constexpr uint64_t N = 1000;
+  auto Rank0Share = [](double Theta) {
+    ZipfKeys G(N, 5, Theta, /*Scramble=*/false);
+    int C = 0;
+    for (int I = 0; I < 20000; ++I)
+      C += G.next() == 0;
+    return C;
+  };
+  EXPECT_GT(Rank0Share(0.99), 2 * Rank0Share(0.5));
+}
+
+//===----------------------------------------------------------------------===
+// Determinism: same seed, same stream; golden sequences pin the exact
+// values across platforms and future refactors.
+//===----------------------------------------------------------------------===
+
+TEST(KeyGenerator, SameSeedSameStream) {
+  KeyGenerator A(KeyGenerator::Dist::Zipfian, 4096, 99);
+  KeyGenerator B(KeyGenerator::Dist::Zipfian, 4096, 99);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  KeyGenerator C(KeyGenerator::Dist::Uniform, 4096, 99);
+  KeyGenerator D(KeyGenerator::Dist::Uniform, 4096, 99);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(C.next(), D.next());
+}
+
+TEST(ZipfKeys, GoldenSequence) {
+  ZipfKeys G(1024, 2026, 0.99, /*Scramble=*/true);
+  const uint64_t Expected[] = {310, 206, 800, 734, 553, 106,
+                               449, 453, 453, 703, 453, 585};
+  for (uint64_t E : Expected)
+    EXPECT_EQ(G.next(), E);
+}
+
+TEST(UniformKeys, GoldenSequence) {
+  UniformKeys G(1024, 2026);
+  const uint64_t Expected[] = {942, 836, 669, 186, 176, 676,
+                               446, 21,  483, 552, 613, 753};
+  for (uint64_t E : Expected)
+    EXPECT_EQ(G.next(), E);
+}
+
+TEST(DetPow, GoldenBits) {
+  // Exact bit patterns, not approximate values: the whole point of detPow.
+  union {
+    double D;
+    uint64_t U;
+  } V;
+  V.D = detPow(10.0, 0.37); // 2.3442288153199216
+  EXPECT_EQ(V.U, 0x4002c0fb09811e7dull);
+  V.D = detPow(0.5, 0.99); // 0.50347777502835944
+  EXPECT_EQ(V.U, 0x3fe01c7d6c404f0cull);
+  V.D = ZipfKeys::zeta(1000, 0.99); // 7.7289532172847277
+  EXPECT_EQ(V.U, 0x401eea72b6523522ull);
+}
+
+} // namespace

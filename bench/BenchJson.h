@@ -1,4 +1,4 @@
-//===- bench/BenchJson.h - Shared satm-bench-v3 JSON emitter ---*- C++ -*-===//
+//===- bench/BenchJson.h - Shared satm-bench-v4 JSON emitter ---*- C++ -*-===//
 //
 // Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 //
@@ -7,19 +7,25 @@
 /// \file
 /// The one writer of the repo's machine-readable perf trajectory format,
 /// shared by bench/perf_suite and bench/kv_service so the two halves of
-/// BENCH_satm.json cannot drift apart. Schema satm-bench-v3:
+/// BENCH_satm.json cannot drift apart. Schema satm-bench-v4:
 ///
-///   { "schema": "satm-bench-v3", "mode": "full"|"smoke",
+///   { "schema": "satm-bench-v4", "mode": "full"|"smoke",
 ///     "benchmarks": [
 ///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
-///         "abort_reasons": { ...all eight taxonomy keys... },
+///         "abort_reasons": { ...all nine taxonomy keys... },
 ///         // optional, service benchmarks only:
 ///         "throughput_ops_per_sec": N,
-///         "latency_ns": {"p50": N, "p95": N, "p99": N, "p999": N} } ] }
+///         "latency_ns": {"p50": N, "p95": N, "p99": N, "p999": N},
+///         // optional, overload benchmarks only (implies the above two):
+///         "offered_ops_per_sec": N, "goodput_ops_per_sec": N,
+///         "shed_rate": F } ] }
 ///
-/// v3 extends v2 with the two optional tail-latency fields; entries without
-/// them (the closed micro-benchmarks) are still valid, and
-/// scripts/check_bench_schema.sh enforces that kv/* entries carry both.
+/// v4 extends v3 with the FaultInjected abort-reason key and the three
+/// optional overload-degradation fields written by kv_service's open-loop
+/// overload run (offered load, completed-in-budget goodput, and the
+/// fraction of requests shed by admission control). Entries without them
+/// are still valid; scripts/check_bench_schema.sh enforces that kv/*
+/// entries carry the latency fields and kv/overload/* entries all five.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +59,13 @@ struct BenchEntry {
   bool HasLatency = false;
   LatencyHistogram::Percentiles Latency{};
   double OpsPerSec = 0;
+  /// Overload benchmarks: offered open-loop rate, goodput (requests that
+  /// completed within budget), and the shed fraction. HasOverload gates
+  /// the three optional JSON fields.
+  bool HasOverload = false;
+  double OfferedQps = 0;
+  double GoodputOpsPerSec = 0;
+  double ShedRate = 0;
 };
 
 inline void writeBenchJson(const char *Path, const char *Mode,
@@ -63,7 +76,7 @@ inline void writeBenchJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v3\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v4\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Entries.size(); ++I) {
@@ -82,6 +95,11 @@ inline void writeBenchJson(const char *Path, const char *Mode,
                    ", \"p999\": %" PRIu64 "}",
                    E.OpsPerSec, E.Latency.P50, E.Latency.P95, E.Latency.P99,
                    E.Latency.P999);
+    if (E.HasOverload)
+      std::fprintf(F,
+                   ",\n     \"offered_ops_per_sec\": %.0f, "
+                   "\"goodput_ops_per_sec\": %.0f, \"shed_rate\": %.4f",
+                   E.OfferedQps, E.GoodputOpsPerSec, E.ShedRate);
     std::fprintf(F, "}%s\n", I + 1 < Entries.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");

@@ -24,10 +24,18 @@
 //
 // Latencies go into per-thread log-bucketed histograms (≤3.2% relative
 // error) merged at the end; p50/p95/p99/p99.9 are reported in the table and
-// in the kv/* entries of the satm-bench-v3 JSON (bench/BenchJson.h).
+// in the kv/* entries of the satm-bench-v4 JSON (bench/BenchJson.h).
 // `--suite` runs the canned configurations whose numbers are checked in via
 // scripts/bench.sh; `--smoke` is the tiny CI/TSan variant; bare flags run a
 // single custom configuration.
+//
+// The kv/overload/* suite entries run the overload-degradation experiment:
+// open-loop at 2× the machine's measured closed-loop saturation, each
+// request carrying a deadline, under one of two policies. "queue" executes
+// everything and lets queueing delay blow through the tail; "shed" drops
+// already-late arrivals at admission and gives each transactional op a
+// retry/deadline budget (kv::OpBudget), trading a nonzero shed rate for a
+// bounded p99.9 and higher goodput (requests completed in budget).
 //
 //===----------------------------------------------------------------------===//
 
@@ -77,6 +85,13 @@ struct Mix {
   }
 };
 
+/// What to do when offered load exceeds capacity (open-loop runs only).
+enum class OverloadPolicy {
+  None,  ///< Closed-loop / uncontrolled open-loop: no deadline semantics.
+  Queue, ///< Execute everything; queueing delay goes to the tail.
+  Shed,  ///< Admission-drop already-late arrivals; budget the txn ops.
+};
+
 struct RunConfig {
   std::string Name = "kv/custom";
   unsigned Threads = 4;
@@ -88,6 +103,17 @@ struct RunConfig {
   Mix M;
   double Qps = 0; ///< >0: open-loop at this aggregate arrival rate.
   uint64_t Seed = 2026;
+  /// Overload control (the v4 degradation experiment).
+  OverloadPolicy Policy = OverloadPolicy::None;
+  uint64_t DeadlineUs = 0;  ///< Per-request deadline (0 = none).
+  uint32_t RetryBudget = 0; ///< Txn attempts per op under Shed (0 = ∞).
+  /// Contention-manager knobs forwarded to stm::Config.
+  uint32_t IrrevocableAfterAborts = 0;
+  bool Karma = false;
+  /// Suite calibration: when set, Qps is computed as QpsFactor times the
+  /// measured throughput of the earlier suite entry with this name.
+  std::string CalibrateFrom;
+  double QpsFactor = 0;
 };
 
 struct RunResult {
@@ -96,6 +122,9 @@ struct RunResult {
   LatencyHistogram Hist;
   StatsCounters Counters;
   uint64_t Hits = 0; ///< GETs that found a live value (sanity sink).
+  uint64_t Shed = 0;     ///< Admission-dropped (already past deadline).
+  uint64_t Rejected = 0; ///< Gave up mid-op: Overloaded/DeadlineExceeded.
+  uint64_t Good = 0;     ///< Completed within the deadline.
 };
 
 /// Spin-then-sleep until \p Deadline. sleep_for can overshoot by a
@@ -130,6 +159,7 @@ public:
 
     const bool Open = C.Qps > 0;
     const double RatePerNs = Open ? C.Qps / double(C.Threads) * 1e-9 : 0;
+    const auto DeadlineNs = std::chrono::microseconds(C.DeadlineUs);
     double ArrivalNs = 0;
 
     for (uint64_t I = 0; I < C.OpsPerThread; ++I) {
@@ -144,9 +174,30 @@ public:
         IssuedAt = Clock::now();
       }
 
-      doOne(Scratch, I);
+      Clock::time_point DL =
+          C.DeadlineUs ? IssuedAt + DeadlineNs : Clock::time_point{};
+      kv::OpBudget B;
+      if (C.Policy == OverloadPolicy::Shed) {
+        // Admission control: a request whose queueing delay alone already
+        // exceeds its deadline cannot be served in budget — shed it
+        // instead of burning capacity the waiting requests need.
+        if (C.DeadlineUs && Clock::now() >= DL) {
+          ++R.Shed;
+          continue;
+        }
+        B.MaxAttempts = C.RetryBudget;
+        B.Deadline = DL;
+      }
+
+      bool Completed = doOne(Scratch, I, B);
 
       auto Done = Clock::now();
+      if (!Completed) {
+        ++R.Rejected;
+        continue;
+      }
+      if (C.Policy == OverloadPolicy::None || !C.DeadlineUs || Done <= DL)
+        ++R.Good;
       R.Hist.record(uint64_t(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Done - IssuedAt)
               .count()));
@@ -158,13 +209,20 @@ public:
   RunResult R;
 
 private:
-  void doOne(rt::Object *Scratch, uint64_t I) {
+  /// \returns false iff a budgeted transactional op gave up (Overloaded /
+  /// DeadlineExceeded). The non-transactional plane is never budgeted —
+  /// single-key barrier ops have no retry loop to bound.
+  bool doOne(rt::Object *Scratch, uint64_t I, const kv::OpBudget &B) {
     Word K = Gen.next();
     // Two private-path barrier writes per request, like compiled code
     // logging into a not-yet-escaped request object.
     ntWrite(Scratch, 0, I);
     ntWrite(Scratch, 1, K);
 
+    auto Served = [](kv::OpStatus St) {
+      return St != kv::OpStatus::Overloaded &&
+             St != kv::OpStatus::DeadlineExceeded;
+    };
     unsigned P = unsigned(Ops.nextBelow(100));
     Word V = Ops.next() & 0x7fffffffffffull; // Never Tombstone.
     if (P < C.M.Get) {
@@ -177,15 +235,16 @@ private:
       Word Keys[8], Out[8];
       for (Word &Q : Keys)
         Q = Gen.next();
-      (void)S.multiGet(Keys, 8, Out);
+      return Served(S.multiGet(Keys, 8, Out, B));
     } else if (P < C.M.Get + C.M.Put + C.M.Mget + C.M.Rmw) {
       Word Keys[2] = {K, Gen.next()};
-      (void)S.rmwAdd(Keys, 2, 1);
+      return Served(S.rmwAdd(Keys, 2, 1, B));
     } else {
       Word Cur;
       if (S.get(K, Cur))
-        (void)S.cas(K, Cur, V);
+        return Served(S.cas(K, Cur, V, B));
     }
+    return true;
   }
 
   kv::Store &S;
@@ -199,6 +258,8 @@ RunResult runService(const RunConfig &C) {
   // born Private until a transactional ref store publishes them.
   Config Cfg;
   Cfg.DeaEnabled = true;
+  Cfg.IrrevocableAfterAborts = C.IrrevocableAfterAborts;
+  Cfg.KarmaPriority = C.Karma;
   ScopedConfig SC(Cfg);
 
   rt::Heap H;
@@ -241,6 +302,9 @@ RunResult runService(const RunConfig &C) {
     Total.Seconds = std::max(Total.Seconds, W.R.Seconds);
     Total.Hist += W.R.Hist;
     Total.Hits += W.R.Hits;
+    Total.Shed += W.R.Shed;
+    Total.Rejected += W.R.Rejected;
+    Total.Good += W.R.Good;
   }
   Total.Counters = statsSnapshot();
   return Total;
@@ -258,6 +322,12 @@ BenchEntry toEntry(const RunConfig &C, const RunResult &R) {
   E.HasLatency = true;
   E.Latency = R.Hist.percentiles();
   E.OpsPerSec = double(R.Ops) / R.Seconds;
+  if (C.Policy != OverloadPolicy::None) {
+    E.HasOverload = true;
+    E.OfferedQps = C.Qps;
+    E.GoodputOpsPerSec = double(R.Good) / R.Seconds;
+    E.ShedRate = double(R.Shed + R.Rejected) / double(R.Ops);
+  }
   return E;
 }
 
@@ -278,6 +348,11 @@ void printTable(const std::vector<RunConfig> &Cs,
               us(E.Latency.P99), us(E.Latency.P999), Table::num(E.Aborts)});
   }
   T.print(Title);
+  for (const BenchEntry &E : Es)
+    if (E.HasOverload)
+      std::printf("%s: offered %.0f qps, goodput %.0f ops/s, shed %.2f%%\n",
+                  E.Name.c_str(), E.OfferedQps, E.GoodputOpsPerSec,
+                  E.ShedRate * 100.0);
 }
 
 bool parseMix(const char *Spec, Mix &M) {
@@ -343,15 +418,39 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     }
     return C;
   };
+  // Overload-degradation entry: open-loop at QpsFactor times the measured
+  // throughput of the named closed-loop entry (calibrated in main), with a
+  // per-request deadline, and either admission control + retry budgets
+  // (Shed) or nothing (Queue — the baseline whose tail the deadline cannot
+  // save). The adaptive contention manager is on so abort storms under
+  // overload escalate instead of livelocking.
+  auto MkOver = [&](std::string Name, unsigned Threads, const char *From,
+                    OverloadPolicy P) {
+    RunConfig C = Mk(std::move(Name), Threads, /*Qps=*/1);
+    C.CalibrateFrom = From;
+    C.QpsFactor = 2.0;
+    C.Policy = P;
+    C.DeadlineUs = 2000;
+    C.RetryBudget = P == OverloadPolicy::Shed ? 4 : 0;
+    C.IrrevocableAfterAborts = 32;
+    C.Karma = true;
+    return C;
+  };
   if (Smoke) {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t2", 2, 0));
     Cs.push_back(Mk("kv/open_t2_q20k", 2, 20000)); // TSan-safe arrival rate.
+    Cs.push_back(
+        MkOver("kv/overload/shed_t2", 2, "kv/closed_t2", OverloadPolicy::Shed));
   } else {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t4", 4, 0));
     Cs.push_back(Mk("kv/closed_t8", 8, 0));
     Cs.push_back(Mk("kv/open_t4_q400k", 4, 400000));
+    Cs.push_back(MkOver("kv/overload/queue_t4", 4, "kv/closed_t4",
+                        OverloadPolicy::Queue));
+    Cs.push_back(
+        MkOver("kv/overload/shed_t4", 4, "kv/closed_t4", OverloadPolicy::Shed));
   }
   return Cs;
 }
@@ -414,6 +513,23 @@ int main(int argc, char **argv) {
       }
     } else if ((V = Val("--seed=")))
       Single.Seed = uint64_t(std::atoll(V));
+    else if ((V = Val("--overload="))) {
+      if (!std::strcmp(V, "shed"))
+        Single.Policy = OverloadPolicy::Shed;
+      else if (!std::strcmp(V, "queue"))
+        Single.Policy = OverloadPolicy::Queue;
+      else {
+        std::fprintf(stderr, "kv_service: --overload must be shed or queue\n");
+        return 2;
+      }
+    } else if ((V = Val("--deadline-us=")))
+      Single.DeadlineUs = uint64_t(std::atoll(V));
+    else if ((V = Val("--retry-budget=")))
+      Single.RetryBudget = uint32_t(std::atoi(V));
+    else if ((V = Val("--irrevocable-after=")))
+      Single.IrrevocableAfterAborts = uint32_t(std::atoi(V));
+    else if (!std::strcmp(A, "--karma"))
+      Single.Karma = true;
     else {
       std::fprintf(
           stderr,
@@ -421,7 +537,10 @@ int main(int argc, char **argv) {
           "       kv_service [--threads=N] [--keys=N] [--shards=N] [--ops=N]\n"
           "                  [--dist=zipf|uniform] [--theta=T] [--qps=Q]\n"
           "                  [--mix=get:N,put:N,mget:N,rmw:N,cas:N]\n"
-          "                  [--txn-pct=P] [--seed=N] [--json=PATH]\n");
+          "                  [--txn-pct=P] [--seed=N] [--json=PATH]\n"
+          "                  [--overload=shed|queue] [--deadline-us=N]\n"
+          "                  [--retry-budget=N] [--irrevocable-after=N]\n"
+          "                  [--karma]\n");
       return 2;
     }
   }
@@ -439,7 +558,22 @@ int main(int argc, char **argv) {
   }
 
   std::vector<BenchEntry> Entries;
-  for (const RunConfig &C : Configs) {
+  for (RunConfig &C : Configs) {
+    if (!C.CalibrateFrom.empty()) {
+      // 2×-saturation calibration: the offered rate comes from this
+      // machine's measured closed-loop throughput, not a hardcoded qps.
+      double Sat = 0;
+      for (const BenchEntry &E : Entries)
+        if (E.Name == C.CalibrateFrom)
+          Sat = E.OpsPerSec;
+      if (Sat <= 0) {
+        std::fprintf(stderr, "kv_service: %s calibrates from %s, which did "
+                             "not run first\n",
+                     C.Name.c_str(), C.CalibrateFrom.c_str());
+        return 1;
+      }
+      C.Qps = C.QpsFactor * Sat;
+    }
     RunResult R = runService(C);
     Entries.push_back(toEntry(C, R));
     std::fflush(stdout);

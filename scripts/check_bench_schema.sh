@@ -4,13 +4,15 @@
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
-# run's output from perf_suite / kv_service) carries the satm-bench-v3
+# run's output from perf_suite / kv_service) carries the satm-bench-v4
 # schema: a non-empty benchmark list where every entry has the numeric core
-# fields plus a complete per-benchmark abort-reason histogram (all eight
+# fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
 # ally carry throughput_ops_per_sec and the latency_ns percentile block;
-# micro benchmarks may omit both. CI runs this so a refactor can't silently
-# drop the observability fields from the trajectory file.
+# micro benchmarks may omit both. Overload benchmarks (kv/overload/*) must
+# further carry offered_ops_per_sec, goodput_ops_per_sec and shed_rate.
+# CI runs this so a refactor can't silently drop the observability fields
+# from the trajectory file.
 #
 # --require-kv asserts the file contains at least one kv/* entry — used on
 # merged trajectory files, where losing the kv_service half would otherwise
@@ -42,8 +44,10 @@ require_kv = sys.argv[2] == "1"
 REASONS = [
     "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
     "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
+    "fault_injected",
 ]
 PERCENTILES = ["p50", "p95", "p99", "p999"]
+OVERLOAD_FIELDS = ["offered_ops_per_sec", "goodput_ops_per_sec", "shed_rate"]
 
 with open(path) as f:
     doc = json.load(f)
@@ -51,8 +55,8 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v3":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v3'")
+if doc.get("schema") != "satm-bench-v4":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v4'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
@@ -73,7 +77,7 @@ for b in benches:
     if set(reasons) != set(REASONS):
         fail(f"benchmark {name}: unexpected abort_reasons keys "
              f"{sorted(set(reasons) - set(REASONS))}")
-    # v3 service fields: optional in general, mandatory for kv/* entries.
+    # Service fields: optional in general, mandatory for kv/* entries.
     has_tput = "throughput_ops_per_sec" in b
     has_lat = "latency_ns" in b
     if name.startswith("kv/"):
@@ -81,6 +85,16 @@ for b in benches:
         if not has_tput or not has_lat:
             fail(f"benchmark {name}: kv/* entries must carry "
                  "throughput_ops_per_sec and latency_ns")
+    # v4 overload fields: mandatory for kv/overload/* entries, numeric
+    # wherever present.
+    if name.startswith("kv/overload/"):
+        for key in OVERLOAD_FIELDS:
+            if key not in b:
+                fail(f"benchmark {name}: kv/overload/* entries must carry "
+                     f"{key!r}")
+    for key in OVERLOAD_FIELDS:
+        if key in b and not isinstance(b[key], (int, float)):
+            fail(f"benchmark {name}: {key} must be numeric")
     if has_tput and not isinstance(b["throughput_ops_per_sec"], (int, float)):
         fail(f"benchmark {name}: throughput_ops_per_sec must be numeric")
     if has_lat:
@@ -96,6 +110,6 @@ for b in benches:
 if require_kv and kv_entries == 0:
     fail("--require-kv: no kv/* benchmark entries present")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
-print(f"{path}: satm-bench-v3 OK ({len(benches)} benchmarks{kv_note})")
+print(f"{path}: satm-bench-v4 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

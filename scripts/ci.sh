@@ -35,10 +35,30 @@ SATM_TRACE=1 SATM_STATS=1 ./build/bench/kv_service --smoke \
   --json=build/BENCH_kv_smoke_trace.json
 scripts/check_bench_schema.sh --require-kv build/BENCH_kv_smoke_trace.json
 
+echo "== fault-injection smoke lane (seeded SATM_FAULTS matrix)"
+# A curated subset: concurrency-heavy tests whose assertions are about
+# outcomes, not exact abort counts (injected spurious aborts add retries).
+# The dedicated fault tests (fault_injector_test etc.) arm programmatically
+# and run in the default lanes instead.
+FAULT_TESTS="barriers_test|lazy_txn_test|quiesce_test|workloads_test|kv_stress_test"
+for SPEC in \
+  "seed=1,txn_open=0.02,txn_commit=0.02" \
+  "seed=7,txn_open=0.05,lazy_open=0.05,lazy_commit=0.05" \
+  "seed=42,barrier_delay=0.01:800,quiesce_stall=0.05:400"; do
+  echo "-- SATM_FAULTS=$SPEC"
+  (cd build && SATM_FAULTS="$SPEC" ctest --output-on-failure -j "$JOBS" \
+    -R "$FAULT_TESTS")
+done
+
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan fault-injection smoke"
+(cd build-tsan && \
+  SATM_FAULTS="seed=7,txn_open=0.02,txn_commit=0.02,barrier_delay=0.01:800" \
+  ctest --output-on-failure -j "$JOBS" -R "$FAULT_TESTS")
 
 echo "== TSan bench smoke with event tracing armed"
 SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/perf_suite --smoke \

@@ -59,6 +59,10 @@ using rt::Object;
 std::string satm::check::variantName(const ConfigVariant &V) {
   std::ostringstream OS;
   OS << "g" << V.LogGranularitySlots << (V.ReverseWriteback ? "+revwb" : "");
+  if (V.IrrevocableAfterAborts)
+    OS << "+irr" << V.IrrevocableAfterAborts;
+  if (V.KarmaPriority)
+    OS << "+karma";
   return OS.str();
 }
 
@@ -103,6 +107,8 @@ public:
     C.DeaEnabled = false;
     C.LogGranularitySlots = V.LogGranularitySlots;
     C.ReverseWriteback = V.ReverseWriteback;
+    C.IrrevocableAfterAborts = V.IrrevocableAfterAborts;
+    C.KarmaPriority = V.KarmaPriority;
     C.CollectStats = false;
     C.QuiesceOnCommit = false;
     // Small so the all-blocked fallback resolves txn-txn deadlocks in few
@@ -788,6 +794,8 @@ const char *yieldPointName(YieldPoint P) {
     return "lazy-writeback-entry";
   case YieldPoint::LazyCommitAcquire:
     return "lazy-commit-acquire";
+  case YieldPoint::SerialGate:
+    return "serial-gate";
   }
   return "?";
 }

@@ -207,13 +207,21 @@ struct ObjectSpec {
                                   ///< missing entries default to 0.
 };
 
-/// A runtime-configuration variant to explore the program under. Both
+/// A runtime-configuration variant to explore the program under. All
 /// knobs are *legal implementation freedoms* of the paper's STMs (write-back
-/// order per §2.3, versioning granularity per §2.4), so the explorer treats
-/// them as an extra nondeterminism axis alongside scheduling.
+/// order per §2.3, versioning granularity per §2.4, contention management
+/// per §3.2 — a CM may delay or abort either side of any conflict), so the
+/// explorer treats them as an extra nondeterminism axis alongside
+/// scheduling.
 struct ConfigVariant {
   uint32_t LogGranularitySlots = 1;
   bool ReverseWriteback = false;
+  /// Mirrors Config::IrrevocableAfterAborts: 0 leaves the escalation
+  /// ladder off; N makes the Nth consecutive conflict abort of an eager
+  /// transaction escalate it to serial-irrevocable mode.
+  uint32_t IrrevocableAfterAborts = 0;
+  /// Mirrors Config::KarmaPriority.
+  bool KarmaPriority = false;
 };
 
 std::string variantName(const ConfigVariant &V);

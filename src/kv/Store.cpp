@@ -31,7 +31,54 @@ uint32_t roundUpPow2(uint32_t V) {
   return P;
 }
 
+/// Shared driver for the budgeted transactional operations: runs \p Body
+/// (which sets \p St to the committed outcome) as an eager transaction,
+/// cutting it short via userAbort when \p B runs out. The budget check sits
+/// at the top of each attempt, before any transactional access, so a shed
+/// operation has touched nothing. A serial-irrevocable attempt (the
+/// contention manager's escalation) skips the check entirely: it cannot
+/// roll back, so it must not userAbort — and it is guaranteed to finish.
+template <typename BodyF>
+OpStatus runBudgeted(const OpBudget &B, OpStatus &St, BodyF &&Body) {
+  uint32_t Attempts = 0;
+  OpStatus Cut = OpStatus::Ok;
+  bool Committed = stm::atomically([&] {
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    if (!Tx.inSerialMode()) {
+      if (B.Deadline != std::chrono::steady_clock::time_point{} &&
+          std::chrono::steady_clock::now() >= B.Deadline) {
+        Cut = OpStatus::DeadlineExceeded;
+        Tx.userAbort();
+      }
+      if (B.MaxAttempts != 0 && ++Attempts > B.MaxAttempts) {
+        Cut = OpStatus::Overloaded;
+        Tx.userAbort();
+      }
+    }
+    Body(Tx);
+  });
+  return Committed ? St : Cut;
+}
+
 } // namespace
+
+const char *satm::kv::opStatusName(OpStatus S) {
+  switch (S) {
+  case OpStatus::Ok:
+    return "Ok";
+  case OpStatus::NotFound:
+    return "NotFound";
+  case OpStatus::Mismatch:
+    return "Mismatch";
+  case OpStatus::Full:
+    return "Full";
+  case OpStatus::Overloaded:
+    return "Overloaded";
+  case OpStatus::DeadlineExceeded:
+    return "DeadlineExceeded";
+  }
+  return "?";
+}
 
 Store::Store(rt::Heap &Heap, const StoreConfig &C) : H(Heap) {
   Capacity = roundUpPow2(C.CapacityPerShard < 2 ? 2 : C.CapacityPerShard);
@@ -118,13 +165,12 @@ int Store::findSlotTxn(const ShardRep &S, Word Key, int *FirstFree) const {
   return -1; // Full shard, no free slot either.
 }
 
-bool Store::insert(Word Key, Word Val) {
+OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
   assert(Val != Tombstone && "Tombstone is reserved");
   ShardRep &S = Reps[shardOf(Key)];
-  bool Full = false;
-  stm::atomically([&] {
-    Full = false;
-    stm::Txn &Tx = stm::Txn::forThisThread();
+  OpStatus St = OpStatus::Ok;
+  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+    St = OpStatus::Ok;
     int FirstFree = -1;
     int Slot = findSlotTxn(S, Key, &FirstFree);
     if (Slot >= 0) {
@@ -134,7 +180,7 @@ bool Store::insert(Word Key, Word Val) {
       return;
     }
     if (FirstFree < 0) {
-      Full = true;
+      St = OpStatus::Full;
       return;
     }
     // Claim the slot. The value object is born per config().birthState():
@@ -147,15 +193,17 @@ bool Store::insert(Word Key, Word Val) {
     Tx.writeRef(S.Vals, uint32_t(FirstFree), V);
     Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
   });
-  return !Full;
 }
 
-bool Store::erase(Word Key) {
+bool Store::insert(Word Key, Word Val) {
+  return insert(Key, Val, OpBudget{}) == OpStatus::Ok;
+}
+
+OpStatus Store::erase(Word Key, const OpBudget &B) {
   ShardRep &S = Reps[shardOf(Key)];
-  bool Erased = false;
-  stm::atomically([&] {
-    Erased = false;
-    stm::Txn &Tx = stm::Txn::forThisThread();
+  OpStatus St = OpStatus::Ok;
+  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+    St = OpStatus::NotFound;
     int Slot = findSlotTxn(S, Key, nullptr);
     if (Slot < 0)
       return;
@@ -163,36 +211,47 @@ bool Store::erase(Word Key) {
     if (Tx.read(V, 0) == Tombstone)
       return;
     Tx.write(V, 0, Tombstone);
-    Erased = true;
+    St = OpStatus::Ok;
   });
-  return Erased;
 }
 
-bool Store::cas(Word Key, Word Expected, Word Desired) {
+bool Store::erase(Word Key) {
+  return erase(Key, OpBudget{}) == OpStatus::Ok;
+}
+
+OpStatus Store::cas(Word Key, Word Expected, Word Desired,
+                    const OpBudget &B) {
   assert(Desired != Tombstone && "Tombstone is reserved");
   ShardRep &S = Reps[shardOf(Key)];
-  bool Applied = false;
-  stm::atomically([&] {
-    Applied = false;
-    stm::Txn &Tx = stm::Txn::forThisThread();
+  OpStatus St = OpStatus::Ok;
+  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+    St = OpStatus::NotFound;
     int Slot = findSlotTxn(S, Key, nullptr);
     if (Slot < 0)
       return;
     Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
     Word Cur = Tx.read(V, 0);
-    if (Cur != Expected || Cur == Tombstone)
+    if (Cur == Tombstone)
       return;
+    if (Cur != Expected) {
+      St = OpStatus::Mismatch;
+      return;
+    }
     Tx.write(V, 0, Desired);
-    Applied = true;
+    St = OpStatus::Ok;
   });
-  return Applied;
 }
 
-size_t Store::multiGet(const Word *Keys, size_t N, Word *Out) const {
-  size_t Found = 0;
-  stm::atomically([&] {
-    Found = 0;
-    stm::Txn &Tx = stm::Txn::forThisThread();
+bool Store::cas(Word Key, Word Expected, Word Desired) {
+  return cas(Key, Expected, Desired, OpBudget{}) == OpStatus::Ok;
+}
+
+OpStatus Store::multiGet(const Word *Keys, size_t N, Word *Out,
+                         const OpBudget &B, size_t *Found) const {
+  size_t Hits = 0;
+  OpStatus St = OpStatus::Ok;
+  OpStatus R = runBudgeted(B, St, [&](stm::Txn &Tx) {
+    Hits = 0;
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
       int Slot = findSlotTxn(S, Keys[I], nullptr);
@@ -203,21 +262,29 @@ size_t Store::multiGet(const Word *Keys, size_t N, Word *Out) const {
       Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
       Out[I] = Tx.read(V, 0);
       if (Out[I] != Tombstone)
-        ++Found;
+        ++Hits;
     }
   });
+  if (Found)
+    *Found = R == OpStatus::Ok ? Hits : 0;
+  return R;
+}
+
+size_t Store::multiGet(const Word *Keys, size_t N, Word *Out) const {
+  size_t Found = 0;
+  multiGet(Keys, N, Out, OpBudget{}, &Found);
   return Found;
 }
 
-bool Store::readModifyWrite(
+OpStatus Store::readModifyWrite(
     const Word *Keys, size_t N,
-    const std::function<void(Word *Vals, size_t N)> &Mutate) {
-  bool Ok = false;
+    const std::function<void(Word *Vals, size_t N)> &Mutate,
+    const OpBudget &B) {
   std::vector<Word> Buf(N);
   std::vector<rt::Object *> Objs(N);
-  stm::atomically([&] {
-    Ok = false;
-    stm::Txn &Tx = stm::Txn::forThisThread();
+  OpStatus St = OpStatus::Ok;
+  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+    St = OpStatus::NotFound;
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
       int Slot = findSlotTxn(S, Keys[I], nullptr);
@@ -233,16 +300,29 @@ bool Store::readModifyWrite(
       assert(Buf[I] != Tombstone && "Tombstone is reserved");
       Tx.write(Objs[I], 0, Buf[I]);
     }
-    Ok = true;
+    St = OpStatus::Ok;
   });
-  return Ok;
+}
+
+bool Store::readModifyWrite(
+    const Word *Keys, size_t N,
+    const std::function<void(Word *Vals, size_t N)> &Mutate) {
+  return readModifyWrite(Keys, N, Mutate, OpBudget{}) == OpStatus::Ok;
+}
+
+OpStatus Store::rmwAdd(const Word *Keys, size_t N, Word Delta,
+                       const OpBudget &B) {
+  return readModifyWrite(
+      Keys, N,
+      [Delta](Word *Vals, size_t Count) {
+        for (size_t I = 0; I < Count; ++I)
+          Vals[I] += Delta;
+      },
+      B);
 }
 
 bool Store::rmwAdd(const Word *Keys, size_t N, Word Delta) {
-  return readModifyWrite(Keys, N, [Delta](Word *Vals, size_t Count) {
-    for (size_t I = 0; I < Count; ++I)
-      Vals[I] += Delta;
-  });
+  return rmwAdd(Keys, N, Delta, OpBudget{}) == OpStatus::Ok;
 }
 
 //===----------------------------------------------------------------------===

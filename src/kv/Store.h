@@ -41,6 +41,7 @@
 
 #include "rt/Heap.h"
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -49,6 +50,51 @@ namespace satm {
 namespace kv {
 
 using stm::Word;
+
+/// Typed outcome of a budgeted transactional operation. The first four are
+/// what the bool APIs already distinguished; the last two are overload
+/// control: the operation gave up *without effects* because its retry
+/// budget ran out or its deadline passed. Under contention an unbounded
+/// retry loop converts overload into unbounded latency — a budgeted caller
+/// converts it into an explicit shed instead.
+enum class OpStatus : uint8_t {
+  Ok,               ///< Committed with the requested effect.
+  NotFound,         ///< Committed; the key was absent (or erased).
+  Mismatch,         ///< Committed; CAS expectation failed.
+  Full,             ///< Committed; the shard's probe sequence is exhausted.
+  Overloaded,       ///< Aborted: attempt budget exhausted. No effects.
+  DeadlineExceeded, ///< Aborted: deadline passed. No effects.
+};
+
+/// Display name (matches the enumerator).
+const char *opStatusName(OpStatus S);
+
+/// Retry/latency budget for one transactional operation. Default: no
+/// limits (the bool APIs' behaviour). The budget is checked at the top of
+/// each transaction attempt, so a transaction that started before the
+/// deadline may commit slightly after it; what the budget bounds is the
+/// number of *re-executions* an overloaded operation is allowed to burn.
+/// A serial-irrevocable attempt (contention-manager escalation) is never
+/// cut short: it cannot roll back, and it is the system's guarantee that
+/// the operation finishes.
+struct OpBudget {
+  /// Transaction attempts allowed (0 = unlimited). 1 means try once and
+  /// shed on the first conflict abort.
+  uint32_t MaxAttempts = 0;
+  /// Give-up point (steady clock; default-constructed = none).
+  std::chrono::steady_clock::time_point Deadline{};
+
+  static OpBudget attempts(uint32_t N) {
+    OpBudget B;
+    B.MaxAttempts = N;
+    return B;
+  }
+  static OpBudget deadlineIn(std::chrono::nanoseconds D) {
+    OpBudget B;
+    B.Deadline = std::chrono::steady_clock::now() + D;
+    return B;
+  }
+};
 
 /// Store shape. Both counts are rounded up to powers of two. Capacity is
 /// fixed for the store's lifetime (no rehash): like KVell's in-memory
@@ -145,6 +191,25 @@ public:
   /// readModifyWrite adding \p Delta to every value (two's-complement, so
   /// negative deltas work).
   bool rmwAdd(const Word *Keys, size_t N, Word Delta);
+
+  //===--------------------------------------------------------------------===
+  // Budgeted transactional plane (overload control). Each operation is the
+  // same transaction as its bool twin, but gives up with Overloaded /
+  // DeadlineExceeded — atomically, with no partial effects — when \p B runs
+  // out. The bool APIs are unlimited-budget wrappers over these.
+  //===--------------------------------------------------------------------===
+
+  OpStatus insert(Word Key, Word Val, const OpBudget &B);
+  OpStatus erase(Word Key, const OpBudget &B);
+  OpStatus cas(Word Key, Word Expected, Word Desired, const OpBudget &B);
+  /// \p Found (optional) receives the number of present keys on Ok.
+  OpStatus multiGet(const Word *Keys, size_t N, Word *Out, const OpBudget &B,
+                    size_t *Found = nullptr) const;
+  OpStatus readModifyWrite(
+      const Word *Keys, size_t N,
+      const std::function<void(Word *Vals, size_t N)> &Mutate,
+      const OpBudget &B);
+  OpStatus rmwAdd(const Word *Keys, size_t N, Word Delta, const OpBudget &B);
 
   //===--------------------------------------------------------------------===
   // Introspection.

@@ -6,6 +6,8 @@
 
 #include "rt/Heap.h"
 
+#include "support/FaultInjector.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -75,6 +77,13 @@ void *Heap::bump(size_t Bytes) {
 
 Object *Heap::allocateRaw(const TypeDescriptor *Type, uint32_t NumSlots,
                           BirthState Birth) {
+  // FaultSite::HeapAlloc: a simulated out-of-memory, thrown before any
+  // state changes so an enclosing transaction's foreign-exception path
+  // rolls back and propagates it. Suppressed on threads running
+  // serial-irrevocable (FaultInjector::setThreadSuppressed) — this layer
+  // cannot see transaction state, but an irrevocable attempt must not die.
+  if (faultPoint(FaultSite::HeapAlloc)) [[unlikely]]
+    throw std::bad_alloc();
   void *Mem = bump(Object::allocationSize(NumSlots));
   Word Init = Birth == BirthState::Private
                   ? stm::TxRecord::PrivateWord

@@ -28,12 +28,25 @@
 #include "rt/Object.h"
 #include "stm/Config.h"
 #include "stm/Dea.h"
+#include "stm/Quiesce.h"
 #include "stm/Stats.h"
 #include "stm/TxRecord.h"
 #include "support/Backoff.h"
+#include "support/FaultInjector.h"
 
 namespace satm {
 namespace stm {
+
+/// Injected pre-acquire delay shared by every barrier (FaultSite::
+/// BarrierAcquire): widens the windows the Figure 6 litmus tests race
+/// through. Out of the way of the disarmed fast path — faultPoint() is one
+/// relaxed load plus a predicted branch.
+inline void barrierFaultDelay() {
+  if (faultPoint(FaultSite::BarrierAcquire)) [[unlikely]] {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::BarrierAcquire));
+    faultSpin(FaultInjector::arg(FaultSite::BarrierAcquire));
+  }
+}
 
 /// Figure 9/10 read isolation barrier:
 ///   readBarrier: mov ecx,[TxRec]; mov eax,[addr]
@@ -45,6 +58,7 @@ inline Word ntRead(const rt::Object *O, uint32_t Slot) {
   const Config &Cfg = config();
   if (Cfg.CollectStats)
     statsForThisThread().NtReadBarriers++;
+  barrierFaultDelay();
   const std::atomic<Word> &Rec = O->txRecord();
   Backoff B;
   bool Reported = false;
@@ -55,6 +69,14 @@ inline Word ntRead(const rt::Object *O, uint32_t Slot) {
       if (Cfg.CollectStats)
         statsForThisThread().PrivateFastPaths++;
       return V;
+    }
+    // Serial-irrevocable mode holds the gate: stand aside so the serial
+    // transaction is never invalidated or delayed by this barrier. Checked
+    // after the privacy fast path — a private object is this thread's own
+    // and cannot be part of the serial transaction's footprint.
+    if (Quiescence::serialGateActive()) [[unlikely]] {
+      Quiescence::serialGateWait(0);
+      continue;
     }
     // §3.2 race-detection mode: a conflicting owner — transactional
     // (Exclusive) or, checking just the lowest bit, another
@@ -83,9 +105,14 @@ inline Word ntReadOrdering(const rt::Object *O, uint32_t Slot) {
   const Config &Cfg = config();
   if (Cfg.CollectStats)
     statsForThisThread().NtReadBarriers++;
+  barrierFaultDelay();
   const std::atomic<Word> &Rec = O->txRecord();
   Backoff B;
   for (;;) {
+    if (Quiescence::serialGateActive()) [[unlikely]] {
+      Quiescence::serialGateWait(0);
+      continue;
+    }
     Word W = Rec.load(std::memory_order_acquire);
     if (!TxRecord::isExclusive(W))
       return O->rawLoad(Slot, std::memory_order_acquire);
@@ -118,9 +145,19 @@ inline void ntWriteImpl(rt::Object *O, uint32_t Slot, Word V, bool IsRef) {
     O->rawStore(Slot, V);
     return;
   }
+  barrierFaultDelay();
   Backoff B;
   bool Reported = false;
-  while (!TxRecord::acquireAnon(Rec)) {
+  for (;;) {
+    // Checked before each acquire attempt so a serial-irrevocable
+    // transaction only ever waits out anon holds taken before its gate
+    // became visible (a bounded set — see Quiesce.h).
+    if (Quiescence::serialGateActive()) [[unlikely]] {
+      Quiescence::serialGateWait(0);
+      continue;
+    }
+    if (TxRecord::acquireAnon(Rec))
+      break;
     Word W = Rec.load(std::memory_order_acquire);
     if (Cfg.RaceReport && !Reported) {
       if (TxRecord::isOwned(W)) {
@@ -181,9 +218,16 @@ public:
       IsPrivate = true;
       return;
     }
+    barrierFaultDelay();
     Backoff B;
     bool Reported = false;
-    while (!TxRecord::acquireAnon(Rec)) {
+    for (;;) {
+      if (Quiescence::serialGateActive()) [[unlikely]] {
+        Quiescence::serialGateWait(0);
+        continue;
+      }
+      if (TxRecord::acquireAnon(Rec))
+        break;
       Word W = Rec.load(std::memory_order_acquire);
       if (Cfg.RaceReport && !Reported) {
         if (TxRecord::isOwned(W)) {
@@ -239,6 +283,7 @@ auto aggregatedRead(const rt::Object *O, F &&Body)
   const Config &Cfg = config();
   if (Cfg.CollectStats)
     statsForThisThread().AggregatedBarriers++;
+  barrierFaultDelay();
   const std::atomic<Word> &Rec = O->txRecord();
   Backoff B;
   for (;;) {
@@ -247,6 +292,10 @@ auto aggregatedRead(const rt::Object *O, F &&Body)
       if (Cfg.CollectStats)
         statsForThisThread().PrivateFastPaths++;
       return Body(O);
+    }
+    if (Quiescence::serialGateActive()) [[unlikely]] {
+      Quiescence::serialGateWait(0);
+      continue;
     }
     // Unlike ntRead, an Exclusive-anonymous owner is a conflict here: a
     // single-word read during an anon hold linearizes before the writer's

@@ -56,6 +56,10 @@ enum class YieldPoint : uint8_t {
   LazyWritebackEntry,
   /// Lazy txn: commit-time lock acquisition spinning on a conflict.
   LazyCommitAcquire,
+  /// Contention-manager serial gate: waiting to acquire the gate, waiting
+  /// for active transactions to drain, or (in a begin/barrier) waiting for
+  /// the serial-irrevocable owner to finish.
+  SerialGate,
 };
 
 /// Cooperative-scheduler yield callback. \p Rec (nullable) is the record
@@ -145,6 +149,23 @@ struct Config {
 
   /// Transaction-vs-transaction conflict policy.
   ContentionPolicy Contention = ContentionPolicy::BackoffThenAbort;
+
+  /// Karma-style priority layer on BackoffThenAbort: when two transactions
+  /// collide, the one with fewer consecutive aborts self-aborts immediately
+  /// and the one with more gets a 16x patience budget — repeat losers win
+  /// eventually instead of burning their whole pause budget each round.
+  /// Ties (the common uncontended case) behave exactly like the base
+  /// policy.
+  bool KarmaPriority = false;
+
+  /// Contention-management escalation threshold: after this many
+  /// *consecutive* conflict aborts, a transaction's next attempt runs in
+  /// serial-irrevocable mode — it quiesces the system via stm/Quiesce,
+  /// runs undo-free under the serial gate, and cannot be killed by
+  /// non-transactional accesses. 0 disables escalation (default). This
+  /// bounds worst-case retry work and breaks the hot-nt-writer/long-txn
+  /// livelock that strong atomicity otherwise permits (PAPER.md §3).
+  uint32_t IrrevocableAfterAborts = 0;
 
   /// Lazy STM write-back order. The paper's §2.3 stresses that buffered
   /// values are copied back "one at a time in no particular order"; the

@@ -7,6 +7,7 @@
 #include "stm/LazyTxn.h"
 #include "stm/Dea.h"
 #include "support/Backoff.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 
@@ -26,8 +27,31 @@ void LazyTxn::begin() {
     QSlot = &Quiescence::slotForThisThread();
   uint64_t Now = Quiescence::currentEpoch();
   QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
-  QSlot->ActiveSince.store(Now, std::memory_order_release);
+  if (config().IrrevocableAfterAborts == 0) {
+    QSlot->ActiveSince.store(Now, std::memory_order_release);
+  } else {
+    // Same Dekker handshake with the serial gate as the eager Txn::begin:
+    // lazy transactions share the quiescence registry, so the eager serial
+    // mode drains them too. A lazy transaction never owns the gate itself
+    // (Self = 0).
+    for (;;) {
+      QSlot->ActiveSince.store(Now, std::memory_order_seq_cst);
+      if (!Quiescence::serialGateBlocks(0))
+        break;
+      QSlot->ActiveSince.store(0, std::memory_order_release);
+      Quiescence::serialGateWait(0);
+      Now = Quiescence::currentEpoch();
+      QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
+    }
+  }
   traceEvent(TraceKind::TxnBegin);
+}
+
+void LazyTxn::injectOpenFault() {
+  if (faultPoint(FaultSite::LazyOpen)) {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::LazyOpen));
+    conflictAbort(AbortReason::FaultInjected);
+  }
 }
 
 void LazyTxn::logRead(std::atomic<Word> &Rec, Word Observed) {
@@ -131,6 +155,13 @@ void LazyTxn::write(Object *O, uint32_t Slot, Word V) {
 
 bool LazyTxn::tryCommit() {
   assert(Active && "commit outside a transaction");
+  if (faultPoint(FaultSite::LazyCommit)) {
+    // Injected commit failure, before any lock is taken: plain rollback.
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::LazyCommit));
+    rollback();
+    noteTxnAbort(AbortReason::FaultInjected);
+    return false;
+  }
   // Phase 1: acquire every buffered object's record (commit-time locking).
   std::unordered_map<std::atomic<Word> *, Word> Held; // Rec -> prior version
   auto ReleaseAll = [&Held] {

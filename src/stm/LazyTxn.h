@@ -60,6 +60,7 @@ public:
     for (;;) {
       T.begin();
       try {
+        T.injectOpenFault();
         Body();
         if (T.tryCommit())
           return true;
@@ -132,6 +133,9 @@ private:
   bool tryCommit();
   void rollback();
   void reset();
+  /// FaultSite::LazyOpen injection; throws a FaultInjected conflict when
+  /// it fires (out of line so this header needs no FaultInjector include).
+  void injectOpenFault();
   [[noreturn]] void conflictAbort(AbortReason Reason);
   BufferEntry &findOrCreateEntry(rt::Object *O, uint32_t Slot);
   bool validateReadSet(

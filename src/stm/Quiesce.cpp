@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "stm/Quiesce.h"
+#include "stm/Config.h"
 #include "stm/Stats.h"
 #include "support/Backoff.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -113,6 +115,10 @@ uint64_t Quiescence::advanceEpoch() {
 }
 
 void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
+  if (faultPoint(FaultSite::QuiesceStall)) {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::QuiesceStall));
+    faultSpin(FaultInjector::arg(FaultSite::QuiesceStall));
+  }
   Registry &R = Registry::get();
   unsigned N = R.HighWater.load(std::memory_order_acquire);
   bool Waited = false;
@@ -137,12 +143,68 @@ void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
   }
 }
 
+void Quiescence::acquireSerialGate(uint64_t Owner) {
+  auto &Gate = detail::SerialGateWord;
+  Backoff B;
+  for (;;) {
+    uint64_t Expected = 0;
+    if (Gate.compare_exchange_strong(Expected, Owner,
+                                     std::memory_order_seq_cst))
+      return;
+    schedYield(YieldPoint::SerialGate, &Gate, Expected);
+    B.pause();
+  }
+}
+
+void Quiescence::releaseSerialGate() {
+  detail::SerialGateWord.store(0, std::memory_order_seq_cst);
+}
+
+void Quiescence::serialGateWait(uint64_t Self) {
+  auto &Gate = detail::SerialGateWord;
+  Backoff B;
+  for (;;) {
+    uint64_t G = Gate.load(std::memory_order_seq_cst);
+    if (G == 0 || (Self != 0 && G == Self))
+      return;
+    schedYield(YieldPoint::SerialGate, &Gate, G);
+    B.pause();
+  }
+}
+
+void Quiescence::drainForSerial(const Slot *Self) {
+  Registry &R = Registry::get();
+  unsigned N = R.HighWater.load(std::memory_order_acquire);
+  for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
+    Slot &S = R.Slots[I];
+    if (&S == Self)
+      continue;
+    Backoff B;
+    for (;;) {
+      // seq_cst: pairs with the begin-side ActiveSince publication so a
+      // transaction either retreats (it saw our gate) or is seen here.
+      uint64_t Since = S.ActiveSince.load(std::memory_order_seq_cst);
+      if (Since == 0)
+        break;
+      schedYield(YieldPoint::SerialGate, &S.ActiveSince, Since);
+      B.pause();
+    }
+  }
+  // Threads registering after the scan bound was read still can't slip a
+  // transaction in: the gate was already visible before we started, so
+  // their begin-side handshake retreats.
+}
+
 uint64_t Quiescence::nextCommitSeq() {
   return Registry::get().CommitSeq.fetch_add(1, std::memory_order_acq_rel) +
          1;
 }
 
 void Quiescence::waitForPriorWritebacks(uint64_t Seq, const Slot *Self) {
+  if (faultPoint(FaultSite::QuiesceStall)) {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::QuiesceStall));
+    faultSpin(FaultInjector::arg(FaultSite::QuiesceStall));
+  }
   Registry &R = Registry::get();
   unsigned N = R.HighWater.load(std::memory_order_acquire);
   bool Waited = false;

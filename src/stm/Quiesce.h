@@ -32,6 +32,13 @@
 namespace satm {
 namespace stm {
 
+namespace detail {
+/// The contention manager's serial-irrevocable gate: 0 when clear,
+/// otherwise the owning Txn's address. Inline storage so the begin-time
+/// and barrier-side checks are one load + predicted branch.
+inline std::atomic<uint64_t> SerialGateWord{0};
+} // namespace detail
+
 /// Global transaction registry and the two quiescence protocols.
 class Quiescence {
 public:
@@ -80,6 +87,49 @@ public:
   /// Lazy write-back ordering: blocks until no registered thread has an
   /// incomplete write-back with a sequence number below \p Seq.
   static void waitForPriorWritebacks(uint64_t Seq, const Slot *Self);
+
+  //===--------------------------------------------------------------------===
+  // Serial-irrevocable gate (adaptive contention management).
+  //
+  // The escalation endpoint of the contention-manager ladder: a transaction
+  // that keeps losing acquires the gate, drains every other in-flight
+  // transaction through the registry, and then runs alone — undo-free and
+  // unkillable. Threads check the gate only at points where they hold no
+  // ownership record (transaction begin, barrier entry/retry), which is
+  // what makes the handshake deadlock-free; see DESIGN.md §9.
+  //===--------------------------------------------------------------------===
+
+  /// True while some transaction holds the serial gate. One acquire load —
+  /// this is the hot-path check the barriers perform.
+  static bool serialGateActive() {
+    return detail::SerialGateWord.load(std::memory_order_acquire) != 0;
+  }
+
+  /// True if the gate is held by a transaction other than \p Self. The
+  /// seq_cst load pairs with the seq_cst ActiveSince publication in
+  /// Txn::begin (Dekker handshake): either the beginner sees the gate, or
+  /// the gate-holder's drain sees the beginner's slot.
+  static bool serialGateBlocks(uint64_t Self) {
+    uint64_t G = detail::SerialGateWord.load(std::memory_order_seq_cst);
+    return G != 0 && G != Self;
+  }
+
+  /// Acquires the gate for \p Owner (a Txn address), waiting out any
+  /// current holder. The caller must hold no ownership records and have no
+  /// active transaction published.
+  static void acquireSerialGate(uint64_t Owner);
+
+  /// Clears the gate, releasing every thread parked on it.
+  static void releaseSerialGate();
+
+  /// Blocks until the gate is clear or held by \p Self (0 = wait for fully
+  /// clear). Barriers and transaction begins park here.
+  static void serialGateWait(uint64_t Self);
+
+  /// Gate-holder side: blocks until every other registered thread has no
+  /// active transaction. Combined with the begin-side handshake this
+  /// guarantees the holder runs with no transaction in flight anywhere.
+  static void drainForSerial(const Slot *Self);
 };
 
 } // namespace stm

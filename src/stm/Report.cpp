@@ -6,6 +6,8 @@
 
 #include "stm/Report.h"
 
+#include "support/FaultInjector.h"
+
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -86,9 +88,30 @@ std::string satm::stm::renderTraceText(
       Detail = abortReasonName(AbortReason(E.Arg));
     else if (E.Kind == TraceKind::BarrierConflict)
       Detail = barrierSiteName(BarrierSite(E.Arg));
+    else if (E.Kind == TraceKind::FaultFired && E.Arg < NumFaultSites)
+      Detail = faultSiteName(FaultSite(E.Arg));
     appendf(Out, "  +%-13" PRIu64 " t%-6" PRIu32 " %-16s %s\n",
             E.Time - T0, E.ThreadId, traceKindName(E.Kind), Detail);
   }
+  return Out;
+}
+
+std::string satm::stm::renderTraceRingsJson(
+    const std::vector<TraceRingStats> &Rings, unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  std::string Out = "[";
+  for (size_t I = 0; I < Rings.size(); ++I) {
+    const TraceRingStats &R = Rings[I];
+    appendf(Out,
+            "%s\n%s  {\"thread\": %" PRIu32 ", \"written\": %" PRIu64
+            ", \"dropped\": %" PRIu64 ", \"high_water\": %" PRIu64
+            ", \"capacity\": %" PRIu64 "}",
+            I ? "," : "", Pad.c_str(), R.ThreadId, R.Written, R.Dropped,
+            R.HighWater, R.Capacity);
+  }
+  if (!Rings.empty())
+    Out += "\n" + Pad;
+  Out += "]";
   return Out;
 }
 
@@ -102,9 +125,15 @@ void satm::stm::maybeReportStats(const char *Phase) {
     return;
   std::string Text = renderStatsText(statsSnapshot());
   std::printf("== SATM stats (%s)\n%s", Phase, Text.c_str());
-  if (traceEnabled())
+  if (traceEnabled()) {
     std::printf("  trace: %" PRIu64 " events retained, %" PRIu64
                 " overwritten\n",
                 uint64_t(traceDrain().size()), traceDropped());
+    for (const TraceRingStats &R : traceRingStats())
+      std::printf("    ring t%-4" PRIu32 " written %-10" PRIu64
+                  " dropped %-10" PRIu64 " high-water %" PRIu64 "/%" PRIu64
+                  "\n",
+                  R.ThreadId, R.Written, R.Dropped, R.HighWater, R.Capacity);
+  }
   std::fflush(stdout);
 }

@@ -45,6 +45,13 @@ std::string renderAbortReasonsJson(const StatsCounters &C);
 /// timestamps relative to the first event.
 std::string renderTraceText(const std::vector<TraceEntry> &Events);
 
+/// Renders \p Rings (typically traceRingStats()) as a JSON array, one
+/// object per thread ring with its written/dropped/high-water/capacity
+/// counts — the "trace_rings" fragment consumers use to tell a quiet run
+/// from one whose ring wrapped and silently overwrote history.
+std::string renderTraceRingsJson(const std::vector<TraceRingStats> &Rings,
+                                 unsigned Indent = 0);
+
 /// True when the SATM_STATS environment variable requests end-of-run
 /// reports.
 bool statsReportRequested();

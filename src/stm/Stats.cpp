@@ -35,6 +35,8 @@ const char *satm::stm::abortReasonName(AbortReason R) {
     return "UserAbort";
   case AbortReason::ContentionGiveUp:
     return "ContentionGiveUp";
+  case AbortReason::FaultInjected:
+    return "FaultInjected";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ const char *satm::stm::abortReasonKey(AbortReason R) {
     return "user_abort";
   case AbortReason::ContentionGiveUp:
     return "contention_give_up";
+  case AbortReason::FaultInjected:
+    return "fault_injected";
   }
   return "?";
 }
@@ -73,6 +77,12 @@ const char *satm::stm::traceKindName(TraceKind K) {
     return "BarrierConflict";
   case TraceKind::QuiesceWait:
     return "QuiesceWait";
+  case TraceKind::SerialEnter:
+    return "SerialEnter";
+  case TraceKind::SerialExit:
+    return "SerialExit";
+  case TraceKind::FaultFired:
+    return "FaultFired";
   }
   return "?";
 }
@@ -244,4 +254,18 @@ uint64_t satm::stm::traceDropped() {
   for (auto &R : Reg.Rings)
     Sum += R->Ring.dropped();
   return Sum;
+}
+
+std::vector<TraceRingStats> satm::stm::traceRingStats() {
+  TraceRegistry &Reg = TraceRegistry::get();
+  std::lock_guard<std::mutex> Lock(Reg.Mutex);
+  std::vector<TraceRingStats> Out;
+  Out.reserve(Reg.Rings.size());
+  for (auto &R : Reg.Rings) {
+    uint64_t Written = R->Ring.written();
+    uint64_t Capacity = uint64_t(1) << TraceRingPow2;
+    Out.push_back({R->ThreadId, Written, R->Ring.dropped(),
+                   Written < Capacity ? Written : Capacity, Capacity});
+  }
+  return Out;
 }

@@ -72,9 +72,14 @@ enum class AbortReason : uint8_t {
   /// The contention manager exhausted its pause budget against another
   /// transaction (2PL deadlock avoidance) or a forced abortRestart().
   ContentionGiveUp,
+  /// The deterministic fault injector (support/FaultInjector.h) fired a
+  /// spurious abort at a txn_open/txn_commit site. Kept distinct from the
+  /// organic reasons so robustness runs can separate injected churn from
+  /// real contention.
+  FaultInjected,
 };
 
-inline constexpr unsigned NumAbortReasons = 8;
+inline constexpr unsigned NumAbortReasons = 9;
 
 /// Display name (matches the enumerator).
 const char *abortReasonName(AbortReason R);
@@ -102,7 +107,8 @@ const char *abortReasonKey(AbortReason R);
   X(PrivateFastPaths, "private_fast_paths")                                    \
   X(ObjectsPublished, "objects_published")                                     \
   X(AggregatedBarriers, "aggregated_barriers")                                 \
-  X(QuiesceWaits, "quiesce_waits")
+  X(QuiesceWaits, "quiesce_waits")                                             \
+  X(SerialModeEntries, "serial_mode_entries")
 
 /// Single-writer counter cell: incremented only by the owning thread, read
 /// by snapshotters. Relaxed load+store (not an atomic RMW) keeps the hot
@@ -224,6 +230,11 @@ enum class TraceKind : uint8_t {
   BarrierConflict, ///< A non-transactional barrier hit a conflict; Arg is
                    ///< the BarrierSite.
   QuiesceWait,     ///< A committer waited for quiescence (§3.4).
+  SerialEnter,     ///< The contention manager escalated a transaction to
+                   ///< serial-irrevocable mode (gate held, system drained).
+  SerialExit,      ///< The serial-irrevocable transaction committed and
+                   ///< released the gate.
+  FaultFired,      ///< The fault injector fired; Arg is the FaultSite.
 };
 
 /// Which barrier recorded a BarrierConflict event.
@@ -293,6 +304,22 @@ std::vector<TraceEntry> traceDrain();
 
 /// Events overwritten before they could be drained, summed over all rings.
 uint64_t traceDropped();
+
+/// Occupancy of one thread's trace ring — the per-ring view behind
+/// traceDropped(). Under overload a hot thread can overwrite its own ring
+/// long before the aggregate drop counter looks alarming, so reports
+/// surface these per ring instead of only in sum.
+struct TraceRingStats {
+  uint32_t ThreadId; ///< Dense id, same as TraceEntry::ThreadId.
+  uint64_t Written;  ///< Events ever pushed to this ring.
+  uint64_t Dropped;  ///< Events overwritten before draining.
+  uint64_t HighWater; ///< Max events resident at once (≤ capacity).
+  uint64_t Capacity; ///< Ring slots.
+};
+
+/// Snapshot of every ring's occupancy counters (including exited threads'
+/// rings, which are kept alive by the registry).
+std::vector<TraceRingStats> traceRingStats();
 
 //===----------------------------------------------------------------------===
 // Abort accounting helpers (counters + histogram + trace in one place).

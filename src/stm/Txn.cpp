@@ -6,8 +6,11 @@
 
 #include "stm/Txn.h"
 #include "stm/Dea.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace satm;
 using namespace satm::stm;
@@ -16,6 +19,11 @@ using rt::Object;
 namespace {
 /// Monotone source for transaction start stamps.
 std::atomic<uint64_t> NextStartStamp{1};
+
+/// waitForChange timeout, in Backoff::pause() calls. Far past the backoff's
+/// spin plateau (~8 calls), so a timed-out wait has long since been paying
+/// scheduler yields, not hot scans.
+constexpr uint64_t RetryWaitScans = 512;
 } // namespace
 
 Txn &Txn::forThisThread() {
@@ -31,12 +39,32 @@ void Txn::begin() {
   NextValidateAt = config().ValidateEvery;
   StartStamp.store(NextStartStamp.fetch_add(1, std::memory_order_relaxed),
                    std::memory_order_release);
+  KarmaPub.store(ConsecAborts, std::memory_order_relaxed);
   if (!QSlot)
     QSlot = &Quiescence::slotForThisThread();
   uint64_t Now = Quiescence::currentEpoch();
   // An empty read set is trivially consistent as of Now.
   QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
-  QSlot->ActiveSince.store(Now, std::memory_order_release);
+  if (config().IrrevocableAfterAborts == 0) {
+    // Serial escalation disabled process-wide: no gate can ever be held,
+    // so publish activity with the original cheap release store.
+    QSlot->ActiveSince.store(Now, std::memory_order_release);
+  } else {
+    // Dekker handshake with the serial gate: publish activity (seq_cst),
+    // then check the gate (seq_cst inside serialGateBlocks). Either the
+    // gate-holder's drain sees our slot, or we see its gate and retreat —
+    // the two seq_cst accesses cannot both miss. The gate-holder itself
+    // passes via the Self match.
+    for (;;) {
+      QSlot->ActiveSince.store(Now, std::memory_order_seq_cst);
+      if (!Quiescence::serialGateBlocks(reinterpret_cast<uint64_t>(this)))
+        break;
+      QSlot->ActiveSince.store(0, std::memory_order_release);
+      Quiescence::serialGateWait(reinterpret_cast<uint64_t>(this));
+      Now = Quiescence::currentEpoch();
+      QSlot->ValidatedAt.store(Now, std::memory_order_relaxed);
+    }
+  }
   traceEvent(TraceKind::TxnBegin);
 }
 
@@ -51,6 +79,15 @@ Word Txn::read(Object *O, uint32_t Slot) {
     return O->rawLoad(Slot);
   if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this)
     return O->rawLoad(Slot);
+  if (SerialMode) {
+    // Serial-irrevocable: take every record Exclusive, reads included.
+    // With the system drained, only single-record nt stragglers can touch
+    // shared state, and against strict two-phase locking they serialize;
+    // an optimistic read here could still be overwritten by one of them
+    // mid-transaction, and a serial transaction must never re-validate.
+    acquireForWrite(O, Rec);
+    return O->rawLoad(Slot);
+  }
 
   Backoff B;
   uint32_t Pauses = 0;
@@ -86,8 +123,10 @@ void Txn::writeImpl(Object *O, uint32_t Slot, Word V, bool IsRef) {
   Word W = Rec.load(std::memory_order_acquire);
   if (TxRecord::isPrivate(W)) {
     // Writes to private objects skip synchronization but still need undo
-    // logging: the object may predate this transaction.
-    logUndo(O, Slot);
+    // logging: the object may predate this transaction. Serial mode never
+    // rolls back, so it logs nothing.
+    if (!SerialMode)
+      logUndo(O, Slot);
     O->rawStore(Slot, V);
     return;
   }
@@ -101,7 +140,8 @@ void Txn::writeImpl(Object *O, uint32_t Slot, Word V, bool IsRef) {
   // threads may reach it before we commit (§4).
   if (IsRef && V != 0 && config().DeaEnabled)
     publishObject(Object::fromWord(V));
-  logUndo(O, Slot);
+  if (!SerialMode)
+    logUndo(O, Slot); // Serial-irrevocable mode is undo-free.
   O->rawStore(Slot, V, std::memory_order_release);
 }
 
@@ -187,6 +227,14 @@ void Txn::maybePeriodicValidate() {
 
 bool Txn::tryCommit() {
   assert(Depth == 1 && "commit with unfinished nested regions");
+  if (SerialMode)
+    return commitSerial();
+  if (faultPoint(FaultSite::TxnCommit)) {
+    // Injected commit failure. Locks and undo log are still intact here,
+    // so the normal conflict unwind rolls everything back.
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::TxnCommit));
+    conflictAbort(AbortReason::FaultInjected);
+  }
   uint64_t Now = Quiescence::currentEpoch();
   if (!validateReadSet()) {
     rollbackAll();
@@ -214,7 +262,67 @@ bool Txn::tryCommit() {
   return true;
 }
 
+/// Serial-irrevocable commit: nothing to validate (every read holds its
+/// record Exclusive) and nothing to quiesce (the system was drained at
+/// escalation). Releases records, then activity, then the gate, so a
+/// thread released from the gate finds no stale Exclusive records.
+bool Txn::commitSerial() {
+  assert(UndoLog.empty() && "serial-irrevocable mode is undo-free");
+  releaseLockRange(0, WriteLocks.size());
+  statsForThisThread().TxnCommits++;
+  traceEvent(TraceKind::TxnCommit);
+  QSlot->ActiveSince.store(0, std::memory_order_release);
+  SerialMode = false;
+  FaultInjector::setThreadSuppressed(false);
+  Quiescence::releaseSerialGate();
+  traceEvent(TraceKind::SerialExit);
+  std::vector<std::function<void()>> Commits = std::move(CommitActions);
+  resetState();
+  for (auto &Action : Commits)
+    Action();
+  return true;
+}
+
+void Txn::maybeEscalateToSerial() {
+  const Config &Cfg = config();
+  if (Cfg.IrrevocableAfterAborts == 0 || SerialMode ||
+      ConsecAborts < Cfg.IrrevocableAfterAborts)
+    return;
+  if (!QSlot)
+    QSlot = &Quiescence::slotForThisThread();
+  // Ladder endpoint: acquire the gate, then drain every other in-flight
+  // transaction. We hold no ownership records here (the previous attempt
+  // rolled everything back), so neither wait can deadlock.
+  Quiescence::acquireSerialGate(reinterpret_cast<uint64_t>(this));
+  Quiescence::drainForSerial(QSlot);
+  SerialMode = true;
+  // An injected fault must never hit an irrevocable attempt: it could not
+  // roll back. This also keeps HeapAlloc faults (rt layer, which cannot
+  // see transaction state) out of the serial window.
+  FaultInjector::setThreadSuppressed(true);
+  statsForThisThread().SerialModeEntries++;
+  traceEvent(TraceKind::SerialEnter);
+}
+
+void Txn::injectOpenFault() {
+  if (faultPoint(FaultSite::TxnOpen)) {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::TxnOpen));
+    conflictAbort(AbortReason::FaultInjected);
+  }
+}
+
+void Txn::serialFatal(const char *What) {
+  std::fprintf(stderr,
+               "satm: irrevocability violation: %s — a serial-irrevocable "
+               "transaction cannot roll back (see DESIGN.md §9)\n",
+               What);
+  std::abort();
+}
+
 void Txn::rollbackAll() {
+  if (SerialMode)
+    serialFatal("rollback of a serial-irrevocable transaction (foreign "
+                "exception or forced abort in the body)");
   // The eager write-rollback window: an abort is decided but memory still
   // holds this transaction's speculative stores. Explorable like the lazy
   // write-back window.
@@ -349,6 +457,9 @@ void Txn::commitOpenNested(std::function<void()> OnParentAbort) {
 
 void Txn::abortOpenNested() {
   assert(!OpenFrames.empty() && "unbalanced open nesting");
+  if (SerialMode)
+    serialFatal("abort of an open-nested scope in serial-irrevocable mode "
+                "(its writes were applied undo-free)");
   Savepoint F = OpenFrames.back();
   OpenFrames.pop_back();
   rollbackUndoRange(F.Undos, UndoLog.size());
@@ -365,23 +476,31 @@ void Txn::abortOpenNested() {
 void Txn::userRetry() {
   assert(isActive() && "retry outside a transaction");
   assert(OpenFrames.empty() && "retry inside an open-nested region");
+  if (SerialMode)
+    serialFatal("txn_retry() in serial-irrevocable mode");
   throw RollbackSignal{RollbackSignal::UserRetry, 0, AbortReason::UserRetry};
 }
 
 void Txn::userAbort() {
   assert(isActive() && "abort outside a transaction");
   assert(OpenFrames.empty() && "abort inside an open-nested region");
+  if (SerialMode)
+    serialFatal("txn_abort() in serial-irrevocable mode");
   throw RollbackSignal{RollbackSignal::UserAbort, Depth,
                        AbortReason::UserAbort};
 }
 
 void Txn::abortRestart() {
   assert(isActive() && "abortRestart outside a transaction");
+  if (SerialMode)
+    serialFatal("abortRestart() in serial-irrevocable mode");
   throw RollbackSignal{RollbackSignal::Conflict, 0,
                        AbortReason::ContentionGiveUp};
 }
 
 void Txn::conflictAbort(AbortReason Reason) {
+  if (SerialMode)
+    serialFatal("conflict abort in serial-irrevocable mode");
   throw RollbackSignal{RollbackSignal::Conflict, 0, Reason};
 }
 
@@ -389,10 +508,32 @@ void Txn::contentionPause(Backoff &B, uint32_t &Pauses,
                           const std::atomic<Word> *Rec, Word ObservedRecord,
                           bool IsRead) {
   schedYield(YieldPoint::TxnContention, Rec, ObservedRecord);
+  if (SerialMode) {
+    // A serial-irrevocable transaction never aborts. The only parties that
+    // can be ahead of it are in-flight nt writers holding a record
+    // Exclusive-anonymous for a bounded store sequence — wait them out.
+    B.pause();
+    return;
+  }
   const Config &Cfg = config();
   uint64_t Limit = Cfg.ConflictPauseLimit;
   switch (Cfg.Contention) {
   case ContentionPolicy::BackoffThenAbort:
+    if (Cfg.KarmaPriority && TxRecord::isExclusive(ObservedRecord)) {
+      // Karma layer: consecutive-abort counts are the priorities. The
+      // poorer transaction self-aborts at once (its next attempt outranks
+      // more peers); the richer one waits with 16x patience. Ties — the
+      // common uncontended case — fall through to the base policy. The
+      // owner's priority is read racy-by-design, like the Timestamp
+      // policy's stamp read: a stale value costs an extra abort or wait,
+      // never a deadlock.
+      uint32_t Theirs = TxRecord::owner(ObservedRecord)->karmaPriority();
+      if (ConsecAborts < Theirs)
+        conflictAbort(giveUpReason(IsRead, ObservedRecord,
+                                   /*BudgetExhausted=*/false));
+      if (ConsecAborts > Theirs)
+        Limit *= 16;
+    }
     break;
   case ContentionPolicy::Polite:
     Limit *= 16;
@@ -429,14 +570,19 @@ void Txn::waitForChange(const std::vector<ReadEntry> &Snapshot) {
   }
   // Capped exponential wait: each pause() doubles the spin window up to a
   // yield plateau, so a long wait costs scheduler yields rather than a hot
-  // scan loop. Spurious wakeups after the scan limit are harmless: the
-  // region simply re-executes and retries again.
-  for (unsigned Scan = 0; Scan < 512; ++Scan) {
+  // scan loop. The scan budget is a timeout, not just a cap: a wait that
+  // exhausts it (it escalated past the spin plateau long ago — see
+  // Backoff::escalation) gives up and records a ContentionGiveUp in the
+  // abort-reason histogram, so a retry burning cycles with no writer in
+  // sight shows up in reports instead of spinning silently. The timed-out
+  // wakeup itself is harmless: the region re-executes and retries again.
+  while (B.escalation() < RetryWaitScans) {
     for (const ReadEntry &E : Snapshot)
       if (E.Rec->load(std::memory_order_acquire) != E.Observed)
         return;
     B.pause();
   }
+  noteAbortReason(AbortReason::ContentionGiveUp);
 }
 
 void Txn::resetState() {

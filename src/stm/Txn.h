@@ -196,6 +196,23 @@ public:
     return StartStamp.load(std::memory_order_acquire);
   }
 
+  /// True while this attempt runs in serial-irrevocable mode (the
+  /// contention-management escalation endpoint: the system is drained, the
+  /// serial gate is held, and this transaction cannot abort).
+  bool inSerialMode() const { return SerialMode; }
+
+  /// Consecutive conflict aborts of the region currently being retried;
+  /// resets on commit, user retry/abort, or a foreign exception. Feeds the
+  /// Karma priority comparison and the serial-irrevocable threshold.
+  uint32_t consecutiveAborts() const { return ConsecAborts; }
+
+  /// This transaction's published Karma priority (its consecutive-abort
+  /// count at begin). Read by *other* threads' contention managers; like
+  /// startStamp, racy-by-design advice, not synchronization.
+  uint32_t karmaPriority() const {
+    return KarmaPub.load(std::memory_order_relaxed);
+  }
+
 private:
   Txn() = default;
 
@@ -219,14 +236,20 @@ private:
   template <typename F> bool runOutermost(F &Body) {
     Backoff RetryBackoff;
     for (;;) {
+      maybeEscalateToSerial();
       begin();
       try {
+        injectOpenFault();
         Body();
-        if (tryCommit())
+        if (tryCommit()) {
+          ConsecAborts = 0;
           return true;
+        }
         noteTxnAbort(AbortReason::ReadValidation);
+        ++ConsecAborts;
       } catch (RollbackSignal &S) {
         if (S.Kind == RollbackSignal::UserRetry) {
+          ConsecAborts = 0;
           noteUserRetry();
           // Steal the read set rather than copy it: rollbackAll() only
           // clear()s the vector, which leaves a moved-from one empty too.
@@ -237,14 +260,20 @@ private:
         }
         rollbackAll();
         noteTxnAbort(S.Reason);
-        if (S.Kind == RollbackSignal::UserAbort)
+        if (S.Kind == RollbackSignal::UserAbort) {
+          ConsecAborts = 0;
           return false;
+        }
+        // Conflict-kind aborts (including injected ones) feed the
+        // contention-management ladder.
+        ++ConsecAborts;
       } catch (...) {
         // A foreign exception (e.g. a runtime error in an interpreter
         // body) unwinds through the region: abort cleanly, then let it
         // propagate.
         rollbackAll();
         noteTxnAbort(AbortReason::UserAbort);
+        ConsecAborts = 0;
         throw;
       }
       RetryBackoff.pause();
@@ -269,7 +298,20 @@ private:
 
   void begin();
   bool tryCommit();
+  bool commitSerial();
   void rollbackAll();
+  /// Ladder escalation check before each attempt: past the configured
+  /// consecutive-abort threshold, acquires the serial gate and drains the
+  /// system so the coming attempt runs serial-irrevocable.
+  void maybeEscalateToSerial();
+  /// FaultSite::TxnOpen injection (out of line so this header needs no
+  /// FaultInjector include); throws a FaultInjected conflict when it fires.
+  void injectOpenFault();
+  /// Irrevocability contract violation (user abort/retry, conflict, or a
+  /// foreign exception inside a serial-mode body): prints and terminates,
+  /// the same contract GCC's transactional memory gives irrevocable
+  /// regions.
+  [[noreturn]] static void serialFatal(const char *What);
   void pushSavepoint();
   void popSavepointKeep();
   void rollbackToSavepoint();
@@ -342,6 +384,14 @@ private:
   /// Open-nesting frames: (savepoint, locks-at-begin) pairs.
   std::vector<Savepoint> OpenFrames;
   Quiescence::Slot *QSlot = nullptr;
+  /// Consecutive conflict aborts of the region being retried (private,
+  /// only this thread).
+  uint32_t ConsecAborts = 0;
+  /// ConsecAborts republished at begin for other threads' Karma
+  /// comparisons.
+  std::atomic<uint32_t> KarmaPub{0};
+  /// This attempt runs serial-irrevocable (gate held, system drained).
+  bool SerialMode = false;
 };
 
 /// Convenience free function mirroring the paper's `atomic { B }`.

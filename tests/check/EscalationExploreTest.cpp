@@ -1,0 +1,105 @@
+//===- tests/check/EscalationExploreTest.cpp - CM ladder, explored -------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Model-checks the contention-management escalation ladder: two conflicting
+// transactions plus one non-transactional writer, explored under config
+// variants that force serial-irrevocable escalation (via the forced-abort
+// step, which feeds the consecutive-abort streak exactly like a real
+// conflict). Every schedule in the bounded space must stay serializable —
+// i.e. the escalated transaction commits exactly once, the gate handshake
+// neither loses an nt write nor deadlocks, and Karma's priority decisions
+// never change observable outcomes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Explorer.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace satm::check;
+using satm::stm::litmus::Regime;
+
+namespace {
+
+/// T0: txn { forced-abort-once; r0 = X.0; Y.0 = r0 + 1 }
+/// T1: txn { [forced-abort-once;] r0 = Y.0; X.0 = r0 + 1 }
+/// T2: nt  { X.0 = 100 }
+/// The forced abort makes T0 (and with \p BothForced, T1) escalate under
+/// IrrevocableAfterAborts=1 in every schedule, so the serial gate, the
+/// drain, and the barrier-side gate checks are all on the explored paths.
+Program escalationProgram(uint32_t IrrAfter, bool Karma, bool BothForced) {
+  Program P;
+  P.Name = "escalation-ladder";
+  P.Objects = {{"X", 1, {}, {}}, {"Y", 1, {}, {}}};
+  std::vector<Step> T0 = {abortOnceStep(), readStep(0, 0, 0),
+                          writeStep(1, 0, reg(0, 1))};
+  std::vector<Step> T1;
+  if (BothForced)
+    T1.push_back(abortOnceStep());
+  T1.push_back(readStep(1, 0, 0));
+  T1.push_back(writeStep(0, 0, reg(0, 1)));
+  P.Threads = {{txn(T0)}, {txn(T1)}, {nt(writeStep(0, 0, constant(100)))}};
+  ConfigVariant V;
+  V.IrrevocableAfterAborts = IrrAfter;
+  V.KarmaPriority = Karma;
+  P.Variants = {V};
+  return P;
+}
+
+void expectClean(const Program &P, const ExploreResult &Res) {
+  EXPECT_FALSE(Res.found())
+      << (Res.found() ? Res.Violations[0].Detail +
+                            formatTrace(P, Res.Violations[0].Events)
+                      : std::string());
+  EXPECT_TRUE(Res.Exhausted) << "bounded search did not complete";
+  EXPECT_GT(Res.Schedules, 0u);
+}
+
+TEST(EscalationExplore, SerialEscalationStaysSerializable) {
+  for (bool Karma : {false, true}) {
+    Program P = escalationProgram(/*IrrAfter=*/1, Karma, /*BothForced=*/false);
+    ExploreOptions Opts;
+    Opts.PreemptionBound = 2;
+    ExploreResult Res = explore(P, Regime::Strong, Opts);
+    expectClean(P, Res);
+  }
+}
+
+TEST(EscalationExplore, CompetingEscalationsStaySerializable) {
+  // Both transactions reach the ladder endpoint: the gate serializes the
+  // two escalations, and whoever holds it drains the other.
+  Program P = escalationProgram(/*IrrAfter=*/1, /*Karma=*/false,
+                                /*BothForced=*/true);
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  ExploreResult Res = explore(P, Regime::Strong, Opts);
+  expectClean(P, Res);
+}
+
+TEST(EscalationExplore, ArmedLadderWithoutEscalationStaysSerializable) {
+  // Threshold above anything the program can reach: covers the
+  // IrrevocableAfterAborts != 0 begin-time gate handshake on the paths
+  // where nobody ever escalates.
+  Program P = escalationProgram(/*IrrAfter=*/8, /*Karma=*/false,
+                                /*BothForced=*/false);
+  ExploreOptions Opts;
+  Opts.PreemptionBound = 2;
+  ExploreResult Res = explore(P, Regime::Strong, Opts);
+  expectClean(P, Res);
+}
+
+TEST(EscalationExplore, VariantNamesCarryTheLadderKnobs) {
+  ConfigVariant V;
+  V.IrrevocableAfterAborts = 3;
+  V.KarmaPriority = true;
+  std::string N = variantName(V);
+  EXPECT_NE(N.find("irr3"), std::string::npos) << N;
+  EXPECT_NE(N.find("karma"), std::string::npos) << N;
+}
+
+} // namespace

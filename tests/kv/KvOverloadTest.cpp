@@ -1,0 +1,120 @@
+//===- tests/kv/KvOverloadTest.cpp - Budgeted operations, typed shedding -===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The overload-control surface of SATM-KV: OpBudget deadlines and attempt
+// caps turn unbounded retry loops into typed, effect-free sheds
+// (Overloaded / DeadlineExceeded), while the committed statuses stay
+// faithful (Ok / NotFound / Mismatch). The attempt-cap test drives real
+// aborts through the fault injector's certain txn_commit site, so the
+// budget is exercised against genuine transaction re-execution, not a
+// simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Store.h"
+#include "rt/Heap.h"
+#include "support/FaultInjector.h"
+
+#include "gtest/gtest.h"
+
+#include <chrono>
+
+using namespace satm;
+using namespace satm::kv;
+using stm::Word;
+
+namespace {
+
+TEST(KvOverload, PastDeadlineShedsBeforeAnyWork) {
+  rt::Heap H;
+  Store S(H, StoreConfig{2, 64});
+  ASSERT_TRUE(S.insert(1, 10));
+  OpBudget B;
+  B.Deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(S.insert(1, 99, B), OpStatus::DeadlineExceeded);
+  EXPECT_EQ(S.erase(1, B), OpStatus::DeadlineExceeded);
+  EXPECT_EQ(S.cas(1, 10, 99, B), OpStatus::DeadlineExceeded);
+  Word Key = 1, Val = 0;
+  EXPECT_EQ(S.multiGet(&Key, 1, &Val, B), OpStatus::DeadlineExceeded);
+  EXPECT_EQ(S.rmwAdd(&Key, 1, 5, B), OpStatus::DeadlineExceeded);
+  Word Out = 0;
+  EXPECT_TRUE(S.get(1, Out));
+  EXPECT_EQ(Out, 10u) << "a shed operation must leave no effects";
+}
+
+TEST(KvOverload, AttemptBudgetExhaustionIsOverloadedWithNoEffects) {
+  rt::Heap H;
+  Store S(H, StoreConfig{2, 64});
+  ASSERT_TRUE(S.insert(5, 1));
+  // Every eager commit fails while armed, so the budgeted op burns its
+  // whole attempt budget on genuine conflict-style aborts.
+  FaultConfig C;
+  C.Prob[unsigned(FaultSite::TxnCommit)] = UINT32_MAX;
+  FaultInjector::arm(C);
+  EXPECT_EQ(S.cas(5, 1, 2, OpBudget::attempts(3)), OpStatus::Overloaded);
+  EXPECT_EQ(FaultInjector::firedCount(FaultSite::TxnCommit), 3u)
+      << "exactly MaxAttempts transaction attempts ran";
+  FaultInjector::disarm();
+  Word Out = 0;
+  EXPECT_TRUE(S.get(5, Out));
+  EXPECT_EQ(Out, 1u) << "the shed CAS left the value untouched";
+  // With the faults gone the same operation completes.
+  EXPECT_EQ(S.cas(5, 1, 2, OpBudget::attempts(3)), OpStatus::Ok);
+  EXPECT_TRUE(S.get(5, Out));
+  EXPECT_EQ(Out, 2u);
+}
+
+TEST(KvOverload, UnlimitedBudgetMatchesTheBoolApis) {
+  rt::Heap H;
+  Store S(H, StoreConfig{2, 64});
+  EXPECT_EQ(S.insert(3, 30, OpBudget{}), OpStatus::Ok);
+  Word Key = 3;
+  EXPECT_EQ(S.rmwAdd(&Key, 1, 12, OpBudget{}), OpStatus::Ok);
+  Word Out = 0;
+  EXPECT_TRUE(S.get(3, Out));
+  EXPECT_EQ(Out, 42u);
+  EXPECT_EQ(S.erase(3, OpBudget{}), OpStatus::Ok);
+  EXPECT_EQ(S.erase(3, OpBudget{}), OpStatus::NotFound);
+}
+
+TEST(KvOverload, CasDistinguishesMismatchAndNotFound) {
+  rt::Heap H;
+  Store S(H, StoreConfig{2, 64});
+  ASSERT_TRUE(S.insert(7, 1));
+  EXPECT_EQ(S.cas(7, 2, 9, OpBudget{}), OpStatus::Mismatch);
+  EXPECT_EQ(S.cas(42, 1, 9, OpBudget{}), OpStatus::NotFound);
+  ASSERT_TRUE(S.erase(7));
+  EXPECT_EQ(S.cas(7, 1, 9, OpBudget{}), OpStatus::NotFound)
+      << "an erased key is absent, not mismatched";
+  Word Out = 0;
+  EXPECT_FALSE(S.get(7, Out));
+}
+
+TEST(KvOverload, BudgetedMultiGetReportsFoundCount) {
+  rt::Heap H;
+  Store S(H, StoreConfig{2, 64});
+  ASSERT_TRUE(S.insert(1, 11));
+  ASSERT_TRUE(S.insert(2, 22));
+  Word Keys[3] = {1, 2, 3};
+  Word Out[3] = {0, 0, 0};
+  size_t Found = 99;
+  EXPECT_EQ(S.multiGet(Keys, 3, Out, OpBudget{}, &Found), OpStatus::Ok);
+  EXPECT_EQ(Found, 2u);
+  EXPECT_EQ(Out[0], 11u);
+  EXPECT_EQ(Out[1], 22u);
+  EXPECT_EQ(Out[2], Store::Tombstone);
+}
+
+TEST(KvOverload, StatusNamesAreStable) {
+  EXPECT_STREQ(opStatusName(OpStatus::Ok), "Ok");
+  EXPECT_STREQ(opStatusName(OpStatus::NotFound), "NotFound");
+  EXPECT_STREQ(opStatusName(OpStatus::Mismatch), "Mismatch");
+  EXPECT_STREQ(opStatusName(OpStatus::Full), "Full");
+  EXPECT_STREQ(opStatusName(OpStatus::Overloaded), "Overloaded");
+  EXPECT_STREQ(opStatusName(OpStatus::DeadlineExceeded), "DeadlineExceeded");
+}
+
+} // namespace

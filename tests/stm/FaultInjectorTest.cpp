@@ -1,0 +1,267 @@
+//===- tests/stm/FaultInjectorTest.cpp - Deterministic fault injection ---===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The SATM_FAULTS harness: spec parsing, the per-thread deterministic
+// decision streams behind the bit-identical replay guarantee, suppression
+// (used by serial-irrevocable mode), and the injection sites' observable
+// effects on the eager STM, the lazy STM and the managed heap.
+//
+// These tests arm campaigns programmatically; scripts/ci.sh deliberately
+// excludes this binary from its env-armed SATM_FAULTS lanes so the two
+// arming paths never stack.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+#include "rt/Heap.h"
+#include "stm/LazyTxn.h"
+#include "stm/Txn.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+
+/// Disarms on scope exit so a failing test cannot leak an armed campaign
+/// into the rest of the binary.
+struct ArmGuard {
+  explicit ArmGuard(const FaultConfig &C) { FaultInjector::arm(C); }
+  ~ArmGuard() { FaultInjector::disarm(); }
+};
+
+uint64_t faultInjectedAborts() {
+  return statsSnapshot().AbortReasons[unsigned(AbortReason::FaultInjected)];
+}
+
+TEST(FaultInjectorParse, AcceptsFullSpec) {
+  FaultConfig C;
+  std::string Err;
+  ASSERT_TRUE(FaultInjector::parse(
+      "seed=42,txn_open=0.25,barrier_delay=0.5:400,heap_alloc=1.0", C, Err))
+      << Err;
+  EXPECT_EQ(C.Seed, 42u);
+  EXPECT_NEAR(C.Prob[unsigned(FaultSite::TxnOpen)] / std::ldexp(1.0, 32),
+              0.25, 1e-6);
+  EXPECT_NEAR(
+      C.Prob[unsigned(FaultSite::BarrierAcquire)] / std::ldexp(1.0, 32), 0.5,
+      1e-6);
+  EXPECT_EQ(C.Arg[unsigned(FaultSite::BarrierAcquire)], 400u);
+  EXPECT_EQ(C.Prob[unsigned(FaultSite::HeapAlloc)], UINT32_MAX)
+      << "rate 1.0 must fire unconditionally";
+  EXPECT_EQ(C.Prob[unsigned(FaultSite::TxnCommit)], 0u) << "unlisted site";
+}
+
+TEST(FaultInjectorParse, RejectsMalformedSpecs) {
+  FaultConfig C;
+  std::string Err;
+  EXPECT_FALSE(FaultInjector::parse("txn_open", C, Err));
+  EXPECT_FALSE(FaultInjector::parse("no_such_site=0.5", C, Err));
+  EXPECT_FALSE(FaultInjector::parse("txn_open=1.5", C, Err));
+  EXPECT_FALSE(FaultInjector::parse("txn_open=-0.1", C, Err));
+  EXPECT_FALSE(FaultInjector::parse("txn_open=abc", C, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(FaultInjector, DisarmedFaultPointsNeverFire) {
+  FaultInjector::disarm();
+  EXPECT_FALSE(FaultInjector::armed());
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_FALSE(faultPoint(FaultSite::TxnOpen));
+}
+
+TEST(FaultInjector, CertainSiteFiresAndCounts) {
+  FaultConfig C;
+  C.Prob[unsigned(FaultSite::QuiesceStall)] = UINT32_MAX;
+  C.Arg[unsigned(FaultSite::QuiesceStall)] = 16;
+  ArmGuard G(C);
+  EXPECT_TRUE(FaultInjector::armed());
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(faultPoint(FaultSite::QuiesceStall));
+  EXPECT_EQ(FaultInjector::firedCount(FaultSite::QuiesceStall), 10u);
+  EXPECT_EQ(FaultInjector::firedTotal(), 10u);
+  EXPECT_EQ(FaultInjector::arg(FaultSite::QuiesceStall), 16u);
+}
+
+/// Arms \p C, pins this thread's stream to \p Tag, optionally passes
+/// \p SuppressedPrefix fault points suppressed, then records \p N plain
+/// decisions. Disarms before returning.
+std::vector<char> drawDecisions(const FaultConfig &C, uint64_t Tag, int N,
+                                int SuppressedPrefix = 0) {
+  ArmGuard G(C);
+  FaultInjector::setThreadTag(Tag);
+  if (SuppressedPrefix) {
+    FaultInjector::setThreadSuppressed(true);
+    for (int I = 0; I < SuppressedPrefix; ++I)
+      EXPECT_FALSE(faultPoint(FaultSite::TxnOpen))
+          << "suppressed points never fire";
+    FaultInjector::setThreadSuppressed(false);
+  }
+  std::vector<char> Out;
+  Out.reserve(N);
+  for (int I = 0; I < N; ++I)
+    Out.push_back(faultPoint(FaultSite::TxnOpen) ? 1 : 0);
+  return Out;
+}
+
+FaultConfig halfRateOpen() {
+  FaultConfig C;
+  std::string Err;
+  EXPECT_TRUE(FaultInjector::parse("seed=77,txn_open=0.5", C, Err)) << Err;
+  return C;
+}
+
+TEST(FaultInjector, SameSeedSameTagReplaysBitIdentically) {
+  FaultConfig C = halfRateOpen();
+  std::vector<char> A = drawDecisions(C, 7, 300);
+  std::vector<char> B = drawDecisions(C, 7, 300);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(std::count(A.begin(), A.end(), 1), 0) << "some decisions fire";
+  EXPECT_NE(std::count(A.begin(), A.end(), 0), 0) << "some do not";
+}
+
+TEST(FaultInjector, DifferentTagsDecorrelate) {
+  FaultConfig C = halfRateOpen();
+  EXPECT_NE(drawDecisions(C, 7, 300), drawDecisions(C, 8, 300));
+}
+
+TEST(FaultInjector, SuppressedPointsDoNotAdvanceTheStream) {
+  FaultConfig C = halfRateOpen();
+  std::vector<char> Plain = drawDecisions(C, 5, 200);
+  std::vector<char> AfterSuppressed =
+      drawDecisions(C, 5, 200, /*SuppressedPrefix=*/64);
+  EXPECT_EQ(Plain, AfterSuppressed)
+      << "a suppressed window must be invisible to the stream position";
+}
+
+TEST(FaultInjector, EagerTxnFaultsAbortAndEveryTxnStillCommits) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  FaultConfig C;
+  std::string Err;
+  ASSERT_TRUE(
+      FaultInjector::parse("seed=9,txn_open=0.25,txn_commit=0.25", C, Err))
+      << Err;
+  uint64_t Before = faultInjectedAborts();
+  {
+    ArmGuard G(C);
+    FaultInjector::setThreadTag(21);
+    for (Word I = 0; I < 200; ++I)
+      EXPECT_TRUE(atomically([&] { Txn::forThisThread().write(X, 0, I); }));
+  }
+  EXPECT_EQ(X->rawLoad(0), 199u) << "every region eventually commits";
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()));
+  uint64_t Fired = FaultInjector::firedCount(FaultSite::TxnOpen) +
+                   FaultInjector::firedCount(FaultSite::TxnCommit);
+  EXPECT_GT(Fired, 0u);
+  EXPECT_EQ(faultInjectedAborts() - Before, Fired)
+      << "each fired txn fault is exactly one FaultInjected abort";
+}
+
+TEST(FaultInjector, LazyTxnFaultsAbortAndEveryTxnStillCommits) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  FaultConfig C;
+  std::string Err;
+  ASSERT_TRUE(
+      FaultInjector::parse("seed=11,lazy_open=0.25,lazy_commit=0.25", C, Err))
+      << Err;
+  uint64_t Before = faultInjectedAborts();
+  {
+    ArmGuard G(C);
+    FaultInjector::setThreadTag(22);
+    for (Word I = 0; I < 200; ++I)
+      EXPECT_TRUE(
+          atomicallyLazy([&] { LazyTxn::forThisThread().write(X, 0, I); }));
+  }
+  EXPECT_EQ(X->rawLoad(0), 199u);
+  uint64_t Fired = FaultInjector::firedCount(FaultSite::LazyOpen) +
+                   FaultInjector::firedCount(FaultSite::LazyCommit);
+  EXPECT_GT(Fired, 0u);
+  EXPECT_EQ(faultInjectedAborts() - Before, Fired);
+}
+
+TEST(FaultInjector, HeapAllocFaultThrowsAndTxnRollsBackCleanly) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  X->rawStore(0, 1);
+  FaultConfig C;
+  C.Prob[unsigned(FaultSite::HeapAlloc)] = UINT32_MAX;
+  ArmGuard G(C);
+  EXPECT_THROW(H.allocate(&CellType, BirthState::Shared), std::bad_alloc);
+  // Inside a region the bad_alloc unwinds the body: the transaction rolls
+  // back (foreign-exception path) and the exception reaches the caller.
+  EXPECT_THROW(atomically([&] {
+                 Txn &T = Txn::forThisThread();
+                 T.write(X, 0, 99);
+                 H.allocate(&CellType, BirthState::Shared);
+               }),
+               std::bad_alloc);
+  FaultInjector::disarm();
+  EXPECT_EQ(X->rawLoad(0), 1u) << "speculative write rolled back";
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()))
+      << "write lock released";
+}
+
+TEST(FaultInjector, MultiThreadedSeededRunReplaysBitIdentically) {
+  // The acceptance property: with pinned tags, per-transaction attempt
+  // counts depend only on each thread's decision stream, so two runs of
+  // the same campaign agree exactly, regardless of OS scheduling.
+  constexpr unsigned Threads = 4;
+  constexpr int TxnsPerThread = 64;
+  FaultConfig C;
+  std::string Err;
+  ASSERT_TRUE(
+      FaultInjector::parse("seed=1234,txn_open=0.3,txn_commit=0.2", C, Err))
+      << Err;
+
+  auto RunOnce = [&C] {
+    ArmGuard G(C);
+    Heap H;
+    std::vector<Object *> Objs;
+    for (unsigned T = 0; T < Threads; ++T)
+      Objs.push_back(H.allocate(&CellType, BirthState::Shared));
+    std::vector<std::vector<int>> Attempts(Threads);
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ts.emplace_back([&, T] {
+        FaultInjector::setThreadTag(100 + T);
+        for (int I = 0; I < TxnsPerThread; ++I) {
+          int A = 0;
+          atomically([&] {
+            ++A;
+            Txn::forThisThread().write(Objs[T], 0, Word(I));
+          });
+          Attempts[T].push_back(A);
+        }
+      });
+    for (auto &Th : Ts)
+      Th.join();
+    return Attempts;
+  };
+
+  std::vector<std::vector<int>> A = RunOnce();
+  std::vector<std::vector<int>> B = RunOnce();
+  EXPECT_EQ(A, B) << "same seed, same tags: bit-identical replay";
+  bool SawRetry = false;
+  for (const std::vector<int> &V : A)
+    for (int N : V)
+      SawRetry |= N > 1;
+  EXPECT_TRUE(SawRetry) << "the campaign must actually inject something";
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+//===- tests/stm/SerialModeTest.cpp - Adaptive contention management -----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The contention-management escalation ladder (DESIGN.md §9): consecutive-
+// abort counting, Karma priority publication, the serial-irrevocable
+// endpoint behind Config::IrrevocableAfterAborts, and the paper-motivated
+// livelock this ladder exists to break — a hot non-transactional writer
+// starving a long transaction, which strong atomicity permits forever
+// unless someone eventually becomes unkillable. Also the retry-wait
+// timeout (ContentionGiveUp) satellite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Txn.h"
+#include "rt/Heap.h"
+#include "stm/Barriers.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::rt;
+using namespace satm::stm;
+
+namespace {
+
+const TypeDescriptor CellType("Cell", 1, {});
+
+uint64_t reasonCount(AbortReason R) {
+  return statsSnapshot().AbortReasons[unsigned(R)];
+}
+
+TEST(ContentionLadder, ConsecutiveAbortsCountAndResetOnCommit) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  std::vector<uint32_t> Seen;
+  atomically([&] {
+    Txn &T = Txn::forThisThread();
+    Seen.push_back(T.consecutiveAborts());
+    EXPECT_EQ(T.karmaPriority(), T.consecutiveAborts())
+        << "priority is republished at begin";
+    T.write(X, 0, 1);
+    if (Seen.size() < 4)
+      T.abortRestart();
+  });
+  EXPECT_EQ(Seen, (std::vector<uint32_t>{0, 1, 2, 3}))
+      << "each conflict abort bumps the streak";
+  EXPECT_EQ(Txn::forThisThread().consecutiveAborts(), 0u) << "reset on commit";
+}
+
+TEST(ContentionLadder, UserAbortResetsTheStreak) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  int Attempts = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    T.write(X, 0, 1);
+    if (++Attempts < 3)
+      T.abortRestart();
+    T.userAbort();
+  });
+  EXPECT_FALSE(Done);
+  EXPECT_EQ(Txn::forThisThread().consecutiveAborts(), 0u)
+      << "a user-terminated region is not contention";
+}
+
+TEST(ContentionLadder, EscalatesToSerialIrrevocableAtThreshold) {
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Config C;
+  C.IrrevocableAfterAborts = 3;
+  ScopedConfig SC(C);
+  uint64_t SerialBefore = statsSnapshot().SerialModeEntries;
+  int NonSerial = 0, Serial = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    if (!T.inSerialMode()) {
+      ++NonSerial;
+      T.abortRestart();
+    }
+    ++Serial;
+    // Serial mode 2PL-locks reads as well as writes and runs undo-free.
+    EXPECT_EQ(T.read(X, 0), 0u);
+    T.write(X, 0, 77);
+  });
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(NonSerial, 3) << "exactly the threshold of consecutive aborts";
+  EXPECT_EQ(Serial, 1) << "the serial-irrevocable attempt cannot fail";
+  EXPECT_EQ(X->rawLoad(0), 77u);
+  EXPECT_TRUE(TxRecord::isShared(X->txRecord().load()))
+      << "serial commit released the record";
+  EXPECT_EQ(statsSnapshot().SerialModeEntries - SerialBefore, 1u);
+  EXPECT_FALSE(Quiescence::serialGateActive()) << "gate released at commit";
+  // The ladder resets: the next region starts revocable.
+  atomically([&] { EXPECT_FALSE(Txn::forThisThread().inSerialMode()); });
+}
+
+TEST(ContentionLadder, KarmaMakesProgressWithOpposingLockOrders) {
+  // Two threads acquire the same two records in opposite orders — the
+  // classic 2PL livelock diet. With Karma, repeat losers outrank fresh
+  // transactions, so both threads must finish with every increment applied.
+  Heap H;
+  Object *A = H.allocate(&CellType, BirthState::Shared);
+  Object *B = H.allocate(&CellType, BirthState::Shared);
+  Config C;
+  C.KarmaPriority = true;
+  ScopedConfig SC(C);
+  const int Iters = 1500;
+  auto Work = [&](Object *First, Object *Second) {
+    for (int I = 0; I < Iters; ++I)
+      atomically([&] {
+        Txn &T = Txn::forThisThread();
+        T.write(First, 0, T.read(First, 0) + 1);
+        T.write(Second, 0, T.read(Second, 0) + 1);
+      });
+  };
+  std::thread T1(Work, A, B), T2(Work, B, A);
+  T1.join();
+  T2.join();
+  EXPECT_EQ(A->rawLoad(0), uint64_t(2 * Iters));
+  EXPECT_EQ(B->rawLoad(0), uint64_t(2 * Iters));
+}
+
+TEST(ContentionLadder, HotNtWriterLivelocksLongTxnWithoutEscalation) {
+  // PAPER.md §3's dark side of strong atomicity: a non-transactional
+  // writer is never killed, so a transaction whose read span outlives the
+  // writer's period revalidates into a fresh conflict forever. The body
+  // manufactures "long" deterministically by refusing to reach commit
+  // until the writer has invalidated its read.
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    Word I = 1;
+    while (!Stop.load(std::memory_order_relaxed))
+      ntWrite(X, 0, I++);
+  });
+  int Attempts = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    if (++Attempts > 25)
+      T.userAbort(); // Escape hatch: the demo would otherwise spin forever.
+    Word V = T.read(X, 0);
+    while (X->rawLoad(0) == V) {
+      // Outlive at least one more nt write; values never repeat, so a
+      // changed slot implies our observed record version is stale.
+    }
+    T.write(Y, 0, V);
+  });
+  Stop.store(true);
+  Writer.join();
+  EXPECT_FALSE(Done) << "without the ladder, the long transaction starves";
+  EXPECT_EQ(Attempts, 26) << "every single attempt failed validation";
+}
+
+TEST(ContentionLadder, EscalationCommitsTheLongTxnWithinBoundedRetries) {
+  // Same duel, ladder armed: after IrrevocableAfterAborts consecutive
+  // losses the transaction runs serial-irrevocable. The nt writer parks at
+  // the gate for the duration (it is never killed — nt accesses have no
+  // abort path) and resumes afterwards.
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  Object *Y = H.allocate(&CellType, BirthState::Shared);
+  Config C;
+  C.IrrevocableAfterAborts = 4;
+  ScopedConfig SC(C);
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> WriterOps{0};
+  std::thread Writer([&] {
+    Word I = 1;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      ntWrite(X, 0, I++);
+      WriterOps.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  int Attempts = 0;
+  bool Done = atomically([&] {
+    Txn &T = Txn::forThisThread();
+    ++Attempts;
+    Word V = T.read(X, 0);
+    if (!T.inSerialMode()) {
+      while (X->rawLoad(0) == V) {
+      }
+    }
+    T.write(Y, 0, V + 1);
+  });
+  EXPECT_TRUE(Done) << "the ladder guarantees completion";
+  EXPECT_EQ(Attempts, 5)
+      << "exactly the threshold of failures, then one serial attempt";
+  EXPECT_GT(Y->rawLoad(0), 0u);
+  EXPECT_FALSE(Quiescence::serialGateActive());
+  // Never killed, only paused: the writer keeps making progress after the
+  // serial window closes.
+  uint64_t OpsAtCommit = WriterOps.load(std::memory_order_relaxed);
+  while (WriterOps.load(std::memory_order_relaxed) < OpsAtCommit + 1000) {
+  }
+  Stop.store(true);
+  Writer.join();
+}
+
+TEST(ContentionLadder, RetryWaitTimesOutWithReasonThenWakes) {
+  // waitForChange's bounded scan: while the read set stays unchanged, each
+  // timed-out wait is accounted as ContentionGiveUp and the region
+  // re-executes (spurious-wakeup semantics). Once the value changes, the
+  // retry completes.
+  Heap H;
+  Object *X = H.allocate(&CellType, BirthState::Shared);
+  uint64_t GiveUpBefore = reasonCount(AbortReason::ContentionGiveUp);
+  uint64_t RetryBefore = reasonCount(AbortReason::UserRetry);
+  std::atomic<Word> SeenValue{0};
+  std::thread Waiter([&] {
+    bool Done = atomically([&] {
+      Txn &T = Txn::forThisThread();
+      Word V = T.read(X, 0);
+      if (V == 0)
+        T.userRetry();
+      SeenValue.store(V, std::memory_order_relaxed);
+    });
+    EXPECT_TRUE(Done);
+  });
+  // Two full timeout cycles prove the wait is bounded, not parked forever.
+  while (reasonCount(AbortReason::ContentionGiveUp) < GiveUpBefore + 2) {
+  }
+  ntWrite(X, 0, 42);
+  Waiter.join();
+  EXPECT_EQ(SeenValue.load(), 42u);
+  EXPECT_GE(reasonCount(AbortReason::UserRetry) - RetryBefore, 1u);
+}
+
+} // namespace

@@ -1,4 +1,4 @@
-//===- bench/BenchJson.h - Shared satm-bench-v4 JSON emitter ---*- C++ -*-===//
+//===- bench/BenchJson.h - Shared satm-bench-v5 JSON emitter ---*- C++ -*-===//
 //
 // Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 //
@@ -7,25 +7,30 @@
 /// \file
 /// The one writer of the repo's machine-readable perf trajectory format,
 /// shared by bench/perf_suite and bench/kv_service so the two halves of
-/// BENCH_satm.json cannot drift apart. Schema satm-bench-v4:
+/// BENCH_satm.json cannot drift apart. Schema satm-bench-v5:
 ///
-///   { "schema": "satm-bench-v4", "mode": "full"|"smoke",
+///   { "schema": "satm-bench-v5", "mode": "full"|"smoke",
 ///     "benchmarks": [
 ///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
 ///         "abort_reasons": { ...all nine taxonomy keys... },
 ///         // optional, service benchmarks only:
 ///         "throughput_ops_per_sec": N,
 ///         "latency_ns": {"p50": N, "p95": N, "p99": N, "p999": N},
-///         // optional, overload benchmarks only (implies the above two):
+///         "read_planes": {"snapshot": {"p50","p95","p99","p999","count"},
+///                         "nt": {...}, "txn": {...}},
+///         // optional, overload benchmarks only (implies latency):
 ///         "offered_ops_per_sec": N, "goodput_ops_per_sec": N,
 ///         "shed_rate": F } ] }
 ///
-/// v4 extends v3 with the FaultInjected abort-reason key and the three
-/// optional overload-degradation fields written by kv_service's open-loop
-/// overload run (offered load, completed-in-budget goodput, and the
-/// fraction of requests shed by admission control). Entries without them
+/// v5 extends v4 with the per-plane read-latency block: kv_service used to
+/// fold every read — wait-free snapshot multi-gets, barrier GETs, and
+/// transactional multi-gets — into the one latency_ns histogram, so the
+/// three read paths' tails were not separately attributable. read_planes
+/// carries one percentile set (plus sample count) per plane; planes the
+/// mix never exercised report zeros. Entries without the optional fields
 /// are still valid; scripts/check_bench_schema.sh enforces that kv/*
-/// entries carry the latency fields and kv/overload/* entries all five.
+/// entries carry the latency fields, kv/snapshot/* entries the read_planes
+/// block, and kv/overload/* entries the overload triple.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +64,13 @@ struct BenchEntry {
   bool HasLatency = false;
   LatencyHistogram::Percentiles Latency{};
   double OpsPerSec = 0;
+  /// Per-read-plane latency split (kv_service): wait-free snapshot reads,
+  /// non-transactional barrier GETs, and transactional multi-gets, each
+  /// with its own percentile set and sample count. HasReadPlanes gates the
+  /// read_planes JSON block; unexercised planes report zeros.
+  bool HasReadPlanes = false;
+  LatencyHistogram::Percentiles SnapLat{}, NtLat{}, TxnLat{};
+  uint64_t SnapReads = 0, NtReads = 0, TxnReads = 0;
   /// Overload benchmarks: offered open-loop rate, goodput (requests that
   /// completed within budget), and the shed fraction. HasOverload gates
   /// the three optional JSON fields.
@@ -76,7 +88,7 @@ inline void writeBenchJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v4\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v5\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Entries.size(); ++I) {
@@ -95,6 +107,21 @@ inline void writeBenchJson(const char *Path, const char *Mode,
                    ", \"p999\": %" PRIu64 "}",
                    E.OpsPerSec, E.Latency.P50, E.Latency.P95, E.Latency.P99,
                    E.Latency.P999);
+    if (E.HasReadPlanes) {
+      auto Plane = [&](const char *Key,
+                       const LatencyHistogram::Percentiles &P, uint64_t N,
+                       const char *Sep) {
+        std::fprintf(F,
+                     "\"%s\": {\"p50\": %" PRIu64 ", \"p95\": %" PRIu64
+                     ", \"p99\": %" PRIu64 ", \"p999\": %" PRIu64
+                     ", \"count\": %" PRIu64 "}%s",
+                     Key, P.P50, P.P95, P.P99, P.P999, N, Sep);
+      };
+      std::fprintf(F, ",\n     \"read_planes\": {");
+      Plane("snapshot", E.SnapLat, E.SnapReads, ", ");
+      Plane("nt", E.NtLat, E.NtReads, ", ");
+      Plane("txn", E.TxnLat, E.TxnReads, "}");
+    }
     if (E.HasOverload)
       std::fprintf(F,
                    ",\n     \"offered_ops_per_sec\": %.0f, "

@@ -6,8 +6,10 @@
 //
 // TailBench-style driver for the SATM-KV store (src/kv): worker threads
 // issue a configurable mix of single-key GET/PUT (the non-transactional
-// barrier plane) and multi-key MGET/RMW/CAS (the transactional plane)
-// against one shared store, under the +DEA strong-atomicity configuration.
+// barrier plane), multi-key MGET/RMW/CAS (the transactional plane), and
+// SNAP (wait-free snapshot multi-gets on the multi-version plane,
+// DESIGN.md §10) against one shared store, under the +DEA strong-atomicity
+// configuration.
 // Each worker also keeps a DEA-private scratch object it updates through
 // the write barrier on every request, so the private fast path (Figure 10's
 // two-instruction sequence) is on the measured path just as compiled code
@@ -24,7 +26,11 @@
 //
 // Latencies go into per-thread log-bucketed histograms (≤3.2% relative
 // error) merged at the end; p50/p95/p99/p99.9 are reported in the table and
-// in the kv/* entries of the satm-bench-v4 JSON (bench/BenchJson.h).
+// in the kv/* entries of the satm-bench-v5 JSON (bench/BenchJson.h). Read
+// latencies are additionally split per plane (snapshot/nt/txn) into the
+// read_planes block, so the three read paths' tails stay separately
+// attributable — the kv/snapshot/* triple runs the same 8-key read batch
+// through each plane in turn against an identical 10% PUT write side.
 // `--suite` runs the canned configurations whose numbers are checked in via
 // scripts/bench.sh; `--smoke` is the tiny CI/TSan variant; bare flags run a
 // single custom configuration.
@@ -45,6 +51,7 @@
 #include "stm/Barriers.h"
 #include "stm/Config.h"
 #include "stm/Report.h"
+#include "stm/Snapshot.h"
 #include "stm/Stats.h"
 #include "support/LatencyHistogram.h"
 #include "support/Rng.h"
@@ -57,6 +64,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,18 +80,26 @@ using Clock = std::chrono::steady_clock;
 const rt::TypeDescriptor ScratchType("kv.Scratch", 2, {});
 
 /// Request mix in percent; must sum to 100. GET/PUT are the
-/// non-transactional plane, the rest are transactions.
+/// non-transactional plane, SNAP is the wait-free snapshot plane
+/// (Store::snapshotMultiGet; needs Config::SnapshotEnabled, which
+/// runService turns on whenever the mix uses it), the rest are
+/// transactions.
 struct Mix {
-  unsigned Get = 60, Put = 20, Mget = 10, Rmw = 8, Cas = 2;
+  unsigned Get = 60, Put = 20, Mget = 10, Rmw = 8, Cas = 2, Snap = 0;
 
   unsigned txnPct() const { return Mget + Rmw + Cas; }
   std::string str() const {
-    char Buf[96];
-    std::snprintf(Buf, sizeof(Buf), "get:%u,put:%u,mget:%u,rmw:%u,cas:%u",
-                  Get, Put, Mget, Rmw, Cas);
+    char Buf[112];
+    std::snprintf(Buf, sizeof(Buf),
+                  "get:%u,put:%u,mget:%u,rmw:%u,cas:%u,snap:%u", Get, Put,
+                  Mget, Rmw, Cas, Snap);
     return Buf;
   }
 };
+
+/// Which read plane a completed request exercised, for the per-plane
+/// latency split. Write-only and overload-rejected requests carry None.
+enum class ReadPlane { None, Snap, Nt, Txn };
 
 /// What to do when offered load exceeds capacity (open-loop runs only).
 enum class OverloadPolicy {
@@ -103,6 +119,12 @@ struct RunConfig {
   Mix M;
   double Qps = 0; ///< >0: open-loop at this aggregate arrival rate.
   uint64_t Seed = 2026;
+  /// Keys per MGET/SNAP batch read (≤ 64).
+  uint32_t MgetKeys = 8;
+  /// Single-key GETs issued per GET request: lets the nt plane read the
+  /// same number of keys per request as an 8-key batch plane, so the
+  /// kv/snapshot/* per-request latencies compare like for like.
+  uint32_t NtGetBatch = 1;
   /// Overload control (the v4 degradation experiment).
   OverloadPolicy Policy = OverloadPolicy::None;
   uint64_t DeadlineUs = 0;  ///< Per-request deadline (0 = none).
@@ -120,6 +142,8 @@ struct RunResult {
   uint64_t Ops = 0;
   double Seconds = 0;
   LatencyHistogram Hist;
+  /// Read latency per plane (the v5 read_planes split).
+  LatencyHistogram SnapHist, NtHist, TxnHist;
   StatsCounters Counters;
   uint64_t Hits = 0; ///< GETs that found a live value (sanity sink).
   uint64_t Shed = 0;     ///< Admission-dropped (already past deadline).
@@ -198,9 +222,23 @@ public:
       }
       if (C.Policy == OverloadPolicy::None || !C.DeadlineUs || Done <= DL)
         ++R.Good;
-      R.Hist.record(uint64_t(
+      uint64_t Ns = uint64_t(
           std::chrono::duration_cast<std::chrono::nanoseconds>(Done - IssuedAt)
-              .count()));
+              .count());
+      R.Hist.record(Ns);
+      switch (Plane) {
+      case ReadPlane::Snap:
+        R.SnapHist.record(Ns);
+        break;
+      case ReadPlane::Nt:
+        R.NtHist.record(Ns);
+        break;
+      case ReadPlane::Txn:
+        R.TxnHist.record(Ns);
+        break;
+      case ReadPlane::None:
+        break;
+      }
     }
     R.Ops = C.OpsPerThread;
     R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
@@ -223,26 +261,40 @@ private:
       return St != kv::OpStatus::Overloaded &&
              St != kv::OpStatus::DeadlineExceeded;
     };
+    Plane = ReadPlane::None;
     unsigned P = unsigned(Ops.nextBelow(100));
     Word V = Ops.next() & 0x7fffffffffffull; // Never Tombstone.
+    size_t Batch = C.MgetKeys < 64 ? C.MgetKeys : 64;
     if (P < C.M.Get) {
+      Plane = ReadPlane::Nt;
       Word Out;
-      if (S.get(K, Out))
-        ++R.Hits;
+      for (uint32_t G = 0; G < C.NtGetBatch; ++G) {
+        if (S.get(G ? Gen.next() : K, Out))
+          ++R.Hits;
+      }
     } else if (P < C.M.Get + C.M.Put) {
       S.put(K, V);
     } else if (P < C.M.Get + C.M.Put + C.M.Mget) {
-      Word Keys[8], Out[8];
-      for (Word &Q : Keys)
-        Q = Gen.next();
-      return Served(S.multiGet(Keys, 8, Out, B));
+      Plane = ReadPlane::Txn;
+      Word Keys[64], Out[64];
+      for (size_t Q = 0; Q < Batch; ++Q)
+        Keys[Q] = Gen.next();
+      return Served(S.multiGet(Keys, Batch, Out, B));
     } else if (P < C.M.Get + C.M.Put + C.M.Mget + C.M.Rmw) {
       Word Keys[2] = {K, Gen.next()};
       return Served(S.rmwAdd(Keys, 2, 1, B));
-    } else {
+    } else if (P < C.M.Get + C.M.Put + C.M.Mget + C.M.Rmw + C.M.Cas) {
       Word Cur;
       if (S.get(K, Cur))
         return Served(S.cas(K, Cur, V, B));
+    } else {
+      // Wait-free snapshot multi-get: never budgeted — there is no retry
+      // loop or abort to bound on this plane, by construction.
+      Plane = ReadPlane::Snap;
+      Word Keys[64], Out[64];
+      for (size_t Q = 0; Q < Batch; ++Q)
+        Keys[Q] = Gen.next();
+      R.Hits += S.snapshotMultiGet(Keys, Batch, Out);
     }
     return true;
   }
@@ -251,6 +303,7 @@ private:
   const RunConfig &C;
   KeyGenerator Gen;
   Rng Ops;
+  ReadPlane Plane = ReadPlane::None;
 };
 
 RunResult runService(const RunConfig &C) {
@@ -275,6 +328,16 @@ RunResult runService(const RunConfig &C) {
                    K);
       std::exit(1);
     }
+
+  // The snapshot plane goes live only after prepopulate: the bulk inserts
+  // need no version history, and keeping them chain-less means the run
+  // starts from the same store state as the non-snapshot configurations.
+  std::optional<ScopedConfig> SnapSC;
+  if (C.M.Snap) {
+    Config SnapCfg = Cfg;
+    SnapCfg.SnapshotEnabled = true;
+    SnapSC.emplace(SnapCfg);
+  }
 
   statsReset();
   std::vector<Worker> Workers;
@@ -301,12 +364,18 @@ RunResult runService(const RunConfig &C) {
     Total.Ops += W.R.Ops;
     Total.Seconds = std::max(Total.Seconds, W.R.Seconds);
     Total.Hist += W.R.Hist;
+    Total.SnapHist += W.R.SnapHist;
+    Total.NtHist += W.R.NtHist;
+    Total.TxnHist += W.R.TxnHist;
     Total.Hits += W.R.Hits;
     Total.Shed += W.R.Shed;
     Total.Rejected += W.R.Rejected;
     Total.Good += W.R.Good;
   }
   Total.Counters = statsSnapshot();
+  // The version table keys raw Object* into this run's heap: clear it
+  // before H dies so the next configuration cannot alias stale keys.
+  snap::resetTable();
   return Total;
 }
 
@@ -322,6 +391,13 @@ BenchEntry toEntry(const RunConfig &C, const RunResult &R) {
   E.HasLatency = true;
   E.Latency = R.Hist.percentiles();
   E.OpsPerSec = double(R.Ops) / R.Seconds;
+  E.HasReadPlanes = true;
+  E.SnapLat = R.SnapHist.percentiles();
+  E.SnapReads = R.SnapHist.count();
+  E.NtLat = R.NtHist.percentiles();
+  E.NtReads = R.NtHist.count();
+  E.TxnLat = R.TxnHist.percentiles();
+  E.TxnReads = R.TxnHist.count();
   if (C.Policy != OverloadPolicy::None) {
     E.HasOverload = true;
     E.OfferedQps = C.Qps;
@@ -356,7 +432,7 @@ void printTable(const std::vector<RunConfig> &Cs,
 }
 
 bool parseMix(const char *Spec, Mix &M) {
-  Mix Out{0, 0, 0, 0, 0};
+  Mix Out{0, 0, 0, 0, 0, 0};
   std::string S(Spec);
   size_t Pos = 0;
   while (Pos < S.size()) {
@@ -379,11 +455,13 @@ bool parseMix(const char *Spec, Mix &M) {
       Out.Rmw = Val;
     else if (Key == "cas")
       Out.Cas = Val;
+    else if (Key == "snap")
+      Out.Snap = Val;
     else
       return false;
     Pos = Comma + 1;
   }
-  if (Out.Get + Out.Put + Out.Mget + Out.Rmw + Out.Cas != 100)
+  if (Out.Get + Out.Put + Out.Mget + Out.Rmw + Out.Cas + Out.Snap != 100)
     return false;
   M = Out;
   return true;
@@ -436,12 +514,28 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     C.Karma = true;
     return C;
   };
+  // Read-plane triple: the same closed-loop 90% read / 10% PUT workload
+  // with the read side routed through each plane in turn — snapshot
+  // multi-get (wait-free), nt GET (batched to the same 8 keys/request),
+  // and transactional multi-get. Only the read path differs, so the three
+  // entries attribute the read tails to the planes themselves.
+  auto MkPlane = [&](std::string Name, unsigned Threads, unsigned SnapPct,
+                     unsigned GetPct, unsigned MgetPct) {
+    RunConfig C = Mk(std::move(Name), Threads, 0);
+    C.M = Mix{GetPct, 10, MgetPct, 0, 0, SnapPct};
+    if (GetPct)
+      C.NtGetBatch = C.MgetKeys;
+    return C;
+  };
   if (Smoke) {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t2", 2, 0));
     Cs.push_back(Mk("kv/open_t2_q20k", 2, 20000)); // TSan-safe arrival rate.
     Cs.push_back(
         MkOver("kv/overload/shed_t2", 2, "kv/closed_t2", OverloadPolicy::Shed));
+    Cs.push_back(MkPlane("kv/snapshot/read_t2", 2, 90, 0, 0));
+    Cs.push_back(MkPlane("kv/snapshot/ntread_t2", 2, 0, 90, 0));
+    Cs.push_back(MkPlane("kv/snapshot/txnread_t2", 2, 0, 0, 90));
   } else {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t4", 4, 0));
@@ -451,6 +545,9 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
                         OverloadPolicy::Queue));
     Cs.push_back(
         MkOver("kv/overload/shed_t4", 4, "kv/closed_t4", OverloadPolicy::Shed));
+    Cs.push_back(MkPlane("kv/snapshot/read_t8", 8, 90, 0, 0));
+    Cs.push_back(MkPlane("kv/snapshot/ntread_t8", 8, 0, 90, 0));
+    Cs.push_back(MkPlane("kv/snapshot/txnread_t8", 8, 0, 0, 90));
   }
   return Cs;
 }
@@ -513,6 +610,10 @@ int main(int argc, char **argv) {
       }
     } else if ((V = Val("--seed=")))
       Single.Seed = uint64_t(std::atoll(V));
+    else if ((V = Val("--mget-keys=")))
+      Single.MgetKeys = uint32_t(std::atoi(V));
+    else if ((V = Val("--nt-get-batch=")))
+      Single.NtGetBatch = uint32_t(std::atoi(V));
     else if ((V = Val("--overload="))) {
       if (!std::strcmp(V, "shed"))
         Single.Policy = OverloadPolicy::Shed;
@@ -536,8 +637,9 @@ int main(int argc, char **argv) {
           "usage: kv_service [--suite|--smoke] [--json=PATH]\n"
           "       kv_service [--threads=N] [--keys=N] [--shards=N] [--ops=N]\n"
           "                  [--dist=zipf|uniform] [--theta=T] [--qps=Q]\n"
-          "                  [--mix=get:N,put:N,mget:N,rmw:N,cas:N]\n"
+          "                  [--mix=get:N,put:N,mget:N,rmw:N,cas:N,snap:N]\n"
           "                  [--txn-pct=P] [--seed=N] [--json=PATH]\n"
+          "                  [--mget-keys=N] [--nt-get-batch=N]\n"
           "                  [--overload=shed|queue] [--deadline-us=N]\n"
           "                  [--retry-budget=N] [--irrevocable-after=N]\n"
           "                  [--karma]\n");

@@ -4,19 +4,23 @@
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
-# run's output from perf_suite / kv_service) carries the satm-bench-v4
+# run's output from perf_suite / kv_service) carries the satm-bench-v5
 # schema: a non-empty benchmark list where every entry has the numeric core
 # fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
 # ally carry throughput_ops_per_sec and the latency_ns percentile block;
 # micro benchmarks may omit both. Overload benchmarks (kv/overload/*) must
 # further carry offered_ops_per_sec, goodput_ops_per_sec and shed_rate.
-# CI runs this so a refactor can't silently drop the observability fields
-# from the trajectory file.
+# Snapshot-plane benchmarks (kv/snapshot/*) must carry the v5 read_planes
+# block — exactly the three plane keys (snapshot, nt, txn), each a complete
+# percentile set plus sample count — and wherever read_planes appears it is
+# validated to that shape. CI runs this so a refactor can't silently drop
+# the observability fields from the trajectory file.
 #
-# --require-kv asserts the file contains at least one kv/* entry — used on
-# merged trajectory files, where losing the kv_service half would otherwise
-# still validate.
+# --require-kv asserts the file contains at least one kv/* entry and the
+# full kv/snapshot/{read,ntread,txnread} triple — used on merged trajectory
+# files, where losing the kv_service half (or the read-plane comparison)
+# would otherwise still validate.
 #
 # Usage: scripts/check_bench_schema.sh [--require-kv] FILE.json [FILE2.json ...]
 #
@@ -48,6 +52,10 @@ REASONS = [
 ]
 PERCENTILES = ["p50", "p95", "p99", "p999"]
 OVERLOAD_FIELDS = ["offered_ops_per_sec", "goodput_ops_per_sec", "shed_rate"]
+PLANES = ["snapshot", "nt", "txn"]
+PLANE_FIELDS = PERCENTILES + ["count"]
+SNAPSHOT_TRIPLE = ["kv/snapshot/read_", "kv/snapshot/ntread_",
+                   "kv/snapshot/txnread_"]
 
 with open(path) as f:
     doc = json.load(f)
@@ -55,14 +63,15 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v4":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v4'")
+if doc.get("schema") != "satm-bench-v5":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v5'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
 if not isinstance(benches, list) or not benches:
     fail("benchmarks must be a non-empty list")
 kv_entries = 0
+triple_seen = {p: False for p in SNAPSHOT_TRIPLE}
 for b in benches:
     name = b.get("name", "<unnamed>")
     for key in ("ns_per_op", "ops", "commits", "aborts", "median_of"):
@@ -85,6 +94,28 @@ for b in benches:
         if not has_tput or not has_lat:
             fail(f"benchmark {name}: kv/* entries must carry "
                  "throughput_ops_per_sec and latency_ns")
+    # v5 read-plane split: mandatory for kv/snapshot/* entries, and
+    # validated to exactly three complete planes wherever present.
+    if name.startswith("kv/snapshot/") and "read_planes" not in b:
+        fail(f"benchmark {name}: kv/snapshot/* entries must carry "
+             "read_planes")
+    for prefix in SNAPSHOT_TRIPLE:
+        if name.startswith(prefix):
+            triple_seen[prefix] = True
+    if "read_planes" in b:
+        rp = b["read_planes"]
+        if not isinstance(rp, dict) or set(rp) != set(PLANES):
+            fail(f"benchmark {name}: read_planes must carry exactly the "
+                 f"plane keys {PLANES}")
+        for plane in PLANES:
+            block = rp[plane]
+            if not isinstance(block, dict) or set(block) != set(PLANE_FIELDS):
+                fail(f"benchmark {name}: read_planes[{plane!r}] must carry "
+                     f"exactly {PLANE_FIELDS}")
+            for key in PLANE_FIELDS:
+                if not isinstance(block[key], int):
+                    fail(f"benchmark {name}: read_planes[{plane!r}][{key!r}] "
+                         "must be an integer")
     # v4 overload fields: mandatory for kv/overload/* entries, numeric
     # wherever present.
     if name.startswith("kv/overload/"):
@@ -109,7 +140,12 @@ for b in benches:
                  f"{sorted(set(lat) - set(PERCENTILES))}")
 if require_kv and kv_entries == 0:
     fail("--require-kv: no kv/* benchmark entries present")
+if require_kv:
+    missing = [p for p, seen in triple_seen.items() if not seen]
+    if missing:
+        fail(f"--require-kv: kv/snapshot read-plane triple incomplete, "
+             f"missing entries for {missing}")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
-print(f"{path}: satm-bench-v4 OK ({len(benches)} benchmarks{kv_note})")
+print(f"{path}: satm-bench-v5 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

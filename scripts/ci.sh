@@ -35,6 +35,23 @@ SATM_TRACE=1 SATM_STATS=1 ./build/bench/kv_service --smoke \
   --json=build/BENCH_kv_smoke_trace.json
 scripts/check_bench_schema.sh --require-kv build/BENCH_kv_smoke_trace.json
 
+echo "== snapshot plane lane (ctest -L snapshot, plain + tracing armed)"
+(cd build && ctest --output-on-failure -j "$JOBS" -L snapshot)
+(cd build && SATM_TRACE=1 SATM_STATS=1 ctest --output-on-failure -j "$JOBS" \
+  -L snapshot)
+
+echo "== snapshot fault lane (delay/stall sites only)"
+# Read-only snapshots are wait-free and must stay *exactly* zero-abort, so
+# these tests assert exact counters — which abort-injecting sites (txn_open,
+# txn_commit, heap_alloc) would clobber with spurious retries. Injecting
+# only the delay sites keeps the counters exact while widening the races
+# the churn/publish paths run through. The explorer test is excluded: its
+# golden replay tokens depend on deterministic event streams.
+(cd build && \
+  SATM_FAULTS="seed=11,barrier_delay=0.01:800,quiesce_stall=0.05:400" \
+  ctest --output-on-failure -j "$JOBS" \
+  -R "snapshot_txn_test|kv_snapshot_store_test")
+
 echo "== fault-injection smoke lane (seeded SATM_FAULTS matrix)"
 # A curated subset: concurrency-heavy tests whose assertions are about
 # outcomes, not exact abort counts (injected spurious aborts add retries).
@@ -59,6 +76,10 @@ echo "== TSan fault-injection smoke"
 (cd build-tsan && \
   SATM_FAULTS="seed=7,txn_open=0.02,txn_commit=0.02,barrier_delay=0.01:800" \
   ctest --output-on-failure -j "$JOBS" -R "$FAULT_TESTS")
+
+echo "== TSan snapshot lane (tracing armed)"
+(cd build-tsan && SATM_TRACE=1 SATM_STATS=1 ctest --output-on-failure \
+  -j "$JOBS" -L snapshot)
 
 echo "== TSan bench smoke with event tracing armed"
 SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/perf_suite --smoke \

@@ -34,6 +34,7 @@
 #include "rt/Heap.h"
 #include "stm/Barriers.h"
 #include "stm/LazyTxn.h"
+#include "stm/Snapshot.h"
 #include "stm/Txn.h"
 #include "support/Rng.h"
 
@@ -63,6 +64,10 @@ std::string satm::check::variantName(const ConfigVariant &V) {
     OS << "+irr" << V.IrrevocableAfterAborts;
   if (V.KarmaPriority)
     OS << "+karma";
+  if (V.SnapshotPlane)
+    OS << "+snap";
+  if (V.QuiesceOnCommit)
+    OS << "+qsc";
   return OS.str();
 }
 
@@ -110,7 +115,8 @@ public:
     C.IrrevocableAfterAborts = V.IrrevocableAfterAborts;
     C.KarmaPriority = V.KarmaPriority;
     C.CollectStats = false;
-    C.QuiesceOnCommit = false;
+    C.QuiesceOnCommit = V.QuiesceOnCommit;
+    C.SnapshotEnabled = V.SnapshotPlane;
     // Small so the all-blocked fallback resolves txn-txn deadlocks in few
     // scheduling grants; semantics are unchanged (abort and retry).
     C.ConflictPauseLimit = 12;
@@ -291,6 +297,9 @@ private:
   //===------------------------------------------------------------------===
 
   void setupRun() {
+    // The version table is keyed by raw Object*; the previous run's heap is
+    // about to be destroyed and its addresses reused.
+    snap::resetTable();
     HeapPtr = std::make_unique<rt::Heap>(1u << 16);
     Objects.clear();
     PtrToIdx.clear();
@@ -446,6 +455,15 @@ private:
         continue;
       }
       RegSnap[T] = Regs[T];
+      if (Seg.IsSnapshot) {
+        // The snapshot plane is regime-independent (always a Txn snapshot
+        // region); it needs a variant with SnapshotPlane set so committing
+        // writers actually publish version records.
+        Txn::runSnapshot([&] { execTxnBody(T, Seg, /*Lazy=*/false); });
+        recordEvent(T, TraceEvent::Kind::SnapCommit,
+                    YieldPoint::TxnContention, -1, 0, 0);
+        continue;
+      }
       switch (R) {
       case Regime::Eager:
       case Regime::Strong:
@@ -468,8 +486,10 @@ private:
     // Each (re)execution starts from the registers the region began with:
     // registers model transaction-local state.
     Regs[T] = RegSnap[T];
-    recordEvent(T, TraceEvent::Kind::TxnBegin, YieldPoint::TxnContention, -1,
-                0, 0);
+    recordEvent(T,
+                Seg.IsSnapshot ? TraceEvent::Kind::SnapBegin
+                               : TraceEvent::Kind::TxnBegin,
+                YieldPoint::TxnContention, -1, 0, 0);
     auto Ref = [this](int O) { return refOf(O); };
     for (const Step &S : Seg.Steps) {
       if (!guardPasses(S.G, Regs[T], Ref))
@@ -796,6 +816,14 @@ const char *yieldPointName(YieldPoint P) {
     return "lazy-commit-acquire";
   case YieldPoint::SerialGate:
     return "serial-gate";
+  case YieldPoint::SnapshotPin:
+    return "snapshot-pin";
+  case YieldPoint::SnapshotRead:
+    return "snapshot-read";
+  case YieldPoint::SnapshotPublish:
+    return "snapshot-publish";
+  case YieldPoint::QuiesceWait:
+    return "quiesce-wait";
   }
   return "?";
 }
@@ -818,6 +846,12 @@ std::string satm::check::formatEvent(const Program &P, const TraceEvent &E) {
     break;
   case TraceEvent::Kind::TxnCommit:
     OS << "txn-commit";
+    break;
+  case TraceEvent::Kind::SnapBegin:
+    OS << "snap-begin";
+    break;
+  case TraceEvent::Kind::SnapCommit:
+    OS << "snap-commit";
     break;
   case TraceEvent::Kind::AbortOnce:
     OS << "abort";
@@ -861,7 +895,7 @@ struct Frame {
   uint8_t CurChosen;
 };
 
-void recordViolation(ExploreResult &Res, const Oracle &O, Regime R,
+void recordViolation(ExploreResult &Res, const std::string &Detail, Regime R,
                      size_t Variant, const Coop::RunRecord &RR) {
   if (Res.Violations.size() >= 8)
     return; // Count is what matters past the first few; keep memory flat.
@@ -873,7 +907,7 @@ void recordViolation(ExploreResult &Res, const Oracle &O, Regime R,
   V.Token = formatToken(Tok);
   V.Events = RR.Events;
   V.Observed = RR.Observed;
-  V.Detail = O.explain(RR.Observed);
+  V.Detail = Detail;
   Res.Violations.push_back(std::move(V));
 }
 
@@ -883,10 +917,24 @@ ExploreResult satm::check::explore(const Program &P, Regime R,
                                    const ExploreOptions &Opts) {
   if (P.Threads.empty() || P.Threads.size() > 8)
     throw std::invalid_argument("explore: 1..8 threads required");
-  Oracle O(P);
+  // The judging oracle: serializability by default, snapshot isolation for
+  // snapshot-plane programs (ExploreOptions::SnapshotIsolation).
+  std::unique_ptr<Oracle> SerO;
+  std::unique_ptr<SiOracle> SiO;
+  if (Opts.SnapshotIsolation)
+    SiO = std::make_unique<SiOracle>(P);
+  else
+    SerO = std::make_unique<Oracle>(P);
+  auto IsLegal = [&](const Outcome &O) {
+    return SiO ? SiO->isLegal(O) : SerO->isLegal(O);
+  };
+  auto Explain = [&](const Outcome &O) {
+    return SiO ? SiO->explain(O) : SerO->explain(O);
+  };
   ExploreResult Res;
-  Res.Serializations = O.serializationCount();
-  Res.LegalOutcomes = O.outcomes().size();
+  Res.Serializations =
+      SiO ? SiO->serializationCount() : SerO->serializationCount();
+  Res.LegalOutcomes = SiO ? SiO->outcomes().size() : SerO->outcomes().size();
 
   bool AllExhausted = true;
   for (size_t Vi = 0; Vi < P.Variants.size(); ++Vi) {
@@ -903,8 +951,8 @@ ExploreResult satm::check::explore(const Program &P, Regime R,
       Res.Schedules++;
       if (!RR.Error.empty())
         throw std::runtime_error("explore(" + P.Name + "): " + RR.Error);
-      if (!O.isLegal(RR.Observed)) {
-        recordViolation(Res, O, R, Vi, RR);
+      if (!IsLegal(RR.Observed)) {
+        recordViolation(Res, Explain(RR.Observed), R, Vi, RR);
         if (Opts.StopAtFirstViolation)
           return Res;
       }
@@ -958,8 +1006,8 @@ ExploreResult satm::check::explore(const Program &P, Regime R,
         Res.RandomSchedules++;
         if (!RR.Error.empty())
           throw std::runtime_error("explore(" + P.Name + "): " + RR.Error);
-        if (!O.isLegal(RR.Observed)) {
-          recordViolation(Res, O, R, Vi, RR);
+        if (!IsLegal(RR.Observed)) {
+          recordViolation(Res, Explain(RR.Observed), R, Vi, RR);
           if (Opts.StopAtFirstViolation)
             return Res;
         }

@@ -57,6 +57,13 @@ struct ExploreOptions {
   /// Stop at the first violation instead of collecting all of them.
   bool StopAtFirstViolation = true;
 
+  /// Judge outcomes against the snapshot-isolation oracle (SiOracle)
+  /// instead of the serializability Oracle. Use for programs with snap()
+  /// segments: a clean exhausted search proves the snapshot plane is SI,
+  /// and the same program explored without this flag exhibits exactly the
+  /// SI-but-not-serializable anomalies (write skew).
+  bool SnapshotIsolation = false;
+
   /// Scheduling grants per execution before the run is declared livelocked
   /// and the scheduler switches to the strict-priority rescue policy that
   /// provably drains mutual abort-and-retry cycles (see Explorer.cpp). Far
@@ -71,12 +78,14 @@ struct ExploreOptions {
 /// cross-thread ordering is explicit in violation reports.
 struct TraceEvent {
   enum class Kind : uint8_t {
-    TxnBegin,  ///< A region body (re)starts executing.
-    TxnCommit, ///< A region completed.
-    Read,      ///< Value = the (normalized) value read.
-    Write,     ///< Value = the (normalized) value written.
-    AbortOnce, ///< The forced-abort step fired.
-    Yield,     ///< A runtime-internal yield point; Point says which.
+    TxnBegin,   ///< A region body (re)starts executing.
+    TxnCommit,  ///< A region completed.
+    Read,       ///< Value = the (normalized) value read.
+    Write,      ///< Value = the (normalized) value written.
+    AbortOnce,  ///< The forced-abort step fired.
+    Yield,      ///< A runtime-internal yield point; Point says which.
+    SnapBegin,  ///< A snapshot region body (re)starts executing.
+    SnapCommit, ///< A snapshot region completed.
   };
   Kind K = Kind::Read;
   uint8_t Thread = 0;

@@ -66,6 +66,18 @@ void appendGet(std::vector<Segment> &Thread, int KeysObj, int ValsObj,
       nt(guarded(readIndStep(R0 + 1, 0, R0 + 2), R0, true, constant(Key + 1))));
 }
 
+/// The store's snapshotMultiGet over one key as steps of a snap() segment:
+/// probe the key slot, then (key present) load the value reference and the
+/// value through it — all against the pinned snapshot.
+void appendSnapshotGetSteps(std::vector<Step> &Steps, int KeysObj, int ValsObj,
+                            uint32_t Slot, Word Key, int R0) {
+  Steps.push_back(readStep(KeysObj, Slot, R0));
+  Steps.push_back(
+      guarded(readStep(ValsObj, Slot, R0 + 1), R0, true, constant(Key + 1)));
+  Steps.push_back(
+      guarded(readIndStep(R0 + 1, 0, R0 + 2), R0, true, constant(Key + 1)));
+}
+
 /// The store's non-transactional putFast: probe, then write through the
 /// value reference.
 void appendPutFast(std::vector<Segment> &Thread, int KeysObj, int ValsObj,
@@ -192,6 +204,44 @@ Program check::kvPutVsMultiGet() {
                 9, 3);
 
   P.Threads = {std::move(T0), std::move(T1)};
+  return P;
+}
+
+Program check::kvTransferVsSnapshotMultiGet() {
+  KvModelLayout L = kvModelLayout();
+  Program P;
+  P.Name = "kv/transfer_vs_snapshot_multiget";
+  P.Objects = storeObjects(L);
+
+  // T0: rmwAdd({A, B}, -1/+1), same shape as kvTransferVsGet.
+  std::vector<Segment> T0;
+  T0.push_back(txn({
+      readStep(KvModelLayout::Vals0, L.SlotA, 0),
+      readIndStep(0, 0, 1),
+      readStep(KvModelLayout::Vals1, L.SlotB, 2),
+      readIndStep(2, 0, 3),
+      writeIndStep(0, 0, reg(1, Word(0) - 1)),
+      writeIndStep(2, 0, reg(3, 1)),
+  }));
+
+  // T1: snapshotMultiGet({A, B}) — one snapshot transaction probing both
+  // shards. The index is never written here, so every snapshot-read object
+  // that changes (the values) changes only transactionally, as the plane
+  // requires.
+  std::vector<Step> MGet;
+  appendSnapshotGetSteps(MGet, KvModelLayout::Keys0, KvModelLayout::Vals0,
+                         L.SlotA, L.KeyA, 0);
+  appendSnapshotGetSteps(MGet, KvModelLayout::Keys1, KvModelLayout::Vals1,
+                         L.SlotB, L.KeyB, 3);
+  std::vector<Segment> T1;
+  T1.push_back(snap(std::move(MGet)));
+
+  P.Threads = {std::move(T0), std::move(T1)};
+  ConfigVariant V;
+  V.SnapshotPlane = true;
+  ConfigVariant VQ = V;
+  VQ.QuiesceOnCommit = true;
+  P.Variants = {V, VQ};
   return P;
 }
 

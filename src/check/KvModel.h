@@ -60,6 +60,13 @@ Program kvInsertVsGet(bool AbortOnce);
 /// or both writes — but never B's without A's.
 Program kvPutVsMultiGet();
 
+/// Cross-shard transactional transfer (A -= 1, B += 1) racing the store's
+/// snapshotMultiGet({A, B}) (DESIGN.md §10): one snap() segment probing
+/// both shards. Explored under a SnapshotPlane variant against the SI
+/// oracle, the snapshot must always observe a conserved sum — never the
+/// transfer half-applied.
+Program kvTransferVsSnapshotMultiGet();
+
 /// All model programs, for exhaustive sweeps.
 std::vector<Program> kvModelPrograms();
 

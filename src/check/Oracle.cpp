@@ -87,34 +87,8 @@ void enumerate(const Program &P, RefState &St, std::set<Outcome> &Out,
   }
 }
 
-} // namespace
-
-Oracle::Oracle(const Program &P) : Prog(P) {
-  RefState St;
-  St.Mem.resize(P.Objects.size());
-  for (size_t I = 0; I < P.Objects.size(); ++I) {
-    St.Mem[I].assign(P.Objects[I].Slots, 0);
-    for (size_t S = 0; S < P.Objects[I].Init.size(); ++S)
-      St.Mem[I][S] = P.Objects[I].Init[S];
-  }
-  St.Regs.resize(P.Threads.size());
-  for (auto &Regs : St.Regs) {
-    Regs.assign(P.RegCount, 0);
-    for (size_t R = 0; R < P.RegInit.size() && R < Regs.size(); ++R)
-      Regs[R] = P.RegInit[R];
-  }
-  St.NextUnit.assign(P.Threads.size(), 0);
-
-  std::set<Outcome> Out;
-  enumerate(P, St, Out, Serializations);
-  Legal.assign(Out.begin(), Out.end());
-}
-
-bool Oracle::isLegal(const Outcome &O) const {
-  return std::binary_search(Legal.begin(), Legal.end(), O);
-}
-
-std::string Oracle::format(const Outcome &O) const {
+/// Shared pretty-printer for outcomes (Oracle::format / SiOracle::format).
+std::string formatOutcome(const Program &Prog, const Outcome &O) {
   std::ostringstream OS;
   size_t MemIdx = 0;
   for (const ObjectSpec &Spec : Prog.Objects) {
@@ -146,18 +120,230 @@ std::string Oracle::format(const Outcome &O) const {
   return OS.str();
 }
 
-std::string Oracle::explain(const Outcome &Observed) const {
+std::string explainOutcome(const Program &Prog, const Outcome &Observed,
+                           const std::vector<Outcome> &Legal,
+                           uint64_t Serializations, const char *Criterion) {
   std::ostringstream OS;
-  OS << "observed outcome is not serializable:\n  observed: "
-     << format(Observed) << "\n  " << Legal.size() << " legal outcome(s) ("
-     << Serializations << " serializations):\n";
+  OS << "observed outcome is not " << Criterion
+     << ":\n  observed: " << formatOutcome(Prog, Observed) << "\n  "
+     << Legal.size() << " legal outcome(s) (" << Serializations
+     << " serializations):\n";
   size_t Shown = 0;
   for (const Outcome &O : Legal) {
     if (Shown++ == 8) {
       OS << "    ... (" << (Legal.size() - 8) << " more)\n";
       break;
     }
-    OS << "    " << format(O) << '\n';
+    OS << "    " << formatOutcome(Prog, O) << '\n';
   }
   return OS.str();
+}
+
+//===----------------------------------------------------------------------===
+// Snapshot-isolation executor.
+//===----------------------------------------------------------------------===
+
+/// The SI executor's state: the serializability executor's, plus the commit
+/// history (memory after every writing unit; position 0 is the initial
+/// state), the set of objects each position wrote, and each thread's
+/// snapshot-point floor.
+struct SiState {
+  std::vector<std::vector<Word>> Mem;
+  std::vector<std::vector<Word>> Regs;
+  std::vector<size_t> NextUnit;
+  std::vector<std::vector<std::vector<Word>>> History;
+  std::vector<std::vector<uint8_t>> WrittenAt; ///< Per position, per object.
+  std::vector<size_t> Floor; ///< Per thread, lowest admissible snap point.
+};
+
+/// Executes a non-snapshot unit against the current memory and appends a
+/// history position if it wrote anything.
+void siExecCurrent(const Program &P, SiState &St, int Thread,
+                   const Segment &Seg) {
+  std::vector<uint8_t> Written(P.Objects.size(), 0);
+  std::vector<Word> &Regs = St.Regs[Thread];
+  for (const Step &S : Seg.Steps) {
+    if (!guardPasses(S.G, Regs, refOf) || S.Kind == Step::Op::AbortOnce)
+      continue;
+    int Obj = targetObject(S, Regs, P.Objects.size());
+    if (Obj < 0 || S.Slot >= P.Objects[Obj].Slots)
+      continue;
+    if (S.Kind == Step::Op::Read) {
+      Regs[S.Dst] = St.Mem[Obj][S.Slot];
+    } else {
+      St.Mem[Obj][S.Slot] = evalOperand(S.Src, Regs, refOf);
+      Written[Obj] = 1;
+    }
+  }
+  bool AnyWrite = false;
+  for (uint8_t W : Written)
+    AnyWrite |= W != 0;
+  if (AnyWrite) {
+    St.History.push_back(St.Mem);
+    St.WrittenAt.push_back(std::move(Written));
+    // The thread's later snapshots must observe its own commit.
+    St.Floor[Thread] = St.History.size() - 1;
+  }
+}
+
+/// Executes a snapshot unit reading at history position \p K. Returns false
+/// if first-committer-wins rejects the branch (an object this segment
+/// writes was written by a commit after K); the state is untouched then.
+bool siExecSnapshot(const Program &P, SiState &St, int Thread,
+                    const Segment &Seg, size_t K) {
+  std::vector<Word> Regs = St.Regs[Thread];
+  std::vector<std::vector<Word>> Local(P.Objects.size()); // Empty: untouched.
+  std::vector<std::vector<uint8_t>> LocalSet(P.Objects.size());
+  std::vector<uint8_t> Written(P.Objects.size(), 0);
+  for (const Step &S : Seg.Steps) {
+    if (!guardPasses(S.G, Regs, refOf) || S.Kind == Step::Op::AbortOnce)
+      continue;
+    int Obj = targetObject(S, Regs, P.Objects.size());
+    if (Obj < 0 || S.Slot >= P.Objects[Obj].Slots)
+      continue;
+    if (S.Kind == Step::Op::Read) {
+      Regs[S.Dst] = Written[Obj] && LocalSet[Obj][S.Slot]
+                        ? Local[Obj][S.Slot] // Read-your-writes.
+                        : St.History[K][Obj][S.Slot];
+    } else {
+      if (Local[Obj].empty()) {
+        Local[Obj].assign(P.Objects[Obj].Slots, 0);
+        LocalSet[Obj].assign(P.Objects[Obj].Slots, 0);
+      }
+      Local[Obj][S.Slot] = evalOperand(S.Src, Regs, refOf);
+      LocalSet[Obj][S.Slot] = 1;
+      Written[Obj] = 1;
+    }
+  }
+  // First-committer-wins: any of our objects written in (K, present]?
+  for (size_t J = K + 1; J < St.History.size(); ++J)
+    for (size_t Obj = 0; Obj < P.Objects.size(); ++Obj)
+      if (Written[Obj] && St.WrittenAt[J][Obj])
+        return false;
+  St.Regs[Thread] = Regs;
+  bool AnyWrite = false;
+  for (size_t Obj = 0; Obj < P.Objects.size(); ++Obj) {
+    if (!Written[Obj])
+      continue;
+    AnyWrite = true;
+    for (uint32_t S = 0; S < P.Objects[Obj].Slots; ++S)
+      if (LocalSet[Obj][S])
+        St.Mem[Obj][S] = Local[Obj][S];
+  }
+  if (AnyWrite) {
+    St.History.push_back(St.Mem);
+    St.WrittenAt.push_back(std::move(Written));
+    St.Floor[Thread] = St.History.size() - 1;
+  } else {
+    St.Floor[Thread] = std::max(St.Floor[Thread], K);
+  }
+  return true;
+}
+
+void enumerateSi(const Program &P, SiState &St, std::set<Outcome> &Out,
+                 uint64_t &Serializations) {
+  bool AnyLeft = false;
+  for (size_t T = 0; T < P.Threads.size(); ++T) {
+    if (St.NextUnit[T] >= P.Threads[T].size())
+      continue;
+    AnyLeft = true;
+    const Segment &Seg = P.Threads[T][St.NextUnit[T]];
+    if (!Seg.IsSnapshot) {
+      SiState Next = St;
+      siExecCurrent(P, Next, static_cast<int>(T), Seg);
+      Next.NextUnit[T]++;
+      enumerateSi(P, Next, Out, Serializations);
+      continue;
+    }
+    // Branch over every admissible snapshot point. K = present never
+    // fails first-committer-wins, so at least one branch always exists.
+    for (size_t K = St.Floor[T]; K < St.History.size(); ++K) {
+      SiState Next = St;
+      if (!siExecSnapshot(P, Next, static_cast<int>(T), Seg, K))
+        continue;
+      Next.NextUnit[T]++;
+      enumerateSi(P, Next, Out, Serializations);
+    }
+  }
+  if (!AnyLeft) {
+    Serializations++;
+    Outcome O;
+    for (const auto &Slots : St.Mem)
+      O.Mem.insert(O.Mem.end(), Slots.begin(), Slots.end());
+    for (const auto &Regs : St.Regs)
+      O.Regs.insert(O.Regs.end(), Regs.begin(), Regs.end());
+    Out.insert(std::move(O));
+  }
+}
+
+} // namespace
+
+Oracle::Oracle(const Program &P) : Prog(P) {
+  RefState St;
+  St.Mem.resize(P.Objects.size());
+  for (size_t I = 0; I < P.Objects.size(); ++I) {
+    St.Mem[I].assign(P.Objects[I].Slots, 0);
+    for (size_t S = 0; S < P.Objects[I].Init.size(); ++S)
+      St.Mem[I][S] = P.Objects[I].Init[S];
+  }
+  St.Regs.resize(P.Threads.size());
+  for (auto &Regs : St.Regs) {
+    Regs.assign(P.RegCount, 0);
+    for (size_t R = 0; R < P.RegInit.size() && R < Regs.size(); ++R)
+      Regs[R] = P.RegInit[R];
+  }
+  St.NextUnit.assign(P.Threads.size(), 0);
+
+  std::set<Outcome> Out;
+  enumerate(P, St, Out, Serializations);
+  Legal.assign(Out.begin(), Out.end());
+}
+
+bool Oracle::isLegal(const Outcome &O) const {
+  return std::binary_search(Legal.begin(), Legal.end(), O);
+}
+
+std::string Oracle::format(const Outcome &O) const {
+  return formatOutcome(Prog, O);
+}
+
+std::string Oracle::explain(const Outcome &Observed) const {
+  return explainOutcome(Prog, Observed, Legal, Serializations, "serializable");
+}
+
+SiOracle::SiOracle(const Program &P) : Prog(P) {
+  SiState St;
+  St.Mem.resize(P.Objects.size());
+  for (size_t I = 0; I < P.Objects.size(); ++I) {
+    St.Mem[I].assign(P.Objects[I].Slots, 0);
+    for (size_t S = 0; S < P.Objects[I].Init.size(); ++S)
+      St.Mem[I][S] = P.Objects[I].Init[S];
+  }
+  St.Regs.resize(P.Threads.size());
+  for (auto &Regs : St.Regs) {
+    Regs.assign(P.RegCount, 0);
+    for (size_t R = 0; R < P.RegInit.size() && R < Regs.size(); ++R)
+      Regs[R] = P.RegInit[R];
+  }
+  St.NextUnit.assign(P.Threads.size(), 0);
+  St.History.push_back(St.Mem); // Position 0: the initial state.
+  St.WrittenAt.emplace_back(P.Objects.size(), 0);
+  St.Floor.assign(P.Threads.size(), 0);
+
+  std::set<Outcome> Out;
+  enumerateSi(P, St, Out, Serializations);
+  Legal.assign(Out.begin(), Out.end());
+}
+
+bool SiOracle::isLegal(const Outcome &O) const {
+  return std::binary_search(Legal.begin(), Legal.end(), O);
+}
+
+std::string SiOracle::format(const Outcome &O) const {
+  return formatOutcome(Prog, O);
+}
+
+std::string SiOracle::explain(const Outcome &Observed) const {
+  return explainOutcome(Prog, Observed, Legal, Serializations,
+                        "admissible under snapshot isolation");
 }

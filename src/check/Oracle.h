@@ -76,6 +76,45 @@ private:
   uint64_t Serializations = 0;
 };
 
+/// The snapshot-isolation reference semantics (DESIGN.md §10): like Oracle,
+/// a sequential executor enumerating every commit-order interleaving of the
+/// program's units — but a snap() segment additionally branches over its
+/// *snapshot point* k, any commit-history position from the thread's floor
+/// up to the present. Its reads come from the historical state at k (plus
+/// its own earlier in-segment writes, read-your-writes); its writes apply
+/// at the current position, and the branch is discarded if any object it
+/// writes was also written by a commit in (k, present] — first-committer-
+/// wins at object granularity, exactly the runtime's check.
+///
+/// The floor enforces per-thread snapshot monotonicity: a thread's snapshot
+/// point never precedes its own previous snapshot point or its own latest
+/// commit (the runtime pins the stable epoch, which is monotonic and
+/// already covers the thread's own finished publications). Because every
+/// snapshot reads a prefix of one total commit order, the admitted
+/// anomalies are exactly SI's: write skew is a member of this set, while
+/// long-fork and read-your-writes violations are not.
+class SiOracle {
+public:
+  explicit SiOracle(const Program &P);
+
+  bool isLegal(const Outcome &O) const;
+
+  /// All SI-admissible outcomes, sorted and deduplicated. A superset of the
+  /// serializability Oracle's set for the same program.
+  const std::vector<Outcome> &outcomes() const { return Legal; }
+
+  /// Distinct (interleaving, snapshot-point) executions enumerated.
+  uint64_t serializationCount() const { return Serializations; }
+
+  std::string explain(const Outcome &Observed) const;
+  std::string format(const Outcome &O) const;
+
+private:
+  const Program &Prog;
+  std::vector<Outcome> Legal;
+  uint64_t Serializations = 0;
+};
+
 } // namespace check
 } // namespace satm
 

@@ -173,6 +173,12 @@ struct Segment {
   /// barriers elsewhere; the oracle needs no special case, since it
   /// already executes every segment atomically.
   bool IsAggregated = false;
+  /// Snapshot transaction (Txn::runSnapshot): reads come from the pinned
+  /// multi-version snapshot plane, writes commit under first-committer-
+  /// wins. The runner requires a variant with SnapshotPlane set; programs
+  /// must write snapshot-read objects only transactionally (the plane does
+  /// not order non-transactional stores, see stm/Snapshot.h).
+  bool IsSnapshot = false;
   std::vector<Step> Steps;
 };
 
@@ -194,6 +200,15 @@ inline Segment txn(std::vector<Step> Steps) {
 inline Segment agg(std::vector<Step> Steps) {
   Segment Seg;
   Seg.IsAggregated = true;
+  Seg.Steps = std::move(Steps);
+  return Seg;
+}
+
+/// A snapshot transaction segment (multi-version read plane, DESIGN.md §10).
+inline Segment snap(std::vector<Step> Steps) {
+  Segment Seg;
+  Seg.IsTxn = true;
+  Seg.IsSnapshot = true;
   Seg.Steps = std::move(Steps);
   return Seg;
 }
@@ -222,6 +237,12 @@ struct ConfigVariant {
   uint32_t IrrevocableAfterAborts = 0;
   /// Mirrors Config::KarmaPriority.
   bool KarmaPriority = false;
+  /// Mirrors Config::SnapshotEnabled: committing writers publish version
+  /// records and snapshot segments read the multi-version plane. Required
+  /// for programs containing snap() segments.
+  bool SnapshotPlane = false;
+  /// Mirrors Config::QuiesceOnCommit (§3.4 privatization safety).
+  bool QuiesceOnCommit = false;
 };
 
 std::string variantName(const ConfigVariant &V);

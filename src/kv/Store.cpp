@@ -146,8 +146,8 @@ bool Store::put(Word Key, Word Val) {
 // Transactional plane.
 //===----------------------------------------------------------------------===
 
-int Store::findSlotTxn(const ShardRep &S, Word Key, int *FirstFree) const {
-  stm::Txn &Tx = stm::Txn::forThisThread();
+int Store::findSlotTxn(stm::Txn &Tx, const ShardRep &S, Word Key,
+                       int *FirstFree) const {
   const uint32_t Mask = Capacity - 1;
   uint32_t I = probeStart(Key, Capacity);
   if (FirstFree)
@@ -172,7 +172,7 @@ OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
   return runBudgeted(B, St, [&](stm::Txn &Tx) {
     St = OpStatus::Ok;
     int FirstFree = -1;
-    int Slot = findSlotTxn(S, Key, &FirstFree);
+    int Slot = findSlotTxn(Tx, S, Key, &FirstFree);
     if (Slot >= 0) {
       // Present (possibly erased): overwrite in place.
       Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
@@ -204,7 +204,7 @@ OpStatus Store::erase(Word Key, const OpBudget &B) {
   OpStatus St = OpStatus::Ok;
   return runBudgeted(B, St, [&](stm::Txn &Tx) {
     St = OpStatus::NotFound;
-    int Slot = findSlotTxn(S, Key, nullptr);
+    int Slot = findSlotTxn(Tx, S, Key, nullptr);
     if (Slot < 0)
       return;
     Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
@@ -226,7 +226,7 @@ OpStatus Store::cas(Word Key, Word Expected, Word Desired,
   OpStatus St = OpStatus::Ok;
   return runBudgeted(B, St, [&](stm::Txn &Tx) {
     St = OpStatus::NotFound;
-    int Slot = findSlotTxn(S, Key, nullptr);
+    int Slot = findSlotTxn(Tx, S, Key, nullptr);
     if (Slot < 0)
       return;
     Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
@@ -254,7 +254,7 @@ OpStatus Store::multiGet(const Word *Keys, size_t N, Word *Out,
     Hits = 0;
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
-      int Slot = findSlotTxn(S, Keys[I], nullptr);
+      int Slot = findSlotTxn(Tx, S, Keys[I], nullptr);
       if (Slot < 0) {
         Out[I] = Tombstone;
         continue;
@@ -276,6 +276,43 @@ size_t Store::multiGet(const Word *Keys, size_t N, Word *Out) const {
   return Found;
 }
 
+//===----------------------------------------------------------------------===
+// Snapshot plane.
+//===----------------------------------------------------------------------===
+
+size_t Store::snapshotMultiGet(const Word *Keys, size_t N, Word *Out) const {
+  size_t Hits = 0;
+  // Read-only snapshot region: the probe and the value loads all resolve
+  // against the pinned epoch's version records. The body cannot conflict
+  // (no writes, no validation), so it executes exactly once.
+  stm::Txn::runSnapshot([&] {
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    Hits = 0;
+    for (size_t I = 0; I < N; ++I) {
+      const ShardRep &S = Reps[shardOf(Keys[I])];
+      int Slot = findSlotTxn(Tx, S, Keys[I], nullptr);
+      if (Slot < 0) {
+        Out[I] = Tombstone;
+        continue;
+      }
+      Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+      Out[I] = Tx.read(V, 0);
+      if (Out[I] != Tombstone)
+        ++Hits;
+    }
+  });
+  return Hits;
+}
+
+bool Store::snapshotGet(Word Key, Word &Out) const {
+  Word V = Tombstone;
+  snapshotMultiGet(&Key, 1, &V);
+  if (V == Tombstone)
+    return false;
+  Out = V;
+  return true;
+}
+
 OpStatus Store::readModifyWrite(
     const Word *Keys, size_t N,
     const std::function<void(Word *Vals, size_t N)> &Mutate,
@@ -287,7 +324,7 @@ OpStatus Store::readModifyWrite(
     St = OpStatus::NotFound;
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
-      int Slot = findSlotTxn(S, Keys[I], nullptr);
+      int Slot = findSlotTxn(Tx, S, Keys[I], nullptr);
       if (Slot < 0)
         return;
       Objs[I] = Tx.readRef(S.Vals, uint32_t(Slot));

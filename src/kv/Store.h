@@ -181,6 +181,24 @@ public:
   /// number of keys found.
   size_t multiGet(const Word *Keys, size_t N, Word *Out) const;
 
+  //===--------------------------------------------------------------------===
+  // Snapshot plane (multi-version wait-free reads, DESIGN.md §10). Requires
+  // Config::SnapshotEnabled. Reads come from the pinned stable epoch's
+  // version records: no validation, no aborts, no ownership-record CASes,
+  // and no retries regardless of concurrent committers. Values written only
+  // through the non-transactional plane (putFast) are read in place and are
+  // not ordered against the snapshot epoch — the plane's documented nt
+  // caveat (stm/Snapshot.h).
+  //===--------------------------------------------------------------------===
+
+  /// Wait-free single-key snapshot read. Returns false if the key is
+  /// absent or erased as of the pinned epoch.
+  bool snapshotGet(Word Key, Word &Out) const;
+
+  /// Wait-free snapshot multi-get: all \p N values from one pinned epoch.
+  /// Missing keys read as Tombstone. Returns the number of keys found.
+  size_t snapshotMultiGet(const Word *Keys, size_t N, Word *Out) const;
+
   /// Atomic read-modify-write batch: loads all \p N values, lets \p Mutate
   /// rewrite them in place, stores them back — one transaction. Returns
   /// false (no effects) if any key is missing. \p Mutate may run several
@@ -231,10 +249,12 @@ private:
     rt::Object *Meta; ///< Slot 0: live-key count.
   };
 
-  /// Probe under the running transaction; returns the slot holding \p Key
+  /// Probe under transaction \p Tx (passed in so the per-key hot loops pay
+  /// no thread-local descriptor lookup); returns the slot holding \p Key
   /// or -1. \p FirstFree receives the first empty slot (insert target) or
   /// -1 when the probe wrapped without finding one.
-  int findSlotTxn(const ShardRep &S, Word Key, int *FirstFree) const;
+  int findSlotTxn(stm::Txn &Tx, const ShardRep &S, Word Key,
+                  int *FirstFree) const;
 
   rt::Heap &H;
   uint32_t Capacity;

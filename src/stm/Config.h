@@ -60,6 +60,20 @@ enum class YieldPoint : uint8_t {
   /// for active transactions to drain, or (in a begin/barrier) waiting for
   /// the serial-irrevocable owner to finish.
   SerialGate,
+  /// Snapshot plane: a snapshot transaction just pinned the stable epoch
+  /// (Txn::beginSnapshot). Reads that follow are wait-free.
+  SnapshotPin,
+  /// Snapshot plane: before a wait-free versioned read. The record pointer
+  /// and observed word are passed for parity with the other read points,
+  /// though a snapshot read never blocks on them.
+  SnapshotRead,
+  /// Snapshot plane: a committer waiting in finishPublish for earlier
+  /// publish tickets to reach the stable epoch (in-order advance).
+  SnapshotPublish,
+  /// Quiescence scan: a committer waiting in waitForValidationSince /
+  /// waitForPriorWritebacks on one other thread's slot. Lets the
+  /// cooperative explorer schedule through QuiesceOnCommit waits.
+  QuiesceWait,
 };
 
 /// Cooperative-scheduler yield callback. \p Rec (nullable) is the record
@@ -142,6 +156,12 @@ struct Config {
   /// completes only after previously serialized transactions finish their
   /// write-back.
   bool QuiesceOnCommit = false;
+
+  /// Multi-version snapshot read plane (DESIGN.md §10): committing writers
+  /// publish epoch-stamped version records and Txn::beginSnapshot reads a
+  /// consistent snapshot wait-free. Off by default — publication costs one
+  /// object copy per written object per commit.
+  bool SnapshotEnabled = false;
 
   /// How many contention-manager pauses a transaction tolerates before it
   /// aborts itself (2PL deadlock avoidance).

@@ -6,10 +6,12 @@
 
 #include "stm/LazyTxn.h"
 #include "stm/Dea.h"
+#include "stm/Snapshot.h"
 #include "support/Backoff.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
+#include <utility>
 
 using namespace satm;
 using namespace satm::stm;
@@ -184,6 +186,15 @@ bool LazyTxn::tryCommit() {
         if (TxRecord::acquireExclusive(Rec, reinterpret_cast<Txn *>(this), W,
                                        Observed)) {
           Held.emplace(&Rec, TxRecord::version(W));
+          // Snapshot plane: first-ever acquire installs the epoch-0 base
+          // version. Memory is still clean here (writes are buffered), so
+          // the captured values are the committed pre-transaction state.
+          if (config().SnapshotEnabled && !snap::ensureBaseNode(E.Obj)) {
+            ReleaseAll();
+            rollback();
+            noteTxnAbort(AbortReason::FaultInjected);
+            return false;
+          }
           break;
         }
         W = Observed;
@@ -214,6 +225,33 @@ bool LazyTxn::tryCommit() {
   if (TxnHooks *H = config().Hooks)
     if (H->AfterValidate)
       H->AfterValidate(this);
+
+  // Snapshot-plane publication, part 1: allocate the version nodes while
+  // the transaction can still abort (an injected allocation failure past
+  // the commit point could not roll back).
+  std::vector<std::pair<Object *, snap::VersionNode *>> PubNodes;
+  if (config().SnapshotEnabled && !Held.empty()) {
+    PubNodes.reserve(Held.size());
+    bool AllocFailed = false;
+    for (auto &[Rec, Prior] : Held) {
+      (void)Prior;
+      Object *O = reinterpret_cast<Object *>(Rec); // Record = object header.
+      snap::VersionNode *N = snap::allocateNode(O);
+      if (!N) {
+        AllocFailed = true;
+        break;
+      }
+      PubNodes.push_back({O, N});
+    }
+    if (AllocFailed) {
+      for (auto &P : PubNodes)
+        snap::freeNode(P.second);
+      ReleaseAll();
+      rollback();
+      noteTxnAbort(AbortReason::FaultInjected);
+      return false;
+    }
+  }
 
   // Commit point reached. Everything after this line is the §2.3 window:
   // the transaction is logically done but memory does not yet reflect it.
@@ -249,9 +287,28 @@ bool LazyTxn::tryCommit() {
     }
   }
 
+  // Snapshot-plane publication, part 2: with every buffered value written
+  // back and the records still held, the in-memory state *is* the
+  // committed state — capture it, then link under a fresh publish ticket.
+  // Everything from beginPublish to finishPublish is plain stores and
+  // frees (the deadlock-freedom invariant of the in-order stable advance).
+  uint64_t PubTicket = 0;
+  if (!PubNodes.empty()) {
+    for (auto &P : PubNodes)
+      snap::fillNode(P.first, P.second);
+    PubTicket = Quiescence::beginPublish();
+    for (auto &P : PubNodes)
+      snap::publishNode(P.first, P.second, PubTicket);
+    statsForThisThread().SnapshotPublishes++;
+    traceEvent(TraceKind::SnapshotPublish,
+               uint8_t(PubNodes.size() < 255 ? PubNodes.size() : 255));
+  }
+
   // Phase 4: release the records (version bump) and finish.
   ReleaseAll();
   QSlot->WritebackSeq.store(0, std::memory_order_release);
+  if (PubTicket)
+    Quiescence::finishPublish(PubTicket);
   QSlot->ActiveSince.store(0, std::memory_order_release);
   statsForThisThread().TxnCommits++;
   traceEvent(TraceKind::TxnCommit);

@@ -10,6 +10,7 @@
 #include "support/Backoff.h"
 #include "support/FaultInjector.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -26,8 +27,17 @@ struct Registry {
   /// the waiters. Slots of exited threads below it are zeroed, so scanning
   /// them is a no-op. Published with release under FreeMutex.
   std::atomic<unsigned> HighWater{0};
-  std::atomic<uint64_t> Epoch{1};
-  std::atomic<uint64_t> CommitSeq{0};
+  /// The hot global counters each get their own cache line: Epoch is
+  /// loaded by every transaction begin, while CommitSeq / SnapTicket are
+  /// bumped per lazy commit / per version publish — packed together, each
+  /// bump would invalidate the line every beginner reads.
+  alignas(64) std::atomic<uint64_t> Epoch{1};
+  alignas(64) std::atomic<uint64_t> CommitSeq{0};
+  /// Snapshot-plane publish tickets (last reserved) and the stable epoch
+  /// (last fully published). Both start at 1 so a pin is never 0, which
+  /// doubles as the "not pinned" sentinel in Slot::PinnedEpoch.
+  alignas(64) std::atomic<uint64_t> SnapTicket{1};
+  alignas(64) std::atomic<uint64_t> SnapStable{1};
   std::mutex FreeMutex;
   std::vector<unsigned> FreeList; ///< Indices of exited threads' slots.
   unsigned LiveCount = 0;         ///< Guarded by FreeMutex.
@@ -70,6 +80,7 @@ void releaseSlotIndex(unsigned Index) {
   S.ActiveSince.store(0, std::memory_order_release);
   S.ValidatedAt.store(0, std::memory_order_release);
   S.WritebackSeq.store(0, std::memory_order_release);
+  S.PinnedEpoch.store(0, std::memory_order_release);
   std::lock_guard<std::mutex> Lock(R.FreeMutex);
   R.FreeList.push_back(Index);
   --R.LiveCount;
@@ -134,6 +145,7 @@ void Quiescence::waitForValidationSince(uint64_t Epoch, const Slot *Self) {
       if (S.ValidatedAt.load(std::memory_order_acquire) >= Epoch)
         break; // It has observed (or will reflect) our committed state.
       Waited = true;
+      schedYield(YieldPoint::QuiesceWait, &S.ActiveSince, Since);
       B.pause();
     }
   }
@@ -195,6 +207,79 @@ void Quiescence::drainForSerial(const Slot *Self) {
   // their begin-side handshake retreats.
 }
 
+uint64_t Quiescence::snapshotStable() {
+  return Registry::get().SnapStable.load(std::memory_order_acquire);
+}
+
+uint64_t Quiescence::beginPublish() {
+  return Registry::get().SnapTicket.fetch_add(1, std::memory_order_acq_rel) +
+         1;
+}
+
+void Quiescence::finishPublish(uint64_t Ticket) {
+  auto &Stable = Registry::get().SnapStable;
+  Backoff B;
+  for (;;) {
+    uint64_t S = Stable.load(std::memory_order_acquire);
+    if (S == Ticket - 1)
+      break;
+    assert(S < Ticket && "stable epoch overtook an unfinished ticket");
+    schedYield(YieldPoint::SnapshotPublish, &Stable, S);
+    B.pause();
+  }
+  Stable.store(Ticket, std::memory_order_release);
+}
+
+uint64_t Quiescence::pinSnapshot(Slot &S) {
+  // Hazard-pointer handshake with the pruners (publishNode): publish the
+  // pin, then revalidate that the stable epoch has not moved. A plain
+  // load-then-store pin is unsound — the pin store can sit in this
+  // thread's store buffer while a committer's minPinnedEpoch() scan runs,
+  // so the scan misses the pin, computes a minimum above it, and frees
+  // version nodes this reader is about to walk. All four accesses (the
+  // pin store and revalidation load here, the stable load and pin scan in
+  // minPinnedEpoch) are seq_cst, so they carry one total order: a scan
+  // that misses our pin store precedes it in that order, which puts the
+  // scanner's stable load before our revalidation load — we re-read a
+  // stable epoch at least as new as the scanner's minimum and re-pin at
+  // or above it. (seq_cst operations, not thread fences: TSan does not
+  // model standalone fences, and on x86 the store is the only flush.)
+  // Revalidation fails at most once per concurrent stable-epoch advance
+  // landing between the store and the reload, so the loop settles as soon
+  // as publication traffic pauses for two instructions.
+  auto &Stable = Registry::get().SnapStable;
+  uint64_t E = Stable.load(std::memory_order_acquire);
+  for (;;) {
+    S.PinnedEpoch.store(E, std::memory_order_seq_cst);
+    uint64_t Cur = Stable.load(std::memory_order_seq_cst);
+    if (Cur == E)
+      return E;
+    E = Cur;
+  }
+}
+
+void Quiescence::unpinSnapshot(Slot &S) {
+  S.PinnedEpoch.store(0, std::memory_order_release);
+}
+
+uint64_t Quiescence::minPinnedEpoch() {
+  Registry &R = Registry::get();
+  // Stable first, then the pin scan, all seq_cst — the scanner half of
+  // the handshake in pinSnapshot(). For any reader: if its pin store is
+  // not visible to our scan, the single total order puts our stable load
+  // before the reader's revalidation load, so the reader re-pins at or
+  // above the value we return; if the pin is visible, the scan folds it
+  // in directly. Either way no concurrent reader sits below the minimum.
+  uint64_t Min = R.SnapStable.load(std::memory_order_seq_cst);
+  unsigned N = R.HighWater.load(std::memory_order_acquire);
+  for (unsigned I = 0; I < N && I < MaxThreads; ++I) {
+    uint64_t P = R.Slots[I].PinnedEpoch.load(std::memory_order_seq_cst);
+    if (P != 0 && P < Min)
+      Min = P;
+  }
+  return Min;
+}
+
 uint64_t Quiescence::nextCommitSeq() {
   return Registry::get().CommitSeq.fetch_add(1, std::memory_order_acq_rel) +
          1;
@@ -218,6 +303,7 @@ void Quiescence::waitForPriorWritebacks(uint64_t Seq, const Slot *Self) {
       if (WB == 0 || WB >= Seq)
         break;
       Waited = true;
+      schedYield(YieldPoint::QuiesceWait, &S.WritebackSeq, WB);
       B.pause();
     }
   }

@@ -44,8 +44,12 @@ class Quiescence {
 public:
   static constexpr unsigned MaxThreads = 512;
 
-  /// One registered thread's published transaction state.
-  struct Slot {
+  /// One registered thread's published transaction state. Cache-line
+  /// aligned: slots live in one contiguous array and are stored to on
+  /// every transaction begin/end, so neighboring threads' slots must not
+  /// share a line (unpadded, two 32-byte slots per line turned every
+  /// begin into a coherence miss for the adjacent thread).
+  struct alignas(64) Slot {
     /// Epoch at which the thread's current transaction began; 0 when no
     /// transaction is active.
     std::atomic<uint64_t> ActiveSince{0};
@@ -53,6 +57,10 @@ public:
     std::atomic<uint64_t> ValidatedAt{0};
     /// Commit sequence number of a lazy write-back in progress; 0 if none.
     std::atomic<uint64_t> WritebackSeq{0};
+    /// Snapshot epoch this thread has pinned (snapshot readers, and
+    /// snapshot transactions with writes); 0 when none. Publishers prune
+    /// version chains no further than the minimum pinned epoch.
+    std::atomic<uint64_t> PinnedEpoch{0};
   };
 
   /// Returns (registering on first use) the calling thread's slot. Slots
@@ -87,6 +95,47 @@ public:
   /// Lazy write-back ordering: blocks until no registered thread has an
   /// incomplete write-back with a sequence number below \p Seq.
   static void waitForPriorWritebacks(uint64_t Seq, const Slot *Self);
+
+  //===--------------------------------------------------------------------===
+  // Snapshot-plane epochs (DESIGN.md §10).
+  //
+  // Publishers reserve a unique ticket with beginPublish(), link their
+  // version nodes stamped with it, then call finishPublish(), which waits
+  // for every earlier ticket and only then advances the reader-visible
+  // stable epoch. Readers pin the stable epoch: because it advances
+  // strictly in ticket order *after* a publisher has linked all of its
+  // nodes, a reader pinned at E sees every version record of every commit
+  // with ticket <= E, fully linked — a prefix of the commit order, never a
+  // suffix hole or a torn commit. Deadlock-freedom invariant: everything a
+  // publisher does between beginPublish and finishPublish must be
+  // non-blocking (plain stores and frees only).
+  //===--------------------------------------------------------------------===
+
+  /// The newest fully published snapshot epoch (what a reader may pin).
+  static uint64_t snapshotStable();
+
+  /// Reserves the next publish ticket (strictly increasing, starting at 2;
+  /// stable starts at 1 and base version nodes use epoch 0).
+  static uint64_t beginPublish();
+
+  /// Completes a publication: waits until the stable epoch reaches
+  /// Ticket-1, then advances it to \p Ticket.
+  static void finishPublish(uint64_t Ticket);
+
+  /// Pins the current stable epoch in \p S and returns it. Publishes the
+  /// pin with a store-fence-revalidate handshake (hazard-pointer style)
+  /// against minPinnedEpoch(), so a pruner can never miss a pin that is
+  /// below the minimum it computes.
+  static uint64_t pinSnapshot(Slot &S);
+
+  /// Clears \p S's pin.
+  static void unpinSnapshot(Slot &S);
+
+  /// The oldest epoch any thread has pinned, or the current stable epoch
+  /// if none is pinned — the pruning-safety horizon. Pairs fences with
+  /// pinSnapshot() so that a concurrent pin is either visible to the scan
+  /// or re-pins at or above the returned value.
+  static uint64_t minPinnedEpoch();
 
   //===--------------------------------------------------------------------===
   // Serial-irrevocable gate (adaptive contention management).

@@ -1,0 +1,137 @@
+//===- stm/Snapshot.h - Multi-version snapshot read plane ------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-object last-committed version records backing the snapshot read
+/// plane (DESIGN.md §10). Every committing writer — eager, lazy, or
+/// serial-irrevocable — publishes a full copy of each written object's
+/// slots, stamped with a global snapshot epoch, onto a bounded per-object
+/// version chain. Snapshot readers (Txn::beginSnapshot) pin the stable
+/// epoch and walk the chain to the newest version at or below their pin:
+/// no validation, no aborts, no ownership-record CASes — the read side is
+/// wait-free.
+///
+/// Reclamation: at publication time the writer prunes every node strictly
+/// older than the newest node at or below the oldest pinned epoch
+/// (Quiescence::minPinnedEpoch). This is the *maximal* reclamation that
+/// permits immediate frees: a reader pinned at P walks only nodes with
+/// Epoch > P and stops at its first node with Epoch <= P without loading
+/// that node's Next pointer, so everything below the min-pin stop node is
+/// unreachable — but any node above it may have a reader mid-walk and
+/// must be retained. Consequently a chain with no pinned readers collapses
+/// to two nodes (newest + stop) at the next publish, while a held pin
+/// retains the versions committed during its lifetime — the familiar MVCC
+/// trade: long snapshots hold history. minPinnedEpoch reads the stable
+/// epoch before scanning the pins, so a concurrently arriving pin can
+/// never be below the returned minimum.
+///
+/// The table is keyed by Object* in a fixed hash of CAS-prepended bucket
+/// lists; entries are immortal until resetTable(), which frees everything
+/// and must only run while no thread is inside the STM (tests, explorer
+/// setupRun, end of a bench service run). Entries are only created by
+/// writers that hold the object's transaction record exclusively, so
+/// per-object publication is serialized by construction; cross-object
+/// ordering comes from the Quiescence publish ticket (beginPublish /
+/// finishPublish), which advances the reader-visible stable epoch strictly
+/// in ticket order so a pinned reader observes a prefix of the commit
+/// order — never a suffix hole.
+///
+/// Objects written only by non-transactional barriers never grow a chain;
+/// snapshot reads of chain-less objects fall back to an in-place atomic
+/// load (consistent per-slot, but not ordered against transactional
+/// epochs — the documented nt caveat, same as the paper's nt plane).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_SNAPSHOT_H
+#define SATM_STM_SNAPSHOT_H
+
+#include "rt/Object.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace satm {
+namespace stm {
+namespace snap {
+
+/// One committed version of an object: the epoch it became stable at and a
+/// full copy of the data slots. Values are plain (non-atomic) because they
+/// are written before the node is linked and never mutated afterwards; the
+/// release/acquire pair on the chain link publishes them.
+struct VersionNode {
+  uint64_t Epoch;
+  std::atomic<VersionNode *> Next; ///< Older version, or null.
+  uint32_t NumSlots;
+  Word Values[1]; ///< Trailing array, NumSlots entries.
+};
+
+/// Ensures \p O has a version chain, installing a base node (Epoch 0)
+/// that captures the current committed slot values if it does not.
+/// Caller must hold O's transaction record exclusively (or otherwise
+/// guarantee no concurrent committed writes), so the captured values are
+/// the last committed state. Returns false if the node allocation was
+/// fault-injected (FaultSite::HeapAlloc); the caller aborts cleanly —
+/// nothing has been written yet.
+bool ensureBaseNode(rt::Object *O);
+
+/// Epoch of the newest published version of \p O, or 0 if it has no chain.
+/// Used for first-committer-wins conflict checks by snapshot writers.
+uint64_t newestEpoch(rt::Object *O);
+
+/// Allocates an unlinked, unstamped node sized for \p O. Returns null if
+/// the allocation was fault-injected; the caller unwinds (freeing any
+/// sibling nodes already allocated) and aborts.
+VersionNode *allocateNode(rt::Object *O);
+
+/// Frees a node that was never linked (fault-injection unwind path).
+void freeNode(VersionNode *N);
+
+/// Copies \p O's current slot values into \p N. Called after write-back
+/// (lazy) or before lock release (eager/serial) while the record is still
+/// held, so the values are exactly the committed state.
+void fillNode(rt::Object *O, VersionNode *N);
+
+/// Stamps \p N with \p Epoch, links it as the newest version of \p O, and
+/// prunes the tail of the chain past the oldest pinned epoch. Caller holds
+/// O's record and must already have called ensureBaseNode (so the entry
+/// exists) and Quiescence::beginPublish (so Epoch is a reserved ticket).
+void publishNode(rt::Object *O, VersionNode *N, uint64_t Epoch);
+
+/// Wait-free snapshot read: the value of O.Slot as of epoch \p E, where
+/// \p E was obtained from Quiescence::pinSnapshot and is still pinned.
+/// Walks the chain to the newest node with Epoch <= E; for chain-less
+/// objects falls back to an in-place load with an entry re-check to close
+/// the race against a first writer installing the base node.
+Word readAtEpoch(rt::Object *O, uint32_t Slot, uint64_t E);
+
+/// Frees every entry and every node. Call only while no thread is inside
+/// the STM and no snapshot is pinned; required between explorer runs and
+/// test cases because table entries are keyed by raw Object* into heaps
+/// that get destroyed and reused.
+void resetTable();
+
+namespace detail {
+/// Objects with a version chain; bumped after an entry's bucket insert,
+/// monotonic until resetTable. Exposed so the read fast path can test
+/// "table empty" inline — see readAtEpoch's fast-path soundness comment.
+extern std::atomic<size_t> EntryCount;
+} // namespace detail
+
+/// Number of objects with a version chain (read fast path + tests).
+inline size_t tableEntries() {
+  return detail::EntryCount.load(std::memory_order_acquire);
+}
+
+/// Length of \p O's chain, 0 if it has none (test introspection; only
+/// meaningful while no writer is concurrently publishing to \p O).
+size_t chainLength(rt::Object *O);
+
+} // namespace snap
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_SNAPSHOT_H

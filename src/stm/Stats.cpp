@@ -83,6 +83,12 @@ const char *satm::stm::traceKindName(TraceKind K) {
     return "SerialExit";
   case TraceKind::FaultFired:
     return "FaultFired";
+  case TraceKind::SnapshotBegin:
+    return "SnapshotBegin";
+  case TraceKind::SnapshotEnd:
+    return "SnapshotEnd";
+  case TraceKind::SnapshotPublish:
+    return "SnapshotPublish";
   }
   return "?";
 }

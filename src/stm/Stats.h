@@ -108,7 +108,11 @@ const char *abortReasonKey(AbortReason R);
   X(ObjectsPublished, "objects_published")                                     \
   X(AggregatedBarriers, "aggregated_barriers")                                 \
   X(QuiesceWaits, "quiesce_waits")                                             \
-  X(SerialModeEntries, "serial_mode_entries")
+  X(SerialModeEntries, "serial_mode_entries")                                  \
+  X(SnapshotTxns, "snapshot_txns")                                             \
+  X(SnapshotReads, "snapshot_reads")                                           \
+  X(SnapshotPublishes, "snapshot_publishes")                                   \
+  X(SnapshotNodesFreed, "snapshot_nodes_freed")
 
 /// Single-writer counter cell: incremented only by the owning thread, read
 /// by snapshotters. Relaxed load+store (not an atomic RMW) keeps the hot
@@ -235,6 +239,10 @@ enum class TraceKind : uint8_t {
   SerialExit,      ///< The serial-irrevocable transaction committed and
                    ///< released the gate.
   FaultFired,      ///< The fault injector fired; Arg is the FaultSite.
+  SnapshotBegin,   ///< A snapshot transaction pinned the stable epoch.
+  SnapshotEnd,     ///< A snapshot transaction finished (read-only commit).
+  SnapshotPublish, ///< A committer published version records; Arg is the
+                   ///< number of objects published (saturated at 255).
 };
 
 /// Which barrier recorded a BarrierConflict event.

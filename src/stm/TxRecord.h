@@ -143,11 +143,18 @@ struct TxRecord {
   /// Transactional open-for-write acquire: Shared(\p Expected version) ->
   /// Exclusive(\p Self) via CAS. \returns true on success; on failure
   /// \p Observed holds the conflicting record value.
+  ///
+  /// The success ordering is acq_rel, not acquire: the CAS publishes the
+  /// owner's descriptor pointer, and contention managers that acquire-load
+  /// the record dereference it (karmaPriority / startStamp). The release
+  /// half orders the descriptor's initialization — including the owning
+  /// thread's TLS setup — before the pointer becomes reachable; without it
+  /// those advice reads race a brand-new thread's descriptor construction.
   static bool acquireExclusive(std::atomic<Word> &Rec, const Txn *Self,
                                Word Expected, Word &Observed) {
     Word Want = makeExclusive(Self);
     Word Exp = Expected;
-    if (Rec.compare_exchange_strong(Exp, Want, std::memory_order_acquire,
+    if (Rec.compare_exchange_strong(Exp, Want, std::memory_order_acq_rel,
                                     std::memory_order_acquire))
       return true;
     Observed = Exp;

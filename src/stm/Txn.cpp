@@ -6,11 +6,13 @@
 
 #include "stm/Txn.h"
 #include "stm/Dea.h"
+#include "stm/Snapshot.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 using namespace satm;
 using namespace satm::stm;
@@ -31,13 +33,23 @@ Txn &Txn::forThisThread() {
   return T;
 }
 
-void Txn::begin() {
+void Txn::begin() { beginImpl(/*EagerStamp=*/true); }
+
+void Txn::beginImpl(bool EagerStamp) {
   assert(Depth == 0 && "begin() inside an active transaction");
   assert(ReadSet.empty() && WriteLocks.empty() && UndoLog.empty() &&
          "stale transaction state");
   Depth = 1;
   NextValidateAt = config().ValidateEvery;
-  StartStamp.store(NextStartStamp.fetch_add(1, std::memory_order_relaxed),
+  // The stamp source is the one globally contended line a begin touches.
+  // Only the contention manager ever reads a stamp, and only for a
+  // transaction that contends for or owns a record — which a read-only
+  // snapshot never does — so beginSnapshot passes EagerStamp=false and the
+  // fetch-add is deferred to the first write acquisition (0 = unstamped;
+  // NextStartStamp starts at 1, so no real stamp collides).
+  StartStamp.store(EagerStamp
+                       ? NextStartStamp.fetch_add(1, std::memory_order_relaxed)
+                       : 0,
                    std::memory_order_release);
   KarmaPub.store(ConsecAborts, std::memory_order_relaxed);
   if (!QSlot)
@@ -68,7 +80,7 @@ void Txn::begin() {
   traceEvent(TraceKind::TxnBegin);
 }
 
-Word Txn::read(Object *O, uint32_t Slot) {
+Word Txn::readShared(Object *O, uint32_t Slot) {
   assert(isActive() && "transactional read outside a transaction");
   if (config().CollectStats)
     ++PendingReads; // Folded into the stats block at transaction end.
@@ -147,6 +159,12 @@ void Txn::writeImpl(Object *O, uint32_t Slot, Word V, bool IsRef) {
 
 void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
   (void)O;
+  // Snapshot transactions begin unstamped (beginImpl); stamp before the
+  // first acquire can either enter arbitration below or make this
+  // descriptor an Owner whose stamp other threads' managers inspect.
+  if (StartStamp.load(std::memory_order_relaxed) == 0)
+    StartStamp.store(NextStartStamp.fetch_add(1, std::memory_order_relaxed),
+                     std::memory_order_release);
   Backoff B;
   uint32_t Pauses = 0;
   for (;;) {
@@ -164,6 +182,21 @@ void Txn::acquireForWrite(Object *O, std::atomic<Word> &Rec) {
         Word Prior = TxRecord::version(W);
         WriteLocks.push_back({&Rec, Prior});
         WriteLockIndex.insert(&Rec, uint32_t(WriteLocks.size() - 1));
+        if (config().SnapshotEnabled) {
+          // First-committer-wins for snapshot transactions: a version of
+          // this object newer than our pinned epoch means someone committed
+          // after our snapshot — and our unvalidated reads cannot tell.
+          // Complete at acquire time: once we hold the record, no one else
+          // can commit to the object. Both aborts below are safe — the lock
+          // was pushed, nothing was written yet.
+          if (SnapMode && snap::newestEpoch(O) > SnapEpoch)
+            conflictAbort(AbortReason::WriteLockConflict);
+          // First-ever transactional acquire of this object on the snapshot
+          // plane: install the epoch-0 base version capturing the committed
+          // pre-write state, so pinned readers always find a node.
+          if (!snap::ensureBaseNode(O))
+            conflictAbort(AbortReason::FaultInjected);
+        }
         return;
       }
       continue; // Lost the race; re-examine the record.
@@ -244,11 +277,20 @@ bool Txn::tryCommit() {
   if (TxnHooks *H = config().Hooks)
     if (H->AfterValidate)
       H->AfterValidate(this);
+  // Snapshot-plane publication happens while the locks are still held (the
+  // node values must be the committed state) but before the commit point:
+  // an injected allocation failure in publishVersions throws, and the
+  // normal conflict unwind still has the undo log and the locks.
+  uint64_t PubTicket = 0;
+  if (config().SnapshotEnabled && !WriteLocks.empty())
+    PubTicket = publishVersions();
   // Commit point: releasing each record bumps its version, atomically
   // publishing our in-place updates to other transactions' validators.
   releaseLockRange(0, WriteLocks.size());
   statsForThisThread().TxnCommits++;
   traceEvent(TraceKind::TxnCommit);
+  if (PubTicket)
+    Quiescence::finishPublish(PubTicket);
   // We are no longer a hazard to anyone: mark inactive *before* quiescing
   // so that two concurrently quiescing committers do not wait on each
   // other (both are already committed).
@@ -268,14 +310,136 @@ bool Txn::tryCommit() {
 /// thread released from the gate finds no stale Exclusive records.
 bool Txn::commitSerial() {
   assert(UndoLog.empty() && "serial-irrevocable mode is undo-free");
+  // Serial transactions lock their reads too, so this over-publishes
+  // (read-only objects get an identical-valued version). Correct, and
+  // serial mode is the rare escalation endpoint. Faults are suppressed in
+  // serial mode; a real allocation failure aborts the process via the
+  // irrevocability contract (conflictAbort -> serialFatal).
+  uint64_t PubTicket = 0;
+  if (config().SnapshotEnabled && !WriteLocks.empty())
+    PubTicket = publishVersions();
   releaseLockRange(0, WriteLocks.size());
   statsForThisThread().TxnCommits++;
   traceEvent(TraceKind::TxnCommit);
+  if (PubTicket)
+    Quiescence::finishPublish(PubTicket);
   QSlot->ActiveSince.store(0, std::memory_order_release);
   SerialMode = false;
   FaultInjector::setThreadSuppressed(false);
   Quiescence::releaseSerialGate();
   traceEvent(TraceKind::SerialExit);
+  std::vector<std::function<void()>> Commits = std::move(CommitActions);
+  resetState();
+  for (auto &Action : Commits)
+    Action();
+  return true;
+}
+
+void Txn::beginSnapshot() {
+  assert(config().SnapshotEnabled && "snapshot plane is disabled");
+  // Full begin() minus the start stamp (taken lazily on first write):
+  // registry publication (so privatizing committers running quiescence
+  // wait for us — we never validate, so QuiesceOnCommit blocks them until
+  // we finish) and the serial-gate handshake.
+  beginImpl(/*EagerStamp=*/false);
+  SnapMode = true;
+  SnapEpoch = Quiescence::pinSnapshot(*QSlot);
+  schedYield(YieldPoint::SnapshotPin, nullptr, SnapEpoch);
+  traceEvent(TraceKind::SnapshotBegin);
+}
+
+Word Txn::snapshotReadSlow(Object *O, uint32_t Slot) {
+  std::atomic<Word> &Rec = O->txRecord();
+  Word W = Rec.load(std::memory_order_acquire);
+  // Private objects belong to this thread (a foreign private object is
+  // unreachable): read in place.
+  if (TxRecord::isPrivate(W))
+    return O->rawLoad(Slot);
+  // Read-your-writes: a record we hold means our own uncommitted values
+  // are in place — the snapshot plane still holds the pre-write state.
+  if (TxRecord::isExclusive(W) && TxRecord::owner(W) == this)
+    return O->rawLoad(Slot);
+  if (config().CollectStats)
+    ++PendingSnapReads;
+  // Plain preemption point, no record: the read is wait-free and must stay
+  // schedulable under the explorer even when the record never changes.
+  schedYield(YieldPoint::SnapshotRead, nullptr, W);
+  // Empty-table fast path, inlined here to spare the call on read-heavy
+  // chain-less workloads; soundness argument at snap::readAtEpoch.
+  if (snap::tableEntries() == 0) {
+    Word V = O->rawLoad(Slot, std::memory_order_acquire);
+    if (snap::tableEntries() == 0)
+      return V;
+  }
+  return snap::readAtEpoch(O, Slot, SnapEpoch);
+}
+
+uint64_t Txn::publishVersions() {
+  // Allocate every node first: an injected allocation failure here can
+  // still unwind (locks and undo log intact, nothing linked yet).
+  std::vector<std::pair<Object *, snap::VersionNode *>> Nodes;
+  Nodes.reserve(WriteLocks.size());
+  for (const WriteEntry &L : WriteLocks) {
+    // The record is the object's first header word.
+    Object *O = reinterpret_cast<Object *>(L.Rec);
+    assert(&O->txRecord() == L.Rec && "record is not the object header");
+    snap::VersionNode *N = snap::allocateNode(O);
+    if (!N) {
+      for (auto &P : Nodes)
+        snap::freeNode(P.second);
+      conflictAbort(AbortReason::FaultInjected);
+    }
+    Nodes.push_back({O, N});
+  }
+  for (auto &P : Nodes)
+    snap::fillNode(P.first, P.second);
+  // Non-blocking from here until Quiescence::finishPublish (the caller's
+  // duty, after releasing the locks): the in-order stable advance waits on
+  // earlier tickets, so nothing between ticket and finish may block.
+  uint64_t Ticket = Quiescence::beginPublish();
+  for (auto &P : Nodes)
+    snap::publishNode(P.first, P.second, Ticket);
+  statsForThisThread().SnapshotPublishes++;
+  traceEvent(TraceKind::SnapshotPublish,
+             uint8_t(Nodes.size() < 255 ? Nodes.size() : 255));
+  return Ticket;
+}
+
+bool Txn::tryCommitSnapshot() {
+  assert(Depth == 1 && SnapMode && "snapshot commit outside a snapshot");
+  if (WriteLocks.empty()) {
+    // Wait-free read-only completion: nothing to validate, publish, or
+    // CAS; there is no transaction anyone could have conflicted with.
+    statsForThisThread().SnapshotTxns++;
+    traceEvent(TraceKind::SnapshotEnd);
+    QSlot->ActiveSince.store(0, std::memory_order_release);
+    if (CommitActions.empty()) {
+      resetState();
+      return true;
+    }
+    std::vector<std::function<void()>> Commits = std::move(CommitActions);
+    resetState();
+    for (auto &Action : Commits)
+      Action();
+    return true;
+  }
+  if (faultPoint(FaultSite::TxnCommit)) {
+    traceEvent(TraceKind::FaultFired, uint8_t(FaultSite::TxnCommit));
+    conflictAbort(AbortReason::FaultInjected);
+  }
+  // No read validation, by design: isolation comes from first-committer-
+  // wins, checked when each write acquired its record — and once held,
+  // nothing else can commit to those objects.
+  uint64_t PubTicket = publishVersions();
+  releaseLockRange(0, WriteLocks.size());
+  statsForThisThread().TxnCommits++;
+  statsForThisThread().SnapshotTxns++;
+  traceEvent(TraceKind::TxnCommit);
+  traceEvent(TraceKind::SnapshotEnd);
+  Quiescence::finishPublish(PubTicket);
+  QSlot->ActiveSince.store(0, std::memory_order_release);
+  if (config().QuiesceOnCommit)
+    Quiescence::waitForValidationSince(Quiescence::advanceEpoch(), QSlot);
   std::vector<std::function<void()>> Commits = std::move(CommitActions);
   resetState();
   for (auto &Action : Commits)
@@ -586,11 +750,17 @@ void Txn::waitForChange(const std::vector<ReadEntry> &Snapshot) {
 }
 
 void Txn::resetState() {
-  if (PendingReads | PendingWrites) {
+  if (PendingReads | PendingWrites | PendingSnapReads) {
     detail::TlsCounters &S = statsForThisThread();
     S.TxnReads += PendingReads;
     S.TxnWrites += PendingWrites;
-    PendingReads = PendingWrites = 0;
+    S.SnapshotReads += PendingSnapReads;
+    PendingReads = PendingWrites = PendingSnapReads = 0;
+  }
+  if (SnapMode) {
+    SnapMode = false;
+    SnapEpoch = 0;
+    Quiescence::unpinSnapshot(*QSlot);
   }
   ReadSet.clear();
   WriteLocks.clear();

@@ -33,6 +33,7 @@
 #include "rt/Object.h"
 #include "stm/Config.h"
 #include "stm/Quiesce.h"
+#include "stm/Snapshot.h"
 #include "stm/Stats.h"
 #include "stm/TxRecord.h"
 #include "support/Backoff.h"
@@ -130,12 +131,66 @@ public:
     T.commitOpenNested(std::move(OnParentAbort));
   }
 
+  /// Executes \p Body as a snapshot transaction (DESIGN.md §10): reads are
+  /// served wait-free from the multi-version plane against an epoch pinned
+  /// at begin — no validation, no read-induced aborts, no ownership-record
+  /// CASes. Writes are optional and run under first-committer-wins: the
+  /// write path acquires records as usual and aborts the region if the
+  /// written object has a version newer than the pinned epoch, which with
+  /// unvalidated reads makes the region snapshot-isolated (write skew is
+  /// admitted; see tests/check/SnapshotExploreTest.cpp). A read-only body
+  /// can never abort and performs no atomic RMW at all. Requires
+  /// config().SnapshotEnabled and no enclosing transaction.
+  /// \returns true unless the body called userAbort().
+  template <typename F> static bool runSnapshot(F &&Body) {
+    Txn &T = forThisThread();
+    assert(!T.isActive() && "snapshot region inside an active transaction");
+    Backoff RetryBackoff;
+    for (;;) {
+      T.beginSnapshot();
+      try {
+        Body();
+        (void)T.tryCommitSnapshot(); // Cannot fail: abort paths throw.
+        T.ConsecAborts = 0;
+        return true;
+      } catch (RollbackSignal &S) {
+        if (S.Kind == RollbackSignal::UserRetry) {
+          T.ConsecAborts = 0;
+          noteUserRetry();
+          std::vector<ReadEntry> Snapshot = std::move(T.ReadSet);
+          T.rollbackAll();
+          waitForChange(Snapshot);
+          continue;
+        }
+        T.rollbackAll();
+        noteTxnAbort(S.Reason);
+        if (S.Kind == RollbackSignal::UserAbort) {
+          T.ConsecAborts = 0;
+          return false;
+        }
+        ++T.ConsecAborts; // First-committer-wins loss or injected fault.
+      } catch (...) {
+        T.rollbackAll();
+        noteTxnAbort(AbortReason::UserAbort);
+        T.ConsecAborts = 0;
+        throw;
+      }
+      RetryBackoff.pause();
+    }
+  }
+
   //===--------------------------------------------------------------------===
   // Transactional data access (only valid while active).
   //===--------------------------------------------------------------------===
 
-  /// Transactional load of scalar slot \p Slot of \p O.
-  Word read(rt::Object *O, uint32_t Slot);
+  /// Transactional load of scalar slot \p Slot of \p O. Inline dispatch so
+  /// the snapshot-mode fast path costs what the inline nt barrier costs;
+  /// the ordinary optimistic read stays out of line.
+  Word read(rt::Object *O, uint32_t Slot) {
+    if (SnapMode)
+      return snapshotRead(O, Slot);
+    return readShared(O, Slot);
+  }
 
   /// Transactional store to scalar slot \p Slot of \p O.
   void write(rt::Object *O, uint32_t Slot, Word V) {
@@ -200,6 +255,12 @@ public:
   /// contention-management escalation endpoint: the system is drained, the
   /// serial gate is held, and this transaction cannot abort).
   bool inSerialMode() const { return SerialMode; }
+
+  /// True while this attempt is a snapshot transaction (runSnapshot).
+  bool inSnapshot() const { return SnapMode; }
+
+  /// The epoch a running snapshot transaction reads at; 0 otherwise.
+  uint64_t snapshotEpoch() const { return SnapMode ? SnapEpoch : 0; }
 
   /// Consecutive conflict aborts of the region currently being retried;
   /// resets on commit, user retry/abort, or a foreign exception. Feeds the
@@ -299,6 +360,48 @@ private:
   void begin();
   bool tryCommit();
   bool commitSerial();
+  /// Snapshot-region begin: begin() plus pinning the stable snapshot epoch.
+  void beginSnapshot();
+  /// Snapshot-region commit. Read-only: marks inactive and returns — no
+  /// validation, no publication. With writes: publishes version records
+  /// and releases the locks (reads are never validated; isolation is
+  /// first-committer-wins, enforced at acquire time). Abort paths throw.
+  bool tryCommitSnapshot();
+  /// Wait-free versioned read at the pinned epoch (snapshot mode only).
+  /// The production chain-less fast path is inlined: while no scheduler
+  /// hook is installed and the version table is empty, every object class
+  /// reads in place — private and self-Exclusive by definition, chain-less
+  /// shared per the empty-table argument at snap::readAtEpoch (any dirty
+  /// in-place transactional write, our own included, is preceded by
+  /// ensureBaseNode, so the re-check routes it to the record-probing slow
+  /// path, which also preserves read-your-writes). Under the explorer
+  /// (config().Yield set) the slow path runs unconditionally so explored
+  /// event streams and their replay tokens are unchanged.
+  Word snapshotRead(rt::Object *O, uint32_t Slot) {
+    const Config &Cfg = config();
+    if (!Cfg.Yield && snap::tableEntries() == 0) {
+      if (Cfg.CollectStats)
+        ++PendingSnapReads;
+      Word V = O->rawLoad(Slot, std::memory_order_acquire);
+      if (snap::tableEntries() == 0)
+        return V;
+      if (Cfg.CollectStats)
+        --PendingSnapReads; // The slow path re-counts.
+    }
+    return snapshotReadSlow(O, Slot);
+  }
+  /// Ordinary optimistic read: record probe, read-set logging, periodic
+  /// validation (the pre-snapshot Txn::read body).
+  Word readShared(rt::Object *O, uint32_t Slot);
+  /// Record-probing snapshot read: private objects, read-your-writes, the
+  /// explorer SnapshotRead yield point, and the version-chain walk.
+  Word snapshotReadSlow(rt::Object *O, uint32_t Slot);
+  /// Publishes one version record per held write lock onto the snapshot
+  /// plane and returns the publish ticket; the caller must pass it to
+  /// Quiescence::finishPublish after releasing the locks. Called between
+  /// validation and lock release, so the node-allocation failure path
+  /// (fault-injected) can still abort cleanly; throws RollbackSignal then.
+  uint64_t publishVersions();
   void rollbackAll();
   /// Ladder escalation check before each attempt: past the configured
   /// consecutive-abort threshold, acquires the serial gate and drains the
@@ -334,6 +437,10 @@ private:
     return &WriteLocks[*Idx];
   }
 
+  /// Shared body of begin()/beginSnapshot(). With \p EagerStamp false the
+  /// globally contended start-stamp fetch-add is skipped and StartStamp is
+  /// zeroed; acquireForWrite stamps lazily on the first write acquisition.
+  void beginImpl(bool EagerStamp);
   bool validateReadSet();
   void maybePeriodicValidate();
   [[noreturn]] void conflictAbort(AbortReason Reason);
@@ -392,6 +499,13 @@ private:
   std::atomic<uint32_t> KarmaPub{0};
   /// This attempt runs serial-irrevocable (gate held, system drained).
   bool SerialMode = false;
+  /// This attempt is a snapshot transaction (runSnapshot).
+  bool SnapMode = false;
+  /// The epoch pinned by the running snapshot transaction.
+  uint64_t SnapEpoch = 0;
+  /// Snapshot reads in flight, folded into the stats block at region end
+  /// (same discipline as PendingReads).
+  uint64_t PendingSnapReads = 0;
 };
 
 /// Convenience free function mirroring the paper's `atomic { B }`.

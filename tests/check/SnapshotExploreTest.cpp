@@ -1,0 +1,276 @@
+//===- tests/check/SnapshotExploreTest.cpp - SI plane by exploration ------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The snapshot read plane (DESIGN.md §10), verified by exhaustive schedule
+// exploration against the SI-aware oracle:
+//
+//  - Write skew: the canonical SI-but-not-serializable anomaly. The
+//    serializability oracle flags it on a real explored execution; the SI
+//    oracle admits the *same* observed outcome; and re-exploring the same
+//    program against the SI oracle exhausts clean — together, the proof
+//    that the plane provides exactly snapshot isolation, no more, no less.
+//
+//  - Long fork and read-your-writes violations: anomalies below SI. The
+//    SI oracle rejects hand-built instances, and exhaustive exploration
+//    never produces one.
+//
+//  - Privatize → non-transactional use → republish: snapshot readers must
+//    never observe a state torn across the quiesce edge; every observation
+//    corresponds to some commit prefix.
+//
+//  - Replayable schedule tokens as goldens: the write-skew violation's
+//    token is pinned and must keep reproducing the identical trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Explorer.h"
+#include "check/KvModel.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace satm::check;
+using satm::stm::litmus::Regime;
+
+namespace {
+
+ConfigVariant snapVariant(bool QuiesceOnCommit = false) {
+  ConfigVariant V;
+  V.SnapshotPlane = true;
+  V.QuiesceOnCommit = QuiesceOnCommit;
+  return V;
+}
+
+/// The canonical write-skew pair: both transactions snapshot-read the
+/// *other* object and write their own. Serializable executions chain the
+/// reads (one sees the other's write); under SI both may read the initial
+/// state and commit disjoint write sets.
+Program writeSkewProgram() {
+  Program P;
+  P.Name = "snap/write_skew";
+  P.Objects = {{"x", 1, {}, {1}}, {"y", 1, {}, {1}}};
+  P.Threads = {
+      {snap({readStep(1, 0, 0), writeStep(0, 0, reg(0, 10))})},
+      {snap({readStep(0, 0, 0), writeStep(1, 0, reg(0, 20))})},
+  };
+  P.Variants = {snapVariant()};
+  return P;
+}
+
+/// Two independent writers, two snapshot readers. A "long fork" would be
+/// the readers observing the writes in contradictory orders — incomparable
+/// prefixes of the commit history.
+Program longForkProgram() {
+  Program P;
+  P.Name = "snap/long_fork";
+  P.Objects = {{"x", 1, {}, {0}}, {"y", 1, {}, {0}}};
+  P.Threads = {
+      {txn({writeStep(0, 0, constant(1))})},
+      {txn({writeStep(1, 0, constant(1))})},
+      {snap({readStep(0, 0, 0), readStep(1, 0, 1)})},
+      {snap({readStep(0, 0, 0), readStep(1, 0, 1)})},
+  };
+  P.Variants = {snapVariant()};
+  return P;
+}
+
+/// A snapshot transaction writing then reading its own object: the read
+/// must observe the in-flight write, not the pinned snapshot.
+Program readYourWritesProgram() {
+  Program P;
+  P.Name = "snap/read_your_writes";
+  P.Objects = {{"x", 1, {}, {1}}};
+  P.Threads = {
+      {snap({writeStep(0, 0, constant(5)), readStep(0, 0, 0)})},
+  };
+  P.Variants = {snapVariant()};
+  return P;
+}
+
+/// Privatize-use-republish (§3.4 meets §10): T0 gives x a version chain,
+/// unlinks it from the handle, mutates it non-transactionally while
+/// private, and republishes it. T1's snapshot dereferences the handle; its
+/// observation must always be some consistent commit prefix — never the
+/// handle of one epoch with the in-place bytes of another.
+Program privatizeRepublishProgram(bool QuiesceOnCommit) {
+  Program P;
+  P.Name = "snap/privatize_republish";
+  P.Objects = {{"h", 1, {0}, {refWord(1)}}, {"x", 1, {}, {1}}};
+  std::vector<Segment> T0;
+  T0.push_back(txn({writeStep(1, 0, constant(10))}));
+  T0.push_back(txn({writeStep(0, 0, constant(0))})); // Privatize.
+  T0.push_back(nt(writeStep(1, 0, constant(42))));   // Private use.
+  T0.push_back(txn({writeStep(0, 0, objRef(1))}));   // Republish.
+  std::vector<Segment> T1;
+  T1.push_back(snap({readStep(0, 0, 0), readIndStep(0, 0, 1)}));
+  P.Threads = {std::move(T0), std::move(T1)};
+  P.Variants = {snapVariant(QuiesceOnCommit)};
+  return P;
+}
+
+/// Packs per-thread register values (RegCount apart) into an Outcome.
+Outcome makeOutcome(const Program &P, std::vector<satm::check::Word> Mem,
+                    std::vector<std::pair<size_t, satm::check::Word>> Regs) {
+  Outcome O;
+  O.Mem = std::move(Mem);
+  O.Regs.assign(P.Threads.size() * P.RegCount, 0);
+  for (auto &R : Regs)
+    O.Regs[R.first] = R.second;
+  return O;
+}
+
+TEST(SnapshotExplore, WriteSkewIsReachableAndFlaggedBySerializability) {
+  Program P = writeSkewProgram();
+  ExploreResult Res = explore(P, Regime::Eager);
+  ASSERT_TRUE(Res.found()) << "write skew not reachable on the snapshot "
+                              "plane within the preemption bound";
+  const Violation &V = Res.Violations[0];
+  EXPECT_FALSE(V.Token.empty());
+  EXPECT_FALSE(V.Events.empty());
+
+  // The observed outcome is exactly the SI anomaly: both transactions read
+  // the initial state (1), so x=11 and y=21 — no serialization explains it.
+  Oracle Ser(P);
+  SiOracle Si(P);
+  EXPECT_FALSE(Ser.isLegal(V.Observed)) << Ser.explain(V.Observed);
+  EXPECT_TRUE(Si.isLegal(V.Observed))
+      << "SI oracle must admit the explored write-skew outcome:\n"
+      << Si.explain(V.Observed);
+}
+
+TEST(SnapshotExplore, WriteSkewProgramExhaustsCleanUnderSiOracle) {
+  Program P = writeSkewProgram();
+  ExploreOptions Opts;
+  Opts.SnapshotIsolation = true;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  EXPECT_FALSE(Res.found())
+      << (Res.Violations.empty() ? std::string() : Res.Violations[0].Detail);
+  EXPECT_TRUE(Res.Exhausted) << "bounded search did not complete";
+  EXPECT_GT(Res.Schedules, 0u);
+  // The SI legal set strictly contains the serializable one: the skew
+  // outcome plus the two serializations.
+  EXPECT_GT(Res.LegalOutcomes, Oracle(P).outcomes().size());
+}
+
+TEST(SnapshotExplore, SiOracleAdmitsExactlyTheWriteSkewTriple) {
+  Program P = writeSkewProgram();
+  Oracle Ser(P);
+  SiOracle Si(P);
+  // Serializable: T0 first (T1 reads 11), or T1 first (T0 reads 21).
+  Outcome First = makeOutcome(P, {11, 31}, {{0, 1}, {8, 11}});
+  Outcome Second = makeOutcome(P, {31, 21}, {{0, 21}, {8, 1}});
+  // SI-only: both read the initial state.
+  Outcome Skew = makeOutcome(P, {11, 21}, {{0, 1}, {8, 1}});
+  EXPECT_TRUE(Ser.isLegal(First));
+  EXPECT_TRUE(Ser.isLegal(Second));
+  EXPECT_FALSE(Ser.isLegal(Skew));
+  EXPECT_TRUE(Si.isLegal(First));
+  EXPECT_TRUE(Si.isLegal(Second));
+  EXPECT_TRUE(Si.isLegal(Skew));
+  EXPECT_EQ(Si.outcomes().size(), 3u);
+}
+
+TEST(SnapshotExplore, SiOracleRejectsLongFork) {
+  Program P = longForkProgram();
+  SiOracle Si(P);
+  // Readers disagreeing on the commit order: t2 sees x-without-y, t3 sees
+  // y-without-x. No single commit history has both prefixes.
+  Outcome Fork =
+      makeOutcome(P, {1, 1}, {{16, 1}, {17, 0}, {24, 0}, {25, 1}});
+  EXPECT_FALSE(Si.isLegal(Fork)) << Si.explain(Fork);
+  // Comparable prefixes are fine (both see x only; y commits later).
+  Outcome Agree =
+      makeOutcome(P, {1, 1}, {{16, 1}, {17, 0}, {24, 1}, {25, 0}});
+  EXPECT_TRUE(Si.isLegal(Agree)) << Si.explain(Agree);
+
+  // And the real plane never produces the fork: exhaustive search is clean.
+  ExploreOptions Opts;
+  Opts.SnapshotIsolation = true;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  EXPECT_FALSE(Res.found())
+      << (Res.Violations.empty() ? std::string() : Res.Violations[0].Detail);
+  EXPECT_TRUE(Res.Exhausted);
+}
+
+TEST(SnapshotExplore, SiOracleRejectsReadYourWritesViolation) {
+  Program P = readYourWritesProgram();
+  SiOracle Si(P);
+  Outcome Correct = makeOutcome(P, {5}, {{0, 5}});
+  Outcome Stale = makeOutcome(P, {5}, {{0, 1}}); // Read missed own write.
+  EXPECT_TRUE(Si.isLegal(Correct));
+  EXPECT_FALSE(Si.isLegal(Stale)) << Si.explain(Stale);
+
+  ExploreOptions Opts;
+  Opts.SnapshotIsolation = true;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  EXPECT_FALSE(Res.found())
+      << (Res.Violations.empty() ? std::string() : Res.Violations[0].Detail);
+  EXPECT_TRUE(Res.Exhausted);
+}
+
+TEST(SnapshotExplore, PrivatizeRepublishNeverTearsASnapshot) {
+  // Claim (c): across privatize → nt-mutate → republish, every snapshot
+  // observation is a commit prefix. With and without the §3.4 quiesce.
+  for (bool Qsc : {false, true}) {
+    Program P = privatizeRepublishProgram(Qsc);
+    ExploreOptions Opts;
+    Opts.SnapshotIsolation = true;
+    ExploreResult Res = explore(P, Regime::Eager, Opts);
+    EXPECT_FALSE(Res.found())
+        << "qsc=" << Qsc << ": "
+        << (Res.Violations.empty() ? std::string()
+                                   : Res.Violations[0].Detail +
+                                         formatTrace(P, Res.Violations[0].Events));
+    EXPECT_TRUE(Res.Exhausted) << "qsc=" << Qsc;
+  }
+}
+
+TEST(SnapshotExplore, KvSnapshotMultiGetConservesTheSum) {
+  Program P = kvTransferVsSnapshotMultiGet();
+  // Every SI-admissible observation of the two values sums to the invariant
+  // (both keys resident with value 1; the transfer moves one unit).
+  SiOracle Si(P);
+  ASSERT_FALSE(Si.outcomes().empty());
+  for (const Outcome &O : Si.outcomes()) {
+    // T1's registers start at index RegCount; r2 and r5 hold the values.
+    EXPECT_EQ(O.Regs[P.RegCount + 2] + O.Regs[P.RegCount + 5], 2u)
+        << Si.format(O);
+  }
+  // The real store model explores clean against it, under both variants
+  // (plain and privatization-safe).
+  ExploreOptions Opts;
+  Opts.SnapshotIsolation = true;
+  ExploreResult Res = explore(P, Regime::Eager, Opts);
+  EXPECT_FALSE(Res.found())
+      << (Res.Violations.empty() ? std::string() : Res.Violations[0].Detail);
+  EXPECT_TRUE(Res.Exhausted);
+}
+
+TEST(SnapshotExplore, WriteSkewTokenIsAReplayableGolden) {
+  Program P = writeSkewProgram();
+  ExploreResult Res = explore(P, Regime::Eager);
+  ASSERT_TRUE(Res.found());
+  const Violation &V = Res.Violations[0];
+
+  // The discovery is deterministic, so the token is a golden: a change here
+  // means the search order or the runtime's yield structure changed.
+  EXPECT_EQ(V.Token, "sx1;Eager;v0;0,0,0,0,1,1,1,1,1,0");
+
+  // Round-trip and exact replay.
+  ScheduleToken Tok;
+  std::string Err;
+  ASSERT_TRUE(parseToken(V.Token, Tok, &Err)) << Err;
+  EXPECT_EQ(formatToken(Tok), V.Token);
+  Trace Replayed = replay(P, Regime::Eager, V.Token, &Err);
+  ASSERT_FALSE(Replayed.empty()) << Err;
+  EXPECT_EQ(Replayed, V.Events)
+      << "replayed:\n"
+      << formatTrace(P, Replayed) << "original:\n"
+      << formatTrace(P, V.Events);
+}
+
+} // namespace

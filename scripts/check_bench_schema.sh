@@ -4,47 +4,60 @@
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
-# run's output from perf_suite / kv_service) carries the satm-bench-v5
+# run's output from perf_suite / kv_service) carries the satm-bench-v6
 # schema: a non-empty benchmark list where every entry has the numeric core
 # fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
-# ally carry throughput_ops_per_sec and the latency_ns percentile block;
-# micro benchmarks may omit both. Overload benchmarks (kv/overload/*) must
-# further carry offered_ops_per_sec, goodput_ops_per_sec and shed_rate.
-# Snapshot-plane benchmarks (kv/snapshot/*) must carry the v5 read_planes
-# block — exactly the three plane keys (snapshot, nt, txn), each a complete
-# percentile set plus sample count — and wherever read_planes appears it is
-# validated to that shape. CI runs this so a refactor can't silently drop
-# the observability fields from the trajectory file.
+# ally carry exec_mode ("symmetric" or "affine"), throughput_ops_per_sec
+# and the latency_ns percentile block; micro benchmarks may omit all
+# three. Affine-executor benchmarks (kv/affine/*) must carry the v6 affine
+# routing block (hops, cross_shard_ops, cross_shard_ratio,
+# max_queue_depth) and exec_mode "affine". Overload benchmarks
+# (kv/overload/*) must further carry offered_ops_per_sec,
+# goodput_ops_per_sec and shed_rate. Snapshot-plane benchmarks
+# (kv/snapshot/*) must carry the read_planes block — exactly the three
+# plane keys (snapshot, nt, txn), each a complete percentile set plus
+# sample count — and wherever read_planes appears it is validated to that
+# shape. CI runs this so a refactor can't silently drop the observability
+# fields from the trajectory file.
 #
 # --require-kv asserts the file contains at least one kv/* entry and the
 # full kv/snapshot/{read,ntread,txnread} triple — used on merged trajectory
 # files, where losing the kv_service half (or the read-plane comparison)
-# would otherwise still validate.
+# would otherwise still validate. --require-affine asserts at least one
+# kv/affine/* entry and at least one symmetric kv/* entry, so the
+# affine-vs-symmetric comparison cannot silently drop either side.
 #
-# Usage: scripts/check_bench_schema.sh [--require-kv] FILE.json [FILE2.json ...]
+# Usage: scripts/check_bench_schema.sh [--require-kv] [--require-affine] \
+#            FILE.json [FILE2.json ...]
 #
 #===----------------------------------------------------------------------===#
 
 set -euo pipefail
 
 REQUIRE_KV=0
-if [ "${1:-}" = "--require-kv" ]; then
-  REQUIRE_KV=1
-  shift
-fi
+REQUIRE_AFFINE=0
+while true; do
+  case "${1:-}" in
+    --require-kv) REQUIRE_KV=1; shift ;;
+    --require-affine) REQUIRE_AFFINE=1; shift ;;
+    *) break ;;
+  esac
+done
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: scripts/check_bench_schema.sh [--require-kv] FILE.json [...]" >&2
+  echo "usage: scripts/check_bench_schema.sh [--require-kv]" \
+       "[--require-affine] FILE.json [...]" >&2
   exit 2
 fi
 
 for FILE in "$@"; do
-  python3 - "$FILE" "$REQUIRE_KV" <<'EOF'
+  python3 - "$FILE" "$REQUIRE_KV" "$REQUIRE_AFFINE" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
 require_kv = sys.argv[2] == "1"
+require_affine = sys.argv[3] == "1"
 REASONS = [
     "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
     "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
@@ -54,6 +67,7 @@ PERCENTILES = ["p50", "p95", "p99", "p999"]
 OVERLOAD_FIELDS = ["offered_ops_per_sec", "goodput_ops_per_sec", "shed_rate"]
 PLANES = ["snapshot", "nt", "txn"]
 PLANE_FIELDS = PERCENTILES + ["count"]
+AFFINE_INT_FIELDS = ["hops", "cross_shard_ops", "max_queue_depth"]
 SNAPSHOT_TRIPLE = ["kv/snapshot/read_", "kv/snapshot/ntread_",
                    "kv/snapshot/txnread_"]
 
@@ -63,14 +77,16 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v5":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v5'")
+if doc.get("schema") != "satm-bench-v6":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v6'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
 if not isinstance(benches, list) or not benches:
     fail("benchmarks must be a non-empty list")
 kv_entries = 0
+affine_entries = 0
+symmetric_entries = 0
 triple_seen = {p: False for p in SNAPSHOT_TRIPLE}
 for b in benches:
     name = b.get("name", "<unnamed>")
@@ -94,7 +110,39 @@ for b in benches:
         if not has_tput or not has_lat:
             fail(f"benchmark {name}: kv/* entries must carry "
                  "throughput_ops_per_sec and latency_ns")
-    # v5 read-plane split: mandatory for kv/snapshot/* entries, and
+        # v6 executor dimension: every service entry names its mode.
+        if b.get("exec_mode") not in ("symmetric", "affine"):
+            fail(f"benchmark {name}: kv/* entries must carry exec_mode "
+                 "'symmetric' or 'affine', got "
+                 f"{b.get('exec_mode')!r}")
+        if b["exec_mode"] == "affine":
+            affine_entries += 1
+        else:
+            symmetric_entries += 1
+    elif "exec_mode" in b:
+        fail(f"benchmark {name}: exec_mode on a non-service entry")
+    # v6 affine routing block: mandatory for kv/affine/* entries, which
+    # must also run in affine mode; validated wherever present.
+    if name.startswith("kv/affine/"):
+        if "affine" not in b:
+            fail(f"benchmark {name}: kv/affine/* entries must carry the "
+                 "affine routing block")
+        if b.get("exec_mode") != "affine":
+            fail(f"benchmark {name}: kv/affine/* entries must have "
+                 "exec_mode 'affine'")
+    if "affine" in b:
+        blk = b["affine"]
+        expected = set(AFFINE_INT_FIELDS + ["cross_shard_ratio"])
+        if not isinstance(blk, dict) or set(blk) != expected:
+            fail(f"benchmark {name}: affine block must carry exactly "
+                 f"{sorted(expected)}")
+        for key in AFFINE_INT_FIELDS:
+            if not isinstance(blk[key], int):
+                fail(f"benchmark {name}: affine[{key!r}] must be an integer")
+        if not isinstance(blk["cross_shard_ratio"], (int, float)):
+            fail(f"benchmark {name}: affine['cross_shard_ratio'] must be "
+                 "numeric")
+    # Read-plane split: mandatory for kv/snapshot/* entries, and
     # validated to exactly three complete planes wherever present.
     if name.startswith("kv/snapshot/") and "read_planes" not in b:
         fail(f"benchmark {name}: kv/snapshot/* entries must carry "
@@ -145,7 +193,13 @@ if require_kv:
     if missing:
         fail(f"--require-kv: kv/snapshot read-plane triple incomplete, "
              f"missing entries for {missing}")
+if require_affine and affine_entries == 0:
+    fail("--require-affine: no kv/affine/* (exec_mode 'affine') entries")
+if require_affine and symmetric_entries == 0:
+    fail("--require-affine: no symmetric kv/* entries to compare against")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
-print(f"{path}: satm-bench-v5 OK ({len(benches)} benchmarks{kv_note})")
+if affine_entries:
+    kv_note += f" ({affine_entries} affine)"
+print(f"{path}: satm-bench-v6 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

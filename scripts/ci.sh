@@ -25,7 +25,8 @@ cmake --build build -j "$JOBS"
 
 echo "== bench smoke (perf_suite + kv_service JSON emitters, merged)"
 scripts/bench.sh --smoke "$JOBS"
-scripts/check_bench_schema.sh --require-kv build/BENCH_smoke.json BENCH_satm.json
+scripts/check_bench_schema.sh --require-kv --require-affine \
+  build/BENCH_smoke.json BENCH_satm.json
 
 echo "== bench smoke with event tracing armed (SATM_TRACE=1)"
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
@@ -33,7 +34,8 @@ SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
 scripts/check_bench_schema.sh build/BENCH_smoke_trace.json
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/kv_service --smoke \
   --json=build/BENCH_kv_smoke_trace.json
-scripts/check_bench_schema.sh --require-kv build/BENCH_kv_smoke_trace.json
+scripts/check_bench_schema.sh --require-kv --require-affine \
+  build/BENCH_kv_smoke_trace.json
 
 echo "== snapshot plane lane (ctest -L snapshot, plain + tracing armed)"
 (cd build && ctest --output-on-failure -j "$JOBS" -L snapshot)
@@ -67,6 +69,15 @@ for SPEC in \
     -R "$FAULT_TESTS")
 done
 
+echo "== affine executor fault lane (seeded SATM_FAULTS)"
+# The shard-affine executor under injected aborts: hops, gate retreats and
+# owned-fast re-executions must preserve conservation and the reclamation
+# identities (the explorer miniature stays in the default lanes — its
+# exhaustiveness assertions need deterministic schedules).
+AFFINE_FAULT_TESTS="kv_affine_test|kv_churn_flat_test"
+(cd build && SATM_FAULTS="seed=13,txn_open=0.02,txn_commit=0.02" \
+  ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
+
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
@@ -76,6 +87,10 @@ echo "== TSan fault-injection smoke"
 (cd build-tsan && \
   SATM_FAULTS="seed=7,txn_open=0.02,txn_commit=0.02,barrier_delay=0.01:800" \
   ctest --output-on-failure -j "$JOBS" -R "$FAULT_TESTS")
+
+echo "== TSan affine executor fault lane"
+(cd build-tsan && SATM_FAULTS="seed=13,txn_open=0.02,txn_commit=0.02" \
+  ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
 
 echo "== TSan snapshot lane (tracing armed)"
 (cd build-tsan && SATM_TRACE=1 SATM_STATS=1 ctest --output-on-failure \
@@ -87,6 +102,7 @@ SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/perf_suite --smoke \
 scripts/check_bench_schema.sh build-tsan/BENCH_smoke_trace.json
 SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/kv_service --smoke \
   --json=build-tsan/BENCH_kv_smoke_trace.json
-scripts/check_bench_schema.sh --require-kv build-tsan/BENCH_kv_smoke_trace.json
+scripts/check_bench_schema.sh --require-kv --require-affine \
+  build-tsan/BENCH_kv_smoke_trace.json
 
 echo "== CI green (plain + tsan, SATM_FAST_TESTS=$SATM_FAST_TESTS)"

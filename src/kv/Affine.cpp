@@ -1,0 +1,349 @@
+//===- kv/Affine.cpp - Shard-affine executor implementation --------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Affine.h"
+
+#include "stm/Stats.h"
+#include "stm/Txn.h"
+#include "support/Backoff.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace satm;
+using namespace satm::kv;
+
+AffineExec::AffineExec(Store &Store, unsigned Workers)
+    : S(Store), NumWorkers(Workers < 1 ? 1 : Workers), Solo(NumWorkers == 1),
+      Pending(NumWorkers), Counters(NumWorkers), ActiveClients(NumWorkers) {
+  Gates.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Gates.push_back(std::make_unique<stm::AffineGate>());
+  Mailboxes.reserve(S.shards());
+  for (uint32_t I = 0; I < S.shards(); ++I)
+    Mailboxes.push_back(std::make_unique<Mailbox>());
+  Pools.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Pools.push_back(std::make_unique<SlotPool>());
+}
+
+bool AffineExec::get(unsigned W, Word Key, Word &Out) {
+  Counters[W].Local++;
+  return S.get(Key, Out);
+}
+
+void AffineExec::execOwnedLocked(Request &R) {
+  switch (R.K) {
+  case Request::Kind::Put:
+    // Existing key: plain probe + one release store, no record CAS.
+    // Absent/erased key: the transactional insert, still on the
+    // owned-record fast path via the caller's scope.
+    R.Ok = S.putFastOwned(R.Key, R.Val) || S.insert(R.Key, R.Val);
+    break;
+  case Request::Kind::Erase:
+    R.Ok = S.erase(R.Key);
+    break;
+  case Request::Kind::Cas:
+    R.Ok = S.cas(R.Key, R.Expected, R.Val);
+    break;
+  }
+}
+
+void AffineExec::execFull(Request &R) {
+  switch (R.K) {
+  case Request::Kind::Put:
+    R.Ok = S.put(R.Key, R.Val);
+    break;
+  case Request::Kind::Erase:
+    R.Ok = S.erase(R.Key);
+    break;
+  case Request::Kind::Cas:
+    R.Ok = S.cas(R.Key, R.Expected, R.Val);
+    break;
+  }
+}
+
+bool AffineExec::execSingle(unsigned W, Request &R) {
+  if (Solo) {
+    stm::OwnedFastScope Scope;
+    execOwnedLocked(R);
+    return true;
+  }
+  stm::AffineGate &G = *Gates[W];
+  if (G.tryEnterOwned()) {
+    stm::OwnedFastScope Scope;
+    execOwnedLocked(R);
+    G.exitOwned();
+    return true;
+  }
+  // Foreign intent holds the gate: a cross-shard transaction may be
+  // running against our shards right now, so take the full protocol.
+  execFull(R);
+  return false;
+}
+
+bool AffineExec::execGated(unsigned Owner, Request &R) {
+  stm::AffineGate &G = *Gates[Owner];
+  G.enterForeign();
+  execFull(R);
+  G.exitForeign();
+  return R.Ok;
+}
+
+AffineExec::Request *AffineExec::allocSlot(unsigned W) {
+  SlotPool &P = *Pools[W];
+  for (size_t Tried = 0; Tried < P.Slots.size(); ++Tried) {
+    Request &R = P.Slots[P.Scan];
+    P.Scan = (P.Scan + 1) % P.Slots.size();
+    // Acquire pairs with the owner's Done release so the slot's payload
+    // fields are ours again before we overwrite them.
+    if (R.State.load(std::memory_order_acquire) != Request::SlotQueued)
+      return &R;
+  }
+  return nullptr;
+}
+
+bool AffineExec::routeBlind(unsigned W, Request::Kind K, Word Key, Word Val) {
+  uint32_t Shard = S.shardOf(Key);
+  unsigned Owner = ownerOf(Shard);
+  if (Owner == W) {
+    Request R;
+    R.K = K;
+    R.Key = Key;
+    R.Val = Val;
+    (execSingle(W, R) ? Counters[W].Local : Counters[W].Fallback)++;
+    return R.Ok;
+  }
+  if (Request *R = allocSlot(W)) {
+    R->K = K;
+    R->Key = Key;
+    R->Val = Val;
+    R->State.store(Request::SlotQueued, std::memory_order_relaxed);
+    // Count the hop before pushing so the owner's drain early-out can
+    // never miss a parked request; undone if the push loses.
+    Pending[Owner].N.fetch_add(1, std::memory_order_release);
+    // The mailbox push releases the payload to the owner; the owner's
+    // Done store releases the slot back to us.
+    if (Mailboxes[Shard]->tryPush(R)) {
+      Counters[W].Hop++;
+      if (stm::config().CollectStats)
+        stm::statsForThisThread().AffineHops++;
+      return true; // Accepted; applied on the owner's next drain.
+    }
+    Pending[Owner].N.fetch_sub(1, std::memory_order_release);
+    R->State.store(Request::SlotFree, std::memory_order_relaxed);
+  }
+  // Mailbox full or no free slot: backpressure. Run it ourselves,
+  // synchronously, behind the owner's gate.
+  Counters[W].Cross++;
+  Request R;
+  R.K = K;
+  R.Key = Key;
+  R.Val = Val;
+  return execGated(Owner, R);
+}
+
+bool AffineExec::put(unsigned W, Word Key, Word Val) {
+  return routeBlind(W, Request::Kind::Put, Key, Val);
+}
+
+bool AffineExec::erase(unsigned W, Word Key) {
+  return routeBlind(W, Request::Kind::Erase, Key, /*Val=*/0);
+}
+
+bool AffineExec::cas(unsigned W, Word Key, Word Expected, Word Desired) {
+  unsigned Owner = ownerOf(S.shardOf(Key));
+  Request R;
+  R.K = Request::Kind::Cas;
+  R.Key = Key;
+  R.Val = Desired;
+  R.Expected = Expected;
+  if (Owner == W) {
+    (execSingle(W, R) ? Counters[W].Local : Counters[W].Fallback)++;
+    return R.Ok;
+  }
+  // Result-bearing: the caller needs the real outcome, so no pipelining.
+  Counters[W].Cross++;
+  return execGated(Owner, R);
+}
+
+namespace {
+
+/// Distinct foreign *owners* of a multi-key op's footprint, plus whether
+/// any key lands in the caller's own shards. Gating per owner instead of
+/// per shard caps the handshake count at NumWorkers - 1 no matter how
+/// many shards the batch touches.
+struct OwnerSplit {
+  unsigned Foreign[64];
+  size_t NForeign = 0;
+  bool SelfInvolved = false;
+};
+
+void collectOwners(const Store &S, unsigned W, unsigned NumWorkers,
+                   const Word *Keys, size_t N, OwnerSplit &Out) {
+  assert(N <= 64 && "multi-key ops are capped at 64 keys");
+  for (size_t I = 0; I < N; ++I) {
+    unsigned Owner = S.shardOf(Keys[I]) % NumWorkers;
+    if (Owner == W) {
+      Out.SelfInvolved = true;
+      continue;
+    }
+    if (std::find(Out.Foreign, Out.Foreign + Out.NForeign, Owner) ==
+        Out.Foreign + Out.NForeign)
+      Out.Foreign[Out.NForeign++] = Owner;
+  }
+}
+
+} // namespace
+
+template <typename F>
+void AffineExec::runCross(const unsigned *ForeignOwners, size_t NForeign,
+                          F &&Body) {
+  // Publish intent on every foreign gate first, then wait each window
+  // out. Deadlock-free: owners never wait (they retreat to the full
+  // protocol), and we hold no transaction or record while waiting.
+  for (size_t I = 0; I < NForeign; ++I)
+    Gates[ForeignOwners[I]]->enterForeign();
+  Body();
+  for (size_t I = 0; I < NForeign; ++I)
+    Gates[ForeignOwners[I]]->exitForeign();
+}
+
+size_t AffineExec::multiGet(unsigned W, const Word *Keys, size_t N,
+                            Word *Out) {
+  if (Solo) {
+    stm::OwnedFastScope Scope;
+    Counters[W].Local++;
+    return S.multiGet(Keys, N, Out);
+  }
+  OwnerSplit Split;
+  collectOwners(S, W, NumWorkers, Keys, N, Split);
+  if (Split.NForeign == 0) {
+    // Entirely within our own shards: one window covers them all.
+    if (Gates[W]->tryEnterOwned()) {
+      stm::OwnedFastScope Scope;
+      size_t R = S.multiGet(Keys, N, Out);
+      Gates[W]->exitOwned();
+      Counters[W].Local++;
+      return R;
+    }
+    Counters[W].Fallback++;
+    return S.multiGet(Keys, N, Out);
+  }
+  Counters[W].Cross++;
+  if (stm::config().CollectStats)
+    stm::statsForThisThread().AffineHops += Split.NForeign;
+  size_t R = 0;
+  runCross(Split.Foreign, Split.NForeign,
+           [&] { R = S.multiGet(Keys, N, Out); });
+  return R;
+}
+
+bool AffineExec::rmwAdd(unsigned W, const Word *Keys, size_t N, Word Delta) {
+  if (Solo) {
+    stm::OwnedFastScope Scope;
+    Counters[W].Local++;
+    return S.rmwAdd(Keys, N, Delta);
+  }
+  OwnerSplit Split;
+  collectOwners(S, W, NumWorkers, Keys, N, Split);
+  if (Split.NForeign == 0) {
+    if (Gates[W]->tryEnterOwned()) {
+      stm::OwnedFastScope Scope;
+      bool R = S.rmwAdd(Keys, N, Delta);
+      Gates[W]->exitOwned();
+      Counters[W].Local++;
+      return R;
+    }
+    Counters[W].Fallback++;
+    return S.rmwAdd(Keys, N, Delta);
+  }
+  Counters[W].Cross++;
+  if (stm::config().CollectStats)
+    stm::statsForThisThread().AffineHops += Split.NForeign;
+  bool R = false;
+  runCross(Split.Foreign, Split.NForeign,
+           [&] { R = S.rmwAdd(Keys, N, Delta); });
+  return R;
+}
+
+void AffineExec::drain(unsigned W) {
+  if (Solo)
+    return; // Nobody to hop from.
+  if (Pending[W].N.load(std::memory_order_acquire) == 0)
+    return;
+  uint64_t Served = 0;
+  // Open our window once for the whole burst: one gate handshake
+  // amortized over every request parked across all our shards.
+  stm::AffineGate &G = *Gates[W];
+  bool Owned = G.tryEnterOwned();
+  for (uint32_t Shard = W; Shard < S.shards(); Shard += NumWorkers) {
+    Mailbox &Q = *Mailboxes[Shard];
+    Request *R;
+    while (Q.tryPop(R)) {
+      if (Owned) {
+        stm::OwnedFastScope Scope;
+        execOwnedLocked(*R);
+      } else {
+        execFull(*R);
+      }
+      R->State.store(Request::SlotDone, std::memory_order_release);
+      ++Served;
+      // A cross-shard transaction is waiting on our window: yield it and
+      // finish the burst on the full protocol rather than stall a
+      // foreign transaction behind a long drain.
+      if (Owned && G.foreignIntents() != 0) {
+        G.exitOwned();
+        Owned = false;
+      }
+    }
+  }
+  if (Owned)
+    G.exitOwned();
+  if (Served)
+    Pending[W].N.fetch_sub(Served, std::memory_order_release);
+}
+
+void AffineExec::flush(unsigned W) {
+  SlotPool &P = *Pools[W];
+  Backoff B;
+  for (Request &R : P.Slots) {
+    while (R.State.load(std::memory_order_acquire) == Request::SlotQueued) {
+      // Serve our own shards while we wait: owners flushing against each
+      // other keep making progress, so this terminates.
+      drain(W);
+      B.pause();
+    }
+    B.reset();
+  }
+}
+
+void AffineExec::clientDone() {
+  ActiveClients.fetch_sub(1, std::memory_order_release);
+}
+
+void AffineExec::runUntilQuiet(unsigned W) {
+  Backoff B;
+  while (ActiveClients.load(std::memory_order_acquire) != 0) {
+    drain(W);
+    B.pause();
+  }
+  // Every client is done: no new hops can arrive, flush the residue.
+  drain(W);
+}
+
+AffineExec::Metrics AffineExec::metrics() const {
+  Metrics M;
+  for (const WorkerCounters &C : Counters) {
+    M.LocalOps += C.Local;
+    M.FallbackOps += C.Fallback;
+    M.HopOps += C.Hop;
+    M.CrossOps += C.Cross;
+  }
+  for (const auto &Q : Mailboxes)
+    M.MaxQueueDepth = std::max(M.MaxQueueDepth, Q->maxDepth());
+  return M;
+}

@@ -1,0 +1,258 @@
+//===- kv/Affine.h - Shard-affine executor over the SATM-KV store -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard-affine execution mode of SATM-KV (DESIGN.md §11), following
+/// KVell's shard-per-worker lesson: the symmetric executor lets every
+/// worker transact against every shard, so past ~4 threads the shared
+/// record CASes and contention-manager traffic eat the added cores
+/// (closed_t8 < closed_t4 in EXPERIMENTS.md). Here each shard is *owned*
+/// by exactly one worker:
+///
+///  - Single-key writes on an owned shard run under the owner's
+///    AffineGate window on the *owned-record fast path*
+///    (stm::OwnedFastScope): plain-store lock words instead of CAS
+///    acquireExclusive, reads without read-set logging, no validation, no
+///    contention-manager entry. Overwrites of existing keys skip records
+///    entirely (Store::putFastOwned).
+///  - Blind single-key writes (put / erase) on a foreign shard are
+///    *pipelined*: the requester parks the request in the owning worker's
+///    bounded MPSC mailbox (support/ShardQueue.h) and immediately moves
+///    on; the owner applies it on its next drain. The return value of a
+///    hopped write means "accepted", its effect becomes visible when the
+///    owner drains, and same-client ordering across the hop/direct
+///    boundary is not preserved — flush() is the write barrier. This is
+///    the shard-per-worker completion model: a synchronous hop would
+///    stall the requester for an owner scheduling quantum per write,
+///    which inverts the entire win on loaded machines.
+///  - Result-bearing single-key ops on a foreign shard (cas) run
+///    synchronously under the full protocol behind the owner's gate, as
+///    do hops that find the mailbox full (backpressure never blocks).
+///  - Multi-key transactions (multiGet / rmwAdd) spanning foreign shards
+///    publish foreign intent on each foreign owner's gate, wait out any
+///    open fast-path window, and run the full CAS protocol — the paper's
+///    machinery is the *slow path* that makes cross-shard atomicity
+///    correct, not the per-op tax.
+///  - GETs run directly from any worker through the non-transactional
+///    read barrier: read-only probes don't bounce cache lines, so routing
+///    them through the owner would only add latency. A GET may miss this
+///    client's own not-yet-drained hopped write (see flush()).
+///
+/// Hopped requests live in a fixed per-worker slot pool inside the
+/// executor (never on the requester's stack): a slot is recycled only
+/// after its owner published Done, so there is no lifetime race, and an
+/// exhausted pool simply degrades to the synchronous gated path.
+///
+/// Serializability of the mix is explored by tests/check/
+/// AffineExploreTest.cpp (owned fast path + cross-shard transaction
+/// miniature); the gate handshake itself is documented in
+/// stm/AffineGate.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_KV_AFFINE_H
+#define SATM_KV_AFFINE_H
+
+#include "kv/Store.h"
+#include "stm/AffineGate.h"
+#include "support/ShardQueue.h"
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace satm {
+namespace kv {
+
+class AffineExec {
+public:
+  /// Binds \p NumWorkers workers to \p S's shards round-robin:
+  /// ownerOf(Shard) = Shard % NumWorkers. Workers identify themselves by
+  /// index in every call; worker \p W must only ever be driven by one
+  /// thread (the single-consumer side of its mailboxes and the single
+  /// allocator of its hop-slot pool). While a run is in flight, every
+  /// access to \p S must go through a registered worker — the gates only
+  /// arbitrate between workers, and with NumWorkers == 1 they are
+  /// elided outright.
+  AffineExec(Store &S, unsigned NumWorkers);
+
+  unsigned workers() const { return NumWorkers; }
+  unsigned ownerOf(uint32_t Shard) const { return Shard % NumWorkers; }
+
+  //===--------------------------------------------------------------------===
+  // Operations (called by worker \p W on its own thread).
+  //===--------------------------------------------------------------------===
+
+  /// Single-key read, executed directly (no routing, no gate).
+  bool get(unsigned W, Word Key, Word &Out);
+
+  /// Single-key upsert. Owned: fast path. Foreign: pipelined hop (returns
+  /// true = accepted) or gated fallback under backpressure.
+  bool put(unsigned W, Word Key, Word Val);
+
+  /// Single-key erase. Owned: fast path, returns whether the key was
+  /// live. Foreign: pipelined hop — returns true = accepted, NOT whether
+  /// the key existed.
+  bool erase(unsigned W, Word Key);
+
+  /// Single-key compare-and-swap: owned fast path, or synchronous gated
+  /// full protocol when foreign (the result is always the real outcome).
+  bool cas(unsigned W, Word Key, Word Expected, Word Desired);
+
+  /// Atomic multi-get; runs owned-fast when every key lands in \p W's own
+  /// shards, else full-protocol behind the foreign shards' gates.
+  size_t multiGet(unsigned W, const Word *Keys, size_t N, Word *Out);
+
+  /// Atomic multi-key add; same routing as multiGet.
+  bool rmwAdd(unsigned W, const Word *Keys, size_t N, Word Delta);
+
+  //===--------------------------------------------------------------------===
+  // Lifecycle.
+  //===--------------------------------------------------------------------===
+
+  /// Executes every request currently parked in \p W's mailboxes. Cheap
+  /// when empty (one acquire load per owned shard); call between
+  /// generated operations.
+  void drain(unsigned W);
+
+  /// Write barrier: returns once every hop \p W ever issued has been
+  /// applied by its owner. Drains \p W's own mailboxes while waiting, so
+  /// concurrent flushes cannot deadlock.
+  void flush(unsigned W);
+
+  /// Worker \p W will generate no more operations of its own.
+  void clientDone();
+
+  /// Keeps draining \p W's mailboxes until every worker has called
+  /// clientDone(), then drains the residue. Only after every worker
+  /// returns from here may the workers be joined — a hop parked in \p W's
+  /// mailbox would otherwise never execute.
+  void runUntilQuiet(unsigned W);
+
+  //===--------------------------------------------------------------------===
+  // Introspection (stable only after workers joined).
+  //===--------------------------------------------------------------------===
+
+  struct Metrics {
+    uint64_t LocalOps = 0;    ///< Ops completed under an owned window.
+    uint64_t FallbackOps = 0; ///< Owned-shard ops that ran full protocol
+                              ///< (foreign intent had the gate).
+    uint64_t HopOps = 0;      ///< Single-key writes hopped to their owner.
+    uint64_t CrossOps = 0;    ///< Multi-key ops spanning foreign shards,
+                              ///< plus gated synchronous singles.
+    uint64_t MaxQueueDepth = 0; ///< Deepest mailbox high-water mark.
+    uint64_t total() const {
+      return LocalOps + FallbackOps + HopOps + CrossOps;
+    }
+    /// Share of ops that left their worker's shard set.
+    double crossRatio() const {
+      uint64_t T = total();
+      return T ? double(HopOps + CrossOps) / double(T) : 0.0;
+    }
+  };
+  Metrics metrics() const;
+
+private:
+  /// A hopped single-key request. Lives in its issuer's SlotPool; State
+  /// is the recycling handshake (the mailbox push/pop publishes the
+  /// payload fields themselves).
+  struct Request {
+    enum class Kind : uint8_t { Put, Erase, Cas };
+    static constexpr uint8_t SlotFree = 0;   ///< Never used / harvested.
+    static constexpr uint8_t SlotQueued = 1; ///< In a mailbox or executing.
+    static constexpr uint8_t SlotDone = 2;   ///< Owner applied it.
+    Kind K;
+    Word Key;
+    Word Val;
+    Word Expected;
+    bool Ok = false;
+    std::atomic<uint8_t> State{SlotFree};
+  };
+
+  /// Mailbox: 1024 parked requests per shard; a full queue falls back to
+  /// the gated direct path, it never blocks the producer.
+  using Mailbox = ShardQueue<Request *, 10>;
+
+  /// Per-worker pool of in-flight hop requests. Only worker \p W
+  /// allocates from pool \p W (plain cursor); owners release slots with
+  /// a Done store. Exhaustion degrades to the synchronous gated path.
+  /// Sized for deep pipelines: on an oversubscribed machine the owner
+  /// may not run for a scheduling quantum, and every exhaustion event
+  /// converts a ~100ns enqueue into a ~1µs gated round trip.
+  struct alignas(64) SlotPool {
+    std::array<Request, 512> Slots;
+    size_t Scan = 0;
+  };
+
+  /// Per-owner count of hops parked in that owner's mailboxes, padded to
+  /// its own line: lets drain() be one acquire load of a mostly-own line
+  /// in the common empty case instead of a walk over every owned shard's
+  /// mailbox head.
+  struct alignas(64) PendingCell {
+    std::atomic<uint64_t> N{0};
+  };
+
+  /// Per-worker counters, line-padded: each cell is written by exactly
+  /// one worker thread and summed after join.
+  struct alignas(64) WorkerCounters {
+    uint64_t Local = 0;
+    uint64_t Fallback = 0;
+    uint64_t Hop = 0;
+    uint64_t Cross = 0;
+  };
+
+  /// Executes \p R against a shard owned by \p W: owned fast path when
+  /// \p W's gate window opens, full protocol otherwise. \returns true
+  /// iff the fast path ran.
+  bool execSingle(unsigned W, Request &R);
+
+  /// Applies \p R assuming the caller already holds the owned window (or
+  /// runs solo); must be inside an OwnedFastScope.
+  void execOwnedLocked(Request &R);
+
+  /// Applies \p R through the full protocol, no window held.
+  void execFull(Request &R);
+
+  /// Synchronous full-protocol execution behind \p Owner's gate.
+  bool execGated(unsigned Owner, Request &R);
+
+  /// Routes a blind single-key write: local execute, pipelined hop, or
+  /// gated fallback.
+  bool routeBlind(unsigned W, Request::Kind K, Word Key, Word Val);
+
+  /// \returns a free slot from \p W's pool, or nullptr (pool exhausted).
+  Request *allocSlot(unsigned W);
+
+  /// Gated full-protocol runner for multi-key ops: publishes foreign
+  /// intent on each of the \p NForeign foreign owners' gates, runs
+  /// \p Body, withdraws.
+  template <typename F>
+  void runCross(const unsigned *ForeignOwners, size_t NForeign, F &&Body);
+
+  Store &S;
+  unsigned NumWorkers;
+  /// One worker means no other executor thread can ever race a window:
+  /// every op is owned and the gates (and drains) are skipped entirely.
+  bool Solo;
+  /// One gate per *owner*, not per shard: a worker's shards share one
+  /// fast-window, so a cross-shard transaction pays at most
+  /// NumWorkers - 1 gate entries instead of one per distinct shard, and
+  /// an owner opens a single window for a whole drain burst. Coarser
+  /// exclusion (a foreign intent pauses all of that owner's windows) is
+  /// a fair trade for the per-transaction handshake count.
+  std::vector<std::unique_ptr<stm::AffineGate>> Gates;  ///< Per worker.
+  std::vector<std::unique_ptr<Mailbox>> Mailboxes;      ///< Per shard.
+  std::vector<std::unique_ptr<SlotPool>> Pools;         ///< Per worker.
+  std::vector<PendingCell> Pending;                     ///< Per worker.
+  std::vector<WorkerCounters> Counters;                 ///< Per worker.
+  std::atomic<unsigned> ActiveClients;
+};
+
+} // namespace kv
+} // namespace satm
+
+#endif // SATM_KV_AFFINE_H

@@ -7,6 +7,7 @@
 #include "kv/Store.h"
 
 #include "stm/Barriers.h"
+#include "stm/Quiesce.h"
 #include "stm/Txn.h"
 
 #include <cassert>
@@ -84,13 +85,58 @@ Store::Store(rt::Heap &Heap, const StoreConfig &C) : H(Heap) {
   Capacity = roundUpPow2(C.CapacityPerShard < 2 ? 2 : C.CapacityPerShard);
   uint32_t NumShards = roundUpPow2(C.Shards < 1 ? 1 : C.Shards);
   Reps.reserve(NumShards);
+  Pools.reserve(NumShards);
   for (uint32_t S = 0; S < NumShards; ++S) {
     ShardRep R;
     R.Keys = H.allocateArray(&IntArrayType, Capacity, BirthState::Shared);
     R.Vals = H.allocateArray(&RefArrayType, Capacity, BirthState::Shared);
     R.Meta = H.allocate(&MetaType, BirthState::Shared);
     Reps.push_back(R);
+    Pools.push_back(std::make_unique<ShardPool>());
   }
+}
+
+//===----------------------------------------------------------------------===
+// Value-record retire pools (quiescence-deferred reclamation).
+//===----------------------------------------------------------------------===
+
+void Store::pushRetired(uint32_t Shard, rt::Object *V) {
+  using stm::Quiescence;
+  ShardPool &P = *Pools[Shard];
+  std::lock_guard<std::mutex> Lock(P.Mutex);
+  P.Queue.push_back(
+      {V, Quiescence::currentEpoch(), Quiescence::snapshotStable()});
+}
+
+rt::Object *Store::popRecycled(uint32_t Shard) {
+  using stm::Quiescence;
+  ShardPool &P = *Pools[Shard];
+  std::lock_guard<std::mutex> Lock(P.Mutex);
+  if (P.Queue.empty())
+    return nullptr;
+  const RetiredRecord &F = P.Queue.front();
+  if (Quiescence::currentEpoch() <= F.RetireEpoch) {
+    // Never block an insert on the horizon: advance the epoch once (it
+    // stalls when QuiesceOnCommit is off) and let a later harvest reap.
+    Quiescence::advanceEpoch();
+    return nullptr;
+  }
+  if (Quiescence::minPinnedEpoch() < F.RetireStable)
+    return nullptr; // A pinned snapshot predates the unlink: keep parking.
+  rt::Object *V = F.V;
+  P.Queue.pop_front();
+  return V;
+}
+
+Store::ReclaimStats Store::reclaimStats() const {
+  uint64_t Pool = 0;
+  for (const auto &P : Pools) {
+    std::lock_guard<std::mutex> Lock(P->Mutex);
+    Pool += P->Queue.size();
+  }
+  return {ValueAllocated.load(std::memory_order_relaxed),
+          ValueRetired.load(std::memory_order_relaxed),
+          ValueRecycled.load(std::memory_order_relaxed), Pool};
 }
 
 //===----------------------------------------------------------------------===
@@ -107,12 +153,19 @@ bool Store::get(Word Key, Word &Out) const {
       return false; // Probe chains never shrink: empty slot ends the search.
     if (K != Key + 1)
       continue;
-    const Object *V = Object::fromWord(stm::ntRead(S.Vals, I));
-    // The index entry and its value object are linked inside one
-    // transaction; a probe that saw the key cannot miss the object.
-    assert(V && "index entry without a value object");
-    Out = stm::ntRead(V, 0);
-    return Out != Tombstone;
+    for (;;) {
+      Word VW = stm::ntRead(S.Vals, I);
+      const Object *V = Object::fromWord(VW);
+      if (!V)
+        return false; // Erased: the record was unlinked.
+      Out = stm::ntRead(V, 0);
+      // Re-confirm the link after the value read: a concurrent erase may
+      // have unlinked V and a recycling insert rewritten it for another
+      // key. An unchanged link means the value belonged to Key at the
+      // second read (unlink commits publish before any reuse).
+      if (stm::ntRead(S.Vals, I) == VW)
+        return Out != Tombstone;
+    }
   }
   return false;
 }
@@ -128,9 +181,20 @@ bool Store::putFast(Word Key, Word Val) {
       return false;
     if (K != Key + 1)
       continue;
-    Object *V = Object::fromWord(stm::ntRead(S.Vals, I));
-    assert(V && "index entry without a value object");
-    stm::ntWrite(V, 0, Val);
+    Word VW = stm::ntRead(S.Vals, I);
+    Object *V = Object::fromWord(VW);
+    if (!V)
+      return false; // Erased: the transactional insert path resurrects.
+    // Store under an aggregated anon hold and re-confirm the link while
+    // holding it: a concurrent erase may unlink V (parking it for reuse
+    // under another key) between the probe and the store. The re-read is
+    // a raw load on purpose — a full barrier read here could wait on the
+    // serial gate while holding V's record, and a speculative value only
+    // causes a harmless fallback to the transactional path.
+    stm::AggregatedWriter W(V);
+    if (S.Vals->rawLoad(I, std::memory_order_acquire) != VW)
+      return false; // Unlinked underneath us.
+    W.store(0, Val);
     return true;
   }
   return false;
@@ -140,6 +204,33 @@ bool Store::put(Word Key, Word Val) {
   if (putFast(Key, Val))
     return true;
   return insert(Key, Val);
+}
+
+bool Store::putFastOwned(Word Key, Word Val) {
+  assert(Val != Tombstone && "Tombstone is reserved");
+  const ShardRep &S = Reps[shardOf(Key)];
+  const uint32_t Mask = Capacity - 1;
+  uint32_t I = probeStart(Key, Capacity);
+  for (uint32_t N = 0; N < Capacity; ++N, I = (I + 1) & Mask) {
+    // Plain acquire loads: index mutations of this shard either happened
+    // on this thread (the owner executes all single-key writes) or
+    // synchronized through the AffineGate handshake before the window
+    // opened, so no record check is needed.
+    Word K = S.Keys->rawLoad(I, std::memory_order_acquire);
+    if (K == 0)
+      return false;
+    if (K != Key + 1)
+      continue;
+    Object *V =
+        Object::fromWord(S.Vals->rawLoad(I, std::memory_order_acquire));
+    if (!V)
+      return false; // Erased: the transactional insert path resurrects.
+    // No unlink race: erases of this shard run only under this window or
+    // behind the gate, never concurrently with it.
+    V->rawStore(0, Val, std::memory_order_release);
+    return true;
+  }
+  return false;
 }
 
 //===----------------------------------------------------------------------===
@@ -167,32 +258,66 @@ int Store::findSlotTxn(stm::Txn &Tx, const ShardRep &S, Word Key,
 
 OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
   assert(Val != Tombstone && "Tombstone is reserved");
-  ShardRep &S = Reps[shardOf(Key)];
+  uint32_t Shard = shardOf(Key);
+  ShardRep &S = Reps[Shard];
+  // Harvest at most one ripe retired record *before* the attempt loop —
+  // popping inside the body would double-pop across re-executions.
+  Object *Recycled = popRecycled(Shard);
+  bool UsedRecycled = false;
   OpStatus St = OpStatus::Ok;
-  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+  OpStatus R = runBudgeted(B, St, [&](stm::Txn &Tx) {
     St = OpStatus::Ok;
+    UsedRecycled = false;
     int FirstFree = -1;
     int Slot = findSlotTxn(Tx, S, Key, &FirstFree);
+    int Target = Slot;
     if (Slot >= 0) {
-      // Present (possibly erased): overwrite in place.
       Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
-      Tx.write(V, 0, Val);
-      return;
-    }
-    if (FirstFree < 0) {
+      if (V) {
+        // Present: overwrite in place.
+        Tx.write(V, 0, Val);
+        return;
+      }
+      // Erased key: resurrect by relinking a value record below. Meta is
+      // untouched — size() counts index entries, which never shrink.
+    } else if (FirstFree >= 0) {
+      Target = FirstFree;
+    } else {
       St = OpStatus::Full;
       return;
     }
-    // Claim the slot. The value object is born per config().birthState():
-    // under DEA it stays private — invisible to every other thread — until
-    // the transactional ref store below publishes it (§4), so its
-    // initializing rawStore needs no barrier.
-    Object *V = H.allocate(&ValueType, stm::config().birthState());
-    V->rawStore(0, Val);
-    Tx.write(S.Keys, uint32_t(FirstFree), Key + 1);
-    Tx.writeRef(S.Vals, uint32_t(FirstFree), V);
-    Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
+    Object *V;
+    if (Recycled) {
+      // A recycled record is Shared and may have straggling optimistic
+      // readers from its previous key: write transactionally so the
+      // acquire arbitrates against them and the commit-time version bump
+      // (plus the published version node under SnapshotEnabled) kills
+      // their validation.
+      V = Recycled;
+      Tx.write(V, 0, Val);
+      UsedRecycled = true;
+    } else {
+      // Fresh record, born per config().birthState(): under DEA it stays
+      // private — invisible to every other thread — until the
+      // transactional ref store below publishes it (§4), so its
+      // initializing rawStore needs no barrier.
+      V = H.allocate(&ValueType, stm::config().birthState());
+      V->rawStore(0, Val);
+      ValueAllocated.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (Slot < 0) {
+      Tx.write(S.Keys, uint32_t(Target), Key + 1);
+      Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
+    }
+    Tx.writeRef(S.Vals, uint32_t(Target), V);
   });
+  if (Recycled) {
+    if (R == OpStatus::Ok && UsedRecycled)
+      ValueRecycled.fetch_add(1, std::memory_order_relaxed);
+    else
+      pushRetired(Shard, Recycled); // Unused (overwrite path or shed).
+  }
+  return R;
 }
 
 bool Store::insert(Word Key, Word Val) {
@@ -200,7 +325,8 @@ bool Store::insert(Word Key, Word Val) {
 }
 
 OpStatus Store::erase(Word Key, const OpBudget &B) {
-  ShardRep &S = Reps[shardOf(Key)];
+  uint32_t Shard = shardOf(Key);
+  ShardRep &S = Reps[Shard];
   OpStatus St = OpStatus::Ok;
   return runBudgeted(B, St, [&](stm::Txn &Tx) {
     St = OpStatus::NotFound;
@@ -208,9 +334,18 @@ OpStatus Store::erase(Word Key, const OpBudget &B) {
     if (Slot < 0)
       return;
     Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
-    if (Tx.read(V, 0) == Tombstone)
-      return;
-    Tx.write(V, 0, Tombstone);
+    if (!V)
+      return; // Already erased.
+    // Unlink the record instead of tombstoning its value in place: it
+    // becomes unreachable from the index at commit and parks in the
+    // shard's retire pool for epoch-gated recycling. The park runs
+    // post-commit (discarded on abort), when the retirement horizon —
+    // current epoch and stable snapshot ticket — is final.
+    Tx.writeRef(S.Vals, uint32_t(Slot), nullptr);
+    Tx.onCommit([this, Shard, V] {
+      ValueRetired.fetch_add(1, std::memory_order_relaxed);
+      pushRetired(Shard, V);
+    });
     St = OpStatus::Ok;
   });
 }
@@ -230,6 +365,8 @@ OpStatus Store::cas(Word Key, Word Expected, Word Desired,
     if (Slot < 0)
       return;
     Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+    if (!V)
+      return; // Erased.
     Word Cur = Tx.read(V, 0);
     if (Cur == Tombstone)
       return;
@@ -255,11 +392,12 @@ OpStatus Store::multiGet(const Word *Keys, size_t N, Word *Out,
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
       int Slot = findSlotTxn(Tx, S, Keys[I], nullptr);
-      if (Slot < 0) {
+      Object *V =
+          Slot < 0 ? nullptr : Tx.readRef(S.Vals, uint32_t(Slot));
+      if (!V) {
         Out[I] = Tombstone;
         continue;
       }
-      Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
       Out[I] = Tx.read(V, 0);
       if (Out[I] != Tombstone)
         ++Hits;
@@ -291,11 +429,12 @@ size_t Store::snapshotMultiGet(const Word *Keys, size_t N, Word *Out) const {
     for (size_t I = 0; I < N; ++I) {
       const ShardRep &S = Reps[shardOf(Keys[I])];
       int Slot = findSlotTxn(Tx, S, Keys[I], nullptr);
-      if (Slot < 0) {
-        Out[I] = Tombstone;
+      Object *V =
+          Slot < 0 ? nullptr : Tx.readRef(S.Vals, uint32_t(Slot));
+      if (!V) {
+        Out[I] = Tombstone; // Missing or erased as of the pinned epoch.
         continue;
       }
-      Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
       Out[I] = Tx.read(V, 0);
       if (Out[I] != Tombstone)
         ++Hits;
@@ -328,6 +467,8 @@ OpStatus Store::readModifyWrite(
       if (Slot < 0)
         return;
       Objs[I] = Tx.readRef(S.Vals, uint32_t(Slot));
+      if (!Objs[I])
+        return; // Erased.
       Buf[I] = Tx.read(Objs[I], 0);
       if (Buf[I] == Tombstone)
         return;

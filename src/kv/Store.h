@@ -21,9 +21,14 @@
 /// linear probing, slot holds key+1, 0 = empty), a Vals ref-array of
 /// single-slot value objects, and a Meta counter object. Value objects are
 /// allocated per insert (DEA-private until the transactional ref store
-/// publishes them, §4) and are never unlinked: erase writes the Tombstone
-/// sentinel into the value slot instead of removing the index entry, so the
-/// non-transactional GET's probe walks only monotonically-growing state.
+/// publishes them, §4). The *index* never shrinks — erase leaves the Keys
+/// entry behind so the non-transactional GET's probe walks only
+/// monotonically-growing state — but the value record is unlinked (Vals
+/// slot nulled) and parked in a per-shard retire pool. A later insert
+/// recycles a parked record once the Quiescence epoch has advanced past
+/// its retirement and no snapshot pin predates it, so sustained
+/// insert/erase churn runs in bounded memory instead of leaking a
+/// tombstoned record per erase.
 ///
 /// Why the two planes compose (the strong-atomicity argument, spelled out
 /// in DESIGN.md §8): index mutations happen only inside transactions, which
@@ -41,9 +46,13 @@
 
 #include "rt/Heap.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace satm {
@@ -159,6 +168,17 @@ public:
   /// insert. Returns false only if the shard is full.
   bool put(Word Key, Word Val);
 
+  /// Owner-side single-key overwrite for the shard-affine executor
+  /// (kv/Affine.h): plain loads for the probe and one release store for
+  /// the value — no record CAS at all. Caller must hold the shard's
+  /// AffineGate window open, which guarantees no other thread owns or
+  /// acquires the shard's records for the duration (concurrent
+  /// non-transactional GETs remain safe: they are per-slot atomic loads).
+  /// Returns false (writing nothing) when the key is absent or erased —
+  /// the caller falls through to the transactional insert, still inside
+  /// its owned window.
+  bool putFastOwned(Word Key, Word Val);
+
   //===--------------------------------------------------------------------===
   // Transactional plane (atomic multi-key operations).
   //===--------------------------------------------------------------------===
@@ -168,8 +188,10 @@ public:
   /// Returns false iff the shard's probe sequence is exhausted (full).
   bool insert(Word Key, Word Val);
 
-  /// Atomically writes Tombstone into the key's value. Returns false if
-  /// the key is absent (no entry, or already erased).
+  /// Atomically unlinks the key's value record (the index entry stays, so
+  /// probe chains never shrink) and parks the record for recycling once
+  /// the system has quiesced past the erase. Returns false if the key is
+  /// absent (no entry, or already erased).
   bool erase(Word Key);
 
   /// Atomic compare-and-swap on one key's value. Returns true iff the key
@@ -238,9 +260,21 @@ public:
   /// Exact only while no mutating operation is in flight.
   uint64_t size() const;
 
-  /// The value object currently indexed under \p Key, or null. Test/model
-  /// plumbing — production code reads through get().
+  /// The value object currently indexed under \p Key, or null (missing or
+  /// erased). Test/model plumbing — production code reads through get().
   rt::Object *valueObjectFor(Word Key) const;
+
+  /// Value-record lifecycle counters (memory-flatness tests). Live records
+  /// = Allocated (records are recycled through the pools, never freed), so
+  /// flat memory under churn shows up as Allocated plateauing while
+  /// Retired/Recycled keep climbing.
+  struct ReclaimStats {
+    uint64_t Allocated; ///< Fresh value-record allocations (monotone).
+    uint64_t Retired;   ///< Records parked by erase (monotone).
+    uint64_t Recycled;  ///< Parked records reused by insert (monotone).
+    uint64_t PoolSize;  ///< Records currently parked across all shards.
+  };
+  ReclaimStats reclaimStats() const;
 
 private:
   struct ShardRep {
@@ -248,6 +282,34 @@ private:
     rt::Object *Vals; ///< Ref array: value objects, parallel to Keys.
     rt::Object *Meta; ///< Slot 0: live-key count.
   };
+
+  /// One erased value record awaiting recycling, with the reclamation
+  /// horizon recorded at the unlinking commit: the record may be reused
+  /// only after the global epoch has advanced past RetireEpoch (every
+  /// transaction that could still hold a stale reference has since
+  /// validated or finished) and no snapshot pin is older than RetireStable
+  /// (no pinned reader predates the unlink).
+  struct RetiredRecord {
+    rt::Object *V;
+    uint64_t RetireEpoch;
+    uint64_t RetireStable;
+  };
+
+  /// Per-shard retire pool. Mutex-guarded: erase commits and insert
+  /// harvests are rare next to the lock-free read/write planes, and the
+  /// pool is per shard, so the lock never sees cross-shard contention.
+  struct ShardPool {
+    std::mutex Mutex;
+    std::deque<RetiredRecord> Queue;
+  };
+
+  /// Parks \p V in \p Shard's pool, stamped with the current horizon.
+  void pushRetired(uint32_t Shard, rt::Object *V);
+
+  /// Pops the oldest parked record whose horizon has passed, or null. On
+  /// an epoch-blocked head, nudges the global epoch forward once so the
+  /// next harvest succeeds (epochs stall when QuiesceOnCommit is off).
+  rt::Object *popRecycled(uint32_t Shard);
 
   /// Probe under transaction \p Tx (passed in so the per-key hot loops pay
   /// no thread-local descriptor lookup); returns the slot holding \p Key
@@ -259,6 +321,10 @@ private:
   rt::Heap &H;
   uint32_t Capacity;
   std::vector<ShardRep> Reps;
+  std::vector<std::unique_ptr<ShardPool>> Pools;
+  std::atomic<uint64_t> ValueAllocated{0};
+  std::atomic<uint64_t> ValueRetired{0};
+  std::atomic<uint64_t> ValueRecycled{0};
 };
 
 } // namespace kv

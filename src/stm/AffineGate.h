@@ -1,0 +1,98 @@
+//===- stm/AffineGate.h - Per-shard owner/foreign Dekker gate --*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structural-isolation gate of the shard-affine executor (DESIGN.md
+/// §11). A shard owned by exactly one worker may run its transactions on
+/// an *owned-record fast path* (plain-store lock words, no CAS, no
+/// read-set validation — see Txn::OwnedFastScope) because no other thread
+/// acquires the shard's records. Cross-shard transactions break that
+/// monopoly, so each shard carries this two-word Dekker gate:
+///
+///  - The owner raises OwnerFast before a fast-path transaction and checks
+///    Foreign; if any foreign intent is published it retreats and runs the
+///    full CAS protocol instead. The owner never blocks.
+///  - A foreign thread publishes intent (Foreign++), then waits until the
+///    owner's fast-path window closes, and only then runs its full-protocol
+///    transaction against the shard's records.
+///
+/// Both sides use seq_cst for the announce-then-check pair, the same
+/// handshake shape as the serial-irrevocable gate (Quiesce.h): in the
+/// single total order either the foreign thread sees OwnerFast and waits,
+/// or the owner sees Foreign and retreats — a fast-path transaction and a
+/// foreign full-protocol transaction can never overlap on the shard.
+/// Deadlock-free by construction: owners never wait, and foreign waiters
+/// hold no transaction and no ownership records while spinning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_STM_AFFINEGATE_H
+#define SATM_STM_AFFINEGATE_H
+
+#include "stm/Config.h"
+#include "support/Backoff.h"
+
+#include <atomic>
+
+namespace satm {
+namespace stm {
+
+class AffineGate {
+public:
+  /// Owner side: opens a fast-path window. \returns false (without
+  /// blocking) when foreign intent is published — the caller must run the
+  /// full protocol for this transaction instead.
+  bool tryEnterOwned() {
+    OwnerFast.store(1, std::memory_order_seq_cst);
+    if (Foreign.load(std::memory_order_seq_cst) != 0) {
+      OwnerFast.store(0, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  /// Owner side: closes the fast-path window (after the owned transaction
+  /// committed and released its records).
+  void exitOwned() { OwnerFast.store(0, std::memory_order_release); }
+
+  /// Foreign side: publishes intent and waits out any open fast-path
+  /// window. After this returns, full-protocol transactions may touch the
+  /// shard's records until exitForeign().
+  void enterForeign() {
+    Foreign.fetch_add(1, std::memory_order_seq_cst);
+    Backoff B;
+    for (;;) {
+      Word W = OwnerFast.load(std::memory_order_seq_cst);
+      if (W == 0)
+        return;
+      schedYield(YieldPoint::AffineGate, &OwnerFast, W);
+      B.pause();
+    }
+  }
+
+  /// Foreign side: withdraws intent (after the cross-shard transaction
+  /// completed and released its records).
+  void exitForeign() { Foreign.fetch_sub(1, std::memory_order_release); }
+
+  /// Introspection for tests.
+  bool ownedWindowOpen() const {
+    return OwnerFast.load(std::memory_order_acquire) != 0;
+  }
+  Word foreignIntents() const {
+    return Foreign.load(std::memory_order_acquire);
+  }
+
+private:
+  /// Separate lines: the owner stores OwnerFast per fast-path transaction
+  /// while foreign threads RMW Foreign per cross-shard transaction.
+  alignas(64) std::atomic<Word> OwnerFast{0};
+  alignas(64) std::atomic<Word> Foreign{0};
+};
+
+} // namespace stm
+} // namespace satm
+
+#endif // SATM_STM_AFFINEGATE_H

@@ -76,17 +76,21 @@ Word readChain(const VersionEntry *E, Object *O, uint32_t Slot,
   return O->rawLoad(Slot, std::memory_order_acquire);
 }
 
-void freeChain(VersionNode *N) {
+size_t freeChain(VersionNode *N) {
+  size_t Freed = 0;
   while (N) {
     VersionNode *Next = N->Next.load(std::memory_order_relaxed);
     std::free(N);
     N = Next;
+    ++Freed;
   }
+  return Freed;
 }
 
 } // namespace
 
 std::atomic<size_t> snap::detail::EntryCount{0};
+std::atomic<size_t> snap::detail::NodeCount{0};
 
 VersionNode *snap::allocateNode(Object *O) {
   if (faultPoint(FaultSite::HeapAlloc)) {
@@ -102,10 +106,14 @@ VersionNode *snap::allocateNode(Object *O) {
   N->Epoch = 0;
   new (&N->Next) std::atomic<VersionNode *>(nullptr);
   N->NumSlots = Slots;
+  detail::NodeCount.fetch_add(1, std::memory_order_release);
   return N;
 }
 
-void snap::freeNode(VersionNode *N) { std::free(N); }
+void snap::freeNode(VersionNode *N) {
+  std::free(N);
+  detail::NodeCount.fetch_sub(1, std::memory_order_release);
+}
 
 void snap::fillNode(Object *O, VersionNode *N) {
   // The caller holds O's record exclusively: no committed write can race
@@ -191,6 +199,7 @@ void snap::publishNode(Object *O, VersionNode *N, uint64_t Epoch) {
     Tail = Older;
     ++Freed;
   }
+  detail::NodeCount.fetch_sub(Freed, std::memory_order_release);
   statsForThisThread().SnapshotNodesFreed += Freed;
 }
 
@@ -229,15 +238,17 @@ void snap::resetTable() {
   VersionEntry *E = T.AllEntries.exchange(nullptr, std::memory_order_acq_rel);
   if (!E && detail::EntryCount.load(std::memory_order_relaxed) == 0)
     return;
+  size_t Freed = 0;
   while (E) {
     VersionEntry *Next = E->AllNext;
-    freeChain(E->Head.load(std::memory_order_relaxed));
+    Freed += freeChain(E->Head.load(std::memory_order_relaxed));
     std::free(E);
     E = Next;
   }
   for (size_t I = 0; I < NumBuckets; ++I)
     T.Buckets[I].store(nullptr, std::memory_order_relaxed);
   detail::EntryCount.store(0, std::memory_order_relaxed);
+  detail::NodeCount.fetch_sub(Freed, std::memory_order_release);
 }
 
 size_t snap::chainLength(Object *O) {

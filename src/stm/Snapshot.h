@@ -119,11 +119,21 @@ namespace detail {
 /// monotonic until resetTable. Exposed so the read fast path can test
 /// "table empty" inline — see readAtEpoch's fast-path soundness comment.
 extern std::atomic<size_t> EntryCount;
+/// Version nodes currently allocated (allocateNode minus every free path).
+extern std::atomic<size_t> NodeCount;
 } // namespace detail
 
 /// Number of objects with a version chain (read fast path + tests).
 inline size_t tableEntries() {
   return detail::EntryCount.load(std::memory_order_acquire);
+}
+
+/// Version nodes currently live across all chains (allocated and not yet
+/// pruned/freed). The memory-flatness tests assert this stays bounded
+/// under sustained commit churn: publication-time pruning must reclaim as
+/// fast as commits allocate once no snapshot pin holds history.
+inline size_t liveNodes() {
+  return detail::NodeCount.load(std::memory_order_acquire);
 }
 
 /// Length of \p O's chain, 0 if it has none (test introspection; only

@@ -195,11 +195,25 @@ struct TraceRing {
   EventRing<TraceEvt, TraceRingPow2> Ring;
 };
 
-/// Rings are heap-allocated and never freed: they outlive their threads so
-/// a report after join still sees every thread's events.
+/// Retired-events buffer cap: exited threads' undrained events are kept for
+/// the next traceDrain() up to this many entries; the excess is counted as
+/// dropped. Bounds registry memory under unbounded thread churn.
+constexpr size_t RetiredEventCap = size_t(1) << 16;
+
+/// Ring ownership: every ring ever allocated lives in Rings; a ring is
+/// either bound to a live thread or parked on the Free list awaiting the
+/// next thread. A thread-exit destructor drains the departing thread's
+/// ring into RetiredEvents (tagged with its dense ThreadId), clears it,
+/// and recycles it — so the ring count tracks peak concurrency, not
+/// cumulative thread churn.
 struct TraceRegistry {
   std::mutex Mutex;
   std::vector<std::unique_ptr<TraceRing>> Rings;
+  std::vector<TraceRing *> Free;
+  uint32_t NextThreadId = 0;
+  std::vector<TraceEntry> RetiredEvents;
+  uint64_t RetiredWritten = 0;
+  uint64_t RetiredDropped = 0;
 
   static TraceRegistry &get() {
     static TraceRegistry R;
@@ -207,21 +221,59 @@ struct TraceRegistry {
   }
 };
 
-thread_local TraceRing *TlsTraceRing = nullptr;
+/// Per-thread binding with a retirement destructor. Retired is sticky: a
+/// traceEvent() fired from a later thread_local destructor on the same
+/// thread is dropped rather than re-registering a ring that would never be
+/// retired.
+struct TraceHandle {
+  TraceRing *Ring = nullptr;
+  bool Retired = false;
+  ~TraceHandle() {
+    Retired = true;
+    TraceRing *R = Ring;
+    Ring = nullptr;
+    if (!R)
+      return;
+    TraceRegistry &Reg = TraceRegistry::get();
+    std::lock_guard<std::mutex> Lock(Reg.Mutex);
+    // Capture occupancy before clear() rewinds the cursors.
+    Reg.RetiredWritten += R->Ring.written();
+    Reg.RetiredDropped += R->Ring.dropped();
+    std::vector<TraceEvt> Scratch;
+    R->Ring.drain(Scratch);
+    for (const TraceEvt &E : Scratch) {
+      if (Reg.RetiredEvents.size() < RetiredEventCap)
+        Reg.RetiredEvents.push_back({E.Time, R->ThreadId, E.Kind, E.Arg});
+      else
+        ++Reg.RetiredDropped;
+    }
+    // Sole writer has exited (we are its destructor), so clear() is safe.
+    R->Ring.clear();
+    Reg.Free.push_back(R);
+  }
+};
+
+thread_local TraceHandle TlsTrace;
 
 } // namespace
 
 void satm::stm::detail::traceRecord(TraceKind K, uint8_t Arg) {
-  TraceRing *R = TlsTraceRing;
-  if (!R) {
+  TraceHandle &H = TlsTrace;
+  if (!H.Ring) {
+    if (H.Retired)
+      return; // Post-retirement event from another TLS destructor.
     TraceRegistry &Reg = TraceRegistry::get();
     std::lock_guard<std::mutex> Lock(Reg.Mutex);
-    Reg.Rings.push_back(std::make_unique<TraceRing>());
-    R = Reg.Rings.back().get();
-    R->ThreadId = uint32_t(Reg.Rings.size() - 1);
-    TlsTraceRing = R;
+    if (!Reg.Free.empty()) {
+      H.Ring = Reg.Free.back();
+      Reg.Free.pop_back();
+    } else {
+      Reg.Rings.push_back(std::make_unique<TraceRing>());
+      H.Ring = Reg.Rings.back().get();
+    }
+    H.Ring->ThreadId = Reg.NextThreadId++;
   }
-  R->Ring.push({traceTimestamp(), K, Arg});
+  H.Ring->Ring.push({traceTimestamp(), K, Arg});
 }
 
 void satm::stm::setTraceEnabled(bool On) { detail::TraceOn = On; }
@@ -231,6 +283,10 @@ void satm::stm::traceReset() {
   std::lock_guard<std::mutex> Lock(Reg.Mutex);
   for (auto &R : Reg.Rings)
     R->Ring.clear();
+  Reg.RetiredEvents.clear();
+  Reg.RetiredEvents.shrink_to_fit();
+  Reg.RetiredWritten = 0;
+  Reg.RetiredDropped = 0;
 }
 
 std::vector<TraceEntry> satm::stm::traceDrain() {
@@ -238,6 +294,7 @@ std::vector<TraceEntry> satm::stm::traceDrain() {
   std::vector<TraceEntry> Out;
   {
     std::lock_guard<std::mutex> Lock(Reg.Mutex);
+    Out = Reg.RetiredEvents;
     std::vector<TraceEvt> Scratch;
     for (auto &R : Reg.Rings) {
       Scratch.clear();
@@ -256,7 +313,7 @@ std::vector<TraceEntry> satm::stm::traceDrain() {
 uint64_t satm::stm::traceDropped() {
   TraceRegistry &Reg = TraceRegistry::get();
   std::lock_guard<std::mutex> Lock(Reg.Mutex);
-  uint64_t Sum = 0;
+  uint64_t Sum = Reg.RetiredDropped;
   for (auto &R : Reg.Rings)
     Sum += R->Ring.dropped();
   return Sum;
@@ -268,10 +325,24 @@ std::vector<TraceRingStats> satm::stm::traceRingStats() {
   std::vector<TraceRingStats> Out;
   Out.reserve(Reg.Rings.size());
   for (auto &R : Reg.Rings) {
+    // Parked rings are empty by construction; skip them so the report
+    // covers live threads only.
+    bool IsFree = false;
+    for (TraceRing *F : Reg.Free)
+      IsFree |= F == R.get();
+    if (IsFree)
+      continue;
     uint64_t Written = R->Ring.written();
     uint64_t Capacity = uint64_t(1) << TraceRingPow2;
     Out.push_back({R->ThreadId, Written, R->Ring.dropped(),
                    Written < Capacity ? Written : Capacity, Capacity});
   }
   return Out;
+}
+
+TraceRegistryStats satm::stm::traceRegistryStats() {
+  TraceRegistry &Reg = TraceRegistry::get();
+  std::lock_guard<std::mutex> Lock(Reg.Mutex);
+  return {Reg.Rings.size() - Reg.Free.size(), Reg.Free.size(),
+          Reg.RetiredEvents.size(), Reg.RetiredWritten, Reg.RetiredDropped};
 }

@@ -112,7 +112,9 @@ const char *abortReasonKey(AbortReason R);
   X(SnapshotTxns, "snapshot_txns")                                             \
   X(SnapshotReads, "snapshot_reads")                                           \
   X(SnapshotPublishes, "snapshot_publishes")                                   \
-  X(SnapshotNodesFreed, "snapshot_nodes_freed")
+  X(SnapshotNodesFreed, "snapshot_nodes_freed")                               \
+  X(OwnedAcquires, "owned_acquires")                                           \
+  X(AffineHops, "affine_hops")
 
 /// Single-writer counter cell: incremented only by the owning thread, read
 /// by snapshotters. Relaxed load+store (not an atomic RMW) keeps the hot
@@ -325,9 +327,30 @@ struct TraceRingStats {
   uint64_t Capacity; ///< Ring slots.
 };
 
-/// Snapshot of every ring's occupancy counters (including exited threads'
-/// rings, which are kept alive by the registry).
+/// Snapshot of the occupancy counters of every ring currently bound to a
+/// live thread. Exited threads' events are preserved in the registry's
+/// bounded retired buffer (see TraceRegistryStats) and their rings recycled.
 std::vector<TraceRingStats> traceRingStats();
+
+/// Registry-level view behind ring recycling. A thread's ring used to be
+/// kept alive forever so post-join reports still saw its events — which
+/// made the registry grow without bound under thread churn. Instead, a
+/// thread-exit destructor drains the ring into a bounded retired-events
+/// buffer and pushes the ring onto a free list for the next thread, so
+/// ring count tracks *peak concurrency*, not cumulative churn.
+struct TraceRegistryStats {
+  uint64_t LiveRings;      ///< Rings currently bound to a running thread.
+  uint64_t FreeRings;      ///< Recycled rings awaiting a new thread.
+  uint64_t RetiredEvents;  ///< Exited threads' events held for draining.
+  uint64_t RetiredWritten; ///< Events ever written by exited threads.
+  uint64_t RetiredDropped; ///< Exited threads' events lost (ring overwrite
+                           ///< before exit, or retired-buffer cap).
+};
+
+/// Current registry occupancy (see TraceRegistryStats). The memory-flatness
+/// tests assert LiveRings + FreeRings stays bounded by peak concurrency
+/// across thread churn far exceeding it.
+TraceRegistryStats traceRegistryStats();
 
 //===----------------------------------------------------------------------===
 // Abort accounting helpers (counters + histogram + trace in one place).

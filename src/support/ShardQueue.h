@@ -1,0 +1,127 @@
+//===- support/ShardQueue.h - Bounded MPSC request queue -------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-shard mailbox of the shard-affine executor (DESIGN.md §11): a
+/// bounded multi-producer single-consumer ring in the style of Vyukov's
+/// array queue. Producers are client workers hopping an operation to the
+/// shard's owner; the single consumer is the owning worker draining its
+/// shards between locally generated operations.
+///
+/// Each cell carries a sequence word. A producer claims a cell by CAS on
+/// the tail, writes the value, then publishes by storing the cell's claim
+/// index + 1; the consumer knows a cell is ready when its sequence equals
+/// head + 1. This keeps the hot path to one uncontended CAS per enqueue
+/// and plain loads/stores per dequeue — no locks, and producers never
+/// block (a full queue reports false so the caller can drain or fall back
+/// to the symmetric protocol).
+///
+/// Depth introspection (depth / maxDepth) feeds the kv_service JSON so a
+/// t4→t8 scaling regression is attributable to queueing rather than to
+/// the STM layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_SHARDQUEUE_H
+#define SATM_SUPPORT_SHARDQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace satm {
+
+/// Bounded MPSC ring of \p T (must be trivially copyable; in practice a
+/// request pointer). Capacity is 2^SizePow2 entries.
+template <typename T, unsigned SizePow2 = 10> class ShardQueue {
+public:
+  static constexpr size_t Capacity = size_t(1) << SizePow2;
+
+  ShardQueue() {
+    for (size_t I = 0; I < Capacity; ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  ShardQueue(const ShardQueue &) = delete;
+  ShardQueue &operator=(const ShardQueue &) = delete;
+
+  /// Multi-producer enqueue. \returns false when the queue is full (the
+  /// value is not enqueued); never blocks.
+  bool tryPush(T V) {
+    uint64_t Pos = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+      int64_t Dif = int64_t(Seq) - int64_t(Pos);
+      if (Dif == 0) {
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+        // CAS failure reloaded Pos; retry on the new claim point.
+      } else if (Dif < 0) {
+        return false; // The cell is still occupied: full.
+      } else {
+        Pos = Tail.load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    C.Value = V;
+    C.Seq.store(Pos + 1, std::memory_order_release);
+    // Depth metric: approximate (Head may advance concurrently), which is
+    // fine for a high-water mark.
+    uint64_t D = Pos + 1 - Head.load(std::memory_order_relaxed);
+    uint64_t M = MaxDepth.load(std::memory_order_relaxed);
+    while (D > M &&
+           !MaxDepth.compare_exchange_weak(M, D, std::memory_order_relaxed))
+      ;
+    return true;
+  }
+
+  /// Single-consumer dequeue. \returns false when empty.
+  bool tryPop(T &Out) {
+    uint64_t Pos = Head.load(std::memory_order_relaxed);
+    Cell &C = Cells[Pos & Mask];
+    uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+    if (int64_t(Seq) - int64_t(Pos + 1) < 0)
+      return false; // Producer has not published this cell yet.
+    Out = C.Value;
+    Head.store(Pos + 1, std::memory_order_relaxed);
+    // Recycle the cell for the producer one lap ahead.
+    C.Seq.store(Pos + Capacity, std::memory_order_release);
+    return true;
+  }
+
+  /// Published-but-undrained entry count (approximate under concurrency).
+  uint64_t depth() const {
+    uint64_t T0 = Tail.load(std::memory_order_acquire);
+    uint64_t H = Head.load(std::memory_order_acquire);
+    return T0 >= H ? T0 - H : 0;
+  }
+
+  /// High-water mark of depth() observed at enqueue time.
+  uint64_t maxDepth() const {
+    return MaxDepth.load(std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr uint64_t Mask = Capacity - 1;
+
+  struct Cell {
+    std::atomic<uint64_t> Seq;
+    T Value;
+  };
+
+  Cell Cells[Capacity];
+  /// Producer and consumer cursors on separate lines: every enqueue CASes
+  /// Tail while the owner bumps Head per dequeue.
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  alignas(64) std::atomic<uint64_t> Head{0};
+  alignas(64) std::atomic<uint64_t> MaxDepth{0};
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_SHARDQUEUE_H

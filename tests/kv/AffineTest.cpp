@@ -1,0 +1,280 @@
+//===- tests/kv/AffineTest.cpp - Shard-affine executor semantics ----------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// Real-thread semantics of kv::AffineExec (DESIGN.md §11), the gate
+// handshake's exhaustive counterpart living in check/AffineExploreTest:
+//
+//  - solo mode: one worker owns everything, every op runs owned-fast, and
+//    plain KV semantics hold.
+//  - pipelined hops: blind writes to a foreign shard return "accepted";
+//    flush() is the write barrier after which their effects are visible.
+//  - foreign CAS is synchronous: its result is the real outcome, exact at
+//    the call site.
+//  - mixed routing conserves: concurrent owned fast-path ops, hops, and
+//    cross-shard rmwAdd transactions leave exactly the sum the successful
+//    rmwAdds account for, and the routing metrics see every class.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Affine.h"
+#include "kv/Store.h"
+
+#include "stm/Config.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace satm;
+using namespace satm::kv;
+using namespace satm::stm;
+
+namespace {
+
+bool fastTests() {
+  const char *Env = std::getenv("SATM_FAST_TESTS");
+  return Env && Env[0] == '1';
+}
+
+/// First key at or above \p From whose shard is owned by \p Worker.
+Word keyOwnedBy(const Store &S, const AffineExec &AX, unsigned Worker,
+                Word From = 0) {
+  for (Word K = From;; ++K)
+    if (AX.ownerOf(S.shardOf(K)) == Worker)
+      return K;
+}
+
+TEST(KvAffine, SoloRunsEverythingOwnedFast) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  rt::Heap H;
+  StoreConfig KC;
+  KC.Shards = 4;
+  KC.CapacityPerShard = 32;
+  Store S(H, KC);
+  AffineExec AX(S, 1);
+
+  // Plain KV semantics through the solo fast path.
+  EXPECT_TRUE(AX.put(0, 7, 70));
+  Word Out = 0;
+  ASSERT_TRUE(AX.get(0, 7, Out));
+  EXPECT_EQ(Out, 70u);
+  EXPECT_TRUE(AX.put(0, 7, 71)); // Overwrite: putFastOwned path.
+  ASSERT_TRUE(AX.get(0, 7, Out));
+  EXPECT_EQ(Out, 71u);
+  EXPECT_FALSE(AX.cas(0, 7, 70, 72)) << "expected mismatch";
+  EXPECT_TRUE(AX.cas(0, 7, 71, 72));
+  EXPECT_TRUE(AX.erase(0, 7));
+  EXPECT_FALSE(AX.get(0, 7, Out));
+  EXPECT_TRUE(AX.put(0, 7, 73)); // Resurrect through the insert path.
+
+  Word Keys[3] = {1, 2, 3};
+  for (Word K : Keys)
+    ASSERT_TRUE(AX.put(0, K, K * 10));
+  Word Vals[3] = {};
+  EXPECT_EQ(AX.multiGet(0, Keys, 3, Vals), 3u);
+  EXPECT_EQ(Vals[1], 20u);
+  EXPECT_TRUE(AX.rmwAdd(0, Keys, 3, 5));
+  ASSERT_TRUE(AX.get(0, 2, Out));
+  EXPECT_EQ(Out, 25u);
+
+  AffineExec::Metrics M = AX.metrics();
+  EXPECT_GT(M.LocalOps, 0u);
+  EXPECT_EQ(M.HopOps, 0u) << "solo has nobody to hop to";
+  EXPECT_EQ(M.CrossOps, 0u);
+  EXPECT_EQ(M.FallbackOps, 0u) << "solo never sees foreign intent";
+  EXPECT_EQ(M.crossRatio(), 0.0);
+}
+
+TEST(KvAffine, FlushIsAWriteBarrierForHops) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  rt::Heap H;
+  StoreConfig KC;
+  KC.Shards = 4;
+  KC.CapacityPerShard = 32;
+  Store S(H, KC);
+  AffineExec AX(S, 2);
+
+  // Worker 1 only serves its mailboxes until everyone is done.
+  std::thread Owner([&] {
+    AX.clientDone();
+    AX.runUntilQuiet(1);
+  });
+
+  const Word K = keyOwnedBy(S, AX, 1);
+  ASSERT_EQ(AX.ownerOf(S.shardOf(K)), 1u);
+
+  // A blind write to the foreign shard is accepted, not yet applied —
+  // flush() is the barrier that makes it (and everything before it)
+  // visible to our subsequent reads.
+  EXPECT_TRUE(AX.put(0, K, 42));
+  AX.flush(0);
+  Word Out = 0;
+  ASSERT_TRUE(AX.get(0, K, Out));
+  EXPECT_EQ(Out, 42u);
+
+  EXPECT_TRUE(AX.erase(0, K)); // Accepted.
+  AX.flush(0);
+  EXPECT_FALSE(AX.get(0, K, Out)) << "flushed erase must be visible";
+
+  AffineExec::Metrics M = AX.metrics();
+  EXPECT_GE(M.HopOps, 2u);
+  EXPECT_GE(M.MaxQueueDepth, 1u);
+
+  AX.clientDone();
+  AX.runUntilQuiet(0);
+  Owner.join();
+}
+
+TEST(KvAffine, ForeignCasIsSynchronous) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  rt::Heap H;
+  StoreConfig KC;
+  KC.Shards = 4;
+  KC.CapacityPerShard = 32;
+  Store S(H, KC);
+  AffineExec AX(S, 2);
+
+  const Word K = keyOwnedBy(S, AX, 1);
+  ASSERT_TRUE(S.insert(K, 1));
+
+  std::thread Owner([&] {
+    AX.clientDone();
+    AX.runUntilQuiet(1);
+  });
+
+  // CAS results are exact at the call site: no flush needed.
+  EXPECT_TRUE(AX.cas(0, K, 1, 2));
+  Word Out = 0;
+  ASSERT_TRUE(AX.get(0, K, Out));
+  EXPECT_EQ(Out, 2u);
+  EXPECT_FALSE(AX.cas(0, K, 1, 3)) << "stale expected value";
+
+  AffineExec::Metrics M = AX.metrics();
+  EXPECT_GE(M.CrossOps, 2u) << "foreign CAS runs gated, not hopped";
+
+  AX.clientDone();
+  AX.runUntilQuiet(0);
+  Owner.join();
+}
+
+TEST(KvAffine, MixedRoutingConservesAndCounts) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  constexpr Word SumKeys = 96;    ///< rmwAdd-only range; sum is accounted.
+  constexpr Word ScratchLo = 96;  ///< put/erase/cas range; sum-neutral.
+  constexpr Word ScratchHi = 128;
+  constexpr Word InitVal = 100;
+  const unsigned Workers = 3;
+  const unsigned Iters = fastTests() ? 2000 : 10000;
+
+  rt::Heap H;
+  StoreConfig KC;
+  KC.Shards = 6;
+  KC.CapacityPerShard = 64;
+  Store S(H, KC);
+  for (Word K = 0; K < SumKeys; ++K)
+    ASSERT_TRUE(S.insert(K, InitVal));
+  for (Word K = ScratchLo; K < ScratchHi; ++K)
+    ASSERT_TRUE(S.insert(K, 1));
+
+  AffineExec AX(S, Workers);
+  std::atomic<uint64_t> RmwSuccesses{0};
+  std::vector<std::thread> Pool;
+  for (unsigned W = 0; W < Workers; ++W)
+    Pool.emplace_back([&, W] {
+      uint64_t X = 0x243f6a8885a308d3ull * (W + 1);
+      auto Rnd = [&X] {
+        X ^= X << 13;
+        X ^= X >> 7;
+        X ^= X << 17;
+        return X;
+      };
+      uint64_t MyRmw = 0;
+      for (unsigned I = 0; I < Iters; ++I) {
+        AX.drain(W);
+        Word R = Rnd();
+        switch (R % 10) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: { // Cross-or-owned transactional add: +1 to two keys.
+          Word A = Rnd() % SumKeys, B = Rnd() % SumKeys;
+          if (A == B)
+            break;
+          Word Keys[2] = {A, B};
+          if (AX.rmwAdd(W, Keys, 2, 1))
+            ++MyRmw;
+          break;
+        }
+        case 4:
+        case 5: { // Read anywhere; value must be committed, not torn.
+          Word V = 0;
+          if (AX.get(W, Rnd() % SumKeys, V)) {
+            ASSERT_GE(V, 1u);
+          }
+          break;
+        }
+        case 6:
+        case 7: { // Blind put, possibly hopped.
+          AX.put(W, ScratchLo + Rnd() % (ScratchHi - ScratchLo), 7);
+          break;
+        }
+        case 8: { // Blind erase, possibly hopped; resurrected by puts.
+          AX.erase(W, ScratchLo + Rnd() % (ScratchHi - ScratchLo));
+          break;
+        }
+        default: { // Synchronous CAS.
+          Word K = ScratchLo + Rnd() % (ScratchHi - ScratchLo);
+          Word Cur = 0;
+          if (AX.get(W, K, Cur))
+            AX.cas(W, K, Cur, 9);
+          break;
+        }
+        }
+      }
+      AX.flush(W);
+      RmwSuccesses.fetch_add(MyRmw, std::memory_order_relaxed);
+      AX.clientDone();
+      AX.runUntilQuiet(W);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  // Every successful rmwAdd added exactly 2 to the accounted range;
+  // nothing else touched it. Quiesced, the planes agree.
+  Word Sum = 0;
+  for (Word K = 0; K < SumKeys; ++K) {
+    Word V = 0;
+    ASSERT_TRUE(S.get(K, V)) << "key " << K;
+    Sum += V;
+  }
+  EXPECT_EQ(Sum, SumKeys * InitVal + 2 * RmwSuccesses.load());
+
+  AffineExec::Metrics M = AX.metrics();
+  EXPECT_GT(M.LocalOps, 0u);
+  EXPECT_GT(M.HopOps, 0u) << "random scratch writes must hop";
+  EXPECT_GT(M.CrossOps, 0u) << "random rmwAdd pairs must span owners";
+  EXPECT_GT(M.total(), 0u);
+  EXPECT_GT(M.crossRatio(), 0.0);
+  EXPECT_LT(M.crossRatio(), 1.0);
+  EXPECT_GE(M.MaxQueueDepth, 1u);
+}
+
+} // namespace

@@ -1,4 +1,4 @@
-//===- bench/BenchJson.h - Shared satm-bench-v6 JSON emitter ---*- C++ -*-===//
+//===- bench/BenchJson.h - Shared satm-bench-v7 JSON emitter ---*- C++ -*-===//
 //
 // Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 //
@@ -7,9 +7,9 @@
 /// \file
 /// The one writer of the repo's machine-readable perf trajectory format,
 /// shared by bench/perf_suite and bench/kv_service so the two halves of
-/// BENCH_satm.json cannot drift apart. Schema satm-bench-v6:
+/// BENCH_satm.json cannot drift apart. Schema satm-bench-v7:
 ///
-///   { "schema": "satm-bench-v6", "mode": "full"|"smoke",
+///   { "schema": "satm-bench-v7", "mode": "full"|"smoke",
 ///     "benchmarks": [
 ///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
 ///         "abort_reasons": { ...all nine taxonomy keys... },
@@ -24,9 +24,18 @@
 ///                    "cross_shard_ratio": F, "max_queue_depth": N},
 ///         // optional, overload benchmarks only (implies latency):
 ///         "offered_ops_per_sec": N, "goodput_ops_per_sec": N,
-///         "shed_rate": F } ] }
+///         "shed_rate": F,
+///         // optional, durable benchmarks only:
+///         "durability": {"mode": "async"|"sync", "fsync_batches": N,
+///                        "records": N, "ring_stalls": N,
+///                        "recovery_ms": F} } ] }
 ///
-/// v6 extends v5 with the executor dimension: every kv/* entry now names
+/// v7 extends v6 with the durability dimension (DESIGN.md §12): entries
+/// that ran with a write-ahead redo log attached report the ack mode,
+/// how many group-commit fsync batches the drainer issued, how many redo
+/// records it persisted, how often producers stalled on a full ring, and
+/// how long a fresh store took to replay the run's entire log
+/// (the recovery-time benchmark). v6 added the executor dimension: every kv/* entry now names
 /// the execution mode it ran under (symmetric = any worker transacts
 /// against any shard; affine = the shard-affine executor of DESIGN.md
 /// §11), and affine entries carry the routing telemetry — single-key ops
@@ -38,8 +47,9 @@
 /// Entries without the optional fields are still valid;
 /// scripts/check_bench_schema.sh enforces that kv/* entries carry
 /// exec_mode and the latency fields, kv/affine/* entries the affine
-/// block, kv/snapshot/* entries the read_planes block, and kv/overload/*
-/// entries the overload triple.
+/// block, kv/snapshot/* entries the read_planes block, kv/overload/*
+/// entries the overload triple, and kv/durable/* entries the durability
+/// block.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -96,6 +106,15 @@ struct BenchEntry {
   double OfferedQps = 0;
   double GoodputOpsPerSec = 0;
   double ShedRate = 0;
+  /// Durable benchmarks: write-ahead-log telemetry plus the recovery-time
+  /// benchmark (ms to replay this run's full log into a fresh store).
+  /// HasDurability gates the durability JSON block.
+  bool HasDurability = false;
+  std::string DurMode;        ///< "async" or "sync" (ack discipline).
+  uint64_t FsyncBatches = 0;  ///< Group-commit fsync batches issued.
+  uint64_t WalRecords = 0;    ///< Redo records persisted to disk.
+  uint64_t RingStalls = 0;    ///< Producer waits on a full shard ring.
+  double RecoveryMs = 0;      ///< Shard-parallel replay wall time.
 };
 
 inline void writeBenchJson(const char *Path, const char *Mode,
@@ -106,7 +125,7 @@ inline void writeBenchJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v6\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v7\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Entries.size(); ++I) {
@@ -155,6 +174,13 @@ inline void writeBenchJson(const char *Path, const char *Mode,
                    ",\n     \"offered_ops_per_sec\": %.0f, "
                    "\"goodput_ops_per_sec\": %.0f, \"shed_rate\": %.4f",
                    E.OfferedQps, E.GoodputOpsPerSec, E.ShedRate);
+    if (E.HasDurability)
+      std::fprintf(F,
+                   ",\n     \"durability\": {\"mode\": \"%s\", "
+                   "\"fsync_batches\": %" PRIu64 ", \"records\": %" PRIu64
+                   ", \"ring_stalls\": %" PRIu64 ", \"recovery_ms\": %.2f}",
+                   E.DurMode.c_str(), E.FsyncBatches, E.WalRecords,
+                   E.RingStalls, E.RecoveryMs);
     std::fprintf(F, "}%s\n", I + 1 < Entries.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");

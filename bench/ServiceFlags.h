@@ -1,0 +1,67 @@
+//===- bench/ServiceFlags.h - kv_service flag coherence checks -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flag-combination validation for the kv_service harness, factored out of
+/// main() so the incoherent-combo matrix is unit-testable
+/// (tests/kv/ServiceFlagsTest.cpp). Every rejected combination is one that
+/// would otherwise run and emit a misleading bench entry — the harness
+/// fails fast instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_BENCH_SERVICEFLAGS_H
+#define SATM_BENCH_SERVICEFLAGS_H
+
+#include "kv/Wal.h"
+
+namespace satm {
+namespace bench {
+
+/// The subset of kv_service's parsed flags that interact.
+struct ServiceFlags {
+  bool Affine = false;   ///< --exec=affine
+  double Qps = 0;        ///< --qps (0 = closed loop)
+  bool Overload = false; ///< an --overload policy was given
+  kv::DurabilityMode Durability = kv::DurabilityMode::Off;
+  bool Smoke = false;      ///< --smoke (tiny CI/TSan time budgets)
+  bool Suite = false;      ///< --suite
+  bool WalDirSet = false;  ///< --wal-dir was given
+};
+
+/// Returns null when the combination is coherent, else a static
+/// diagnostic (no allocation — callable from tests and from main before
+/// any setup).
+inline const char *validateServiceFlags(const ServiceFlags &F) {
+  if (F.Affine && F.Qps > 0)
+    return "--exec=affine is closed-loop only: affine hops complete inside "
+           "the owner's drain cadence, which an open-loop arrival clock "
+           "would misattribute to queueing delay (drop --qps)";
+  if (F.Affine && F.Overload)
+    return "--exec=affine has no overload-control path: deadlines and "
+           "retry budgets apply to the symmetric executor's transactional "
+           "ops (drop --overload)";
+  if (F.Overload && !(F.Qps > 0))
+    return "--overload is an open-loop experiment: without --qps there is "
+           "no offered rate to exceed capacity (add --qps)";
+  if (F.Affine && F.Durability != kv::DurabilityMode::Off)
+    return "--exec=affine does not support --durability yet: hopped writes "
+           "complete on the owner, whose durable LSN is not plumbed back "
+           "to the issuer's ack (use --exec=symmetric)";
+  if (F.Durability == kv::DurabilityMode::Sync && (F.Smoke || F.Suite))
+    return "--durability=sync waits out an fsync per mutation, which the "
+           "--smoke/--suite time budgets do not cover; the full suite runs "
+           "its own sized sync entries (use a single custom run)";
+  if (F.WalDirSet && F.Durability == kv::DurabilityMode::Off)
+    return "--wal-dir without --durability=async|sync would be silently "
+           "ignored (set a durability mode)";
+  return nullptr;
+}
+
+} // namespace bench
+} // namespace satm
+
+#endif // SATM_BENCH_SERVICEFLAGS_H

@@ -48,6 +48,21 @@
 // scripts/bench.sh; `--smoke` is the tiny CI/TSan variant; bare flags run a
 // single custom configuration.
 //
+// Three durability modes (--durability=off|async|sync, DESIGN.md §12):
+//  - off (default): no write-ahead log at all — the log path is elided
+//    down to one predicted branch per mutation.
+//  - async: committing transactions publish redo records into per-shard
+//    rings at their Quiescence publish ticket; background drain threads
+//    group-commit them with batched fsync. Requests ack at ring publish,
+//    so a crash loses at most the un-fsynced window.
+//  - sync: requests ack only after waitDurable observes their commit's
+//    group fsynced; the wait is charged to the request's latency. Acked
+//    writes survive any kill point.
+// Every durable entry also runs the recovery-time benchmark: after the
+// measured window, a fresh store is prepopulated and the run's entire log
+// replayed into it shard-parallel; the wall time lands in the entry's
+// durability block as recovery_ms.
+//
 // The kv/overload/* suite entries run the overload-degradation experiment:
 // open-loop at 2× the machine's measured closed-loop saturation, each
 // request carrying a deadline, under one of two policies. "queue" executes
@@ -59,9 +74,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
+#include "ServiceFlags.h"
 
 #include "kv/Affine.h"
 #include "kv/Store.h"
+#include "kv/Wal.h"
 #include "stm/Barriers.h"
 #include "stm/Config.h"
 #include "stm/Report.h"
@@ -78,10 +95,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace satm;
 using namespace satm::bench;
@@ -157,6 +177,10 @@ struct RunConfig {
   /// measured throughput of the earlier suite entry with this name.
   std::string CalibrateFrom;
   double QpsFactor = 0;
+  /// Durability plane (DESIGN.md §12): attach a per-shard redo log; under
+  /// Sync, ack mutations only after their group-commit fsync.
+  kv::DurabilityMode Dur = kv::DurabilityMode::Off;
+  std::string WalDir; ///< Log directory; empty = per-pid /tmp scratch.
 };
 
 struct RunResult {
@@ -173,6 +197,10 @@ struct RunResult {
   /// Affine-executor routing telemetry (ExecMode::Affine runs only).
   bool HasAffine = false;
   kv::AffineExec::Metrics Affine;
+  /// Durability telemetry plus the recovery-time benchmark (Dur != Off).
+  bool HasDurability = false;
+  kv::WalStats Wal;
+  double RecoveryMs = 0;
 };
 
 /// Spin-then-sleep until \p Deadline. sleep_for can overshoot by a
@@ -195,8 +223,8 @@ void waitUntil(Clock::time_point Deadline) {
 class Worker {
 public:
   Worker(kv::Store &S, const RunConfig &C, unsigned Tid,
-         kv::AffineExec *AX = nullptr)
-      : S(S), C(C), AX(AX), Tid(Tid),
+         kv::AffineExec *AX = nullptr, kv::Wal *SyncW = nullptr)
+      : S(S), C(C), AX(AX), SyncW(SyncW), Tid(Tid),
         Gen(C.Dist, C.Keys, C.Seed + 0x5bd1e995u * (Tid + 1), C.Theta),
         Ops(C.Seed * 31 + Tid) {}
 
@@ -243,7 +271,17 @@ public:
         B.Deadline = DL;
       }
 
+      uint64_t WalMark = SyncW ? kv::Wal::lastAppendedLsn() : 0;
       bool Completed = doOne(Scratch, I, B);
+      if (SyncW) {
+        // Sync ack discipline: a mutation is not complete until its redo
+        // group is fsynced. The wait is charged to the request's latency —
+        // that is the cost --durability=sync buys its zero-loss guarantee
+        // with, and hiding it would falsify the tail.
+        uint64_t L = kv::Wal::lastAppendedLsn();
+        if (L != WalMark)
+          SyncW->waitDurable(L);
+      }
 
       auto Done = Clock::now();
       if (!Completed) {
@@ -356,11 +394,23 @@ private:
   kv::Store &S;
   const RunConfig &C;
   kv::AffineExec *AX; ///< Non-null in ExecMode::Affine.
+  kv::Wal *SyncW;     ///< Non-null only under --durability=sync.
   unsigned Tid;
   KeyGenerator Gen;
   Rng Ops;
   ReadPlane Plane = ReadPlane::None;
 };
+
+/// Per-run scratch log directory under /tmp: pid-qualified so parallel CI
+/// jobs cannot collide, entry-qualified so a leftover from a crashed run
+/// is attributable.
+std::string defaultWalDir(const std::string &Name) {
+  std::string Tag = Name;
+  for (char &Ch : Tag)
+    if (Ch == '/')
+      Ch = '_';
+  return "/tmp/satm-wal-" + std::to_string(long(::getpid())) + "-" + Tag;
+}
 
 RunResult runService(const RunConfig &C) {
   // The service runs in the paper's +DEA strong mode: barriers on, objects
@@ -395,14 +445,31 @@ RunResult runService(const RunConfig &C) {
     SnapSC.emplace(SnapCfg);
   }
 
+  // Durability plane: the log covers post-load mutations (recovery =
+  // prepopulate + replay), so the Wal attaches only after the bulk
+  // inserts — logging the prepopulate would bill every entry for a
+  // checkpoint the experiment treats as given.
+  kv::Wal::Config WC;
+  std::optional<kv::Wal> W;
+  if (C.Dur != kv::DurabilityMode::Off) {
+    WC.Dir = C.WalDir.empty() ? defaultWalDir(C.Name) : C.WalDir;
+    WC.Shards = S.shards();
+    std::filesystem::remove_all(WC.Dir); // Per-run scratch: start empty.
+    W.emplace(WC);
+    W->start();
+    S.attachWal(&*W);
+  }
+
   statsReset();
   std::optional<kv::AffineExec> AX;
   if (C.Exec == ExecMode::Affine)
     AX.emplace(S, C.Threads);
   std::vector<Worker> Workers;
   Workers.reserve(C.Threads);
+  kv::Wal *SyncW =
+      W && C.Dur == kv::DurabilityMode::Sync ? &*W : nullptr;
   for (unsigned T = 0; T < C.Threads; ++T)
-    Workers.emplace_back(S, C, T, AX ? &*AX : nullptr);
+    Workers.emplace_back(S, C, T, AX ? &*AX : nullptr, SyncW);
 
   std::atomic<bool> Go{false};
   Clock::time_point Start{}; // Published by the Go release store below.
@@ -435,6 +502,36 @@ RunResult runService(const RunConfig &C) {
   if (AX) {
     Total.HasAffine = true;
     Total.Affine = AX->metrics();
+  }
+  if (W) {
+    S.attachWal(nullptr);
+    W->stop(); // Final drain + fsync: the log now holds every commit.
+    Total.HasDurability = true;
+    Total.Wal = W->stats();
+    // Recovery-time benchmark: replay this run's entire log into a fresh
+    // store from the same prepopulated state, shard-parallel. Failures
+    // here mean the log and the store disagree — that is a correctness
+    // bug, not a slow run, so it is fatal.
+    rt::Heap RH;
+    kv::Store RS(RH, KC);
+    for (uint64_t K = 0; K < C.Keys; ++K)
+      RS.insert(K, 1000);
+    kv::Wal RW(WC);
+    kv::RecoveryStats Rec = RW.recover(RS);
+    if (Rec.ApplyFailures || !Rec.ReclaimIdentityOk) {
+      std::fprintf(stderr,
+                   "kv_service: %s recovery failed (%" PRIu64
+                   " apply failures, reclaim identity %s)\n",
+                   C.Name.c_str(), Rec.ApplyFailures,
+                   Rec.ReclaimIdentityOk ? "ok" : "violated");
+      std::exit(1);
+    }
+    Total.RecoveryMs = Rec.Millis;
+    std::printf("%s: recovered %" PRIu64 " records / %" PRIu64
+                " txns in %.2f ms\n",
+                C.Name.c_str(), Rec.RecordsReplayed, Rec.TxnsReplayed,
+                Rec.Millis);
+    std::filesystem::remove_all(WC.Dir);
   }
   // The version table keys raw Object* into this run's heap: clear it
   // before H dies so the next configuration cannot alias stale keys.
@@ -475,6 +572,14 @@ BenchEntry toEntry(const RunConfig &C, const RunResult &R) {
     E.GoodputOpsPerSec = double(R.Good) / R.Seconds;
     E.ShedRate = double(R.Shed + R.Rejected) / double(R.Ops);
   }
+  if (R.HasDurability) {
+    E.HasDurability = true;
+    E.DurMode = kv::durabilityModeName(C.Dur);
+    E.FsyncBatches = R.Wal.FsyncBatches;
+    E.WalRecords = R.Wal.RecordsWritten;
+    E.RingStalls = R.Wal.RingStalls;
+    E.RecoveryMs = R.RecoveryMs;
+  }
   return E;
 }
 
@@ -507,6 +612,13 @@ void printTable(const std::vector<RunConfig> &Cs,
                   "%" PRIu64 "\n",
                   E.Name.c_str(), E.AffineHops, E.CrossShardOps,
                   E.CrossShardRatio * 100.0, E.MaxQueueDepth);
+  for (const BenchEntry &E : Es)
+    if (E.HasDurability)
+      std::printf("%s: %s acks, %" PRIu64 " wal records in %" PRIu64
+                  " fsync batches (%" PRIu64 " ring stalls), recovery "
+                  "%.2f ms\n",
+                  E.Name.c_str(), E.DurMode.c_str(), E.WalRecords,
+                  E.FsyncBatches, E.RingStalls, E.RecoveryMs);
 }
 
 bool parseMix(const char *Spec, Mix &M) {
@@ -613,6 +725,20 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     C.Exec = ExecMode::Affine;
     return C;
   };
+  // Durable entries: the same closed-loop workload as kv/closed_tN with
+  // the redo log attached, so the off/async pair isolates the log path as
+  // the only variable. Sync entries run fewer ops — every mutation waits
+  // out a group-commit fsync — and are full-suite only (the smoke/TSan
+  // time budget cannot absorb per-op fsync waits). Each entry also times
+  // recovery of its own log (the durability block's recovery_ms).
+  auto MkDur = [&](std::string Name, unsigned Threads,
+                   kv::DurabilityMode M) {
+    RunConfig C = Mk(std::move(Name), Threads, 0);
+    C.Dur = M;
+    if (M == kv::DurabilityMode::Sync)
+      C.OpsPerThread = 20000;
+    return C;
+  };
   if (Smoke) {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t2", 2, 0));
@@ -624,6 +750,8 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     Cs.push_back(MkPlane("kv/snapshot/read_t2", 2, 90, 0, 0));
     Cs.push_back(MkPlane("kv/snapshot/ntread_t2", 2, 0, 90, 0));
     Cs.push_back(MkPlane("kv/snapshot/txnread_t2", 2, 0, 0, 90));
+    Cs.push_back(MkDur("kv/durable/async_t1", 1, kv::DurabilityMode::Async));
+    Cs.push_back(MkDur("kv/durable/async_t2", 2, kv::DurabilityMode::Async));
   } else {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t4", 4, 0));
@@ -641,6 +769,10 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     Cs.push_back(MkPlane("kv/snapshot/read_t8", 8, 90, 0, 0));
     Cs.push_back(MkPlane("kv/snapshot/ntread_t8", 8, 0, 90, 0));
     Cs.push_back(MkPlane("kv/snapshot/txnread_t8", 8, 0, 0, 90));
+    Cs.push_back(MkDur("kv/durable/async_t1", 1, kv::DurabilityMode::Async));
+    Cs.push_back(MkDur("kv/durable/async_t4", 4, kv::DurabilityMode::Async));
+    Cs.push_back(MkDur("kv/durable/sync_t1", 1, kv::DurabilityMode::Sync));
+    Cs.push_back(MkDur("kv/durable/sync_t4", 4, kv::DurabilityMode::Sync));
   }
   return Cs;
 }
@@ -726,7 +858,15 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "kv_service: --overload must be shed or queue\n");
         return 2;
       }
-    } else if ((V = Val("--deadline-us=")))
+    } else if ((V = Val("--durability="))) {
+      if (!kv::parseDurabilityMode(V, Single.Dur)) {
+        std::fprintf(stderr,
+                     "kv_service: --durability must be off, async, or sync\n");
+        return 2;
+      }
+    } else if ((V = Val("--wal-dir=")))
+      Single.WalDir = V;
+    else if ((V = Val("--deadline-us=")))
       Single.DeadlineUs = uint64_t(std::atoll(V));
     else if ((V = Val("--retry-budget=")))
       Single.RetryBudget = uint32_t(std::atoi(V));
@@ -746,21 +886,25 @@ int main(int argc, char **argv) {
           "                  [--mget-keys=N] [--nt-get-batch=N]\n"
           "                  [--overload=shed|queue] [--deadline-us=N]\n"
           "                  [--retry-budget=N] [--irrevocable-after=N]\n"
-          "                  [--karma]\n");
+          "                  [--karma]\n"
+          "                  [--durability=off|async|sync] [--wal-dir=PATH]\n");
       return 2;
     }
   }
   if (HaveTxnPct)
     Single.M = mixForTxnPct(TxnPct);
-  if (Single.Exec == ExecMode::Affine &&
-      (Single.Qps > 0 || Single.Policy != OverloadPolicy::None)) {
-    // Affine hops complete synchronously inside the owner's drain cadence;
-    // an open-loop arrival clock would misattribute that cadence to
-    // queueing delay, so the combination is rejected rather than reported
-    // with misleading tails.
-    std::fprintf(stderr,
-                 "kv_service: --exec=affine is closed-loop only (no --qps / "
-                 "--overload)\n");
+  // Fail fast on incoherent flag combinations (bench/ServiceFlags.h keeps
+  // the matrix unit-testable) instead of emitting a misleading entry.
+  ServiceFlags F;
+  F.Affine = Single.Exec == ExecMode::Affine;
+  F.Qps = Single.Qps;
+  F.Overload = Single.Policy != OverloadPolicy::None;
+  F.Durability = Single.Dur;
+  F.Smoke = Smoke;
+  F.Suite = Suite;
+  F.WalDirSet = !Single.WalDir.empty();
+  if (const char *Err = validateServiceFlags(F)) {
+    std::fprintf(stderr, "kv_service: %s\n", Err);
     return 2;
   }
 

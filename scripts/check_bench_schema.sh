@@ -4,7 +4,7 @@
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
-# run's output from perf_suite / kv_service) carries the satm-bench-v6
+# run's output from perf_suite / kv_service) carries the satm-bench-v7
 # schema: a non-empty benchmark list where every entry has the numeric core
 # fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
@@ -18,8 +18,12 @@
 # (kv/snapshot/*) must carry the read_planes block — exactly the three
 # plane keys (snapshot, nt, txn), each a complete percentile set plus
 # sample count — and wherever read_planes appears it is validated to that
-# shape. CI runs this so a refactor can't silently drop the observability
-# fields from the trajectory file.
+# shape. Durable benchmarks (kv/durable/*) must carry the v7 durability
+# block — exactly {mode, fsync_batches, records, ring_stalls, recovery_ms}
+# with mode "async" or "sync" — and wherever a durability block appears it
+# is validated to that shape (mode "off" entries must not carry one: off
+# means the log path was elided). CI runs this so a refactor can't
+# silently drop the observability fields from the trajectory file.
 #
 # --require-kv asserts the file contains at least one kv/* entry and the
 # full kv/snapshot/{read,ntread,txnread} triple — used on merged trajectory
@@ -27,9 +31,12 @@
 # would otherwise still validate. --require-affine asserts at least one
 # kv/affine/* entry and at least one symmetric kv/* entry, so the
 # affine-vs-symmetric comparison cannot silently drop either side.
+# --require-durability asserts at least one async kv/durable/* entry (and,
+# on full-mode files, at least one sync entry), so the durability plane's
+# numbers cannot silently vanish from the trajectory.
 #
 # Usage: scripts/check_bench_schema.sh [--require-kv] [--require-affine] \
-#            FILE.json [FILE2.json ...]
+#            [--require-durability] FILE.json [FILE2.json ...]
 #
 #===----------------------------------------------------------------------===#
 
@@ -37,27 +44,30 @@ set -euo pipefail
 
 REQUIRE_KV=0
 REQUIRE_AFFINE=0
+REQUIRE_DURABILITY=0
 while true; do
   case "${1:-}" in
     --require-kv) REQUIRE_KV=1; shift ;;
     --require-affine) REQUIRE_AFFINE=1; shift ;;
+    --require-durability) REQUIRE_DURABILITY=1; shift ;;
     *) break ;;
   esac
 done
 
 if [ "$#" -lt 1 ]; then
   echo "usage: scripts/check_bench_schema.sh [--require-kv]" \
-       "[--require-affine] FILE.json [...]" >&2
+       "[--require-affine] [--require-durability] FILE.json [...]" >&2
   exit 2
 fi
 
 for FILE in "$@"; do
-  python3 - "$FILE" "$REQUIRE_KV" "$REQUIRE_AFFINE" <<'EOF'
+  python3 - "$FILE" "$REQUIRE_KV" "$REQUIRE_AFFINE" "$REQUIRE_DURABILITY" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
 require_kv = sys.argv[2] == "1"
 require_affine = sys.argv[3] == "1"
+require_durability = sys.argv[4] == "1"
 REASONS = [
     "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
     "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
@@ -68,6 +78,8 @@ OVERLOAD_FIELDS = ["offered_ops_per_sec", "goodput_ops_per_sec", "shed_rate"]
 PLANES = ["snapshot", "nt", "txn"]
 PLANE_FIELDS = PERCENTILES + ["count"]
 AFFINE_INT_FIELDS = ["hops", "cross_shard_ops", "max_queue_depth"]
+DURABILITY_INT_FIELDS = ["fsync_batches", "records", "ring_stalls"]
+DURABILITY_FIELDS = DURABILITY_INT_FIELDS + ["mode", "recovery_ms"]
 SNAPSHOT_TRIPLE = ["kv/snapshot/read_", "kv/snapshot/ntread_",
                    "kv/snapshot/txnread_"]
 
@@ -77,8 +89,8 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v6":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v6'")
+if doc.get("schema") != "satm-bench-v7":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v7'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
@@ -87,6 +99,8 @@ if not isinstance(benches, list) or not benches:
 kv_entries = 0
 affine_entries = 0
 symmetric_entries = 0
+durable_async = 0
+durable_sync = 0
 triple_seen = {p: False for p in SNAPSHOT_TRIPLE}
 for b in benches:
     name = b.get("name", "<unnamed>")
@@ -164,6 +178,31 @@ for b in benches:
                 if not isinstance(block[key], int):
                     fail(f"benchmark {name}: read_planes[{plane!r}][{key!r}] "
                          "must be an integer")
+    # v7 durability block: mandatory for kv/durable/* entries, validated
+    # to exact shape wherever present.
+    if name.startswith("kv/durable/") and "durability" not in b:
+        fail(f"benchmark {name}: kv/durable/* entries must carry the "
+             "durability block")
+    if "durability" in b:
+        blk = b["durability"]
+        if not isinstance(blk, dict) or set(blk) != set(DURABILITY_FIELDS):
+            fail(f"benchmark {name}: durability block must carry exactly "
+                 f"{sorted(DURABILITY_FIELDS)}")
+        if blk["mode"] not in ("async", "sync"):
+            fail(f"benchmark {name}: durability mode must be 'async' or "
+                 f"'sync' (off runs carry no block), got {blk['mode']!r}")
+        for key in DURABILITY_INT_FIELDS:
+            if not isinstance(blk[key], int):
+                fail(f"benchmark {name}: durability[{key!r}] must be an "
+                     "integer")
+        if not isinstance(blk["recovery_ms"], (int, float)):
+            fail(f"benchmark {name}: durability['recovery_ms'] must be "
+                 "numeric")
+        if name.startswith("kv/durable/"):
+            if blk["mode"] == "async":
+                durable_async += 1
+            else:
+                durable_sync += 1
     # v4 overload fields: mandatory for kv/overload/* entries, numeric
     # wherever present.
     if name.startswith("kv/overload/"):
@@ -197,9 +236,16 @@ if require_affine and affine_entries == 0:
     fail("--require-affine: no kv/affine/* (exec_mode 'affine') entries")
 if require_affine and symmetric_entries == 0:
     fail("--require-affine: no symmetric kv/* entries to compare against")
+if require_durability and durable_async == 0:
+    fail("--require-durability: no async kv/durable/* entries present")
+if require_durability and doc["mode"] == "full" and durable_sync == 0:
+    fail("--require-durability: full-mode file has no sync kv/durable/* "
+         "entry")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
 if affine_entries:
     kv_note += f" ({affine_entries} affine)"
-print(f"{path}: satm-bench-v6 OK ({len(benches)} benchmarks{kv_note})")
+if durable_async or durable_sync:
+    kv_note += f" ({durable_async} async + {durable_sync} sync durable)"
+print(f"{path}: satm-bench-v7 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

@@ -26,7 +26,7 @@ cmake --build build -j "$JOBS"
 echo "== bench smoke (perf_suite + kv_service JSON emitters, merged)"
 scripts/bench.sh --smoke "$JOBS"
 scripts/check_bench_schema.sh --require-kv --require-affine \
-  build/BENCH_smoke.json BENCH_satm.json
+  --require-durability build/BENCH_smoke.json BENCH_satm.json
 
 echo "== bench smoke with event tracing armed (SATM_TRACE=1)"
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
@@ -35,7 +35,7 @@ scripts/check_bench_schema.sh build/BENCH_smoke_trace.json
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/kv_service --smoke \
   --json=build/BENCH_kv_smoke_trace.json
 scripts/check_bench_schema.sh --require-kv --require-affine \
-  build/BENCH_kv_smoke_trace.json
+  --require-durability build/BENCH_kv_smoke_trace.json
 
 echo "== snapshot plane lane (ctest -L snapshot, plain + tracing armed)"
 (cd build && ctest --output-on-failure -j "$JOBS" -L snapshot)
@@ -78,6 +78,14 @@ AFFINE_FAULT_TESTS="kv_affine_test|kv_churn_flat_test"
 (cd build && SATM_FAULTS="seed=13,txn_open=0.02,txn_commit=0.02" \
   ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
 
+echo "== durability crash/recovery lane (seeded kill-mode loop, full length)"
+# The crash test arms SATM_FAULTS in its re-executed children itself, and
+# the recovery tests manufacture their own log damage, so neither runs
+# under the env-armed matrices above (parent-side faults would break the
+# harness, not the plane). SATM_FAST_TESTS=0 forces the full 100-iteration
+# kill loop here even when the rest of CI runs trimmed.
+(cd build && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability)
+
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
@@ -92,6 +100,9 @@ echo "== TSan affine executor fault lane"
 (cd build-tsan && SATM_FAULTS="seed=13,txn_open=0.02,txn_commit=0.02" \
   ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
 
+echo "== TSan durability crash/recovery lane (full kill loop)"
+(cd build-tsan && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability)
+
 echo "== TSan snapshot lane (tracing armed)"
 (cd build-tsan && SATM_TRACE=1 SATM_STATS=1 ctest --output-on-failure \
   -j "$JOBS" -L snapshot)
@@ -103,6 +114,6 @@ scripts/check_bench_schema.sh build-tsan/BENCH_smoke_trace.json
 SATM_TRACE=1 SATM_STATS=1 ./build-tsan/bench/kv_service --smoke \
   --json=build-tsan/BENCH_kv_smoke_trace.json
 scripts/check_bench_schema.sh --require-kv --require-affine \
-  build-tsan/BENCH_kv_smoke_trace.json
+  --require-durability build-tsan/BENCH_kv_smoke_trace.json
 
 echo "== CI green (plain + tsan, SATM_FAST_TESTS=$SATM_FAST_TESTS)"

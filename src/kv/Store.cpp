@@ -6,8 +6,10 @@
 
 #include "kv/Store.h"
 
+#include "kv/Wal.h"
 #include "stm/Barriers.h"
 #include "stm/Quiesce.h"
+#include "stm/Snapshot.h"
 #include "stm/Txn.h"
 
 #include <cassert>
@@ -100,32 +102,32 @@ Store::Store(rt::Heap &Heap, const StoreConfig &C) : H(Heap) {
 // Value-record retire pools (quiescence-deferred reclamation).
 //===----------------------------------------------------------------------===
 
-void Store::pushRetired(uint32_t Shard, rt::Object *V) {
+void Store::pushRetired(uint32_t Shard, rt::Object *V, uint32_t Slot) {
   using stm::Quiescence;
   ShardPool &P = *Pools[Shard];
   std::lock_guard<std::mutex> Lock(P.Mutex);
   P.Queue.push_back(
-      {V, Quiescence::currentEpoch(), Quiescence::snapshotStable()});
+      {V, Slot, Quiescence::currentEpoch(), Quiescence::snapshotStable()});
 }
 
-rt::Object *Store::popRecycled(uint32_t Shard) {
+bool Store::popRecycled(uint32_t Shard, RetiredRecord &Out) {
   using stm::Quiescence;
   ShardPool &P = *Pools[Shard];
   std::lock_guard<std::mutex> Lock(P.Mutex);
   if (P.Queue.empty())
-    return nullptr;
+    return false;
   const RetiredRecord &F = P.Queue.front();
   if (Quiescence::currentEpoch() <= F.RetireEpoch) {
     // Never block an insert on the horizon: advance the epoch once (it
     // stalls when QuiesceOnCommit is off) and let a later harvest reap.
     Quiescence::advanceEpoch();
-    return nullptr;
+    return false;
   }
   if (Quiescence::minPinnedEpoch() < F.RetireStable)
-    return nullptr; // A pinned snapshot predates the unlink: keep parking.
-  rt::Object *V = F.V;
+    return false; // A pinned snapshot predates the unlink: keep parking.
+  Out = F;
   P.Queue.pop_front();
-  return V;
+  return true;
 }
 
 Store::ReclaimStats Store::reclaimStats() const {
@@ -170,8 +172,23 @@ bool Store::get(Word Key, Word &Out) const {
   return false;
 }
 
+void Store::logRedo(stm::Txn &Tx, uint32_t Shard, WalOp Op, Word Key,
+                    Word Val) {
+  if (!DurableLog)
+    return; // --durability=off: the log path is fully elided.
+  stm::Txn::PublishEntry E;
+  E.Fn = &Wal::publishHook;
+  E.Ctx = DurableLog;
+  E.A = (Word(uint8_t(Op)) << 32) | Shard;
+  E.B = Key;
+  E.C = Val;
+  Tx.onPublish(E);
+}
+
 bool Store::putFast(Word Key, Word Val) {
   assert(Val != Tombstone && "Tombstone is reserved");
+  if (DurableLog)
+    return false; // Raw stores bypass the redo log: take the txn path.
   const ShardRep &S = Reps[shardOf(Key)];
   const uint32_t Mask = Capacity - 1;
   uint32_t I = probeStart(Key, Capacity);
@@ -208,6 +225,8 @@ bool Store::put(Word Key, Word Val) {
 
 bool Store::putFastOwned(Word Key, Word Val) {
   assert(Val != Tombstone && "Tombstone is reserved");
+  if (DurableLog)
+    return false; // Raw stores bypass the redo log: take the txn path.
   const ShardRep &S = Reps[shardOf(Key)];
   const uint32_t Mask = Capacity - 1;
   uint32_t I = probeStart(Key, Capacity);
@@ -225,6 +244,17 @@ bool Store::putFastOwned(Word Key, Word Val) {
         Object::fromWord(S.Vals->rawLoad(I, std::memory_order_acquire));
     if (!V)
       return false; // Erased: the transactional insert path resurrects.
+    // Snapshot-visibility guard: once V has a version chain (a past
+    // transactional write — e.g. a CAS — published nodes for it),
+    // snapshot readers resolve V through the chain and a raw overwrite
+    // here would be permanently invisible to them, freezing snapshotGet
+    // at the last chained value. Fall back to the transactional insert
+    // (the caller's fallback path), which publishes a version node.
+    // Chain-less objects keep the raw store: snap::readAtEpoch reads
+    // them in place (the documented nt caveat, stm/Snapshot.h).
+    if (stm::config().SnapshotEnabled && stm::snap::tableEntries() != 0 &&
+        stm::snap::newestEpoch(V) != 0)
+      return false;
     // No unlink race: erases of this shard run only under this window or
     // behind the gate, never concurrently with it.
     V->rawStore(0, Val, std::memory_order_release);
@@ -262,7 +292,8 @@ OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
   ShardRep &S = Reps[Shard];
   // Harvest at most one ripe retired record *before* the attempt loop —
   // popping inside the body would double-pop across re-executions.
-  Object *Recycled = popRecycled(Shard);
+  RetiredRecord Recycled{nullptr, 0, 0, 0};
+  bool Harvested = popRecycled(Shard, Recycled);
   bool UsedRecycled = false;
   OpStatus St = OpStatus::Ok;
   OpStatus R = runBudgeted(B, St, [&](stm::Txn &Tx) {
@@ -271,29 +302,43 @@ OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
     int FirstFree = -1;
     int Slot = findSlotTxn(Tx, S, Key, &FirstFree);
     int Target = Slot;
+    bool RecycledSlot = false;
     if (Slot >= 0) {
       Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
       if (V) {
         // Present: overwrite in place.
         Tx.write(V, 0, Val);
+        logRedo(Tx, Shard, WalOp::Put, Key, Val);
         return;
       }
       // Erased key: resurrect by relinking a value record below. Meta is
       // untouched — size() counts index entries, which never shrink.
     } else if (FirstFree >= 0) {
       Target = FirstFree;
+    } else if (Harvested &&
+               Tx.readRef(S.Vals, Recycled.Slot) == nullptr) {
+      // Tombstone-saturated shard: the probe wrapped the whole table
+      // without an empty slot, so every slot is on every key's probe
+      // sequence and any still-tombstoned slot is a legal home for Key.
+      // Reuse the harvested record's own slot — ripened past both
+      // reclamation horizons, and (checked transactionally above) not
+      // resurrected since. The Keys rewrite is transactional, so
+      // concurrent probes validate against it, and the slot stays
+      // non-zero throughout: nt probe chains never see it go empty.
+      Target = int(Recycled.Slot);
+      RecycledSlot = true;
     } else {
       St = OpStatus::Full;
       return;
     }
     Object *V;
-    if (Recycled) {
+    if (Harvested) {
       // A recycled record is Shared and may have straggling optimistic
       // readers from its previous key: write transactionally so the
       // acquire arbitrates against them and the commit-time version bump
       // (plus the published version node under SnapshotEnabled) kills
       // their validation.
-      V = Recycled;
+      V = Recycled.V;
       Tx.write(V, 0, Val);
       UsedRecycled = true;
     } else {
@@ -307,15 +352,19 @@ OpStatus Store::insert(Word Key, Word Val, const OpBudget &B) {
     }
     if (Slot < 0) {
       Tx.write(S.Keys, uint32_t(Target), Key + 1);
-      Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
+      // A recycled slot replaces a tombstoned entry with a live one:
+      // the resident-entry count is unchanged, so no Meta bump.
+      if (!RecycledSlot)
+        Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
     }
     Tx.writeRef(S.Vals, uint32_t(Target), V);
+    logRedo(Tx, Shard, WalOp::Put, Key, Val);
   });
-  if (Recycled) {
+  if (Harvested) {
     if (R == OpStatus::Ok && UsedRecycled)
       ValueRecycled.fetch_add(1, std::memory_order_relaxed);
-    else
-      pushRetired(Shard, Recycled); // Unused (overwrite path or shed).
+    else // Unused (overwrite path or shed): park it again, slot intact.
+      pushRetired(Shard, Recycled.V, Recycled.Slot);
   }
   return R;
 }
@@ -342,10 +391,11 @@ OpStatus Store::erase(Word Key, const OpBudget &B) {
     // post-commit (discarded on abort), when the retirement horizon —
     // current epoch and stable snapshot ticket — is final.
     Tx.writeRef(S.Vals, uint32_t(Slot), nullptr);
-    Tx.onCommit([this, Shard, V] {
+    Tx.onCommit([this, Shard, V, Slot = uint32_t(Slot)] {
       ValueRetired.fetch_add(1, std::memory_order_relaxed);
-      pushRetired(Shard, V);
+      pushRetired(Shard, V, Slot);
     });
+    logRedo(Tx, Shard, WalOp::Erase, Key, 0);
     St = OpStatus::Ok;
   });
 }
@@ -375,6 +425,7 @@ OpStatus Store::cas(Word Key, Word Expected, Word Desired,
       return;
     }
     Tx.write(V, 0, Desired);
+    logRedo(Tx, shardOf(Key), WalOp::Put, Key, Desired);
     St = OpStatus::Ok;
   });
 }
@@ -477,6 +528,7 @@ OpStatus Store::readModifyWrite(
     for (size_t I = 0; I < N; ++I) {
       assert(Buf[I] != Tombstone && "Tombstone is reserved");
       Tx.write(Objs[I], 0, Buf[I]);
+      logRedo(Tx, shardOf(Keys[I]), WalOp::Put, Keys[I], Buf[I]);
     }
     St = OpStatus::Ok;
   });

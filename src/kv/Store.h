@@ -56,7 +56,13 @@
 #include <vector>
 
 namespace satm {
+namespace stm {
+class Txn;
+}
 namespace kv {
+
+class Wal;
+enum class WalOp : uint8_t;
 
 using stm::Word;
 
@@ -276,6 +282,19 @@ public:
   };
   ReclaimStats reclaimStats() const;
 
+  //===--------------------------------------------------------------------===
+  // Durability plane (kv/Wal.h, DESIGN.md §12).
+  //===--------------------------------------------------------------------===
+
+  /// Attaches \p W: from here on every committing mutation registers a
+  /// publish-window redo append, and the raw single-key fast paths
+  /// (putFast, putFastOwned) refuse so all writes take the logged
+  /// transactional path. Pass null to detach. The caller sequences this
+  /// against in-flight operations (attach before workers start, detach
+  /// after they join) and must have start()ed the Wal first.
+  void attachWal(Wal *W) { DurableLog = W; }
+  Wal *wal() const { return DurableLog; }
+
 private:
   struct ShardRep {
     rt::Object *Keys; ///< Int array: key+1 per slot, 0 = empty.
@@ -291,6 +310,8 @@ private:
   /// (no pinned reader predates the unlink).
   struct RetiredRecord {
     rt::Object *V;
+    uint32_t Slot; ///< Index slot the record was unlinked from (the
+                   ///< tombstoned entry a saturated insert may recycle).
     uint64_t RetireEpoch;
     uint64_t RetireStable;
   };
@@ -303,13 +324,19 @@ private:
     std::deque<RetiredRecord> Queue;
   };
 
-  /// Parks \p V in \p Shard's pool, stamped with the current horizon.
-  void pushRetired(uint32_t Shard, rt::Object *V);
+  /// Parks \p V (unlinked from index slot \p Slot) in \p Shard's pool,
+  /// stamped with the current horizon.
+  void pushRetired(uint32_t Shard, rt::Object *V, uint32_t Slot);
 
-  /// Pops the oldest parked record whose horizon has passed, or null. On
-  /// an epoch-blocked head, nudges the global epoch forward once so the
+  /// Pops the oldest parked record whose horizon has passed into \p Out
+  /// (record + its tombstoned slot); false if none is ripe. On an
+  /// epoch-blocked head, nudges the global epoch forward once so the
   /// next harvest succeeds (epochs stall when QuiesceOnCommit is off).
-  rt::Object *popRecycled(uint32_t Shard);
+  bool popRecycled(uint32_t Shard, RetiredRecord &Out);
+
+  /// Registers a publish-window redo append for the committing operation
+  /// when a Wal is attached; no-op (one predicted branch) otherwise.
+  void logRedo(stm::Txn &Tx, uint32_t Shard, WalOp Op, Word Key, Word Val);
 
   /// Probe under transaction \p Tx (passed in so the per-key hot loops pay
   /// no thread-local descriptor lookup); returns the slot holding \p Key
@@ -325,6 +352,7 @@ private:
   std::atomic<uint64_t> ValueAllocated{0};
   std::atomic<uint64_t> ValueRetired{0};
   std::atomic<uint64_t> ValueRecycled{0};
+  Wal *DurableLog = nullptr;
 };
 
 } // namespace kv

@@ -1,0 +1,515 @@
+//===- kv/Wal.cpp - SATM-KV durability plane implementation --------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Wal.h"
+
+#include "kv/Store.h"
+#include "support/Backoff.h"
+#include "support/FaultInjector.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace satm;
+using namespace satm::kv;
+
+const char *satm::kv::durabilityModeName(DurabilityMode M) {
+  switch (M) {
+  case DurabilityMode::Off:
+    return "off";
+  case DurabilityMode::Async:
+    return "async";
+  case DurabilityMode::Sync:
+    return "sync";
+  }
+  return "?";
+}
+
+bool satm::kv::parseDurabilityMode(const char *S, DurabilityMode &Out) {
+  if (!S)
+    return false;
+  if (std::strcmp(S, "off") == 0)
+    Out = DurabilityMode::Off;
+  else if (std::strcmp(S, "async") == 0)
+    Out = DurabilityMode::Async;
+  else if (std::strcmp(S, "sync") == 0)
+    Out = DurabilityMode::Sync;
+  else
+    return false;
+  return true;
+}
+
+uint64_t WalRecord::checksum() const {
+  // SplitMix64-style finalize over a running combine, seeded so the
+  // all-zero record (a zero-filled torn tail) never validates.
+  uint64_t H = 0x5a71db14b816f5c3ull;
+  const uint64_t W[4] = {Lsn, Meta, Key, Val};
+  for (uint64_t X : W) {
+    H ^= X + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ull;
+  }
+  return H ^ (H >> 31);
+}
+
+namespace {
+
+/// Per-thread LSN of the last append, for sync-mode acks.
+thread_local uint64_t TlsLastAppendedLsn = 0;
+
+void ioFatal(const char *What, const std::string &Path) {
+  std::fprintf(stderr, "satm: wal %s failed for '%s': %s\n", What,
+               Path.c_str(), std::strerror(errno));
+  std::abort();
+}
+
+} // namespace
+
+uint64_t Wal::lastAppendedLsn() { return TlsLastAppendedLsn; }
+
+std::string Wal::shardFile(uint32_t Shard) const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "/shard-%04u.wal", Shard);
+  return Cfg.Dir + Buf;
+}
+
+Wal::Wal(const Config &C) : Cfg(C) {
+  assert((Cfg.RingSlots & (Cfg.RingSlots - 1)) == 0 && "ring is power of two");
+  if (Cfg.DrainThreads == 0)
+    Cfg.DrainThreads = 1;
+  std::error_code Ec;
+  std::filesystem::create_directories(Cfg.Dir, Ec); // Pre-existing is fine.
+  Rings = std::vector<Ring>(Cfg.Shards);
+  for (auto &R : Rings)
+    R.Buf = std::make_unique<WalRecord[]>(Cfg.RingSlots);
+  Fds.assign(Cfg.Shards, -1);
+  ThreadCut.assign(Cfg.DrainThreads, 0);
+}
+
+Wal::~Wal() {
+  stop();
+  for (int Fd : Fds)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+void Wal::start() {
+  assert(!Started && "wal already started");
+  for (uint32_t S = 0; S < Cfg.Shards; ++S) {
+    if (Fds[S] >= 0)
+      continue;
+    Fds[S] = ::open(shardFile(S).c_str(), O_CREAT | O_WRONLY | O_APPEND,
+                    0644);
+    if (Fds[S] < 0)
+      ioFatal("open", shardFile(S));
+  }
+  // Persist the directory entries once, so a crash right after start
+  // cannot lose the (empty) shard files themselves.
+  int DirFd = ::open(Cfg.Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  PublishedLsn.store(BaseLsn, std::memory_order_relaxed);
+  DurableLsn.store(BaseLsn, std::memory_order_relaxed);
+  ThreadCut.assign(Cfg.DrainThreads, BaseLsn);
+  Stopping.store(false, std::memory_order_relaxed);
+  Started = true;
+  for (unsigned T = 0; T < Cfg.DrainThreads; ++T)
+    Drainers.emplace_back([this, T] { drainLoop(T); });
+}
+
+void Wal::stop() {
+  if (!Started)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    Stopping.store(true, std::memory_order_release);
+  }
+  DrainCv.notify_all();
+  for (auto &T : Drainers)
+    T.join();
+  Drainers.clear();
+  Started = false;
+}
+
+//===----------------------------------------------------------------------===
+// Commit side (publish window).
+//===----------------------------------------------------------------------===
+
+void Wal::append(uint32_t Shard, WalOp Op, Word Key, Word Val,
+                 uint64_t Ticket, uint32_t Index, uint32_t Count) {
+  assert(Started && "append on a stopped wal");
+  if (faultPoint(FaultSite::LogAppend))
+    faultSpin(FaultInjector::arg(FaultSite::LogAppend));
+  const uint64_t Lsn = BaseLsn + Ticket;
+  Ring &R = Rings[Shard];
+  const uint32_t Mask = Cfg.RingSlots - 1;
+  uint64_t H = R.Head.load(std::memory_order_relaxed);
+  // Backpressure: wait for the drainer, never overwrite. This is the one
+  // blocking wait allowed in the publish window — it is on an I/O thread
+  // that holds no publish ticket and no STM state, so it cannot close a
+  // wait cycle through the publish order (see Wal.h).
+  if (H - R.Tail.load(std::memory_order_acquire) >= Cfg.RingSlots) {
+    StatRingStalls.fetch_add(1, std::memory_order_relaxed);
+    DrainCv.notify_one();
+    Backoff B;
+    while (H - R.Tail.load(std::memory_order_acquire) >= Cfg.RingSlots)
+      B.pause();
+  }
+  WalRecord &Rec = R.Buf[H & Mask];
+  Rec.Lsn = Lsn;
+  Rec.Meta = WalRecord::packMeta(Op, Index, Count);
+  Rec.Key = Key;
+  Rec.Val = Val;
+  Rec.Check = Rec.checksum();
+  R.Head.store(H + 1, std::memory_order_release);
+  StatAppends.fetch_add(1, std::memory_order_relaxed);
+  TlsLastAppendedLsn = Lsn;
+  // The group becomes drainable only once its last record is in a ring:
+  // a drain cut at this LSN must never fsync-ack a half-appended
+  // transaction (waitDurable would then ack a write recovery drops).
+  if (Index + 1 == Count)
+    PublishedLsn.store(Lsn, std::memory_order_release);
+}
+
+void Wal::publishHook(void *Ctx, uint64_t Ticket, uint32_t Index,
+                      uint32_t Count, Word A, Word B, Word C) {
+  static_cast<Wal *>(Ctx)->append(uint32_t(A & 0xffffffffu),
+                                  WalOp(uint32_t(A >> 32)), B, C, Ticket,
+                                  Index, Count);
+}
+
+//===----------------------------------------------------------------------===
+// Drain side (group commit).
+//===----------------------------------------------------------------------===
+
+void Wal::drainLoop(unsigned ThreadIndex) {
+  std::vector<uint8_t> Scratch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(WaitMutex);
+      DrainCv.wait_for(Lock, std::chrono::microseconds(Cfg.FlushIntervalUs),
+                       [&] {
+                         return Stopping.load(std::memory_order_acquire) ||
+                                SyncWaitersPending > 0;
+                       });
+    }
+    bool Last = Stopping.load(std::memory_order_acquire);
+    drainCycle(ThreadIndex, Scratch);
+    if (Last)
+      return; // Final cycle ran after Stopping was visible: rings empty.
+  }
+}
+
+void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch) {
+  // The cut is read *before* draining: every record with LSN <= Cut was
+  // fully ring-published at that moment (PublishedLsn advances only after
+  // a transaction's last record, and the publish window serializes
+  // groups), so emptying the rings below captures all of them.
+  const uint64_t Cut = PublishedLsn.load(std::memory_order_acquire);
+  bool Dirty = false;
+  for (uint32_t S = ThreadIndex; S < Cfg.Shards; S += Cfg.DrainThreads) {
+    Ring &R = Rings[S];
+    uint64_t T = R.Tail.load(std::memory_order_relaxed);
+    const uint64_t H = R.Head.load(std::memory_order_acquire);
+    if (T == H)
+      continue;
+    Scratch.clear();
+    const uint32_t Mask = Cfg.RingSlots - 1;
+    for (; T != H; ++T) {
+      const WalRecord &Rec = R.Buf[T & Mask];
+      const uint8_t *P = reinterpret_cast<const uint8_t *>(&Rec);
+      Scratch.insert(Scratch.end(), P, P + sizeof(WalRecord));
+    }
+    size_t Off = 0;
+    while (Off < Scratch.size()) {
+      ssize_t N = ::write(Fds[S], Scratch.data() + Off, Scratch.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        ioFatal("write", shardFile(S));
+      }
+      Off += size_t(N);
+    }
+    R.Tail.store(T, std::memory_order_release);
+    StatRecordsWritten.fetch_add(Scratch.size() / sizeof(WalRecord),
+                                 std::memory_order_relaxed);
+    StatBytesWritten.fetch_add(Scratch.size(), std::memory_order_relaxed);
+    Dirty = true;
+  }
+  if (Dirty) {
+    // Group commit: one fsync per dirty shard file covers every record
+    // that accumulated since the previous cycle.
+    if (faultPoint(FaultSite::LogFsync))
+      faultSpin(FaultInjector::arg(FaultSite::LogFsync));
+    for (uint32_t S = ThreadIndex; S < Cfg.Shards; S += Cfg.DrainThreads)
+      if (::fsync(Fds[S]) < 0)
+        ioFatal("fsync", shardFile(S));
+    StatFsyncBatches.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Advance durability to the minimum cut over all drain threads — even
+  // on an idle cycle (an empty ring means this thread's shards were
+  // already durable up to Cut).
+  {
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    ThreadCut[ThreadIndex] = std::max(ThreadCut[ThreadIndex], Cut);
+    uint64_t Min = ThreadCut[0];
+    for (uint64_t C : ThreadCut)
+      Min = std::min(Min, C);
+    if (Min > DurableLsn.load(std::memory_order_relaxed))
+      DurableLsn.store(Min, std::memory_order_release);
+  }
+  DurableCv.notify_all();
+}
+
+void Wal::waitDurable(uint64_t Lsn) {
+  if (DurableLsn.load(std::memory_order_acquire) >= Lsn)
+    return;
+  std::unique_lock<std::mutex> Lock(WaitMutex);
+  ++SyncWaitersPending;
+  DrainCv.notify_all(); // Kick an immediate group-commit cycle.
+  DurableCv.wait(Lock, [&] {
+    return DurableLsn.load(std::memory_order_acquire) >= Lsn;
+  });
+  --SyncWaitersPending;
+}
+
+WalStats Wal::stats() const {
+  WalStats S;
+  S.RecordsAppended = StatAppends.load(std::memory_order_relaxed);
+  S.RingStalls = StatRingStalls.load(std::memory_order_relaxed);
+  S.FsyncBatches = StatFsyncBatches.load(std::memory_order_relaxed);
+  S.RecordsWritten = StatRecordsWritten.load(std::memory_order_relaxed);
+  S.BytesWritten = StatBytesWritten.load(std::memory_order_relaxed);
+  return S;
+}
+
+//===----------------------------------------------------------------------===
+// Recovery.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// One shard's validated scan: the longest file prefix of records that
+/// checksum correctly and are (Lsn, Index)-monotone. ValidBytes is where
+/// that prefix ends; everything after is torn or corrupt.
+struct ShardScan {
+  std::vector<WalRecord> Recs;
+  uint64_t ValidBytes = 0;
+  uint64_t FileBytes = 0;
+  bool Torn = false;
+  bool ReplayFaultStop = false;
+};
+
+void scanShard(const std::string &Path, ShardScan &Out) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return; // No file: empty log.
+  WalRecord Rec;
+  for (;;) {
+    size_t N = std::fread(&Rec, 1, sizeof(Rec), F);
+    Out.FileBytes += N;
+    if (N < sizeof(Rec)) {
+      Out.Torn |= N != 0; // Short tail: a record cut mid-write.
+      break;
+    }
+    if (Rec.Check != Rec.checksum()) {
+      Out.Torn = true; // Bit-flip or zero-fill: stop, never replay.
+      break;
+    }
+    if (!Out.Recs.empty()) {
+      const WalRecord &Prev = Out.Recs.back();
+      // Per-shard order is strict: LSN non-decreasing, and within one
+      // LSN (a multi-record transaction) the index strictly increases.
+      // A duplicated tail repeats (Lsn, Index) and fails here.
+      if (Rec.Lsn < Prev.Lsn ||
+          (Rec.Lsn == Prev.Lsn && Rec.index() <= Prev.index())) {
+        Out.Torn = true;
+        break;
+      }
+    }
+    // Injected recovery fault: abandon the rest of this shard's log as
+    // if the scan hit a torn record (kill mode turns this into a crash
+    // during recovery — double-crash testing).
+    if (faultPoint(FaultSite::RecoveryReplay)) {
+      faultSpin(FaultInjector::arg(FaultSite::RecoveryReplay));
+      Out.ReplayFaultStop = true;
+      break;
+    }
+    Out.Recs.push_back(Rec);
+    Out.ValidBytes += sizeof(Rec);
+  }
+  // Anything read past ValidBytes (including a trailing partial record
+  // fread consumed) does not count as file content to keep.
+  std::fseek(F, 0, SEEK_END);
+  Out.FileBytes = uint64_t(std::ftell(F));
+  std::fclose(F);
+}
+
+} // namespace
+
+RecoveryStats Wal::recover(Store &S) {
+  assert(!Started && "recover must run before start()");
+  assert(S.shards() == Cfg.Shards && "wal/store shard mismatch");
+  Stopwatch Timer;
+  RecoveryStats Out;
+  std::vector<ShardScan> Scans(Cfg.Shards);
+  // Phase 1: shard-parallel validated scans. One thread per shard would
+  // oversubscribe a small box for no gain; cap at hardware concurrency.
+  {
+    unsigned NumWorkers = std::max(1u, std::min<unsigned>(
+        std::thread::hardware_concurrency(), Cfg.Shards));
+    std::atomic<uint32_t> Next{0};
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Workers.emplace_back([&] {
+        for (;;) {
+          uint32_t Shard = Next.fetch_add(1, std::memory_order_relaxed);
+          if (Shard >= Cfg.Shards)
+            return;
+          scanShard(shardFile(Shard), Scans[Shard]);
+        }
+      });
+    for (auto &W : Workers)
+      W.join();
+  }
+  for (const ShardScan &Sc : Scans) {
+    Out.RecordsScanned += Sc.Recs.size();
+    if (Sc.Torn)
+      ++Out.TornRecords;
+  }
+  // Phase 2: cross-shard merge by LSN. A transaction's group is complete
+  // iff its record count equals the span every record carries; the first
+  // incomplete group cuts the global replay — records above it are a
+  // suffix the crash made non-atomic, and replaying any of them would
+  // break prefix-of-commit-order semantics.
+  //
+  // Incompleteness alone is not enough, though: a torn shard tail (or a
+  // shard file that is simply behind, the drainer having died before
+  // reaching it) can swallow transactions that lived *wholly* in that
+  // shard. Their LSNs then vanish from the merge entirely — no
+  // incomplete group, just a hole — while later complete groups from
+  // other shards would happily replay past them, silently dropping a
+  // middle transaction. Logged LSNs are contiguous within a generation
+  // (every logging commit takes the next publish ticket, and recovery
+  // re-bases so a restart continues at cut + 1), so a discontinuity IS a
+  // lost group: cut there.
+  uint64_t CutLsn = UINT64_MAX;
+  {
+    std::vector<size_t> Pos(Cfg.Shards, 0);
+    uint64_t PrevLsn = 0;
+    for (;;) {
+      uint64_t Lsn = UINT64_MAX;
+      for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd)
+        if (Pos[Sd] < Scans[Sd].Recs.size())
+          Lsn = std::min(Lsn, Scans[Sd].Recs[Pos[Sd]].Lsn);
+      if (Lsn == UINT64_MAX)
+        break; // All records grouped.
+      if (PrevLsn != 0 && Lsn != PrevLsn + 1) {
+        CutLsn = PrevLsn; // Hole: a wholly-lost group hides in the gap.
+        break;
+      }
+      PrevLsn = Lsn;
+      uint32_t Count = 0, Span = 0;
+      bool Coherent = true;
+      for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd) {
+        auto &Recs = Scans[Sd].Recs;
+        size_t &P = Pos[Sd];
+        while (P < Recs.size() && Recs[P].Lsn == Lsn) {
+          if (Span == 0)
+            Span = Recs[P].span();
+          else if (Recs[P].span() != Span)
+            Coherent = false;
+          ++Count;
+          ++P;
+        }
+      }
+      if (!Coherent || Count != Span) {
+        CutLsn = Lsn - 1; // First incomplete group: cut before it.
+        break;
+      }
+      ++Out.TxnsReplayed;
+      Out.CutLsn = Lsn;
+    }
+  }
+  if (CutLsn != UINT64_MAX)
+    Out.CutLsn = std::min(Out.CutLsn, CutLsn);
+  // Phase 3: shard-parallel replay of the prefix. Records of one shard
+  // are already in commit order; cross-shard interleaving within the
+  // prefix is free (transactions' shard-disjoint records commute, and
+  // same-key records always share a shard).
+  {
+    std::atomic<uint64_t> Replayed{0}, Failures{0};
+    std::atomic<uint32_t> Next{0};
+    unsigned NumWorkers = std::max(1u, std::min<unsigned>(
+        std::thread::hardware_concurrency(), Cfg.Shards));
+    std::vector<std::thread> Workers;
+    const uint64_t Cut = Out.CutLsn;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Workers.emplace_back([&] {
+        for (;;) {
+          uint32_t Shard = Next.fetch_add(1, std::memory_order_relaxed);
+          if (Shard >= Cfg.Shards)
+            return;
+          for (const WalRecord &Rec : Scans[Shard].Recs) {
+            if (Rec.Lsn > Cut)
+              break;
+            bool Ok = Rec.op() == WalOp::Put
+                          ? S.insert(Rec.Key, Rec.Val)
+                          : S.erase(Rec.Key);
+            if (!Ok)
+              Failures.fetch_add(1, std::memory_order_relaxed);
+            Replayed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    for (auto &W : Workers)
+      W.join();
+    Out.RecordsReplayed = Replayed.load(std::memory_order_relaxed);
+    Out.ApplyFailures = Failures.load(std::memory_order_relaxed);
+  }
+  // Phase 4: truncate every shard file at its replayed prefix — torn
+  // tails and beyond-cut suffixes alike — so the dropped records cannot
+  // resurface in a later recovery (they would re-cut the log there and
+  // orphan everything appended afterwards).
+  for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd) {
+    const ShardScan &Sc = Scans[Sd];
+    uint64_t Keep = 0;
+    for (const WalRecord &Rec : Sc.Recs) {
+      if (Rec.Lsn > Out.CutLsn)
+        break;
+      Keep += sizeof(WalRecord);
+    }
+    if (Keep < Sc.FileBytes) {
+      Out.TruncatedBytes += Sc.FileBytes - Keep;
+      std::error_code Ec;
+      std::filesystem::resize_file(shardFile(Sd), Keep, Ec);
+      // A missing file truncates to nothing by definition.
+    }
+  }
+  // Re-base so the next generation's first record lands exactly at
+  // cut + 1: publish tickets restart at 2 in a fresh process, and the
+  // merge's hole check above relies on logged LSNs staying contiguous
+  // across the restart. (A recovering process must take its first
+  // publish ticket through the log — true for the service, whose
+  // recovery precedes any transactional traffic.)
+  BaseLsn = Out.CutLsn >= 1 ? Out.CutLsn - 1 : 0;
+  // Reclamation identities must hold on the rebuilt store: every record
+  // parked by a replayed erase is accounted for, nothing leaked.
+  Store::ReclaimStats Rs = S.reclaimStats();
+  Out.ReclaimIdentityOk =
+      Rs.PoolSize == Rs.Retired - Rs.Recycled && Rs.Retired >= Rs.Recycled;
+  Out.Millis = Timer.millis();
+  return Out;
+}

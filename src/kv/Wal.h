@@ -1,0 +1,246 @@
+//===- kv/Wal.h - SATM-KV durability plane: per-shard redo log -*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SATM-KV durability plane: a per-shard append-only redo log with
+/// group commit, batched fsync, and shard-parallel crash recovery
+/// (ROADMAP item 1; DESIGN.md §12).
+///
+/// Ordering. Committing transactions publish fixed-format redo records
+/// into per-shard in-memory rings *inside the snapshot publish window* —
+/// between Quiescence::waitPublishTurn and completePublish — where the
+/// committer is globally unique in the publish order. Log order therefore
+/// equals the snapshot plane's commit order by construction: no log-side
+/// CAS, no sequencer, no multi-producer races. The hand-off to the drain
+/// thread is privatization-shaped (the ring slot passes from the
+/// transactional world to an I/O thread); the release store that bumps
+/// the ring head is the only barrier it needs, because the drainer never
+/// touches STM state. The publish window's non-blocking invariant
+/// (Quiesce.h) is preserved in the sense that matters for deadlock
+/// freedom: an append can wait only on the drain thread (ring full), and
+/// the drain thread never takes a publish ticket or any STM resource, so
+/// no wait cycle through the publish order can form.
+///
+/// Record format: 40 bytes, five host-endian words —
+///   [0] Lsn       log sequence number = BaseLsn + publish ticket; all
+///                 records of one transaction share it
+///   [1] Meta      op (low 8 bits) | index-within-txn (bits 8..31)
+///                 | txn span (bits 32..63)
+///   [2] Key
+///   [3] Val       (ignored for Erase)
+///   [4] Check     seeded SplitMix-style mix of words 0..3
+///
+/// Recovery replays the *maximal durable prefix of the commit order*: a
+/// per-shard scan validates checksums and (Lsn, Index) monotonicity and
+/// truncates the first torn or corrupt record (never replaying it); a
+/// cross-shard merge then cuts the global replay at the first LSN whose
+/// transaction group is incomplete (records ≠ span — a crash between
+/// per-shard file writes) *or* absent entirely (an LSN hole: a torn
+/// shard file can swallow whole transactions that logged only there, and
+/// logged LSNs are contiguous by construction — every logging commit
+/// takes the next publish ticket, and recovery re-bases BaseLsn so the
+/// next generation continues at cut + 1). The beyond-cut suffix is
+/// truncated from every shard file so a later run cannot resurrect it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_KV_WAL_H
+#define SATM_KV_WAL_H
+
+#include "stm/Txn.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace satm {
+namespace kv {
+
+class Store;
+using stm::Word;
+
+/// Service-level durability modes (kv_service --durability=...). The Wal
+/// itself is mode-agnostic — Off means no Wal is attached at all, and
+/// Sync vs Async is whether the caller waits on waitDurable before
+/// acking. Kept here so the flag, the bench schema, and the tests share
+/// one spelling.
+enum class DurabilityMode : uint8_t { Off = 0, Async, Sync };
+
+/// Display key ("off" / "async" / "sync").
+const char *durabilityModeName(DurabilityMode M);
+
+/// Parses a --durability value; returns false on unknown spelling.
+bool parseDurabilityMode(const char *S, DurabilityMode &Out);
+
+/// Redo operations. Values are stable on-disk format.
+enum class WalOp : uint8_t { Put = 1, Erase = 2 };
+
+/// One on-disk redo record (host-endian, fixed 40 bytes).
+struct WalRecord {
+  uint64_t Lsn;
+  uint64_t Meta; ///< op | index<<8 | span<<32 (see file comment).
+  uint64_t Key;
+  uint64_t Val;
+  uint64_t Check;
+
+  static uint64_t packMeta(WalOp Op, uint32_t Index, uint32_t Span) {
+    return uint64_t(Op) | (uint64_t(Index & 0xffffffu) << 8) |
+           (uint64_t(Span) << 32);
+  }
+  WalOp op() const { return WalOp(Meta & 0xff); }
+  uint32_t index() const { return uint32_t((Meta >> 8) & 0xffffffu); }
+  uint32_t span() const { return uint32_t(Meta >> 32); }
+
+  /// Seeded mix of words 0..3 so an all-zero record does not checksum to
+  /// zero (a zero-filled tail must read as torn).
+  uint64_t checksum() const;
+};
+static_assert(sizeof(WalRecord) == 40, "on-disk record is 5 words");
+
+/// Drain-side counters (monotone since start()).
+struct WalStats {
+  uint64_t RecordsAppended = 0; ///< Ring appends (commit side).
+  uint64_t RingStalls = 0;      ///< Appends that waited on a full ring.
+  uint64_t FsyncBatches = 0;    ///< Drain cycles that reached fsync.
+  uint64_t RecordsWritten = 0;  ///< Records handed to write(2).
+  uint64_t BytesWritten = 0;
+};
+
+/// Outcome of Wal::recover.
+struct RecoveryStats {
+  uint64_t RecordsScanned = 0;  ///< Valid records read across all shards.
+  uint64_t RecordsReplayed = 0; ///< Records applied (<= scanned: group cut).
+  uint64_t TxnsReplayed = 0;    ///< Complete LSN groups applied.
+  uint64_t TornRecords = 0;     ///< Shard-local torn/corrupt tails truncated.
+  uint64_t TruncatedBytes = 0;  ///< Bytes removed from files (torn + cut).
+  uint64_t ApplyFailures = 0;   ///< Replay ops the store rejected (0 = clean).
+  uint64_t CutLsn = 0;          ///< Highest LSN replayed (= new BaseLsn).
+  bool ReclaimIdentityOk = true; ///< reclaimStats() identities held after.
+  double Millis = 0;            ///< Wall time of scan + merge + replay.
+};
+
+/// Per-shard write-ahead redo log. Lifecycle: construct over a directory,
+/// optionally recover() into a Store, start() the drain threads, attach
+/// to the Store (Store::attachWal) so committing transactions register
+/// publish-window appends, stop() before teardown.
+class Wal {
+public:
+  struct Config {
+    std::string Dir;            ///< Log directory (created if absent).
+    uint32_t Shards = 16;       ///< Must match the store's shard count.
+    uint32_t DrainThreads = 1;  ///< I/O threads; shard S drains on S % N.
+    uint32_t RingSlots = 4096;  ///< Per-shard ring capacity (power of two).
+    uint32_t FlushIntervalUs = 1000; ///< Group-commit window (idle bound).
+  };
+
+  explicit Wal(const Config &C);
+  ~Wal(); // Stops (final drain + fsync) if still running.
+
+  Wal(const Wal &) = delete;
+  Wal &operator=(const Wal &) = delete;
+
+  /// Scans the shard logs, truncates torn tails and incomplete-group
+  /// suffixes, and replays the maximal complete prefix of the commit
+  /// order into \p S shard-parallel (plain transactional insert/erase —
+  /// call before attaching the Wal, so replay is not re-logged). Verifies
+  /// the Store::reclaimStats identities afterward. Must run before
+  /// start(); sets the LSN base so post-recovery appends stay monotone.
+  RecoveryStats recover(Store &S);
+
+  /// Spawns the drain threads. append() may be called only between
+  /// start() and stop().
+  void start();
+
+  /// Drains every ring, flushes, and joins the drain threads. Idempotent.
+  void stop();
+
+  /// Commit-side append, called inside the publish window (unique
+  /// committer). The transaction's durable LSN is BaseLsn + Ticket; it
+  /// becomes visible to the drainer only once the transaction's last
+  /// record (Index == Count-1) is in its ring, so a group is never
+  /// fsync-acked half-appended. Spins (bounded by drainer progress) when
+  /// the shard ring is full.
+  void append(uint32_t Shard, WalOp Op, Word Key, Word Val, uint64_t Ticket,
+              uint32_t Index, uint32_t Count);
+
+  /// Txn::PublishEntry trampoline: Ctx is the Wal, A packs
+  /// (op << 32 | shard), B is the key, C the value.
+  static void publishHook(void *Ctx, uint64_t Ticket, uint32_t Index,
+                          uint32_t Count, Word A, Word B, Word C);
+
+  /// Blocks until every record with LSN <= \p Lsn is fsynced (the sync
+  /// ack point). Kicks the drainer, so the wait is one group-commit
+  /// cycle, not a flush-interval sleep.
+  void waitDurable(uint64_t Lsn);
+
+  /// Highest LSN known durable.
+  uint64_t durableLsn() const {
+    return DurableLsn.load(std::memory_order_acquire);
+  }
+
+  /// The LSN of the last append *this thread* performed (0 if none) —
+  /// what a worker passes to waitDurable to ack its own write. Process-
+  /// wide thread-local, deliberately: a thread talks to one Wal.
+  static uint64_t lastAppendedLsn();
+
+  WalStats stats() const;
+
+  /// Shard log file path (tests and tooling).
+  std::string shardFile(uint32_t Shard) const;
+
+private:
+  struct alignas(64) Ring {
+    std::unique_ptr<WalRecord[]> Buf;
+    std::atomic<uint64_t> Head{0}; ///< Producer cursor (publish window).
+    std::atomic<uint64_t> Tail{0}; ///< Consumer cursor (drain thread).
+  };
+
+  void drainLoop(unsigned ThreadIndex);
+  /// One drain cycle: snapshot the published LSN, empty this thread's
+  /// rings into their files, fsync the dirty ones, advance durability.
+  void drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch);
+
+  Config Cfg;
+  std::vector<Ring> Rings;
+  std::vector<int> Fds; ///< One O_APPEND fd per shard (drain side only).
+
+  /// LSN base carried across restarts: fresh-process publish tickets
+  /// restart at 2, so append stamps BaseLsn + Ticket to keep every shard
+  /// file strictly monotone over its whole history.
+  uint64_t BaseLsn = 0;
+
+  /// Highest LSN whose transaction is fully ring-published. Monotone:
+  /// stores happen only inside the serialized publish window.
+  std::atomic<uint64_t> PublishedLsn{0};
+  /// Highest LSN known fsynced (min over drain threads' cuts).
+  std::atomic<uint64_t> DurableLsn{0};
+
+  std::mutex WaitMutex;                  ///< Guards ThreadCut + both CVs.
+  std::condition_variable DrainCv;       ///< Wakes drainers early.
+  std::condition_variable DurableCv;     ///< Wakes waitDurable callers.
+  std::vector<uint64_t> ThreadCut;       ///< Per-drainer fsynced cut.
+  uint32_t SyncWaitersPending = 0;
+
+  std::vector<std::thread> Drainers;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+
+  std::atomic<uint64_t> StatAppends{0};
+  std::atomic<uint64_t> StatRingStalls{0};
+  std::atomic<uint64_t> StatFsyncBatches{0};
+  std::atomic<uint64_t> StatRecordsWritten{0};
+  std::atomic<uint64_t> StatBytesWritten{0};
+};
+
+} // namespace kv
+} // namespace satm
+
+#endif // SATM_KV_WAL_H

@@ -216,7 +216,7 @@ uint64_t Quiescence::beginPublish() {
          1;
 }
 
-void Quiescence::finishPublish(uint64_t Ticket) {
+void Quiescence::waitPublishTurn(uint64_t Ticket) {
   auto &Stable = Registry::get().SnapStable;
   Backoff B;
   for (;;) {
@@ -227,7 +227,15 @@ void Quiescence::finishPublish(uint64_t Ticket) {
     schedYield(YieldPoint::SnapshotPublish, &Stable, S);
     B.pause();
   }
-  Stable.store(Ticket, std::memory_order_release);
+}
+
+void Quiescence::completePublish(uint64_t Ticket) {
+  Registry::get().SnapStable.store(Ticket, std::memory_order_release);
+}
+
+void Quiescence::finishPublish(uint64_t Ticket) {
+  waitPublishTurn(Ticket);
+  completePublish(Ticket);
 }
 
 uint64_t Quiescence::pinSnapshot(Slot &S) {

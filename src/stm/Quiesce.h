@@ -119,8 +119,22 @@ public:
   static uint64_t beginPublish();
 
   /// Completes a publication: waits until the stable epoch reaches
-  /// Ticket-1, then advances it to \p Ticket.
+  /// Ticket-1, then advances it to \p Ticket. Equivalent to
+  /// waitPublishTurn followed by completePublish.
   static void finishPublish(uint64_t Ticket);
+
+  /// First half of finishPublish: waits until every earlier ticket has
+  /// completed (stable epoch == Ticket-1). On return the caller is the
+  /// *unique* committer at the head of the publish order — later tickets
+  /// are still spinning behind it — which is the serialization point the
+  /// durability plane appends redo records at (commit-ordered hand-off,
+  /// DESIGN.md §12). Work done between the two halves is bound by the
+  /// publish-window invariant above: non-blocking only.
+  static void waitPublishTurn(uint64_t Ticket);
+
+  /// Second half of finishPublish: advances the stable epoch to
+  /// \p Ticket. Call only after waitPublishTurn(Ticket).
+  static void completePublish(uint64_t Ticket);
 
   /// Pins the current stable epoch in \p S and returns it. Publishes the
   /// pin with a store-fence-revalidate handshake (hazard-pointer style)

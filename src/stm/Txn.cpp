@@ -318,13 +318,19 @@ bool Txn::tryCommit() {
   uint64_t PubTicket = 0;
   if (config().SnapshotEnabled && !WriteLocks.empty())
     PubTicket = publishVersions();
+  // Publish-window actions (durability redo appends) need a ticket even
+  // when no version nodes were published. Taken while the locks are still
+  // held, so ticket order extends the conflict order: a competing writer
+  // to any of our objects can only acquire — and ticket — after us.
+  if (PubTicket == 0 && !PublishLog.empty())
+    PubTicket = Quiescence::beginPublish();
   // Commit point: releasing each record bumps its version, atomically
   // publishing our in-place updates to other transactions' validators.
   releaseLockRange(0, WriteLocks.size());
   statsForThisThread().TxnCommits++;
   traceEvent(TraceKind::TxnCommit);
   if (PubTicket)
-    Quiescence::finishPublish(PubTicket);
+    runPublishWindow(PubTicket);
   // We are no longer a hazard to anyone: mark inactive *before* quiescing
   // so that two concurrently quiescing committers do not wait on each
   // other (both are already committed).
@@ -352,11 +358,13 @@ bool Txn::commitSerial() {
   uint64_t PubTicket = 0;
   if (config().SnapshotEnabled && !WriteLocks.empty())
     PubTicket = publishVersions();
+  if (PubTicket == 0 && !PublishLog.empty())
+    PubTicket = Quiescence::beginPublish();
   releaseLockRange(0, WriteLocks.size());
   statsForThisThread().TxnCommits++;
   traceEvent(TraceKind::TxnCommit);
   if (PubTicket)
-    Quiescence::finishPublish(PubTicket);
+    runPublishWindow(PubTicket);
   QSlot->ActiveSince.store(0, std::memory_order_release);
   SerialMode = false;
   FaultInjector::setThreadSuppressed(false);
@@ -439,11 +447,27 @@ uint64_t Txn::publishVersions() {
   return Ticket;
 }
 
+void Txn::runPublishWindow(uint64_t Ticket) {
+  Quiescence::waitPublishTurn(Ticket);
+  // Head of the publish order: every earlier ticket has completed, every
+  // later one is spinning. Entries run in registration order; a multi-
+  // record group (Index/Count) lands contiguously in the global order.
+  const uint32_t Count = uint32_t(PublishLog.size());
+  for (uint32_t I = 0; I < Count; ++I) {
+    const PublishEntry &E = PublishLog[I];
+    E.Fn(E.Ctx, Ticket, I, Count, E.A, E.B, E.C);
+  }
+  Quiescence::completePublish(Ticket);
+}
+
 bool Txn::tryCommitSnapshot() {
   assert(Depth == 1 && SnapMode && "snapshot commit outside a snapshot");
   if (WriteLocks.empty()) {
     // Wait-free read-only completion: nothing to validate, publish, or
     // CAS; there is no transaction anyone could have conflicted with.
+    // (Publish-window actions still honor their ticket contract.)
+    if (!PublishLog.empty())
+      runPublishWindow(Quiescence::beginPublish());
     statsForThisThread().SnapshotTxns++;
     traceEvent(TraceKind::SnapshotEnd);
     QSlot->ActiveSince.store(0, std::memory_order_release);
@@ -470,7 +494,7 @@ bool Txn::tryCommitSnapshot() {
   statsForThisThread().SnapshotTxns++;
   traceEvent(TraceKind::TxnCommit);
   traceEvent(TraceKind::SnapshotEnd);
-  Quiescence::finishPublish(PubTicket);
+  runPublishWindow(PubTicket);
   QSlot->ActiveSince.store(0, std::memory_order_release);
   if (config().QuiesceOnCommit)
     Quiescence::waitForValidationSince(Quiescence::advanceEpoch(), QSlot);
@@ -569,7 +593,8 @@ void Txn::releaseLockRange(size_t Begin, size_t End) {
 
 void Txn::pushSavepoint() {
   Savepoints.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
-                        CommitActions.size(), AbortActions.size()});
+                        CommitActions.size(), AbortActions.size(),
+                        PublishLog.size()});
   // The undo filter must not dedup across this boundary: a write inside
   // the nested region to a slot logged before it needs a fresh entry
   // holding the at-savepoint value, or rollbackToSavepoint (which only
@@ -597,6 +622,7 @@ void Txn::rollbackToSavepoint() {
   UndoFilter.clear();
   ReadFilter.clear();
   CommitActions.resize(S.Commits);
+  PublishLog.resize(S.Publishes);
   // Compensations registered inside the aborted region (by committed
   // open-nested children) must run now, in reverse.
   for (size_t I = AbortActions.size(); I > S.Aborts; --I)
@@ -608,7 +634,8 @@ void Txn::rollbackToSavepoint() {
 void Txn::beginOpenNested() {
   assert(isActive() && "open nesting requires an enclosing transaction");
   OpenFrames.push_back({ReadSet.size(), WriteLocks.size(), UndoLog.size(),
-                        CommitActions.size(), AbortActions.size()});
+                        CommitActions.size(), AbortActions.size(),
+                        PublishLog.size()});
   // Same boundary rule as pushSavepoint: the open region's undo entries
   // are rolled back or dropped independently of the parent's.
   UndoFilter.clear();
@@ -668,6 +695,7 @@ void Txn::abortOpenNested() {
   ReadFilter.clear();
   CommitActions.resize(F.Commits);
   AbortActions.resize(F.Aborts);
+  PublishLog.resize(F.Publishes);
   --Depth;
 }
 
@@ -806,6 +834,7 @@ void Txn::resetState() {
   OpenFrames.clear();
   CommitActions.clear();
   AbortActions.clear();
+  PublishLog.clear();
   Depth = 0;
   NextValidateAt = 0;
 }

@@ -238,6 +238,28 @@ public:
     AbortActions.push_back(std::move(Action));
   }
 
+  /// A publish-window action: runs at commit *inside* the snapshot publish
+  /// window, after waitPublishTurn (this committer is globally unique in
+  /// the publish order) and before completePublish. The durability plane
+  /// registers redo-record appends here, so log order equals the snapshot
+  /// plane's commit order with no extra synchronization. POD shape — a
+  /// raw function pointer plus three payload words — because the window
+  /// is bound by the non-blocking publish invariant (Quiesce.h) and must
+  /// not allocate. Fn receives (Ctx, Ticket, Index, Count, A, B, C) where
+  /// Index/Count locate the entry in this transaction's publish group.
+  struct PublishEntry {
+    void (*Fn)(void *Ctx, uint64_t Ticket, uint32_t Index, uint32_t Count,
+               Word A, Word B, Word C);
+    void *Ctx;
+    Word A, B, C;
+  };
+
+  /// Registers a publish-window action (see PublishEntry). Dropped on
+  /// abort; truncated with the enclosing savepoint or open-nested frame.
+  /// A transaction with publish entries always takes a publish ticket at
+  /// commit, even when it publishes no version nodes.
+  void onPublish(const PublishEntry &E) { PublishLog.push_back(E); }
+
   //===--------------------------------------------------------------------===
   // Introspection for tests and stats.
   //===--------------------------------------------------------------------===
@@ -297,7 +319,7 @@ private:
     Word OldValue;
   };
   struct Savepoint {
-    size_t Reads, Locks, Undos, Commits, Aborts;
+    size_t Reads, Locks, Undos, Commits, Aborts, Publishes;
   };
 
   template <typename F> bool runOutermost(F &Body) {
@@ -427,6 +449,11 @@ private:
   /// validation and lock release, so the node-allocation failure path
   /// (fault-injected) can still abort cleanly; throws RollbackSignal then.
   uint64_t publishVersions();
+  /// Runs the publish window for \p Ticket: waits for the publish turn,
+  /// fires every PublishLog entry (this committer is unique in the publish
+  /// order), then advances the stable epoch. Non-blocking per the
+  /// Quiescence publish invariant.
+  void runPublishWindow(uint64_t Ticket);
   void rollbackAll();
   /// Ladder escalation check before each attempt: past the configured
   /// consecutive-abort threshold, acquires the serial gate and drains the
@@ -503,6 +530,7 @@ private:
   std::vector<Savepoint> Savepoints;
   std::vector<std::function<void()>> CommitActions;
   std::vector<std::function<void()>> AbortActions;
+  std::vector<PublishEntry> PublishLog;
   size_t Depth = 0;
   /// Read/write op counts of the transaction in flight, folded into the
   /// thread's stats block once per transaction end (resetState). Plain

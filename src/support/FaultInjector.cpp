@@ -32,6 +32,12 @@ const char *satm::faultSiteName(FaultSite S) {
     return "QuiesceStall";
   case FaultSite::HeapAlloc:
     return "HeapAlloc";
+  case FaultSite::LogAppend:
+    return "LogAppend";
+  case FaultSite::LogFsync:
+    return "LogFsync";
+  case FaultSite::RecoveryReplay:
+    return "RecoveryReplay";
   }
   return "?";
 }
@@ -52,6 +58,12 @@ const char *satm::faultSiteKey(FaultSite S) {
     return "quiesce_stall";
   case FaultSite::HeapAlloc:
     return "heap_alloc";
+  case FaultSite::LogAppend:
+    return "log_append";
+  case FaultSite::LogFsync:
+    return "log_fsync";
+  case FaultSite::RecoveryReplay:
+    return "recovery_replay";
   }
   return "?";
 }
@@ -114,6 +126,8 @@ bool satm::detail::faultFireSlow(FaultSite S) {
   if (P != UINT32_MAX && (P == 0 || Draw >= P))
     return false;
   A.Fired[unsigned(S)].fetch_add(1, std::memory_order_relaxed);
+  if (A.C.KillOnFire) [[unlikely]]
+    std::_Exit(FaultKillExitCode); // Simulated crash: no flushes, no atexit.
   return true;
 }
 
@@ -190,6 +204,14 @@ bool satm::FaultInjector::parse(const char *Spec, FaultConfig &Out,
     std::string Val = Tok.substr(Eq + 1);
     if (Key == "seed") {
       C.Seed = std::strtoull(Val.c_str(), nullptr, 0);
+      continue;
+    }
+    if (Key == "kill") {
+      if (Val != "0" && Val != "1") {
+        Err = "kill must be 0 or 1, got '" + Val + "'";
+        return false;
+      }
+      C.KillOnFire = Val == "1";
       continue;
     }
     int Site = -1;

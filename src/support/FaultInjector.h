@@ -45,9 +45,12 @@ enum class FaultSite : uint8_t {
   BarrierAcquire, ///< Nt barriers: busy-delay (arg spins) before acquiring.
   QuiesceStall,   ///< Quiescence scans: busy-delay (arg spins) per wait.
   HeapAlloc,      ///< rt::Heap: allocation throws std::bad_alloc.
+  LogAppend,      ///< kv::Wal: busy-delay (arg spins) before a ring append.
+  LogFsync,       ///< kv::Wal: busy-delay (arg spins) before a batch fsync.
+  RecoveryReplay, ///< kv::Wal recovery: abandon the rest of a shard's log.
 };
 
-inline constexpr unsigned NumFaultSites = 7;
+inline constexpr unsigned NumFaultSites = 10;
 
 /// Display name (matches the enumerator).
 const char *faultSiteName(FaultSite S);
@@ -63,7 +66,16 @@ struct FaultConfig {
   uint64_t Seed = 1;
   uint32_t Prob[NumFaultSites] = {};
   uint32_t Arg[NumFaultSites] = {};
+  /// Crash-test mode ("kill=1" in a SATM_FAULTS spec): any site that fires
+  /// terminates the process immediately via _Exit(37) — no atexit handlers,
+  /// no flushes — after bumping its fired counter. Turns every armed site
+  /// into a kill site for recovery testing; the parent harness recognizes
+  /// exit code 37 as an injected crash.
+  bool KillOnFire = false;
 };
+
+/// The exit code of a KillOnFire termination.
+inline constexpr int FaultKillExitCode = 37;
 
 namespace detail {
 

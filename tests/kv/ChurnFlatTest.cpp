@@ -36,6 +36,7 @@
 #include "gtest/gtest.h"
 
 #include <cstdlib>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -100,6 +101,66 @@ TEST(ChurnFlat, TombstoneChurnPlateausValueRecords) {
     ASSERT_TRUE(S.get(K, V));
     EXPECT_EQ(V, uint64_t(Rounds - 1) * NumKeys + K + 1);
   }
+}
+
+TEST(ChurnFlat, TombstoneSaturatedShardRecyclesSlots) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  ScopedConfig SC(Cfg);
+
+  // One shard, eight slots: small enough that a handful of erases puts a
+  // tombstone on *every* probe sequence.
+  rt::Heap H;
+  StoreConfig KC;
+  KC.Shards = 1;
+  KC.CapacityPerShard = 8;
+  Store S(H, KC);
+  constexpr Word Cap = 8;
+
+  Word Next = 0;
+  std::deque<Word> Live;
+  for (; Next < Cap; ++Next) {
+    ASSERT_TRUE(S.insert(Next, Next + 100));
+    Live.push_back(Next);
+  }
+  // Genuinely full (all slots live): Full is the right answer.
+  EXPECT_FALSE(S.insert(Next, 1));
+
+  const unsigned Rounds = fastTests() ? 64 : 256;
+  for (unsigned R = 0; R < Rounds; ++R) {
+    Word Victim = Live.front();
+    Live.pop_front();
+    ASSERT_TRUE(S.erase(Victim));
+    // Ripen the parked record past both horizons (popRecycled requires
+    // the epoch strictly beyond the retirement stamp).
+    Quiescence::advanceEpoch();
+    Quiescence::advanceEpoch();
+    // The regression: the probe wraps the whole table without an empty
+    // slot, so insert of a never-seen key used to report Full forever
+    // even though a ripened tombstoned slot was available. It must
+    // recycle that slot (and its parked record) instead.
+    ASSERT_TRUE(S.insert(Next, Next + 100))
+        << "round " << R << ": tombstone-saturated shard did not recycle";
+    Live.push_back(Next);
+    ++Next;
+  }
+
+  // The recycling is exact: every round reused the round's own park, so
+  // the working set never grew past the table.
+  Store::ReclaimStats RS = S.reclaimStats();
+  EXPECT_EQ(RS.Retired, uint64_t(Rounds));
+  EXPECT_EQ(RS.Recycled, uint64_t(Rounds));
+  EXPECT_EQ(RS.PoolSize, 0u);
+  EXPECT_EQ(RS.Allocated, uint64_t(Cap));
+
+  // And the index still answers correctly through all the slot reuse.
+  for (Word K : Live) {
+    Word V = 0;
+    ASSERT_TRUE(S.get(K, V));
+    EXPECT_EQ(V, K + 100);
+  }
+  Word V = 0;
+  EXPECT_FALSE(S.get(0, V)) << "round 0's victim stays erased";
 }
 
 TEST(ChurnFlat, ThreadChurnKeepsRingAndSlotRegistriesBounded) {

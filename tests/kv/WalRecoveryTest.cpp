@@ -1,0 +1,367 @@
+//===- tests/kv/WalRecoveryTest.cpp - Crash-recovery corruption matrix ----===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The corruption matrix for Wal::recover (DESIGN.md §12): a deterministic
+// single-threaded workload builds a pristine log, each test damages a copy
+// of it (torn tail, bit flip, duplicated record, missing group member,
+// empty log) and recovery must land on an exact *prefix of the commit
+// order* — never a mix-and-match. The golden-state method makes that
+// precise: recovering the damaged log must produce bit-identical store
+// state to recovering an undamaged copy manually truncated at the damaged
+// recovery's cut LSN. Process-kill crashes (real torn tails under fault
+// injection) live in CrashRecoveryTest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Store.h"
+#include "kv/Wal.h"
+
+#include "rt/Heap.h"
+#include "stm/Config.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace satm;
+using namespace satm::kv;
+using namespace satm::stm;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t NumShards = 4;
+constexpr Word BaseKeys = 64;   // Prepopulated (unlogged) 0..63 -> 1000.
+constexpr Word KeyUniverse = 128; // Scan range for state dumps.
+
+std::string scratchDir(const char *Name) {
+  std::string Dir = "/tmp/satm-walrec-" + std::to_string(long(::getpid())) +
+                    "-" + Name;
+  fs::remove_all(Dir);
+  return Dir;
+}
+
+void makeStore(rt::Heap &H, std::unique_ptr<Store> &S) {
+  StoreConfig KC;
+  KC.Shards = NumShards;
+  KC.CapacityPerShard = 64;
+  S = std::make_unique<Store>(H, KC);
+}
+
+/// The unlogged baseline every recovery starts from (mirrors kv_service:
+/// prepopulation happens before the Wal is attached, so it is not in the
+/// log and must be re-established before replay).
+void prepopulate(Store &S) {
+  for (Word K = 0; K < BaseKeys; ++K)
+    ASSERT_TRUE(S.insert(K, 1000));
+}
+
+std::map<Word, Word> dumpState(const Store &S) {
+  std::map<Word, Word> Out;
+  for (Word K = 0; K < KeyUniverse; ++K) {
+    Word V = 0;
+    if (S.get(K, V))
+      Out[K] = V;
+  }
+  return Out;
+}
+
+/// Runs the deterministic logged workload and returns the live end state.
+/// Covers every record shape recovery must handle: single-record inserts
+/// and overwrites, Erase records, multi-record groups (rmwAdd), and a
+/// final wide group guaranteed to span several shard files.
+std::map<Word, Word> buildLog(const std::string &Dir) {
+  rt::Heap H;
+  std::unique_ptr<Store> S;
+  makeStore(H, S);
+  prepopulate(*S);
+
+  Wal::Config WC;
+  WC.Dir = Dir;
+  WC.Shards = S->shards();
+  Wal W(WC);
+  W.start();
+  S->attachWal(&W);
+
+  for (Word K = BaseKeys; K < 96; ++K)
+    EXPECT_TRUE(S->insert(K, K * 10));
+  for (Word R = 0; R < 8; ++R) {
+    Word Keys[2] = {R, 32 + R};
+    EXPECT_TRUE(S->rmwAdd(Keys, 2, 3));
+  }
+  EXPECT_TRUE(S->erase(5));
+  EXPECT_TRUE(S->erase(70));
+  EXPECT_TRUE(S->put(8, 888));
+  Word Fin[8] = {20, 21, 22, 23, 80, 81, 82, 83};
+  EXPECT_TRUE(S->rmwAdd(Fin, 8, 1));
+
+  W.waitDurable(Wal::lastAppendedLsn());
+  S->attachWal(nullptr);
+  W.stop();
+  return dumpState(*S);
+}
+
+struct Recovered {
+  std::map<Word, Word> State;
+  RecoveryStats Rec;
+};
+
+/// Recovers \p Dir into a fresh prepopulated store. Note recover() also
+/// repairs the directory in place (truncates torn/beyond-cut suffixes).
+Recovered recoverDir(const std::string &Dir) {
+  rt::Heap H;
+  std::unique_ptr<Store> S;
+  makeStore(H, S);
+  prepopulate(*S);
+  Wal::Config WC;
+  WC.Dir = Dir;
+  WC.Shards = S->shards();
+  Wal W(WC);
+  Recovered R;
+  R.Rec = W.recover(*S);
+  R.State = dumpState(*S);
+  return R;
+}
+
+void copyDir(const std::string &From, const std::string &To) {
+  fs::remove_all(To);
+  fs::copy(From, To, fs::copy_options::recursive);
+}
+
+std::vector<WalRecord> readShard(const std::string &Path) {
+  std::vector<WalRecord> Out;
+  std::ifstream In(Path, std::ios::binary);
+  WalRecord R;
+  while (In.read(reinterpret_cast<char *>(&R), sizeof(R)))
+    Out.push_back(R);
+  return Out;
+}
+
+/// Paths of the shard files under \p Dir, largest first.
+std::vector<std::string> shardFilesBySize(const std::string &Dir) {
+  std::vector<std::string> Files;
+  for (uint32_t Sd = 0; Sd < NumShards; ++Sd) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "/shard-%04u.wal", Sd);
+    std::string P = Dir + Buf;
+    if (fs::exists(P))
+      Files.push_back(P);
+  }
+  std::sort(Files.begin(), Files.end(), [](const auto &A, const auto &B) {
+    return fs::file_size(A) > fs::file_size(B);
+  });
+  return Files;
+}
+
+/// The manual truncation recovery must be equivalent to: keep only records
+/// with Lsn <= Cut in every shard file.
+void truncateToLsn(const std::string &Dir, uint64_t Cut) {
+  for (const std::string &P : shardFilesBySize(Dir)) {
+    std::vector<WalRecord> Recs = readShard(P);
+    std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+    for (const WalRecord &R : Recs)
+      if (R.Lsn <= Cut)
+        Out.write(reinterpret_cast<const char *>(&R), sizeof(R));
+  }
+}
+
+/// Core check: recovering the damaged dir equals recovering a pristine
+/// copy manually truncated at the damaged run's cut — an exact prefix of
+/// the commit order, nothing reordered, nothing partially applied.
+void expectPrefixSemantics(const std::string &Pristine,
+                           const Recovered &Damaged, const char *Tag) {
+  std::string Ref = scratchDir((std::string("ref-") + Tag).c_str());
+  copyDir(Pristine, Ref);
+  truncateToLsn(Ref, Damaged.Rec.CutLsn);
+  Recovered Golden = recoverDir(Ref);
+  EXPECT_EQ(Golden.Rec.TornRecords, 0u) << Tag;
+  EXPECT_EQ(Damaged.State, Golden.State)
+      << Tag << ": damaged recovery is not a prefix of the commit order";
+  EXPECT_EQ(Damaged.Rec.ApplyFailures, 0u) << Tag;
+  EXPECT_TRUE(Damaged.Rec.ReclaimIdentityOk) << Tag;
+  fs::remove_all(Ref);
+}
+
+class WalRecoveryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Config Cfg;
+    Cfg.DeaEnabled = true;
+    SC = std::make_unique<ScopedConfig>(Cfg);
+    Pristine = scratchDir("pristine");
+    LiveState = buildLog(Pristine);
+    ASSERT_FALSE(LiveState.empty());
+  }
+  void TearDown() override {
+    fs::remove_all(Pristine);
+    fs::remove_all(Damaged);
+    SC.reset();
+  }
+
+  /// Fresh damaged copy of the pristine log.
+  const std::string &damagedCopy() {
+    Damaged = scratchDir("damaged");
+    copyDir(Pristine, Damaged);
+    return Damaged;
+  }
+
+  std::unique_ptr<ScopedConfig> SC;
+  std::string Pristine, Damaged;
+  std::map<Word, Word> LiveState;
+};
+
+TEST_F(WalRecoveryTest, UndamagedReplayMatchesLiveStateAndIsIdempotent) {
+  const std::string &D = damagedCopy(); // Not damaged: the control row.
+  Recovered First = recoverDir(D);
+  EXPECT_EQ(First.State, LiveState);
+  EXPECT_EQ(First.Rec.TornRecords, 0u);
+  EXPECT_EQ(First.Rec.ApplyFailures, 0u);
+  EXPECT_TRUE(First.Rec.ReclaimIdentityOk);
+  EXPECT_GT(First.Rec.TxnsReplayed, 0u);
+  EXPECT_EQ(First.Rec.RecordsReplayed, First.Rec.RecordsScanned);
+
+  // Recovery repaired nothing, so running it again is a no-op replay of
+  // the same prefix.
+  Recovered Second = recoverDir(D);
+  EXPECT_EQ(Second.State, First.State);
+  EXPECT_EQ(Second.Rec.CutLsn, First.Rec.CutLsn);
+  EXPECT_EQ(Second.Rec.RecordsReplayed, First.Rec.RecordsReplayed);
+  EXPECT_EQ(Second.Rec.TornRecords, 0u);
+}
+
+TEST_F(WalRecoveryTest, TruncatedTailRecordIsNeverReplayed) {
+  const std::string &D = damagedCopy();
+  std::vector<std::string> Files = shardFilesBySize(D);
+  ASSERT_FALSE(Files.empty());
+  // Tear the largest file mid-record: 13 bytes short of a full tail.
+  uint64_t Sz = fs::file_size(Files[0]);
+  ASSERT_GT(Sz, 13u);
+  fs::resize_file(Files[0], Sz - 13);
+
+  Recovered R = recoverDir(D);
+  EXPECT_GE(R.Rec.TornRecords, 1u);
+  EXPECT_GE(R.Rec.TruncatedBytes, sizeof(WalRecord) - 13);
+  expectPrefixSemantics(Pristine, R, "torn-tail");
+
+  // The repair is complete: a second recovery sees a clean log.
+  Recovered Again = recoverDir(D);
+  EXPECT_EQ(Again.Rec.TornRecords, 0u);
+  EXPECT_EQ(Again.State, R.State);
+}
+
+TEST_F(WalRecoveryTest, BitFlippedChecksumCutsTheShardThere) {
+  const std::string &D = damagedCopy();
+  std::vector<std::string> Files = shardFilesBySize(D);
+  ASSERT_FALSE(Files.empty());
+  std::vector<WalRecord> Recs = readShard(Files[0]);
+  ASSERT_GE(Recs.size(), 3u) << "need a mid-file record to damage";
+  size_t Victim = Recs.size() / 2;
+  Recs[Victim].Key ^= 1ull << 21; // Checksum now mismatches.
+  {
+    std::ofstream Out(Files[0], std::ios::binary | std::ios::trunc);
+    for (const WalRecord &R : Recs)
+      Out.write(reinterpret_cast<const char *>(&R), sizeof(R));
+  }
+
+  Recovered R = recoverDir(D);
+  // The flip kills the record and the shard's entire suffix behind it.
+  EXPECT_GE(R.Rec.TornRecords, 1u);
+  EXPECT_LT(R.Rec.CutLsn, Recs.back().Lsn);
+  expectPrefixSemantics(Pristine, R, "bit-flip");
+}
+
+TEST_F(WalRecoveryTest, DuplicatedTailRecordIsRejectedNotReplayedTwice) {
+  const std::string &D = damagedCopy();
+  std::vector<std::string> Files = shardFilesBySize(D);
+  ASSERT_FALSE(Files.empty());
+  std::vector<WalRecord> Recs = readShard(Files[0]);
+  ASSERT_FALSE(Recs.empty());
+  {
+    // A re-sent tail: checksum-valid, but (Lsn, Index) does not advance.
+    std::ofstream Out(Files[0], std::ios::binary | std::ios::app);
+    Out.write(reinterpret_cast<const char *>(&Recs.back()), sizeof(WalRecord));
+  }
+
+  Recovered Undamaged = recoverDir(Pristine);
+  Recovered R = recoverDir(D);
+  EXPECT_GE(R.Rec.TornRecords, 1u);
+  // The duplicate is dropped as torn; everything real still replays.
+  EXPECT_EQ(R.Rec.CutLsn, Undamaged.Rec.CutLsn);
+  EXPECT_EQ(R.State, Undamaged.State);
+  EXPECT_EQ(R.State, LiveState);
+}
+
+TEST_F(WalRecoveryTest, MissingGroupMemberCutsBeforeTheGroup) {
+  const std::string &D = damagedCopy();
+  // Find the final transaction group (max LSN); the workload ends with an
+  // 8-key rmwAdd, so its records span several shard files.
+  uint64_t MaxLsn = 0;
+  for (const std::string &P : shardFilesBySize(D))
+    for (const WalRecord &R : readShard(P))
+      MaxLsn = std::max(MaxLsn, R.Lsn);
+  ASSERT_GT(MaxLsn, 0u);
+  std::vector<std::string> Holders;
+  for (const std::string &P : shardFilesBySize(D)) {
+    for (const WalRecord &R : readShard(P))
+      if (R.Lsn == MaxLsn) {
+        Holders.push_back(P);
+        break;
+      }
+  }
+  ASSERT_GE(Holders.size(), 2u) << "final group must span shards";
+  // Drop one shard's share of the group — the log-ahead-of-index shape: a
+  // crash persisted some of the group's files but not this one.
+  {
+    std::vector<WalRecord> Recs = readShard(Holders[0]);
+    std::ofstream Out(Holders[0], std::ios::binary | std::ios::trunc);
+    for (const WalRecord &R : Recs)
+      if (R.Lsn != MaxLsn)
+        Out.write(reinterpret_cast<const char *>(&R), sizeof(R));
+  }
+
+  Recovered R = recoverDir(D);
+  // The group is incomplete, so no part of it may replay — including the
+  // members that *did* survive in other shard files, which recovery must
+  // truncate away (>= one whole record).
+  EXPECT_LT(R.Rec.CutLsn, MaxLsn);
+  EXPECT_GE(R.Rec.TruncatedBytes, sizeof(WalRecord));
+  expectPrefixSemantics(Pristine, R, "missing-member");
+  for (const std::string &P : shardFilesBySize(D))
+    for (const WalRecord &Rec : readShard(P))
+      EXPECT_LT(Rec.Lsn, MaxLsn) << "surviving member not truncated: " << P;
+
+  Recovered Again = recoverDir(D);
+  EXPECT_EQ(Again.Rec.TornRecords, 0u);
+  EXPECT_EQ(Again.State, R.State);
+}
+
+TEST_F(WalRecoveryTest, EmptyLogReplaysNothing) {
+  std::string Empty = scratchDir("empty");
+  fs::create_directories(Empty);
+  Recovered R = recoverDir(Empty);
+  EXPECT_EQ(R.Rec.RecordsScanned, 0u);
+  EXPECT_EQ(R.Rec.RecordsReplayed, 0u);
+  EXPECT_EQ(R.Rec.TxnsReplayed, 0u);
+  EXPECT_EQ(R.Rec.CutLsn, 0u);
+  EXPECT_TRUE(R.Rec.ReclaimIdentityOk);
+  // State is exactly the unlogged baseline.
+  ASSERT_EQ(R.State.size(), size_t(BaseKeys));
+  for (const auto &[K, V] : R.State) {
+    EXPECT_LT(K, BaseKeys);
+    EXPECT_EQ(V, 1000u);
+  }
+  fs::remove_all(Empty);
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include "kv/Wal.h"
 
 #include "kv/Store.h"
+#include "stm/Quiesce.h"
 #include "support/Backoff.h"
 #include "support/FaultInjector.h"
 #include "support/Stopwatch.h"
@@ -120,9 +121,20 @@ void Wal::start() {
     ::fsync(DirFd);
     ::close(DirFd);
   }
-  PublishedLsn.store(BaseLsn, std::memory_order_relaxed);
-  DurableLsn.store(BaseLsn, std::memory_order_relaxed);
-  ThreadCut.assign(Cfg.DrainThreads, BaseLsn);
+  // A restart of the same instance continues past everything it already
+  // published (the rings are empty here: stop() drained them).
+  LastLsn = std::max(LastLsn, PublishedLsn.load(std::memory_order_relaxed));
+  // Derive the LSN base from the *live* ticket counter, not from an
+  // assumed fresh-process value: recovery replay under SnapshotEnabled,
+  // pre-attach prepopulation, and earlier runs in this process all
+  // consume publish tickets, and the merge's hole rule (recover(), phase
+  // 2) needs the first logged commit to land at exactly LastLsn + 1.
+  // Unsigned wrap-around in the subtraction is fine — append computes
+  // BaseLsn + Ticket, which unwraps it.
+  BaseLsn = LastLsn - stm::Quiescence::lastPublishTicket();
+  PublishedLsn.store(LastLsn, std::memory_order_relaxed);
+  DurableLsn.store(LastLsn, std::memory_order_relaxed);
+  ThreadCut.assign(Cfg.DrainThreads, LastLsn);
   Stopping.store(false, std::memory_order_relaxed);
   Started = true;
   for (unsigned T = 0; T < Cfg.DrainThreads; ++T)
@@ -196,6 +208,7 @@ void Wal::publishHook(void *Ctx, uint64_t Ticket, uint32_t Index,
 
 void Wal::drainLoop(unsigned ThreadIndex) {
   std::vector<uint8_t> Scratch;
+  std::vector<uint32_t> DirtyShards;
   for (;;) {
     {
       std::unique_lock<std::mutex> Lock(WaitMutex);
@@ -206,19 +219,20 @@ void Wal::drainLoop(unsigned ThreadIndex) {
                        });
     }
     bool Last = Stopping.load(std::memory_order_acquire);
-    drainCycle(ThreadIndex, Scratch);
+    drainCycle(ThreadIndex, Scratch, DirtyShards);
     if (Last)
       return; // Final cycle ran after Stopping was visible: rings empty.
   }
 }
 
-void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch) {
+void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
+                     std::vector<uint32_t> &DirtyShards) {
   // The cut is read *before* draining: every record with LSN <= Cut was
   // fully ring-published at that moment (PublishedLsn advances only after
   // a transaction's last record, and the publish window serializes
   // groups), so emptying the rings below captures all of them.
   const uint64_t Cut = PublishedLsn.load(std::memory_order_acquire);
-  bool Dirty = false;
+  DirtyShards.clear();
   for (uint32_t S = ThreadIndex; S < Cfg.Shards; S += Cfg.DrainThreads) {
     Ring &R = Rings[S];
     uint64_t T = R.Tail.load(std::memory_order_relaxed);
@@ -246,14 +260,15 @@ void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch) {
     StatRecordsWritten.fetch_add(Scratch.size() / sizeof(WalRecord),
                                  std::memory_order_relaxed);
     StatBytesWritten.fetch_add(Scratch.size(), std::memory_order_relaxed);
-    Dirty = true;
+    DirtyShards.push_back(S);
   }
-  if (Dirty) {
+  if (!DirtyShards.empty()) {
     // Group commit: one fsync per dirty shard file covers every record
-    // that accumulated since the previous cycle.
+    // that accumulated since the previous cycle; untouched files are
+    // skipped (an fsync can cost a device cache flush even when clean).
     if (faultPoint(FaultSite::LogFsync))
       faultSpin(FaultInjector::arg(FaultSite::LogFsync));
-    for (uint32_t S = ThreadIndex; S < Cfg.Shards; S += Cfg.DrainThreads)
+    for (uint32_t S : DirtyShards)
       if (::fsync(Fds[S]) < 0)
         ioFatal("fsync", shardFile(S));
     StatFsyncBatches.fetch_add(1, std::memory_order_relaxed);
@@ -401,14 +416,17 @@ RecoveryStats Wal::recover(Store &S) {
   // shard. Their LSNs then vanish from the merge entirely — no
   // incomplete group, just a hole — while later complete groups from
   // other shards would happily replay past them, silently dropping a
-  // middle transaction. Logged LSNs are contiguous within a generation
-  // (every logging commit takes the next publish ticket, and recovery
-  // re-bases so a restart continues at cut + 1), so a discontinuity IS a
-  // lost group: cut there.
+  // middle transaction. Logged LSNs are contiguous from 2 over the log's
+  // whole history (every logging commit takes the next publish ticket,
+  // start() folds the live ticket counter into BaseLsn so a restart
+  // continues at cut + 1, and truncation only ever drops suffixes), so a
+  // discontinuity IS a lost group: cut there. PrevLsn starts at 1 so the
+  // rule also covers the log's *first* commit — if LSN 2 itself was
+  // swallowed, nothing is a prefix and the replay cuts to empty.
   uint64_t CutLsn = UINT64_MAX;
   {
     std::vector<size_t> Pos(Cfg.Shards, 0);
-    uint64_t PrevLsn = 0;
+    uint64_t PrevLsn = 1;
     for (;;) {
       uint64_t Lsn = UINT64_MAX;
       for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd)
@@ -416,7 +434,7 @@ RecoveryStats Wal::recover(Store &S) {
           Lsn = std::min(Lsn, Scans[Sd].Recs[Pos[Sd]].Lsn);
       if (Lsn == UINT64_MAX)
         break; // All records grouped.
-      if (PrevLsn != 0 && Lsn != PrevLsn + 1) {
+      if (Lsn != PrevLsn + 1) {
         CutLsn = PrevLsn; // Hole: a wholly-lost group hides in the gap.
         break;
       }
@@ -482,7 +500,13 @@ RecoveryStats Wal::recover(Store &S) {
   // Phase 4: truncate every shard file at its replayed prefix — torn
   // tails and beyond-cut suffixes alike — so the dropped records cannot
   // resurface in a later recovery (they would re-cut the log there and
-  // orphan everything appended afterwards).
+  // orphan everything appended afterwards). The repair must be durable
+  // before any new append can be acked: resize_file alone only reaches
+  // the page cache, and after power loss a resurrected stale suffix
+  // would collide with the reused LSNs of the next generation and make
+  // an acked new-generation group look torn. So fsync each repaired
+  // file, and the directory, before returning.
+  bool Repaired = false;
   for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd) {
     const ShardScan &Sc = Scans[Sd];
     uint64_t Keep = 0;
@@ -495,16 +519,31 @@ RecoveryStats Wal::recover(Store &S) {
       Out.TruncatedBytes += Sc.FileBytes - Keep;
       std::error_code Ec;
       std::filesystem::resize_file(shardFile(Sd), Keep, Ec);
-      // A missing file truncates to nothing by definition.
+      // A missing file truncates to nothing by definition (and cannot
+      // be opened below; nothing to make durable either way).
+      int Fd = ::open(shardFile(Sd).c_str(), O_WRONLY);
+      if (Fd >= 0) {
+        if (::fsync(Fd) < 0)
+          ioFatal("fsync", shardFile(Sd));
+        ::close(Fd);
+        Repaired = true;
+      }
     }
   }
-  // Re-base so the next generation's first record lands exactly at
-  // cut + 1: publish tickets restart at 2 in a fresh process, and the
-  // merge's hole check above relies on logged LSNs staying contiguous
-  // across the restart. (A recovering process must take its first
-  // publish ticket through the log — true for the service, whose
-  // recovery precedes any transactional traffic.)
-  BaseLsn = Out.CutLsn >= 1 ? Out.CutLsn - 1 : 0;
+  if (Repaired) {
+    int DirFd = ::open(Cfg.Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      ::fsync(DirFd);
+      ::close(DirFd);
+    }
+  }
+  // Record the durable history's high-water mark; start() folds the live
+  // publish-ticket counter into BaseLsn so the next generation's first
+  // record lands exactly at cut + 1 — even though the replay transactions
+  // above consumed tickets themselves under Config::SnapshotEnabled. An
+  // empty or fully-cut log continues at LSN 2, the fixed origin the
+  // merge's hole rule anchors on.
+  LastLsn = std::max<uint64_t>(Out.CutLsn, 1);
   // Reclamation identities must hold on the rebuilt store: every record
   // parked by a replayed erase is accounted for, nothing leaked.
   Store::ReclaimStats Rs = S.reclaimStats();

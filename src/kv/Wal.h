@@ -40,10 +40,15 @@
 /// transaction group is incomplete (records ≠ span — a crash between
 /// per-shard file writes) *or* absent entirely (an LSN hole: a torn
 /// shard file can swallow whole transactions that logged only there, and
-/// logged LSNs are contiguous by construction — every logging commit
-/// takes the next publish ticket, and recovery re-bases BaseLsn so the
-/// next generation continues at cut + 1). The beyond-cut suffix is
-/// truncated from every shard file so a later run cannot resurrect it.
+/// logged LSNs are contiguous from 2 by construction — every logging
+/// commit takes the next publish ticket, and start() derives BaseLsn
+/// from the live ticket counter so the first logged record continues the
+/// on-disk history at exactly its cut + 1, no matter how many tickets
+/// recovery replay or pre-attach traffic consumed). The merge therefore
+/// also treats a missing *first* LSN (always 2) as a hole. The
+/// beyond-cut suffix is truncated from every shard file — and the
+/// repaired files and directory fsynced — so a later run cannot
+/// resurrect it even across power loss.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -152,7 +157,8 @@ public:
   /// order into \p S shard-parallel (plain transactional insert/erase —
   /// call before attaching the Wal, so replay is not re-logged). Verifies
   /// the Store::reclaimStats identities afterward. Must run before
-  /// start(); sets the LSN base so post-recovery appends stay monotone.
+  /// start(); records the cut so start() re-bases post-recovery appends
+  /// at exactly cut + 1.
   RecoveryStats recover(Store &S);
 
   /// Spawns the drain threads. append() may be called only between
@@ -205,16 +211,29 @@ private:
 
   void drainLoop(unsigned ThreadIndex);
   /// One drain cycle: snapshot the published LSN, empty this thread's
-  /// rings into their files, fsync the dirty ones, advance durability.
-  void drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch);
+  /// rings into their files, fsync exactly the files written this cycle,
+  /// advance durability. Scratch/DirtyShards are loop-owned reusable
+  /// buffers.
+  void drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
+                  std::vector<uint32_t> &DirtyShards);
 
   Config Cfg;
   std::vector<Ring> Rings;
   std::vector<int> Fds; ///< One O_APPEND fd per shard (drain side only).
 
-  /// LSN base carried across restarts: fresh-process publish tickets
-  /// restart at 2, so append stamps BaseLsn + Ticket to keep every shard
-  /// file strictly monotone over its whole history.
+  /// Highest LSN of the durable history this log continues: 1 for a
+  /// fresh/empty log (so the first record lands at LSN 2), the recovery
+  /// cut after recover(). start() derives BaseLsn from it.
+  uint64_t LastLsn = 1;
+
+  /// LSN base, derived at start() as LastLsn - lastPublishTicket() (mod
+  /// 2^64 — the subtraction may wrap; append's BaseLsn + Ticket unwraps
+  /// it). Tickets consumed before start() — snapshot-mode recovery
+  /// replay, pre-attach prepopulation, earlier runs in this process —
+  /// are thereby absorbed, and the first logged commit lands exactly at
+  /// LastLsn + 1. Contiguity from there needs every later ticket to be
+  /// taken by a logging commit, which attachWal guarantees for store
+  /// traffic (raw fast paths refuse while a log is attached).
   uint64_t BaseLsn = 0;
 
   /// Highest LSN whose transaction is fully ring-published. Monotone:

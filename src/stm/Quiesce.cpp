@@ -216,6 +216,10 @@ uint64_t Quiescence::beginPublish() {
          1;
 }
 
+uint64_t Quiescence::lastPublishTicket() {
+  return Registry::get().SnapTicket.load(std::memory_order_acquire);
+}
+
 void Quiescence::waitPublishTurn(uint64_t Ticket) {
   auto &Stable = Registry::get().SnapStable;
   Backoff B;

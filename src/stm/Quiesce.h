@@ -118,6 +118,14 @@ public:
   /// stable starts at 1 and base version nodes use epoch 0).
   static uint64_t beginPublish();
 
+  /// The most recently issued publish ticket (1 if none was ever issued):
+  /// the next beginPublish() returns a value strictly above this. The
+  /// durability plane reads it when a Wal starts so the LSN base absorbs
+  /// every ticket already consumed — by recovery replay under
+  /// Config::SnapshotEnabled, pre-attach prepopulation, or any earlier
+  /// run in the same process (DESIGN.md §12.2).
+  static uint64_t lastPublishTicket();
+
   /// Completes a publication: waits until the stable epoch reaches
   /// Ticket-1, then advances it to \p Ticket. Equivalent to
   /// waitPublishTurn followed by completePublish.

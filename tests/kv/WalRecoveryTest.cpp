@@ -21,6 +21,7 @@
 
 #include "rt/Heap.h"
 #include "stm/Config.h"
+#include "stm/Snapshot.h"
 
 #include "gtest/gtest.h"
 
@@ -344,6 +345,126 @@ TEST_F(WalRecoveryTest, MissingGroupMemberCutsBeforeTheGroup) {
   Recovered Again = recoverDir(D);
   EXPECT_EQ(Again.Rec.TornRecords, 0u);
   EXPECT_EQ(Again.State, R.State);
+}
+
+TEST_F(WalRecoveryTest, CorruptedFirstCommitCutsToEmptyNotAMidLogSuffix) {
+  const std::string &D = damagedCopy();
+  // The log's first commit (LSN 2, buildLog's first single-record insert)
+  // lives wholly in one shard file's first record. Find it.
+  std::string Holder;
+  uint64_t MinLsn = UINT64_MAX;
+  for (const std::string &P : shardFilesBySize(D)) {
+    std::vector<WalRecord> Recs = readShard(P);
+    if (!Recs.empty() && Recs.front().Lsn < MinLsn) {
+      MinLsn = Recs.front().Lsn;
+      Holder = P;
+    }
+  }
+  ASSERT_EQ(MinLsn, 2u) << "the retained prefix must start at LSN 2";
+  // Flip a bit in that record: its whole shard file scans to nothing, so
+  // LSN 2 vanishes from the merge while later complete single-shard
+  // groups survive in the other files. Replaying them (LSN 3+) would not
+  // be a prefix of the commit order — the cut must land before the
+  // missing first commit, i.e. replay nothing at all.
+  std::vector<WalRecord> Recs = readShard(Holder);
+  Recs.front().Val ^= 1ull << 13;
+  {
+    std::ofstream Out(Holder, std::ios::binary | std::ios::trunc);
+    for (const WalRecord &R : Recs)
+      Out.write(reinterpret_cast<const char *>(&R), sizeof(R));
+  }
+
+  Recovered R = recoverDir(D);
+  EXPECT_GE(R.Rec.TornRecords, 1u);
+  EXPECT_EQ(R.Rec.RecordsReplayed, 0u);
+  EXPECT_EQ(R.Rec.TxnsReplayed, 0u);
+  EXPECT_EQ(R.Rec.CutLsn, 0u);
+  expectPrefixSemantics(Pristine, R, "first-commit-lost");
+  // The repair emptied every shard file; a second recovery is a clean
+  // empty-log pass.
+  Recovered Again = recoverDir(D);
+  EXPECT_EQ(Again.Rec.RecordsScanned, 0u);
+  EXPECT_EQ(Again.Rec.TornRecords, 0u);
+  EXPECT_EQ(Again.State, R.State);
+}
+
+// Regression: under Config::SnapshotEnabled every writing commit consumes
+// a publish ticket — including recover()'s own replay transactions and any
+// pre-attach prepopulation. The LSN base must absorb those (it is derived
+// from the live ticket counter at start()), or the first post-recovery
+// record lands past cut + 1 and the next recovery's hole rule silently
+// cuts away the entire fsync-acked second generation.
+TEST(WalSnapshotRecoveryTest, RecoverThenLogUnderSnapshotModeStaysContiguous) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  Cfg.SnapshotEnabled = true;
+  ScopedConfig SC(Cfg);
+  std::string Dir = scratchDir("snapgen");
+
+  // Generation 1: prepopulate (ticket-consuming, unlogged), then log.
+  {
+    rt::Heap H;
+    std::unique_ptr<Store> S;
+    makeStore(H, S);
+    prepopulate(*S);
+    Wal::Config WC;
+    WC.Dir = Dir;
+    WC.Shards = S->shards();
+    Wal W(WC);
+    W.start();
+    S->attachWal(&W);
+    for (Word K = BaseKeys; K < BaseKeys + 16; ++K)
+      EXPECT_TRUE(S->insert(K, K * 10));
+    W.waitDurable(Wal::lastAppendedLsn());
+    S->attachWal(nullptr);
+    W.stop();
+    snap::resetTable();
+  }
+  // Generation 2: recover (replay consumes tickets), keep logging on the
+  // same instance, and remember the acked high-water mark.
+  std::map<Word, Word> Live;
+  uint64_t Gen2Last = 0;
+  uint64_t Gen1Cut = 0;
+  {
+    rt::Heap H;
+    std::unique_ptr<Store> S;
+    makeStore(H, S);
+    prepopulate(*S);
+    Wal::Config WC;
+    WC.Dir = Dir;
+    WC.Shards = S->shards();
+    Wal W(WC);
+    RecoveryStats Rec = W.recover(*S);
+    ASSERT_EQ(Rec.ApplyFailures, 0u);
+    ASSERT_GT(Rec.TxnsReplayed, 0u);
+    Gen1Cut = Rec.CutLsn;
+    W.start();
+    S->attachWal(&W);
+    for (Word K = BaseKeys + 16; K < BaseKeys + 32; ++K)
+      EXPECT_TRUE(S->insert(K, K * 10));
+    EXPECT_TRUE(S->erase(3));
+    Word Keys[2] = {1, 2};
+    EXPECT_TRUE(S->rmwAdd(Keys, 2, 5));
+    Gen2Last = Wal::lastAppendedLsn();
+    W.waitDurable(Gen2Last);
+    S->attachWal(nullptr);
+    W.stop();
+    Live = dumpState(*S);
+    snap::resetTable();
+  }
+  // The second generation continued at exactly cut + 1: 18 commits (16
+  // inserts, one erase, one rmwAdd — whose two records share one LSN).
+  EXPECT_EQ(Gen2Last, Gen1Cut + 18);
+  // Generation 3: a final recovery replays *everything* — an LSN gap
+  // between the generations would have cut generation 2 away entirely.
+  Recovered R = recoverDir(Dir);
+  EXPECT_EQ(R.Rec.TornRecords, 0u);
+  EXPECT_EQ(R.Rec.CutLsn, Gen2Last);
+  EXPECT_EQ(R.Rec.RecordsReplayed, R.Rec.RecordsScanned);
+  EXPECT_EQ(R.Rec.ApplyFailures, 0u);
+  EXPECT_EQ(R.State, Live);
+  snap::resetTable();
+  fs::remove_all(Dir);
 }
 
 TEST_F(WalRecoveryTest, EmptyLogReplaysNothing) {

@@ -6,10 +6,10 @@
 ///
 /// \file
 /// The one writer of the repo's machine-readable perf trajectory format,
-/// shared by bench/perf_suite and bench/kv_service so the two halves of
-/// BENCH_satm.json cannot drift apart. Schema satm-bench-v7:
+/// shared by bench/perf_suite, bench/kv_service and bench/kv_loadgen so
+/// the pieces of BENCH_satm.json cannot drift apart. Schema satm-bench-v8:
 ///
-///   { "schema": "satm-bench-v7", "mode": "full"|"smoke",
+///   { "schema": "satm-bench-v8", "mode": "full"|"smoke",
 ///     "benchmarks": [
 ///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
 ///         "abort_reasons": { ...all nine taxonomy keys... },
@@ -28,8 +28,22 @@
 ///         // optional, durable benchmarks only:
 ///         "durability": {"mode": "async"|"sync", "fsync_batches": N,
 ///                        "records": N, "ring_stalls": N,
-///                        "recovery_ms": F} } ] }
+///                        "recovery_ms": F},
+///         // optional, wire benchmarks only (bench/kv_loadgen):
+///         "net": {"qps_offered": N, "goodput": N, "p99_ns": N,
+///                 "slo_capacity": N, "shed_rate": F, "batch_avg": F} } ] }
 ///
+/// v8 extends v7 with the wire dimension (DESIGN.md §13): net/* entries
+/// are measured over real TCP sockets by the open-loop load generator —
+/// qps_offered is the Poisson arrival rate, goodput the rate of requests
+/// answered Ok/NotFound/Mismatch within the point's window, p99_ns the
+/// 99th-percentile latency from *scheduled arrival* to response receipt,
+/// slo_capacity the sweep's TailBench-style capacity verdict (the
+/// highest offered rate whose p99 met the SLO with shed_rate ≤ 1%,
+/// stamped on every point of the sweep), shed_rate the fraction of
+/// requests answered Overloaded/DeadlineExceeded, and batch_avg the
+/// server-side requests-per-amortizing-transaction over the window
+/// (from STATS counter deltas; > 1 means per-shard batching engaged).
 /// v7 extends v6 with the durability dimension (DESIGN.md §12): entries
 /// that ran with a write-ahead redo log attached report the ack mode,
 /// how many group-commit fsync batches the drainer issued, how many redo
@@ -115,6 +129,15 @@ struct BenchEntry {
   uint64_t WalRecords = 0;    ///< Redo records persisted to disk.
   uint64_t RingStalls = 0;    ///< Producer waits on a full shard ring.
   double RecoveryMs = 0;      ///< Shard-parallel replay wall time.
+  /// Wire benchmarks (bench/kv_loadgen): open-loop-over-TCP telemetry.
+  /// HasNet gates the net JSON block.
+  bool HasNet = false;
+  double NetQpsOffered = 0;   ///< Poisson arrival rate over the socket.
+  double NetGoodput = 0;      ///< Non-shed responses per second.
+  uint64_t NetP99Ns = 0;      ///< p99 from scheduled arrival to receipt.
+  double NetSloCapacity = 0;  ///< Sweep verdict: max qps meeting the SLO.
+  double NetShedRate = 0;     ///< Overloaded/DeadlineExceeded fraction.
+  double NetBatchAvg = 0;     ///< Server requests per amortizing txn.
 };
 
 inline void writeBenchJson(const char *Path, const char *Mode,
@@ -125,7 +148,7 @@ inline void writeBenchJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v7\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v8\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Entries.size(); ++I) {
@@ -181,6 +204,14 @@ inline void writeBenchJson(const char *Path, const char *Mode,
                    ", \"ring_stalls\": %" PRIu64 ", \"recovery_ms\": %.2f}",
                    E.DurMode.c_str(), E.FsyncBatches, E.WalRecords,
                    E.RingStalls, E.RecoveryMs);
+    if (E.HasNet)
+      std::fprintf(F,
+                   ",\n     \"net\": {\"qps_offered\": %.0f, "
+                   "\"goodput\": %.0f, \"p99_ns\": %" PRIu64
+                   ", \"slo_capacity\": %.0f, \"shed_rate\": %.4f, "
+                   "\"batch_avg\": %.2f}",
+                   E.NetQpsOffered, E.NetGoodput, E.NetP99Ns,
+                   E.NetSloCapacity, E.NetShedRate, E.NetBatchAvg);
     std::fprintf(F, "}%s\n", I + 1 < Entries.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n");

@@ -21,7 +21,10 @@
 namespace satm {
 namespace bench {
 
-/// The subset of kv_service's parsed flags that interact.
+/// The subset of kv_service's parsed flags that interact. The same
+/// struct validates bench/kv_loadgen (Loadgen = true), which shares the
+/// open-loop flag family but drives a remote server instead of in-process
+/// workers.
 struct ServiceFlags {
   bool Affine = false;   ///< --exec=affine
   double Qps = 0;        ///< --qps (0 = closed loop)
@@ -30,12 +33,49 @@ struct ServiceFlags {
   bool Smoke = false;      ///< --smoke (tiny CI/TSan time budgets)
   bool Suite = false;      ///< --suite
   bool WalDirSet = false;  ///< --wal-dir was given
+  bool Serve = false;      ///< --serve=addr:port (network server mode)
+  bool ThreadsSet = false; ///< --threads was given explicitly
+  bool IoThreadsSet = false; ///< --io-threads was given
+  bool NetBatchSet = false;  ///< --net-batch was given
+  bool Loadgen = false;      ///< validating kv_loadgen's flag family
 };
 
 /// Returns null when the combination is coherent, else a static
 /// diagnostic (no allocation — callable from tests and from main before
 /// any setup).
 inline const char *validateServiceFlags(const ServiceFlags &F) {
+  if (F.Loadgen) {
+    // kv_loadgen reuses the open-loop flag family; only a few apply.
+    if (!(F.Qps > 0))
+      return "kv_loadgen is open-loop by construction: --qps is required "
+             "(per-point offered rate, or the sweep's starting rate)";
+    if (F.Serve || F.IoThreadsSet || F.NetBatchSet)
+      return "--serve/--io-threads/--net-batch are kv_service server flags; "
+             "kv_loadgen takes --host/--port instead";
+    return nullptr;
+  }
+  if (F.Serve && F.Qps > 0)
+    return "--serve is driven by remote open-loop clients (kv_loadgen "
+           "--qps): an in-process arrival clock would compete with the "
+           "wire for the same cores (drop --qps)";
+  if (F.Serve && F.ThreadsSet)
+    return "--serve replaces the closed-loop worker pool with I/O threads "
+           "and shard workers (use --io-threads/--workers, not --threads)";
+  if (F.Serve && F.Affine)
+    return "--serve batches same-shard requests into one transaction per "
+           "drain, which already provides shard affinity; the affine "
+           "executor's owner loop would fight the shard workers for the "
+           "same shards (drop --exec=affine)";
+  if (F.Serve && (F.Smoke || F.Suite))
+    return "--serve runs until a SHUTDOWN frame or SIGINT; the "
+           "--smoke/--suite time-budget harnesses drive in-process "
+           "workers only (use kv_loadgen against a plain --serve run)";
+  if (F.IoThreadsSet && !F.Serve)
+    return "--io-threads configures the network event loop and does "
+           "nothing without --serve (add --serve=addr:port)";
+  if (F.NetBatchSet && !F.Serve)
+    return "--net-batch bounds the per-shard wire batch and does nothing "
+           "without --serve (add --serve=addr:port)";
   if (F.Affine && F.Qps > 0)
     return "--exec=affine is closed-loop only: affine hops complete inside "
            "the owner's drain cadence, which an open-loop arrival clock "
@@ -44,9 +84,10 @@ inline const char *validateServiceFlags(const ServiceFlags &F) {
     return "--exec=affine has no overload-control path: deadlines and "
            "retry budgets apply to the symmetric executor's transactional "
            "ops (drop --overload)";
-  if (F.Overload && !(F.Qps > 0))
+  if (F.Overload && !(F.Qps > 0) && !F.Serve)
     return "--overload is an open-loop experiment: without --qps there is "
-           "no offered rate to exceed capacity (add --qps)";
+           "no offered rate to exceed capacity (add --qps, or shed at the "
+           "socket with --serve)";
   if (F.Affine && F.Durability != kv::DurabilityMode::Off)
     return "--exec=affine does not support --durability yet: hopped writes "
            "complete on the owner, whose durable LSN is not plumbed back "

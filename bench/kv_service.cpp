@@ -79,6 +79,7 @@
 #include "kv/Affine.h"
 #include "kv/Store.h"
 #include "kv/Wal.h"
+#include "net/Server.h"
 #include "stm/Barriers.h"
 #include "stm/Config.h"
 #include "stm/Report.h"
@@ -93,6 +94,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -777,6 +779,133 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
   return Cs;
 }
 
+//===----------------------------------------------------------------------===//
+// Server mode (--serve): the same store + durability setup as runService,
+// fronted by the src/net epoll server instead of in-process workers.
+//===----------------------------------------------------------------------===//
+
+struct ServeOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 = ephemeral; announced via --port-file.
+  unsigned IoThreads = 1;
+  unsigned NetWorkers = 2;
+  uint32_t NetBatch = 16;
+  uint32_t QueueCap = 1024;
+  std::string PortFile;
+};
+
+/// The serving instance, for the signal handler. requestStop() is only an
+/// atomic store plus an eventfd write, both async-signal-safe.
+std::atomic<net::Server *> GServer{nullptr};
+
+void onStopSignal(int) {
+  if (net::Server *Sv = GServer.load(std::memory_order_acquire))
+    Sv->requestStop();
+}
+
+int runServe(const RunConfig &C, const ServeOptions &O) {
+  Config Cfg;
+  Cfg.DeaEnabled = true;
+  Cfg.IrrevocableAfterAborts = C.IrrevocableAfterAborts;
+  Cfg.KarmaPriority = C.Karma;
+  ScopedConfig SC(Cfg);
+
+  rt::Heap H;
+  kv::StoreConfig KC;
+  KC.Shards = C.Shards;
+  uint32_t PerShard = uint32_t(2 * C.Keys / (C.Shards ? C.Shards : 1));
+  KC.CapacityPerShard = PerShard < 8 ? 8 : PerShard;
+  kv::Store S(H, KC);
+  for (uint64_t K = 0; K < C.Keys; ++K)
+    if (!S.insert(K, 1000)) {
+      std::fprintf(stderr, "kv_service: prepopulate overflow at key %" PRIu64
+                           " (shard full)\n",
+                   K);
+      return 1;
+    }
+
+  kv::Wal::Config WC;
+  std::optional<kv::Wal> W;
+  if (C.Dur != kv::DurabilityMode::Off) {
+    WC.Dir = C.WalDir.empty() ? defaultWalDir("serve") : C.WalDir;
+    WC.Shards = S.shards();
+    std::filesystem::remove_all(WC.Dir);
+    W.emplace(WC);
+    W->start();
+    S.attachWal(&*W);
+  }
+
+  net::ServerConfig NC;
+  NC.Host = O.Host;
+  NC.Port = O.Port;
+  NC.IoThreads = O.IoThreads;
+  NC.Workers = O.NetWorkers;
+  NC.NetBatch = O.NetBatch;
+  NC.QueueCap = O.QueueCap;
+  NC.Shed = C.Policy == OverloadPolicy::Shed;
+  NC.DeadlineUs = C.DeadlineUs;
+  NC.RetryBudget = C.RetryBudget;
+  NC.SyncWal = W && C.Dur == kv::DurabilityMode::Sync ? &*W : nullptr;
+
+  net::Server Sv(S, NC);
+  std::string Err;
+  if (!Sv.start(&Err)) {
+    std::fprintf(stderr, "kv_service: --serve failed: %s\n", Err.c_str());
+    return 1;
+  }
+  GServer.store(&Sv, std::memory_order_release);
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
+  if (!O.PortFile.empty()) {
+    // Ephemeral-port handshake for scripted runs: the bound port appears
+    // in the file only after the listener is live, so a poller that read
+    // it can connect immediately.
+    std::string Tmp = O.PortFile + ".tmp";
+    if (FILE *PF = std::fopen(Tmp.c_str(), "w")) {
+      std::fprintf(PF, "%u\n", unsigned(Sv.port()));
+      std::fclose(PF);
+      std::rename(Tmp.c_str(), O.PortFile.c_str());
+    } else {
+      std::fprintf(stderr, "kv_service: cannot write %s\n", O.PortFile.c_str());
+      Sv.stop();
+      return 1;
+    }
+  }
+  std::printf("kv_service: serving %s:%u (io=%u workers=%u batch=%u "
+              "overload=%s durability=%s)\n",
+              O.Host.c_str(), unsigned(Sv.port()), O.IoThreads, O.NetWorkers,
+              O.NetBatch, NC.Shed ? "shed" : "queue",
+              kv::durabilityModeName(C.Dur));
+  std::fflush(stdout);
+
+  while (!Sv.stopRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Ordered teardown (DESIGN.md §13): the server drains its queues and
+  // closes every socket before the WAL stops, so no late batch can append
+  // to a stopped log.
+  Sv.stop();
+  GServer.store(nullptr, std::memory_order_release);
+  net::ServerStats St = Sv.stats();
+  std::printf("kv_service: served %" PRIu64 " requests (%" PRIu64
+              " responses, %" PRIu64 " bad frames), %" PRIu64
+              " conns accepted, batch_avg %.2f, shed %" PRIu64
+              " queue-full + %" PRIu64 " deadline, max queue depth %" PRIu64
+              "\n",
+              St.Requests, St.Responses, St.BadFrames, St.Accepted,
+              St.batchAvg(), St.ShedQueueFull, St.ShedDeadline,
+              St.MaxQueueDepth);
+  if (W) {
+    S.attachWal(nullptr);
+    W->stop();
+    if (C.WalDir.empty())
+      std::filesystem::remove_all(WC.Dir); // Scratch log: clean up.
+  }
+  snap::resetTable();
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -785,6 +914,9 @@ int main(int argc, char **argv) {
   RunConfig Single;
   bool HaveTxnPct = false;
   unsigned TxnPct = 0;
+  bool Serve = false, ThreadsSet = false, IoThreadsSet = false,
+       NetBatchSet = false;
+  ServeOptions SO;
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
     auto Val = [&](const char *Prefix) -> const char * {
@@ -798,8 +930,31 @@ int main(int argc, char **argv) {
       Suite = true;
     else if ((V = Val("--json=")))
       JsonPath = V;
-    else if ((V = Val("--threads=")))
+    else if ((V = Val("--threads="))) {
       Single.Threads = unsigned(std::atoi(V));
+      ThreadsSet = true;
+    } else if ((V = Val("--serve="))) {
+      // addr:port, e.g. --serve=127.0.0.1:7400 (port 0 = ephemeral).
+      const char *Colon = std::strrchr(V, ':');
+      if (!Colon || Colon == V) {
+        std::fprintf(stderr, "kv_service: --serve needs addr:port\n");
+        return 2;
+      }
+      SO.Host.assign(V, size_t(Colon - V));
+      SO.Port = uint16_t(std::atoi(Colon + 1));
+      Serve = true;
+    } else if ((V = Val("--io-threads="))) {
+      SO.IoThreads = unsigned(std::atoi(V));
+      IoThreadsSet = true;
+    } else if ((V = Val("--workers=")))
+      SO.NetWorkers = unsigned(std::atoi(V));
+    else if ((V = Val("--net-batch="))) {
+      SO.NetBatch = uint32_t(std::atoi(V));
+      NetBatchSet = true;
+    } else if ((V = Val("--queue-cap=")))
+      SO.QueueCap = uint32_t(std::atoi(V));
+    else if ((V = Val("--port-file=")))
+      SO.PortFile = V;
     else if ((V = Val("--keys=")))
       Single.Keys = uint64_t(std::atoll(V));
     else if ((V = Val("--shards=")))
@@ -887,6 +1042,12 @@ int main(int argc, char **argv) {
           "                  [--overload=shed|queue] [--deadline-us=N]\n"
           "                  [--retry-budget=N] [--irrevocable-after=N]\n"
           "                  [--karma]\n"
+          "                  [--durability=off|async|sync] [--wal-dir=PATH]\n"
+          "       kv_service --serve=ADDR:PORT [--io-threads=N] [--workers=N]\n"
+          "                  [--net-batch=N] [--queue-cap=N]\n"
+          "                  [--port-file=PATH] [--overload=shed]\n"
+          "                  [--deadline-us=N] [--retry-budget=N]\n"
+          "                  [--keys=N] [--shards=N]\n"
           "                  [--durability=off|async|sync] [--wal-dir=PATH]\n");
       return 2;
     }
@@ -903,10 +1064,17 @@ int main(int argc, char **argv) {
   F.Smoke = Smoke;
   F.Suite = Suite;
   F.WalDirSet = !Single.WalDir.empty();
+  F.Serve = Serve;
+  F.ThreadsSet = ThreadsSet;
+  F.IoThreadsSet = IoThreadsSet;
+  F.NetBatchSet = NetBatchSet;
   if (const char *Err = validateServiceFlags(F)) {
     std::fprintf(stderr, "kv_service: %s\n", Err);
     return 2;
   }
+
+  if (Serve)
+    return runServe(Single, SO);
 
   std::vector<RunConfig> Configs;
   if (Suite || Smoke) {

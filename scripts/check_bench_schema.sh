@@ -4,8 +4,8 @@
 # Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
-# run's output from perf_suite / kv_service) carries the satm-bench-v7
-# schema: a non-empty benchmark list where every entry has the numeric core
+# run's output from perf_suite / kv_service / kv_loadgen) carries the
+# satm-bench-v8 schema: a non-empty benchmark list where every entry has the numeric core
 # fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
 # ally carry exec_mode ("symmetric" or "affine"), throughput_ops_per_sec
@@ -22,7 +22,11 @@
 # block — exactly {mode, fsync_batches, records, ring_stalls, recovery_ms}
 # with mode "async" or "sync" — and wherever a durability block appears it
 # is validated to that shape (mode "off" entries must not carry one: off
-# means the log path was elided). CI runs this so a refactor can't
+# means the log path was elided). Wire benchmarks (net/*, from
+# bench/kv_loadgen) must carry the v8 net block — exactly {qps_offered,
+# goodput, p99_ns, slo_capacity, shed_rate, batch_avg} — plus the latency
+# percentile set; wherever a net block appears it is validated to that
+# shape. CI runs this so a refactor can't
 # silently drop the observability fields from the trajectory file.
 #
 # --require-kv asserts the file contains at least one kv/* entry and the
@@ -33,10 +37,12 @@
 # affine-vs-symmetric comparison cannot silently drop either side.
 # --require-durability asserts at least one async kv/durable/* entry (and,
 # on full-mode files, at least one sync entry), so the durability plane's
-# numbers cannot silently vanish from the trajectory.
+# numbers cannot silently vanish from the trajectory. --require-net
+# asserts at least one net/* entry, so the loopback SLO-capacity sweep
+# cannot silently vanish from a merged file.
 #
 # Usage: scripts/check_bench_schema.sh [--require-kv] [--require-affine] \
-#            [--require-durability] FILE.json [FILE2.json ...]
+#            [--require-durability] [--require-net] FILE.json [FILE2.json ...]
 #
 #===----------------------------------------------------------------------===#
 
@@ -45,29 +51,34 @@ set -euo pipefail
 REQUIRE_KV=0
 REQUIRE_AFFINE=0
 REQUIRE_DURABILITY=0
+REQUIRE_NET=0
 while true; do
   case "${1:-}" in
     --require-kv) REQUIRE_KV=1; shift ;;
     --require-affine) REQUIRE_AFFINE=1; shift ;;
     --require-durability) REQUIRE_DURABILITY=1; shift ;;
+    --require-net) REQUIRE_NET=1; shift ;;
     *) break ;;
   esac
 done
 
 if [ "$#" -lt 1 ]; then
   echo "usage: scripts/check_bench_schema.sh [--require-kv]" \
-       "[--require-affine] [--require-durability] FILE.json [...]" >&2
+       "[--require-affine] [--require-durability] [--require-net]" \
+       "FILE.json [...]" >&2
   exit 2
 fi
 
 for FILE in "$@"; do
-  python3 - "$FILE" "$REQUIRE_KV" "$REQUIRE_AFFINE" "$REQUIRE_DURABILITY" <<'EOF'
+  python3 - "$FILE" "$REQUIRE_KV" "$REQUIRE_AFFINE" "$REQUIRE_DURABILITY" \
+    "$REQUIRE_NET" <<'EOF'
 import json, sys
 
 path = sys.argv[1]
 require_kv = sys.argv[2] == "1"
 require_affine = sys.argv[3] == "1"
 require_durability = sys.argv[4] == "1"
+require_net = sys.argv[5] == "1"
 REASONS = [
     "read_validation", "write_lock_conflict", "nt_read_kill", "nt_write_kill",
     "aggregated_scope", "user_retry", "user_abort", "contention_give_up",
@@ -80,6 +91,8 @@ PLANE_FIELDS = PERCENTILES + ["count"]
 AFFINE_INT_FIELDS = ["hops", "cross_shard_ops", "max_queue_depth"]
 DURABILITY_INT_FIELDS = ["fsync_batches", "records", "ring_stalls"]
 DURABILITY_FIELDS = DURABILITY_INT_FIELDS + ["mode", "recovery_ms"]
+NET_FIELDS = ["qps_offered", "goodput", "p99_ns", "slo_capacity",
+              "shed_rate", "batch_avg"]
 SNAPSHOT_TRIPLE = ["kv/snapshot/read_", "kv/snapshot/ntread_",
                    "kv/snapshot/txnread_"]
 
@@ -89,8 +102,8 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v7":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v7'")
+if doc.get("schema") != "satm-bench-v8":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v8'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
@@ -101,6 +114,7 @@ affine_entries = 0
 symmetric_entries = 0
 durable_async = 0
 durable_sync = 0
+net_entries = 0
 triple_seen = {p: False for p in SNAPSHOT_TRIPLE}
 for b in benches:
     name = b.get("name", "<unnamed>")
@@ -203,6 +217,23 @@ for b in benches:
                 durable_async += 1
             else:
                 durable_sync += 1
+    # v8 net block: mandatory for net/* entries (which are wire-latency
+    # measurements, so the percentile set is mandatory too), validated to
+    # exact shape wherever present.
+    if name.startswith("net/"):
+        net_entries += 1
+        if "net" not in b:
+            fail(f"benchmark {name}: net/* entries must carry the net block")
+        if not has_lat:
+            fail(f"benchmark {name}: net/* entries must carry latency_ns")
+    if "net" in b:
+        blk = b["net"]
+        if not isinstance(blk, dict) or set(blk) != set(NET_FIELDS):
+            fail(f"benchmark {name}: net block must carry exactly "
+                 f"{sorted(NET_FIELDS)}")
+        for key in NET_FIELDS:
+            if not isinstance(blk[key], (int, float)):
+                fail(f"benchmark {name}: net[{key!r}] must be numeric")
     # v4 overload fields: mandatory for kv/overload/* entries, numeric
     # wherever present.
     if name.startswith("kv/overload/"):
@@ -241,11 +272,15 @@ if require_durability and durable_async == 0:
 if require_durability and doc["mode"] == "full" and durable_sync == 0:
     fail("--require-durability: full-mode file has no sync kv/durable/* "
          "entry")
+if require_net and net_entries == 0:
+    fail("--require-net: no net/* (wire load-generator) entries present")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
 if affine_entries:
     kv_note += f" ({affine_entries} affine)"
 if durable_async or durable_sync:
     kv_note += f" ({durable_async} async + {durable_sync} sync durable)"
-print(f"{path}: satm-bench-v7 OK ({len(benches)} benchmarks{kv_note})")
+if net_entries:
+    kv_note += f", {net_entries} net"
+print(f"{path}: satm-bench-v8 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

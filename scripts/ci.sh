@@ -23,10 +23,10 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== bench smoke (perf_suite + kv_service JSON emitters, merged)"
+echo "== bench smoke (perf_suite + kv_service + loopback wire, merged)"
 scripts/bench.sh --smoke "$JOBS"
 scripts/check_bench_schema.sh --require-kv --require-affine \
-  --require-durability build/BENCH_smoke.json BENCH_satm.json
+  --require-durability --require-net build/BENCH_smoke.json BENCH_satm.json
 
 echo "== bench smoke with event tracing armed (SATM_TRACE=1)"
 SATM_TRACE=1 SATM_STATS=1 ./build/bench/perf_suite --smoke \
@@ -78,6 +78,17 @@ AFFINE_FAULT_TESTS="kv_affine_test|kv_churn_flat_test"
 (cd build && SATM_FAULTS="seed=13,txn_open=0.02,txn_commit=0.02" \
   ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
 
+echo "== net front-end fault lane (seeded short-read/short-write caps)"
+# The net_read/net_write sites cap server-side socket syscalls to a few
+# bytes, forcing the partial-frame decode and partial-flush resume paths
+# under the full loopback matrix. Only the capping sites go in the env
+# spec: net_accept drops whole connections, which the outcome assertions
+# (every request answered) cannot absorb — the drop path has its own
+# programmatic-arm test inside net_server_test. Args are explicit
+# (":1"/":3") because arm() treats 0 as "use the default delay spins".
+(cd build && SATM_FAULTS="seed=5,net_read=0.3:1,net_write=0.3:3" \
+  ctest --output-on-failure -R "net_server_test")
+
 echo "== durability crash/recovery lane (seeded kill-mode loop, full length)"
 # The crash test arms SATM_FAULTS in its re-executed children itself, and
 # the recovery tests manufacture their own log damage, so neither runs
@@ -102,6 +113,22 @@ echo "== TSan affine executor fault lane"
 
 echo "== TSan durability crash/recovery lane (full kill loop)"
 (cd build-tsan && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability)
+
+echo "== TSan net front-end fault lane"
+(cd build-tsan && SATM_FAULTS="seed=5,net_read=0.3:1,net_write=0.3:3" \
+  ctest --output-on-failure -R "net_server_test")
+
+echo "== TSan loopback serve/loadgen smoke (real sockets end-to-end)"
+rm -f build-tsan/net_port_smoke
+./build-tsan/bench/kv_service --serve=127.0.0.1:0 \
+  --port-file=build-tsan/net_port_smoke --keys=16384 --io-threads=1 \
+  --workers=2 &
+NET_SERVER_PID=$!
+./build-tsan/bench/kv_loadgen --port-file=build-tsan/net_port_smoke \
+  --qps=5000 --duration=1 --conns=2 --keys=16384 --mode=smoke \
+  --json=build-tsan/BENCH_net_smoke.json --stop-server
+wait "$NET_SERVER_PID"
+scripts/check_bench_schema.sh --require-net build-tsan/BENCH_net_smoke.json
 
 echo "== TSan snapshot lane (tracing armed)"
 (cd build-tsan && SATM_TRACE=1 SATM_STATS=1 ctest --output-on-failure \

@@ -373,6 +373,50 @@ bool Store::insert(Word Key, Word Val) {
   return insert(Key, Val, OpBudget{}) == OpStatus::Ok;
 }
 
+OpStatus Store::multiPut(const Word *Keys, const Word *Vals, size_t N,
+                         OpStatus *PerKey, const OpBudget &B) {
+  OpStatus St = OpStatus::Ok;
+  return runBudgeted(B, St, [&](stm::Txn &Tx) {
+    St = OpStatus::Ok;
+    for (size_t I = 0; I < N; ++I) {
+      assert(Vals[I] != Tombstone && "Tombstone is reserved");
+      uint32_t Shard = shardOf(Keys[I]);
+      ShardRep &S = Reps[Shard];
+      int FirstFree = -1;
+      int Slot = findSlotTxn(Tx, S, Keys[I], &FirstFree);
+      if (Slot >= 0) {
+        Object *V = Tx.readRef(S.Vals, uint32_t(Slot));
+        if (V) {
+          // Present (or written earlier in this very batch — eager
+          // writes land in place, so the probe read our own insert):
+          // overwrite.
+          Tx.write(V, 0, Vals[I]);
+          logRedo(Tx, Shard, WalOp::Put, Keys[I], Vals[I]);
+          PerKey[I] = OpStatus::Ok;
+          continue;
+        }
+        // Erased key: resurrect by relinking a fresh record below.
+      } else if (FirstFree < 0) {
+        // No retire-pool harvest on the batch path (see Store.h): the
+        // caller retries this key through the single insert.
+        PerKey[I] = OpStatus::Full;
+        continue;
+      }
+      uint32_t Target = uint32_t(Slot >= 0 ? Slot : FirstFree);
+      Object *V = H.allocate(&ValueType, stm::config().birthState());
+      V->rawStore(0, Vals[I]);
+      ValueAllocated.fetch_add(1, std::memory_order_relaxed);
+      if (Slot < 0) {
+        Tx.write(S.Keys, Target, Keys[I] + 1);
+        Tx.write(S.Meta, 0, Tx.read(S.Meta, 0) + 1);
+      }
+      Tx.writeRef(S.Vals, Target, V);
+      logRedo(Tx, Shard, WalOp::Put, Keys[I], Vals[I]);
+      PerKey[I] = OpStatus::Ok;
+    }
+  });
+}
+
 OpStatus Store::erase(Word Key, const OpBudget &B) {
   uint32_t Shard = shardOf(Key);
   ShardRep &S = Reps[Shard];

@@ -246,6 +246,19 @@ public:
   //===--------------------------------------------------------------------===
 
   OpStatus insert(Word Key, Word Val, const OpBudget &B);
+
+  /// Batched upsert: one transaction inserting or overwriting all \p N
+  /// keys — the amortization the network front end's per-shard request
+  /// batching rides on (one commit, one publish ticket, one WAL group
+  /// for N queued PUTs). On Ok, \p PerKey[i] is Ok or Full per key (a
+  /// Full key is skipped; the rest still commit). Unlike single insert,
+  /// the batch path never harvests the retire pools — a caller that sees
+  /// Full on a tombstone-saturated shard retries that key through
+  /// insert(), which recycles. Overloaded/DeadlineExceeded shed the
+  /// whole batch with no effects.
+  OpStatus multiPut(const Word *Keys, const Word *Vals, size_t N,
+                    OpStatus *PerKey, const OpBudget &B = OpBudget{});
+
   OpStatus erase(Word Key, const OpBudget &B);
   OpStatus cas(Word Key, Word Expected, Word Desired, const OpBudget &B);
   /// \p Found (optional) receives the number of present keys on Ok.

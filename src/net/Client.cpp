@@ -1,0 +1,216 @@
+//===- net/Client.cpp - Blocking SATM-KV protocol client -----------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "net/Protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace satm;
+using namespace satm::net;
+
+Client::~Client() { close(); }
+
+bool Client::connectTo(const std::string &Host, uint16_t Port,
+                       std::string *Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "bad address: " + Host;
+    close();
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  Dec = FrameDecoder(/*Strict=*/false);
+  return true;
+}
+
+void Client::shutdownConn() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    // shutdown() first: closing an fd does not wake another thread
+    // blocked in read() on it (the loadgen's receiver thread); a full
+    // shutdown delivers EOF to that read immediately.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+  Fd = -1;
+}
+
+uint64_t Client::send(Frame F) {
+  uint8_t Enc[MaxFrameBytes];
+  std::lock_guard<std::mutex> L(SendMutex);
+  if (Fd < 0)
+    return 0;
+  if (F.Cid == 0)
+    F.Cid = NextCid++;
+  size_t Len = encodeFrame(Enc, F);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t W = ::write(Fd, Enc + Off, Len - Off);
+    if (W > 0) {
+      Off += size_t(W);
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    return 0;
+  }
+  return F.Cid;
+}
+
+bool Client::recv(Frame &F) {
+  uint8_t Buf[4096];
+  for (;;) {
+    if (Dec.next(F))
+      return true;
+    if (Dec.failed() || Fd < 0)
+      return false;
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Dec.feed(Buf, size_t(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // EOF or hard error.
+  }
+}
+
+bool Client::call(const Frame &Req, Frame &Resp) {
+  uint64_t Cid = send(Req);
+  if (!Cid)
+    return false;
+  while (recv(Resp))
+    if (Resp.Cid == Cid)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Convenience ops
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Frame makeReq(MsgOp Op, uint16_t Count, const uint64_t *Words,
+              uint32_t NWords) {
+  Frame F;
+  F.Op = Op;
+  F.Count = Count;
+  F.Words = NWords;
+  for (uint32_t I = 0; I < NWords; ++I)
+    F.Body[I] = Words[I];
+  return F;
+}
+
+} // namespace
+
+Status Client::get(uint64_t Key, uint64_t &Val) {
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Get, 1, &Key, 1), Resp))
+    return Status::BadRequest;
+  if (Resp.status() == Status::Ok && Resp.Words >= 1)
+    Val = Resp.Body[0];
+  return Resp.status();
+}
+
+Status Client::put(uint64_t Key, uint64_t Val) {
+  uint64_t W[2] = {Key, Val};
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Put, 1, W, 2), Resp))
+    return Status::BadRequest;
+  return Resp.status();
+}
+
+Status Client::insert(uint64_t Key, uint64_t Val) {
+  uint64_t W[2] = {Key, Val};
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Insert, 1, W, 2), Resp))
+    return Status::BadRequest;
+  return Resp.status();
+}
+
+Status Client::eraseKey(uint64_t Key) {
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Erase, 1, &Key, 1), Resp))
+    return Status::BadRequest;
+  return Resp.status();
+}
+
+Status Client::cas(uint64_t Key, uint64_t Expected, uint64_t Desired) {
+  uint64_t W[3] = {Key, Expected, Desired};
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Cas, 1, W, 3), Resp))
+    return Status::BadRequest;
+  return Resp.status();
+}
+
+Status Client::multiGet(const uint64_t *Keys, uint16_t N, uint64_t *Out) {
+  Frame Resp;
+  if (!call(makeReq(MsgOp::MultiGet, N, Keys, N), Resp))
+    return Status::BadRequest;
+  if (Resp.status() == Status::Ok)
+    for (uint16_t I = 0; I < N && I < Resp.Words; ++I)
+      Out[I] = Resp.Body[I];
+  return Resp.status();
+}
+
+Status Client::rmwAdd(const uint64_t *Keys, uint16_t N, uint64_t Delta) {
+  uint64_t W[MaxWordsPerFrame];
+  for (uint16_t I = 0; I < N; ++I)
+    W[I] = Keys[I];
+  W[N] = Delta;
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Rmw, N, W, uint32_t(N) + 1), Resp))
+    return Status::BadRequest;
+  return Resp.status();
+}
+
+bool Client::statsProbe(uint64_t *Out) {
+  Frame Resp;
+  if (!call(makeReq(MsgOp::Stats, 0, nullptr, 0), Resp))
+    return false;
+  if (Resp.status() != Status::Ok || Resp.Words < StatsWordCount)
+    return false;
+  for (unsigned I = 0; I < StatsWordCount; ++I)
+    Out[I] = Resp.Body[I];
+  return true;
+}
+
+bool Client::shutdownServer() {
+  Frame Resp;
+  return call(makeReq(MsgOp::Shutdown, 0, nullptr, 0), Resp) &&
+         Resp.status() == Status::Ok;
+}

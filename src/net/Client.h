@@ -1,0 +1,94 @@
+//===- net/Client.h - Blocking SATM-KV protocol client ---------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the net/Protocol.h wire format, used by
+/// the server tests and bench/kv_loadgen. Deliberately simple: one
+/// connected TCP socket, mutex-guarded frame sends (so a sender thread
+/// and a shutdown path can share it), and a blocking receive loop over a
+/// non-strict FrameDecoder. Pipelining is the caller's business — send()
+/// never waits for a response, recv() returns responses in wire order,
+/// and callers match them by correlation id (the loadgen keeps a
+/// cid → scheduled-arrival map; see kv_loadgen.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_NET_CLIENT_H
+#define SATM_NET_CLIENT_H
+
+#include "net/Codec.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace satm {
+namespace net {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects (blocking) to \p Host:\p Port. On failure fills \p Err.
+  bool connectTo(const std::string &Host, uint16_t Port, std::string *Err);
+
+  void close();
+
+  /// Half of close() that is safe while another thread still blocks in
+  /// recv(): delivers EOF to that read without releasing the fd number
+  /// (a concurrent ::close could hand the fd to a new connection under
+  /// the reader). Shutdown, join the reader, then close().
+  void shutdownConn();
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Sends one frame, blocking until fully written (handles partial
+  /// writes). Thread-safe against other send() callers. Assigns the
+  /// frame's correlation id from the client's counter when \p F.Cid is 0
+  /// and returns the id used (0 on error).
+  uint64_t send(Frame F);
+
+  /// Blocks until one full response frame arrives (or the peer closes /
+  /// the stream is damaged — returns false). Single-consumer.
+  bool recv(Frame &F);
+
+  /// send() + recv() until the response with the matching correlation id
+  /// arrives (responses for other in-flight requests are discarded, so
+  /// do not mix call() with manual pipelining on one connection).
+  bool call(const Frame &Req, Frame &Resp);
+
+  //===--------------------------------------------------------------------===
+  // One-shot convenience ops (call() wrappers) for tests and tools.
+  //===--------------------------------------------------------------------===
+
+  Status get(uint64_t Key, uint64_t &Val);
+  Status put(uint64_t Key, uint64_t Val);
+  Status insert(uint64_t Key, uint64_t Val);
+  Status eraseKey(uint64_t Key);
+  Status cas(uint64_t Key, uint64_t Expected, uint64_t Desired);
+  Status multiGet(const uint64_t *Keys, uint16_t N, uint64_t *Out);
+  Status rmwAdd(const uint64_t *Keys, uint16_t N, uint64_t Delta);
+  /// Fills \p Out[StatsWordCount] with the server counter vector.
+  bool statsProbe(uint64_t *Out);
+  /// Asks the server to stop (it still answers this request).
+  bool shutdownServer();
+
+private:
+  int Fd = -1;
+  std::mutex SendMutex;
+  uint64_t NextCid = 1; ///< Guarded by SendMutex.
+  FrameDecoder Dec{/*Strict=*/false};
+};
+
+} // namespace net
+} // namespace satm
+
+#endif // SATM_NET_CLIENT_H

@@ -1,0 +1,120 @@
+//===- net/Codec.cpp - Incremental frame decoder --------------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Codec.h"
+
+#include <cstddef>
+
+using namespace satm;
+using namespace satm::net;
+
+const char *satm::net::msgOpName(MsgOp Op) {
+  switch (Op) {
+  case MsgOp::Get:
+    return "GET";
+  case MsgOp::Put:
+    return "PUT";
+  case MsgOp::Insert:
+    return "INSERT";
+  case MsgOp::Erase:
+    return "ERASE";
+  case MsgOp::Cas:
+    return "CAS";
+  case MsgOp::MultiGet:
+    return "MGET";
+  case MsgOp::Rmw:
+    return "RMW";
+  case MsgOp::Stats:
+    return "STATS";
+  case MsgOp::Shutdown:
+    return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char *satm::net::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "Ok";
+  case Status::NotFound:
+    return "NotFound";
+  case Status::Mismatch:
+    return "Mismatch";
+  case Status::Full:
+    return "Full";
+  case Status::Overloaded:
+    return "Overloaded";
+  case Status::DeadlineExceeded:
+    return "DeadlineExceeded";
+  case Status::BadRequest:
+    return "BadRequest";
+  }
+  return "?";
+}
+
+const char *satm::net::decodeErrorName(DecodeError E) {
+  switch (E) {
+  case DecodeError::None:
+    return "none";
+  case DecodeError::BadMagic:
+    return "bad magic";
+  case DecodeError::Oversized:
+    return "oversized body";
+  case DecodeError::BadShape:
+    return "count/body mismatch";
+  }
+  return "?";
+}
+
+void FrameDecoder::feed(const uint8_t *Data, size_t Len) {
+  if (Err != DecodeError::None || Len == 0)
+    return;
+  // Compact the consumed prefix before growing: steady-state pipelined
+  // traffic then reuses the same capacity instead of creeping.
+  if (Taken > 0) {
+    Pending.erase(Pending.begin(), Pending.begin() + std::ptrdiff_t(Taken));
+    Taken = 0;
+  }
+  Pending.insert(Pending.end(), Data, Data + Len);
+}
+
+bool FrameDecoder::next(Frame &Out) {
+  if (Err != DecodeError::None)
+    return false;
+  const size_t Avail = Pending.size() - Taken;
+  if (Avail < FrameHeaderSize)
+    return false;
+  const uint8_t *P = Pending.data() + Taken;
+  if (getU32(P) != FrameMagic) {
+    Err = DecodeError::BadMagic;
+    return false;
+  }
+  const uint32_t BodyLen = getU32(P + 8);
+  if (BodyLen > MaxBodyBytes || BodyLen % 8 != 0) {
+    Err = DecodeError::Oversized;
+    return false;
+  }
+  const MsgOp Op = MsgOp(P[4]);
+  const uint16_t Count = getU16(P + 6);
+  if (Strict) {
+    int Want = requestBodyWords(Op, Count);
+    if (Want < 0 || size_t(Want) * 8 != BodyLen) {
+      Err = DecodeError::BadShape;
+      return false;
+    }
+  }
+  if (Avail < FrameHeaderSize + BodyLen)
+    return false; // Wait for the rest of the body.
+  Out.Op = Op;
+  Out.Aux = P[5];
+  Out.Count = Count;
+  Out.Cid = getU64(P + 12);
+  Out.Words = BodyLen / 8;
+  for (uint32_t I = 0; I < Out.Words; ++I)
+    Out.Body[I] = getU64(P + FrameHeaderSize + I * 8);
+  Taken += FrameHeaderSize + BodyLen;
+  return true;
+}

@@ -1,0 +1,75 @@
+//===- net/Codec.h - Incremental frame decoder ------------------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FrameDecoder: an incremental decoder for the net/Protocol.h frame
+/// format. Bytes are fed in whatever fragments the socket delivers — a
+/// frame split across a hundred one-byte reads decodes identically to a
+/// pipelined burst of sixty frames arriving in one read
+/// (tests/net/CodecTest.cpp proves both). Malformed framing (bad magic,
+/// body length past the protocol bound, a request whose count does not
+/// match its body) is unrecoverable on a byte stream — resynchronizing
+/// would be guesswork — so the decoder enters a sticky error state and
+/// the connection owner closes the socket.
+///
+/// The pending buffer grows to the largest burst fed and is then reused;
+/// decoded Frames are plain stack values (no per-frame allocation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_NET_CODEC_H
+#define SATM_NET_CODEC_H
+
+#include "net/Protocol.h"
+
+#include <vector>
+
+namespace satm {
+namespace net {
+
+/// Why a decoder went into the error state.
+enum class DecodeError : uint8_t {
+  None = 0,
+  BadMagic,  ///< First 4 bytes are not FrameMagic (wrong version too).
+  Oversized, ///< body_len exceeds MaxBodyBytes or is not word-aligned.
+  BadShape,  ///< Request (op, count) pair does not match body_len.
+};
+
+const char *decodeErrorName(DecodeError E);
+
+class FrameDecoder {
+public:
+  /// \p Strict validates request shapes via requestBodyWords (the server
+  /// side); false only bounds the body (the client side, whose response
+  /// body sizes depend on status).
+  explicit FrameDecoder(bool Strict = true) : Strict(Strict) {}
+
+  /// Appends \p Len bytes to the stream. Call next() until it returns
+  /// false to drain completed frames. Feeding after an error is a no-op.
+  void feed(const uint8_t *Data, size_t Len);
+
+  /// Pops the next completed frame into \p Out. Returns false when no
+  /// complete frame is buffered — or when the header just examined is
+  /// malformed, in which case error() turns non-None.
+  bool next(Frame &Out);
+
+  DecodeError error() const { return Err; }
+  bool failed() const { return Err != DecodeError::None; }
+
+  /// Bytes buffered but not yet consumed as frames (partial frame tail).
+  size_t pendingBytes() const { return Pending.size() - Taken; }
+
+private:
+  bool Strict;
+  DecodeError Err = DecodeError::None;
+  std::vector<uint8_t> Pending;
+  size_t Taken = 0; ///< Prefix of Pending already consumed as frames.
+};
+
+} // namespace net
+} // namespace satm
+
+#endif // SATM_NET_CODEC_H

@@ -1,0 +1,809 @@
+//===- net/Server.cpp - epoll TCP front end for SATM-KV ------------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "kv/Wal.h"
+#include "support/FaultInjector.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+using namespace satm;
+using namespace satm::net;
+
+//===----------------------------------------------------------------------===//
+// Internal state
+//===----------------------------------------------------------------------===//
+
+/// One client connection. The socket fd is touched only by the owning I/O
+/// thread; workers reach the connection solely through queueResponse(),
+/// which appends bytes under OutMutex and leaves the flushing to the I/O
+/// thread. Dead flips (under OutMutex) when the fd closes, turning any
+/// late worker append into a no-op instead of a write to a recycled fd.
+struct Server::Conn {
+  int Fd = -1;
+  unsigned IoIdx = 0;
+  FrameDecoder Dec{/*Strict=*/true};
+  std::mutex OutMutex;
+  std::vector<uint8_t> Out; ///< Encoded responses awaiting flush.
+  size_t OutOff = 0;        ///< Flushed prefix of Out.
+  bool Dead = false;        ///< Set under OutMutex at close.
+};
+
+/// Per-I/O-thread state. Conns holds the owning references; epoll events
+/// carry raw Conn pointers that are re-validated against Conns before use
+/// (a close earlier in the same event batch may have dropped them).
+struct Server::IoState {
+  int EpollFd = -1;
+  int WakeFd = -1;
+  std::thread Thr;
+  std::mutex Mutex;               ///< Guards Incoming.
+  std::vector<ConnPtr> Incoming;  ///< Accepted, not yet registered.
+  std::vector<ConnPtr> Conns;     ///< I/O-thread-private after register.
+};
+
+/// A routed request parked in its shard's queue. The Frame is a plain
+/// value copy — the privatization boundary (see BufferPool.h): no I/O
+/// buffer memory ever crosses into a worker.
+struct Server::Request {
+  ConnPtr C;
+  Frame F;
+  Clock::time_point Arrival;
+};
+
+/// Per-worker shard queues. Worker w owns every shard s with
+/// s % Workers == w; the queue for shard s lives at index s / Workers.
+struct Server::WorkerState {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<std::deque<Request>> Queues;
+  uint64_t Pending = 0; ///< Total queued across Queues.
+  size_t NextQ = 0;     ///< Round-robin drain cursor.
+  std::thread Thr;
+};
+
+struct Server::Cells {
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> DroppedAccepts{0};
+  std::atomic<uint64_t> Closed{0};
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Responses{0};
+  std::atomic<uint64_t> BadFrames{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> BatchedOps{0};
+  std::atomic<uint64_t> ShedQueueFull{0};
+  std::atomic<uint64_t> ShedDeadline{0};
+  std::atomic<uint64_t> MaxQueueDepth{0};
+
+  void maxDepth(uint64_t D) {
+    uint64_t Cur = MaxQueueDepth.load(std::memory_order_relaxed);
+    while (D > Cur && !MaxQueueDepth.compare_exchange_weak(
+                          Cur, D, std::memory_order_relaxed))
+      ;
+  }
+};
+
+namespace {
+
+void drainEventFd(int Fd) {
+  uint64_t V;
+  while (::read(Fd, &V, sizeof(V)) == sizeof(V))
+    ;
+}
+
+void signalEventFd(int Fd) {
+  uint64_t One = 1;
+  ssize_t R = ::write(Fd, &One, sizeof(One));
+  (void)R; // EAGAIN means the counter is already nonzero — wake pending.
+}
+
+Status toStatus(kv::OpStatus St) { return Status(uint8_t(St)); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(kv::Store &S, const ServerConfig &Cfg) : S(S), Cfg(Cfg) {
+  this->Cfg.IoThreads = std::clamp(this->Cfg.IoThreads, 1u, 64u);
+  this->Cfg.Workers = std::max(this->Cfg.Workers, 1u);
+  this->Cfg.NetBatch = std::max(this->Cfg.NetBatch, 1u);
+  this->Cfg.QueueCap = std::max(this->Cfg.QueueCap, 1u);
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    if (AcceptWakeFd >= 0)
+      ::close(AcceptWakeFd);
+    ListenFd = AcceptWakeFd = -1;
+    for (auto &I : Io) {
+      if (I->EpollFd >= 0)
+        ::close(I->EpollFd);
+      if (I->WakeFd >= 0)
+        ::close(I->WakeFd);
+    }
+    Io.clear();
+    Workers.clear();
+    C.reset();
+    return false;
+  };
+
+  assert(!Started && "start() is not re-entrant");
+  C = std::make_unique<Cells>();
+  Stopping.store(false, std::memory_order_release);
+  IoStopping.store(false, std::memory_order_release);
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Cfg.Port);
+  if (::inet_pton(AF_INET, Cfg.Host.c_str(), &Addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return Fail("inet_pton");
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 128) < 0)
+    return Fail("listen");
+
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                    &BoundLen) < 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Bound.sin_port);
+
+  AcceptWakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (AcceptWakeFd < 0)
+    return Fail("eventfd");
+
+  for (unsigned I = 0; I < Cfg.IoThreads; ++I) {
+    auto St = std::make_unique<IoState>();
+    St->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    St->WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (St->EpollFd < 0 || St->WakeFd < 0) {
+      Io.push_back(std::move(St));
+      return Fail("epoll_create1/eventfd");
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN; // Level-triggered: re-fires until drained.
+    Ev.data.ptr = nullptr;
+    if (::epoll_ctl(St->EpollFd, EPOLL_CTL_ADD, St->WakeFd, &Ev) < 0) {
+      Io.push_back(std::move(St));
+      return Fail("epoll_ctl(wake)");
+    }
+    Io.push_back(std::move(St));
+  }
+
+  for (unsigned W = 0; W < Cfg.Workers; ++W) {
+    auto St = std::make_unique<WorkerState>();
+    // Shards owned by this worker: s % Workers == W.
+    size_t Owned = (S.shards() - W + Cfg.Workers - 1) / Cfg.Workers;
+    St->Queues.resize(std::max<size_t>(Owned, 1));
+    Workers.push_back(std::move(St));
+  }
+
+  Started = true;
+  for (unsigned I = 0; I < Cfg.IoThreads; ++I)
+    Io[I]->Thr = std::thread([this, I] { ioLoop(I); });
+  for (unsigned W = 0; W < Cfg.Workers; ++W)
+    Workers[W]->Thr = std::thread([this, W] { workerLoop(W); });
+  Acceptor = std::thread([this] { acceptorLoop(); });
+  return true;
+}
+
+void Server::requestStop() {
+  Stopping.store(true, std::memory_order_release);
+  // Load once: stop() retires the fd to -1 concurrently (it stays open
+  // until the I/O threads — the in-process callers of this — are joined).
+  int Wake = AcceptWakeFd.load(std::memory_order_acquire);
+  if (Wake >= 0)
+    signalEventFd(Wake);
+}
+
+void Server::stop() {
+  if (!Started)
+    return;
+
+  // 1. Stop admitting: flag, close the listener. Frames decoded from this
+  //    point on answer Overloaded; nothing new reaches the shard queues.
+  requestStop();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  ListenFd = -1;
+  // AcceptWakeFd stays open: I/O threads still running below may hit a
+  // Shutdown frame and requestStop() signals through it. Retired after
+  // they are joined.
+
+  // 2. Drain: workers run every queue down to empty, then exit (their
+  //    loop sees Stopping && Pending == 0). Their final responses land in
+  //    connection out-buffers and wake the I/O threads as usual.
+  for (auto &W : Workers) {
+    std::lock_guard<std::mutex> L(W->M);
+    W->Cv.notify_all();
+  }
+  for (auto &W : Workers)
+    if (W->Thr.joinable())
+      W->Thr.join();
+
+  // 3. Tear down I/O: final-flush each connection's pending bytes (with a
+  //    bounded politeness window), close every socket, exit, join.
+  IoStopping.store(true, std::memory_order_release);
+  for (auto &I : Io)
+    signalEventFd(I->WakeFd);
+  for (auto &I : Io)
+    if (I->Thr.joinable())
+      I->Thr.join();
+  for (auto &I : Io) {
+    if (I->EpollFd >= 0)
+      ::close(I->EpollFd);
+    if (I->WakeFd >= 0)
+      ::close(I->WakeFd);
+    I->EpollFd = I->WakeFd = -1;
+  }
+  if (int Wake = AcceptWakeFd.exchange(-1); Wake >= 0)
+    ::close(Wake);
+  Started = false;
+}
+
+ServerStats Server::stats() const {
+  ServerStats R;
+  if (!C)
+    return R;
+  R.Accepted = C->Accepted.load(std::memory_order_relaxed);
+  R.DroppedAccepts = C->DroppedAccepts.load(std::memory_order_relaxed);
+  R.Closed = C->Closed.load(std::memory_order_relaxed);
+  R.Requests = C->Requests.load(std::memory_order_relaxed);
+  R.Responses = C->Responses.load(std::memory_order_relaxed);
+  R.BadFrames = C->BadFrames.load(std::memory_order_relaxed);
+  R.Batches = C->Batches.load(std::memory_order_relaxed);
+  R.BatchedOps = C->BatchedOps.load(std::memory_order_relaxed);
+  R.ShedQueueFull = C->ShedQueueFull.load(std::memory_order_relaxed);
+  R.ShedDeadline = C->ShedDeadline.load(std::memory_order_relaxed);
+  R.MaxQueueDepth = C->MaxQueueDepth.load(std::memory_order_relaxed);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptor
+//===----------------------------------------------------------------------===//
+
+void Server::acceptorLoop() {
+  pollfd P[2] = {{ListenFd, POLLIN, 0}, {AcceptWakeFd, POLLIN, 0}};
+  while (!Stopping.load(std::memory_order_acquire)) {
+    int N = ::poll(P, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (P[1].revents)
+      drainEventFd(AcceptWakeFd);
+    if (Stopping.load(std::memory_order_acquire))
+      break;
+    if (!(P[0].revents & POLLIN))
+      continue;
+    for (;;) {
+      int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        break; // EAGAIN or a transient accept error: back to poll.
+      }
+      if (faultPoint(FaultSite::NetAccept)) {
+        ::close(Fd);
+        C->DroppedAccepts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      uint64_t Seq = C->Accepted.fetch_add(1, std::memory_order_relaxed);
+      unsigned Idx = unsigned(Seq % Cfg.IoThreads);
+      auto Cn = std::make_shared<Conn>();
+      Cn->Fd = Fd;
+      Cn->IoIdx = Idx;
+      {
+        std::lock_guard<std::mutex> L(Io[Idx]->Mutex);
+        Io[Idx]->Incoming.push_back(std::move(Cn));
+      }
+      wakeIo(Idx);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// I/O threads
+//===----------------------------------------------------------------------===//
+
+void Server::wakeIo(unsigned Idx) { signalEventFd(Io[Idx]->WakeFd); }
+
+void Server::registerIncoming(IoState &IoSt) {
+  std::vector<ConnPtr> Fresh;
+  {
+    std::lock_guard<std::mutex> L(IoSt.Mutex);
+    Fresh.swap(IoSt.Incoming);
+  }
+  for (ConnPtr &Cn : Fresh) {
+    epoll_event Ev{};
+    Ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+    Ev.data.ptr = Cn.get();
+    if (::epoll_ctl(IoSt.EpollFd, EPOLL_CTL_ADD, Cn->Fd, &Ev) < 0) {
+      ::close(Cn->Fd);
+      C->Closed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    IoSt.Conns.push_back(Cn);
+    // Bytes may have arrived before the ADD; with ET the registration
+    // reports current readiness, but drain defensively anyway.
+    readDrain(IoSt, Cn);
+  }
+}
+
+void Server::closeConn(IoState &IoSt, const ConnPtr &Cn) {
+  {
+    std::lock_guard<std::mutex> L(Cn->OutMutex);
+    if (Cn->Dead)
+      return;
+    Cn->Dead = true;
+  }
+  ::epoll_ctl(IoSt.EpollFd, EPOLL_CTL_DEL, Cn->Fd, nullptr);
+  ::close(Cn->Fd);
+  Cn->Fd = -1;
+  auto It = std::find(IoSt.Conns.begin(), IoSt.Conns.end(), Cn);
+  if (It != IoSt.Conns.end())
+    IoSt.Conns.erase(It);
+  C->Closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::readDrain(IoState &IoSt, const ConnPtr &Cn) {
+  std::unique_ptr<uint8_t[]> Buf = ReadBuffers.rent();
+  bool Close = false;
+  for (;;) {
+    size_t Cap = ReadBuffers.bufferBytes();
+    if (faultPoint(FaultSite::NetRead)) {
+      uint32_t Arg = FaultInjector::arg(FaultSite::NetRead);
+      Cap = std::min<size_t>(Cap, std::max<uint32_t>(Arg, 1));
+    }
+    ssize_t N = ::read(Cn->Fd, Buf.get(), Cap);
+    if (N > 0) {
+      Cn->Dec.feed(Buf.get(), size_t(N));
+      Frame F;
+      while (Cn->Dec.next(F))
+        handleFrame(IoSt, Cn, F);
+      if (Cn->Dec.failed()) {
+        C->BadFrames.fetch_add(1, std::memory_order_relaxed);
+        Close = true;
+        break;
+      }
+      continue; // Edge-triggered: keep reading until EAGAIN.
+    }
+    if (N == 0) { // Orderly peer close.
+      Close = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    Close = true;
+    break;
+  }
+  ReadBuffers.giveBack(std::move(Buf));
+  if (Close)
+    closeConn(IoSt, Cn);
+}
+
+void Server::flushConn(IoState &IoSt, const ConnPtr &Cn) {
+  bool Close = false;
+  {
+    std::lock_guard<std::mutex> L(Cn->OutMutex);
+    if (Cn->Dead || Cn->Fd < 0)
+      return;
+    while (Cn->OutOff < Cn->Out.size()) {
+      size_t N = Cn->Out.size() - Cn->OutOff;
+      if (faultPoint(FaultSite::NetWrite)) {
+        uint32_t Arg = FaultInjector::arg(FaultSite::NetWrite);
+        N = std::min<size_t>(N, std::max<uint32_t>(Arg, 1));
+      }
+      ssize_t W = ::write(Cn->Fd, Cn->Out.data() + Cn->OutOff, N);
+      if (W > 0) {
+        Cn->OutOff += size_t(W);
+        continue;
+      }
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break; // Resume on the next EPOLLOUT edge.
+      Close = true;
+      break;
+    }
+    if (Cn->OutOff == Cn->Out.size()) {
+      Cn->Out.clear();
+      Cn->OutOff = 0;
+    } else if (Cn->OutOff > 64 * 1024) {
+      Cn->Out.erase(Cn->Out.begin(),
+                    Cn->Out.begin() + std::ptrdiff_t(Cn->OutOff));
+      Cn->OutOff = 0;
+    }
+  }
+  if (Close)
+    closeConn(IoSt, Cn);
+}
+
+void Server::ioLoop(unsigned Idx) {
+  IoState &IoSt = *Io[Idx];
+  epoll_event Evs[64];
+  for (;;) {
+    int N = ::epoll_wait(IoSt.EpollFd, Evs, 64, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    bool Woke = false;
+    for (int E = 0; E < N; ++E) {
+      if (Evs[E].data.ptr == nullptr) {
+        drainEventFd(IoSt.WakeFd);
+        Woke = true;
+        continue;
+      }
+      // Re-validate: a close earlier in this batch may have dropped the
+      // connection, leaving a dangling raw pointer in the event.
+      ConnPtr Cn;
+      for (const ConnPtr &P : IoSt.Conns)
+        if (P.get() == Evs[E].data.ptr) {
+          Cn = P;
+          break;
+        }
+      if (!Cn)
+        continue;
+      if (Evs[E].events & (EPOLLHUP | EPOLLERR)) {
+        closeConn(IoSt, Cn);
+        continue;
+      }
+      if (Evs[E].events & EPOLLIN)
+        readDrain(IoSt, Cn);
+      if (Cn->Fd >= 0 && (Evs[E].events & EPOLLOUT))
+        flushConn(IoSt, Cn);
+    }
+    if (Woke) {
+      registerIncoming(IoSt);
+      // Worker nudge: flush every connection with pending bytes.
+      std::vector<ConnPtr> Snapshot = IoSt.Conns;
+      for (const ConnPtr &Cn : Snapshot)
+        flushConn(IoSt, Cn);
+    }
+    if (IoStopping.load(std::memory_order_acquire)) {
+      registerIncoming(IoSt); // Strays accepted right before the stop.
+      // Final flush with a bounded politeness window, then close all.
+      for (int Round = 0; Round < 100; ++Round) {
+        bool AnyPending = false;
+        std::vector<ConnPtr> Snapshot = IoSt.Conns;
+        for (const ConnPtr &Cn : Snapshot) {
+          flushConn(IoSt, Cn);
+          std::lock_guard<std::mutex> L(Cn->OutMutex);
+          AnyPending |= !Cn->Dead && Cn->OutOff < Cn->Out.size();
+        }
+        if (!AnyPending)
+          break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      std::vector<ConnPtr> Snapshot = IoSt.Conns;
+      for (const ConnPtr &Cn : Snapshot)
+        closeConn(IoSt, Cn);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Request routing (I/O thread side)
+//===----------------------------------------------------------------------===//
+
+int Server::queueResponse(const ConnPtr &Cn, MsgOp Op, Status St,
+                          uint64_t Cid, const kv::Word *Vals,
+                          uint16_t Count) {
+  Frame F;
+  F.Op = Op;
+  F.Aux = uint8_t(St);
+  F.Count = Count;
+  F.Cid = Cid;
+  F.Words = Count;
+  for (uint16_t I = 0; I < Count; ++I)
+    F.Body[I] = Vals[I];
+  uint8_t Enc[MaxFrameBytes];
+  size_t Len = encodeFrame(Enc, F);
+  std::lock_guard<std::mutex> L(Cn->OutMutex);
+  if (Cn->Dead)
+    return -1;
+  Cn->Out.insert(Cn->Out.end(), Enc, Enc + Len);
+  C->Responses.fetch_add(1, std::memory_order_relaxed);
+  return int(Cn->IoIdx);
+}
+
+void Server::handleFrame(IoState &IoSt, const ConnPtr &Cn, const Frame &F) {
+  if (F.Op == MsgOp::Stats) {
+    ServerStats St = stats();
+    kv::Word Body[StatsWordCount] = {
+        St.Accepted,  St.DroppedAccepts, St.Closed,        St.Requests,
+        St.Responses, St.BadFrames,      St.Batches,       St.BatchedOps,
+        St.ShedQueueFull, St.ShedDeadline, St.MaxQueueDepth};
+    if (queueResponse(Cn, F.Op, Status::Ok, F.Cid, Body, StatsWordCount) >= 0)
+      flushConn(IoSt, Cn);
+    return;
+  }
+  if (F.Op == MsgOp::Shutdown) {
+    // Stop first, then ack: a client that has seen the Ok frame may rely
+    // on stopRequested() already reading true.
+    requestStop();
+    if (queueResponse(Cn, F.Op, Status::Ok, F.Cid, nullptr, 0) >= 0)
+      flushConn(IoSt, Cn);
+    return;
+  }
+
+  C->Requests.fetch_add(1, std::memory_order_relaxed);
+  if (Stopping.load(std::memory_order_acquire)) {
+    // Draining: answer instead of queueing, so stop() never races new work.
+    if (queueResponse(Cn, F.Op, Status::Overloaded, F.Cid, nullptr, 0) >= 0)
+      flushConn(IoSt, Cn);
+    return;
+  }
+
+  uint32_t Shard = S.shardOf(F.Body[0]);
+  unsigned W = Shard % Cfg.Workers;
+  size_t Local = Shard / Cfg.Workers;
+  WorkerState &Wk = *Workers[W];
+  {
+    std::lock_guard<std::mutex> L(Wk.M);
+    std::deque<Request> &Q = Wk.Queues[Local];
+    if (Cfg.Shed && Q.size() >= Cfg.QueueCap) {
+      C->ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
+      if (queueResponse(Cn, F.Op, Status::Overloaded, F.Cid, nullptr, 0) >= 0)
+        flushConn(IoSt, Cn);
+      return;
+    }
+    Q.push_back(Request{Cn, F, Clock::now()});
+    ++Wk.Pending;
+    C->maxDepth(Q.size());
+  }
+  Wk.Cv.notify_one();
+}
+
+//===----------------------------------------------------------------------===//
+// Shard workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(unsigned Idx) {
+  WorkerState &W = *Workers[Idx];
+  std::vector<Request> Batch;
+  Batch.reserve(Cfg.NetBatch);
+  std::unique_lock<std::mutex> L(W.M);
+  for (;;) {
+    W.Cv.wait(L, [&] {
+      return W.Pending > 0 || Stopping.load(std::memory_order_acquire);
+    });
+    if (W.Pending == 0) {
+      if (Stopping.load(std::memory_order_acquire))
+        break;
+      continue;
+    }
+    if (Cfg.WorkerDelayUs) { // Test hook: let a burst pile up first.
+      L.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(Cfg.WorkerDelayUs));
+      L.lock();
+    }
+    // Round-robin across owned shards; drain up to NetBatch from one.
+    Batch.clear();
+    size_t NQ = W.Queues.size();
+    for (size_t Probe = 0; Probe < NQ; ++Probe) {
+      std::deque<Request> &Q = W.Queues[(W.NextQ + Probe) % NQ];
+      if (Q.empty())
+        continue;
+      W.NextQ = (W.NextQ + Probe + 1) % NQ;
+      size_t Take = std::min<size_t>(Q.size(), Cfg.NetBatch);
+      for (size_t I = 0; I < Take; ++I) {
+        Batch.push_back(std::move(Q.front()));
+        Q.pop_front();
+      }
+      W.Pending -= Take;
+      break;
+    }
+    if (Batch.empty())
+      continue;
+    L.unlock();
+    executeBatch(Batch, W);
+    L.lock();
+  }
+}
+
+void Server::executeBatch(std::vector<Request> &Batch, WorkerState &) {
+  // One pending response per request; held until the batch's effects are
+  // durable (SyncWal) so a client ack always survives a crash.
+  struct PendingResp {
+    ConnPtr C;
+    MsgOp Op;
+    Status St;
+    uint64_t Cid;
+    uint16_t Count = 0;
+    kv::Word Vals[MaxKeysPerFrame] = {};
+  };
+  std::vector<PendingResp> Resps;
+  Resps.reserve(Batch.size());
+  auto Respond = [&](const Request &R, Status St, const kv::Word *Vals,
+                     uint16_t Count) {
+    PendingResp P;
+    P.C = R.C;
+    P.Op = R.F.Op;
+    P.St = St;
+    P.Cid = R.F.Cid;
+    P.Count = Count;
+    for (uint16_t I = 0; I < Count; ++I)
+      P.Vals[I] = Vals[I];
+    Resps.push_back(std::move(P));
+  };
+
+  // Dequeue-side shed: a request that already overstayed its deadline in
+  // the queue is answered without burning a transaction on it.
+  Clock::time_point Now{};
+  if (Cfg.Shed && Cfg.DeadlineUs)
+    Now = Clock::now();
+  Clock::time_point Earliest = Clock::time_point::max();
+
+  std::vector<const Request *> Gets, Puts, Others;
+  for (const Request &R : Batch) {
+    if (Cfg.Shed && Cfg.DeadlineUs) {
+      auto Deadline = R.Arrival + std::chrono::microseconds(Cfg.DeadlineUs);
+      if (Now > Deadline) {
+        C->ShedDeadline.fetch_add(1, std::memory_order_relaxed);
+        Respond(R, Status::DeadlineExceeded, nullptr, 0);
+        continue;
+      }
+    }
+    Earliest = std::min(Earliest, R.Arrival);
+    switch (R.F.Op) {
+    case MsgOp::Get:
+      Gets.push_back(&R);
+      break;
+    case MsgOp::Put:
+    case MsgOp::Insert:
+      Puts.push_back(&R);
+      break;
+    default:
+      Others.push_back(&R);
+      break;
+    }
+  }
+
+  kv::OpBudget B;
+  if (Cfg.Shed) {
+    B.MaxAttempts = Cfg.RetryBudget;
+    if (Cfg.DeadlineUs && Earliest != Clock::time_point::max())
+      B.Deadline = Earliest + std::chrono::microseconds(Cfg.DeadlineUs);
+  }
+
+  // Same-shard single-key GETs: one multiGet transaction per chunk. This
+  // is the amortization the front end exists for — one serialization
+  // point, one read-set validation, N network requests.
+  kv::Word Keys[MaxKeysPerFrame], Vals[MaxKeysPerFrame];
+  for (size_t At = 0; At < Gets.size(); At += MaxKeysPerFrame) {
+    size_t N = std::min(Gets.size() - At, MaxKeysPerFrame);
+    for (size_t I = 0; I < N; ++I)
+      Keys[I] = Gets[At + I]->F.Body[0];
+    kv::OpStatus St = S.multiGet(Keys, N, Vals, B);
+    C->Batches.fetch_add(1, std::memory_order_relaxed);
+    C->BatchedOps.fetch_add(N, std::memory_order_relaxed);
+    for (size_t I = 0; I < N; ++I) {
+      const Request &R = *Gets[At + I];
+      if (St != kv::OpStatus::Ok)
+        Respond(R, toStatus(St), nullptr, 0);
+      else if (Vals[I] == kv::Store::Tombstone)
+        Respond(R, Status::NotFound, nullptr, 0);
+      else
+        Respond(R, Status::Ok, &Vals[I], 1);
+    }
+  }
+
+  // Same-shard PUT/INSERTs: one multiPut transaction per chunk. A per-key
+  // Full falls back to the single-key insert path, which harvests the
+  // retire pools (multiPut deliberately does not).
+  kv::OpStatus PerKey[MaxKeysPerFrame];
+  for (size_t At = 0; At < Puts.size(); At += MaxKeysPerFrame) {
+    size_t N = std::min(Puts.size() - At, MaxKeysPerFrame);
+    for (size_t I = 0; I < N; ++I) {
+      Keys[I] = Puts[At + I]->F.Body[0];
+      Vals[I] = Puts[At + I]->F.Body[1];
+    }
+    kv::OpStatus St = S.multiPut(Keys, Vals, N, PerKey, B);
+    C->Batches.fetch_add(1, std::memory_order_relaxed);
+    C->BatchedOps.fetch_add(N, std::memory_order_relaxed);
+    for (size_t I = 0; I < N; ++I) {
+      const Request &R = *Puts[At + I];
+      if (St != kv::OpStatus::Ok) {
+        Respond(R, toStatus(St), nullptr, 0);
+        continue;
+      }
+      kv::OpStatus KSt = PerKey[I];
+      if (KSt == kv::OpStatus::Full)
+        KSt = S.insert(Keys[I], Vals[I], B); // Recycling retry.
+      Respond(R, toStatus(KSt), nullptr, 0);
+    }
+  }
+
+  // The rest run one transaction each, in arrival order.
+  for (const Request *RP : Others) {
+    const Request &R = *RP;
+    const Frame &F = R.F;
+    switch (F.Op) {
+    case MsgOp::Erase:
+      Respond(R, toStatus(S.erase(F.Body[0], B)), nullptr, 0);
+      break;
+    case MsgOp::Cas:
+      Respond(R, toStatus(S.cas(F.Body[0], F.Body[1], F.Body[2], B)), nullptr,
+              0);
+      break;
+    case MsgOp::MultiGet: {
+      kv::Word Out[MaxKeysPerFrame];
+      kv::OpStatus St = S.multiGet(F.Body, F.Count, Out, B);
+      if (St == kv::OpStatus::Ok)
+        Respond(R, Status::Ok, Out, F.Count);
+      else
+        Respond(R, toStatus(St), nullptr, 0);
+      break;
+    }
+    case MsgOp::Rmw:
+      Respond(R, toStatus(S.rmwAdd(F.Body, F.Count, F.Body[F.Count], B)),
+              nullptr, 0);
+      break;
+    default:
+      Respond(R, Status::BadRequest, nullptr, 0);
+      break;
+    }
+  }
+
+  // Durability gate: no ack leaves before the batch's redo records are
+  // fsynced. lastAppendedLsn() is taken after the last commit above, so
+  // it covers every mutation in the batch.
+  if (Cfg.SyncWal)
+    Cfg.SyncWal->waitDurable(kv::Wal::lastAppendedLsn());
+
+  uint64_t WakeMask = 0;
+  for (PendingResp &P : Resps) {
+    int IoIdx = queueResponse(P.C, P.Op, P.St, P.Cid, P.Vals, P.Count);
+    if (IoIdx >= 0)
+      WakeMask |= uint64_t(1) << unsigned(IoIdx);
+  }
+  for (unsigned I = 0; I < Cfg.IoThreads; ++I)
+    if (WakeMask & (uint64_t(1) << I))
+      wakeIo(I);
+}

@@ -1,0 +1,192 @@
+//===- net/Server.h - epoll TCP front end for SATM-KV -----------*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front end that promotes kv_service from an in-process
+/// driver to a real TCP server (DESIGN.md §13). Three thread roles:
+///
+///  - one *acceptor* blocks in epoll on the listening socket, hands
+///    accepted connections round-robin to the I/O threads;
+///  - N *I/O threads*, each with its own edge-triggered epoll set, own
+///    the sockets: they drain reads until EAGAIN, feed the incremental
+///    frame decoder (net/Codec.h), route decoded requests into per-shard
+///    queues, and flush response bytes back out (partial writes resume
+///    on the next EPOLLOUT edge);
+///  - M *shard workers*, each owning the shards s with s % M == w, pop
+///    up to NetBatch queued requests of one shard at a time and execute
+///    them against kv::Store — batching same-shard single-key GETs into
+///    one multiGet transaction and PUT/INSERTs into one multiPut
+///    transaction, so one commit (one publish ticket, one WAL group)
+///    amortizes N network requests. This is the batching the aggregated
+///    barriers and publish tickets were built to support.
+///
+/// Only decoded Frame values cross from I/O threads into workers — never
+/// I/O buffer memory (support/BufferPool.h documents the privatization
+/// argument). Only the owning I/O thread ever touches a socket fd;
+/// workers hand response bytes over via the connection's outbound buffer
+/// and an eventfd nudge.
+///
+/// Overload control at the socket (PR 5's OpBudget, now end-to-end):
+/// with Cfg.Shed, a request arriving to a full shard queue is answered
+/// with an Overloaded status frame instead of queued, a request whose
+/// queueing delay already exceeds its deadline is shed at dequeue, and
+/// each executed batch carries a retry/deadline budget so abort storms
+/// cannot convert into unbounded latency. Without Shed, queues are
+/// unbounded and queueing delay goes to the tail — the measured contrast
+/// in EXPERIMENTS.md.
+///
+/// Shutdown (stop()) is ordered so TSan-clean teardown is structural:
+/// close the listener, stop admitting (in-flight frames decoded after
+/// the stop answer Overloaded), drain every shard queue, join workers,
+/// then final-flush and close every connection and join the I/O threads.
+/// The caller detaches/stops an attached Wal afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_NET_SERVER_H
+#define SATM_NET_SERVER_H
+
+#include "kv/Store.h"
+#include "net/Codec.h"
+#include "support/BufferPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace satm {
+namespace kv {
+class Wal;
+}
+namespace net {
+
+struct ServerConfig {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;    ///< 0 = kernel-assigned; read back via port().
+  unsigned IoThreads = 1;
+  unsigned Workers = 1; ///< Shard-batch executor threads.
+  uint32_t NetBatch = 16;  ///< Max requests per shard batch (≥ 1).
+  uint32_t QueueCap = 1024; ///< Per-shard queue bound (Shed mode only).
+  bool Shed = false;        ///< Overload policy: shed (true) or queue.
+  uint64_t DeadlineUs = 0;  ///< Shed: per-request deadline from arrival.
+  uint32_t RetryBudget = 0; ///< Shed: txn attempts per batch (0 = ∞).
+  /// Test hook: microseconds each worker sleeps before a drain pass, so
+  /// tests can deterministically build up queues and observe batching.
+  uint32_t WorkerDelayUs = 0;
+  /// Sync-durability ack discipline: when set, a batch's responses are
+  /// withheld until the batch's last redo LSN is fsynced.
+  kv::Wal *SyncWal = nullptr;
+};
+
+/// Monotone counters, readable live (the STATS opcode) and post-join.
+struct ServerStats {
+  uint64_t Accepted = 0;       ///< Connections admitted.
+  uint64_t DroppedAccepts = 0; ///< net_accept fault drops.
+  uint64_t Closed = 0;         ///< Connections torn down.
+  uint64_t Requests = 0;       ///< Data frames decoded.
+  uint64_t Responses = 0;      ///< Response frames enqueued.
+  uint64_t BadFrames = 0;      ///< Framing errors (connection closed).
+  uint64_t Batches = 0;        ///< Amortizing txns issued (GET/PUT merges).
+  uint64_t BatchedOps = 0;     ///< Single-key requests those txns covered.
+  uint64_t ShedQueueFull = 0;  ///< Admission sheds (queue at capacity).
+  uint64_t ShedDeadline = 0;   ///< Dequeue sheds (already past deadline).
+  uint64_t MaxQueueDepth = 0;  ///< Deepest per-shard queue high-water.
+  /// Requests per amortizing transaction; > 1 means batching is live.
+  double batchAvg() const {
+    return Batches ? double(BatchedOps) / double(Batches) : 0.0;
+  }
+};
+
+class Server {
+public:
+  Server(kv::Store &S, const ServerConfig &C);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens, spawns acceptor + I/O + worker threads. On failure
+  /// fills \p Err and leaves the server stopped.
+  bool start(std::string *Err);
+
+  /// The bound port (after start(); useful with Cfg.Port == 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Flags the server to stop and nudges the acceptor. Safe to call from
+  /// a signal handler's forwarding thread or a SHUTDOWN frame handler;
+  /// the actual teardown happens in stop().
+  void requestStop();
+
+  /// True once requestStop() fired (poll this to know when to stop()).
+  bool stopRequested() const {
+    return Stopping.load(std::memory_order_acquire);
+  }
+
+  /// Graceful teardown: listener closed, queues drained, workers joined,
+  /// connections flushed and closed, I/O threads joined. Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+
+private:
+  struct Conn;
+  using ConnPtr = std::shared_ptr<Conn>;
+  struct IoState;
+  struct WorkerState;
+  struct Request;
+
+  using Clock = std::chrono::steady_clock;
+
+  void acceptorLoop();
+  void ioLoop(unsigned Idx);
+  void workerLoop(unsigned Idx);
+
+  void registerIncoming(IoState &Io);
+  void readDrain(IoState &Io, const ConnPtr &C);
+  void flushConn(IoState &Io, const ConnPtr &C);
+  void closeConn(IoState &Io, const ConnPtr &C);
+  void handleFrame(IoState &Io, const ConnPtr &C, const Frame &F);
+
+  /// Appends an encoded response to \p C's outbound buffer (no-op on a
+  /// dead connection) and returns the I/O thread to nudge, or -1.
+  int queueResponse(const ConnPtr &C, MsgOp Op, Status St, uint64_t Cid,
+                    const kv::Word *Vals, uint16_t Count);
+  void wakeIo(unsigned Idx);
+
+  void executeBatch(std::vector<Request> &Batch, WorkerState &W);
+
+  kv::Store &S;
+  ServerConfig Cfg;
+  BufferPool ReadBuffers;
+
+  int ListenFd = -1;
+  /// Atomic: the Shutdown-frame path calls requestStop() from I/O threads
+  /// while stop() retires the fd on the owner thread.
+  std::atomic<int> AcceptWakeFd{-1};
+  uint16_t BoundPort = 0;
+  bool Started = false;
+
+  std::atomic<bool> Stopping{false};   ///< Stop admitting new work.
+  std::atomic<bool> IoStopping{false}; ///< Final-flush and exit I/O.
+
+  std::thread Acceptor;
+  std::vector<std::unique_ptr<IoState>> Io;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+
+  /// Monotone counter cells (relaxed; snapshotted by stats()).
+  struct Cells;
+  std::unique_ptr<Cells> C;
+};
+
+} // namespace net
+} // namespace satm
+
+#endif // SATM_NET_SERVER_H

@@ -1,0 +1,92 @@
+//===- support/BufferPool.h - Recycled fixed-size I/O buffers --*- C++ -*-===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mutex-guarded free list of fixed-size byte buffers for the network
+/// front end. Connections rent a read buffer per socket drain and return
+/// it when the drain's requests are decoded; the pool bounds allocation
+/// churn at the peak number of concurrent drains instead of one malloc
+/// per read() call.
+///
+/// The handoff discipline matters more than the pooling: an I/O thread
+/// fills a rented buffer from the socket, decodes requests out of it,
+/// and the decoded values (plain Frame copies) — not the buffer — cross
+/// into the STM worker threads. The buffer itself is returned before the
+/// handoff, so no worker ever observes I/O-thread memory. This is the
+/// privatization boundary of Khyzha et al.'s "Safe Privatization in
+/// Transactional Memory" kept trivially safe by construction: shared
+/// data enters the STM only through kv::Store's barriers, never through
+/// recycled I/O memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SATM_SUPPORT_BUFFERPOOL_H
+#define SATM_SUPPORT_BUFFERPOOL_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace satm {
+
+class BufferPool {
+public:
+  /// \p BufBytes is the capacity of every buffer handed out; \p MaxFree
+  /// caps the free list so a one-off burst does not pin its high-water
+  /// mark in memory forever.
+  explicit BufferPool(size_t BufBytes = 16 * 1024, size_t MaxFree = 64)
+      : Bytes(BufBytes), MaxFree(MaxFree) {}
+
+  size_t bufferBytes() const { return Bytes; }
+
+  /// Rents a buffer of bufferBytes() capacity (contents undefined).
+  std::unique_ptr<uint8_t[]> rent() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!Free.empty()) {
+        std::unique_ptr<uint8_t[]> B = std::move(Free.back());
+        Free.pop_back();
+        ++Reused;
+        return B;
+      }
+      ++Allocated;
+    }
+    return std::make_unique<uint8_t[]>(Bytes); // The malloc stays unlocked.
+  }
+
+  /// Returns a buffer previously rented from this pool.
+  void giveBack(std::unique_ptr<uint8_t[]> B) {
+    if (!B)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Free.size() < MaxFree)
+      Free.push_back(std::move(B));
+    // else: drop it — the burst that needed it is over.
+  }
+
+  struct Stats {
+    uint64_t Allocated; ///< Fresh heap allocations (monotone).
+    uint64_t Reused;    ///< Rentals served from the free list (monotone).
+    size_t FreeCount;   ///< Buffers currently parked.
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return {Allocated, Reused, Free.size()};
+  }
+
+private:
+  const size_t Bytes;
+  const size_t MaxFree;
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<uint8_t[]>> Free;
+  uint64_t Allocated = 0;
+  uint64_t Reused = 0;
+};
+
+} // namespace satm
+
+#endif // SATM_SUPPORT_BUFFERPOOL_H

@@ -38,6 +38,12 @@ const char *satm::faultSiteName(FaultSite S) {
     return "LogFsync";
   case FaultSite::RecoveryReplay:
     return "RecoveryReplay";
+  case FaultSite::NetAccept:
+    return "NetAccept";
+  case FaultSite::NetRead:
+    return "NetRead";
+  case FaultSite::NetWrite:
+    return "NetWrite";
   }
   return "?";
 }
@@ -64,6 +70,12 @@ const char *satm::faultSiteKey(FaultSite S) {
     return "log_fsync";
   case FaultSite::RecoveryReplay:
     return "recovery_replay";
+  case FaultSite::NetAccept:
+    return "net_accept";
+  case FaultSite::NetRead:
+    return "net_read";
+  case FaultSite::NetWrite:
+    return "net_write";
   }
   return "?";
 }

@@ -48,9 +48,14 @@ enum class FaultSite : uint8_t {
   LogAppend,      ///< kv::Wal: busy-delay (arg spins) before a ring append.
   LogFsync,       ///< kv::Wal: busy-delay (arg spins) before a batch fsync.
   RecoveryReplay, ///< kv::Wal recovery: abandon the rest of a shard's log.
+  NetAccept,      ///< net::Server: drop the freshly accepted connection.
+  NetRead,        ///< net::Server I/O: cap this read() to arg bytes,
+                  ///< forcing the short-read / partial-frame paths.
+  NetWrite,       ///< net::Server I/O: cap this write() to arg bytes,
+                  ///< forcing partial-flush backpressure.
 };
 
-inline constexpr unsigned NumFaultSites = 10;
+inline constexpr unsigned NumFaultSites = 13;
 
 /// Display name (matches the enumerator).
 const char *faultSiteName(FaultSite S);

@@ -120,4 +120,99 @@ TEST(ServiceFlags, WalDirRequiresADurabilityMode) {
   expectRejected(F, "--wal-dir", "wal dir with durability off");
 }
 
+TEST(ServiceFlags, ServeCoherentCombinationsPass) {
+  ServiceFlags F = base();
+  F.Serve = true;
+  expectOk(F, "plain serve");
+
+  F = base();
+  F.Serve = true;
+  F.IoThreadsSet = true;
+  F.NetBatchSet = true;
+  expectOk(F, "serve with event-loop tuning");
+
+  // Socket-level shed needs no in-process arrival clock.
+  F = base();
+  F.Serve = true;
+  F.Overload = true;
+  expectOk(F, "serve + overload policy");
+
+  F = base();
+  F.Serve = true;
+  F.Durability = kv::DurabilityMode::Sync;
+  expectOk(F, "serve + sync durability");
+}
+
+TEST(ServiceFlags, ServeRejectsInProcessArrivalClock) {
+  ServiceFlags F = base();
+  F.Serve = true;
+  F.Qps = 50000;
+  expectRejected(F, "--qps", "serve + qps");
+}
+
+TEST(ServiceFlags, ServeRejectsClosedLoopThreadPool) {
+  ServiceFlags F = base();
+  F.Serve = true;
+  F.ThreadsSet = true;
+  expectRejected(F, "--io-threads", "serve + threads");
+}
+
+TEST(ServiceFlags, ServeRejectsAffineExecutor) {
+  ServiceFlags F = base();
+  F.Serve = true;
+  F.Affine = true;
+  expectRejected(F, "--exec=affine", "serve + affine");
+}
+
+TEST(ServiceFlags, ServeRejectsTimeBudgetHarnesses) {
+  ServiceFlags F = base();
+  F.Serve = true;
+  F.Smoke = true;
+  expectRejected(F, "--smoke", "serve + smoke");
+
+  F = base();
+  F.Serve = true;
+  F.Suite = true;
+  expectRejected(F, "--smoke/--suite", "serve + suite");
+}
+
+TEST(ServiceFlags, NetTuningFlagsRequireServe) {
+  ServiceFlags F = base();
+  F.IoThreadsSet = true;
+  expectRejected(F, "--serve", "io-threads without serve");
+
+  F = base();
+  F.NetBatchSet = true;
+  expectRejected(F, "--serve", "net-batch without serve");
+}
+
+TEST(ServiceFlags, LoadgenRequiresAnOfferedRate) {
+  ServiceFlags F = base();
+  F.Loadgen = true;
+  expectRejected(F, "--qps", "loadgen without qps");
+
+  F.Qps = 10000;
+  expectOk(F, "loadgen with an offered rate");
+}
+
+TEST(ServiceFlags, LoadgenRejectsServerSideFlags) {
+  ServiceFlags F = base();
+  F.Loadgen = true;
+  F.Qps = 10000;
+  F.Serve = true;
+  expectRejected(F, "--host/--port", "loadgen + serve");
+
+  F = base();
+  F.Loadgen = true;
+  F.Qps = 10000;
+  F.IoThreadsSet = true;
+  expectRejected(F, "--host/--port", "loadgen + io-threads");
+
+  F = base();
+  F.Loadgen = true;
+  F.Qps = 10000;
+  F.NetBatchSet = true;
+  expectRejected(F, "--host/--port", "loadgen + net-batch");
+}
+
 } // namespace

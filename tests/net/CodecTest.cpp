@@ -1,0 +1,277 @@
+//===- tests/net/CodecTest.cpp - Wire protocol codec tests ---------------===//
+//
+// Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
+//
+//===----------------------------------------------------------------------===//
+//
+// The frame codec is the server's only parser of untrusted bytes, so it
+// gets the classic protocol-test battery: encode/decode round trips for
+// every opcode, malformed-frame rejection (bad magic, oversized body,
+// shape mismatches), incremental delivery down to one byte per feed (the
+// path the net_read fault site forces in ServerTest), and pipelined
+// multi-frame feeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Codec.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace satm;
+using namespace satm::net;
+
+namespace {
+
+Frame makeFrame(MsgOp Op, uint16_t Count, std::vector<uint64_t> Body,
+                uint64_t Cid = 7) {
+  Frame F;
+  F.Op = Op;
+  F.Count = Count;
+  F.Cid = Cid;
+  F.Words = uint32_t(Body.size());
+  for (size_t I = 0; I < Body.size(); ++I)
+    F.Body[I] = Body[I];
+  return F;
+}
+
+void expectEqual(const Frame &A, const Frame &B) {
+  EXPECT_EQ(A.Op, B.Op);
+  EXPECT_EQ(A.Aux, B.Aux);
+  EXPECT_EQ(A.Count, B.Count);
+  EXPECT_EQ(A.Cid, B.Cid);
+  ASSERT_EQ(A.Words, B.Words);
+  for (uint32_t I = 0; I < A.Words; ++I)
+    EXPECT_EQ(A.Body[I], B.Body[I]) << "word " << I;
+}
+
+TEST(CodecTest, RoundTripEveryRequestOpcode) {
+  // One legal request frame per opcode, through a strict (server-side)
+  // decoder.
+  std::vector<Frame> Reqs = {
+      makeFrame(MsgOp::Get, 1, {42}),
+      makeFrame(MsgOp::Put, 1, {42, 99}),
+      makeFrame(MsgOp::Insert, 1, {43, 100}),
+      makeFrame(MsgOp::Erase, 1, {42}),
+      makeFrame(MsgOp::Cas, 1, {42, 99, 100}),
+      makeFrame(MsgOp::MultiGet, 3, {1, 2, 3}),
+      makeFrame(MsgOp::Rmw, 2, {1, 2, 5}), // keys + trailing delta
+      makeFrame(MsgOp::Stats, 0, {}),
+      makeFrame(MsgOp::Shutdown, 0, {}),
+  };
+  for (const Frame &In : Reqs) {
+    uint8_t Buf[MaxFrameBytes];
+    size_t Len = encodeFrame(Buf, In);
+    ASSERT_EQ(Len, FrameHeaderSize + In.Words * 8u);
+    FrameDecoder D(/*Strict=*/true);
+    D.feed(Buf, Len);
+    Frame Out;
+    ASSERT_TRUE(D.next(Out)) << msgOpName(In.Op);
+    expectEqual(In, Out);
+    EXPECT_FALSE(D.next(Out));
+    EXPECT_FALSE(D.failed());
+    EXPECT_EQ(D.pendingBytes(), 0u);
+  }
+}
+
+TEST(CodecTest, RoundTripResponses) {
+  // Responses carry a status in aux and a body sized by the status, which
+  // only the non-strict (client-side) decoder accepts.
+  Frame Resp = makeFrame(MsgOp::MultiGet, 4, {10, 20, 30, 40}, 99);
+  Resp.Aux = uint8_t(Status::Ok);
+  uint8_t Buf[MaxFrameBytes];
+  size_t Len = encodeFrame(Buf, Resp);
+  FrameDecoder D(/*Strict=*/false);
+  D.feed(Buf, Len);
+  Frame Out;
+  ASSERT_TRUE(D.next(Out));
+  expectEqual(Resp, Out);
+  EXPECT_EQ(Out.status(), Status::Ok);
+
+  // An error response has an empty body regardless of count.
+  Frame Err = makeFrame(MsgOp::Get, 1, {}, 100);
+  Err.Aux = uint8_t(Status::Overloaded);
+  Len = encodeFrame(Buf, Err);
+  D.feed(Buf, Len);
+  ASSERT_TRUE(D.next(Out));
+  EXPECT_EQ(Out.status(), Status::Overloaded);
+  EXPECT_EQ(Out.Words, 0u);
+}
+
+TEST(CodecTest, ByteAtATime) {
+  // Incremental delivery: one byte per feed must decode identically.
+  // This is exactly what the net_read=1.0:1 fault lane forces end-to-end.
+  Frame In = makeFrame(MsgOp::Cas, 1, {7, 8, 9}, 1234567890123ull);
+  uint8_t Buf[MaxFrameBytes];
+  size_t Len = encodeFrame(Buf, In);
+  FrameDecoder D(/*Strict=*/true);
+  Frame Out;
+  for (size_t I = 0; I < Len; ++I) {
+    EXPECT_FALSE(D.next(Out)) << "frame complete early at byte " << I;
+    D.feed(Buf + I, 1);
+  }
+  ASSERT_TRUE(D.next(Out));
+  expectEqual(In, Out);
+  EXPECT_FALSE(D.failed());
+}
+
+TEST(CodecTest, PipelinedBurst) {
+  // Many frames in one feed: all decode, in order, no residue.
+  std::vector<uint8_t> Wire;
+  const int N = 50;
+  for (int I = 0; I < N; ++I) {
+    Frame F = makeFrame(MsgOp::Put, 1, {uint64_t(I), uint64_t(I) * 10},
+                        uint64_t(I) + 1);
+    uint8_t Buf[MaxFrameBytes];
+    size_t Len = encodeFrame(Buf, F);
+    Wire.insert(Wire.end(), Buf, Buf + Len);
+  }
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Wire.data(), Wire.size());
+  Frame Out;
+  for (int I = 0; I < N; ++I) {
+    ASSERT_TRUE(D.next(Out)) << "frame " << I;
+    EXPECT_EQ(Out.Cid, uint64_t(I) + 1);
+    EXPECT_EQ(Out.Body[0], uint64_t(I));
+  }
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_EQ(D.pendingBytes(), 0u);
+}
+
+TEST(CodecTest, RejectsBadMagic) {
+  Frame F = makeFrame(MsgOp::Get, 1, {42});
+  uint8_t Buf[MaxFrameBytes];
+  size_t Len = encodeFrame(Buf, F);
+  Buf[0] ^= 0xff;
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Buf, Len);
+  Frame Out;
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_TRUE(D.failed());
+  EXPECT_EQ(D.error(), DecodeError::BadMagic);
+  // Sticky: more bytes do not resurrect the stream.
+  D.feed(Buf, Len);
+  EXPECT_FALSE(D.next(Out));
+}
+
+TEST(CodecTest, RejectsWrongVersionMagic) {
+  Frame F = makeFrame(MsgOp::Get, 1, {42});
+  uint8_t Buf[MaxFrameBytes];
+  size_t Len = encodeFrame(Buf, F);
+  Buf[0] = uint8_t(ProtocolVersion + 1); // Low byte of the LE magic.
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Buf, Len);
+  Frame Out;
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_EQ(D.error(), DecodeError::BadMagic);
+}
+
+TEST(CodecTest, RejectsOversizedBody) {
+  Frame F = makeFrame(MsgOp::Get, 1, {42});
+  uint8_t Buf[MaxFrameBytes];
+  encodeFrame(Buf, F);
+  putU32(Buf + 8, uint32_t(MaxBodyBytes + 8)); // body_len over the cap
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Buf, FrameHeaderSize);
+  Frame Out;
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_EQ(D.error(), DecodeError::Oversized);
+}
+
+TEST(CodecTest, RejectsUnalignedBodyLen) {
+  Frame F = makeFrame(MsgOp::Get, 1, {42});
+  uint8_t Buf[MaxFrameBytes];
+  encodeFrame(Buf, F);
+  putU32(Buf + 8, 7); // not a multiple of 8
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Buf, FrameHeaderSize);
+  Frame Out;
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_EQ(D.error(), DecodeError::Oversized);
+}
+
+TEST(CodecTest, StrictRejectsShapeMismatches) {
+  struct Case {
+    MsgOp Op;
+    uint16_t Count;
+    uint32_t Words;
+  };
+  // Every (op, count, words) here is individually representable but not a
+  // legal request shape.
+  Case Cases[] = {
+      {MsgOp::Get, 1, 2},      // GET with a value
+      {MsgOp::Get, 2, 2},      // GET of two keys (that is MGET's job)
+      {MsgOp::Put, 1, 1},      // PUT missing its value
+      {MsgOp::Cas, 1, 2},      // CAS missing desired
+      {MsgOp::MultiGet, 0, 0}, // empty MGET
+      {MsgOp::MultiGet, 65, 65}, // over MaxKeysPerFrame
+      {MsgOp::Rmw, 1, 1},      // RMW missing its delta
+      {MsgOp::Stats, 1, 1},    // STATS carries nothing
+      {MsgOp(0), 1, 1},        // unknown opcode
+      {MsgOp(200), 0, 0},      // unknown opcode
+  };
+  for (const Case &Cs : Cases) {
+    Frame F;
+    F.Op = Cs.Op;
+    F.Count = Cs.Count;
+    F.Words = Cs.Words;
+    for (uint32_t I = 0; I < Cs.Words; ++I)
+      F.Body[I] = I;
+    uint8_t Buf[MaxFrameBytes];
+    size_t Len = encodeFrame(Buf, F);
+    FrameDecoder D(/*Strict=*/true);
+    D.feed(Buf, Len);
+    Frame Out;
+    EXPECT_FALSE(D.next(Out))
+        << "op " << unsigned(Cs.Op) << " count " << Cs.Count;
+    EXPECT_EQ(D.error(), DecodeError::BadShape)
+        << "op " << unsigned(Cs.Op) << " count " << Cs.Count;
+    // The non-strict decoder accepts the same bytes (a response's body is
+    // status-dependent; only the word bound applies).
+    FrameDecoder L(/*Strict=*/false);
+    L.feed(Buf, Len);
+    EXPECT_TRUE(L.next(Out)) << "lenient decode of op " << unsigned(Cs.Op);
+  }
+}
+
+TEST(CodecTest, TruncatedHeaderWaits) {
+  // 19 of 20 header bytes: not an error, just incomplete.
+  Frame F = makeFrame(MsgOp::Get, 1, {42});
+  uint8_t Buf[MaxFrameBytes];
+  size_t Len = encodeFrame(Buf, F);
+  FrameDecoder D(/*Strict=*/true);
+  D.feed(Buf, FrameHeaderSize - 1);
+  Frame Out;
+  EXPECT_FALSE(D.next(Out));
+  EXPECT_FALSE(D.failed());
+  D.feed(Buf + FrameHeaderSize - 1, Len - (FrameHeaderSize - 1));
+  EXPECT_TRUE(D.next(Out));
+}
+
+TEST(CodecTest, SplitAcrossFeedsAtEveryBoundary) {
+  // Two frames split at every possible position: the pair always decodes.
+  Frame A = makeFrame(MsgOp::MultiGet, 2, {5, 6}, 1);
+  Frame B = makeFrame(MsgOp::Erase, 1, {9}, 2);
+  uint8_t Buf[2 * MaxFrameBytes];
+  size_t LenA = encodeFrame(Buf, A);
+  size_t LenB = encodeFrame(Buf + LenA, B);
+  size_t Total = LenA + LenB;
+  for (size_t Split = 0; Split <= Total; ++Split) {
+    FrameDecoder D(/*Strict=*/true);
+    D.feed(Buf, Split);
+    std::vector<Frame> Got;
+    Frame Out;
+    while (D.next(Out))
+      Got.push_back(Out);
+    D.feed(Buf + Split, Total - Split);
+    while (D.next(Out))
+      Got.push_back(Out);
+    ASSERT_EQ(Got.size(), 2u) << "split at " << Split;
+    EXPECT_EQ(Got[0].Cid, 1u);
+    EXPECT_EQ(Got[1].Cid, 2u);
+    EXPECT_FALSE(D.failed());
+  }
+}
+
+} // namespace

@@ -1,4 +1,4 @@
-//===- bench/BenchJson.h - Shared satm-bench-v7 JSON emitter ---*- C++ -*-===//
+//===- bench/BenchJson.h - Shared satm-bench-v9 JSON emitter ---*- C++ -*-===//
 //
 // Part of the SATM project, reproducing Shpeisman et al., PLDI 2007.
 //
@@ -7,9 +7,9 @@
 /// \file
 /// The one writer of the repo's machine-readable perf trajectory format,
 /// shared by bench/perf_suite, bench/kv_service and bench/kv_loadgen so
-/// the pieces of BENCH_satm.json cannot drift apart. Schema satm-bench-v8:
+/// the pieces of BENCH_satm.json cannot drift apart. Schema satm-bench-v9:
 ///
-///   { "schema": "satm-bench-v8", "mode": "full"|"smoke",
+///   { "schema": "satm-bench-v9", "mode": "full"|"smoke",
 ///     "benchmarks": [
 ///       { "name", "ns_per_op", "ops", "commits", "aborts", "median_of",
 ///         "abort_reasons": { ...all nine taxonomy keys... },
@@ -28,11 +28,23 @@
 ///         // optional, durable benchmarks only:
 ///         "durability": {"mode": "async"|"sync", "fsync_batches": N,
 ///                        "records": N, "ring_stalls": N,
-///                        "recovery_ms": F},
+///                        "recovery_ms": F,
+///                        // optional, checkpointed runs only:
+///                        "checkpoint": {"interval_ops": N, "ckpt_ms": F,
+///                                       "wal_truncated_bytes": N,
+///                                       "recovery_ms": F}},
 ///         // optional, wire benchmarks only (bench/kv_loadgen):
 ///         "net": {"qps_offered": N, "goodput": N, "p99_ns": N,
 ///                 "slo_capacity": N, "shed_rate": F, "batch_avg": F} } ] }
 ///
+/// v9 extends v8 with the checkpoint sub-block (DESIGN.md §14): durable
+/// entries that ran with the background checkpointer report the trigger
+/// interval (appended redo records between snapshots), total wall time
+/// spent writing checkpoints, how many WAL bytes compaction reclaimed,
+/// and the *bounded* recovery time — newest checkpoint load plus replay
+/// of only the WAL suffix above its barrier LSN, which stays O(interval)
+/// no matter how much total traffic the run carried (the
+/// kv/durable/ckpt_recover_{1x,10x} pair is the measured contrast).
 /// v8 extends v7 with the wire dimension (DESIGN.md §13): net/* entries
 /// are measured over real TCP sockets by the open-loop load generator —
 /// qps_offered is the Poisson arrival rate, goodput the rate of requests
@@ -129,6 +141,14 @@ struct BenchEntry {
   uint64_t WalRecords = 0;    ///< Redo records persisted to disk.
   uint64_t RingStalls = 0;    ///< Producer waits on a full shard ring.
   double RecoveryMs = 0;      ///< Shard-parallel replay wall time.
+  /// Checkpointed runs (nested inside the durability block): compaction
+  /// telemetry plus the bounded recovery time. HasCheckpoint gates the
+  /// checkpoint JSON sub-block (and requires HasDurability).
+  bool HasCheckpoint = false;
+  uint64_t CkptIntervalOps = 0;   ///< Redo records between snapshots.
+  double CkptMs = 0;              ///< Wall time spent writing checkpoints.
+  uint64_t WalTruncatedBytes = 0; ///< Log bytes reclaimed by compaction.
+  double CkptRecoveryMs = 0;      ///< Checkpoint load + suffix replay.
   /// Wire benchmarks (bench/kv_loadgen): open-loop-over-TCP telemetry.
   /// HasNet gates the net JSON block.
   bool HasNet = false;
@@ -148,7 +168,7 @@ inline void writeBenchJson(const char *Path, const char *Mode,
     std::exit(1);
   }
   std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"schema\": \"satm-bench-v8\",\n");
+  std::fprintf(F, "  \"schema\": \"satm-bench-v9\",\n");
   std::fprintf(F, "  \"mode\": \"%s\",\n", Mode);
   std::fprintf(F, "  \"benchmarks\": [\n");
   for (size_t I = 0; I < Entries.size(); ++I) {
@@ -197,13 +217,22 @@ inline void writeBenchJson(const char *Path, const char *Mode,
                    ",\n     \"offered_ops_per_sec\": %.0f, "
                    "\"goodput_ops_per_sec\": %.0f, \"shed_rate\": %.4f",
                    E.OfferedQps, E.GoodputOpsPerSec, E.ShedRate);
-    if (E.HasDurability)
+    if (E.HasDurability) {
       std::fprintf(F,
                    ",\n     \"durability\": {\"mode\": \"%s\", "
                    "\"fsync_batches\": %" PRIu64 ", \"records\": %" PRIu64
-                   ", \"ring_stalls\": %" PRIu64 ", \"recovery_ms\": %.2f}",
+                   ", \"ring_stalls\": %" PRIu64 ", \"recovery_ms\": %.2f",
                    E.DurMode.c_str(), E.FsyncBatches, E.WalRecords,
                    E.RingStalls, E.RecoveryMs);
+      if (E.HasCheckpoint)
+        std::fprintf(F,
+                     ",\n      \"checkpoint\": {\"interval_ops\": %" PRIu64
+                     ", \"ckpt_ms\": %.2f, \"wal_truncated_bytes\": %" PRIu64
+                     ", \"recovery_ms\": %.2f}",
+                     E.CkptIntervalOps, E.CkptMs, E.WalTruncatedBytes,
+                     E.CkptRecoveryMs);
+      std::fprintf(F, "}");
+    }
     if (E.HasNet)
       std::fprintf(F,
                    ",\n     \"net\": {\"qps_offered\": %.0f, "

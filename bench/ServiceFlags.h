@@ -38,6 +38,8 @@ struct ServiceFlags {
   bool IoThreadsSet = false; ///< --io-threads was given
   bool NetBatchSet = false;  ///< --net-batch was given
   bool Loadgen = false;      ///< validating kv_loadgen's flag family
+  bool CheckpointSet = false; ///< --checkpoint-interval was given
+  bool RetriesSet = false;    ///< --retries was given (loadgen only)
 };
 
 /// Returns null when the combination is coherent, else a static
@@ -52,8 +54,18 @@ inline const char *validateServiceFlags(const ServiceFlags &F) {
     if (F.Serve || F.IoThreadsSet || F.NetBatchSet)
       return "--serve/--io-threads/--net-batch are kv_service server flags; "
              "kv_loadgen takes --host/--port instead";
+    if (F.CheckpointSet)
+      return "--checkpoint-interval configures the server's checkpointer "
+             "and does nothing in kv_loadgen (pass it to kv_service)";
     return nullptr;
   }
+  if (F.RetriesSet)
+    return "--retries is a kv_loadgen client policy (idempotent-op "
+           "reconnect budget); kv_service has no remote to retry against";
+  if (F.CheckpointSet && F.Durability == kv::DurabilityMode::Off)
+    return "--checkpoint-interval compacts the write-ahead log, which "
+           "--durability=off never writes: a checkpointer with no WAL "
+           "records nothing and truncates nothing (set a durability mode)";
   if (F.Serve && F.Qps > 0)
     return "--serve is driven by remote open-loop clients (kv_loadgen "
            "--qps): an in-process arrival clock would compete with the "

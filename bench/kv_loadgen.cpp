@@ -129,6 +129,12 @@ struct GenConfig {
   std::string Tag = "open"; ///< Entry-name tag: net/<tag>_q<rate>.
   std::string Mode = "full"; ///< Bench JSON mode stamp (full | smoke).
   bool StopServer = false; ///< Send SHUTDOWN when done.
+  /// Idempotent-op retry budget (net::RetryPolicy) for the STATS probe
+  /// clients: a probe that loses its connection re-dials with capped
+  /// exponential backoff and re-asks. The pipelined data path never
+  /// retries — its in-flight window holds mutations, and a blind PUT/CAS
+  /// resend could double-apply (net/Client.h).
+  uint32_t Retries = 0;
 };
 
 /// Spin-then-sleep to \p Deadline (same discipline as kv_service: sleep
@@ -195,6 +201,7 @@ public:
   uint64_t Good = 0;     ///< Ok/NotFound/Mismatch (request served).
   uint64_t Shed = 0;     ///< Overloaded/DeadlineExceeded.
   uint64_t Errors = 0;   ///< Full/BadRequest/transport loss.
+  uint64_t DurLost = 0;  ///< DurabilityLost: committed, fsync promise broken.
   LatencyHistogram Hist; ///< Scheduled-arrival → receipt, served only.
 
 private:
@@ -250,6 +257,12 @@ private:
       case net::Status::Overloaded:
       case net::Status::DeadlineExceeded:
         ++Shed;
+        break;
+      case net::Status::DurabilityLost:
+        // The mutation committed in memory but the WAL is degraded: the
+        // server kept serving instead of blocking, and said so. Neither
+        // good (the durability promise broke) nor shed (it executed).
+        ++DurLost;
         break;
       default:
         ++Errors;
@@ -310,6 +323,8 @@ private:
 struct PointResult {
   double Offered = 0;
   uint64_t Sent = 0, Done = 0, Good = 0, Shed = 0, Errors = 0;
+  uint64_t DurLost = 0;      ///< DurabilityLost acks (degraded WAL).
+  uint64_t ProbeRetries = 0; ///< Idempotent reconnect-resends (--retries).
   double Seconds = 0;
   LatencyHistogram Hist;
   double BatchAvg = 0; ///< Server-side, from STATS deltas.
@@ -324,6 +339,11 @@ struct PointResult {
 bool runPoint(const GenConfig &C, double Qps, PointResult &R) {
   uint64_t Before[net::StatsWordCount] = {}, After[net::StatsWordCount] = {};
   net::Client Probe;
+  if (C.Retries) {
+    net::RetryPolicy P;
+    P.Retries = C.Retries;
+    Probe.setRetryPolicy(P);
+  }
   std::string Err;
   if (!Probe.connectTo(C.Host, C.Port, &Err)) {
     std::fprintf(stderr, "kv_loadgen: %s\n", Err.c_str());
@@ -350,7 +370,12 @@ bool runPoint(const GenConfig &C, double Qps, PointResult &R) {
     uint64_t DB = After[net::StatBatches] - Before[net::StatBatches];
     uint64_t DO_ = After[net::StatBatchedOps] - Before[net::StatBatchedOps];
     R.BatchAvg = DB ? double(DO_) / double(DB) : 0;
+    if (After[net::StatWalDegraded])
+      std::fprintf(stderr, "kv_loadgen: server WAL is degraded (%" PRIu64
+                           " redo records dropped)\n",
+                   After[net::StatWalDroppedRecords]);
   }
+  R.ProbeRetries = Probe.retriesPerformed();
   Probe.close();
 
   R.Offered = Qps;
@@ -361,6 +386,7 @@ bool runPoint(const GenConfig &C, double Qps, PointResult &R) {
     R.Good += D->Good;
     R.Shed += D->Shed;
     R.Errors += D->Errors;
+    R.DurLost += D->DurLost;
     R.Hist += D->Hist;
   }
   return true;
@@ -453,7 +479,9 @@ int main(int argc, char **argv) {
         return 2;
       }
       C.Mode = V;
-    } else if (!std::strcmp(A, "--stop-server"))
+    } else if ((V = Val("--retries=")))
+      C.Retries = uint32_t(std::atoi(V));
+    else if (!std::strcmp(A, "--stop-server"))
       C.StopServer = true;
     else {
       std::fprintf(
@@ -465,7 +493,7 @@ int main(int argc, char **argv) {
           "cas:N]\n"
           "                  [--mget-keys=N] [--seed=N] [--slo-us=N]\n"
           "                  [--json=PATH] [--tag=NAME] [--mode=full|smoke]\n"
-          "                  [--stop-server]\n");
+          "                  [--retries=N] [--stop-server]\n");
       return 2;
     }
   }
@@ -473,6 +501,7 @@ int main(int argc, char **argv) {
   ServiceFlags F;
   F.Qps = C.Qps;
   F.Loadgen = true;
+  F.RetriesSet = C.Retries > 0;
   if (const char *Err = validateServiceFlags(F)) {
     std::fprintf(stderr, "kv_loadgen: %s\n", Err);
     return 2;
@@ -518,6 +547,10 @@ int main(int argc, char **argv) {
                 "\n",
                 R.Offered, R.goodput(), P.P50 / 1e3, P.P95 / 1e3, P.P99 / 1e3,
                 P.P999 / 1e3, 100 * R.shedRate(), R.BatchAvg, R.Errors);
+    if (R.DurLost || R.ProbeRetries)
+      std::printf("    durability_lost %" PRIu64 ", probe_retries %" PRIu64
+                  "\n",
+                  R.DurLost, R.ProbeRetries);
     std::fflush(stdout);
     Points.push_back(std::move(R));
   }

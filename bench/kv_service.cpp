@@ -77,6 +77,7 @@
 #include "ServiceFlags.h"
 
 #include "kv/Affine.h"
+#include "kv/Checkpoint.h"
 #include "kv/Store.h"
 #include "kv/Wal.h"
 #include "net/Server.h"
@@ -183,6 +184,10 @@ struct RunConfig {
   /// Sync, ack mutations only after their group-commit fsync.
   kv::DurabilityMode Dur = kv::DurabilityMode::Off;
   std::string WalDir; ///< Log directory; empty = per-pid /tmp scratch.
+  /// Checkpoint + WAL-compaction plane (DESIGN.md §14): snapshot the
+  /// store every this-many appended redo records, truncate the log below
+  /// the previous checkpoint's barrier. 0 = no checkpointer.
+  uint64_t CheckpointInterval = 0;
 };
 
 struct RunResult {
@@ -203,6 +208,10 @@ struct RunResult {
   bool HasDurability = false;
   kv::WalStats Wal;
   double RecoveryMs = 0;
+  /// Checkpoint telemetry (CheckpointInterval > 0 only).
+  bool HasCheckpoint = false;
+  kv::CheckpointStats Ckpt;
+  uint64_t RecoveryReplayed = 0; ///< WAL records replayed at recovery.
 };
 
 /// Spin-then-sleep until \p Deadline. sleep_for can overshoot by a
@@ -440,8 +449,10 @@ RunResult runService(const RunConfig &C) {
   // The snapshot plane goes live only after prepopulate: the bulk inserts
   // need no version history, and keeping them chain-less means the run
   // starts from the same store state as the non-snapshot configurations.
+  // The checkpointer needs it too — its store scan pins a snapshot epoch
+  // to get a commit-order-consistent image (kv/Checkpoint.h).
   std::optional<ScopedConfig> SnapSC;
-  if (C.M.Snap) {
+  if (C.M.Snap || C.CheckpointInterval) {
     Config SnapCfg = Cfg;
     SnapCfg.SnapshotEnabled = true;
     SnapSC.emplace(SnapCfg);
@@ -453,6 +464,7 @@ RunResult runService(const RunConfig &C) {
   // checkpoint the experiment treats as given.
   kv::Wal::Config WC;
   std::optional<kv::Wal> W;
+  std::optional<kv::Checkpointer> CP;
   if (C.Dur != kv::DurabilityMode::Off) {
     WC.Dir = C.WalDir.empty() ? defaultWalDir(C.Name) : C.WalDir;
     WC.Shards = S.shards();
@@ -460,6 +472,12 @@ RunResult runService(const RunConfig &C) {
     W.emplace(WC);
     W->start();
     S.attachWal(&*W);
+    if (C.CheckpointInterval) {
+      kv::Checkpointer::Config CC;
+      CC.IntervalOps = C.CheckpointInterval;
+      CP.emplace(S, *W, CC);
+      CP->start();
+    }
   }
 
   statsReset();
@@ -506,6 +524,11 @@ RunResult runService(const RunConfig &C) {
     Total.Affine = AX->metrics();
   }
   if (W) {
+    if (CP) {
+      CP->stop(); // Before Wal::stop — runOnce needs a live log.
+      Total.HasCheckpoint = true;
+      Total.Ckpt = CP->stats();
+    }
     S.attachWal(nullptr);
     W->stop(); // Final drain + fsync: the log now holds every commit.
     Total.HasDurability = true;
@@ -529,10 +552,12 @@ RunResult runService(const RunConfig &C) {
       std::exit(1);
     }
     Total.RecoveryMs = Rec.Millis;
+    Total.RecoveryReplayed = Rec.RecordsReplayed;
     std::printf("%s: recovered %" PRIu64 " records / %" PRIu64
-                " txns in %.2f ms\n",
+                " txns in %.2f ms (checkpoint: %" PRIu64
+                " entries at lsn %" PRIu64 ")\n",
                 C.Name.c_str(), Rec.RecordsReplayed, Rec.TxnsReplayed,
-                Rec.Millis);
+                Rec.Millis, Rec.CheckpointEntries, Rec.CheckpointLsn);
     std::filesystem::remove_all(WC.Dir);
   }
   // The version table keys raw Object* into this run's heap: clear it
@@ -582,6 +607,13 @@ BenchEntry toEntry(const RunConfig &C, const RunResult &R) {
     E.RingStalls = R.Wal.RingStalls;
     E.RecoveryMs = R.RecoveryMs;
   }
+  if (R.HasCheckpoint) {
+    E.HasCheckpoint = true;
+    E.CkptIntervalOps = C.CheckpointInterval;
+    E.CkptMs = R.Ckpt.TotalMillis;
+    E.WalTruncatedBytes = R.Ckpt.WalTruncatedBytes;
+    E.CkptRecoveryMs = R.RecoveryMs;
+  }
   return E;
 }
 
@@ -621,6 +653,13 @@ void printTable(const std::vector<RunConfig> &Cs,
                   "%.2f ms\n",
                   E.Name.c_str(), E.DurMode.c_str(), E.WalRecords,
                   E.FsyncBatches, E.RingStalls, E.RecoveryMs);
+  for (const BenchEntry &E : Es)
+    if (E.HasCheckpoint)
+      std::printf("%s: checkpoint every %" PRIu64 " records, %.2f ms "
+                  "checkpointing, %" PRIu64 " wal bytes truncated, "
+                  "recovery %.2f ms\n",
+                  E.Name.c_str(), E.CkptIntervalOps, E.CkptMs,
+                  E.WalTruncatedBytes, E.CkptRecoveryMs);
 }
 
 bool parseMix(const char *Spec, Mix &M) {
@@ -741,6 +780,23 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
       C.OpsPerThread = 20000;
     return C;
   };
+  // Checkpointed entries (DESIGN.md §14): the async durable workload with
+  // the checkpointer compacting the log every Interval appended records.
+  // The ckpt_recover_{1x,10x} pair is the bounded-recovery experiment:
+  // same interval K (small enough that BOTH runs checkpoint — a 1× run
+  // that never reaches the interval degenerates to full replay and the
+  // comparison says nothing), 1× vs 10× the traffic — with compaction
+  // the recovered state is image + O(K) suffix either way, so
+  // recovery_ms stays flat instead of growing 10×.
+  auto MkCkpt = [&](std::string Name, unsigned Threads, uint64_t Interval,
+                    uint64_t Ops) {
+    RunConfig C = Mk(std::move(Name), Threads, 0);
+    C.Dur = kv::DurabilityMode::Async;
+    C.CheckpointInterval = Interval;
+    if (Ops)
+      C.OpsPerThread = Ops;
+    return C;
+  };
   if (Smoke) {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t2", 2, 0));
@@ -754,6 +810,7 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     Cs.push_back(MkPlane("kv/snapshot/txnread_t2", 2, 0, 0, 90));
     Cs.push_back(MkDur("kv/durable/async_t1", 1, kv::DurabilityMode::Async));
     Cs.push_back(MkDur("kv/durable/async_t2", 2, kv::DurabilityMode::Async));
+    Cs.push_back(MkCkpt("kv/durable/ckpt_t2", 2, /*Interval=*/2048, 0));
   } else {
     Cs.push_back(Mk("kv/closed_t1", 1, 0));
     Cs.push_back(Mk("kv/closed_t4", 4, 0));
@@ -775,6 +832,11 @@ std::vector<RunConfig> suiteConfigs(bool Smoke) {
     Cs.push_back(MkDur("kv/durable/async_t4", 4, kv::DurabilityMode::Async));
     Cs.push_back(MkDur("kv/durable/sync_t1", 1, kv::DurabilityMode::Sync));
     Cs.push_back(MkDur("kv/durable/sync_t4", 4, kv::DurabilityMode::Sync));
+    Cs.push_back(MkCkpt("kv/durable/ckpt_t4", 4, /*Interval=*/50000, 0));
+    Cs.push_back(
+        MkCkpt("kv/durable/ckpt_recover_1x", 1, /*Interval=*/5000, 50000));
+    Cs.push_back(
+        MkCkpt("kv/durable/ckpt_recover_10x", 1, /*Interval=*/5000, 500000));
   }
   return Cs;
 }
@@ -808,6 +870,8 @@ int runServe(const RunConfig &C, const ServeOptions &O) {
   Cfg.DeaEnabled = true;
   Cfg.IrrevocableAfterAborts = C.IrrevocableAfterAborts;
   Cfg.KarmaPriority = C.Karma;
+  // The checkpointer's consistent store scan pins a snapshot epoch.
+  Cfg.SnapshotEnabled = C.CheckpointInterval > 0;
   ScopedConfig SC(Cfg);
 
   rt::Heap H;
@@ -826,6 +890,7 @@ int runServe(const RunConfig &C, const ServeOptions &O) {
 
   kv::Wal::Config WC;
   std::optional<kv::Wal> W;
+  std::optional<kv::Checkpointer> CP;
   if (C.Dur != kv::DurabilityMode::Off) {
     WC.Dir = C.WalDir.empty() ? defaultWalDir("serve") : C.WalDir;
     WC.Shards = S.shards();
@@ -833,6 +898,12 @@ int runServe(const RunConfig &C, const ServeOptions &O) {
     W.emplace(WC);
     W->start();
     S.attachWal(&*W);
+    if (C.CheckpointInterval) {
+      kv::Checkpointer::Config CC;
+      CC.IntervalOps = C.CheckpointInterval;
+      CP.emplace(S, *W, CC);
+      CP->start();
+    }
   }
 
   net::ServerConfig NC;
@@ -846,6 +917,7 @@ int runServe(const RunConfig &C, const ServeOptions &O) {
   NC.DeadlineUs = C.DeadlineUs;
   NC.RetryBudget = C.RetryBudget;
   NC.SyncWal = W && C.Dur == kv::DurabilityMode::Sync ? &*W : nullptr;
+  NC.StatsWal = W ? &*W : nullptr;
 
   net::Server Sv(S, NC);
   std::string Err;
@@ -897,6 +969,13 @@ int runServe(const RunConfig &C, const ServeOptions &O) {
               St.batchAvg(), St.ShedQueueFull, St.ShedDeadline,
               St.MaxQueueDepth);
   if (W) {
+    if (CP) {
+      CP->stop();
+      kv::CheckpointStats CS = CP->stats();
+      std::printf("kv_service: %" PRIu64 " checkpoints written (%" PRIu64
+                  " wal bytes truncated)\n",
+                  CS.Written, CS.WalTruncatedBytes);
+    }
     S.attachWal(nullptr);
     W->stop();
     if (C.WalDir.empty())
@@ -1021,6 +1100,8 @@ int main(int argc, char **argv) {
       }
     } else if ((V = Val("--wal-dir=")))
       Single.WalDir = V;
+    else if ((V = Val("--checkpoint-interval=")))
+      Single.CheckpointInterval = uint64_t(std::atoll(V));
     else if ((V = Val("--deadline-us=")))
       Single.DeadlineUs = uint64_t(std::atoll(V));
     else if ((V = Val("--retry-budget=")))
@@ -1043,12 +1124,14 @@ int main(int argc, char **argv) {
           "                  [--retry-budget=N] [--irrevocable-after=N]\n"
           "                  [--karma]\n"
           "                  [--durability=off|async|sync] [--wal-dir=PATH]\n"
+          "                  [--checkpoint-interval=N]\n"
           "       kv_service --serve=ADDR:PORT [--io-threads=N] [--workers=N]\n"
           "                  [--net-batch=N] [--queue-cap=N]\n"
           "                  [--port-file=PATH] [--overload=shed]\n"
           "                  [--deadline-us=N] [--retry-budget=N]\n"
           "                  [--keys=N] [--shards=N]\n"
-          "                  [--durability=off|async|sync] [--wal-dir=PATH]\n");
+          "                  [--durability=off|async|sync] [--wal-dir=PATH]\n"
+          "                  [--checkpoint-interval=N]\n");
       return 2;
     }
   }
@@ -1068,6 +1151,7 @@ int main(int argc, char **argv) {
   F.ThreadsSet = ThreadsSet;
   F.IoThreadsSet = IoThreadsSet;
   F.NetBatchSet = NetBatchSet;
+  F.CheckpointSet = Single.CheckpointInterval > 0;
   if (const char *Err = validateServiceFlags(F)) {
     std::fprintf(stderr, "kv_service: %s\n", Err);
     return 2;

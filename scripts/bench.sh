@@ -115,7 +115,13 @@ else
 import json
 doc = json.load(open("build/BENCH_net_queue.json"))
 print(int(doc["benchmarks"][0]["net"]["slo_capacity"]))')
-  if [ $((2 * CAPACITY)) -lt 400000 ]; then
+  if [ "$CAPACITY" -le 0 ]; then
+    # A noisy box can miss the SLO at every sweep point (on 1 vCPU the
+    # p99 rides scheduling jitter). The shed-vs-queue contrast still
+    # needs an overload point: shed at the sweep's top rate instead.
+    echo "== slo_capacity 0 (no sweep point met the SLO): shedding at the sweep top" | tee -a BENCH_satm.raw.txt
+    SHED_LOAD="--qps=400000"
+  elif [ $((2 * CAPACITY)) -lt 400000 ]; then
     SHED_LOAD="--sweep=$((2 * CAPACITY)):400000:2"
   else
     SHED_LOAD="--qps=$((2 * CAPACITY))"

@@ -5,7 +5,7 @@
 #
 # Asserts that a bench JSON (the checked-in BENCH_satm.json or a smoke
 # run's output from perf_suite / kv_service / kv_loadgen) carries the
-# satm-bench-v8 schema: a non-empty benchmark list where every entry has the numeric core
+# satm-bench-v9 schema: a non-empty benchmark list where every entry has the numeric core
 # fields plus a complete per-benchmark abort-reason histogram (all nine
 # taxonomy keys, integer counts). Service benchmarks (kv/*) must addition-
 # ally carry exec_mode ("symmetric" or "affine"), throughput_ops_per_sec
@@ -22,7 +22,11 @@
 # block — exactly {mode, fsync_batches, records, ring_stalls, recovery_ms}
 # with mode "async" or "sync" — and wherever a durability block appears it
 # is validated to that shape (mode "off" entries must not carry one: off
-# means the log path was elided). Wire benchmarks (net/*, from
+# means the log path was elided). v9: a durability block may additionally
+# nest a checkpoint sub-block — exactly {interval_ops, ckpt_ms,
+# wal_truncated_bytes, recovery_ms} — describing the compaction plane:
+# the trigger interval, wall time spent checkpointing, log bytes rotated
+# out, and the bounded post-checkpoint recovery replay time. Wire benchmarks (net/*, from
 # bench/kv_loadgen) must carry the v8 net block — exactly {qps_offered,
 # goodput, p99_ns, slo_capacity, shed_rate, batch_avg} — plus the latency
 # percentile set; wherever a net block appears it is validated to that
@@ -36,8 +40,10 @@
 # kv/affine/* entry and at least one symmetric kv/* entry, so the
 # affine-vs-symmetric comparison cannot silently drop either side.
 # --require-durability asserts at least one async kv/durable/* entry (and,
-# on full-mode files, at least one sync entry), so the durability plane's
-# numbers cannot silently vanish from the trajectory. --require-net
+# on full-mode files, at least one sync entry) and at least one
+# checkpoint-carrying kv/durable/* entry, so neither the durability
+# plane's numbers nor the compaction plane's can silently vanish from
+# the trajectory. --require-net
 # asserts at least one net/* entry, so the loopback SLO-capacity sweep
 # cannot silently vanish from a merged file.
 #
@@ -91,6 +97,8 @@ PLANE_FIELDS = PERCENTILES + ["count"]
 AFFINE_INT_FIELDS = ["hops", "cross_shard_ops", "max_queue_depth"]
 DURABILITY_INT_FIELDS = ["fsync_batches", "records", "ring_stalls"]
 DURABILITY_FIELDS = DURABILITY_INT_FIELDS + ["mode", "recovery_ms"]
+CHECKPOINT_INT_FIELDS = ["interval_ops", "wal_truncated_bytes"]
+CHECKPOINT_FIELDS = CHECKPOINT_INT_FIELDS + ["ckpt_ms", "recovery_ms"]
 NET_FIELDS = ["qps_offered", "goodput", "p99_ns", "slo_capacity",
               "shed_rate", "batch_avg"]
 SNAPSHOT_TRIPLE = ["kv/snapshot/read_", "kv/snapshot/ntread_",
@@ -102,8 +110,8 @@ with open(path) as f:
 def fail(msg):
     sys.exit(f"{path}: {msg}")
 
-if doc.get("schema") != "satm-bench-v8":
-    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v8'")
+if doc.get("schema") != "satm-bench-v9":
+    fail(f"schema is {doc.get('schema')!r}, expected 'satm-bench-v9'")
 if doc.get("mode") not in ("full", "smoke"):
     fail(f"mode is {doc.get('mode')!r}")
 benches = doc.get("benchmarks")
@@ -114,6 +122,7 @@ affine_entries = 0
 symmetric_entries = 0
 durable_async = 0
 durable_sync = 0
+durable_ckpt = 0
 net_entries = 0
 triple_seen = {p: False for p in SNAPSHOT_TRIPLE}
 for b in benches:
@@ -199,9 +208,11 @@ for b in benches:
              "durability block")
     if "durability" in b:
         blk = b["durability"]
-        if not isinstance(blk, dict) or set(blk) != set(DURABILITY_FIELDS):
+        base = set(DURABILITY_FIELDS)
+        if not isinstance(blk, dict) or set(blk) - {"checkpoint"} != base:
             fail(f"benchmark {name}: durability block must carry exactly "
-                 f"{sorted(DURABILITY_FIELDS)}")
+                 f"{sorted(DURABILITY_FIELDS)} (plus an optional nested "
+                 "'checkpoint' sub-block)")
         if blk["mode"] not in ("async", "sync"):
             fail(f"benchmark {name}: durability mode must be 'async' or "
                  f"'sync' (off runs carry no block), got {blk['mode']!r}")
@@ -212,6 +223,23 @@ for b in benches:
         if not isinstance(blk["recovery_ms"], (int, float)):
             fail(f"benchmark {name}: durability['recovery_ms'] must be "
                  "numeric")
+        # v9 checkpoint sub-block: the compaction plane's footprint, the
+        # exact field set so a refactor cannot silently drop a column.
+        if "checkpoint" in blk:
+            ck = blk["checkpoint"]
+            if not isinstance(ck, dict) or set(ck) != set(CHECKPOINT_FIELDS):
+                fail(f"benchmark {name}: durability.checkpoint must carry "
+                     f"exactly {sorted(CHECKPOINT_FIELDS)}")
+            for key in CHECKPOINT_INT_FIELDS:
+                if not isinstance(ck[key], int):
+                    fail(f"benchmark {name}: durability.checkpoint[{key!r}] "
+                         "must be an integer")
+            for key in ("ckpt_ms", "recovery_ms"):
+                if not isinstance(ck[key], (int, float)):
+                    fail(f"benchmark {name}: durability.checkpoint[{key!r}] "
+                         "must be numeric")
+            if name.startswith("kv/durable/"):
+                durable_ckpt += 1
         if name.startswith("kv/durable/"):
             if blk["mode"] == "async":
                 durable_async += 1
@@ -272,15 +300,19 @@ if require_durability and durable_async == 0:
 if require_durability and doc["mode"] == "full" and durable_sync == 0:
     fail("--require-durability: full-mode file has no sync kv/durable/* "
          "entry")
+if require_durability and durable_ckpt == 0:
+    fail("--require-durability: no checkpoint-carrying kv/durable/* entry "
+         "(the compaction plane's numbers vanished)")
 if require_net and net_entries == 0:
     fail("--require-net: no net/* (wire load-generator) entries present")
 kv_note = f", {kv_entries} kv" if kv_entries else ""
 if affine_entries:
     kv_note += f" ({affine_entries} affine)"
 if durable_async or durable_sync:
-    kv_note += f" ({durable_async} async + {durable_sync} sync durable)"
+    kv_note += (f" ({durable_async} async + {durable_sync} sync durable, "
+                f"{durable_ckpt} checkpointed)")
 if net_entries:
     kv_note += f", {net_entries} net"
-print(f"{path}: satm-bench-v8 OK ({len(benches)} benchmarks{kv_note})")
+print(f"{path}: satm-bench-v9 OK ({len(benches)} benchmarks{kv_note})")
 EOF
 done

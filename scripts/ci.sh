@@ -94,8 +94,37 @@ echo "== durability crash/recovery lane (seeded kill-mode loop, full length)"
 # the recovery tests manufacture their own log damage, so neither runs
 # under the env-armed matrices above (parent-side faults would break the
 # harness, not the plane). SATM_FAST_TESTS=0 forces the full 100-iteration
-# kill loop here even when the rest of CI runs trimmed.
-(cd build && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability)
+# kill loop here even when the rest of CI runs trimmed. The chaos-labeled
+# network loop gets its own lane below.
+(cd build && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability \
+  -LE chaos)
+
+echo "== network chaos lane (kill-under-TCP-load loop, full length)"
+# The full production stack — recovered store, background checkpointer,
+# epoll server with sync acks — killed mid-load/mid-checkpoint/
+# mid-recovery by rotated seeded sites, 100 chained iterations: no acked
+# sync write lost, exact conservation, checkpoint-bounded replay. The
+# enospc scenario inside the same binary proves a sealed log degrades
+# service instead of aborting it.
+(cd build && SATM_FAST_TESTS=0 ctest --output-on-failure -L chaos)
+
+echo "== disk-fault degradation sub-lane (seeded log_enospc, live server)"
+# Env-armed ENOSPC against the real kv_service --serve process under
+# kv_loadgen traffic: the WAL seals mid-run, sync acks turn into
+# DurabilityLost (the loadgen counts them separately, they are not
+# errors), reads keep flowing, and the server must still exit 0 at
+# shutdown — the lane's assertion is that an injected disk fault never
+# becomes an ioFatal abort.
+rm -f build/net_port_enospc
+SATM_FAULTS="seed=23,log_enospc=0.02" ./build/bench/kv_service \
+  --serve=127.0.0.1:0 --port-file=build/net_port_enospc --keys=16384 \
+  --io-threads=1 --workers=2 --durability=sync --checkpoint-interval=4096 &
+ENOSPC_SERVER_PID=$!
+./build/bench/kv_loadgen --port-file=build/net_port_enospc \
+  --qps=5000 --duration=1 --conns=2 --keys=16384 --mode=smoke --retries=2 \
+  --json=build/BENCH_net_enospc.json --stop-server
+wait "$ENOSPC_SERVER_PID"
+scripts/check_bench_schema.sh --require-net build/BENCH_net_enospc.json
 
 echo "== ThreadSanitizer build"
 cmake -B build-tsan -S . -DSATM_SANITIZE=thread
@@ -112,7 +141,11 @@ echo "== TSan affine executor fault lane"
   ctest --output-on-failure -j "$JOBS" -R "$AFFINE_FAULT_TESTS")
 
 echo "== TSan durability crash/recovery lane (full kill loop)"
-(cd build-tsan && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability)
+(cd build-tsan && SATM_FAST_TESTS=0 ctest --output-on-failure -L durability \
+  -LE chaos)
+
+echo "== TSan network chaos lane (full kill-under-TCP-load loop)"
+(cd build-tsan && SATM_FAST_TESTS=0 ctest --output-on-failure -L chaos)
 
 echo "== TSan net front-end fault lane"
 (cd build-tsan && SATM_FAULTS="seed=5,net_read=0.3:1,net_write=0.3:3" \

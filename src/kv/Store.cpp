@@ -79,6 +79,8 @@ const char *satm::kv::opStatusName(OpStatus S) {
     return "Overloaded";
   case OpStatus::DeadlineExceeded:
     return "DeadlineExceeded";
+  case OpStatus::DurabilityLost:
+    return "DurabilityLost";
   }
   return "?";
 }
@@ -536,6 +538,33 @@ size_t Store::snapshotMultiGet(const Word *Keys, size_t N, Word *Out) const {
     }
   });
   return Hits;
+}
+
+uint64_t Store::snapshotScan(
+    const std::function<void(Word, Word)> &Visit) const {
+  uint64_t Epoch = 0;
+  // One snapshot region over the whole store: every slot of every shard
+  // is read against the same pinned epoch, so the visited set is exactly
+  // the commit-order prefix with ticket <= Epoch — the property the
+  // checkpoint barrier LSN depends on. Read-only, so the body runs once.
+  stm::Txn::runSnapshot([&] {
+    stm::Txn &Tx = stm::Txn::forThisThread();
+    Epoch = Tx.snapshotEpoch();
+    for (const ShardRep &S : Reps) {
+      for (uint32_t I = 0; I < Capacity; ++I) {
+        Word K = Tx.read(S.Keys, I);
+        if (K == 0)
+          continue; // Never-used slot.
+        Object *V = Tx.readRef(S.Vals, I);
+        Word Val = V ? Tx.read(V, 0) : Tombstone;
+        // Erased keys (unlinked record, or an in-place Tombstone) are
+        // reported as Tombstone: the checkpoint must overwrite whatever
+        // baseline a recovering store was seeded with.
+        Visit(K - 1, Val);
+      }
+    }
+  });
+  return Epoch;
 }
 
 bool Store::snapshotGet(Word Key, Word &Out) const {

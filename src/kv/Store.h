@@ -79,6 +79,11 @@ enum class OpStatus : uint8_t {
   Full,             ///< Committed; the shard's probe sequence is exhausted.
   Overloaded,       ///< Aborted: attempt budget exhausted. No effects.
   DeadlineExceeded, ///< Aborted: deadline passed. No effects.
+  DurabilityLost,   ///< Committed in memory, but the WAL is degraded and
+                    ///< the sync-mode durability promise cannot be kept
+                    ///< (kv/Wal.h degraded mode). Never produced by the
+                    ///< store itself — the sync ack layer rewrites Ok
+                    ///< into it when waitDurable reports the seal.
 };
 
 /// Display name (matches the enumerator).
@@ -226,6 +231,16 @@ public:
   /// Wait-free snapshot multi-get: all \p N values from one pinned epoch.
   /// Missing keys read as Tombstone. Returns the number of keys found.
   size_t snapshotMultiGet(const Word *Keys, size_t N, Word *Out) const;
+
+  /// Full-store snapshot scan for the checkpoint plane (kv/Checkpoint.h):
+  /// one snapshot region walks every index slot of every shard and calls
+  /// \p Visit(key, value) for each key live in the index as of the single
+  /// pinned epoch — erased keys are reported with value Tombstone, so a
+  /// checkpoint can record the erasure rather than silently resurrect a
+  /// prepopulated baseline value at recovery. Returns the pinned epoch
+  /// (publish ticket) the scan read at; together with Wal::lsnOfTicket
+  /// that makes the scan an exact prefix of the redo log.
+  uint64_t snapshotScan(const std::function<void(Word, Word)> &Visit) const;
 
   /// Atomic read-modify-write batch: loads all \p N values, lets \p Mutate
   /// rewrite them in place, stores them back — one transaction. Returns

@@ -6,6 +6,7 @@
 
 #include "kv/Wal.h"
 
+#include "kv/Checkpoint.h"
 #include "kv/Store.h"
 #include "stm/Quiesce.h"
 #include "support/Backoff.h"
@@ -94,6 +95,9 @@ Wal::Wal(const Config &C) : Cfg(C) {
   for (auto &R : Rings)
     R.Buf = std::make_unique<WalRecord[]>(Cfg.RingSlots);
   Fds.assign(Cfg.Shards, -1);
+  FileLocks.resize(Cfg.Shards);
+  for (auto &M : FileLocks)
+    M = std::make_unique<std::mutex>();
   ThreadCut.assign(Cfg.DrainThreads, 0);
 }
 
@@ -165,6 +169,19 @@ void Wal::append(uint32_t Shard, WalOp Op, Word Key, Word Val,
   if (faultPoint(FaultSite::LogAppend))
     faultSpin(FaultInjector::arg(FaultSite::LogAppend));
   const uint64_t Lsn = BaseLsn + Ticket;
+  if (DegradedFlag.load(std::memory_order_acquire)) {
+    // Sealed log: commits keep flowing, but feeding the rings would only
+    // queue records no drainer will ever make durable. Keep the LSN
+    // bookkeeping honest (PublishedLsn stays monotone for a later
+    // stop()/start(); the per-thread LSN still routes the committer to
+    // waitDurable, which reports the loss) and count the drop.
+    StatAppends.fetch_add(1, std::memory_order_relaxed);
+    StatDroppedRecords.fetch_add(1, std::memory_order_relaxed);
+    TlsLastAppendedLsn = Lsn;
+    if (Index + 1 == Count)
+      PublishedLsn.store(Lsn, std::memory_order_release);
+    return;
+  }
   Ring &R = Rings[Shard];
   const uint32_t Mask = Cfg.RingSlots - 1;
   uint64_t H = R.Head.load(std::memory_order_relaxed);
@@ -232,6 +249,7 @@ void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
   // a transaction's last record, and the publish window serializes
   // groups), so emptying the rings below captures all of them.
   const uint64_t Cut = PublishedLsn.load(std::memory_order_acquire);
+  bool Degraded = DegradedFlag.load(std::memory_order_acquire);
   DirtyShards.clear();
   for (uint32_t S = ThreadIndex; S < Cfg.Shards; S += Cfg.DrainThreads) {
     Ring &R = Rings[S];
@@ -246,37 +264,79 @@ void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
       const uint8_t *P = reinterpret_cast<const uint8_t *>(&Rec);
       Scratch.insert(Scratch.end(), P, P + sizeof(WalRecord));
     }
+    // Degraded: keep consuming (producers must never stall on a ring no
+    // one will drain) but discard — the log is sealed and these records
+    // will never be fsync-acked.
+    if (Degraded) {
+      R.Tail.store(T, std::memory_order_release);
+      StatDroppedRecords.fetch_add(Scratch.size() / sizeof(WalRecord),
+                                   std::memory_order_relaxed);
+      continue;
+    }
+    // Injected disk-full: the shard write fails as if write(2) returned
+    // ENOSPC. Real write errors take the same path — degrade, not abort.
+    if (faultPoint(FaultSite::LogEnospc)) {
+      errno = ENOSPC;
+      enterDegraded("write", shardFile(S));
+      Degraded = true;
+      R.Tail.store(T, std::memory_order_release);
+      StatDroppedRecords.fetch_add(Scratch.size() / sizeof(WalRecord),
+                                   std::memory_order_relaxed);
+      continue;
+    }
     size_t Off = 0;
-    while (Off < Scratch.size()) {
-      ssize_t N = ::write(Fds[S], Scratch.data() + Off, Scratch.size() - Off);
-      if (N < 0) {
-        if (errno == EINTR)
-          continue;
-        ioFatal("write", shardFile(S));
+    bool WriteOk = true;
+    {
+      std::lock_guard<std::mutex> FLock(*FileLocks[S]);
+      while (Off < Scratch.size()) {
+        ssize_t N =
+            ::write(Fds[S], Scratch.data() + Off, Scratch.size() - Off);
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          WriteOk = false;
+          break;
+        }
+        Off += size_t(N);
       }
-      Off += size_t(N);
     }
     R.Tail.store(T, std::memory_order_release);
+    if (!WriteOk) {
+      enterDegraded("write", shardFile(S));
+      Degraded = true;
+      StatDroppedRecords.fetch_add(
+          (Scratch.size() - Off + sizeof(WalRecord) - 1) / sizeof(WalRecord),
+          std::memory_order_relaxed);
+      continue;
+    }
     StatRecordsWritten.fetch_add(Scratch.size() / sizeof(WalRecord),
                                  std::memory_order_relaxed);
     StatBytesWritten.fetch_add(Scratch.size(), std::memory_order_relaxed);
     DirtyShards.push_back(S);
   }
-  if (!DirtyShards.empty()) {
+  if (!DirtyShards.empty() && !Degraded) {
     // Group commit: one fsync per dirty shard file covers every record
     // that accumulated since the previous cycle; untouched files are
     // skipped (an fsync can cost a device cache flush even when clean).
     if (faultPoint(FaultSite::LogFsync))
       faultSpin(FaultInjector::arg(FaultSite::LogFsync));
-    for (uint32_t S : DirtyShards)
-      if (::fsync(Fds[S]) < 0)
-        ioFatal("fsync", shardFile(S));
-    StatFsyncBatches.fetch_add(1, std::memory_order_relaxed);
+    for (uint32_t S : DirtyShards) {
+      std::lock_guard<std::mutex> FLock(*FileLocks[S]);
+      if (::fsync(Fds[S]) < 0) {
+        enterDegraded("fsync", shardFile(S));
+        Degraded = true;
+        break;
+      }
+    }
+    if (!Degraded)
+      StatFsyncBatches.fetch_add(1, std::memory_order_relaxed);
   }
   // Advance durability to the minimum cut over all drain threads — even
   // on an idle cycle (an empty ring means this thread's shards were
-  // already durable up to Cut).
-  {
+  // already durable up to Cut). Never while degraded: a failed write or
+  // fsync anywhere this cycle means Cut was not honestly reached, and
+  // DurableLsn stays frozen at the last cut that was.
+  if (!Degraded) {
     std::lock_guard<std::mutex> Lock(WaitMutex);
     ThreadCut[ThreadIndex] = std::max(ThreadCut[ThreadIndex], Cut);
     uint64_t Min = ThreadCut[0];
@@ -288,16 +348,51 @@ void Wal::drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
   DurableCv.notify_all();
 }
 
-void Wal::waitDurable(uint64_t Lsn) {
+void Wal::enterDegraded(const char *What, const std::string &Path) {
+  bool Expected = false;
+  if (DegradedFlag.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "satm: wal %s failed for '%s': %s — sealing the log "
+                 "(degraded mode, durable cut frozen at LSN %llu)\n",
+                 What, Path.c_str(), std::strerror(errno),
+                 (unsigned long long)DurableLsn.load(
+                     std::memory_order_acquire));
+  }
+  // Every parked sync waiter must observe the seal and report
+  // DurabilityLost instead of blocking on an LSN that will never come.
+  DurableCv.notify_all();
+}
+
+DurableWait Wal::waitDurable(uint64_t Lsn) {
+  return waitDurable(Lsn, std::chrono::steady_clock::time_point::max());
+}
+
+DurableWait Wal::waitDurable(uint64_t Lsn,
+                             std::chrono::steady_clock::time_point Deadline) {
   if (DurableLsn.load(std::memory_order_acquire) >= Lsn)
-    return;
+    return DurableWait::Ok;
+  if (DegradedFlag.load(std::memory_order_acquire))
+    return DurableWait::DurabilityLost;
   std::unique_lock<std::mutex> Lock(WaitMutex);
   ++SyncWaitersPending;
   DrainCv.notify_all(); // Kick an immediate group-commit cycle.
-  DurableCv.wait(Lock, [&] {
-    return DurableLsn.load(std::memory_order_acquire) >= Lsn;
-  });
+  auto Reached = [&] {
+    return DurableLsn.load(std::memory_order_acquire) >= Lsn ||
+           DegradedFlag.load(std::memory_order_acquire);
+  };
+  if (Deadline == std::chrono::steady_clock::time_point::max())
+    DurableCv.wait(Lock, Reached);
+  else
+    DurableCv.wait_until(Lock, Deadline, Reached);
   --SyncWaitersPending;
+  // Durability beats the other verdicts: even a degraded log honestly
+  // holds every record at or below the frozen cut.
+  if (DurableLsn.load(std::memory_order_acquire) >= Lsn)
+    return DurableWait::Ok;
+  if (DegradedFlag.load(std::memory_order_acquire))
+    return DurableWait::DurabilityLost;
+  return DurableWait::DeadlineExceeded;
 }
 
 WalStats Wal::stats() const {
@@ -307,7 +402,97 @@ WalStats Wal::stats() const {
   S.FsyncBatches = StatFsyncBatches.load(std::memory_order_relaxed);
   S.RecordsWritten = StatRecordsWritten.load(std::memory_order_relaxed);
   S.BytesWritten = StatBytesWritten.load(std::memory_order_relaxed);
+  S.DroppedRecords = StatDroppedRecords.load(std::memory_order_relaxed);
+  S.Degraded = DegradedFlag.load(std::memory_order_acquire);
   return S;
+}
+
+//===----------------------------------------------------------------------===
+// Compaction (checkpoint barrier rotation).
+//===----------------------------------------------------------------------===
+
+uint64_t Wal::truncateBelow(uint64_t Barrier) {
+  assert(Started && "truncateBelow serves the live checkpointer");
+  // Only durable prefixes may be dropped: a record still in a ring (or
+  // never fsynced at all) below the barrier would otherwise vanish from
+  // both the log and the next recovery. A degraded log skips rotation
+  // entirely — its files are frozen evidence.
+  if (DegradedFlag.load(std::memory_order_acquire) ||
+      DurableLsn.load(std::memory_order_acquire) < Barrier)
+    return 0;
+  uint64_t Removed = 0;
+  bool Rotated = false;
+  for (uint32_t S = 0; S < Cfg.Shards; ++S) {
+    std::lock_guard<std::mutex> FLock(*FileLocks[S]);
+    const std::string Path = shardFile(S);
+    // Read the current shard file and keep only the beyond-barrier
+    // suffix. The file is record-aligned while the log is healthy (only
+    // the drainer writes it, whole records at a time).
+    std::vector<uint8_t> Keep;
+    uint64_t Dropped = 0;
+    {
+      FILE *F = std::fopen(Path.c_str(), "rb");
+      if (!F)
+        continue;
+      WalRecord Rec;
+      while (std::fread(&Rec, 1, sizeof(Rec), F) == sizeof(Rec)) {
+        if (Rec.Lsn > Barrier) {
+          const uint8_t *P = reinterpret_cast<const uint8_t *>(&Rec);
+          Keep.insert(Keep.end(), P, P + sizeof(Rec));
+        } else {
+          Dropped += sizeof(WalRecord);
+        }
+      }
+      std::fclose(F);
+    }
+    if (Dropped == 0)
+      continue;
+    // Write-temp → fsync → rename-over → reopen the append fd on the new
+    // inode. Any failure abandons this shard's rotation (the old file
+    // and fd stay authoritative) — except a post-rename reopen failure,
+    // which would silently route appends to a dead inode and so seals
+    // the log instead.
+    const std::string Tmp = Path + ".tmp";
+    int TFd = ::open(Tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (TFd < 0)
+      continue;
+    bool Ok = true;
+    size_t Off = 0;
+    while (Off < Keep.size()) {
+      ssize_t N = ::write(TFd, Keep.data() + Off, Keep.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Ok = false;
+        break;
+      }
+      Off += size_t(N);
+    }
+    if (Ok && ::fsync(TFd) < 0)
+      Ok = false;
+    ::close(TFd);
+    if (!Ok || ::rename(Tmp.c_str(), Path.c_str()) < 0) {
+      ::unlink(Tmp.c_str());
+      continue;
+    }
+    int NFd = ::open(Path.c_str(), O_WRONLY | O_APPEND);
+    if (NFd < 0) {
+      enterDegraded("reopen", Path);
+      return Removed;
+    }
+    ::close(Fds[S]);
+    Fds[S] = NFd;
+    Removed += Dropped;
+    Rotated = true;
+  }
+  if (Rotated) {
+    int DirFd = ::open(Cfg.Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      ::fsync(DirFd);
+      ::close(DirFd);
+    }
+  }
+  return Removed;
 }
 
 //===----------------------------------------------------------------------===
@@ -379,6 +564,29 @@ RecoveryStats Wal::recover(Store &S) {
   assert(S.shards() == Cfg.Shards && "wal/store shard mismatch");
   Stopwatch Timer;
   RecoveryStats Out;
+  // Phase 0: load the newest *valid* checkpoint in the directory and
+  // apply its image — the bounded-recovery baseline. A corrupt newest
+  // checkpoint falls back to the older retained one (whose WAL suffix
+  // the two-generation retention rule kept on disk), and to empty when
+  // none validates; the WAL merge below then simply replays from
+  // further back. Erased keys arrive as Tombstone entries and must
+  // override whatever baseline the caller prepopulated.
+  ckpt::CheckpointImage Img;
+  ckpt::LoadResult Lr = ckpt::loadNewestValid(Cfg.Dir, Img);
+  Out.CheckpointLsn = Img.Lsn;
+  Out.CheckpointsDiscarded = Lr.Discarded;
+  if (Lr.Loaded) {
+    for (const auto &E : Img.Entries) {
+      if (E.second == Store::Tombstone) {
+        S.erase(E.first); // Absent is fine: erased before it ever
+                          // reached this baseline.
+      } else if (!S.insert(E.first, E.second)) {
+        ++Out.ApplyFailures;
+      }
+    }
+    Out.CheckpointEntries = Img.Entries.size();
+    Out.CutLsn = Img.Lsn; // An empty WAL suffix still recovers to here.
+  }
   std::vector<ShardScan> Scans(Cfg.Shards);
   // Phase 1: shard-parallel validated scans. One thread per shard would
   // oversubscribe a small box for no gain; cap at hardware concurrency.
@@ -426,7 +634,19 @@ RecoveryStats Wal::recover(Store &S) {
   uint64_t CutLsn = UINT64_MAX;
   {
     std::vector<size_t> Pos(Cfg.Shards, 0);
-    uint64_t PrevLsn = 1;
+    // The hole rule anchors at the checkpoint barrier when one loaded:
+    // records at or below it are already covered by the checkpoint image
+    // and may legitimately linger on disk (a crash between checkpoint
+    // publication and WAL rotation) — skip them, then demand contiguity
+    // from barrier + 1. Without a checkpoint the anchor stays at 1, the
+    // log's fixed origin.
+    uint64_t PrevLsn = std::max<uint64_t>(Img.Lsn, 1);
+    for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd) {
+      auto &Recs = Scans[Sd].Recs;
+      size_t &P = Pos[Sd];
+      while (P < Recs.size() && Recs[P].Lsn <= Img.Lsn)
+        ++P;
+    }
     for (;;) {
       uint64_t Lsn = UINT64_MAX;
       for (uint32_t Sd = 0; Sd < Cfg.Shards; ++Sd)
@@ -481,6 +701,8 @@ RecoveryStats Wal::recover(Store &S) {
           if (Shard >= Cfg.Shards)
             return;
           for (const WalRecord &Rec : Scans[Shard].Recs) {
+            if (Rec.Lsn <= Img.Lsn)
+              continue; // Covered by the checkpoint image already.
             if (Rec.Lsn > Cut)
               break;
             bool Ok = Rec.op() == WalOp::Put

@@ -50,6 +50,24 @@
 /// repaired files and directory fsynced — so a later run cannot
 /// resurrect it even across power loss.
 ///
+/// Checkpoints (kv/Checkpoint.h; DESIGN.md §14) bound both halves of
+/// that story. recover() first loads the newest *valid* checkpoint in
+/// the directory (falling back to the previous one, then to empty, on
+/// corruption) and replays only WAL records with LSN above the
+/// checkpoint's barrier; truncateBelow() lets the checkpointer rotate
+/// the already-covered log prefix out of the shard files. The merge's
+/// hole rule re-anchors at the checkpoint LSN: contiguity is demanded
+/// from barrier + 1, not from 2.
+///
+/// Degraded mode. A failed shard write or fsync (real ENOSPC/EIO, or
+/// the injected log_enospc site) no longer aborts the process: the WAL
+/// seals — DurableLsn freezes at the last honestly-fsynced cut, later
+/// ring contents are consumed and discarded (counted in
+/// WalStats::DroppedRecords), and every waitDurable call for an LSN
+/// beyond the frozen cut returns DurableWait::DurabilityLost instead of
+/// blocking. Reads and async traffic keep flowing; only the sync-ack
+/// promise is withdrawn, and visibly so.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SATM_KV_WAL_H
@@ -58,6 +76,7 @@
 #include "stm/Txn.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -117,6 +136,15 @@ struct WalStats {
   uint64_t FsyncBatches = 0;    ///< Drain cycles that reached fsync.
   uint64_t RecordsWritten = 0;  ///< Records handed to write(2).
   uint64_t BytesWritten = 0;
+  uint64_t DroppedRecords = 0;  ///< Records discarded while degraded.
+  bool Degraded = false;        ///< WAL sealed by an I/O failure.
+};
+
+/// Outcome of a waitDurable call.
+enum class DurableWait : uint8_t {
+  Ok = 0,           ///< The LSN is fsynced.
+  DeadlineExceeded, ///< The deadline passed first (durability unknown yet).
+  DurabilityLost,   ///< The WAL is degraded and will never reach the LSN.
 };
 
 /// Outcome of Wal::recover.
@@ -127,7 +155,10 @@ struct RecoveryStats {
   uint64_t TornRecords = 0;     ///< Shard-local torn/corrupt tails truncated.
   uint64_t TruncatedBytes = 0;  ///< Bytes removed from files (torn + cut).
   uint64_t ApplyFailures = 0;   ///< Replay ops the store rejected (0 = clean).
-  uint64_t CutLsn = 0;          ///< Highest LSN replayed (= new BaseLsn).
+  uint64_t CutLsn = 0;          ///< Highest LSN recovered (= new base).
+  uint64_t CheckpointLsn = 0;   ///< Barrier of the checkpoint loaded (0: none).
+  uint64_t CheckpointEntries = 0;   ///< (key,value) pairs applied from it.
+  uint64_t CheckpointsDiscarded = 0; ///< Newer-but-invalid checkpoints skipped.
   bool ReclaimIdentityOk = true; ///< reclaimStats() identities held after.
   double Millis = 0;            ///< Wall time of scan + merge + replay.
 };
@@ -184,13 +215,45 @@ public:
 
   /// Blocks until every record with LSN <= \p Lsn is fsynced (the sync
   /// ack point). Kicks the drainer, so the wait is one group-commit
-  /// cycle, not a flush-interval sleep.
-  void waitDurable(uint64_t Lsn);
+  /// cycle, not a flush-interval sleep. Returns DurabilityLost without
+  /// further blocking once the WAL is degraded and the LSN is beyond
+  /// the frozen durable cut.
+  DurableWait waitDurable(uint64_t Lsn);
+
+  /// Deadline variant: additionally gives up with DeadlineExceeded when
+  /// \p Deadline passes first — a wedged or dying disk must not block a
+  /// sync-mode network worker forever. DeadlineExceeded makes no claim
+  /// either way about the record's eventual durability.
+  DurableWait waitDurable(uint64_t Lsn,
+                          std::chrono::steady_clock::time_point Deadline);
 
   /// Highest LSN known durable.
   uint64_t durableLsn() const {
     return DurableLsn.load(std::memory_order_acquire);
   }
+
+  /// True once an I/O failure sealed the log (see file comment).
+  bool degraded() const {
+    return DegradedFlag.load(std::memory_order_acquire);
+  }
+
+  /// The LSN a given publish ticket logs (or logged) at: BaseLsn +
+  /// ticket. Valid between start() and stop(). The checkpointer uses it
+  /// to turn a pinned snapshot epoch into the checkpoint barrier LSN —
+  /// exact because a snapshot pinned at epoch E sees precisely the
+  /// commits with ticket <= E, i.e. the records with LSN <= lsnOfTicket(E).
+  uint64_t lsnOfTicket(uint64_t Ticket) const { return BaseLsn + Ticket; }
+
+  /// Log compaction: rewrites every shard file keeping only records with
+  /// LSN > \p Barrier, fsyncs the replacements, and re-points the drain
+  /// fds. Callable while the log is live (the checkpointer's thread);
+  /// serialized against the drainers per shard. Requires the barrier to
+  /// be durable already — if DurableLsn < Barrier (e.g. degraded), the
+  /// rotation is skipped and 0 is returned. Returns bytes removed.
+  uint64_t truncateBelow(uint64_t Barrier);
+
+  /// Log directory (checkpoint files live alongside the shard logs).
+  const std::string &dir() const { return Cfg.Dir; }
 
   /// The LSN of the last append *this thread* performed (0 if none) —
   /// what a worker passes to waitDurable to ack its own write. Process-
@@ -216,10 +279,18 @@ private:
   /// buffers.
   void drainCycle(unsigned ThreadIndex, std::vector<uint8_t> &Scratch,
                   std::vector<uint32_t> &DirtyShards);
+  /// Seals the log after an I/O failure (degraded mode) and wakes every
+  /// durability waiter so they observe DurabilityLost. Reads errno.
+  void enterDegraded(const char *What, const std::string &Path);
 
   Config Cfg;
   std::vector<Ring> Rings;
   std::vector<int> Fds; ///< One O_APPEND fd per shard (drain side only).
+  /// Per-shard file lock: serializes a drainer's write+fsync against
+  /// truncateBelow's rewrite-and-swap of the same shard file. Uncontended
+  /// except during a rotation. unique_ptr because mutexes cannot live in
+  /// a resizable vector directly.
+  std::vector<std::unique_ptr<std::mutex>> FileLocks;
 
   /// Highest LSN of the durable history this log continues: 1 for a
   /// fresh/empty log (so the first record lands at LSN 2), the recovery
@@ -252,11 +323,14 @@ private:
   std::atomic<bool> Stopping{false};
   bool Started = false;
 
+  std::atomic<bool> DegradedFlag{false};
+
   std::atomic<uint64_t> StatAppends{0};
   std::atomic<uint64_t> StatRingStalls{0};
   std::atomic<uint64_t> StatFsyncBatches{0};
   std::atomic<uint64_t> StatRecordsWritten{0};
   std::atomic<uint64_t> StatBytesWritten{0};
+  std::atomic<uint64_t> StatDroppedRecords{0};
 };
 
 } // namespace kv

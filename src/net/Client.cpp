@@ -14,8 +14,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 using namespace satm;
 using namespace satm::net;
@@ -24,6 +27,8 @@ Client::~Client() { close(); }
 
 bool Client::connectTo(const std::string &Host, uint16_t Port,
                        std::string *Err) {
+  LastHost = Host;
+  LastPort = Port;
   close();
   Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (Fd < 0) {
@@ -52,6 +57,19 @@ bool Client::connectTo(const std::string &Host, uint16_t Port,
   return true;
 }
 
+bool Client::reconnect(std::string *Err) {
+  if (LastHost.empty()) {
+    if (Err)
+      *Err = "reconnect before connectTo";
+    return false;
+  }
+  // connectTo() resets LastHost/LastPort to the same values; keep copies
+  // so a failed re-dial does not clear the saved endpoint.
+  std::string Host = LastHost;
+  uint16_t Port = LastPort;
+  return connectTo(Host, Port, Err);
+}
+
 void Client::shutdownConn() {
   if (Fd >= 0)
     ::shutdown(Fd, SHUT_RDWR);
@@ -78,7 +96,10 @@ uint64_t Client::send(Frame F) {
   size_t Len = encodeFrame(Enc, F);
   size_t Off = 0;
   while (Off < Len) {
-    ssize_t W = ::write(Fd, Enc + Off, Len - Off);
+    // MSG_NOSIGNAL: a peer that died mid-conversation must surface as a
+    // failed send (EPIPE), not a process-killing SIGPIPE — the retry and
+    // chaos paths depend on outliving the server.
+    ssize_t W = ::send(Fd, Enc + Off, Len - Off, MSG_NOSIGNAL);
     if (W > 0) {
       Off += size_t(W);
       continue;
@@ -118,6 +139,25 @@ bool Client::call(const Frame &Req, Frame &Resp) {
   return false;
 }
 
+bool Client::callIdempotent(const Frame &Req, Frame &Resp) {
+  if (call(Req, Resp))
+    return true;
+  // Transport failure on an idempotent request: re-dial with capped
+  // exponential backoff and resend. A retried GET/MGET/STATS at worst
+  // observes a newer state — it never double-applies anything.
+  uint32_t BackoffMs = Retry.BaseBackoffMs ? Retry.BaseBackoffMs : 1;
+  for (uint32_t Attempt = 0; Attempt < Retry.Retries; ++Attempt) {
+    ++RetriesDone;
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+    BackoffMs = std::min(BackoffMs * 2, std::max(Retry.MaxBackoffMs, 1u));
+    if (!reconnect(nullptr))
+      continue;
+    if (call(Req, Resp))
+      return true;
+  }
+  return false;
+}
+
 //===----------------------------------------------------------------------===//
 // Convenience ops
 //===----------------------------------------------------------------------===//
@@ -139,7 +179,7 @@ Frame makeReq(MsgOp Op, uint16_t Count, const uint64_t *Words,
 
 Status Client::get(uint64_t Key, uint64_t &Val) {
   Frame Resp;
-  if (!call(makeReq(MsgOp::Get, 1, &Key, 1), Resp))
+  if (!callIdempotent(makeReq(MsgOp::Get, 1, &Key, 1), Resp))
     return Status::BadRequest;
   if (Resp.status() == Status::Ok && Resp.Words >= 1)
     Val = Resp.Body[0];
@@ -179,7 +219,7 @@ Status Client::cas(uint64_t Key, uint64_t Expected, uint64_t Desired) {
 
 Status Client::multiGet(const uint64_t *Keys, uint16_t N, uint64_t *Out) {
   Frame Resp;
-  if (!call(makeReq(MsgOp::MultiGet, N, Keys, N), Resp))
+  if (!callIdempotent(makeReq(MsgOp::MultiGet, N, Keys, N), Resp))
     return Status::BadRequest;
   if (Resp.status() == Status::Ok)
     for (uint16_t I = 0; I < N && I < Resp.Words; ++I)
@@ -200,7 +240,7 @@ Status Client::rmwAdd(const uint64_t *Keys, uint16_t N, uint64_t Delta) {
 
 bool Client::statsProbe(uint64_t *Out) {
   Frame Resp;
-  if (!call(makeReq(MsgOp::Stats, 0, nullptr, 0), Resp))
+  if (!callIdempotent(makeReq(MsgOp::Stats, 0, nullptr, 0), Resp))
     return false;
   if (Resp.status() != Status::Ok || Resp.Words < StatsWordCount)
     return false;

@@ -28,6 +28,17 @@
 namespace satm {
 namespace net {
 
+/// Reconnect/retry discipline for the idempotent call() wrappers (the
+/// ROADMAP PR 9 follow-up). Retries apply to GET/MGET/STATS only —
+/// a blind PUT/CAS resend could double-apply a mutation whose first ack
+/// was lost in flight, so mutations always surface transport failures
+/// to the caller.
+struct RetryPolicy {
+  uint32_t Retries = 0;       ///< Extra attempts per call (0 = off).
+  uint32_t BaseBackoffMs = 1; ///< First reconnect delay.
+  uint32_t MaxBackoffMs = 64; ///< Exponential cap.
+};
+
 class Client {
 public:
   Client() = default;
@@ -37,7 +48,18 @@ public:
   Client &operator=(const Client &) = delete;
 
   /// Connects (blocking) to \p Host:\p Port. On failure fills \p Err.
+  /// The endpoint is remembered for reconnect().
   bool connectTo(const std::string &Host, uint16_t Port, std::string *Err);
+
+  /// Re-dials the last connectTo endpoint (closing any current socket).
+  bool reconnect(std::string *Err);
+
+  /// Installs the retry policy used by the idempotent wrappers.
+  void setRetryPolicy(const RetryPolicy &P) { Retry = P; }
+
+  /// Reconnect-and-resend attempts performed by the idempotent wrappers
+  /// since construction.
+  uint64_t retriesPerformed() const { return RetriesDone; }
 
   void close();
 
@@ -82,10 +104,18 @@ public:
   bool shutdownServer();
 
 private:
+  /// call() with reconnect-and-resend under the retry policy. Only the
+  /// idempotent wrappers route through this.
+  bool callIdempotent(const Frame &Req, Frame &Resp);
+
   int Fd = -1;
   std::mutex SendMutex;
   uint64_t NextCid = 1; ///< Guarded by SendMutex.
   FrameDecoder Dec{/*Strict=*/false};
+  std::string LastHost; ///< Saved endpoint for reconnect().
+  uint16_t LastPort = 0;
+  RetryPolicy Retry;
+  uint64_t RetriesDone = 0;
 };
 
 } // namespace net

@@ -51,6 +51,8 @@ const char *satm::net::statusName(Status S) {
     return "DeadlineExceeded";
   case Status::BadRequest:
     return "BadRequest";
+  case Status::DurabilityLost:
+    return "DurabilityLost";
   }
   return "?";
 }

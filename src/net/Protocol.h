@@ -89,7 +89,9 @@ enum class MsgOp : uint8_t {
 };
 
 /// Response status byte. The first six values mirror kv::OpStatus
-/// one-for-one (same ordinals), so the server converts with a cast.
+/// one-for-one (same ordinals), so the server converts with a cast —
+/// except DurabilityLost, whose kv ordinal (6) collided with BadRequest
+/// and is mapped explicitly (Server.cpp toStatus).
 enum class Status : uint8_t {
   Ok = 0,
   NotFound = 1,
@@ -98,6 +100,9 @@ enum class Status : uint8_t {
   Overloaded = 4,       ///< Shed: queue full or budget exhausted. No effects.
   DeadlineExceeded = 5, ///< Shed: per-request deadline passed. No effects.
   BadRequest = 6,       ///< Parseable frame the server cannot serve.
+  DurabilityLost = 7,   ///< Sync-mode mutation committed in memory, but
+                        ///< the WAL is degraded (disk fault) and the
+                        ///< durability promise cannot be kept.
 };
 
 const char *msgOpName(MsgOp Op);
@@ -119,6 +124,9 @@ enum StatsField : unsigned {
   StatShedQueueFull,
   StatShedDeadline,
   StatMaxQueueDepth,
+  /// Durability visibility (0 when the server runs without a WAL):
+  StatWalDegraded,       ///< 1 once the WAL sealed into degraded mode.
+  StatWalDroppedRecords, ///< Redo records discarded while degraded.
   StatsWordCount, ///< Number of words in a STATS response body.
 };
 static_assert(StatsWordCount <= MaxWordsPerFrame,

@@ -113,7 +113,13 @@ void signalEventFd(int Fd) {
   (void)R; // EAGAIN means the counter is already nonzero — wake pending.
 }
 
-Status toStatus(kv::OpStatus St) { return Status(uint8_t(St)); }
+Status toStatus(kv::OpStatus St) {
+  // Ordinals 0..5 mirror exactly; DurabilityLost's kv ordinal (6) is
+  // BadRequest on the wire and must map explicitly.
+  if (St == kv::OpStatus::DurabilityLost)
+    return Status::DurabilityLost;
+  return Status(uint8_t(St));
+}
 
 } // namespace
 
@@ -555,10 +561,17 @@ int Server::queueResponse(const ConnPtr &Cn, MsgOp Op, Status St,
 void Server::handleFrame(IoState &IoSt, const ConnPtr &Cn, const Frame &F) {
   if (F.Op == MsgOp::Stats) {
     ServerStats St = stats();
+    kv::Word WalDegraded = 0, WalDropped = 0;
+    if (Cfg.StatsWal) {
+      kv::WalStats Ws = Cfg.StatsWal->stats();
+      WalDegraded = Ws.Degraded ? 1 : 0;
+      WalDropped = Ws.DroppedRecords;
+    }
     kv::Word Body[StatsWordCount] = {
         St.Accepted,  St.DroppedAccepts, St.Closed,        St.Requests,
         St.Responses, St.BadFrames,      St.Batches,       St.BatchedOps,
-        St.ShedQueueFull, St.ShedDeadline, St.MaxQueueDepth};
+        St.ShedQueueFull, St.ShedDeadline, St.MaxQueueDepth,
+        WalDegraded,  WalDropped};
     if (queueResponse(Cn, F.Op, Status::Ok, F.Cid, Body, StatsWordCount) >= 0)
       flushConn(IoSt, Cn);
     return;
@@ -793,9 +806,35 @@ void Server::executeBatch(std::vector<Request> &Batch, WorkerState &) {
 
   // Durability gate: no ack leaves before the batch's redo records are
   // fsynced. lastAppendedLsn() is taken after the last commit above, so
-  // it covers every mutation in the batch.
-  if (Cfg.SyncWal)
-    Cfg.SyncWal->waitDurable(kv::Wal::lastAppendedLsn());
+  // it covers every mutation in the batch. The wait is bounded by the
+  // request deadline when one is configured (a wedged disk must not
+  // block the worker forever), and a degraded WAL reports immediately.
+  // On either non-Ok verdict the committed mutations in this batch are
+  // re-acked honestly: their in-memory effect stands, but the sync
+  // durability promise does not — DeadlineExceeded (unknown yet) or
+  // DurabilityLost (never). Read results are untouched: they never
+  // promised durability.
+  if (Cfg.SyncWal) {
+    kv::DurableWait Verdict;
+    if (Cfg.DeadlineUs && Earliest != Clock::time_point::max())
+      Verdict = Cfg.SyncWal->waitDurable(
+          kv::Wal::lastAppendedLsn(),
+          Earliest + std::chrono::microseconds(Cfg.DeadlineUs));
+    else
+      Verdict = Cfg.SyncWal->waitDurable(kv::Wal::lastAppendedLsn());
+    if (Verdict != kv::DurableWait::Ok) {
+      const Status Downgrade = Verdict == kv::DurableWait::DurabilityLost
+                                   ? Status::DurabilityLost
+                                   : Status::DeadlineExceeded;
+      for (PendingResp &P : Resps) {
+        const bool Mutation = P.Op == MsgOp::Put || P.Op == MsgOp::Insert ||
+                              P.Op == MsgOp::Erase || P.Op == MsgOp::Cas ||
+                              P.Op == MsgOp::Rmw;
+        if (Mutation && P.St == Status::Ok)
+          P.St = Downgrade;
+      }
+    }
+  }
 
   uint64_t WakeMask = 0;
   for (PendingResp &P : Resps) {

@@ -82,8 +82,15 @@ struct ServerConfig {
   /// tests can deterministically build up queues and observe batching.
   uint32_t WorkerDelayUs = 0;
   /// Sync-durability ack discipline: when set, a batch's responses are
-  /// withheld until the batch's last redo LSN is fsynced.
+  /// withheld until the batch's last redo LSN is fsynced (bounded by
+  /// DeadlineUs when that is set — a wedged disk must not wedge the
+  /// workers). A degraded WAL turns committed mutation acks into
+  /// Status::DurabilityLost instead of blocking.
   kv::Wal *SyncWal = nullptr;
+  /// Durability visibility for the STATS opcode (degraded flag, dropped
+  /// record count) — set whenever a WAL is attached, sync *or* async, so
+  /// async deployments can observe a sealed log too.
+  kv::Wal *StatsWal = nullptr;
 };
 
 /// Monotone counters, readable live (the STATS opcode) and post-join.

@@ -44,6 +44,12 @@ const char *satm::faultSiteName(FaultSite S) {
     return "NetRead";
   case FaultSite::NetWrite:
     return "NetWrite";
+  case FaultSite::LogEnospc:
+    return "LogEnospc";
+  case FaultSite::CkptWrite:
+    return "CkptWrite";
+  case FaultSite::CkptRename:
+    return "CkptRename";
   }
   return "?";
 }
@@ -76,6 +82,12 @@ const char *satm::faultSiteKey(FaultSite S) {
     return "net_read";
   case FaultSite::NetWrite:
     return "net_write";
+  case FaultSite::LogEnospc:
+    return "log_enospc";
+  case FaultSite::CkptWrite:
+    return "ckpt_write";
+  case FaultSite::CkptRename:
+    return "ckpt_rename";
   }
   return "?";
 }

@@ -53,9 +53,17 @@ enum class FaultSite : uint8_t {
                   ///< forcing the short-read / partial-frame paths.
   NetWrite,       ///< net::Server I/O: cap this write() to arg bytes,
                   ///< forcing partial-flush backpressure.
+  LogEnospc,      ///< kv::Wal drain: the shard write/fsync fails as if the
+                  ///< disk returned ENOSPC — the WAL seals into degraded
+                  ///< mode instead of aborting.
+  CkptWrite,      ///< kv::Checkpointer: the temp-file write/fsync fails;
+                  ///< the checkpoint attempt is abandoned, the previous
+                  ///< checkpoint stays authoritative.
+  CkptRename,     ///< kv::Checkpointer: the publishing rename fails after
+                  ///< the temp file is durable.
 };
 
-inline constexpr unsigned NumFaultSites = 13;
+inline constexpr unsigned NumFaultSites = 16;
 
 /// Display name (matches the enumerator).
 const char *faultSiteName(FaultSite S);

@@ -166,8 +166,11 @@ int crashChild(const char *Dir, int MaxOps, uint64_t Seed) {
       return 1;
     // Sync ack discipline: wait out the fsync, then record the LSN as
     // acked. A crash before the write() loses the ack, never the data.
+    // A degraded verdict (sealed log) must NOT ack — the durability
+    // promise those acks encode no longer holds.
     uint64_t L = Wal::lastAppendedLsn();
-    W.waitDurable(L);
+    if (W.waitDurable(L) != DurableWait::Ok)
+      break;
     if (::write(AckFd, &L, sizeof(L)) != ssize_t(sizeof(L)))
       return 1;
   }

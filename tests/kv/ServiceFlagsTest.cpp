@@ -195,6 +195,50 @@ TEST(ServiceFlags, LoadgenRequiresAnOfferedRate) {
   expectOk(F, "loadgen with an offered rate");
 }
 
+TEST(ServiceFlags, CheckpointRequiresADurabilityMode) {
+  ServiceFlags F = base();
+  F.CheckpointSet = true;
+  expectRejected(F, "--checkpoint-interval",
+                 "checkpoint interval with durability off");
+
+  F.Durability = kv::DurabilityMode::Async;
+  expectOk(F, "checkpoint interval over an async log");
+
+  F.Durability = kv::DurabilityMode::Sync;
+  expectOk(F, "checkpoint interval over a sync log");
+
+  F = base();
+  F.Serve = true;
+  F.CheckpointSet = true;
+  F.Durability = kv::DurabilityMode::Sync;
+  expectOk(F, "serve + checkpointed sync durability");
+}
+
+TEST(ServiceFlags, RetriesIsLoadgenOnly) {
+  ServiceFlags F = base();
+  F.RetriesSet = true;
+  expectRejected(F, "--retries", "retries on kv_service");
+
+  F = base();
+  F.Serve = true;
+  F.RetriesSet = true;
+  expectRejected(F, "--retries", "retries on kv_service --serve");
+
+  F = base();
+  F.Loadgen = true;
+  F.Qps = 10000;
+  F.RetriesSet = true;
+  expectOk(F, "retries on kv_loadgen");
+}
+
+TEST(ServiceFlags, LoadgenRejectsCheckpointInterval) {
+  ServiceFlags F = base();
+  F.Loadgen = true;
+  F.Qps = 10000;
+  F.CheckpointSet = true;
+  expectRejected(F, "--checkpoint-interval", "loadgen + checkpoint interval");
+}
+
 TEST(ServiceFlags, LoadgenRejectsServerSideFlags) {
   ServiceFlags F = base();
   F.Loadgen = true;
